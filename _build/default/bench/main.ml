@@ -1,0 +1,631 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) on the simulated distributed server, plus the
+   ablations called out in DESIGN.md and Bechamel micro-benchmarks of
+   the core engine operations.
+
+   Absolute numbers come from the simulator calibrated with the paper's
+   measured basic times; the claims under test are the *shapes*: who
+   wins, by what factor, and where the crossovers fall.
+
+   Run with:  dune exec bench/main.exe *)
+
+module C = Hf_server.Instances.Weighted
+module Cluster = Hf_server.Cluster
+module Metrics = Hf_server.Metrics
+module Syn = Hf_workload.Synthetic
+module Q = Hf_workload.Queries
+module Tab = Hf_util.Tabulate
+
+let section title paper_ref =
+  Fmt.pr "@.== %s ==@." title;
+  Fmt.pr "   paper: %s@.@." paper_ref
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+(* --- workload runners ------------------------------------------------ *)
+
+let dataset = Syn.generate () (* 270 objects, 9 groups, seed 42 *)
+
+let fresh_cluster ?config ~n_sites ds =
+  let cluster = C.create ?config ~n_sites () in
+  let placed = Syn.materialize ds ~n_sites ~store_of:(C.store cluster) in
+  (cluster, placed)
+
+type run_summary = {
+  times : Hf_util.Stats.summary;
+  mean_results : float;
+  mean_work_msgs : float;
+  mean_result_msgs : float;
+  mean_control_msgs : float;
+  mean_dup_msgs : float;
+  mean_work_bytes : float;
+  mean_result_bytes : float;
+}
+
+(* The paper's methodology: time [n_queries] queries that follow the
+   same pointers and search the same tuple type, randomizing the key
+   searched for, "so the 100 queries were comparable but not
+   identical". *)
+let run_queries ?(n_queries = 100) ?(seed = 7) ?config ~n_sites ~pointer_key ~selectivity ds =
+  let cluster, placed = fresh_cluster ?config ~n_sites ds in
+  let prng = Hf_util.Prng.create seed in
+  let times = Array.make n_queries 0.0 in
+  let totals = ref (0, 0, 0, 0, 0) in
+  let bytes = ref (0, 0) in
+  let result_count = ref 0 in
+  for i = 0 to n_queries - 1 do
+    let selection = Q.random_selection prng ~n_objects:(Syn.n_objects ds) selectivity in
+    let program = Q.closure_program ~pointer_key selection in
+    let outcome = C.run_query cluster ~origin:0 program [ placed.Syn.root ] in
+    assert outcome.Cluster.terminated;
+    times.(i) <- outcome.Cluster.response_time;
+    result_count := !result_count + List.length outcome.Cluster.results;
+    let m = outcome.Cluster.metrics in
+    let w, r, c, d, p = !totals in
+    totals :=
+      ( w + m.Metrics.work_messages,
+        r + m.Metrics.result_messages,
+        c + m.Metrics.control_messages,
+        d + m.Metrics.duplicate_work_messages,
+        p + m.Metrics.piggybacked_controls );
+    let wb, rb = !bytes in
+    bytes := (wb + m.Metrics.work_bytes, rb + m.Metrics.result_bytes);
+    (* release per-query state so long sweeps stay lean *)
+    match C.last_query_id cluster with
+    | Some qid -> C.forget_query cluster qid
+    | None -> ()
+  done;
+  let w, r, c, d, _ = !totals in
+  let wb, rb = !bytes in
+  let nf = float_of_int n_queries in
+  {
+    times = Hf_util.Stats.summarize times;
+    mean_results = float_of_int !result_count /. nf;
+    mean_work_msgs = float_of_int w /. nf;
+    mean_result_msgs = float_of_int r /. nf;
+    mean_control_msgs = float_of_int c /. nf;
+    mean_dup_msgs = float_of_int d /. nf;
+    mean_work_bytes = float_of_int wb /. nf;
+    mean_result_bytes = float_of_int rb /. nf;
+  }
+
+(* --- E1: basic times -------------------------------------------------- *)
+
+let e1_basic_costs () =
+  section "E1: basic times (Section 5, in-text table)"
+    "8 ms/object local processing; +20 ms per result; ~50 ms per remote deref message; ~50 ms \
+     per result message";
+  let costs = Hf_sim.Costs.paper in
+  (* Derive the per-object and per-result costs back out of measured
+     runs, as the paper did from its prototype. *)
+  let unique =
+    run_queries ~n_queries:20 ~n_sites:1 ~pointer_key:Syn.chain_key ~selectivity:Q.Unique dataset
+  in
+  let common =
+    run_queries ~n_queries:5 ~n_sites:1 ~pointer_key:Syn.chain_key ~selectivity:Q.All dataset
+  in
+  let n = float_of_int (Syn.n_objects dataset) in
+  let derived_process =
+    (unique.times.Hf_util.Stats.mean -. (unique.mean_results *. costs.Hf_sim.Costs.result_add))
+    /. n
+  in
+  let derived_result_add =
+    (common.times.Hf_util.Stats.mean -. unique.times.Hf_util.Stats.mean)
+    /. (common.mean_results -. unique.mean_results)
+  in
+  (* message cost out of the fully-remote chain on 3 machines *)
+  let chain3 =
+    run_queries ~n_queries:5 ~n_sites:3 ~pointer_key:Syn.chain_key ~selectivity:Q.Unique dataset
+  in
+  let derived_msg =
+    (chain3.times.Hf_util.Stats.mean -. unique.times.Hf_util.Stats.mean) /. chain3.mean_work_msgs
+  in
+  Tab.print
+    [ Tab.column "basic time"; Tab.right "paper (ms)"; Tab.right "measured (ms)" ]
+    [
+      [ "process one object"; "8"; f2 (derived_process *. 1000.0) ];
+      [ "add object to result set"; "20"; f2 (derived_result_add *. 1000.0) ];
+      [ "remote dereference message"; "~50"; f2 (derived_msg *. 1000.0) ];
+      [ "remote result message"; "~50"; f2 (Hf_sim.Costs.result_message_total costs *. 1000.0) ];
+    ]
+
+(* --- E2-E4: extremes -------------------------------------------------- *)
+
+let e2_single_site () =
+  section "E2: single-site transitive closure, 270 objects, ~27 results"
+    "2.7 s when all objects are at a single site (tree or chain pointers)";
+  let rows =
+    List.map
+      (fun (label, key) ->
+        let s = run_queries ~n_sites:1 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
+        [ label; "1"; "2.7"; f2 s.times.Hf_util.Stats.mean; f1 s.mean_results ])
+      [ ("chain", Syn.chain_key); ("tree", Syn.tree_key) ]
+  in
+  Tab.print
+    [ Tab.column "pointers"; Tab.right "machines"; Tab.right "paper (s)";
+      Tab.right "measured (s)"; Tab.right "results" ]
+    rows
+
+let e3_chain_worst_case () =
+  section "E3: chain pointers — worst-case delay"
+    "15 s on either three or nine machines (every pointer remote, all servers idle while each \
+     message is in transit)";
+  let rows =
+    List.map
+      (fun n_sites ->
+        let s =
+          run_queries ~n_queries:20 ~n_sites ~pointer_key:Syn.chain_key ~selectivity:Q.Rand10
+            dataset
+        in
+        [ "chain"; string_of_int n_sites; "15"; f2 s.times.Hf_util.Stats.mean;
+          f1 s.mean_work_msgs ])
+      [ 3; 9 ]
+  in
+  Tab.print
+    [ Tab.column "pointers"; Tab.right "machines"; Tab.right "paper (s)";
+      Tab.right "measured (s)"; Tab.right "work msgs" ]
+    rows
+
+let e4_tree_parallelism () =
+  section "E4: tree pointers — high parallelism at low message cost"
+    "1.5 s on three machines, 1.0 s on nine (vs 2.7 s single-site)";
+  let rows =
+    List.map
+      (fun (n_sites, paper) ->
+        let s = run_queries ~n_sites ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 dataset in
+        [ "tree"; string_of_int n_sites; paper; f2 s.times.Hf_util.Stats.mean;
+          f1 s.mean_work_msgs ])
+      [ (1, "2.7"); (3, "1.5"); (9, "1.0") ]
+  in
+  Tab.print
+    [ Tab.column "pointers"; Tab.right "machines"; Tab.right "paper (s)";
+      Tab.right "measured (s)"; Tab.right "work msgs" ]
+    rows
+
+(* --- E5: Figure 4 ----------------------------------------------------- *)
+
+let e5_figure4 () =
+  section "E5: Figure 4 — response time vs probability of a pointer being local"
+    "distributed times fall as locality rises; best at >= 80% local; nine machines tolerate \
+     remote references better than three; single-site reference does not depend on locality";
+  let single =
+    run_queries ~n_sites:1 ~pointer_key:(Syn.rand_key 0.50) ~selectivity:Q.Rand10 dataset
+  in
+  Fmt.pr "   single-site reference: %.2f s@.@." single.times.Hf_util.Stats.mean;
+  let rows =
+    List.map
+      (fun p ->
+        let key = Syn.rand_key p in
+        let three = run_queries ~n_sites:3 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
+        let nine = run_queries ~n_sites:9 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
+        [ Printf.sprintf "%.0f%%" (p *. 100.0);
+          f2 three.times.Hf_util.Stats.mean;
+          f2 three.times.Hf_util.Stats.p90;
+          f2 nine.times.Hf_util.Stats.mean;
+          f2 nine.times.Hf_util.Stats.p90;
+          f1 three.mean_work_msgs;
+          f1 nine.mean_work_msgs;
+        ])
+      Syn.localities
+  in
+  Tab.print
+    [ Tab.column "P(local)"; Tab.right "3 mach (s)"; Tab.right "p90";
+      Tab.right "9 mach (s)"; Tab.right "p90"; Tab.right "msgs (3)"; Tab.right "msgs (9)" ]
+    rows
+
+(* --- E6: selectivity -------------------------------------------------- *)
+
+let e6_selectivity () =
+  section "E6: selectivity flips the winner (Rand95 pointers)"
+    "10% selectivity: 1.1 s distributed vs 1.5 s single-site (distribution wins); select-all: \
+     5.1 s single-site vs 6.4/5.7 s on three/nine (result shipping dominates)";
+  let key = Syn.rand_key 0.95 in
+  let rows =
+    List.concat_map
+      (fun (sel, label, papers) ->
+        List.map2
+          (fun n_sites paper ->
+            let s =
+              run_queries ~n_queries:30 ~n_sites ~pointer_key:key ~selectivity:sel dataset
+            in
+            [ label; string_of_int n_sites; paper; f2 s.times.Hf_util.Stats.mean;
+              f1 s.mean_results; f1 s.mean_result_msgs ])
+          [ 1; 3; 9 ] papers)
+      [ (Q.Rand10, "10% of objects", [ "1.5"; "1.1"; "1.1" ]);
+        (Q.All, "all objects", [ "5.1"; "6.4"; "5.7" ]);
+      ]
+  in
+  Tab.print
+    [ Tab.column "selectivity"; Tab.right "machines"; Tab.right "paper (s)";
+      Tab.right "measured (s)"; Tab.right "results"; Tab.right "result msgs" ]
+    rows
+
+(* --- E7: size scaling ------------------------------------------------- *)
+
+let e7_size_scaling () =
+  section "E7: database size scaling"
+    "half the objects took a bit more than half the time (linear algorithm plus constant \
+     per-query overhead)";
+  let half = Syn.generate ~params:{ Syn.default_params with Syn.n_objects = 135 } () in
+  let full_run = run_queries ~n_sites:3 ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 dataset in
+  let half_run = run_queries ~n_sites:3 ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 half in
+  let ratio = half_run.times.Hf_util.Stats.mean /. full_run.times.Hf_util.Stats.mean in
+  Tab.print
+    [ Tab.column "objects"; Tab.right "measured (s)"; Tab.right "vs 270" ]
+    [
+      [ "270"; f2 full_run.times.Hf_util.Stats.mean; "1.00" ];
+      [ "135"; f2 half_run.times.Hf_util.Stats.mean; f2 ratio ];
+    ];
+  Fmt.pr "   ratio %.2f > 0.50, as the paper observed@." ratio
+
+(* --- E8: distributed result sets -------------------------------------- *)
+
+let e8_distributed_set () =
+  section "E8: count-only distributed result sets (Section 5's proposed optimisation)"
+    "for low-selectivity queries, ship the number of local results instead of the members; \
+     the retained set seeds the refining query at each site";
+  let key = Syn.rand_key 0.95 in
+  let run mode =
+    let config = { Cluster.default_config with Cluster.result_mode = mode } in
+    run_queries ~n_queries:30 ~config ~n_sites:3 ~pointer_key:key ~selectivity:Q.All dataset
+  in
+  let items = run Cluster.Ship_items in
+  let counts = run Cluster.Ship_counts in
+  let threshold = run (Cluster.Ship_threshold 10) in
+  Tab.print
+    [ Tab.column "result mode"; Tab.right "measured (s)"; Tab.right "result bytes" ]
+    [
+      [ "ship members"; f2 items.times.Hf_util.Stats.mean; f1 items.mean_result_bytes ];
+      [ "ship counts"; f2 counts.times.Hf_util.Stats.mean; f1 counts.mean_result_bytes ];
+      [ "threshold 10 (paper's refinement)"; f2 threshold.times.Hf_util.Stats.mean;
+        f1 threshold.mean_result_bytes ];
+    ];
+  (* and the follow-up query over the retained distributed set *)
+  let config = { Cluster.default_config with Cluster.result_mode = Cluster.Ship_counts } in
+  let cluster, placed = fresh_cluster ~config ~n_sites:3 dataset in
+  let broad = Q.closure_program ~pointer_key:key Q.select_common in
+  let o1 = C.run_query cluster ~origin:0 broad [ placed.Syn.root ] in
+  let qid = Option.get (C.last_query_id cluster) in
+  let refine = Hf_query.Compile.compile [ Q.select_rand10 5 ] in
+  let o2 = C.run_query_on_distributed cluster ~origin:0 ~from:qid refine in
+  Fmt.pr
+    "   follow-up over the distributed set: %.2f s with %d seed messages (broad query itself: \
+     %.2f s)@."
+    o2.Cluster.response_time o2.Cluster.metrics.Metrics.work_messages o1.Cluster.response_time
+
+(* --- E9: mark-table scope --------------------------------------------- *)
+
+let e9_mark_tables () =
+  section "E9: local vs (oracle) global mark tables (Section 3.2 design choice)"
+    "local tables allow duplicate dereference messages; the paper judged a global table's \
+     communication and complexity not worth the savings";
+  let key = Syn.rand_key 0.05 in
+  let rows =
+    List.map
+      (fun (label, scope) ->
+        let config = { Cluster.default_config with Cluster.mark_scope = scope } in
+        let s =
+          run_queries ~n_queries:30 ~config ~n_sites:3 ~pointer_key:key ~selectivity:Q.Rand10
+            dataset
+        in
+        [ label; f2 s.times.Hf_util.Stats.mean; f1 s.mean_work_msgs; f1 s.mean_dup_msgs ])
+      [ ("local (paper)", Cluster.Local_marks); ("global oracle", Cluster.Global_marks) ]
+  in
+  Tab.print
+    [ Tab.column "mark tables"; Tab.right "measured (s)"; Tab.right "work msgs";
+      Tab.right "duplicates" ]
+    rows
+
+(* --- E10: file-server baseline ---------------------------------------- *)
+
+let e10_baseline () =
+  section "E10: query shipping vs a distributed file server (Section 5 preamble)"
+    "a file interface must ship whole objects to the client; HyperFile ships ~40-byte queries";
+  let cluster, placed = fresh_cluster ~n_sites:3 dataset in
+  let program = Q.closure_program ~pointer_key:Syn.tree_key (Q.select_rand10 5) in
+  let shipped = C.run_query cluster ~origin:0 program [ placed.Syn.root ] in
+  let matches obj = Hf_query.Matcher.element_matches (Q.select_rand10 5) obj in
+  let find oid = Hf_data.Store.find (C.store cluster (Hf_data.Oid.birth_site oid)) oid in
+  let run_fs window =
+    Hf_baseline.File_server.run_closure
+      ~config:{ Hf_baseline.File_server.default_config with Hf_baseline.File_server.window }
+      ~origin:0 ~locate:Hf_data.Oid.birth_site ~find ~pointer_key:Syn.tree_key ~matches
+      [ placed.Syn.root ]
+  in
+  let fs1 = run_fs 1 and fs8 = run_fs 8 in
+  let sm = shipped.Cluster.metrics in
+  Tab.print
+    [ Tab.column "system"; Tab.right "time (s)"; Tab.right "messages"; Tab.right "bytes moved" ]
+    [
+      [ "HyperFile (query shipping)";
+        f2 shipped.Cluster.response_time;
+        string_of_int (Metrics.total_messages sm);
+        string_of_int (Metrics.total_bytes sm);
+      ];
+      [ "file server, sequential client";
+        f2 fs1.Hf_baseline.File_server.response_time;
+        string_of_int fs1.Hf_baseline.File_server.messages;
+        string_of_int fs1.Hf_baseline.File_server.bytes;
+      ];
+      [ "file server, 8-way pipelined";
+        f2 fs8.Hf_baseline.File_server.response_time;
+        string_of_int fs8.Hf_baseline.File_server.messages;
+        string_of_int fs8.Hf_baseline.File_server.bytes;
+      ];
+    ];
+  (* the ~40-byte claim, on the real wire codec *)
+  let deref =
+    Hf_proto.Message.Deref_request
+      {
+        query = { Hf_proto.Message.originator = 0; serial = 1 };
+        body = Q.closure_program ~pointer_key:Syn.tree_key (Q.select_rand10 5);
+        oid = placed.Syn.root;
+        start = 0;
+        iters = [| 1 |];
+        credit = [ 4 ];
+      }
+  in
+  Fmt.pr "   encoded dereference message: %d bytes (paper: ~40)@."
+    (Hf_proto.Codec.encoded_size deref)
+
+(* --- E11: termination detectors --------------------------------------- *)
+
+module type CLUSTER_FOR_ABLATION = sig
+  type t
+
+  val create :
+    ?config:Cluster.config ->
+    ?locate:(Hf_data.Oid.t -> int) ->
+    ?trace:Hf_sim.Trace.t ->
+    n_sites:int ->
+    unit ->
+    t
+
+  val store : t -> int -> Hf_data.Store.t
+  val run_query : t -> origin:int -> Hf_query.Program.t -> Hf_data.Oid.t list -> Cluster.outcome
+end
+
+let e11_termination () =
+  section "E11: termination-detection ablation (Section 4)"
+    "the prototype used the weighted-messages algorithm; credit returns piggyback on result \
+     messages, so detection is nearly free on the common path";
+  let program = Q.closure_program ~pointer_key:(Syn.rand_key 0.50) (Q.select_rand10 5) in
+  let run_with label (module M : CLUSTER_FOR_ABLATION) =
+    let cluster = M.create ~n_sites:3 () in
+    let placed = Syn.materialize dataset ~n_sites:3 ~store_of:(M.store cluster) in
+    let outcome = M.run_query cluster ~origin:0 program [ placed.Syn.root ] in
+    let m = outcome.Cluster.metrics in
+    [ label;
+      (if outcome.Cluster.terminated then "yes" else "NO");
+      f3 outcome.Cluster.response_time;
+      string_of_int m.Metrics.control_messages;
+      string_of_int m.Metrics.piggybacked_controls;
+    ]
+  in
+  Tab.print
+    [ Tab.column "detector"; Tab.right "terminated"; Tab.right "time (s)";
+      Tab.right "control msgs"; Tab.right "piggybacked" ]
+    [
+      run_with "weighted (paper)" (module Hf_server.Instances.Weighted);
+      run_with "dijkstra-scholten" (module Hf_server.Instances.Dijkstra_scholten);
+      run_with "four-counter" (module Hf_server.Instances.Four_counter);
+    ]
+
+(* --- E12: shared-memory multiprocessor (Section 6) -------------------- *)
+
+let e12_shared_memory () =
+  section "E12: shared-memory multiprocessor variant (Section 6)"
+    "all processors share the query state, mark table and working set; no strict locking is \
+     needed (duplicates are harmless)";
+  (* Keyword-rich documents (tuple scanning is the per-object work that
+     parallelizes; the working set and mark table stay shared). *)
+  let n = 4_000 in
+  let keywords_per_doc = 150 in
+  let prng = Hf_util.Prng.create 3 in
+  let store = Hf_data.Store.create ~site:0 in
+  let oids = Array.init n (fun _ -> Hf_data.Store.fresh_oid store) in
+  Array.iteri
+    (fun i oid ->
+      let words =
+        List.init keywords_per_doc (fun k ->
+            Hf_data.Tuple.keyword (Printf.sprintf "w%d" ((i + (37 * k)) mod 4096)))
+      in
+      let links =
+        List.init 2 (fun _ ->
+            Hf_data.Tuple.pointer ~key:"R" oids.(Hf_util.Prng.next_int prng n))
+      in
+      Hf_data.Store.insert store
+        (Hf_data.Hobject.of_tuples oid ((Hf_data.Tuple.number ~key:"id" i :: links) @ words)))
+    oids;
+  let program =
+    Hf_query.Parser.parse_program "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"w13\", ?)"
+  in
+  let root = oids.(0) in
+  let time_once domains =
+    let t0 = Unix.gettimeofday () in
+    let r = Hf_parallel.Shared_engine.run_store ~domains ~store program [ root ] in
+    (Unix.gettimeofday () -. t0, List.length r.Hf_engine.Local.results)
+  in
+  ignore (time_once 1) (* warm-up *);
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "   host provides %d core(s); speedup beyond that is not expected@.@." cores;
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun domains ->
+        let samples = List.init 3 (fun _ -> time_once domains) in
+        let time = List.fold_left (fun acc (t, _) -> min acc t) infinity samples in
+        let _, results = List.hd samples in
+        if domains = 1 then base := time;
+        [ string_of_int domains; f1 (time *. 1000.0); f2 (!base /. time);
+          string_of_int results ])
+      [ 1; 2; 4; 8 ]
+  in
+  Tab.print
+    [ Tab.column "domains"; Tab.right "wall time (ms)"; Tab.right "speedup";
+      Tab.right "results" ]
+    rows
+
+(* --- E13: index acceleration (extension beyond the paper) ------------- *)
+
+let e13_index_acceleration () =
+  section "E13 (extension): reachability + keyword indexes (Section 2's indexing facility)"
+    "the paper defers to its reference [4]: indexes for keywords and for object reachability, \
+     to speed up 'find all documents referenced directly or indirectly by this document that \
+     in addition have a given keyword'";
+  let store = Hf_data.Store.create ~site:0 in
+  let params = { Hf_workload.Corpus.default_params with Hf_workload.Corpus.n_documents = 2_000 } in
+  let corpus = Hf_workload.Corpus.generate ~params ~n_sites:1 ~store_of:(fun _ -> store) () in
+  (* reading list: the 50 newest documents — their combined citation
+     closure covers a substantial slice of the corpus *)
+  let all = Hf_workload.Corpus.oids corpus in
+  let roots =
+    List.init 50 (fun i -> all.(Array.length all - 1 - i))
+  in
+  let ast word =
+    Hf_query.Parser.parse_body
+      (Printf.sprintf "[ (Pointer, \"Cites\", ?X) ^^X ]* (Keyword, %S, ?)" word)
+  in
+  let build_t0 = Unix.gettimeofday () in
+  let indexes =
+    { Hf_index.Planner.reachability =
+        Some (Hf_index.Reachability.of_store ~key:Hf_workload.Corpus.citation_key store);
+      keywords = Some (Hf_index.Keyword_index.of_store store);
+    }
+  in
+  (* force the lazy reachable-set memo once so build cost is honest *)
+  List.iter
+    (fun r ->
+      ignore
+        (Hf_index.Reachability.reachable (Option.get indexes.Hf_index.Planner.reachability) r))
+    roots;
+  let build_ms = (Unix.gettimeofday () -. build_t0) *. 1000.0 in
+  let words = List.init 8 (fun i -> Hf_workload.Corpus.keyword_name (i * 3)) in
+  let time_runs f =
+    let t0 = Unix.gettimeofday () in
+    let runs = 30 in
+    for _ = 1 to runs do
+      List.iter (fun w -> ignore (f w)) words
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int (runs * List.length words)
+  in
+  let engine_answer w =
+    (Hf_engine.Local.run_query ~store (ast w) roots).Hf_engine.Local.result_set
+  in
+  let planner_answer w =
+    Hf_index.Planner.answer ~indexes ~find:(Hf_data.Store.find store) (ast w) roots
+  in
+  let agree =
+    List.for_all (fun w -> Hf_data.Oid.Set.equal (engine_answer w) (planner_answer w)) words
+  in
+  let engine_ms = time_runs engine_answer in
+  let planner_ms = time_runs planner_answer in
+  Tab.print
+    [ Tab.column "evaluation"; Tab.right "ms/query (wall)"; Tab.right "speedup" ]
+    [
+      [ "engine traversal"; Printf.sprintf "%.3f" engine_ms; "1.0" ];
+      [ "reachability ∩ keyword indexes"; Printf.sprintf "%.3f" planner_ms;
+        Printf.sprintf "%.0fx" (engine_ms /. planner_ms) ];
+    ];
+  Fmt.pr "   2000-document corpus; one-time index build %.1f ms; answers agree: %b@." build_ms
+    agree
+
+(* --- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro_benchmarks () =
+  section "Micro-benchmarks (Bechamel, wall clock)"
+    "core operations backing the simulator's cost model";
+  let open Bechamel in
+  let open Toolkit in
+  let store = Hf_data.Store.create ~site:0 in
+  let placed =
+    Syn.materialize
+      (Syn.generate ~params:{ Syn.default_params with Syn.n_objects = 90; blob_bytes = 64 } ())
+      ~n_sites:1 ~store_of:(fun _ -> store)
+  in
+  let program = Q.closure_program ~pointer_key:Syn.chain_key (Q.select_rand10 5) in
+  let plan = Hf_engine.Plan.make program in
+  let obj = Option.get (Hf_data.Store.find store placed.Syn.root) in
+  let selection = Q.select_rand10 5 in
+  let message =
+    Hf_proto.Message.Deref_request
+      {
+        query = { Hf_proto.Message.originator = 0; serial = 1 };
+        body = program;
+        oid = placed.Syn.root;
+        start = 0;
+        iters = [| 1 |];
+        credit = [ 4 ];
+      }
+  in
+  let encoded = Hf_proto.Codec.encode message in
+  let tests =
+    [
+      Test.make ~name:"tuple-selection scan"
+        (Staged.stage (fun () -> Hf_query.Matcher.element_matches selection obj));
+      Test.make ~name:"engine: full 90-object closure"
+        (Staged.stage (fun () -> Hf_engine.Local.run_store ~store program [ placed.Syn.root ]));
+      Test.make ~name:"eval: one object through filters"
+        (Staged.stage (fun () ->
+             let marks = Hf_engine.Mark_table.create () in
+             let stats = Hf_engine.Stats.create () in
+             Hf_engine.Eval.run_object ~plan ~find:(Hf_data.Store.find store) ~marks ~stats
+               ~emit:(fun ~target:_ _ -> ())
+               (Hf_engine.Work_item.initial plan placed.Syn.root)));
+      Test.make ~name:"codec: encode deref"
+        (Staged.stage (fun () -> Hf_proto.Codec.encode message));
+      Test.make ~name:"codec: decode deref"
+        (Staged.stage (fun () -> Hf_proto.Codec.decode_exn encoded));
+      Test.make ~name:"credit: split+merge"
+        (Staged.stage (fun () ->
+             let keep, gave = Hf_termination.Credit.split Hf_termination.Credit.one in
+             Hf_termination.Credit.add keep gave));
+      Test.make ~name:"mark table: add+mem"
+        (Staged.stage (fun () ->
+             let marks = Hf_engine.Mark_table.create () in
+             Hf_engine.Mark_table.add marks placed.Syn.root 3 ~iters:[| 1 |];
+             Hf_engine.Mark_table.mem marks placed.Syn.root 3 ~iters:[| 1 |]));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"hyperfile" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+        in
+        [ name; Printf.sprintf "%.0f" estimate ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Tab.print [ Tab.column "operation"; Tab.right "ns/run" ] rows
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  Fmt.pr "HyperFile benchmark harness — reproducing the evaluation of@.";
+  Fmt.pr
+    "Clifton & Garcia-Molina, \"Distributed Processing of Filtering Queries in HyperFile\" \
+     (ICDCS 1991)@.";
+  Fmt.pr "Simulator calibrated with the paper's measured basic times; see EXPERIMENTS.md@.";
+  e1_basic_costs ();
+  e2_single_site ();
+  e3_chain_worst_case ();
+  e4_tree_parallelism ();
+  e5_figure4 ();
+  e6_selectivity ();
+  e7_size_scaling ();
+  e8_distributed_set ();
+  e9_mark_tables ();
+  e10_baseline ();
+  e11_termination ();
+  e12_shared_memory ();
+  e13_index_acceleration ();
+  micro_benchmarks ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,273 @@
+(* hfql — command-line front end for HyperFile queries.
+
+   Subcommands:
+     hfql check "<query>"        parse, validate and show the compiled program
+     hfql run script.hfq         run a query script against a demo server
+     hfql demo                   run a canned query against the demo server
+
+   The demo server loads the paper's synthetic dataset (270 objects over
+   N simulated sites) and predefines the set "Root" holding the dataset
+   root; scripts can traverse Chain/Tree/RandNN pointer classes and
+   filter on the Unique/Common/Rand10/Rand100/Rand1000 search keys. *)
+
+let setup_server ~sites ~objects ~seed =
+  let server = Hf_client.Embedded.create ~n_sites:sites () in
+  let params =
+    { Hf_workload.Synthetic.default_params with
+      Hf_workload.Synthetic.n_objects = objects;
+      seed;
+      blob_bytes = 256;
+    }
+  in
+  let dataset = Hf_workload.Synthetic.generate ~params () in
+  let placed =
+    Hf_workload.Synthetic.materialize dataset ~n_sites:sites
+      ~store_of:(Hf_client.Embedded.store server)
+  in
+  Hf_client.Embedded.define_set server "Root" [ placed.Hf_workload.Synthetic.root ];
+  server
+
+(* --- check --- *)
+
+let check_query text =
+  match Hf_query.Parser.parse_query text with
+  | exception Hf_query.Parser.Parse_error { message; pos } ->
+    Fmt.epr "parse error at line %d, column %d: %s@." pos.Hf_query.Parser.line
+      pos.Hf_query.Parser.col message;
+    1
+  | { Hf_query.Parser.source; body; target } ->
+    (match source with Some s -> Fmt.pr "source set: %s@." s | None -> ());
+    (match target with Some t -> Fmt.pr "result set: %s@." t | None -> ());
+    let issues = Hf_query.Validate.check body in
+    List.iter (fun i -> Fmt.pr "%a@." Hf_query.Validate.pp_issue i) issues;
+    if Hf_query.Validate.is_valid body then begin
+      let program = Hf_query.Compile.compile body in
+      Fmt.pr "compiled program (%d filters, ~%d bytes on the wire):@.%a@."
+        (Hf_query.Program.length program)
+        (Hf_query.Program.byte_size program)
+        Hf_query.Program.pp program;
+      0
+    end
+    else 1
+
+(* --- run --- *)
+
+let run_script ~sites ~objects ~seed ~origin path =
+  let source =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  let server = setup_server ~sites ~objects ~seed in
+  let report = Hf_client.Script.run ~origin server source in
+  Fmt.pr "%a@." Hf_client.Script.pp_report report;
+  if report.Hf_client.Script.failures = 0 then 0 else 1
+
+(* --- demo --- *)
+
+let demo ~sites ~objects ~seed =
+  let server = setup_server ~sites ~objects ~seed in
+  let queries =
+    [
+      "Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits";
+      "Hits (Number, \"Unique\", ->ids)";
+    ]
+  in
+  List.iter
+    (fun text ->
+      Fmt.pr "query: %s@." text;
+      let r = Hf_client.Embedded.query server text in
+      Fmt.pr "  %d result(s) in %.3f simulated seconds@." (List.length r.Hf_client.Embedded.oids)
+        r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time;
+      List.iter
+        (fun (target, values) ->
+          Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
+        r.Hf_client.Embedded.values)
+    queries;
+  0
+
+(* --- interactive REPL --- *)
+
+let repl ~sites ~objects ~seed ~origin =
+  let server = setup_server ~sites ~objects ~seed in
+  Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects.@." sites objects;
+  Fmt.pr "The set \"Root\" holds the dataset root.  Commands: :sets, :quit.@.";
+  Fmt.pr "Example: Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits@.";
+  let rec loop () =
+    Fmt.pr "hfql> %!";
+    match In_channel.input_line In_channel.stdin with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line when String.trim line = ":quit" || String.trim line = ":q" -> ()
+    | Some line when String.trim line = ":sets" ->
+      List.iter
+        (fun (name, oids) -> Fmt.pr "  %-12s %d object(s)@." name (List.length oids))
+        (List.sort compare (Hf_client.Embedded.sets server));
+      loop ()
+    | Some line ->
+      (match Hf_client.Embedded.query ~origin server line with
+       | r ->
+         Fmt.pr "%d result(s) in %.3f simulated seconds%s@."
+           (List.length r.Hf_client.Embedded.oids)
+           r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time
+           (match r.Hf_client.Embedded.target with
+            | Some t -> Printf.sprintf " -> %s" t
+            | None -> "");
+         List.iter
+           (fun (target, values) ->
+             Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
+           r.Hf_client.Embedded.values
+       | exception Hf_client.Embedded.Invalid_query message -> Fmt.pr "error: %s@." message);
+      loop ()
+  in
+  loop ();
+  0
+
+(* --- snapshots --- *)
+
+let save_demo ~sites ~objects ~seed path =
+  let server = setup_server ~sites ~objects ~seed in
+  (* snapshot every site: path becomes path.siteN *)
+  List.iter
+    (fun site ->
+      let store = Hf_client.Embedded.store server site in
+      let site_path = Printf.sprintf "%s.site%d" path site in
+      Hf_persist.Snapshot.save store ~path:site_path;
+      Fmt.pr "site %d: %d objects -> %s@." site (Hf_data.Store.cardinal store) site_path)
+    (List.init sites Fun.id);
+  0
+
+let dump_snapshot path =
+  match Hf_persist.Snapshot.load ~path with
+  | exception Hf_persist.Snapshot.Corrupt message ->
+    Fmt.epr "corrupt snapshot: %s@." message;
+    1
+  | exception Sys_error message ->
+    Fmt.epr "%s@." message;
+    1
+  | store ->
+    Fmt.pr "site %d, %d object(s), next serial %d@." (Hf_data.Store.site store)
+      (Hf_data.Store.cardinal store) (Hf_data.Store.next_serial store);
+    let shown = ref 0 in
+    Hf_data.Store.iter store (fun obj ->
+        if !shown < 5 then begin
+          incr shown;
+          Fmt.pr "%a@." Hf_data.Hobject.pp obj
+        end);
+    if Hf_data.Store.cardinal store > 5 then
+      Fmt.pr "... and %d more@." (Hf_data.Store.cardinal store - 5);
+    0
+
+(* --- TCP demo --- *)
+
+let tcp_demo ~sites ~objects ~seed =
+  let module Tcp = Hf_net.Tcp_site in
+  let endpoints = Array.init sites (fun site -> Tcp.create ~site ()) in
+  let addresses = Array.map Tcp.address endpoints in
+  Array.iter (fun s -> Tcp.set_peers s addresses) endpoints;
+  Array.iteri
+    (fun i addr ->
+      match addr with
+      | Unix.ADDR_INET (_, port) -> Fmt.pr "site %d on 127.0.0.1:%d@." i port
+      | Unix.ADDR_UNIX _ -> ())
+    addresses;
+  let params =
+    { Hf_workload.Synthetic.default_params with
+      Hf_workload.Synthetic.n_objects = objects;
+      seed;
+      blob_bytes = 256;
+    }
+  in
+  let dataset = Hf_workload.Synthetic.generate ~params () in
+  let placed =
+    Hf_workload.Synthetic.materialize dataset ~n_sites:sites ~store_of:(fun s ->
+        Tcp.store endpoints.(s))
+  in
+  let program =
+    Hf_workload.Queries.closure_program ~pointer_key:Hf_workload.Synthetic.tree_key
+      (Hf_workload.Queries.select_rand10 5)
+  in
+  let outcome = Tcp.run_query endpoints.(0) program [ placed.Hf_workload.Synthetic.root ] in
+  Fmt.pr "closure over TCP: %d result(s), terminated=%b, %.1f ms, %d message(s), %d bytes@."
+    (List.length outcome.Tcp.results) outcome.Tcp.terminated
+    (outcome.Tcp.response_time *. 1000.0)
+    outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
+  Array.iter Tcp.shutdown endpoints;
+  if outcome.Tcp.terminated then 0 else 1
+
+(* --- cmdliner plumbing --- *)
+
+open Cmdliner
+
+let sites_arg =
+  Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc:"Number of simulated sites.")
+
+let objects_arg =
+  Arg.(value & opt int 270 & info [ "objects" ] ~docv:"N" ~doc:"Synthetic dataset size.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Dataset seed.")
+
+let origin_arg =
+  Arg.(value & opt int 0 & info [ "origin" ] ~docv:"SITE" ~doc:"Originating site for queries.")
+
+let check_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query text.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, validate and display a query's compiled form.")
+    Term.(const check_query $ query_arg)
+
+let run_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SCRIPT" ~doc:"Query script ('-' for stdin); one query per line.")
+  in
+  let run sites objects seed origin path = run_script ~sites ~objects ~seed ~origin path in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a query script against the demo server.")
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ script_arg)
+
+let demo_cmd =
+  let run sites objects seed = demo ~sites ~objects ~seed in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run canned queries against the demo server.")
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg)
+
+let save_demo_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH" ~doc:"Snapshot path prefix (one file per site).")
+  in
+  let run sites objects seed path = save_demo ~sites ~objects ~seed path in
+  Cmd.v
+    (Cmd.info "save-demo" ~doc:"Snapshot the demo server's stores to disk.")
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ path_arg)
+
+let dump_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Inspect a store snapshot.")
+    Term.(const dump_snapshot $ path_arg)
+
+let repl_cmd =
+  let run sites objects seed origin = repl ~sites ~objects ~seed ~origin in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query shell over the demo server.")
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg)
+
+let tcp_demo_cmd =
+  let run sites objects seed = tcp_demo ~sites ~objects ~seed in
+  Cmd.v
+    (Cmd.info "tcp-demo"
+       ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
+             simulator).")
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg)
+
+let () =
+  let doc = "HyperFile filtering-query runner (paper reproduction demo)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "hfql" ~doc)
+          [ check_cmd; run_cmd; demo_cmd; repl_cmd; save_demo_cmd; dump_cmd; tcp_demo_cmd ]))

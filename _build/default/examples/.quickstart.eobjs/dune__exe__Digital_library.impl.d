@@ -1,0 +1,1 @@
+examples/digital_library.ml: Array Fmt Fun Hf_client Hf_data Hf_engine Hf_index Hf_query Hf_server Hf_util List Option Printf String

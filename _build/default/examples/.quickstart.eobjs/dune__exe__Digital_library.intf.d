@@ -1,0 +1,1 @@
+examples/digital_library.mli:

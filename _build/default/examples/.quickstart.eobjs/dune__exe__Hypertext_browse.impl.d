@@ -1,0 +1,1 @@
+examples/hypertext_browse.ml: Array Fmt Hf_client Hf_data Hf_engine Hf_parallel Hf_query Hf_server Hf_util List Option Unix

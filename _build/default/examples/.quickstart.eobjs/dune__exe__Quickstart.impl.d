@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hf_client Hf_data Hf_server List

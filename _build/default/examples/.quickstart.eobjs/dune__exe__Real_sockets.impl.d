@@ -1,0 +1,1 @@
+examples/real_sockets.ml: Array Filename Fmt Hf_data Hf_net Hf_persist Hf_query In_channel Int64 List Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/software_repo.ml: Fmt Hf_client Hf_data List Option

@@ -1,0 +1,1 @@
+examples/vlsi_design.ml: Backlinks Embedded Fmt Hobject Hyperfile List Local Option Parser Store Tuple Value

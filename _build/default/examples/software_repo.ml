@@ -1,0 +1,102 @@
+(* Software-engineering repository — the scenario of the paper's
+   Section 2.  Modules are HyperFile objects holding code, authorship
+   and "Called Routine" / "Library" pointers.  We pose the paper's
+   queries: direct callees by an author, the transitive closure of the
+   call graph, depth-bounded searches, and the -> operator pulling
+   titles into application variables.
+
+   Run with:  dune exec examples/software_repo.exe *)
+
+module E = Hf_client.Embedded
+module Tuple = Hf_data.Tuple
+
+(* One module per routine of a toy sort utility, spread over two
+   development machines. *)
+let build server =
+  let routine ~site ~title ~author ?(code = "...") calls_later =
+    ( E.create_object server ~site
+        [ Tuple.string_ ~key:"Title" title;
+          Tuple.string_ ~key:"Author" author;
+          Tuple.text ~key:"C Code" code;
+        ],
+      calls_later )
+  in
+  (* leaf routines first *)
+  let libc, _ = routine ~site:0 ~title:"libc" ~author:"Vendor" [] in
+  let compare_, _ = routine ~site:1 ~title:"compare" ~author:"Joe Programmer" [] in
+  let swap, _ = routine ~site:1 ~title:"swap" ~author:"Joe Programmer" [] in
+  let partition, _ = routine ~site:1 ~title:"partition" ~author:"Ann Author" [] in
+  let quicksort, _ = routine ~site:1 ~title:"quicksort" ~author:"Joe Programmer" [] in
+  let read_input, _ = routine ~site:0 ~title:"read_input" ~author:"Ann Author" [] in
+  let main_, _ =
+    routine ~site:0 ~title:"Main Program for Sort routine" ~author:"Joe Programmer" []
+  in
+  (* wire the call graph with pointer tuples *)
+  let link src ~key dst =
+    let store = E.store server (Hf_data.Oid.birth_site src) in
+    let obj = Option.get (Hf_data.Store.find store src) in
+    Hf_data.Store.replace store (Hf_data.Hobject.add obj (Tuple.pointer ~key dst))
+  in
+  link main_ ~key:"Called Routine" quicksort;
+  link main_ ~key:"Called Routine" read_input;
+  link main_ ~key:"Library" libc;
+  link quicksort ~key:"Called Routine" partition;
+  link quicksort ~key:"Called Routine" quicksort (* recursion: a pointer cycle *);
+  link partition ~key:"Called Routine" compare_;
+  link partition ~key:"Called Routine" swap;
+  link read_input ~key:"Library" libc;
+  (* leaves carry terminator self-pointers so closure queries can still
+     apply trailing filters to them (see DESIGN.md) *)
+  List.iter (fun r -> link r ~key:"Called Routine" r) [ compare_; swap; libc; read_input ];
+  main_
+
+let show label r =
+  Fmt.pr "%s: %d module(s)@." label (List.length r.E.oids);
+  List.iter
+    (fun (target, values) ->
+      Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
+    r.E.values
+
+let () =
+  let server = E.create ~n_sites:2 () in
+  let main_ = build server in
+  E.define_set server "S" [ main_ ];
+
+  (* 1. The paper's first worked query: routines called from S written
+     by Joe Programmer (one level of pointers, keeping the caller). *)
+  show "Joe's code among S and its direct callees"
+    (E.query server
+       "S (Pointer, \"Called Routine\", ?X) ^^X (String, \"Author\", \"Joe Programmer\") -> T");
+
+  (* 2. Expand to the transitive closure of the call graph (the paper's
+     iterated form) and retrieve the titles. *)
+  show "Joe's code in the whole call graph"
+    (E.query server
+       "S [ (Pointer, \"Called Routine\", ?X) ^^X ]* (String, \"Author\", \"Joe Programmer\") \
+        (String, \"Title\", ->title) -> Joe");
+
+  (* 3. Depth-bounded variant: only three levels of calls. *)
+  show "...within three call levels"
+    (E.query server
+       "S [ (Pointer, \"Called Routine\", ?X) ^^X ]^3 (String, \"Author\", \"Joe Programmer\")");
+
+  (* 4. Follow every pointer kind with a wildcard key — picks up the
+     Library references too. *)
+  show "Everything reachable by any pointer"
+    (E.query server "S [ (Pointer, ?, ?X) ^^X ]* (?, ?, ?)");
+
+  (* 5. Matching variables across tuples (the paper's footnote 2):
+     authors maintaining their own modules.  Here: none are tagged, so
+     first tag one and re-query. *)
+  let store = E.store server 0 in
+  let obj = Option.get (Hf_data.Store.find store main_) in
+  Hf_data.Store.replace store
+    (Hf_data.Hobject.add obj (Tuple.string_ ~key:"Maintained by" "Joe Programmer"));
+  show "Self-maintained modules"
+    (E.query server "S (String, \"Author\", ?A) (String, \"Maintained by\", =A)");
+
+  (* 6. The result set T is a first-class set: refine it further. *)
+  show "Of Joe's direct modules, which mention sort in the title"
+    (E.query server "T (String, \"Title\", \"*[Ss]ort*\")" |> fun r ->
+     ignore r;
+     E.query server "T (String, \"Title\", \"*ort*\")")

@@ -1,0 +1,1 @@
+lib/baseline/file_server.ml: Float Hf_data Hf_sim Hf_util List

@@ -1,0 +1,1 @@
+lib/baseline/file_server.mli: Hf_data Hf_sim

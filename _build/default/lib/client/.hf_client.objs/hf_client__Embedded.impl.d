@@ -1,0 +1,1 @@
+lib/client/embedded.ml: Hashtbl Hf_data Hf_query Hf_server List Option Printf String

@@ -1,0 +1,1 @@
+lib/client/embedded.mli: Hf_data Hf_query Hf_server Hf_sim

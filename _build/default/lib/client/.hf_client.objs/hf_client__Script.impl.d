@@ -1,0 +1,1 @@
+lib/client/script.ml: Embedded Fmt Hf_server List Result String

@@ -1,0 +1,1 @@
+lib/client/script.mli: Embedded Format Result

@@ -1,0 +1,69 @@
+(* Query-script runner, modeled on the paper's experimental client:
+   "our experimental client read a query from a script, submitted it to
+   HyperFile, received the result, and then went on to the next query in
+   the script".
+
+   Script format: one query per line in the concrete syntax; blank
+   lines and lines starting with ';' are skipped. *)
+
+type entry = {
+  line : int;
+  text : string;
+  result : (Embedded.result, string) Result.t;
+}
+
+type report = {
+  entries : entry list;
+  queries_run : int;
+  failures : int;
+  total_response_time : float; (* virtual seconds over successful queries *)
+}
+
+let is_blank text = String.trim text = ""
+
+let is_comment text =
+  let trimmed = String.trim text in
+  String.length trimmed > 0 && trimmed.[0] = ';'
+
+let run ?origin t source =
+  let lines = String.split_on_char '\n' source in
+  let entries = ref [] in
+  List.iteri
+    (fun idx text ->
+      if not (is_blank text || is_comment text) then begin
+        let result =
+          match Embedded.query ?origin t text with
+          | r -> Ok r
+          | exception Embedded.Invalid_query message -> Error message
+        in
+        entries := { line = idx + 1; text; result } :: !entries
+      end)
+    lines;
+  let entries = List.rev !entries in
+  let queries_run = List.length entries in
+  let failures =
+    List.length (List.filter (fun e -> Result.is_error e.result) entries)
+  in
+  let total_response_time =
+    List.fold_left
+      (fun acc e ->
+        match e.result with
+        | Ok r -> acc +. r.Embedded.outcome.Hf_server.Cluster.response_time
+        | Error _ -> acc)
+      0.0 entries
+  in
+  { entries; queries_run; failures; total_response_time }
+
+let pp_entry ppf e =
+  match e.result with
+  | Ok r ->
+    Fmt.pf ppf "line %d: %d results in %.3fs%s" e.line
+      (List.length r.Embedded.oids)
+      r.Embedded.outcome.Hf_server.Cluster.response_time
+      (match r.Embedded.target with Some t -> " -> " ^ t | None -> "")
+  | Error message -> Fmt.pf ppf "line %d: error: %s" e.line message
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%a@,%d queries, %d failures, %.3fs total virtual response time@]"
+    (Fmt.list ~sep:Fmt.cut pp_entry) r.entries r.queries_run r.failures
+    r.total_response_time

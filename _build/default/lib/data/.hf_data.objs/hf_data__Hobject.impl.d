@@ -1,0 +1,1 @@
+lib/data/hobject.ml: Fmt List Oid String Tuple Value

@@ -1,0 +1,1 @@
+lib/data/hobject.mli: Format Oid Tuple

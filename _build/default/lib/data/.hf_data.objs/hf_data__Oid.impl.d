@@ -1,0 +1,1 @@
+lib/data/oid.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/data/oid.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/data/store.ml: Hobject List Oid Tuple

@@ -1,0 +1,1 @@
+lib/data/store.mli: Hobject Oid Tuple

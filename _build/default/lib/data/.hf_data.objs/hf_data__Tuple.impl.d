@@ -1,0 +1,1 @@
+lib/data/tuple.ml: Fmt String Value

@@ -1,0 +1,1 @@
+lib/data/tuple.mli: Format Oid Value

@@ -1,0 +1,1 @@
+lib/data/value.mli: Format Oid

@@ -1,0 +1,49 @@
+(* Object identifiers, following the paper's Section 4 naming scheme (a
+   variant of R*'s): the identity of an object is its birth site plus a
+   serial number issued by that site; a *presumed current site* hint
+   travels with each name so a dereference can usually go straight to the
+   right machine.  The hint is advisory — equality, ordering and hashing
+   ignore it, and the birth site remains the final arbiter of the object's
+   location. *)
+
+type t = { birth_site : int; serial : int; hint : int }
+
+let make ~birth_site ~serial =
+  if birth_site < 0 then invalid_arg "Oid.make: negative birth_site";
+  if serial < 0 then invalid_arg "Oid.make: negative serial";
+  { birth_site; serial; hint = birth_site }
+
+let with_hint t hint = { t with hint }
+
+let birth_site t = t.birth_site
+
+let serial t = t.serial
+
+let hint t = t.hint
+
+let equal a b = a.birth_site = b.birth_site && a.serial = b.serial
+
+let compare a b =
+  match Int.compare a.birth_site b.birth_site with
+  | 0 -> Int.compare a.serial b.serial
+  | c -> c
+
+let hash t = (t.birth_site * 1000003) lxor t.serial
+
+let pp ppf t =
+  if t.hint = t.birth_site then Fmt.pf ppf "%d.%d" t.birth_site t.serial
+  else Fmt.pf ppf "%d.%d@%d" t.birth_site t.serial t.hint
+
+let to_string t = Fmt.str "%a" pp t
+
+module As_key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Table = Hashtbl.Make (As_key)
+module Set = Set.Make (As_key)
+module Map = Map.Make (As_key)

@@ -1,0 +1,38 @@
+(** Object identifiers with R*-style naming (paper, Section 4).
+
+    An object's identity is the pair (birth site, serial number).  Each
+    name also carries a {e presumed current site} hint used to route
+    dereferences; the hint is advisory and excluded from equality,
+    ordering and hashing.  The birth site is the final arbiter of an
+    object's actual location when the hint is stale. *)
+
+type t
+
+val make : birth_site:int -> serial:int -> t
+(** Fresh name born at [birth_site]; the hint initially points there.
+    Raises [Invalid_argument] on negative components. *)
+
+val with_hint : t -> int -> t
+(** Same identity, updated presumed-current-site hint. *)
+
+val birth_site : t -> int
+
+val serial : t -> int
+
+val hint : t -> int
+(** Presumed current site of the object. *)
+
+val equal : t -> t -> bool
+(** Identity equality; ignores the hint. *)
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Table : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,60 @@
+(* Per-site object store.  A main-memory database, as in the paper's
+   prototype: all search information (tuples, pointers, keywords) lives
+   in memory; only large blobs would need disk in a real deployment.
+   The store also issues serial numbers for objects born at its site. *)
+
+type t = {
+  site : int;
+  objects : Hobject.t Oid.Table.t;
+  mutable next_serial : int;
+}
+
+let create ~site =
+  if site < 0 then invalid_arg "Store.create: negative site";
+  { site; objects = Oid.Table.create 64; next_serial = 0 }
+
+let site t = t.site
+
+let fresh_oid t =
+  let oid = Oid.make ~birth_site:t.site ~serial:t.next_serial in
+  t.next_serial <- t.next_serial + 1;
+  oid
+
+let next_serial t = t.next_serial
+
+(* Only moves forward, so restoring a snapshot can never reissue a
+   serial that was already handed out. *)
+let advance_serial t serial = t.next_serial <- max t.next_serial serial
+
+let insert t obj =
+  let oid = Hobject.oid obj in
+  if Oid.Table.mem t.objects oid then invalid_arg "Store.insert: oid already present";
+  Oid.Table.replace t.objects oid obj
+
+let replace t obj = Oid.Table.replace t.objects (Hobject.oid obj) obj
+
+let find t oid = Oid.Table.find_opt t.objects oid
+
+let mem t oid = Oid.Table.mem t.objects oid
+
+let remove t oid = Oid.Table.remove t.objects oid
+
+let cardinal t = Oid.Table.length t.objects
+
+let iter t f = Oid.Table.iter (fun _ obj -> f obj) t.objects
+
+let fold t f init = Oid.Table.fold (fun _ obj acc -> f obj acc) t.objects init
+
+let oids t = Oid.Table.fold (fun oid _ acc -> oid :: acc) t.objects []
+
+let create_object t tuples =
+  let obj = Hobject.of_tuples (fresh_oid t) tuples in
+  insert t obj;
+  obj
+
+(* Materialize a set of objects as a new object holding one pointer tuple
+   per member — the paper's representation of object sets (Section 2). *)
+let create_set t ?(key = "Member") members =
+  let obj = Hobject.of_tuples (fresh_oid t) (List.map (fun oid -> Tuple.pointer ~key oid) members) in
+  insert t obj;
+  obj

@@ -1,0 +1,52 @@
+(** Per-site object store: a main-memory database of HyperFile objects.
+
+    Matches the paper's prototype, which kept all search information in
+    memory.  The store also issues serial numbers for objects born at
+    its site, implementing the allocation half of the naming scheme. *)
+
+type t
+
+val create : site:int -> t
+(** Store for objects at [site]. Raises [Invalid_argument] on a
+    negative site number. *)
+
+val site : t -> int
+
+val fresh_oid : t -> Oid.t
+(** Next name born at this site. *)
+
+val next_serial : t -> int
+(** Serial the next {!fresh_oid} would use. *)
+
+val advance_serial : t -> int -> unit
+(** Raise the serial high-water mark (never lowers it); used when
+    restoring a snapshot so reissued names cannot collide. *)
+
+val insert : t -> Hobject.t -> unit
+(** Raises [Invalid_argument] if the oid is already present. *)
+
+val replace : t -> Hobject.t -> unit
+(** Insert or overwrite. *)
+
+val find : t -> Oid.t -> Hobject.t option
+
+val mem : t -> Oid.t -> bool
+
+val remove : t -> Oid.t -> unit
+
+val cardinal : t -> int
+
+val iter : t -> (Hobject.t -> unit) -> unit
+
+val fold : t -> (Hobject.t -> 'a -> 'a) -> 'a -> 'a
+
+val oids : t -> Oid.t list
+(** All stored oids, in no particular order. *)
+
+val create_object : t -> Tuple.t list -> Hobject.t
+(** Allocate a fresh oid, build the object, insert it. *)
+
+val create_set : t -> ?key:string -> Oid.t list -> Hobject.t
+(** Materialize an object set as an object holding one pointer tuple per
+    member (the paper's set representation); [key] defaults to
+    ["Member"]. *)

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Hf_data Hf_query List Mark_table Mvars Plan Stats Work_item

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Hf_data Mark_table Plan Stats Work_item

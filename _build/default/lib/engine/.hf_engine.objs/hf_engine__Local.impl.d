@@ -1,0 +1,1 @@
+lib/engine/local.ml: Eval Hashtbl Hf_data Hf_query Hf_util List Mark_table Plan Stats String Work_item

@@ -1,0 +1,1 @@
+lib/engine/local.mli: Hf_data Hf_query Stats

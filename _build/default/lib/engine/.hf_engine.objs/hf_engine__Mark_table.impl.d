@@ -1,0 +1,1 @@
+lib/engine/mark_table.ml: Fun Hf_data Int List Mutex Set Stdlib

@@ -1,0 +1,1 @@
+lib/engine/mark_table.mli: Hf_data

@@ -1,0 +1,1 @@
+lib/engine/mvars.ml: Hashtbl Hf_data List

@@ -1,0 +1,1 @@
+lib/engine/mvars.mli: Hf_data

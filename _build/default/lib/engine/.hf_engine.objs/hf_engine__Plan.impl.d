@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Array Hf_query List

@@ -1,0 +1,1 @@
+lib/engine/work_item.ml: Array Fmt Hf_data List Plan

@@ -1,0 +1,1 @@
+lib/engine/work_item.mli: Format Hf_data Plan

@@ -1,0 +1,29 @@
+(** The E function of Section 3.1 and the per-object processing loop.
+
+    [run_object] pushes one object through the filters from its start
+    index until it passes the whole query or fails a filter, exactly as
+    in Figure 3's inner loop:
+
+    - entry is suppressed when the mark table already records the item's
+      start index (cycle breaking / duplicate suppression);
+    - every visited filter index is marked;
+    - dereferences spawn new work items, returned to the caller for
+      routing (local working set or remote message);
+    - [Retrieve] matches emit values through [emit]. *)
+
+type step_result = {
+  spawned : Work_item.t list;
+  passed : bool;  (** the object fell past the last filter. *)
+  skipped : bool;  (** the mark table suppressed processing entirely. *)
+}
+
+val run_object :
+  plan:Plan.t ->
+  find:(Hf_data.Oid.t -> Hf_data.Hobject.t option) ->
+  marks:Mark_table.t ->
+  stats:Stats.t ->
+  emit:(target:string -> Hf_data.Value.t list -> unit) ->
+  Work_item.t ->
+  step_result
+(** A dangling pointer ([find] returns [None]) drops the item and counts
+    in [stats.dangling]. *)

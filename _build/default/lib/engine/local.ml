@@ -1,0 +1,67 @@
+(* Single-site query processing: the complete algorithm of Figure 3.
+   Fill the working set from the initial set, repeatedly remove an item
+   and run it through the filters, route every spawned item back into the
+   working set, and collect passing objects into the result set. *)
+
+type order = Bfs | Dfs
+
+type result = {
+  results : Hf_data.Oid.t list; (* in first-passed order *)
+  result_set : Hf_data.Oid.Set.t;
+  bindings : (string * Hf_data.Value.t list) list; (* per retrieve target *)
+  stats : Stats.t;
+}
+
+let bindings_of_table table =
+  let entries = Hashtbl.fold (fun target values acc -> (target, List.rev values) :: acc) table [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let run ?(order = Bfs) ~find program initial =
+  let plan = Plan.make program in
+  let marks = Mark_table.create () in
+  let stats = Stats.create () in
+  let work = Hf_util.Deque.create () in
+  let push item =
+    match order with
+    | Bfs -> Hf_util.Deque.push_back work item
+    | Dfs -> Hf_util.Deque.push_front work item
+  in
+  let emitted : (string, Hf_data.Value.t list) Hashtbl.t = Hashtbl.create 8 in
+  let emit ~target values =
+    let existing = match Hashtbl.find_opt emitted target with None -> [] | Some v -> v in
+    Hashtbl.replace emitted target (List.rev_append values existing)
+  in
+  List.iter (fun oid -> push (Work_item.initial plan oid)) initial;
+  let results = ref [] in
+  let result_set = ref Hf_data.Oid.Set.empty in
+  let rec drain () =
+    match Hf_util.Deque.pop_front work with
+    | None -> ()
+    | Some item ->
+      let { Eval.spawned; passed; skipped = _ } =
+        Eval.run_object ~plan ~find ~marks ~stats ~emit item
+      in
+      List.iter push spawned;
+      if passed then begin
+        let oid = Work_item.oid item in
+        if not (Hf_data.Oid.Set.mem oid !result_set) then begin
+          result_set := Hf_data.Oid.Set.add oid !result_set;
+          results := oid :: !results;
+          stats.Stats.results <- stats.Stats.results + 1
+        end
+      end;
+      drain ()
+  in
+  drain ();
+  {
+    results = List.rev !results;
+    result_set = !result_set;
+    bindings = bindings_of_table emitted;
+    stats;
+  }
+
+let run_store ?order ~store program initial =
+  run ?order ~find:(Hf_data.Store.find store) program initial
+
+let run_query ?order ~store ast initial =
+  run_store ?order ~store (Hf_query.Compile.compile ast) initial

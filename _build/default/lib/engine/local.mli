@@ -1,0 +1,32 @@
+(** Single-site query processing — the complete algorithm of Figure 3.
+
+    Used directly for one-machine deployments, as the per-site kernel of
+    the distributed server, and as the semantic oracle in the
+    distributed-equals-local property tests. *)
+
+type order =
+  | Bfs  (** working set as a queue — the paper's recommended default. *)
+  | Dfs  (** working set as a stack. *)
+
+type result = {
+  results : Hf_data.Oid.t list;  (** passing objects, in first-passed order. *)
+  result_set : Hf_data.Oid.Set.t;
+  bindings : (string * Hf_data.Value.t list) list;
+      (** values shipped by [->], grouped by target, in emission order. *)
+  stats : Stats.t;
+}
+
+val run :
+  ?order:order ->
+  find:(Hf_data.Oid.t -> Hf_data.Hobject.t option) ->
+  Hf_query.Program.t ->
+  Hf_data.Oid.t list ->
+  result
+(** Evaluate over an arbitrary object source. *)
+
+val run_store :
+  ?order:order -> store:Hf_data.Store.t -> Hf_query.Program.t -> Hf_data.Oid.t list -> result
+
+val run_query :
+  ?order:order -> store:Hf_data.Store.t -> Hf_query.Ast.t -> Hf_data.Oid.t list -> result
+(** Compile the surface query, then evaluate. *)

@@ -1,0 +1,85 @@
+(* The mark table of Section 3.1: for each object id, the set of
+   processing states at which the object has already been processed.  An
+   object removed from W whose state is already marked is ignored — this
+   both breaks pointer cycles under transitive closure and suppresses
+   duplicate work when several pointers reach the same object.
+
+   Two refinements over a naive "seen" set:
+
+   - Marks are per (object, filter index), not per object — the paper's
+     "important subtlety": an object that failed filter F1 must still be
+     processed if it is later reached by a dereference landing at F3.
+
+   - Marks also include the item's canonical iteration counters.  The
+     paper keys only on filter numbers, which makes finite-iterator
+     queries depend on arrival order: an object first reached over a
+     long chain (counter >= k, exits the iterator immediately) would
+     mask a later arrival over a short chain that could still traverse.
+     Counters are canonicalized by [Plan] (star slots pinned to 0,
+     finite slots capped at k), so for pure-star queries — the paper's
+     experiments — the key degenerates to exactly the paper's
+     (object, filter index), while finite-iterator results become
+     independent of message ordering.  See DESIGN.md §4b. *)
+
+module Key = struct
+  type t = int * int array (* filter index, canonical iteration counters *)
+
+  let compare ((i1, a1) : t) ((i2, a2) : t) =
+    match Int.compare i1 i2 with 0 -> Stdlib.compare a1 a2 | c -> c
+end
+
+module Key_set = Set.Make (Key)
+
+type t = {
+  table : Key_set.t Hf_data.Oid.Table.t;
+  lock : Mutex.t option;
+      (* Set for the shared-memory multiprocessor engine (paper,
+         Section 6), where several domains share one mark table.  Races
+         between mem and add can only cause duplicate processing, which
+         the paper explicitly tolerates — results are sets. *)
+}
+
+let create ?(synchronized = false) () =
+  {
+    table = Hf_data.Oid.Table.create 64;
+    lock = (if synchronized then Some (Mutex.create ()) else None);
+  }
+
+let locked t f =
+  match t.lock with
+  | None -> f ()
+  | Some lock ->
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let mem t oid index ~iters =
+  locked t (fun () ->
+      match Hf_data.Oid.Table.find_opt t.table oid with
+      | None -> false
+      | Some set -> Key_set.mem (index, iters) set)
+
+let add t oid index ~iters =
+  locked t (fun () ->
+      let set =
+        match Hf_data.Oid.Table.find_opt t.table oid with
+        | None -> Key_set.empty
+        | Some set -> set
+      in
+      Hf_data.Oid.Table.replace t.table oid (Key_set.add (index, iters) set))
+
+let marks t oid =
+  locked t (fun () ->
+      match Hf_data.Oid.Table.find_opt t.table oid with
+      | None -> []
+      | Some set -> Key_set.elements set)
+
+let marked_indices t oid =
+  List.sort_uniq Int.compare (List.map fst (marks t oid))
+
+let cardinal t = locked t (fun () -> Hf_data.Oid.Table.length t.table)
+
+let total_marks t =
+  locked t (fun () ->
+      Hf_data.Oid.Table.fold (fun _ set acc -> acc + Key_set.cardinal set) t.table 0)
+
+let clear t = locked t (fun () -> Hf_data.Oid.Table.reset t.table)

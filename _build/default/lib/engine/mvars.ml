@@ -1,0 +1,21 @@
+(* Matching-variable bindings for one object while it is being processed.
+   Bindings always start empty when an object is taken from the working
+   set (paper, Section 3.1) and are discarded afterwards — they are never
+   stored in W or sent over the network. *)
+
+type t = (string, Hf_data.Value.t list) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let lookup t var = match Hashtbl.find_opt t var with None -> [] | Some values -> values
+
+let add t var value =
+  let existing = lookup t var in
+  if not (List.exists (Hf_data.Value.equal value) existing) then
+    Hashtbl.replace t var (value :: existing)
+
+let add_all t bindings = List.iter (fun (var, value) -> add t var value) bindings
+
+let variables t = Hashtbl.fold (fun var _ acc -> var :: acc) t []
+
+let is_empty t = Hashtbl.length t = 0

@@ -1,0 +1,21 @@
+(** Matching-variable bindings for one object during processing.
+
+    Bindings start empty every time an object is taken from the working
+    set and are discarded when processing ends; they never travel in W
+    or over the network (paper, Section 3.1). *)
+
+type t
+
+val create : unit -> t
+
+val lookup : t -> string -> Hf_data.Value.t list
+(** Current bindings of a variable; [[]] when unbound. *)
+
+val add : t -> string -> Hf_data.Value.t -> unit
+(** Add a binding (set semantics: duplicates ignored). *)
+
+val add_all : t -> (string * Hf_data.Value.t) list -> unit
+
+val variables : t -> string list
+
+val is_empty : t -> bool

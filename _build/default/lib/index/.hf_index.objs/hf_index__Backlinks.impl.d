@@ -1,0 +1,1 @@
+lib/index/backlinks.ml: Hf_data List String

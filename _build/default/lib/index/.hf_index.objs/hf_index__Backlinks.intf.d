@@ -1,0 +1,1 @@
+lib/index/backlinks.mli: Hf_data

@@ -1,0 +1,1 @@
+lib/index/keyword_index.ml: Hf_data Hf_util List Smap String

@@ -1,0 +1,1 @@
+lib/index/keyword_index.mli: Hf_data

@@ -1,0 +1,1 @@
+lib/index/planner.ml: Hf_data Hf_engine Hf_query Keyword_index List Printf Reachability String

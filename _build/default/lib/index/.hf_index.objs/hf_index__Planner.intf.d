@@ -1,0 +1,1 @@
+lib/index/planner.mli: Hf_data Hf_query Keyword_index Reachability

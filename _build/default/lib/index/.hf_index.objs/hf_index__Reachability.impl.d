@@ -1,0 +1,1 @@
+lib/index/reachability.ml: Array Fun Hf_data Int List

@@ -1,0 +1,1 @@
+lib/index/reachability.mli: Hf_data

@@ -1,0 +1,1 @@
+lib/index/smap.ml: Map String

@@ -1,0 +1,84 @@
+(* Backward chaining support.  The paper's query language deliberately
+   has no backward dereference ("find all routines that call this one");
+   its prescription: "the application can explicitly incorporate back
+   pointers in the objects.  This fits with our policy of providing a
+   low-level service on which applications are built."
+
+   This module is that application-side facility: a reverse-pointer
+   index over a store, and a materializer that writes the back pointers
+   into the objects themselves so ordinary forward queries (and the
+   distributed engine, unchanged) can follow them. *)
+
+type entry = { source : Hf_data.Oid.t; key : string }
+
+type t = {
+  key : string option;
+  entries : entry list Hf_data.Oid.Table.t; (* target -> incoming edges *)
+}
+
+let of_objects ?key ~iter () =
+  let entries = Hf_data.Oid.Table.create 64 in
+  let add target entry =
+    let existing =
+      match Hf_data.Oid.Table.find_opt entries target with None -> [] | Some l -> l
+    in
+    Hf_data.Oid.Table.replace entries target (entry :: existing)
+  in
+  iter (fun obj ->
+      let source = Hf_data.Hobject.oid obj in
+      List.iter
+        (fun tuple ->
+          match Hf_data.Tuple.pointer_target tuple with
+          | None -> ()
+          | Some target -> (
+              match Hf_data.Value.as_string (Hf_data.Tuple.key tuple) with
+              | None -> ()
+              | Some tuple_key -> (
+                  match key with
+                  | Some wanted when not (String.equal wanted tuple_key) -> ()
+                  | Some _ | None -> add target { source; key = tuple_key })))
+        (Hf_data.Hobject.tuples obj));
+  { key; entries }
+
+let of_store ?key store = of_objects ?key ~iter:(Hf_data.Store.iter store) ()
+
+let incoming t target =
+  match Hf_data.Oid.Table.find_opt t.entries target with None -> [] | Some l -> List.rev l
+
+let referrers t target =
+  List.fold_left
+    (fun acc e -> Hf_data.Oid.Set.add e.source acc)
+    Hf_data.Oid.Set.empty (incoming t target)
+
+let referrer_count t target = List.length (incoming t target)
+
+let indexed_key t = t.key
+
+(* Write the back pointers into the objects: for every forward pointer
+   (Pointer, k, ->target) in the store, add (Pointer, back_key k, ->src)
+   to the target object (when it lives in this store).  After this,
+   "find all routines that call X" is the ordinary forward query
+   [X (Pointer, "Called Routine<-", ?Y) ^Y]. *)
+let default_back_key key = key ^ "<-"
+
+let materialize ?(back_key = default_back_key) ?key store =
+  let t = of_store ?key store in
+  let updated = ref 0 in
+  Hf_data.Oid.Table.iter
+    (fun target edges ->
+      match Hf_data.Store.find store target with
+      | None -> () (* remote or dangling target: the application would
+                      route this to the owning site *)
+      | Some obj ->
+        let obj' =
+          List.fold_left
+            (fun obj { source; key } ->
+              Hf_data.Hobject.add obj (Hf_data.Tuple.pointer ~key:(back_key key) source))
+            obj edges
+        in
+        if not (Hf_data.Hobject.equal obj obj') then begin
+          Hf_data.Store.replace store obj';
+          incr updated
+        end)
+    t.entries;
+  !updated

@@ -1,0 +1,33 @@
+(** Backward chaining (paper, Section 2: backward queries are left to
+    applications, which "can explicitly incorporate back pointers in the
+    objects").
+
+    Provides a reverse-pointer index over a store and a materializer
+    that writes the back pointers into the objects, after which ordinary
+    forward queries follow them. *)
+
+type entry = { source : Hf_data.Oid.t; key : string }
+
+type t
+
+val of_store : ?key:string -> Hf_data.Store.t -> t
+(** Reverse index of the store's pointer tuples; [key] restricts to one
+    pointer key. *)
+
+val incoming : t -> Hf_data.Oid.t -> entry list
+(** Edges pointing at the object, in tuple order per source. *)
+
+val referrers : t -> Hf_data.Oid.t -> Hf_data.Oid.Set.t
+(** Distinct objects pointing at the target. *)
+
+val referrer_count : t -> Hf_data.Oid.t -> int
+
+val indexed_key : t -> string option
+
+val default_back_key : string -> string
+(** ["k"] becomes ["k<-"]. *)
+
+val materialize : ?back_key:(string -> string) -> ?key:string -> Hf_data.Store.t -> int
+(** Add a [(Pointer, back_key k, source)] tuple to every locally stored
+    pointer target; returns the number of objects updated.  Idempotent:
+    re-running adds nothing new (tuple sets). *)

@@ -1,0 +1,157 @@
+(* Reachability index over the pointer graph (paper, Section 2: "indexes
+   based on the reachability of an object, to speed up queries such as
+   'find all documents referenced directly or indirectly by this
+   document that in addition have a given keyword'").
+
+   Construction condenses the pointer graph's strongly connected
+   components (iterative Tarjan, cycle-safe) and computes, per
+   component, the set of reachable components in reverse topological
+   order; per-object reachable sets are then materialized on demand.
+   The index is restricted to one pointer key (or all pointers) at build
+   time, matching the query shapes it accelerates. *)
+
+type t = {
+  key : string option; (* restrict to pointers with this key; None = all *)
+  component_of : int Hf_data.Oid.Table.t; (* object -> component id *)
+  members : Hf_data.Oid.t list array; (* component id -> member objects *)
+  reach : Hf_data.Oid.Set.t option array; (* component id -> reachable objects (memo) *)
+  successors : int list array; (* component DAG edges *)
+  order : int array; (* components in reverse topological order *)
+}
+
+let out_edges ~key obj =
+  match key with
+  | None -> Hf_data.Hobject.pointers obj
+  | Some key -> Hf_data.Hobject.pointers_with_key obj ~key
+
+(* Iterative Tarjan SCC.  Objects outside the store (dangling pointers)
+   are ignored, as the engine ignores them at run time. *)
+let tarjan ~find ~key oids =
+  let index_of = Hf_data.Oid.Table.create 64 in
+  let lowlink = Hf_data.Oid.Table.create 64 in
+  let on_stack = Hf_data.Oid.Table.create 64 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component_of = Hf_data.Oid.Table.create 64 in
+  let components = ref [] in
+  let n_components = ref 0 in
+  let rec strongconnect v =
+    (* Explicit work stack of (node, remaining successors) frames keeps
+       deep chains (the 270-object chain workload!) off the OCaml
+       stack. *)
+    let frames = ref [ (v, ref (successors v)) ] in
+    visit v;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (node, rest) :: tail -> (
+          match !rest with
+          | w :: more ->
+            rest := more;
+            if not (Hf_data.Oid.Table.mem index_of w) then begin
+              visit w;
+              frames := (w, ref (successors w)) :: !frames
+            end
+            else if Hf_data.Oid.Table.mem on_stack w then
+              update_lowlink node (Hf_data.Oid.Table.find index_of w)
+          | [] ->
+            if Hf_data.Oid.Table.find lowlink node = Hf_data.Oid.Table.find index_of node
+            then pop_component node;
+            frames := tail;
+            (match tail with
+             | (parent, _) :: _ ->
+               update_lowlink parent (Hf_data.Oid.Table.find lowlink node)
+             | [] -> ()))
+    done
+  and successors v =
+    match find v with
+    | None -> []
+    | Some obj -> List.filter (fun w -> find w <> None) (out_edges ~key obj)
+  and visit v =
+    Hf_data.Oid.Table.replace index_of v !next_index;
+    Hf_data.Oid.Table.replace lowlink v !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    Hf_data.Oid.Table.replace on_stack v ()
+  and update_lowlink v candidate =
+    if candidate < Hf_data.Oid.Table.find lowlink v then
+      Hf_data.Oid.Table.replace lowlink v candidate
+  and pop_component root =
+    let id = !n_components in
+    incr n_components;
+    let rec pop acc =
+      match !stack with
+      | [] -> acc
+      | w :: rest ->
+        stack := rest;
+        Hf_data.Oid.Table.remove on_stack w;
+        Hf_data.Oid.Table.replace component_of w id;
+        let acc = w :: acc in
+        if Hf_data.Oid.equal w root then acc else pop acc
+    in
+    components := (id, pop []) :: !components
+  in
+  List.iter (fun v -> if not (Hf_data.Oid.Table.mem index_of v) then strongconnect v) oids;
+  (component_of, !components, !n_components)
+
+let build ?key ~find oids =
+  let component_of, components, n = tarjan ~find ~key oids in
+  let members = Array.make (max n 1) [] in
+  List.iter (fun (id, objs) -> members.(id) <- objs) components;
+  let successors = Array.make (max n 1) [] in
+  Array.iteri
+    (fun id objs ->
+      let succ =
+        List.concat_map
+          (fun oid ->
+            match find oid with
+            | None -> []
+            | Some obj ->
+              List.filter_map
+                (fun w -> Hf_data.Oid.Table.find_opt component_of w)
+                (out_edges ~key obj))
+          objs
+      in
+      successors.(id) <- List.sort_uniq Int.compare (List.filter (fun c -> c <> id) succ))
+    members;
+  (* Tarjan emits components in reverse topological order of the
+     condensation (every successor is emitted before its predecessors),
+     so processing ids 0,1,2,... sees successors first. *)
+  let order = Array.init n Fun.id in
+  {
+    key;
+    component_of;
+    members;
+    reach = Array.make (max n 1) None;
+    successors;
+    order;
+  }
+
+let of_store ?key store = build ?key ~find:(Hf_data.Store.find store) (Hf_data.Store.oids store)
+
+let rec component_reach t id =
+  match t.reach.(id) with
+  | Some set -> set
+  | None ->
+    let own =
+      List.fold_left (fun acc oid -> Hf_data.Oid.Set.add oid acc) Hf_data.Oid.Set.empty
+        t.members.(id)
+    in
+    let set =
+      List.fold_left
+        (fun acc succ -> Hf_data.Oid.Set.union acc (component_reach t succ))
+        own t.successors.(id)
+    in
+    t.reach.(id) <- Some set;
+    set
+
+let reachable t oid =
+  match Hf_data.Oid.Table.find_opt t.component_of oid with
+  | None -> Hf_data.Oid.Set.empty
+  | Some id -> component_reach t id
+
+let is_reachable t ~source ~target = Hf_data.Oid.Set.mem target (reachable t source)
+
+let component_count t = Array.length t.members
+
+let key t = t.key

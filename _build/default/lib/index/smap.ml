@@ -1,0 +1,2 @@
+(* String-keyed map used by the index structures. *)
+include Map.Make (String)

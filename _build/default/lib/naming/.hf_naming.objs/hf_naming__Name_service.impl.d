@@ -1,0 +1,1 @@
+lib/naming/name_service.ml: Hf_data

@@ -1,0 +1,71 @@
+(* Object naming and mobility (paper, Section 4).
+
+   HyperFile names follow a variant of R*'s scheme: each object id
+   carries its birth site and a presumed current site.  The birth site
+   keeps the authoritative record of where its objects currently live,
+   so moving an object updates exactly one registry entry — no global
+   name server, and pointers elsewhere are corrected lazily as they are
+   used (stale hints cost extra hops, never wrong answers).
+
+   [t] models the union of the per-birth-site registries; entries are
+   keyed by (birth site, serial), so each site could hold exactly its
+   own slice. *)
+
+type t = {
+  n_sites : int;
+  registry : int Hf_data.Oid.Table.t; (* authoritative current site, by identity *)
+  mutable moves : int;
+  mutable forwards : int; (* resolutions that needed the birth site *)
+}
+
+let create ~n_sites =
+  if n_sites <= 0 then invalid_arg "Name_service.create: n_sites must be positive";
+  { n_sites; registry = Hf_data.Oid.Table.create 64; moves = 0; forwards = 0 }
+
+let check_site t site =
+  if site < 0 || site >= t.n_sites then invalid_arg "Name_service: site out of range"
+
+let register t oid =
+  (* A new object is born where its id says it was born. *)
+  Hf_data.Oid.Table.replace t.registry oid (Hf_data.Oid.birth_site oid)
+
+let register_at t oid ~site =
+  check_site t site;
+  Hf_data.Oid.Table.replace t.registry oid site
+
+let authoritative t oid = Hf_data.Oid.Table.find_opt t.registry oid
+
+let move t oid ~to_ =
+  check_site t to_;
+  match Hf_data.Oid.Table.find_opt t.registry oid with
+  | None -> invalid_arg "Name_service.move: unknown object"
+  | Some _ ->
+    Hf_data.Oid.Table.replace t.registry oid to_;
+    t.moves <- t.moves + 1
+
+type resolution = {
+  site : int;  (* where the object actually is *)
+  hops : int;  (* messages a dereference would need: 1 if the hint was right *)
+  corrected : Hf_data.Oid.t;  (* same identity, fresh hint *)
+}
+
+let resolve t oid =
+  match Hf_data.Oid.Table.find_opt t.registry oid with
+  | None -> None
+  | Some actual ->
+    let hinted = Hf_data.Oid.hint oid in
+    if hinted = actual then Some { site = actual; hops = 1; corrected = oid }
+    else begin
+      (* Miss at the presumed site: it redirects us to the birth site,
+         which knows the actual location.  If the hint already named the
+         birth site the redirect step is saved. *)
+      t.forwards <- t.forwards + 1;
+      let hops = if hinted = Hf_data.Oid.birth_site oid then 2 else 3 in
+      Some { site = actual; hops; corrected = Hf_data.Oid.with_hint oid actual }
+    end
+
+let moves t = t.moves
+
+let forwards t = t.forwards
+
+let cardinal t = Hf_data.Oid.Table.length t.registry

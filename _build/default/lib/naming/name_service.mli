@@ -1,0 +1,42 @@
+(** Object naming and mobility (paper, Section 4; R*-style names).
+
+    Each object id carries its birth site plus a presumed current site.
+    The birth site is the authoritative arbiter of its objects' actual
+    locations; stale hints cost extra resolution hops, never wrong
+    answers. *)
+
+type t
+
+val create : n_sites:int -> t
+(** Raises [Invalid_argument] on a non-positive site count. *)
+
+val register : t -> Hf_data.Oid.t -> unit
+(** Record a newly created object at its birth site. *)
+
+val register_at : t -> Hf_data.Oid.t -> site:int -> unit
+(** Record an object living away from its birth site (e.g. after a
+    restore). Raises [Invalid_argument] on a site out of range. *)
+
+val authoritative : t -> Hf_data.Oid.t -> int option
+(** The birth-site registry's answer for the current location. *)
+
+val move : t -> Hf_data.Oid.t -> to_:int -> unit
+(** Relocate an object: updates only the birth-site registry. Raises
+    [Invalid_argument] on unknown objects or bad sites. *)
+
+type resolution = {
+  site : int;  (** where the object actually is. *)
+  hops : int;  (** messages a dereference needs: 1 when the hint is right,
+                   2–3 when the birth site must redirect. *)
+  corrected : Hf_data.Oid.t;  (** same identity, refreshed hint. *)
+}
+
+val resolve : t -> Hf_data.Oid.t -> resolution option
+(** Follow the presumed-site hint, falling back to the birth site.
+    [None] for unregistered objects. *)
+
+val moves : t -> int
+val forwards : t -> int
+(** Resolutions that needed the birth site (stale hints). *)
+
+val cardinal : t -> int

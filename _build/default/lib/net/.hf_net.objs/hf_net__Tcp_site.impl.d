@@ -1,0 +1,1 @@
+lib/net/tcp_site.ml: Array Bytes Condition Fun Hashtbl Hf_data Hf_engine Hf_proto Hf_termination Hf_util List Logs Mutex Queue String Thread Unix

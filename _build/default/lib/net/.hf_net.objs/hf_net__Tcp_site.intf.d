@@ -1,0 +1,1 @@
+lib/net/tcp_site.mli: Hf_data Hf_query Unix

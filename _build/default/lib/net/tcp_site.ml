@@ -1,0 +1,479 @@
+(* A real HyperFile site over TCP.
+
+   This is the paper's Section 3.2 protocol on actual sockets — the same
+   wire messages ([Hf_proto.Message], binary codec, length framing) that
+   the simulator accounts for, exchanged between OS processes or threads.
+   Every site runs the identical algorithm: per-query contexts, local
+   engine processing, query shipping on remote dereferences, results
+   flowing straight to the originator, weighted-message termination with
+   credit piggybacked on result messages.
+
+   Threading model (per site):
+   - an accept thread takes incoming connections;
+   - one reader thread per connection reassembles frames, decodes
+     messages, and handles them under the site's state lock;
+   - one writer thread per outbound connection drains a send queue, so
+     a handler never blocks on a peer's socket (no send/receive
+     deadlock);
+   - [run_query] (called by the embedding client on the originating
+     site) seeds the query and waits on a condition variable until the
+     origin's detector recovers all credit, or a timeout expires
+     (crashed peers then yield partial results, per the paper's
+     "partial results are better than none"). *)
+
+module Message = Hf_proto.Message
+module Credit = Hf_termination.Credit
+
+let src = Logs.Src.create "hf.net" ~doc:"HyperFile TCP transport"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* --- outbound connections: queue + writer thread --- *)
+
+type out_conn = {
+  fd : Unix.file_descr;
+  queue : string Queue.t;
+  queue_mutex : Mutex.t;
+  queue_cond : Condition.t;
+  closing : bool ref;
+  mutable writer : Thread.t option;
+}
+
+let writer_loop conn () =
+  let rec next () =
+    Mutex.lock conn.queue_mutex;
+    while Queue.is_empty conn.queue && not !(conn.closing) do
+      Condition.wait conn.queue_cond conn.queue_mutex
+    done;
+    let item = if Queue.is_empty conn.queue then None else Some (Queue.pop conn.queue) in
+    Mutex.unlock conn.queue_mutex;
+    match item with
+    | None -> () (* closing *)
+    | Some frame -> (
+        match
+          let bytes = Bytes.of_string frame in
+          let rec write_all off =
+            if off < Bytes.length bytes then
+              let n = Unix.write conn.fd bytes off (Bytes.length bytes - off) in
+              write_all (off + n)
+          in
+          write_all 0
+        with
+        | () -> next ()
+        | exception Unix.Unix_error _ -> () (* peer gone; drop remaining output *))
+  in
+  next ()
+
+let open_out_conn addr =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  Unix.setsockopt fd TCP_NODELAY true;
+  let conn =
+    {
+      fd;
+      queue = Queue.create ();
+      queue_mutex = Mutex.create ();
+      queue_cond = Condition.create ();
+      closing = ref false;
+      writer = None;
+    }
+  in
+  conn.writer <- Some (Thread.create (writer_loop conn) ());
+  conn
+
+let conn_send conn frame =
+  Mutex.lock conn.queue_mutex;
+  Queue.push frame conn.queue;
+  Condition.signal conn.queue_cond;
+  Mutex.unlock conn.queue_mutex
+
+let conn_close conn =
+  Mutex.lock conn.queue_mutex;
+  conn.closing := true;
+  Condition.signal conn.queue_cond;
+  Mutex.unlock conn.queue_mutex;
+  (match conn.writer with Some thread -> (try Thread.join thread with _ -> ()) | None -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* --- per-query state --- *)
+
+type context = {
+  plan : Hf_engine.Plan.t;
+  origin : int;
+  marks : Hf_engine.Mark_table.t;
+  work : Hf_engine.Work_item.t Hf_util.Deque.t;
+  stats : Hf_engine.Stats.t;
+  mutable held : Credit.t; (* weighted-termination credit at this site *)
+  mutable result_buffer : Hf_data.Oid.t list;
+  bindings : (string, Hf_data.Value.t list) Hashtbl.t;
+  mutable local_result_set : Hf_data.Oid.Set.t;
+  (* origin-side only *)
+  mutable recovered : Credit.t;
+  mutable final_results : Hf_data.Oid.t list; (* newest first *)
+  mutable final_set : Hf_data.Oid.Set.t;
+  final_bindings : (string, Hf_data.Value.t list) Hashtbl.t;
+  mutable terminated : bool;
+}
+
+type t = {
+  id : int;
+  store : Hf_data.Store.t;
+  listener : Unix.file_descr;
+  address : Unix.sockaddr;
+  mutable peers : Unix.sockaddr array; (* index = site id *)
+  conns : (int, out_conn) Hashtbl.t;
+  lock : Mutex.t; (* guards contexts, store access during queries, conns *)
+  done_cond : Condition.t; (* signalled when a local query terminates *)
+  contexts : (Message.query_id, context) Hashtbl.t;
+  mutable next_serial : int;
+  mutable running : bool;
+  mutable threads : Thread.t list;
+  (* transport metrics *)
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_received : int;
+}
+
+let locate oid = Hf_data.Oid.birth_site oid
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- sending --- *)
+
+let send t ~dst message =
+  let conn =
+    match Hashtbl.find_opt t.conns dst with
+    | Some conn -> Some conn
+    | None -> (
+        match open_out_conn t.peers.(dst) with
+        | conn ->
+          Hashtbl.replace t.conns dst conn;
+          Some conn
+        | exception Unix.Unix_error _ -> None (* peer down: message lost *))
+  in
+  match conn with
+  | None -> ()
+  | Some conn ->
+    let payload = Hf_proto.Codec.encode message in
+    t.messages_sent <- t.messages_sent + 1;
+    t.bytes_sent <- t.bytes_sent + String.length payload;
+    conn_send conn (Hf_proto.Frame.frame payload)
+
+(* --- query contexts --- *)
+
+let new_context t ~query ~origin program =
+  let ctx =
+    {
+      plan = Hf_engine.Plan.make program;
+      origin;
+      marks = Hf_engine.Mark_table.create ();
+      work = Hf_util.Deque.create ();
+      stats = Hf_engine.Stats.create ();
+      held = Credit.zero;
+      result_buffer = [];
+      bindings = Hashtbl.create 4;
+      local_result_set = Hf_data.Oid.Set.empty;
+      recovered = Credit.zero;
+      final_results = [];
+      final_set = Hf_data.Oid.Set.empty;
+      final_bindings = Hashtbl.create 4;
+      terminated = false;
+    }
+  in
+  Hashtbl.replace t.contexts query ctx;
+  ctx
+
+let merge_bindings table extra =
+  List.iter
+    (fun (target, values) ->
+      let existing = match Hashtbl.find_opt table target with None -> [] | Some v -> v in
+      Hashtbl.replace table target (existing @ values))
+    extra
+
+(* Credit recovered at the origin: check for global termination. *)
+let credit_recovered t query ctx credit =
+  ctx.recovered <- Credit.add ctx.recovered credit;
+  if Credit.is_one ctx.recovered && not ctx.terminated then begin
+    ctx.terminated <- true;
+    Log.debug (fun m -> m "site %d: query %a terminated" t.id Message.pp_query_id query);
+    Condition.broadcast t.done_cond
+  end
+
+(* Process the working set to empty, then ship buffered results (credit
+   riding along) to the originator.  Runs under the site lock. *)
+let process_to_drain t query ctx =
+  let rec drain_work () =
+    match Hf_util.Deque.pop_front ctx.work with
+    | None -> ()
+    | Some item ->
+      let emit ~target values =
+        let existing =
+          match Hashtbl.find_opt ctx.bindings target with None -> [] | Some v -> v
+        in
+        Hashtbl.replace ctx.bindings target (existing @ values)
+      in
+      let { Hf_engine.Eval.spawned; passed; skipped = _ } =
+        Hf_engine.Eval.run_object ~plan:ctx.plan ~find:(Hf_data.Store.find t.store)
+          ~marks:ctx.marks ~stats:ctx.stats ~emit item
+      in
+      List.iter
+        (fun wi ->
+          let target_site = locate (Hf_engine.Work_item.oid wi) in
+          if target_site = t.id then Hf_util.Deque.push_back ctx.work wi
+          else begin
+            let keep, gave = Credit.split ctx.held in
+            ctx.held <- keep;
+            send t ~dst:target_site
+              (Message.Deref_request
+                 {
+                   query;
+                   body = Hf_engine.Plan.program ctx.plan;
+                   oid = Hf_engine.Work_item.oid wi;
+                   start = Hf_engine.Work_item.start wi;
+                   iters = Hf_engine.Work_item.iters wi;
+                   credit = Credit.atoms gave;
+                 })
+          end)
+        spawned;
+      (if passed then
+         let oid = Hf_engine.Work_item.oid item in
+         if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
+           ctx.local_result_set <- Hf_data.Oid.Set.add oid ctx.local_result_set;
+           if t.id = ctx.origin then begin
+             if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+               ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+               ctx.final_results <- oid :: ctx.final_results
+             end
+           end
+           else ctx.result_buffer <- oid :: ctx.result_buffer
+         end);
+      drain_work ()
+  in
+  drain_work ();
+  (* drained: return credit (and, away from the origin, results) *)
+  if t.id = ctx.origin then begin
+    merge_bindings ctx.final_bindings
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings []);
+    Hashtbl.reset ctx.bindings;
+    if not (Credit.is_zero ctx.held) then begin
+      let credit = ctx.held in
+      ctx.held <- Credit.zero;
+      credit_recovered t query ctx credit
+    end
+  end
+  else begin
+    let credit = ctx.held in
+    ctx.held <- Credit.zero;
+    let items = List.rev ctx.result_buffer in
+    let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings [] in
+    ctx.result_buffer <- [];
+    Hashtbl.reset ctx.bindings;
+    if items <> [] || bindings <> [] then
+      send t ~dst:ctx.origin
+        (Message.Result
+           { query; payload = Message.Items items; bindings; credit = Credit.atoms credit })
+    else if not (Credit.is_zero credit) then
+      send t ~dst:ctx.origin (Message.Credit_return { query; credit = Credit.atoms credit })
+  end
+
+(* --- incoming messages --- *)
+
+let handle_message t message =
+  locked t (fun () ->
+      t.messages_received <- t.messages_received + 1;
+      match (message : Message.t) with
+      | Message.Deref_request { query; body; oid; start; iters; credit } ->
+        let ctx =
+          match Hashtbl.find_opt t.contexts query with
+          | Some ctx -> ctx
+          | None -> new_context t ~query ~origin:query.Message.originator body
+        in
+        ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
+        Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters);
+        process_to_drain t query ctx
+      | Message.Result { query; payload; bindings; credit } -> (
+          match Hashtbl.find_opt t.contexts query with
+          | None -> () (* unknown/forgotten query *)
+          | Some ctx ->
+            (match payload with
+             | Message.Items items ->
+               List.iter
+                 (fun oid ->
+                   if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+                     ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+                     ctx.final_results <- oid :: ctx.final_results
+                   end)
+                 items
+             | Message.Count _ -> ());
+            merge_bindings ctx.final_bindings bindings;
+            credit_recovered t query ctx (Credit.of_atoms credit))
+      | Message.Credit_return { query; credit } -> (
+          match Hashtbl.find_opt t.contexts query with
+          | None -> ()
+          | Some ctx -> credit_recovered t query ctx (Credit.of_atoms credit)))
+
+(* --- reader / accept threads --- *)
+
+let reader_loop t fd () =
+  let decoder = Hf_proto.Frame.Decoder.create () in
+  let chunk = Bytes.create 8192 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Hf_proto.Frame.Decoder.feed decoder (Bytes.sub_string chunk 0 n);
+      List.iter
+        (fun payload ->
+          match Hf_proto.Codec.decode payload with
+          | Ok message -> handle_message t message
+          | Error err ->
+            Log.warn (fun m -> m "site %d: undecodable message dropped: %s" t.id err))
+        (Hf_proto.Frame.Decoder.drain decoder);
+      loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | fd, _ ->
+      Unix.setsockopt fd TCP_NODELAY true;
+      locked t (fun () -> t.threads <- Thread.create (reader_loop t fd) () :: t.threads);
+      loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let create ~site () =
+  let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listener SO_REUSEADDR true;
+  Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 16;
+  let address = Unix.getsockname listener in
+  let t =
+    {
+      id = site;
+      store = Hf_data.Store.create ~site;
+      listener;
+      address;
+      peers = [||];
+      conns = Hashtbl.create 8;
+      lock = Mutex.create ();
+      done_cond = Condition.create ();
+      contexts = Hashtbl.create 8;
+      next_serial = 0;
+      running = true;
+      threads = [];
+      messages_sent = 0;
+      bytes_sent = 0;
+      messages_received = 0;
+    }
+  in
+  t.threads <- [ Thread.create (accept_loop t) () ];
+  t
+
+let address t = t.address
+
+let store t = t.store
+
+let id t = t.id
+
+let set_peers t peers = t.peers <- peers
+
+let shutdown t =
+  if t.running then begin
+    t.running <- false;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    locked t (fun () ->
+        Hashtbl.iter (fun _ conn -> conn_close conn) t.conns;
+        Hashtbl.reset t.conns)
+  end
+
+(* --- issuing queries from the embedding client --- *)
+
+type outcome = {
+  results : Hf_data.Oid.t list;
+  result_set : Hf_data.Oid.Set.t;
+  bindings : (string * Hf_data.Value.t list) list;
+  terminated : bool;
+  response_time : float; (* wall-clock seconds *)
+  messages_sent : int;
+  bytes_sent : int;
+}
+
+let run_query ?(timeout = 10.0) (t : t) program initial =
+  let started = Unix.gettimeofday () in
+  let sent_before = t.messages_sent and bytes_before = t.bytes_sent in
+  let query, ctx =
+    locked t (fun () ->
+        let query = { Message.originator = t.id; serial = t.next_serial } in
+        t.next_serial <- t.next_serial + 1;
+        let ctx = new_context t ~query ~origin:t.id program in
+        ctx.held <- Credit.one;
+        List.iter
+          (fun oid ->
+            if locate oid = t.id then
+              Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.initial ctx.plan oid)
+            else begin
+              let keep, gave = Credit.split ctx.held in
+              ctx.held <- keep;
+              send t ~dst:(locate oid)
+                (Message.Deref_request
+                   {
+                     query;
+                     body = program;
+                     oid;
+                     start = 0;
+                     iters = Hf_engine.Work_item.iters (Hf_engine.Work_item.initial ctx.plan oid);
+                     credit = Credit.atoms gave;
+                   })
+            end)
+          initial;
+        process_to_drain t query ctx;
+        (query, ctx))
+  in
+  (* Wait for termination, or time out (e.g. a crashed peer).  The
+     stdlib's Condition.wait has no timeout, so a ticker thread pokes
+     the condition periodically; it is joined only after the lock is
+     released. *)
+  let deadline = started +. timeout in
+  let stop_ticker = ref false in
+  let ticker =
+    Thread.create
+      (fun () ->
+        while not !stop_ticker do
+          Thread.delay 0.02;
+          Mutex.lock t.lock;
+          Condition.broadcast t.done_cond;
+          Mutex.unlock t.lock
+        done)
+      ()
+  in
+  Mutex.lock t.lock;
+  while (not ctx.terminated) && Unix.gettimeofday () < deadline do
+    Condition.wait t.done_cond t.lock
+  done;
+  let outcome =
+    {
+      results = List.rev ctx.final_results;
+      result_set = ctx.final_set;
+      bindings =
+        Hashtbl.fold (fun target values acc -> (target, values) :: acc) ctx.final_bindings []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+      terminated = ctx.terminated;
+      response_time = Unix.gettimeofday () -. started;
+      messages_sent = t.messages_sent - sent_before;
+      bytes_sent = t.bytes_sent - bytes_before;
+    }
+  in
+  Mutex.unlock t.lock;
+  stop_ticker := true;
+  (try Thread.join ticker with _ -> ());
+  ignore query;
+  outcome

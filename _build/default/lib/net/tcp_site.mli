@@ -1,0 +1,46 @@
+(** A real HyperFile site over TCP — the Section 3.2 protocol on actual
+    sockets, using the same wire messages and codec the simulator
+    accounts for.
+
+    Lifecycle: {!create} each site (binds an ephemeral loopback port and
+    starts its accept thread), collect the {!address}es, {!set_peers} on
+    every site, then load stores and issue queries from any site with
+    {!run_query}.  {!shutdown} closes sockets and stops threads.
+
+    Objects live at their birth site ([Oid.birth_site] routes
+    dereferences), as in the simulated cluster. *)
+
+type t
+
+val create : site:int -> unit -> t
+(** Bind 127.0.0.1 on an ephemeral port and start accepting. *)
+
+val address : t -> Unix.sockaddr
+
+val set_peers : t -> Unix.sockaddr array -> unit
+(** [peers.(i)] must be site [i]'s address (own entry included). *)
+
+val store : t -> Hf_data.Store.t
+
+val id : t -> int
+
+type outcome = {
+  results : Hf_data.Oid.t list;  (** arrival order at the originator. *)
+  result_set : Hf_data.Oid.Set.t;
+  bindings : (string * Hf_data.Value.t list) list;
+  terminated : bool;
+      (** [false] when the timeout expired first (e.g. a peer is down) —
+          [results] then holds the partial answer. *)
+  response_time : float;  (** wall-clock seconds. *)
+  messages_sent : int;  (** wire messages this site sent for the query. *)
+  bytes_sent : int;
+}
+
+val run_query :
+  ?timeout:float -> t -> Hf_query.Program.t -> Hf_data.Oid.t list -> outcome
+(** Issue a query from this site over the initial set and wait for the
+    weighted-termination detector to recover all credit (default
+    timeout 10 s). *)
+
+val shutdown : t -> unit
+(** Close the listener and all connections; idempotent. *)

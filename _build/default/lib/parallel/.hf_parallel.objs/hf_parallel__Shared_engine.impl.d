@@ -1,0 +1,1 @@
+lib/parallel/shared_engine.ml: Condition Domain Hashtbl Hf_data Hf_engine Hf_util List Mutex String

@@ -1,0 +1,1 @@
+lib/parallel/shared_engine.mli: Hf_data Hf_engine Hf_query

@@ -1,0 +1,139 @@
+(* Shared-memory multiprocessor query processing (paper, Section 6):
+   "all available processors can share the same general query
+   information, mark table, and working set.  Each processor must have
+   space for local information, such as matching variables, while it is
+   processing a particular document.  Given this, each processor
+   independently runs the algorithm of Section 3.1.  Termination
+   requires that the set be empty, and that no processors are still
+   working on the query."
+
+   Implementation: OCaml 5 domains over a mutex-protected working set
+   and a synchronized mark table.  Exactly as the paper notes, no strict
+   locking prevents two domains from racing on the same document — a
+   mem/add race can only cause duplicate processing, and results are
+   sets, so answers stay correct.  Termination is the textbook
+   all-idle-and-empty condition under the working-set lock. *)
+
+type shared = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  work : Hf_engine.Work_item.t Hf_util.Deque.t;
+  mutable idle : int;
+  mutable finished : bool;
+  mutable result_set : Hf_data.Oid.Set.t;
+  bindings : (string, Hf_data.Value.t list) Hashtbl.t;
+}
+
+let push_spawned shared items =
+  if items <> [] then begin
+    Mutex.lock shared.mutex;
+    List.iter (fun item -> Hf_util.Deque.push_back shared.work item) items;
+    Condition.broadcast shared.not_empty;
+    Mutex.unlock shared.mutex
+  end
+
+(* Take the next item, or detect global termination: the working set is
+   empty and every other domain is already idle. *)
+let next_item shared ~domains =
+  Mutex.lock shared.mutex;
+  let rec await () =
+    match Hf_util.Deque.pop_front shared.work with
+    | Some item ->
+      Mutex.unlock shared.mutex;
+      Some item
+    | None ->
+      if shared.finished then begin
+        Mutex.unlock shared.mutex;
+        None
+      end
+      else begin
+        shared.idle <- shared.idle + 1;
+        if shared.idle = domains then begin
+          shared.finished <- true;
+          Condition.broadcast shared.not_empty;
+          Mutex.unlock shared.mutex;
+          None
+        end
+        else begin
+          Condition.wait shared.not_empty shared.mutex;
+          shared.idle <- shared.idle - 1;
+          await ()
+        end
+      end
+  in
+  await ()
+
+let worker shared ~domains ~plan ~find ~marks () =
+  let stats = Hf_engine.Stats.create () in
+  let passed = ref [] in
+  let local_bindings : (string * Hf_data.Value.t list) list ref = ref [] in
+  let emit ~target values = local_bindings := (target, values) :: !local_bindings in
+  let rec loop () =
+    match next_item shared ~domains with
+    | None -> ()
+    | Some item ->
+      let { Hf_engine.Eval.spawned; passed = ok; skipped = _ } =
+        Hf_engine.Eval.run_object ~plan ~find ~marks ~stats ~emit item
+      in
+      push_spawned shared spawned;
+      if ok then passed := Hf_engine.Work_item.oid item :: !passed;
+      loop ()
+  in
+  loop ();
+  (* Merge worker-local results under the lock. *)
+  Mutex.lock shared.mutex;
+  List.iter
+    (fun oid -> shared.result_set <- Hf_data.Oid.Set.add oid shared.result_set)
+    !passed;
+  List.iter
+    (fun (target, values) ->
+      let existing =
+        match Hashtbl.find_opt shared.bindings target with None -> [] | Some v -> v
+      in
+      Hashtbl.replace shared.bindings target (existing @ values))
+    (List.rev !local_bindings);
+  Mutex.unlock shared.mutex;
+  stats
+
+let run ?(domains = 2) ~find program initial =
+  if domains < 1 then invalid_arg "Shared_engine.run: domains must be >= 1";
+  let plan = Hf_engine.Plan.make program in
+  let marks = Hf_engine.Mark_table.create ~synchronized:true () in
+  let shared =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      work = Hf_util.Deque.create ();
+      idle = 0;
+      finished = false;
+      result_set = Hf_data.Oid.Set.empty;
+      bindings = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun oid -> Hf_util.Deque.push_back shared.work (Hf_engine.Work_item.initial plan oid))
+    initial;
+  let helpers =
+    List.init (domains - 1) (fun _ ->
+        Domain.spawn (worker shared ~domains ~plan ~find ~marks))
+  in
+  let own_stats = worker shared ~domains ~plan ~find ~marks () in
+  let stats =
+    List.fold_left
+      (fun acc d -> Hf_engine.Stats.merge acc (Domain.join d))
+      own_stats helpers
+  in
+  stats.Hf_engine.Stats.results <- Hf_data.Oid.Set.cardinal shared.result_set;
+  let bindings =
+    Hashtbl.fold (fun target values acc -> (target, values) :: acc) shared.bindings []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    Hf_engine.Local.results = Hf_data.Oid.Set.elements shared.result_set;
+    result_set = shared.result_set;
+    bindings;
+    stats;
+  }
+
+let run_store ?domains ~store program initial =
+  run ?domains ~find:(Hf_data.Store.find store) program initial

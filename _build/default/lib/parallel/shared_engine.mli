@@ -1,0 +1,28 @@
+(** Shared-memory multiprocessor query processing (paper, Section 6).
+
+    OCaml 5 domains share the working set and a synchronized mark table;
+    each domain independently runs the Section 3.1 algorithm with its
+    own matching-variable state.  As the paper notes, nothing prevents
+    two processors from racing on the same document — duplicates are
+    possible but answers are sets, so results stay correct.  The query
+    ends when the working set is empty and all domains are idle.
+
+    The [results] list is sorted by oid (parallel completion order is
+    nondeterministic); [result_set] equals the sequential engine's. *)
+
+val run :
+  ?domains:int ->
+  find:(Hf_data.Oid.t -> Hf_data.Hobject.t option) ->
+  Hf_query.Program.t ->
+  Hf_data.Oid.t list ->
+  Hf_engine.Local.result
+(** [find] must be safe for concurrent reads (the store is read-only
+    during a query).  [domains] defaults to 2; raises
+    [Invalid_argument] when < 1. *)
+
+val run_store :
+  ?domains:int ->
+  store:Hf_data.Store.t ->
+  Hf_query.Program.t ->
+  Hf_data.Oid.t list ->
+  Hf_engine.Local.result

@@ -1,0 +1,1 @@
+lib/persist/blob_store.ml: Buffer Hf_data Hf_proto In_channel Int64 List Option Out_channel Printf Scanf String Sys Unix

@@ -1,0 +1,1 @@
+lib/persist/blob_store.mli: Hf_data

@@ -1,0 +1,1 @@
+lib/persist/snapshot.ml: Buffer Fmt Hf_data Hf_proto In_channel List Out_channel String

@@ -1,0 +1,1 @@
+lib/persist/wal.ml: Buffer Char Hf_data Hf_proto In_channel List Out_channel Printf Snapshot String Sys

@@ -1,0 +1,144 @@
+(* External storage for large values.
+
+   The paper's prototype is a main-memory database that keeps "all of
+   the pointers, keywords, and other such search information" resident
+   "so that disk access is only required to obtain large items"
+   (Section 2).  This module is that disk half: an append-only data file
+   holding big blobs, plus [externalize]/[rehydrate] to swap a store's
+   large Text/Blob tuples for small handle tuples and back.
+
+   Queries never follow handles — search information stays in memory —
+   so evaluation is unaffected; an application dereferences a handle
+   with [get] only when it actually displays the item.
+
+   Data file layout: per blob, a varint length followed by the raw
+   bytes.  Handles are (offset, length) pairs; [get] validates both
+   bounds and the header. *)
+
+type t = {
+  path : string;
+  mutable channel : Out_channel.t;
+  mutable size : int; (* current end offset *)
+}
+
+type handle = { offset : int; length : int }
+
+exception Corrupt of string
+
+let open_ ~path =
+  let size = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0 in
+  let channel = Out_channel.open_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path in
+  { path; channel; size }
+
+let close t = Out_channel.close t.channel
+
+let put t data =
+  let header = Buffer.create 8 in
+  Hf_proto.Codec.write_varint header (String.length data);
+  let header = Buffer.contents header in
+  Out_channel.output_string t.channel header;
+  Out_channel.output_string t.channel data;
+  Out_channel.flush t.channel;
+  let handle = { offset = t.size; length = String.length header + String.length data } in
+  t.size <- t.size + handle.length;
+  handle
+
+let get t { offset; length } =
+  if offset < 0 || length < 0 || offset + length > t.size then
+    raise (Corrupt "blob handle out of bounds");
+  In_channel.with_open_bin t.path (fun ic ->
+      In_channel.seek ic (Int64.of_int offset);
+      match In_channel.really_input_string ic length with
+      | None -> raise (Corrupt "truncated blob file")
+      | Some chunk ->
+        let r = Hf_proto.Codec.reader chunk in
+        (match Hf_proto.Codec.read_varint r with
+         | declared ->
+           let body = Hf_proto.Codec.remaining r in
+           if String.length body <> declared then raise (Corrupt "blob length mismatch");
+           body
+         | exception Hf_proto.Codec.Decode_error message -> raise (Corrupt message)))
+
+(* --- handle <-> tuple encoding --- *)
+
+let external_prefix = "External:"
+
+let handle_value { offset; length } =
+  Hf_data.Value.str (Printf.sprintf "@%d+%d" offset length)
+
+let handle_of_value value =
+  match Hf_data.Value.as_string value with
+  | None -> None
+  | Some s -> Scanf.sscanf_opt s "@%d+%d" (fun offset length -> { offset; length })
+
+let is_external_tuple tuple =
+  String.length (Hf_data.Tuple.ttype tuple) > String.length external_prefix
+  && String.sub (Hf_data.Tuple.ttype tuple) 0 (String.length external_prefix) = external_prefix
+
+(* Swap every large blob-valued tuple for a handle tuple.  Returns the
+   number of blobs moved to disk. *)
+let externalize t store ~threshold =
+  let moved = ref 0 in
+  let updates = ref [] in
+  Hf_data.Store.iter store (fun obj ->
+      let changed = ref false in
+      let tuples =
+        List.map
+          (fun tuple ->
+            match Hf_data.Tuple.data tuple with
+            | Hf_data.Value.Blob data when String.length data >= threshold ->
+              changed := true;
+              incr moved;
+              let handle = put t data in
+              Hf_data.Tuple.make
+                ~ttype:(external_prefix ^ Hf_data.Tuple.ttype tuple)
+                ~key:(Hf_data.Tuple.key tuple) ~data:(handle_value handle)
+            | _ -> tuple)
+          (Hf_data.Hobject.tuples obj)
+      in
+      if !changed then
+        updates := Hf_data.Hobject.of_tuples (Hf_data.Hobject.oid obj) tuples :: !updates);
+  List.iter (Hf_data.Store.replace store) !updates;
+  !moved
+
+(* Load every handle tuple's blob back into the object. *)
+let rehydrate t store =
+  let restored = ref 0 in
+  let updates = ref [] in
+  Hf_data.Store.iter store (fun obj ->
+      let changed = ref false in
+      let tuples =
+        List.map
+          (fun tuple ->
+            if is_external_tuple tuple then begin
+              match handle_of_value (Hf_data.Tuple.data tuple) with
+              | None -> raise (Corrupt "malformed blob handle tuple")
+              | Some handle ->
+                changed := true;
+                incr restored;
+                let original_ttype =
+                  String.sub (Hf_data.Tuple.ttype tuple) (String.length external_prefix)
+                    (String.length (Hf_data.Tuple.ttype tuple) - String.length external_prefix)
+                in
+                Hf_data.Tuple.make ~ttype:original_ttype ~key:(Hf_data.Tuple.key tuple)
+                  ~data:(Hf_data.Value.blob (get t handle))
+            end
+            else tuple)
+          (Hf_data.Hobject.tuples obj)
+      in
+      if !changed then
+        updates := Hf_data.Hobject.of_tuples (Hf_data.Hobject.oid obj) tuples :: !updates);
+  List.iter (Hf_data.Store.replace store) !updates;
+  !restored
+
+let fetch t obj ~key =
+  List.find_map
+    (fun tuple ->
+      if
+        is_external_tuple tuple
+        && Hf_data.Value.equal (Hf_data.Tuple.key tuple) (Hf_data.Value.str key)
+      then Option.map (get t) (handle_of_value (Hf_data.Tuple.data tuple))
+      else None)
+    (Hf_data.Hobject.tuples obj)
+
+let size t = t.size

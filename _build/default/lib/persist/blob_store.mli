@@ -1,0 +1,51 @@
+(** External storage for large values (the disk half of the paper's
+    main-memory design: "disk access is only required to obtain large
+    items").
+
+    An append-only data file holds big blobs; [externalize] swaps a
+    store's large blob tuples for small handle tuples (type tag prefixed
+    ["External:"]), keeping all search information resident so queries
+    are unaffected.  Applications call {!get}/{!fetch} only when a large
+    item is actually displayed. *)
+
+type t
+
+type handle = { offset : int; length : int }
+
+exception Corrupt of string
+
+val open_ : path:string -> t
+(** Open or create the data file (appends to an existing one). *)
+
+val close : t -> unit
+
+val put : t -> string -> handle
+(** Append a blob; returns its handle. *)
+
+val get : t -> handle -> string
+(** Read a blob back. Raises [Corrupt] on bad handles or torn data. *)
+
+val handle_value : handle -> Hf_data.Value.t
+(** Encode as a tuple data value. *)
+
+val handle_of_value : Hf_data.Value.t -> handle option
+
+val external_prefix : string
+(** Type-tag prefix of handle tuples (["External:"]). *)
+
+val is_external_tuple : Hf_data.Tuple.t -> bool
+
+val externalize : t -> Hf_data.Store.t -> threshold:int -> int
+(** Move every blob of at least [threshold] bytes to disk, replacing its
+    tuple with a handle tuple; returns the number moved. *)
+
+val rehydrate : t -> Hf_data.Store.t -> int
+(** Inverse of {!externalize}: load every handle tuple's blob back.
+    Raises [Corrupt] on malformed handles. *)
+
+val fetch : t -> Hf_data.Hobject.t -> key:string -> string option
+(** The display path: read the externalized blob stored under [key] in
+    the object, if any. *)
+
+val size : t -> int
+(** Current data-file size in bytes. *)

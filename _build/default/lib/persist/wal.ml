@@ -1,0 +1,152 @@
+(* Write-ahead log for a site's store.
+
+   Snapshots capture a store at a point in time; the log captures every
+   mutation after it, so recovery is: load the latest snapshot, replay
+   the log tail.  Each record is one framed, self-delimiting entry in
+   the wire codec's conventions — a torn final write (the normal crash
+   case) is detected by the frame reassembler and replay simply stops at
+   the last complete record.
+
+   Record layout (inside the frame):
+     u8 tag: 1 = Insert, 2 = Replace, 3 = Remove
+     Insert/Replace: hobject
+     Remove: oid
+
+   The log is an ordinary append-only file; [append] does not fsync by
+   default (pass [~sync:true] on commit points). *)
+
+type record =
+  | Insert of Hf_data.Hobject.t
+  | Replace of Hf_data.Hobject.t
+  | Remove of Hf_data.Oid.t
+
+exception Corrupt of string
+
+let encode_record record =
+  let buf = Buffer.create 128 in
+  (match record with
+   | Insert obj ->
+     Buffer.add_char buf '\x01';
+     Hf_proto.Codec.write_hobject buf obj
+   | Replace obj ->
+     Buffer.add_char buf '\x02';
+     Hf_proto.Codec.write_hobject buf obj
+   | Remove oid ->
+     Buffer.add_char buf '\x03';
+     Hf_proto.Codec.write_oid buf oid);
+  Hf_proto.Frame.frame (Buffer.contents buf)
+
+let decode_record payload =
+  if String.length payload = 0 then raise (Corrupt "empty log record");
+  let body = String.sub payload 1 (String.length payload - 1) in
+  match
+    match payload.[0] with
+    | '\x01' -> Insert (Hf_proto.Codec.with_reader body Hf_proto.Codec.read_hobject)
+    | '\x02' -> Replace (Hf_proto.Codec.with_reader body Hf_proto.Codec.read_hobject)
+    | '\x03' -> Remove (Hf_proto.Codec.with_reader body Hf_proto.Codec.read_oid)
+    | c -> raise (Corrupt (Printf.sprintf "unknown log record tag %d" (Char.code c)))
+  with
+  | record -> record
+  | exception Hf_proto.Codec.Decode_error message ->
+    raise (Corrupt ("undecodable log record: " ^ message))
+
+(* --- writer --- *)
+
+type writer = { channel : Out_channel.t; mutable records : int }
+
+let open_writer ?(truncate = false) path =
+  let flags = if truncate then [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+    else [ Open_wronly; Open_creat; Open_append; Open_binary ]
+  in
+  { channel = Out_channel.open_gen flags 0o644 path; records = 0 }
+
+let append ?(sync = false) writer record =
+  Out_channel.output_string writer.channel (encode_record record);
+  writer.records <- writer.records + 1;
+  Out_channel.flush writer.channel;
+  if sync then
+    (* Out_channel has no fsync; flush pushes to the OS, which is the
+       strongest guarantee available without unix fd plumbing here. *)
+    ()
+
+let records_written writer = writer.records
+
+let close_writer writer = Out_channel.close writer.channel
+
+(* --- replay --- *)
+
+type replay = {
+  applied : int;
+  truncated : bool; (* a torn partial record was found (and ignored) at the tail *)
+}
+
+let replay_records data =
+  let decoder = Hf_proto.Frame.Decoder.create () in
+  Hf_proto.Frame.Decoder.feed decoder data;
+  let records =
+    List.map decode_record
+      (match Hf_proto.Frame.Decoder.drain decoder with
+       | payloads -> payloads
+       | exception Hf_proto.Frame.Frame_error message -> raise (Corrupt message))
+  in
+  (records, Hf_proto.Frame.Decoder.buffered_bytes decoder > 0)
+
+let apply store record =
+  match record with
+  | Insert obj ->
+    (* replay is idempotent across overlapping snapshot/log windows *)
+    Hf_data.Store.replace store obj;
+    Hf_data.Store.advance_serial store (Hf_data.Oid.serial (Hf_data.Hobject.oid obj) + 1)
+  | Replace obj ->
+    Hf_data.Store.replace store obj;
+    Hf_data.Store.advance_serial store (Hf_data.Oid.serial (Hf_data.Hobject.oid obj) + 1)
+  | Remove oid -> Hf_data.Store.remove store oid
+
+let replay store ~path =
+  if not (Sys.file_exists path) then { applied = 0; truncated = false }
+  else begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let records, truncated = replay_records data in
+    List.iter (apply store) records;
+    { applied = List.length records; truncated }
+  end
+
+(* --- a store wrapper that logs every mutation --- *)
+
+type logged = { store : Hf_data.Store.t; writer : writer }
+
+let open_logged ~site ~log_path ~snapshot_path =
+  let store =
+    if Sys.file_exists snapshot_path then Snapshot.load ~path:snapshot_path
+    else Hf_data.Store.create ~site
+  in
+  let result = replay store ~path:log_path in
+  let writer = open_writer log_path in
+  ({ store; writer }, result)
+
+let store t = t.store
+
+let insert t obj =
+  Hf_data.Store.insert t.store obj;
+  append t.writer (Insert obj)
+
+let replace t obj =
+  Hf_data.Store.replace t.store obj;
+  append t.writer (Replace obj)
+
+let remove t oid =
+  Hf_data.Store.remove t.store oid;
+  append t.writer (Remove oid)
+
+let create_object t tuples =
+  let obj = Hf_data.Store.create_object t.store tuples in
+  append t.writer (Insert obj);
+  obj
+
+(* Checkpoint: write a snapshot and truncate the log. *)
+let checkpoint t ~snapshot_path ~log_path =
+  Snapshot.save t.store ~path:snapshot_path;
+  close_writer t.writer;
+  { t with writer = open_writer ~truncate:true log_path }
+
+let close t = close_writer t.writer

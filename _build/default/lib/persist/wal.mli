@@ -1,0 +1,69 @@
+(** Write-ahead log for a site's store.
+
+    Recovery = load the latest {!Snapshot} + replay the log tail.  Every
+    record is individually framed, so a torn final write (the normal
+    crash case) stops replay cleanly at the last complete record.
+    Replay is idempotent over overlapping snapshot/log windows. *)
+
+type record =
+  | Insert of Hf_data.Hobject.t
+  | Replace of Hf_data.Hobject.t
+  | Remove of Hf_data.Oid.t
+
+exception Corrupt of string
+
+val encode_record : record -> string
+(** Framed bytes for one record. *)
+
+val decode_record : string -> record
+(** From a frame payload. Raises [Corrupt]. *)
+
+(** {1 Raw writer} *)
+
+type writer
+
+val open_writer : ?truncate:bool -> string -> writer
+(** Open (append mode unless [truncate]). *)
+
+val append : ?sync:bool -> writer -> record -> unit
+(** Write one record and flush. *)
+
+val records_written : writer -> int
+
+val close_writer : writer -> unit
+
+(** {1 Replay} *)
+
+type replay = {
+  applied : int;
+  truncated : bool;
+      (** a torn partial record was found (and ignored) at the tail. *)
+}
+
+val replay : Hf_data.Store.t -> path:string -> replay
+(** Apply every complete record to the store; missing file = empty log.
+    Raises [Corrupt] on structurally invalid complete records. *)
+
+(** {1 Logged store}
+
+    A store wrapper whose mutations are durably logged. *)
+
+type logged
+
+val open_logged :
+  site:int -> log_path:string -> snapshot_path:string -> logged * replay
+(** Recover from snapshot (if present) + log tail, then keep logging. *)
+
+val store : logged -> Hf_data.Store.t
+(** Read access; do not mutate directly. *)
+
+val insert : logged -> Hf_data.Hobject.t -> unit
+val replace : logged -> Hf_data.Hobject.t -> unit
+val remove : logged -> Hf_data.Oid.t -> unit
+val create_object : logged -> Hf_data.Tuple.t list -> Hf_data.Hobject.t
+
+val checkpoint : logged -> snapshot_path:string -> log_path:string -> logged
+(** Write a snapshot and truncate the log; returns the handle to keep
+    using. *)
+
+val close : logged -> unit

@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Array Buffer Char Fmt Hf_data Hf_query Int64 List Message String

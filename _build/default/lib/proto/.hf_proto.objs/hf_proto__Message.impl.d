@@ -1,0 +1,1 @@
+lib/proto/message.ml: Array Fmt Hf_data Hf_query Int List String

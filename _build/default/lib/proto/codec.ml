@@ -1,0 +1,387 @@
+(* Hand-rolled binary codec for the wire protocol.
+
+   Layout conventions: unsigned LEB128 varints for lengths and small
+   non-negative numbers, zigzag varints for possibly-negative integers,
+   IEEE-754 bits for floats, one-byte tags for variants, length-prefixed
+   raw bytes for strings.  No host-order dependence, no Marshal. *)
+
+exception Decode_error of string
+
+let fail fmt = Fmt.kstr (fun message -> raise (Decode_error message)) fmt
+
+(* --- Writer --- *)
+
+type writer = Buffer.t
+
+let write_u8 buf n =
+  assert (n >= 0 && n < 256);
+  Buffer.add_char buf (Char.chr n)
+
+(* LEB128 over the int's 63-bit pattern treated as unsigned; [lsr] is a
+   logical shift, so negative patterns (from zigzag) terminate too. *)
+let rec write_uint buf n =
+  if n land lnot 0x7f = 0 then write_u8 buf n
+  else begin
+    write_u8 buf (0x80 lor (n land 0x7f));
+    write_uint buf (n lsr 7)
+  end
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Codec.write_varint: negative";
+  write_uint buf n
+
+(* Standard zigzag over OCaml's 63-bit ints: works for the whole range,
+   including min_int. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let write_int buf n = write_uint buf (zigzag n)
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    write_u8 buf (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL))
+  done
+
+let write_list buf write_item items =
+  write_varint buf (List.length items);
+  List.iter (write_item buf) items
+
+(* --- Reader --- *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let read_u8 r =
+  if r.pos >= String.length r.data then fail "truncated input at offset %d" r.pos;
+  let byte = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  byte
+
+let read_uint r =
+  let rec go shift acc =
+    if shift > 63 then fail "varint overflow at offset %d" r.pos;
+    let byte = read_u8 r in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_varint r =
+  let n = read_uint r in
+  if n < 0 then fail "negative length at offset %d" r.pos;
+  n
+
+let read_int r = unzigzag (read_uint r)
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then fail "truncated string at offset %d" r.pos;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (read_u8 r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let read_list r read_item =
+  let n = read_varint r in
+  List.init n (fun _ -> read_item r)
+
+let at_end r = r.pos = String.length r.data
+
+let remaining r = String.sub r.data r.pos (String.length r.data - r.pos)
+
+(* Run a decoder over a whole payload, rejecting trailing bytes. *)
+let with_reader data f =
+  let r = reader data in
+  let value = f r in
+  if not (at_end r) then fail "trailing bytes after payload (offset %d)" r.pos;
+  value
+
+(* --- Oids --- *)
+
+let write_oid buf oid =
+  write_varint buf (Hf_data.Oid.birth_site oid);
+  write_varint buf (Hf_data.Oid.serial oid);
+  write_varint buf (Hf_data.Oid.hint oid)
+
+let read_oid r =
+  let birth_site = read_varint r in
+  let serial = read_varint r in
+  let hint = read_varint r in
+  Hf_data.Oid.with_hint (Hf_data.Oid.make ~birth_site ~serial) hint
+
+(* --- Values --- *)
+
+let write_value buf value =
+  match (value : Hf_data.Value.t) with
+  | Str s ->
+    write_u8 buf 0;
+    write_string buf s
+  | Num n ->
+    write_u8 buf 1;
+    write_int buf n
+  | Real f ->
+    write_u8 buf 2;
+    write_float buf f
+  | Ptr oid ->
+    write_u8 buf 3;
+    write_oid buf oid
+  | Blob b ->
+    write_u8 buf 4;
+    write_string buf b
+
+let read_value r : Hf_data.Value.t =
+  match read_u8 r with
+  | 0 -> Str (read_string r)
+  | 1 -> Num (read_int r)
+  | 2 -> Real (read_float r)
+  | 3 -> Ptr (read_oid r)
+  | 4 -> Blob (read_string r)
+  | tag -> fail "unknown value tag %d" tag
+
+(* --- Tuples and objects (used by the persistence layer and any future
+   object-shipping extension) --- *)
+
+let write_tuple buf tuple =
+  write_string buf (Hf_data.Tuple.ttype tuple);
+  write_value buf (Hf_data.Tuple.key tuple);
+  write_value buf (Hf_data.Tuple.data tuple)
+
+let read_tuple r =
+  let ttype = read_string r in
+  if String.length ttype = 0 then fail "empty tuple type tag";
+  let key = read_value r in
+  let data = read_value r in
+  Hf_data.Tuple.make ~ttype ~key ~data
+
+let write_hobject buf obj =
+  write_oid buf (Hf_data.Hobject.oid obj);
+  write_list buf write_tuple (Hf_data.Hobject.tuples obj)
+
+let read_hobject r =
+  let oid = read_oid r in
+  let tuples = read_list r read_tuple in
+  Hf_data.Hobject.of_tuples oid tuples
+
+(* --- Patterns --- *)
+
+let write_pattern buf pattern =
+  match (pattern : Hf_query.Pattern.t) with
+  | Any -> write_u8 buf 0
+  | Exact v ->
+    write_u8 buf 1;
+    write_value buf v
+  | Glob g ->
+    write_u8 buf 2;
+    write_string buf g
+  | Range (lo, hi) ->
+    write_u8 buf 3;
+    write_int buf lo;
+    write_int buf hi
+  | Bind var ->
+    write_u8 buf 4;
+    write_string buf var
+  | Use var ->
+    write_u8 buf 5;
+    write_string buf var
+
+let read_pattern r : Hf_query.Pattern.t =
+  match read_u8 r with
+  | 0 -> Any
+  | 1 -> Exact (read_value r)
+  | 2 -> Glob (read_string r)
+  | 3 ->
+    let lo = read_int r in
+    let hi = read_int r in
+    if lo > hi then fail "empty range %d..%d" lo hi;
+    Range (lo, hi)
+  | 4 -> Bind (read_string r)
+  | 5 -> Use (read_string r)
+  | tag -> fail "unknown pattern tag %d" tag
+
+(* --- Filters and programs --- *)
+
+let write_filter buf filter =
+  match (filter : Hf_query.Filter.t) with
+  | Select { ttype; key; data } ->
+    write_u8 buf 0;
+    write_pattern buf ttype;
+    write_pattern buf key;
+    write_pattern buf data
+  | Deref { var; mode } ->
+    write_u8 buf 1;
+    write_u8 buf (match mode with Hf_query.Filter.Replace -> 0 | Hf_query.Filter.Keep_parent -> 1);
+    write_string buf var
+  | Iter { body_start; count } ->
+    write_u8 buf 2;
+    write_varint buf body_start;
+    (match count with
+     | Hf_query.Filter.Star -> write_u8 buf 0
+     | Hf_query.Filter.Finite k ->
+       write_u8 buf 1;
+       write_varint buf k)
+  | Retrieve { ttype; key; target } ->
+    write_u8 buf 3;
+    write_pattern buf ttype;
+    write_pattern buf key;
+    write_string buf target
+
+let read_filter r : Hf_query.Filter.t =
+  match read_u8 r with
+  | 0 ->
+    let ttype = read_pattern r in
+    let key = read_pattern r in
+    let data = read_pattern r in
+    Select { ttype; key; data }
+  | 1 ->
+    let mode =
+      match read_u8 r with
+      | 0 -> Hf_query.Filter.Replace
+      | 1 -> Hf_query.Filter.Keep_parent
+      | tag -> fail "unknown deref mode %d" tag
+    in
+    let var = read_string r in
+    if String.length var = 0 then fail "empty deref variable";
+    Deref { var; mode }
+  | 2 ->
+    let body_start = read_varint r in
+    (match read_u8 r with
+     | 0 -> Iter { body_start; count = Hf_query.Filter.Star }
+     | 1 ->
+       let k = read_varint r in
+       if k < 1 then fail "iteration count %d < 1" k;
+       Iter { body_start; count = Hf_query.Filter.Finite k }
+     | tag -> fail "unknown iteration count tag %d" tag)
+  | 3 ->
+    let ttype = read_pattern r in
+    let key = read_pattern r in
+    let target = read_string r in
+    if String.length target = 0 then fail "empty retrieve target";
+    Retrieve { ttype; key; target }
+  | tag -> fail "unknown filter tag %d" tag
+
+let write_program buf program = write_list buf write_filter (Hf_query.Program.filters program)
+
+let read_program r =
+  let filters = read_list r read_filter in
+  match Hf_query.Program.of_filters filters with
+  | program -> program
+  | exception Hf_query.Program.Ill_formed message -> fail "ill-formed program: %s" message
+
+(* --- Messages --- *)
+
+let write_query_id buf { Message.originator; serial } =
+  write_varint buf originator;
+  write_varint buf serial
+
+let read_query_id r =
+  let originator = read_varint r in
+  let serial = read_varint r in
+  { Message.originator; serial }
+
+let write_credit buf credit = write_list buf write_varint credit
+
+let read_credit r = read_list r read_varint
+
+let write_iters buf iters =
+  write_varint buf (Array.length iters);
+  Array.iter (write_varint buf) iters
+
+let read_iters r =
+  let n = read_varint r in
+  Array.init n (fun _ -> read_varint r)
+
+let write_binding buf (target, values) =
+  write_string buf target;
+  write_list buf write_value values
+
+let read_binding r =
+  let target = read_string r in
+  let values = read_list r read_value in
+  (target, values)
+
+let write_message buf message =
+  match (message : Message.t) with
+  | Deref_request { query; body; oid; start; iters; credit } ->
+    write_u8 buf 0;
+    write_query_id buf query;
+    write_program buf body;
+    write_oid buf oid;
+    write_varint buf start;
+    write_iters buf iters;
+    write_credit buf credit
+  | Result { query; payload; bindings; credit } ->
+    write_u8 buf 1;
+    write_query_id buf query;
+    (match payload with
+     | Message.Items items ->
+       write_u8 buf 0;
+       write_list buf write_oid items
+     | Message.Count n ->
+       write_u8 buf 1;
+       write_varint buf n);
+    write_list buf write_binding bindings;
+    write_credit buf credit
+  | Credit_return { query; credit } ->
+    write_u8 buf 2;
+    write_query_id buf query;
+    write_credit buf credit
+
+let read_message r : Message.t =
+  match read_u8 r with
+  | 0 ->
+    let query = read_query_id r in
+    let body = read_program r in
+    let oid = read_oid r in
+    let start = read_varint r in
+    let iters = read_iters r in
+    let credit = read_credit r in
+    Deref_request { query; body; oid; start; iters; credit }
+  | 1 ->
+    let query = read_query_id r in
+    let payload =
+      match read_u8 r with
+      | 0 -> Message.Items (read_list r read_oid)
+      | 1 -> Message.Count (read_varint r)
+      | tag -> fail "unknown result payload tag %d" tag
+    in
+    let bindings = read_list r read_binding in
+    let credit = read_credit r in
+    Result { query; payload; bindings; credit }
+  | 2 ->
+    let query = read_query_id r in
+    let credit = read_credit r in
+    Credit_return { query; credit }
+  | tag -> fail "unknown message tag %d" tag
+
+let encode message =
+  let buf = Buffer.create 64 in
+  write_message buf message;
+  Buffer.contents buf
+
+let decode data =
+  match
+    let r = reader data in
+    let message = read_message r in
+    if not (at_end r) then fail "trailing bytes after message (offset %d)" r.pos;
+    message
+  with
+  | message -> Ok message
+  | exception Decode_error msg -> Error msg
+
+let decode_exn data =
+  match decode data with Ok message -> message | Error msg -> raise (Decode_error msg)
+
+let encoded_size message = String.length (encode message)

@@ -1,0 +1,59 @@
+(** Binary codec for the wire protocol.
+
+    Unsigned LEB128 varints for lengths, zigzag varints for signed
+    integers, IEEE-754 bits for floats, one-byte variant tags,
+    length-prefixed strings.  Platform-independent; no [Marshal]. *)
+
+exception Decode_error of string
+
+val encode : Message.t -> string
+
+val decode : string -> (Message.t, string) result
+(** Rejects trailing bytes. *)
+
+val decode_exn : string -> Message.t
+(** Raises [Decode_error]. *)
+
+val encoded_size : Message.t -> int
+(** Size of the encoded form in bytes (the paper's ~40-byte query
+    messages; checked in the benchmarks). *)
+
+(** {1 Sub-codecs} exposed for property tests. *)
+
+type writer = Buffer.t
+type reader
+
+val reader : string -> reader
+val at_end : reader -> bool
+
+val remaining : reader -> string
+(** Bytes not yet consumed. *)
+
+val with_reader : string -> (reader -> 'a) -> 'a
+(** Decode a whole payload; raises [Decode_error] on trailing bytes. *)
+
+val write_varint : writer -> int -> unit
+(** Unsigned LEB128. Raises [Invalid_argument] on negatives. *)
+
+val read_varint : reader -> int
+
+val write_value : writer -> Hf_data.Value.t -> unit
+val read_value : reader -> Hf_data.Value.t
+
+val write_oid : writer -> Hf_data.Oid.t -> unit
+val read_oid : reader -> Hf_data.Oid.t
+
+val write_tuple : writer -> Hf_data.Tuple.t -> unit
+val read_tuple : reader -> Hf_data.Tuple.t
+
+val write_hobject : writer -> Hf_data.Hobject.t -> unit
+val read_hobject : reader -> Hf_data.Hobject.t
+
+val write_pattern : writer -> Hf_query.Pattern.t -> unit
+val read_pattern : reader -> Hf_query.Pattern.t
+
+val write_filter : writer -> Hf_query.Filter.t -> unit
+val read_filter : reader -> Hf_query.Filter.t
+
+val write_program : writer -> Hf_query.Program.t -> unit
+val read_program : reader -> Hf_query.Program.t

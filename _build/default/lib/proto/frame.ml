@@ -1,0 +1,53 @@
+(* Length-prefixed framing for stream transports: a 4-byte big-endian
+   length followed by the payload.  [Decoder] is an incremental
+   reassembler fed arbitrary chunks (as a TCP receive loop would produce
+   them) and yielding complete frames. *)
+
+let max_frame_size = 16 * 1024 * 1024
+
+exception Frame_error of string
+
+let frame payload =
+  let len = String.length payload in
+  if len > max_frame_size then raise (Frame_error "frame too large");
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 header 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 header 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 header 3 (len land 0xff);
+  Bytes.to_string header ^ payload
+
+module Decoder = struct
+  type t = { mutable pending : string }
+
+  let create () = { pending = "" }
+
+  let feed t chunk = t.pending <- t.pending ^ chunk
+
+  let header_length t =
+    if String.length t.pending < 4 then None
+    else begin
+      let byte i = Char.code t.pending.[i] in
+      let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+      if len > max_frame_size then raise (Frame_error "incoming frame too large");
+      Some len
+    end
+
+  let next t =
+    match header_length t with
+    | None -> None
+    | Some len ->
+      if String.length t.pending < 4 + len then None
+      else begin
+        let payload = String.sub t.pending 4 len in
+        t.pending <- String.sub t.pending (4 + len) (String.length t.pending - 4 - len);
+        Some payload
+      end
+
+  let rec drain t =
+    match next t with
+    | None -> []
+    | Some payload -> payload :: drain t
+
+  let buffered_bytes t = String.length t.pending
+end

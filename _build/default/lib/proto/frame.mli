@@ -1,0 +1,28 @@
+(** Length-prefixed framing for stream transports (4-byte big-endian
+    length + payload). *)
+
+val max_frame_size : int
+
+exception Frame_error of string
+
+val frame : string -> string
+(** Prefix a payload with its length header. Raises [Frame_error] when
+    the payload exceeds {!max_frame_size}. *)
+
+(** Incremental frame reassembly from arbitrary stream chunks. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> string option
+  (** Next complete frame payload, if buffered. Raises [Frame_error] on
+      an oversized header. *)
+
+  val drain : t -> string list
+  (** All currently complete frames. *)
+
+  val buffered_bytes : t -> int
+end

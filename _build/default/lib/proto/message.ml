@@ -1,0 +1,95 @@
+(* Wire messages of the distributed query protocol (paper, Section 3.2).
+
+   A remote dereference ships the query — not the data: the message
+   carries Q.id, Q.originator, Q.body and Q.size from the query context,
+   plus O.id, O.start and O.iter# for the object being dereferenced.
+   Results flow directly to the originating site, tagged with Q.id.
+   Termination-detection credit (the weighted-message algorithm)
+   piggybacks on both.
+
+   Credits travel as lists of atom exponents (see
+   [Hf_termination.Credit.atoms]). *)
+
+type query_id = { originator : int; serial : int }
+
+let pp_query_id ppf { originator; serial } = Fmt.pf ppf "q%d@%d" serial originator
+
+let equal_query_id a b = a.originator = b.originator && a.serial = b.serial
+
+let compare_query_id a b =
+  match Int.compare a.originator b.originator with
+  | 0 -> Int.compare a.serial b.serial
+  | c -> c
+
+type deref_request = {
+  query : query_id;
+  body : Hf_query.Program.t;
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+  credit : int list; (* credit atom exponents *)
+}
+
+type result_payload =
+  | Items of Hf_data.Oid.t list
+  | Count of int
+      (** distributed-set mode (Section 5): ship the number of local
+          results, keep the members server-side. *)
+
+type result_message = {
+  query : query_id;
+  payload : result_payload;
+  bindings : (string * Hf_data.Value.t list) list; (* -> operator values, by target *)
+  credit : int list;
+}
+
+type t =
+  | Deref_request of deref_request
+  | Result of result_message
+  | Credit_return of { query : query_id; credit : int list }
+      (** standalone credit return (used when a drained site has no
+          results to ship). *)
+
+let query_of = function
+  | Deref_request { query; _ } -> query
+  | Result { query; _ } -> query
+  | Credit_return { query; _ } -> query
+
+let pp ppf = function
+  | Deref_request { query; oid; start; iters; _ } ->
+    Fmt.pf ppf "deref[%a] oid=%a start=%d iters=[%a]" pp_query_id query Hf_data.Oid.pp oid start
+      Fmt.(array ~sep:(any ";") int)
+      iters
+  | Result { query; payload = Items items; bindings; _ } ->
+    Fmt.pf ppf "result[%a] %d items, %d targets" pp_query_id query (List.length items)
+      (List.length bindings)
+  | Result { query; payload = Count n; _ } -> Fmt.pf ppf "result[%a] count=%d" pp_query_id query n
+  | Credit_return { query; _ } -> Fmt.pf ppf "credit-return[%a]" pp_query_id query
+
+let equal a b =
+  match a, b with
+  | Deref_request x, Deref_request y ->
+    equal_query_id x.query y.query
+    && Hf_query.Program.equal x.body y.body
+    && Hf_data.Oid.equal x.oid y.oid
+    && x.start = y.start
+    && Array.length x.iters = Array.length y.iters
+    && Array.for_all2 ( = ) x.iters y.iters
+    && x.credit = y.credit
+  | Result x, Result y ->
+    equal_query_id x.query y.query
+    && (match x.payload, y.payload with
+        | Items xs, Items ys ->
+          List.length xs = List.length ys && List.for_all2 Hf_data.Oid.equal xs ys
+        | Count m, Count n -> m = n
+        | (Items _ | Count _), _ -> false)
+    && List.length x.bindings = List.length y.bindings
+    && List.for_all2
+         (fun (ta, va) (tb, vb) ->
+           String.equal ta tb
+           && List.length va = List.length vb
+           && List.for_all2 Hf_data.Value.equal va vb)
+         x.bindings y.bindings
+    && x.credit = y.credit
+  | Credit_return x, Credit_return y -> equal_query_id x.query y.query && x.credit = y.credit
+  | (Deref_request _ | Result _ | Credit_return _), _ -> false

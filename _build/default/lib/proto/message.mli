@@ -1,0 +1,47 @@
+(** Wire messages of the distributed query protocol (paper, Section 3.2).
+
+    A remote dereference ships the query, not the data: Q.id,
+    Q.originator, Q.body, Q.size plus O.id, O.start, O.iter#.  Results
+    flow directly to the originating site.  Weighted-termination credit
+    piggybacks on both, as lists of atom exponents. *)
+
+type query_id = {
+  originator : int;  (** site at which the query was issued. *)
+  serial : int;  (** identifier assigned by the originating site. *)
+}
+
+val pp_query_id : Format.formatter -> query_id -> unit
+val equal_query_id : query_id -> query_id -> bool
+val compare_query_id : query_id -> query_id -> int
+
+type deref_request = {
+  query : query_id;
+  body : Hf_query.Program.t;
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+  credit : int list;
+}
+
+type result_payload =
+  | Items of Hf_data.Oid.t list
+  | Count of int
+      (** distributed-set mode (Section 5): ship only the number of local
+          results. *)
+
+type result_message = {
+  query : query_id;
+  payload : result_payload;
+  bindings : (string * Hf_data.Value.t list) list;
+  credit : int list;
+}
+
+type t =
+  | Deref_request of deref_request
+  | Result of result_message
+  | Credit_return of { query : query_id; credit : int list }
+
+val query_of : t -> query_id
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

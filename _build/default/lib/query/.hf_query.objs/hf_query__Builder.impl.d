@@ -1,0 +1,1 @@
+lib/query/builder.ml: Ast Compile Filter Hf_data Pattern Printf

@@ -1,0 +1,1 @@
+lib/query/compile.ml: Array Ast Filter List Program

@@ -1,0 +1,1 @@
+lib/query/filter.ml: Fmt Pattern String

@@ -1,0 +1,1 @@
+lib/query/filter.mli: Format Pattern

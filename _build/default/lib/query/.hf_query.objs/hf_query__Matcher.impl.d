@@ -1,0 +1,1 @@
+lib/query/matcher.ml: Ast Filter Hf_data List Pattern

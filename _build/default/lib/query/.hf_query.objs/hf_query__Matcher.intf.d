@@ -1,0 +1,1 @@
+lib/query/matcher.mli: Ast Filter Hf_data

@@ -1,0 +1,1 @@
+lib/query/optimize.ml: Ast Compile Filter List

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Buffer Compile Filter Fmt Pattern String

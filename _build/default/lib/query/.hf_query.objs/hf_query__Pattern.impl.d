@@ -1,0 +1,1 @@
+lib/query/pattern.ml: Fmt Hf_data Hf_util List String

@@ -1,0 +1,1 @@
+lib/query/printer.ml: Ast Filter Fmt Hf_data Pattern

@@ -1,0 +1,1 @@
+lib/query/printer.mli: Ast Format Pattern

@@ -1,0 +1,1 @@
+lib/query/program.ml: Array Filter Fmt Hf_data Pattern Printf String

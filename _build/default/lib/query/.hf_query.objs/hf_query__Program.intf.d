@@ -1,0 +1,1 @@
+lib/query/program.mli: Filter Format

@@ -1,0 +1,1 @@
+lib/query/validate.ml: Ast Fmt List Pattern String

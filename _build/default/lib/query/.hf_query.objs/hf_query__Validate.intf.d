@@ -1,0 +1,1 @@
+lib/query/validate.mli: Ast Format

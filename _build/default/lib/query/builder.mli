@@ -1,0 +1,56 @@
+(** Combinator interface for constructing query bodies from application
+    code — the programmatic twin of the concrete syntax.
+
+    {[
+      Builder.(
+        body
+          [ closure [ pointers ~key:"Reference" "X"; follow_keeping "X" ];
+            keyword "Distributed";
+          ])
+    ]} *)
+
+val select : ?ttype:Pattern.t -> ?key:Pattern.t -> ?data:Pattern.t -> unit -> Ast.element
+(** General selection; omitted fields default to [?]. *)
+
+val tuple : Pattern.t -> Pattern.t -> Pattern.t -> Ast.element
+(** Selection from three explicit patterns (type, key, data). *)
+
+val pointers : ?key:string -> string -> Ast.element
+(** [pointers ~key var]: select pointer tuples with key [key] (any key
+    if omitted), binding the targets to [var]. *)
+
+val keyword : string -> Ast.element
+(** Object contains the keyword (glob allowed). *)
+
+val string_equals : key:string -> string -> Ast.element
+(** [(String, key, value)] selection; glob allowed in [value]. *)
+
+val number_in : key:string -> int -> int -> Ast.element
+(** [(Number, key, lo..hi)] selection. *)
+
+val follow : string -> Ast.element
+(** Single up-arrow: dereference [var], dropping the pointing object. *)
+
+val follow_keeping : string -> Ast.element
+(** Double up-arrow: dereference [var], keeping the pointing object. *)
+
+val retrieve : ?ttype:Pattern.t -> key:string -> string -> Ast.element
+(** The [->] operator: ship matching tuples' data back, tagged with the
+    target name. *)
+
+val closure : Ast.t -> Ast.element
+(** "[ body ]*". *)
+
+val repeat : int -> Ast.t -> Ast.element
+(** "[ body ]^k". *)
+
+val body : Ast.element list -> Ast.t
+
+val reachability : ?depth:int -> key:string -> Ast.element -> Ast.t
+(** The paper's experimental query shape: traverse pointers named [key]
+    to the transitive closure (or [depth] levels), keeping every visited
+    object, then apply [selection].  Raises [Invalid_argument] if
+    [depth < 1]. *)
+
+val compile : Ast.t -> Program.t
+val program : Ast.t -> Program.t

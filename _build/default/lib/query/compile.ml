@@ -1,0 +1,50 @@
+(* Flattening of the nested surface syntax into the engine's indexed
+   filter array.  A block "[ body ]^k" becomes the body's filters
+   followed by an Iter filter whose body_start is the index of the body's
+   first filter — the I_j^k representation of Section 3. *)
+
+exception Error of string
+
+let compile ast =
+  let filters = ref [] in
+  let count_filters = ref 0 in
+  let emit filter =
+    filters := filter :: !filters;
+    incr count_filters
+  in
+  let rec emit_element = function
+    | Ast.Select { ttype; key; data } -> emit (Filter.select ~ttype ~key ~data)
+    | Ast.Deref { var; mode } -> emit (Filter.deref ~mode var)
+    | Ast.Retrieve { ttype; key; target } -> emit (Filter.retrieve ~ttype ~key ~target)
+    | Ast.Block { body; count } ->
+      if body = [] then raise (Error "empty iteration block");
+      let body_start = !count_filters in
+      List.iter emit_element body;
+      emit (Filter.iter ~body_start ~count)
+  in
+  List.iter emit_element ast;
+  Program.of_filters (List.rev !filters)
+
+(* Reconstruct a surface AST from a compiled program (inverse of
+   [compile] up to block structure).  Used by the printer and by tests
+   that check compile/decompile round-trips. *)
+let decompile program =
+  let filters = Array.of_list (Program.filters program) in
+  (* Build elements right-to-left; when we hit an Iter we know its body
+     spans [body_start, i). *)
+  let rec build lo hi =
+    (* elements for filter indexes [lo, hi) *)
+    if lo >= hi then []
+    else begin
+      match filters.(hi - 1) with
+      | Filter.Select { ttype; key; data } -> build lo (hi - 1) @ [ Ast.Select { ttype; key; data } ]
+      | Filter.Deref { var; mode } -> build lo (hi - 1) @ [ Ast.Deref { var; mode } ]
+      | Filter.Retrieve { ttype; key; target } ->
+        build lo (hi - 1) @ [ Ast.Retrieve { ttype; key; target } ]
+      | Filter.Iter { body_start; count } ->
+        if body_start < lo then raise (Error "iterator body crosses block boundary");
+        let body = build body_start (hi - 1) in
+        build lo body_start @ [ Ast.Block { body; count } ]
+    end
+  in
+  build 0 (Array.length filters)

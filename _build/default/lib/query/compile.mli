@@ -1,0 +1,12 @@
+(** Compilation between the nested surface syntax and the engine's flat
+    indexed filter array. *)
+
+exception Error of string
+
+val compile : Ast.t -> Program.t
+(** Flatten blocks into body-filters-then-[Iter] form. Raises [Error] on
+    an empty iteration block. *)
+
+val decompile : Program.t -> Ast.t
+(** Inverse of [compile]: recover the block structure. Raises [Error] if
+    the program's iterator indexes do not nest properly. *)

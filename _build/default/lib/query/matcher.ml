@@ -1,0 +1,24 @@
+(* Stand-alone matching of a single selection element against an object,
+   without matching-variable state.  Used by the ship-data baseline (the
+   client filters fetched objects itself) and the index planner. *)
+
+let no_bindings _ = []
+
+let tuple_matches ~ttype ~key ~data tuple =
+  Pattern.matches ttype (Hf_data.Value.str (Hf_data.Tuple.ttype tuple)) ~lookup:no_bindings
+  && Pattern.matches key (Hf_data.Tuple.key tuple) ~lookup:no_bindings
+  && Pattern.matches data (Hf_data.Tuple.data tuple) ~lookup:no_bindings
+
+let selection_matches (selection : Filter.selection) obj =
+  List.exists
+    (fun tuple -> tuple_matches ~ttype:selection.ttype ~key:selection.key ~data:selection.data tuple)
+    (Hf_data.Hobject.tuples obj)
+
+let element_matches element obj =
+  match (element : Ast.element) with
+  | Ast.Select selection -> selection_matches selection obj
+  | Ast.Retrieve { ttype; key; _ } -> (
+      List.exists (fun tuple -> tuple_matches ~ttype ~key ~data:Pattern.any tuple)
+        (Hf_data.Hobject.tuples obj))
+  | Ast.Deref _ | Ast.Block _ ->
+    invalid_arg "Matcher.element_matches: not a selection element"

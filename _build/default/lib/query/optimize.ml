@@ -1,0 +1,77 @@
+(* Semantics-preserving query simplification.
+
+   Applications and UI layers compose queries mechanically (the paper's
+   Section 2: "the application will compose the HyperFile query"), which
+   produces patterns a human would not write: iteration wrapped around
+   pure selections, duplicated filters, single-pass blocks.  Each rule
+   here is safe under the engine's semantics and is property-tested for
+   equivalence against the unoptimized query on random stores:
+
+   - [dedup]: collapse immediately repeated identical filters — filters
+     are idempotent (paper §3.1: "passing an object through the same
+     filter many times will not change the result"), and an object
+     passes F F iff it passes F.
+
+   - unwrap pure blocks: drop the iteration around a body containing no
+     dereference.  Without dereferences nothing is spawned, so an object
+     entering the block passes straight through its body and exits the
+     iterator on first contact; the iterator is pure bookkeeping.
+
+   - unwrap "[ body ]^1" when the body's dereferences are all
+     Keep_parent.  With k = 1, a spawned object (counter 2 >= 1) exits
+     the iterator immediately, exactly where it would start after the
+     unwrapped body; the initial object's single ungated pass is the
+     body itself.  (The rule also holds for Replace dereferences, but
+     the parent's death makes the reasoning subtler than the rule is
+     worth — we stay conservative.)
+
+   Rules apply bottom-up to a fixpoint. *)
+
+let rec has_deref elements =
+  List.exists
+    (function
+      | Ast.Deref _ -> true
+      | Ast.Block { body; _ } -> has_deref body
+      | Ast.Select _ | Ast.Retrieve _ -> false)
+    elements
+
+let rec all_derefs_keep elements =
+  List.for_all
+    (function
+      | Ast.Deref { mode = Filter.Keep_parent; _ } -> true
+      | Ast.Deref { mode = Filter.Replace; _ } -> false
+      | Ast.Block { body; _ } -> all_derefs_keep body
+      | Ast.Select _ | Ast.Retrieve _ -> true)
+    elements
+
+(* Only selections are deduplicated: a repeated Retrieve emits its
+   values once per copy, and repeated dereferences spawn work items at
+   different start indexes, so neither is exactly redundant. *)
+let dedup elements =
+  let is_select = function Ast.Select _ -> true | _ -> false in
+  let rec go = function
+    | a :: b :: rest when is_select a && Ast.equal_element a b -> go (b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go elements
+
+let rec simplify elements =
+  let pass =
+    List.concat_map
+      (fun element ->
+        match element with
+        | Ast.Select _ | Ast.Deref _ | Ast.Retrieve _ -> [ element ]
+        | Ast.Block { body; count } ->
+          let body = simplify body in
+          if not (has_deref body) then body
+          else if
+            Filter.equal_iter_count count (Filter.Finite 1) && all_derefs_keep body
+          then body
+          else [ Ast.Block { body; count } ])
+      elements
+  in
+  let deduped = dedup pass in
+  if Ast.equal deduped elements then deduped else simplify deduped
+
+let simplify_program program = Compile.compile (simplify (Compile.decompile program))

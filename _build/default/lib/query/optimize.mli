@@ -1,0 +1,13 @@
+(** Semantics-preserving query simplification.
+
+    Collapses immediately repeated identical selections (selections are
+    idempotent, paper §3.1), drops iteration around dereference-free
+    bodies, and unwraps single-pass keep-parent blocks.  Every rewrite
+    preserves the engine's result set and retrieved values —
+    property-tested against unoptimized evaluation on random stores. *)
+
+val simplify : Ast.t -> Ast.t
+(** Bottom-up rewriting to a fixpoint. *)
+
+val simplify_program : Program.t -> Program.t
+(** Decompile, simplify, recompile. *)

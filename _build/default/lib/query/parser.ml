@@ -1,0 +1,339 @@
+(* Hand-written lexer and recursive-descent parser for the concrete
+   query syntax.  The grammar mirrors the paper's notation, with ASCII
+   spellings for the arrows:
+
+     query     ::= [ident] element* ["->" ident]
+     element   ::= selection | deref | block
+     selection ::= "(" pattern "," pattern "," (pattern | "->" ident) ")"
+     deref     ::= "^" ident          (single up-arrow: replace)
+                 | "^^" ident         (double up-arrow: keep parent)
+     block     ::= "[" element* "]" ("^" int | "*")
+     pattern   ::= "?" [ident]        (wildcard / binding variable)
+                 | "=" ident          (use of a matching variable)
+                 | string             (exact, or glob if it has * or ?)
+                 | int [".." int]     (exact number or inclusive range)
+                 | ident              (bare word: exact string)
+
+   Example — the paper's transitive-closure query:
+
+     S [ (Pointer, "Reference", ?X) ^X ]* (Keyword, "Distributed", ?) -> T
+*)
+
+type position = { line : int; col : int }
+
+exception Parse_error of { message : string; pos : position }
+
+let error pos fmt = Fmt.kstr (fun message -> raise (Parse_error { message; pos })) fmt
+
+(* --- Lexer --- *)
+
+type token =
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Caret
+  | Double_caret
+  | Arrow
+  | Question
+  | Equals
+  | Star
+  | Dotdot
+  | Int of int
+  | String of string
+  | Ident of string
+  | Eof
+
+let pp_token ppf = function
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Lbracket -> Fmt.string ppf "'['"
+  | Rbracket -> Fmt.string ppf "']'"
+  | Comma -> Fmt.string ppf "','"
+  | Caret -> Fmt.string ppf "'^'"
+  | Double_caret -> Fmt.string ppf "'^^'"
+  | Arrow -> Fmt.string ppf "'->'"
+  | Question -> Fmt.string ppf "'?'"
+  | Equals -> Fmt.string ppf "'='"
+  | Star -> Fmt.string ppf "'*'"
+  | Dotdot -> Fmt.string ppf "'..'"
+  | Int n -> Fmt.pf ppf "number %d" n
+  | String s -> Fmt.pf ppf "string %S" s
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Eof -> Fmt.string ppf "end of input"
+
+type lexer = {
+  text : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let lexer_pos lx = { line = lx.line; col = lx.offset - lx.bol + 1 }
+
+let peek_char lx = if lx.offset < String.length lx.text then Some lx.text.[lx.offset] else None
+
+let advance lx =
+  (match peek_char lx with
+   | Some '\n' ->
+     lx.line <- lx.line + 1;
+     lx.bol <- lx.offset + 1
+   | Some _ | None -> ());
+  lx.offset <- lx.offset + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_ws lx
+  | Some ';' ->
+    (* comment to end of line *)
+    let rec to_eol () =
+      match peek_char lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws lx
+  | Some _ | None -> ()
+
+let lex_string lx =
+  let start = lexer_pos lx in
+  advance lx; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char lx with
+    | None -> error start "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+      advance lx;
+      (match peek_char lx with
+       | Some ('"' as c) | Some ('\\' as c) ->
+         Buffer.add_char buf c;
+         advance lx;
+         go ()
+       | Some 'n' ->
+         Buffer.add_char buf '\n';
+         advance lx;
+         go ()
+       | Some c -> error (lexer_pos lx) "unknown escape '\\%c'" c
+       | None -> error start "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  String (Buffer.contents buf)
+
+let lex_number lx =
+  let start = lx.offset in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  Int (int_of_string (String.sub lx.text start (lx.offset - start)))
+
+let lex_ident lx =
+  let start = lx.offset in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  Ident (String.sub lx.text start (lx.offset - start))
+
+let next_token lx =
+  skip_ws lx;
+  let pos = lexer_pos lx in
+  let token =
+    match peek_char lx with
+    | None -> Eof
+    | Some '(' -> advance lx; Lparen
+    | Some ')' -> advance lx; Rparen
+    | Some '[' -> advance lx; Lbracket
+    | Some ']' -> advance lx; Rbracket
+    | Some ',' -> advance lx; Comma
+    | Some '?' -> advance lx; Question
+    | Some '=' -> advance lx; Equals
+    | Some '*' -> advance lx; Star
+    | Some '^' ->
+      advance lx;
+      (match peek_char lx with
+       | Some '^' -> advance lx; Double_caret
+       | Some _ | None -> Caret)
+    | Some '-' ->
+      advance lx;
+      (match peek_char lx with
+       | Some '>' -> advance lx; Arrow
+       | Some _ | None -> error pos "expected '>' after '-'")
+    | Some '.' ->
+      advance lx;
+      (match peek_char lx with
+       | Some '.' -> advance lx; Dotdot
+       | Some _ | None -> error pos "expected '.' after '.'")
+    | Some '"' -> lex_string lx
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> lex_ident lx
+    | Some c -> error pos "unexpected character '%c'" c
+  in
+  (token, pos)
+
+(* --- Parser --- *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable tok_pos : position;
+}
+
+let bump ps =
+  let token, pos = next_token ps.lx in
+  ps.tok <- token;
+  ps.tok_pos <- pos
+
+let expect ps expected =
+  if ps.tok = expected then bump ps
+  else error ps.tok_pos "expected %a but found %a" pp_token expected pp_token ps.tok
+
+let parse_ident ps =
+  match ps.tok with
+  | Ident name ->
+    bump ps;
+    name
+  | t -> error ps.tok_pos "expected identifier but found %a" pp_token t
+
+(* A pattern in one of the three fields of a selection. *)
+let parse_pattern ps =
+  match ps.tok with
+  | Question ->
+    bump ps;
+    (match ps.tok with
+     | Ident var ->
+       bump ps;
+       Pattern.bind var
+     | _ -> Pattern.any)
+  | Equals ->
+    bump ps;
+    Pattern.use (parse_ident ps)
+  | String s ->
+    bump ps;
+    Pattern.glob s
+  | Ident s ->
+    bump ps;
+    Pattern.exact_str s
+  | Int lo ->
+    bump ps;
+    (match ps.tok with
+     | Dotdot ->
+       bump ps;
+       (match ps.tok with
+        | Int hi ->
+          bump ps;
+          if lo > hi then error ps.tok_pos "range %d..%d is empty" lo hi;
+          Pattern.range lo hi
+        | t -> error ps.tok_pos "expected upper bound of range but found %a" pp_token t)
+     | _ -> Pattern.exact_num lo)
+  | t -> error ps.tok_pos "expected a pattern but found %a" pp_token t
+
+(* "(" pattern "," pattern "," (pattern | "->" ident) ")" *)
+let parse_selection ps =
+  expect ps Lparen;
+  let ttype = parse_pattern ps in
+  expect ps Comma;
+  let key = parse_pattern ps in
+  expect ps Comma;
+  let element =
+    match ps.tok with
+    | Arrow ->
+      bump ps;
+      let target = parse_ident ps in
+      Ast.Retrieve { ttype; key; target }
+    | _ ->
+      let data = parse_pattern ps in
+      Ast.Select { ttype; key; data }
+  in
+  expect ps Rparen;
+  element
+
+let rec parse_element ps =
+  match ps.tok with
+  | Lparen -> Some (parse_selection ps)
+  | Caret ->
+    bump ps;
+    Some (Ast.Deref { var = parse_ident ps; mode = Filter.Replace })
+  | Double_caret ->
+    bump ps;
+    Some (Ast.Deref { var = parse_ident ps; mode = Filter.Keep_parent })
+  | Lbracket ->
+    bump ps;
+    let body = parse_elements ps in
+    expect ps Rbracket;
+    let count =
+      match ps.tok with
+      | Star ->
+        bump ps;
+        Filter.Star
+      | Caret ->
+        bump ps;
+        (match ps.tok with
+         | Int k ->
+           bump ps;
+           if k < 1 then error ps.tok_pos "iteration count must be >= 1";
+           Filter.Finite k
+         | t -> error ps.tok_pos "expected iteration count but found %a" pp_token t)
+      | t -> error ps.tok_pos "expected '*' or '^k' after ']' but found %a" pp_token t
+    in
+    Some (Ast.Block { body; count })
+  | _ -> None
+
+and parse_elements ps =
+  match parse_element ps with
+  | None -> []
+  | Some e -> e :: parse_elements ps
+
+type query = { source : string option; body : Ast.t; target : string option }
+
+let make_state text =
+  let lx = { text; offset = 0; line = 1; bol = 0 } in
+  let ps = { lx; tok = Eof; tok_pos = { line = 1; col = 1 } } in
+  bump ps;
+  ps
+
+let parse_query text =
+  let ps = make_state text in
+  let source =
+    match ps.tok with
+    | Ident name ->
+      bump ps;
+      Some name
+    | _ -> None
+  in
+  let body = parse_elements ps in
+  let target =
+    match ps.tok with
+    | Arrow ->
+      bump ps;
+      Some (parse_ident ps)
+    | _ -> None
+  in
+  if ps.tok <> Eof then error ps.tok_pos "trailing input: found %a" pp_token ps.tok;
+  { source; body; target }
+
+let parse_body text =
+  let q = parse_query text in
+  match q.source, q.target with
+  | None, None -> q.body
+  | Some _, _ | _, Some _ ->
+    raise
+      (Parse_error
+         { message = "expected a bare query body (no source set or result binding)";
+           pos = { line = 1; col = 1 } })
+
+let parse_program text = Compile.compile (parse_body text)

@@ -1,0 +1,39 @@
+(** Concrete-syntax parser for HyperFile queries.
+
+    ASCII rendering of the paper's notation:
+
+    {v
+    query     ::= [ident] element* ["->" ident]
+    element   ::= selection | deref | block
+    selection ::= "(" pattern "," pattern "," (pattern | "->" ident) ")"
+    deref     ::= "^" ident            single up-arrow (replace)
+                | "^^" ident           double up-arrow (keep parent)
+    block     ::= "[" element* "]" ("^" int | "*")
+    pattern   ::= "?" [ident] | "=" ident | string | int [".." int] | ident
+    v}
+
+    Example (the paper's transitive-closure query):
+    {v S [ (Pointer, "Reference", ?X) ^X ]* (Keyword, "Distributed", ?) -> T v}
+
+    [";"] starts a comment running to end of line.  String literals
+    containing ['*'] or ['?'] are glob patterns. *)
+
+type position = { line : int; col : int }
+
+exception Parse_error of { message : string; pos : position }
+
+type query = {
+  source : string option;  (** name of the starting set, if present. *)
+  body : Ast.t;
+  target : string option;  (** name to bind the result set to, if present. *)
+}
+
+val parse_query : string -> query
+(** Parse a full query. Raises [Parse_error]. *)
+
+val parse_body : string -> Ast.t
+(** Parse a bare body (no source set, no result binding). Raises
+    [Parse_error] if either is present. *)
+
+val parse_program : string -> Program.t
+(** [parse_body] followed by {!Compile.compile}. *)

@@ -1,0 +1,116 @@
+(* Static checks on a query body before it is compiled and shipped.
+   These catch the mistakes an application can make against the embedded
+   language: dereferencing a variable no selection ever binds, empty
+   iteration blocks, duplicate retrieve targets. *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; message : string }
+
+let issue severity fmt = Fmt.kstr (fun message -> { severity; message }) fmt
+
+let element_binds = function
+  | Ast.Select { ttype; key; data } -> List.filter_map Pattern.binds [ ttype; key; data ]
+  | Ast.Deref _ | Ast.Retrieve _ | Ast.Block _ -> []
+
+(* Variables visible to a dereference: anything bound by a selection
+   anywhere in the query body.  (Bindings are accumulated per object as
+   it flows left to right, and inside an iteration an object may re-enter
+   the body, so a bind appearing textually after the deref in the same
+   block is still reachable on later rounds; we therefore check
+   membership in the whole body rather than strict textual order, but
+   warn when the only binding site is outside every enclosing block —
+   mvars are reset on dereference, so such a binding can never be live.) *)
+let check_derefs body =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let rec bound_in elements =
+    List.concat_map
+      (fun e ->
+        match e with
+        | Ast.Block { body; _ } -> bound_in body
+        | Ast.Select _ | Ast.Deref _ | Ast.Retrieve _ -> element_binds e)
+      elements
+  in
+  let all_bound = bound_in body in
+  let rec walk enclosing elements =
+    List.iter
+      (fun e ->
+        match e with
+        | Ast.Deref { var; _ } ->
+          if not (List.mem var all_bound) then
+            add (issue Error "dereference of variable %s, which no selection binds" var)
+          else if not (List.mem var (bound_in enclosing)) then
+            add
+              (issue Warning
+                 "dereference of %s inside an iteration whose body never binds it; bindings do \
+                  not survive dereferences, so later rounds will find it empty"
+                 var)
+        | Ast.Block { body = inner; _ } -> walk inner inner
+        | Ast.Select _ | Ast.Retrieve _ -> ())
+      elements
+  in
+  walk body body;
+  List.rev !issues
+
+let check_blocks body =
+  let issues = ref [] in
+  let rec walk = function
+    | Ast.Block { body = []; _ } ->
+      issues := issue Error "empty iteration block" :: !issues
+    | Ast.Block { body; _ } -> List.iter walk body
+    | Ast.Select _ | Ast.Deref _ | Ast.Retrieve _ -> ()
+  in
+  List.iter walk body;
+  List.rev !issues
+
+let check_retrieve_targets body =
+  let rec targets = function
+    | Ast.Retrieve { target; _ } -> [ target ]
+    | Ast.Block { body; _ } -> List.concat_map targets body
+    | Ast.Select _ | Ast.Deref _ -> []
+  in
+  let all = List.concat_map targets body in
+  let sorted = List.sort String.compare all in
+  let rec dups = function
+    | a :: (b :: _ as rest) -> if String.equal a b then a :: dups rest else dups rest
+    | [ _ ] | [] -> []
+  in
+  List.map
+    (fun t -> issue Warning "retrieve target %s is used more than once; values will be merged" t)
+    (List.sort_uniq String.compare (dups sorted))
+
+let check_use_before_bind body =
+  let rec walk bound acc = function
+    | [] -> acc
+    | e :: rest ->
+      let acc =
+        match e with
+        | Ast.Select { ttype; key; data } ->
+          let used = List.filter_map Pattern.uses [ ttype; key; data ] in
+          List.fold_left
+            (fun acc var ->
+              if List.mem var bound then acc
+              else issue Warning "variable %s is used before any selection binds it" var :: acc)
+            acc used
+        | Ast.Block { body = inner; _ } ->
+          (* inside a block, every binding in the block may be live on
+             re-entry *)
+          let inner_bound = List.concat_map element_binds inner @ bound in
+          walk inner_bound acc inner
+        | Ast.Deref _ | Ast.Retrieve _ -> acc
+      in
+      walk (element_binds e @ bound) acc rest
+  in
+  List.rev (walk [] [] body)
+
+let check body =
+  check_blocks body @ check_derefs body @ check_use_before_bind body @ check_retrieve_targets body
+
+let errors body = List.filter (fun i -> i.severity = Error) (check body)
+
+let is_valid body = errors body = []
+
+let pp_issue ppf { severity; message } =
+  let label = match severity with Error -> "error" | Warning -> "warning" in
+  Fmt.pf ppf "%s: %s" label message

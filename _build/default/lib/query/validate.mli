@@ -1,0 +1,21 @@
+(** Static validation of query bodies.
+
+    Catches application mistakes before a query is compiled and shipped:
+    dereferences of variables no selection binds, empty iteration
+    blocks, uses of matching variables that can never have bindings,
+    duplicated retrieve targets. *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; message : string }
+
+val check : Ast.t -> issue list
+(** All issues, errors first within each category. *)
+
+val errors : Ast.t -> issue list
+(** Only the [Error]-severity issues. *)
+
+val is_valid : Ast.t -> bool
+(** No [Error]-severity issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

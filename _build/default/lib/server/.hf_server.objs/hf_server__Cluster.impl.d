@@ -1,0 +1,1 @@
+lib/server/cluster.ml: Array Fmt Fun Hashtbl Hf_data Hf_engine Hf_proto Hf_query Hf_sim Hf_termination Hf_util List Metrics Option String

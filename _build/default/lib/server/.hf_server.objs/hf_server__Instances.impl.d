@@ -1,0 +1,1 @@
+lib/server/instances.ml: Cluster Hf_termination

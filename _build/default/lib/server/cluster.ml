@@ -1,0 +1,791 @@
+(* The distributed HyperFile server (paper, Section 3.2), running on the
+   discrete-event simulator.
+
+   Every site runs the identical algorithm: it keeps a context per query
+   (Q.id, Q.originator, Q.body, mark table, working set, result buffer)
+   and processes work items with the local engine.  When a dereference
+   reaches an object stored at another site, the query — not the object —
+   is shipped there: a work message carrying (Q.id, Q.originator, Q.body,
+   Q.size, O.id, O.start, O.iter#).  Results flow directly to the
+   originating site; a site ships its buffered results whenever its
+   working set drains, and the query context stays in place so later
+   dereferences reuse it.  Termination detection is pluggable
+   (functorized) — work messages carry a detector tag and detectors may
+   exchange control messages, which piggyback on result messages when
+   they travel to the originator anyway.
+
+   Timing model: each site is a serial CPU.  Site work is queued as
+   tasks; a task computes its outcome and duration when it starts, and
+   its effects (message deliveries, new work) apply when it completes.
+   Costs come from [Hf_sim.Costs] (default: the paper's measured basic
+   times). *)
+
+module Oid = Hf_data.Oid
+
+type result_mode =
+  | Ship_items
+  | Ship_counts (* the distributed-set optimisation of Section 5 *)
+  | Ship_threshold of int
+      (* the paper's refinement: ship members for small batches, counts
+         once a site's batch reaches the threshold *)
+
+type mark_scope =
+  | Local_marks (* the paper's choice: per-site tables, duplicate messages possible *)
+  | Global_marks (* ablation: an oracle global table suppresses duplicate sends *)
+
+type config = {
+  costs : Hf_sim.Costs.t;
+  result_mode : result_mode;
+  mark_scope : mark_scope;
+  poll_window : float; (* stop detector polling this long after query start *)
+  jitter : float;
+      (* extra transit, uniform in [0, jitter], drawn per message from a
+         seeded PRNG — makes message reordering reachable in tests while
+         keeping runs reproducible *)
+  loss : float;
+      (* per-message drop probability (work, result and control messages
+         alike) — failure injection; queries then typically time out
+         with partial results *)
+  jitter_seed : int;
+}
+
+let default_config =
+  { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
+    poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1 }
+
+type outcome = {
+  results : Oid.t list; (* in arrival order at the originator *)
+  result_set : Oid.Set.t;
+  bindings : (string * Hf_data.Value.t list) list;
+  counts : (int * int) list; (* (site, local result count), Ship_counts mode *)
+  terminated : bool;
+  response_time : float; (* virtual seconds from issue to detected termination *)
+  metrics : Metrics.t;
+  engine_stats : Hf_engine.Stats.t; (* merged over sites *)
+}
+
+module Make (D : Hf_termination.Detector.S) = struct
+  type work_source = Seeded | From_network
+
+  type context = {
+    query : Hf_proto.Message.query_id;
+    plan : Hf_engine.Plan.t;
+    origin : int;
+    marks : Hf_engine.Mark_table.t; (* shared across sites under Global_marks *)
+    work : (Hf_engine.Work_item.t * work_source) Hf_util.Deque.t;
+    detector : D.t;
+    stats : Hf_engine.Stats.t;
+    bindings : (string, Hf_data.Value.t list) Hashtbl.t; (* emission buffer *)
+    mutable result_buffer : Oid.t list; (* pending shipment, newest first *)
+    mutable local_result_set : Oid.Set.t; (* all results found at this site *)
+    mutable in_flight : int; (* items popped from W whose task has not completed *)
+  }
+
+  type open_query = {
+    id : Hf_proto.Message.query_id;
+    program : Hf_query.Program.t;
+    start_time : float;
+    metrics : Metrics.t;
+    mutable final_results : Oid.t list; (* newest first *)
+    mutable final_set : Oid.Set.t;
+    final_bindings : (string, Hf_data.Value.t list) Hashtbl.t;
+    mutable counts : (int * int) list;
+    mutable terminated : bool;
+    mutable finish_time : float;
+  }
+
+  type task = unit -> float * (unit -> unit)
+
+  type site = {
+    id : int;
+    store : Hf_data.Store.t;
+    contexts : (Hf_proto.Message.query_id, context) Hashtbl.t;
+    tasks : task Hf_util.Deque.t;
+    mutable busy : bool;
+    mutable alive : bool;
+  }
+
+  type message =
+    | Work of {
+        query : Hf_proto.Message.query_id;
+        item : Hf_engine.Work_item.t;
+        tag : D.tag;
+        src : int;
+      }
+    | Results of {
+        query : Hf_proto.Message.query_id;
+        payload : Hf_proto.Message.result_payload;
+        bindings : (string * Hf_data.Value.t list) list;
+        piggybacked : (int * D.control) list; (* controls riding along *)
+        src : int;
+      }
+    | Control of { query : Hf_proto.Message.query_id; payload : D.control; src : int }
+    | Seed_from of {
+        query : Hf_proto.Message.query_id;
+        from : Hf_proto.Message.query_id;
+        tag : D.tag;
+        src : int;
+      }
+
+  type t = {
+    sim : Hf_sim.Sim.t;
+    sites : site array;
+    config : config;
+    locate : Oid.t -> int;
+    trace : Hf_sim.Trace.t option;
+    open_queries : (Hf_proto.Message.query_id, open_query) Hashtbl.t;
+    mutable next_serial : int;
+    jitter_prng : Hf_util.Prng.t;
+  }
+
+  let create ?(config = default_config) ?locate ?trace ~n_sites () =
+    if n_sites <= 0 then invalid_arg "Cluster.create: n_sites must be positive";
+    let sites =
+      Array.init n_sites (fun id ->
+          {
+            id;
+            store = Hf_data.Store.create ~site:id;
+            contexts = Hashtbl.create 8;
+            tasks = Hf_util.Deque.create ();
+            busy = false;
+            alive = true;
+          })
+    in
+    let locate = match locate with Some f -> f | None -> Oid.birth_site in
+    {
+      sim = Hf_sim.Sim.create ();
+      sites;
+      config;
+      locate;
+      trace;
+      open_queries = Hashtbl.create 8;
+      next_serial = 0;
+      jitter_prng = Hf_util.Prng.create config.jitter_seed;
+    }
+
+  let n_sites t = Array.length t.sites
+
+  let store t site = t.sites.(site).store
+
+  let sim t = t.sim
+
+  let kill_site t site = t.sites.(site).alive <- false
+
+  let revive_site t site = t.sites.(site).alive <- true
+
+  let record t site kind detail =
+    match t.trace with
+    | None -> ()
+    | Some trace ->
+      Hf_sim.Trace.record trace ~time:(Hf_sim.Sim.now t.sim) ~site ~kind ~detail
+
+  (* --- serial site CPU --- *)
+
+  (* Task starts are deferred to a fresh simulator event so that a task
+     completion finishes all of its effects (pushing spawned work,
+     checking the drain condition) before the next task pops the working
+     set — same-timestamp events run FIFO. *)
+  let rec pump t site =
+    if site.alive && not site.busy then begin
+      match Hf_util.Deque.pop_front site.tasks with
+      | None -> ()
+      | Some task ->
+        site.busy <- true;
+        Hf_sim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+            if site.alive then begin
+              let duration, complete = task () in
+              Hf_sim.Sim.schedule t.sim ~delay:duration (fun () ->
+                  site.busy <- false;
+                  if site.alive then complete ();
+                  pump t site)
+            end
+            else site.busy <- false)
+    end
+
+  let enqueue t site task =
+    Hf_util.Deque.push_back site.tasks task;
+    pump t site
+
+  (* --- byte-size estimates (the real codec is exercised separately in
+     tests; the simulator only needs consistent accounting) --- *)
+
+  let work_message_bytes program item =
+    Hf_query.Program.byte_size program + 13 (* oid *) + 4 (* start *)
+    + (4 * Array.length (Hf_engine.Work_item.iters item))
+    + 8 (* query id *) + 4 (* credit/tag *)
+
+  let result_message_bytes payload bindings =
+    let payload_bytes =
+      match (payload : Hf_proto.Message.result_payload) with
+      | Items items -> 13 * List.length items
+      | Count _ -> 4
+    in
+    8 + 4 + payload_bytes
+    + List.fold_left
+        (fun acc (target, values) ->
+          acc + String.length target
+          + List.fold_left (fun acc v -> acc + Hf_data.Value.byte_size v) 4 values)
+        0 bindings
+
+  (* --- message delivery --- *)
+
+  let deliver t ~transit ~dst message handler =
+    let dropped =
+      t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
+    in
+    if not dropped then begin
+      let transit =
+        if t.config.jitter <= 0.0 then transit
+        else transit +. (Hf_util.Prng.next_float t.jitter_prng *. t.config.jitter)
+      in
+      Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
+          let site = t.sites.(dst) in
+          if site.alive then enqueue t site (fun () -> handler site message))
+    end
+
+  (* --- contexts --- *)
+
+  let find_open t query = Hashtbl.find_opt t.open_queries query
+
+  let context_of t site query =
+    match Hashtbl.find_opt site.contexts query with
+    | Some ctx -> Some ctx
+    | None -> (
+        (* First contact: set up the local context from the open query's
+           program.  (On a real network the program rides in the message;
+           in the simulator we read it from the registry — the byte
+           accounting above charges for it on every work message, as the
+           real protocol does.) *)
+        match find_open t query with
+        | None -> None
+        | Some oq ->
+          let marks =
+            match t.config.mark_scope with
+            | Local_marks -> Hf_engine.Mark_table.create ()
+            | Global_marks -> (
+                (* share the originator's table *)
+                match Hashtbl.find_opt t.sites.(query.originator).contexts query with
+                | Some origin_ctx -> origin_ctx.marks
+                | None -> Hf_engine.Mark_table.create ())
+          in
+          let ctx =
+            {
+              query;
+              plan = Hf_engine.Plan.make oq.program;
+              origin = query.originator;
+              marks;
+              work = Hf_util.Deque.create ();
+              detector =
+                D.create ~n_sites:(n_sites t) ~origin:query.originator ~self:site.id;
+              stats = Hf_engine.Stats.create ();
+              bindings = Hashtbl.create 4;
+              result_buffer = [];
+              local_result_set = Oid.Set.empty;
+              in_flight = 0;
+            }
+          in
+          Hashtbl.replace site.contexts query ctx;
+          Some ctx)
+
+  let merged_stats t query =
+    Array.fold_left
+      (fun acc site ->
+        match Hashtbl.find_opt site.contexts query with
+        | None -> acc
+        | Some ctx -> Hf_engine.Stats.merge acc ctx.stats)
+      (Hf_engine.Stats.create ()) t.sites
+
+  (* --- result handling at the originator --- *)
+
+  let merge_bindings table extra =
+    List.iter
+      (fun (target, values) ->
+        let existing = match Hashtbl.find_opt table target with None -> [] | Some v -> v in
+        Hashtbl.replace table target (existing @ values))
+      extra
+
+  let finish_query t oq =
+    if not oq.terminated then begin
+      oq.terminated <- true;
+      oq.finish_time <- Hf_sim.Sim.now t.sim;
+      record t oq.id.originator "terminate" (Fmt.str "%a" Hf_proto.Message.pp_query_id oq.id)
+    end
+
+  let handle_detector_result t oq (controls, terminated) send_control =
+    List.iter send_control controls;
+    if terminated then finish_query t oq
+
+  (* --- sending --- *)
+
+  let rec send_control t ~src ctx (dst, payload) =
+    let oq = find_open t ctx.query in
+    let site = t.sites.(src) in
+    enqueue t site (fun () ->
+        (match oq with
+         | Some oq ->
+           oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
+           Metrics.add_busy oq.metrics src t.config.costs.control_send
+         | None -> ());
+        record t src "control-send" (Fmt.str "to %d: %a" dst D.pp_control payload);
+        ( t.config.costs.control_send,
+          fun () ->
+            deliver t ~transit:t.config.costs.control_transit ~dst
+              (Control { query = ctx.query; payload; src })
+              (fun dsite message -> handle_message t dsite message) ))
+
+  (* Ship buffered results (and piggybacked controls) to the originator;
+     or, with nothing buffered, send the detector's drain controls
+     standalone. *)
+  and drain t site ctx =
+    record t site.id "drain" (Fmt.str "%a" Hf_proto.Message.pp_query_id ctx.query);
+    let controls, terminated = D.on_drain ctx.detector in
+    let oq = find_open t ctx.query in
+    (match oq with Some oq when terminated -> finish_query t oq | Some _ | None -> ());
+    if site.id = ctx.origin then
+      (* Originator: results are already final; controls go out directly. *)
+      List.iter (send_control t ~src:site.id ctx) controls
+    else begin
+      let has_results = ctx.result_buffer <> [] || Hashtbl.length ctx.bindings > 0 in
+      if not has_results then List.iter (send_control t ~src:site.id ctx) controls
+      else begin
+        let to_origin, elsewhere =
+          List.partition (fun (dst, _) -> dst = ctx.origin) controls
+        in
+        List.iter (send_control t ~src:site.id ctx) elsewhere;
+        let items = List.rev ctx.result_buffer in
+        let bindings =
+          Hashtbl.fold (fun target values acc -> (target, values) :: acc) ctx.bindings []
+        in
+        let payload =
+          match t.config.result_mode with
+          | Ship_items -> Hf_proto.Message.Items items
+          | Ship_counts -> Hf_proto.Message.Count (List.length items)
+          | Ship_threshold threshold ->
+            if List.length items >= threshold then
+              Hf_proto.Message.Count (List.length items)
+            else Hf_proto.Message.Items items
+        in
+        ctx.result_buffer <- [];
+        Hashtbl.reset ctx.bindings;
+        enqueue t site (fun () ->
+            (match oq with
+             | Some oq ->
+               Metrics.add_busy oq.metrics site.id t.config.costs.result_msg_send;
+               oq.metrics.Metrics.result_messages <- oq.metrics.Metrics.result_messages + 1;
+               oq.metrics.Metrics.result_bytes <-
+                 oq.metrics.Metrics.result_bytes + result_message_bytes payload bindings;
+               oq.metrics.Metrics.piggybacked_controls <-
+                 oq.metrics.Metrics.piggybacked_controls + List.length to_origin;
+               (match payload with
+                | Hf_proto.Message.Items items ->
+                  oq.metrics.Metrics.results_shipped <-
+                    oq.metrics.Metrics.results_shipped + List.length items
+                | Hf_proto.Message.Count _ -> ())
+             | None -> ());
+            record t site.id "result-send"
+              (Fmt.str "%d items to %d" (List.length items) ctx.origin);
+            ( t.config.costs.result_msg_send,
+              fun () ->
+                deliver t ~transit:t.config.costs.result_msg_transit ~dst:ctx.origin
+                  (Results { query = ctx.query; payload; bindings; piggybacked = to_origin;
+                             src = site.id })
+                  (fun dsite message -> handle_message t dsite message) ))
+      end
+    end
+
+  (* --- processing one work item --- *)
+
+  and maybe_drain t site ctx =
+    if Hf_util.Deque.is_empty ctx.work && ctx.in_flight = 0 then drain t site ctx
+
+  and process_one t site ctx () =
+    match Hf_util.Deque.pop_front ctx.work with
+    | None -> (0.0, fun () -> ())
+    | Some (item, source) ->
+      ctx.in_flight <- ctx.in_flight + 1;
+      let emit ~target values =
+        let existing =
+          match Hashtbl.find_opt ctx.bindings target with None -> [] | Some v -> v
+        in
+        Hashtbl.replace ctx.bindings target (existing @ values)
+      in
+      let { Hf_engine.Eval.spawned; passed; skipped } =
+        Hf_engine.Eval.run_object ~plan:ctx.plan ~find:(Hf_data.Store.find site.store)
+          ~marks:ctx.marks ~stats:ctx.stats ~emit item
+      in
+      let oq = find_open t ctx.query in
+      (if skipped && source = From_network then
+         match oq with
+         | Some oq ->
+           oq.metrics.Metrics.duplicate_work_messages <-
+             oq.metrics.Metrics.duplicate_work_messages + 1
+         | None -> ());
+      let local, remote =
+        List.partition (fun wi -> t.locate (Hf_engine.Work_item.oid wi) = site.id) spawned
+      in
+      (* Under the global-marks ablation, suppress sends the shared table
+         proves redundant. *)
+      let remote =
+        match t.config.mark_scope with
+        | Local_marks -> remote
+        | Global_marks ->
+          List.filter
+            (fun wi ->
+              not
+                (Hf_engine.Mark_table.mem ctx.marks (Hf_engine.Work_item.oid wi)
+                   (Hf_engine.Work_item.start wi)
+                   ~iters:(Hf_engine.Work_item.iters wi)))
+            remote
+      in
+      let is_new_result =
+        passed && not (Oid.Set.mem (Hf_engine.Work_item.oid item) ctx.local_result_set)
+      in
+      let costs = t.config.costs in
+      let duration =
+        (if skipped then costs.skip else costs.process)
+        +. (float_of_int (List.length remote) *. costs.msg_send)
+        +. (if is_new_result && site.id = ctx.origin then costs.result_add else 0.0)
+      in
+      (match oq with Some oq -> Metrics.add_busy oq.metrics site.id duration | None -> ());
+      let complete () =
+        ctx.in_flight <- ctx.in_flight - 1;
+        List.iter
+          (fun wi ->
+            Hf_util.Deque.push_back ctx.work (wi, Seeded);
+            enqueue t site (process_one t site ctx))
+          local;
+        List.iter
+          (fun wi ->
+            let dst = t.locate (Hf_engine.Work_item.oid wi) in
+            let tag = D.on_send_work ctx.detector ~dst in
+            (match oq with
+             | Some oq ->
+               oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
+               oq.metrics.Metrics.work_bytes <-
+                 oq.metrics.Metrics.work_bytes
+                 + work_message_bytes (Hf_engine.Plan.program ctx.plan) wi
+             | None -> ());
+            record t site.id "work-send"
+              (Fmt.str "oid %a to %d" Oid.pp (Hf_engine.Work_item.oid wi) dst);
+            deliver t ~transit:costs.msg_transit ~dst
+              (Work { query = ctx.query; item = wi; tag; src = site.id })
+              (fun dsite message -> handle_message t dsite message))
+          remote;
+        if is_new_result then begin
+          let oid = Hf_engine.Work_item.oid item in
+          ctx.local_result_set <- Oid.Set.add oid ctx.local_result_set;
+          if site.id = ctx.origin then (
+            match oq with
+            | Some oq ->
+              if not (Oid.Set.mem oid oq.final_set) then begin
+                oq.final_set <- Oid.Set.add oid oq.final_set;
+                oq.final_results <- oid :: oq.final_results
+              end
+            | None -> ())
+          else ctx.result_buffer <- oid :: ctx.result_buffer
+        end;
+        (* At the originator, emitted bindings are final immediately. *)
+        if site.id = ctx.origin then begin
+          match oq with
+          | Some oq ->
+            let extra =
+              Hashtbl.fold (fun target values acc -> (target, values) :: acc) ctx.bindings []
+            in
+            Hashtbl.reset ctx.bindings;
+            merge_bindings oq.final_bindings extra
+          | None -> ()
+        end;
+        maybe_drain t site ctx
+      in
+      (duration, complete)
+
+  (* --- incoming messages --- *)
+
+  and handle_message t site message =
+    let costs = t.config.costs in
+    match message with
+    | Work { query; item; tag; src } -> (
+        match context_of t site query with
+        | None -> (0.0, fun () -> ())
+        | Some ctx ->
+          record t site.id "work-recv"
+            (Fmt.str "oid %a" Oid.pp (Hf_engine.Work_item.oid item));
+          (match find_open t query with
+           | Some oq -> Metrics.add_busy oq.metrics site.id costs.msg_recv
+           | None -> ());
+          ( costs.msg_recv,
+            fun () ->
+              let controls = D.on_recv_work ctx.detector ~src tag in
+              List.iter (send_control t ~src:site.id ctx) controls;
+              Hf_util.Deque.push_back ctx.work (item, From_network);
+              enqueue t site (process_one t site ctx) ))
+    | Results { query; payload; bindings; piggybacked; src } -> (
+        match find_open t query with
+        | None -> (0.0, fun () -> ())
+        | Some oq ->
+          let new_items =
+            match payload with
+            | Hf_proto.Message.Items items ->
+              List.filter (fun oid -> not (Oid.Set.mem oid oq.final_set)) items
+            | Hf_proto.Message.Count _ -> []
+          in
+          let duration =
+            costs.result_msg_recv
+            +. (float_of_int (List.length new_items) *. costs.result_add)
+            +. (float_of_int
+                  (match payload with
+                   | Hf_proto.Message.Items items -> List.length items
+                   | Hf_proto.Message.Count _ -> 0)
+                *. costs.result_item)
+          in
+          Metrics.add_busy oq.metrics site.id duration;
+          record t site.id "result-recv" (Fmt.str "%d new items" (List.length new_items));
+          ( duration,
+            fun () ->
+              List.iter
+                (fun oid ->
+                  oq.final_set <- Oid.Set.add oid oq.final_set;
+                  oq.final_results <- oid :: oq.final_results)
+                new_items;
+              merge_bindings oq.final_bindings bindings;
+              (match payload with
+               | Hf_proto.Message.Count n ->
+                 let prev = List.assoc_opt src oq.counts in
+                 let rest = List.remove_assoc src oq.counts in
+                 oq.counts <- (src, n + Option.value prev ~default:0) :: rest
+               | Hf_proto.Message.Items _ -> ());
+              match context_of t site query with
+              | None -> ()
+              | Some ctx ->
+                List.iter
+                  (fun (_, payload) ->
+                    handle_detector_result t oq
+                      (D.on_recv_control ctx.detector ~src payload)
+                      (send_control t ~src:site.id ctx))
+                  piggybacked ))
+    | Control { query; payload; src } -> (
+        match context_of t site query with
+        | None -> (0.0, fun () -> ())
+        | Some ctx ->
+          (match find_open t query with
+           | Some oq -> Metrics.add_busy oq.metrics site.id costs.control_recv
+           | None -> ());
+          record t site.id "control-recv" (Fmt.str "%a" D.pp_control payload);
+          ( costs.control_recv,
+            fun () ->
+              let result = D.on_recv_control ctx.detector ~src payload in
+              match find_open t query with
+              | None -> ()
+              | Some oq ->
+                handle_detector_result t oq result (send_control t ~src:site.id ctx) ))
+    | Seed_from { query; from; tag; src } -> (
+        match context_of t site query with
+        | None -> (0.0, fun () -> ())
+        | Some ctx ->
+          ( costs.msg_recv,
+            fun () ->
+              let controls = D.on_recv_work ctx.detector ~src tag in
+              List.iter (send_control t ~src:site.id ctx) controls;
+              let seeds =
+                match Hashtbl.find_opt site.contexts from with
+                | None -> []
+                | Some prev -> Oid.Set.elements prev.local_result_set
+              in
+              List.iter
+                (fun oid ->
+                  Hf_util.Deque.push_back ctx.work
+                    (Hf_engine.Work_item.initial ctx.plan oid, From_network);
+                  enqueue t site (process_one t site ctx))
+                seeds;
+              maybe_drain t site ctx ))
+
+  (* --- detector polling (wave-based detectors) --- *)
+
+  let start_polling t oq ctx origin_site =
+    match D.poll_interval with
+    | None -> ()
+    | Some interval ->
+      let deadline = oq.start_time +. t.config.poll_window in
+      let rec tick () =
+        if (not oq.terminated) && Hf_sim.Sim.now t.sim <= deadline then begin
+          let controls = D.on_poll ctx.detector in
+          List.iter (send_control t ~src:origin_site.id ctx) controls;
+          Hf_sim.Sim.schedule t.sim ~delay:interval tick
+        end
+      in
+      Hf_sim.Sim.schedule t.sim ~delay:interval tick
+
+  (* --- issuing queries --- *)
+
+  let open_query t ~origin program =
+    let query = { Hf_proto.Message.originator = origin; serial = t.next_serial } in
+    t.next_serial <- t.next_serial + 1;
+    let oq =
+      {
+        id = query;
+        program;
+        start_time = Hf_sim.Sim.now t.sim;
+        metrics = Metrics.create ~n_sites:(n_sites t);
+        final_results = [];
+        final_set = Oid.Set.empty;
+        final_bindings = Hashtbl.create 4;
+        counts = [];
+        terminated = false;
+        finish_time = Hf_sim.Sim.now t.sim;
+      }
+    in
+    Hashtbl.replace t.open_queries query oq;
+    oq
+
+  let outcome_of t oq =
+    let bindings =
+      Hashtbl.fold (fun target values acc -> (target, values) :: acc) oq.final_bindings []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let counts =
+      (* include the originator's own local results in counting modes *)
+      match t.config.result_mode with
+      | Ship_items -> oq.counts
+      | Ship_counts | Ship_threshold _ -> (
+          match Hashtbl.find_opt t.sites.(oq.id.originator).contexts oq.id with
+          | None -> oq.counts
+          | Some ctx ->
+            (oq.id.originator, Oid.Set.cardinal ctx.local_result_set)
+            :: List.filter (fun (s, _) -> s <> oq.id.originator) oq.counts)
+    in
+    {
+      results = List.rev oq.final_results;
+      result_set = oq.final_set;
+      bindings;
+      counts = List.sort compare counts;
+      terminated = oq.terminated;
+      response_time =
+        (if oq.terminated then oq.finish_time -. oq.start_time
+         else Hf_sim.Sim.now t.sim -. oq.start_time);
+      metrics = oq.metrics;
+      engine_stats = merged_stats t oq.id;
+    }
+
+  type handle = open_query
+
+  (* Schedule a query from [origin] over [initial] without running the
+     simulation — several submitted queries then execute concurrently,
+     contending for the same site CPUs, when the simulation runs. *)
+  let submit t ~origin program initial =
+    if origin < 0 || origin >= n_sites t then invalid_arg "Cluster.submit: bad origin";
+    let oq = open_query t ~origin program in
+    let origin_site = t.sites.(origin) in
+    (match context_of t origin_site oq.id with
+     | None -> assert false
+     | Some ctx ->
+       D.on_seed ctx.detector;
+       start_polling t oq ctx origin_site;
+       enqueue t origin_site (fun () ->
+           let local, remote =
+             List.partition (fun oid -> t.locate oid = origin) initial
+           in
+           let duration =
+             float_of_int (List.length remote) *. t.config.costs.msg_send
+           in
+           Metrics.add_busy oq.metrics origin duration;
+           ( duration,
+             fun () ->
+               List.iter
+                 (fun oid ->
+                   Hf_util.Deque.push_back ctx.work
+                     (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
+                   enqueue t origin_site (process_one t origin_site ctx))
+                 local;
+               List.iter
+                 (fun oid ->
+                   let dst = t.locate oid in
+                   let tag = D.on_send_work ctx.detector ~dst in
+                   oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
+                   oq.metrics.Metrics.work_bytes <-
+                     oq.metrics.Metrics.work_bytes
+                     + work_message_bytes program (Hf_engine.Work_item.initial ctx.plan oid);
+                   deliver t ~transit:t.config.costs.msg_transit ~dst
+                     (Work
+                        { query = oq.id;
+                          item = Hf_engine.Work_item.initial ctx.plan oid;
+                          tag;
+                          src = origin;
+                        })
+                     (fun dsite message -> handle_message t dsite message))
+                 remote;
+               maybe_drain t origin_site ctx )));
+    oq
+
+  (* Run every scheduled event; submitted queries execute (and contend)
+     together. *)
+  let await_quiescence t = Hf_sim.Sim.run t.sim
+
+  let outcome t handle = outcome_of t handle
+
+  let query_id (handle : handle) = handle.id
+
+  (* Issue a query and run the simulation until the cluster goes quiet —
+     the sequential-client model of the paper's experiments. *)
+  let run_query t ~origin program initial =
+    let oq = submit t ~origin program initial in
+    Hf_sim.Sim.run t.sim;
+    outcome_of t oq
+
+  (* Re-query over the distributed result set of a previous query
+     (Section 5's proposed optimisation): each site seeds its working
+     set from its retained portion of [from]'s results; only one message
+     per site crosses the network. *)
+  let run_query_on_distributed t ~origin ~from program =
+    let oq = open_query t ~origin program in
+    let origin_site = t.sites.(origin) in
+    (match context_of t origin_site oq.id with
+     | None -> assert false
+     | Some ctx ->
+       D.on_seed ctx.detector;
+       start_polling t oq ctx origin_site;
+       enqueue t origin_site (fun () ->
+           let remote_sites =
+             List.filter (fun s -> s <> origin) (List.init (n_sites t) Fun.id)
+           in
+           let duration =
+             float_of_int (List.length remote_sites) *. t.config.costs.msg_send
+           in
+           Metrics.add_busy oq.metrics origin duration;
+           ( duration,
+             fun () ->
+               (* Local portion. *)
+               (match Hashtbl.find_opt origin_site.contexts from with
+                | None -> ()
+                | Some prev ->
+                  List.iter
+                    (fun oid ->
+                      Hf_util.Deque.push_back ctx.work
+                        (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
+                      enqueue t origin_site (process_one t origin_site ctx))
+                    (Oid.Set.elements prev.local_result_set));
+               List.iter
+                 (fun dst ->
+                   let tag = D.on_send_work ctx.detector ~dst in
+                   oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
+                   deliver t ~transit:t.config.costs.msg_transit ~dst
+                     (Seed_from { query = oq.id; from; tag; src = origin })
+                     (fun dsite message -> handle_message t dsite message))
+                 remote_sites;
+               maybe_drain t origin_site ctx )));
+    Hf_sim.Sim.run t.sim;
+    outcome_of t oq
+
+  let forget_query t query =
+    Hashtbl.remove t.open_queries query;
+    Array.iter (fun site -> Hashtbl.remove site.contexts query) t.sites
+
+  let last_query_id t =
+    if t.next_serial = 0 then None
+    else
+      Hashtbl.fold
+        (fun id _ acc ->
+          match acc with
+          | Some best when Hf_proto.Message.compare_query_id best id >= 0 -> acc
+          | Some _ | None -> Some id)
+        t.open_queries None
+end

@@ -1,0 +1,7 @@
+(* Ready-made cluster instantiations, one per termination detector.
+   [Weighted] is the paper's configuration and the default everywhere;
+   the other two exist for the termination-detector ablation (E11). *)
+
+module Weighted = Cluster.Make (Hf_termination.Weighted)
+module Dijkstra_scholten = Cluster.Make (Hf_termination.Dijkstra_scholten)
+module Four_counter = Cluster.Make (Hf_termination.Four_counter)

@@ -1,0 +1,50 @@
+(* Per-query metrics collected by the cluster harness: message counts by
+   kind, byte estimates, per-site busy time.  These drive the
+   experiment tables (message-cost columns, mark-table ablation) and the
+   "queries ship ~40 bytes" accounting. *)
+
+type t = {
+  n_sites : int;
+  mutable work_messages : int;
+  mutable result_messages : int;
+  mutable control_messages : int; (* standalone control messages *)
+  mutable piggybacked_controls : int; (* controls that rode on result messages *)
+  mutable work_bytes : int;
+  mutable result_bytes : int;
+  mutable duplicate_work_messages : int;
+      (* deref requests for (object, start) pairs the receiving site had
+         already processed — the cost of local (vs global) mark tables *)
+  busy : float array; (* per-site CPU busy time *)
+  mutable results_shipped : int; (* result items that crossed the network *)
+}
+
+let create ~n_sites =
+  {
+    n_sites;
+    work_messages = 0;
+    result_messages = 0;
+    control_messages = 0;
+    piggybacked_controls = 0;
+    work_bytes = 0;
+    result_bytes = 0;
+    duplicate_work_messages = 0;
+    busy = Array.make n_sites 0.0;
+    results_shipped = 0;
+  }
+
+let add_busy t site duration = t.busy.(site) <- t.busy.(site) +. duration
+
+let total_messages t = t.work_messages + t.result_messages + t.control_messages
+
+let total_bytes t = t.work_bytes + t.result_bytes
+
+let total_busy t = Array.fold_left ( +. ) 0.0 t.busy
+
+let max_busy t = Array.fold_left max 0.0 t.busy
+
+let pp ppf t =
+  Fmt.pf ppf
+    "work=%d (%dB) result=%d (%dB) control=%d (+%d piggybacked) dup-work=%d shipped=%d busy: \
+     total=%.3fs max=%.3fs"
+    t.work_messages t.work_bytes t.result_messages t.result_bytes t.control_messages
+    t.piggybacked_controls t.duplicate_work_messages t.results_shipped (total_busy t) (max_busy t)

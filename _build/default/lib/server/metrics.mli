@@ -1,0 +1,29 @@
+(** Per-query metrics collected by the cluster harness. *)
+
+type t = {
+  n_sites : int;
+  mutable work_messages : int;
+  mutable result_messages : int;
+  mutable control_messages : int;
+  mutable piggybacked_controls : int;
+      (** termination-control payloads that rode on result messages. *)
+  mutable work_bytes : int;
+  mutable result_bytes : int;
+  mutable duplicate_work_messages : int;
+      (** deref requests the receiving site's mark table then ignored —
+          the cost of keeping mark tables local (paper, Section 3.2). *)
+  busy : float array;  (** per-site CPU busy time (seconds). *)
+  mutable results_shipped : int;
+      (** result items that crossed the network. *)
+}
+
+val create : n_sites:int -> t
+
+val add_busy : t -> int -> float -> unit
+
+val total_messages : t -> int
+val total_bytes : t -> int
+val total_busy : t -> float
+val max_busy : t -> float
+
+val pp : Format.formatter -> t -> unit

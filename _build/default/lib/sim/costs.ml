@@ -1,0 +1,89 @@
+(* The simulator's cost model.  The defaults are the paper's measured
+   basic times (Section 5, "From our experiments we deduced a few basic
+   times"), so simulated response times land in the same regime as the
+   prototype's wall-clock measurements:
+
+     - 8 ms to process one object locally;
+     - 20 ms to add an object to the result set;
+     - ~50 ms per remote dereference message (message construction,
+       send/receive system calls, transmission);
+     - ~50 ms per remote result message.
+
+   Message costs are split into sender CPU, wire transit, and receiver
+   CPU so that the simulator captures the parallelism the paper
+   exploits: while a message is on the wire nobody is busy. *)
+
+type t = {
+  process : float; (* per productive object removal *)
+  skip : float; (* per mark-table-suppressed removal *)
+  result_add : float; (* per object added to the result set *)
+  msg_send : float; (* sender CPU per work message *)
+  msg_transit : float; (* wire time per work message *)
+  msg_recv : float; (* receiver CPU per work message *)
+  result_msg_send : float; (* sender CPU per result message *)
+  result_msg_transit : float;
+  result_msg_recv : float; (* receiver CPU per result message *)
+  result_item : float; (* receiver CPU per result item carried *)
+  control_send : float; (* CPU per standalone control message *)
+  control_transit : float;
+  control_recv : float;
+}
+
+(* 15 + 20 + 15 = 50 ms per remote dereference, matching the paper's
+   lumped figure; likewise for result messages.  Control messages are
+   cheap because in the real protocol credit returns piggyback on result
+   messages. *)
+let paper =
+  {
+    process = 0.008;
+    skip = 0.0005;
+    result_add = 0.020;
+    msg_send = 0.015;
+    msg_transit = 0.020;
+    msg_recv = 0.015;
+    result_msg_send = 0.015;
+    result_msg_transit = 0.020;
+    result_msg_recv = 0.015;
+    result_item = 0.0;
+    control_send = 0.002;
+    control_transit = 0.020;
+    control_recv = 0.002;
+  }
+
+let work_message_total t = t.msg_send +. t.msg_transit +. t.msg_recv
+
+let result_message_total t = t.result_msg_send +. t.result_msg_transit +. t.result_msg_recv
+
+let zero_latency =
+  {
+    process = 0.0;
+    skip = 0.0;
+    result_add = 0.0;
+    msg_send = 0.0;
+    msg_transit = 0.0;
+    msg_recv = 0.0;
+    result_msg_send = 0.0;
+    result_msg_transit = 0.0;
+    result_msg_recv = 0.0;
+    result_item = 0.0;
+    control_send = 0.0;
+    control_transit = 0.0;
+    control_recv = 0.0;
+  }
+
+let scale factor t =
+  {
+    process = t.process *. factor;
+    skip = t.skip *. factor;
+    result_add = t.result_add *. factor;
+    msg_send = t.msg_send *. factor;
+    msg_transit = t.msg_transit *. factor;
+    msg_recv = t.msg_recv *. factor;
+    result_msg_send = t.result_msg_send *. factor;
+    result_msg_transit = t.result_msg_transit *. factor;
+    result_msg_recv = t.result_msg_recv *. factor;
+    result_item = t.result_item *. factor;
+    control_send = t.control_send *. factor;
+    control_transit = t.control_transit *. factor;
+    control_recv = t.control_recv *. factor;
+  }

@@ -1,0 +1,38 @@
+(** Simulator cost model, defaulted to the paper's measured basic times
+    (Section 5): 8 ms per object processed, 20 ms per result-set
+    insertion, ~50 ms per remote dereference message, ~50 ms per remote
+    result message.
+
+    Message costs split into sender CPU + wire transit + receiver CPU so
+    the simulator reproduces the parallelism the paper exploits. *)
+
+type t = {
+  process : float;
+  skip : float;
+  result_add : float;
+  msg_send : float;
+  msg_transit : float;
+  msg_recv : float;
+  result_msg_send : float;
+  result_msg_transit : float;
+  result_msg_recv : float;
+  result_item : float;
+  control_send : float;
+  control_transit : float;
+  control_recv : float;
+}
+
+val paper : t
+(** The paper's measured basic times. *)
+
+val zero_latency : t
+(** All costs zero — used by correctness tests that only care about the
+    protocol's final state. *)
+
+val work_message_total : t -> float
+(** End-to-end cost of one work message (the paper's ~50 ms). *)
+
+val result_message_total : t -> float
+
+val scale : float -> t -> t
+(** Multiply every component. *)

@@ -1,0 +1,65 @@
+(* Discrete-event simulation core: a virtual clock and an event queue.
+   Events are closures scheduled at absolute virtual times; the run loop
+   pops them in time order (FIFO among equal times, so runs are
+   deterministic) and executes them, which may schedule further events.
+
+   This is the testbed substitute for the paper's network of IBM PC/RTs:
+   all timing behaviour of the distributed server is expressed as
+   scheduled events against this clock. *)
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Hf_util.Heap.t;
+  mutable events_processed : int;
+  mutable halted : bool;
+}
+
+exception Time_limit_exceeded of float
+
+let create () =
+  { now = 0.0; queue = Hf_util.Heap.create (); events_processed = 0; halted = false }
+
+let now t = t.now
+
+let events_processed t = t.events_processed
+
+let pending t = Hf_util.Heap.length t.queue
+
+let schedule_at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is in the past (now %g)" time t.now);
+  Hf_util.Heap.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) f
+
+let halt t = t.halted <- true
+
+let run ?limit t =
+  t.halted <- false;
+  let rec loop () =
+    if not t.halted then begin
+      match Hf_util.Heap.pop t.queue with
+      | None -> ()
+      | Some (time, f) ->
+        (match limit with
+         | Some max_time when time > max_time -> raise (Time_limit_exceeded time)
+         | Some _ | None -> ());
+        t.now <- time;
+        t.events_processed <- t.events_processed + 1;
+        f ();
+        loop ()
+    end
+  in
+  loop ()
+
+let step t =
+  match Hf_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    t.events_processed <- t.events_processed + 1;
+    f ();
+    true

@@ -1,0 +1,38 @@
+(** Discrete-event simulation core: virtual clock plus event queue.
+
+    Events are closures scheduled at absolute virtual times and executed
+    in time order, FIFO among equal times — runs are deterministic.
+    This is the testbed substitute for the paper's network of IBM
+    PC/RTs. *)
+
+type t
+
+exception Time_limit_exceeded of float
+(** Raised by {!run} when the next event lies beyond the limit — a
+    guard against runaway simulations in tests. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds). *)
+
+val events_processed : t -> int
+
+val pending : t -> int
+(** Events still queued. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] if [time] is in the virtual past. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule relative to now. Raises [Invalid_argument] on a negative
+    delay. *)
+
+val halt : t -> unit
+(** Make the current {!run} stop after the executing event returns. *)
+
+val run : ?limit:float -> t -> unit
+(** Execute events until the queue is empty or {!halt} is called. *)
+
+val step : t -> bool
+(** Execute a single event; [false] when the queue is empty. *)

@@ -1,0 +1,35 @@
+(* Optional event trace for debugging and for the message-accounting
+   assertions in tests.  Collection is off unless a trace is installed,
+   so the hot path costs one branch. *)
+
+type event = {
+  time : float;
+  site : int;
+  kind : string;
+  detail : string;
+}
+
+type t = { mutable events : event list; mutable count : int; limit : int }
+
+let create ?(limit = 100_000) () = { events = []; count = 0; limit }
+
+let record t ~time ~site ~kind ~detail =
+  if t.count < t.limit then begin
+    t.events <- { time; site; kind; detail } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.events
+
+let count t = t.count
+
+let count_kind t kind =
+  List.fold_left (fun acc e -> if String.equal e.kind kind then acc + 1 else acc) 0 t.events
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let pp_event ppf e = Fmt.pf ppf "%8.4f site%-2d %-12s %s" e.time e.site e.kind e.detail
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_event) (events t)

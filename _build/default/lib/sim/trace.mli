@@ -1,0 +1,22 @@
+(** Optional event trace for debugging and message-accounting tests. *)
+
+type event = { time : float; site : int; kind : string; detail : string }
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Recording stops after [limit] events (default 100_000). *)
+
+val record : t -> time:float -> site:int -> kind:string -> detail:string -> unit
+
+val events : t -> event list
+(** In recording order. *)
+
+val count : t -> int
+
+val count_kind : t -> string -> int
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

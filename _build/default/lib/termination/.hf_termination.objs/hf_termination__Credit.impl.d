@@ -1,0 +1,1 @@
+lib/termination/credit.ml: Fmt Int List Map

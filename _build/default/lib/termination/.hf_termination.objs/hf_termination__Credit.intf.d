@@ -1,0 +1,1 @@
+lib/termination/credit.mli: Format

@@ -1,0 +1,1 @@
+lib/termination/detector.ml: Format

@@ -1,0 +1,1 @@
+lib/termination/dijkstra_scholten.ml: Detector Fmt

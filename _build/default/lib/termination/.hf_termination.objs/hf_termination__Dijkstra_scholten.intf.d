@@ -1,0 +1,1 @@
+lib/termination/dijkstra_scholten.mli: Detector

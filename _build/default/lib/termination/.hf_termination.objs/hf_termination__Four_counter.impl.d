@@ -1,0 +1,1 @@
+lib/termination/four_counter.ml: Detector Fmt Fun List

@@ -1,0 +1,1 @@
+lib/termination/four_counter.mli: Detector

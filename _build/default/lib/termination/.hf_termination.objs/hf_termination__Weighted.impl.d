@@ -1,0 +1,1 @@
+lib/termination/weighted.ml: Credit Detector Fmt

@@ -1,0 +1,1 @@
+lib/termination/weighted.mli: Credit Detector

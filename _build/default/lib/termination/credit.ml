@@ -1,0 +1,86 @@
+(* Exact dyadic credit arithmetic for the weighted-message termination
+   algorithm.  A credit is a finite multiset of atoms, each atom worth
+   2^-k; the whole computation starts with the single atom 2^0 = 1 held
+   by the originating site.  Splitting replaces an atom 2^-k by two atoms
+   2^-(k+1); merging does the reverse.  Because exponents are unbounded
+   OCaml ints, credit never "runs out" no matter how long a pointer chain
+   grows — no borrowing protocol is needed and the arithmetic is exact,
+   so termination is detected iff all credit returns.
+
+   Representation: a map from exponent k to the number of atoms of value
+   2^-k, kept normalized (every count is 1 — pairs carry into k-1), which
+   makes equality and the is-one test trivial. *)
+
+module Int_map = Map.Make (Int)
+
+type t = int Int_map.t (* exponent -> count, normalized: counts are all 1 *)
+
+let zero = Int_map.empty
+
+let one = Int_map.singleton 0 1
+
+let is_zero t = Int_map.is_empty t
+
+let is_one t = Int_map.equal Int.equal t one
+
+let equal = Int_map.equal Int.equal
+
+(* Carry pairs of atoms upward: 2 * 2^-k = 2^-(k-1).  Exponent 0 with a
+   count of 2 would mean total credit > 1, which no legal execution can
+   produce; [normalize] asserts it away. *)
+let rec normalize t =
+  let carry = Int_map.filter (fun _ count -> count >= 2) t in
+  if Int_map.is_empty carry then t
+  else begin
+    let t =
+      Int_map.fold
+        (fun k count acc ->
+          assert (k > 0 || count < 2);
+          let acc = Int_map.add k (count mod 2) acc in
+          let acc = if count mod 2 = 0 then Int_map.remove k acc else acc in
+          let prev = match Int_map.find_opt (k - 1) acc with None -> 0 | Some c -> c in
+          Int_map.add (k - 1) (prev + (count / 2)) acc)
+        carry t
+    in
+    normalize t
+  end
+
+let add a b =
+  let merged =
+    Int_map.union (fun _ ca cb -> Some (ca + cb)) a b
+  in
+  normalize merged
+
+(* Split off a piece to attach to an outgoing message: halve the smallest
+   atom (largest exponent).  This keeps the holder's big atoms intact, so
+   its credit stays "chunky" and merge chains stay short. *)
+let split t =
+  match Int_map.max_binding_opt t with
+  | None -> invalid_arg "Credit.split: cannot split zero credit"
+  | Some (k, _count) ->
+    let rest = Int_map.remove k t in
+    let keep = add rest (Int_map.singleton (k + 1) 1) in
+    let gave = Int_map.singleton (k + 1) 1 in
+    (keep, gave)
+
+let atoms t = Int_map.fold (fun k count acc -> List.init count (fun _ -> k) @ acc) t [] |> List.sort compare
+
+let of_atoms ks =
+  normalize
+    (List.fold_left
+       (fun acc k ->
+         if k < 0 then invalid_arg "Credit.of_atoms: negative exponent";
+         let prev = match Int_map.find_opt k acc with None -> 0 | Some c -> c in
+         Int_map.add k (prev + 1) acc)
+       Int_map.empty ks)
+
+(* Approximate numeric value, for diagnostics only (underflows for deep
+   exponents — never used for decisions). *)
+let to_float t = Int_map.fold (fun k count acc -> acc +. (float_of_int count *. (2.0 ** float_of_int (-k)))) t 0.0
+
+let max_exponent t = match Int_map.max_binding_opt t with None -> None | Some (k, _) -> Some k
+
+let pp ppf t =
+  if is_zero t then Fmt.string ppf "0"
+  else
+    Fmt.list ~sep:(Fmt.any "+") (fun ppf k -> Fmt.pf ppf "2^-%d" k) ppf (atoms t)

@@ -1,0 +1,44 @@
+(** Exact dyadic credit arithmetic for weighted-message termination
+    detection.
+
+    A credit is a finite multiset of atoms worth 2{^-k}; the computation
+    starts with the single atom 2{^0} = 1 at the originating site.
+    Splitting replaces 2{^-k} by two 2{^-(k+1)} atoms.  Exponents are
+    unbounded, so credit can be split indefinitely (no borrowing
+    protocol), and the arithmetic is exact: the origin has recovered
+    {e all} credit iff its accumulated credit normalizes back to 1. *)
+
+type t
+
+val zero : t
+val one : t
+
+val is_zero : t -> bool
+
+val is_one : t -> bool
+(** Exactly the full credit — the termination condition. *)
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+(** Exact sum, normalized (pairs of equal atoms carry upward). *)
+
+val split : t -> t * t
+(** [split c] halves the smallest atom of [c], returning
+    [(kept, given)] with [add kept given = c].  Raises
+    [Invalid_argument] on zero credit. *)
+
+val atoms : t -> int list
+(** Sorted atom exponents (each atom is worth 2{^-k}). *)
+
+val of_atoms : int list -> t
+(** Build (and normalize) from atom exponents; the wire decoding path.
+    Raises [Invalid_argument] on negative exponents. *)
+
+val to_float : t -> float
+(** Approximate numeric value; diagnostics only. *)
+
+val max_exponent : t -> int option
+(** Deepest split so far — a measure of how finely credit was divided. *)
+
+val pp : Format.formatter -> t -> unit

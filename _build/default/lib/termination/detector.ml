@@ -1,0 +1,59 @@
+(* Common interface for distributed-termination detectors.
+
+   A query terminates when every site's working set is empty and no
+   dereference message is in flight (Section 4 of the paper — an
+   instance of the Distributed Termination Problem).  Detectors plug
+   into the cluster through this interface:
+
+   - every work (dereference) message carries a detector [tag];
+   - detectors may exchange standalone [control] messages;
+   - the harness notifies the detector when a site seeds work, sends or
+     receives a work message, or drains its working set;
+   - wave-based detectors may ask to be polled periodically at the
+     originating site.
+
+   Only the origin's detector instance ever reports termination. *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type tag
+  type control
+
+  val create : n_sites:int -> origin:int -> self:int -> t
+  (** Per-site instance. Raises [Invalid_argument] on a bad site
+      count or identifiers out of range. *)
+
+  val on_seed : t -> unit
+  (** The origin put the initial work items into its own working set. *)
+
+  val on_send_work : t -> dst:int -> tag
+  (** About to send a work message; returns the tag to attach. *)
+
+  val on_recv_work : t -> src:int -> tag -> (int * control) list
+  (** A work message arrived; may emit immediate control messages
+      (e.g. Dijkstra–Scholten acknowledgements). *)
+
+  val on_drain : t -> (int * control) list * bool
+  (** The local working set just became empty.  Returns control
+      messages to send and, at the origin, whether termination is now
+      known. *)
+
+  val on_recv_control : t -> src:int -> control -> (int * control) list * bool
+  (** A control message arrived; same result convention as
+      [on_drain]. *)
+
+  val poll_interval : float option
+  (** If set, the harness calls [on_poll] at the origin this often
+      (simulated seconds) while the query is open. *)
+
+  val on_poll : t -> (int * control) list
+
+  val pp_control : Format.formatter -> control -> unit
+end
+
+let check_args ~n_sites ~origin ~self =
+  if n_sites <= 0 then invalid_arg "Detector.create: n_sites must be positive";
+  if origin < 0 || origin >= n_sites then invalid_arg "Detector.create: origin out of range";
+  if self < 0 || self >= n_sites then invalid_arg "Detector.create: self out of range"

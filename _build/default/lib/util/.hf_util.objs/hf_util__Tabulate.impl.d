@@ -1,0 +1,1 @@
+lib/util/tabulate.ml: Buffer List Printf String

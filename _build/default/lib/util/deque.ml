@@ -1,0 +1,62 @@
+(* Functional-core double-ended queue (pair of lists, amortised O(1)).
+   The query engine's working set is a deque so that the search order is a
+   policy choice: push_back/pop_front gives breadth-first (the paper's
+   recommendation, citing Kapidakis), push_front/pop_front gives
+   depth-first. *)
+
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list; (* reversed *)
+  mutable size : int;
+}
+
+let create () = { front = []; back = []; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let push_back t x =
+  t.back <- x :: t.back;
+  t.size <- t.size + 1
+
+let push_front t x =
+  t.front <- x :: t.front;
+  t.size <- t.size + 1
+
+let pop_front t =
+  match t.front with
+  | x :: rest ->
+    t.front <- rest;
+    t.size <- t.size - 1;
+    Some x
+  | [] ->
+    (match List.rev t.back with
+     | [] -> None
+     | x :: rest ->
+       t.front <- rest;
+       t.back <- [];
+       t.size <- t.size - 1;
+       Some x)
+
+let pop_back t =
+  match t.back with
+  | x :: rest ->
+    t.back <- rest;
+    t.size <- t.size - 1;
+    Some x
+  | [] ->
+    (match List.rev t.front with
+     | [] -> None
+     | x :: rest ->
+       t.back <- rest;
+       t.front <- [];
+       t.size <- t.size - 1;
+       Some x)
+
+let to_list t = t.front @ List.rev t.back
+
+let clear t =
+  t.front <- [];
+  t.back <- [];
+  t.size <- 0

@@ -1,0 +1,25 @@
+(** Double-ended queue with amortised O(1) operations at both ends.
+
+    Used for the query engine's working set; the choice of ends determines
+    the graph search order (FIFO = breadth-first, LIFO = depth-first). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val pop_back : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Elements front-to-back. *)
+
+val clear : 'a t -> unit

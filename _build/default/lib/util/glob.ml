@@ -1,0 +1,28 @@
+(* Glob-style matching for string patterns in queries: '*' matches any
+   (possibly empty) substring, '?' matches exactly one character, anything
+   else matches itself.  Iterative backtracking algorithm: O(n*m) worst
+   case, linear for patterns without '*'. *)
+
+let matches ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  let rec go pi ti star_pi star_ti =
+    if ti = nt then
+      (* consume trailing '*'s *)
+      let rec only_stars i = i = np || (pattern.[i] = '*' && only_stars (i + 1)) in
+      if only_stars pi then true
+      else if star_pi >= 0 && star_ti < nt then go (star_pi + 1) (star_ti + 1) star_pi (star_ti + 1)
+      else false
+    else if pi < np && pattern.[pi] = '*' then
+      (* record backtrack point: '*' matches empty for now *)
+      go (pi + 1) ti pi ti
+    else if pi < np && (pattern.[pi] = '?' || pattern.[pi] = text.[ti]) then
+      go (pi + 1) (ti + 1) star_pi star_ti
+    else if star_pi >= 0 then
+      (* backtrack: extend the last '*' by one character *)
+      go (star_pi + 1) (star_ti + 1) star_pi (star_ti + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let is_literal pattern =
+  not (String.exists (fun c -> c = '*' || c = '?') pattern)

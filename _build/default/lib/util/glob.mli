@@ -1,0 +1,11 @@
+(** Glob-style string matching for query patterns.
+
+    ['*'] matches any (possibly empty) substring; ['?'] matches exactly
+    one character; every other character matches itself. *)
+
+val matches : pattern:string -> string -> bool
+(** [matches ~pattern text] tests [text] against [pattern]. *)
+
+val is_literal : string -> bool
+(** [true] when the pattern contains no metacharacters (so equality
+    suffices and indexes may be used). *)

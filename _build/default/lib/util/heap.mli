@@ -1,0 +1,24 @@
+(** Binary min-heap with FIFO tie-breaking on equal priorities.
+
+    Backbone of the discrete-event simulator's event queue: events at the
+    same virtual time pop in the order they were scheduled, which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t prio v] inserts [v] with priority [prio]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum element, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,28 @@
+(** Sample statistics for benchmark reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1). *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [p] in [\[0,1\]], linear interpolation
+    between closest ranks. Raises [Invalid_argument] on an empty sample
+    or [p] out of range. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty sample. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] for samples of size < 2. *)
+
+val summarize : float array -> summary
+(** Full summary. Raises [Invalid_argument] on an empty sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit

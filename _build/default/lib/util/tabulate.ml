@@ -1,0 +1,59 @@
+(* Plain-text table rendering for the benchmark harness: fixed-width
+   columns sized to content, a header rule, right-aligned numeric cells. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Left) title = { title; align }
+
+let right title = { title; align = Right }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?(indent = 0) columns rows =
+  let ncols = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Tabulate.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let widths =
+    List.mapi
+      (fun i col ->
+        let cell_width = List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 rows in
+        max (String.length col.title) cell_width)
+      columns
+  in
+  let prefix = String.make indent ' ' in
+  let buf = Buffer.create 256 in
+  let emit_row cells aligns =
+    Buffer.add_string buf prefix;
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) (List.nth widths i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let aligns = List.map (fun c -> c.align) columns in
+  emit_row (List.map (fun c -> c.title) columns) aligns;
+  Buffer.add_string buf prefix;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter (fun row -> emit_row row aligns) rows;
+  Buffer.contents buf
+
+let print ?indent columns rows = print_string (render ?indent columns rows)

@@ -1,0 +1,17 @@
+(** Plain-text tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+type column
+
+val column : ?align:align -> string -> column
+(** Column with a title; default alignment is [Left]. *)
+
+val right : string -> column
+(** Right-aligned column (numeric data). *)
+
+val render : ?indent:int -> column list -> string list list -> string
+(** [render columns rows] lays the rows out under a header rule. Raises
+    [Invalid_argument] if any row's width differs from the header's. *)
+
+val print : ?indent:int -> column list -> string list list -> unit

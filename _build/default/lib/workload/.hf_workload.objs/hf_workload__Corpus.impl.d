@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Hf_data Hf_util List Printf String

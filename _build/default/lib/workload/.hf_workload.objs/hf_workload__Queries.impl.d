@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Hf_data Hf_query Hf_util

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Buffer Fun Hf_data Hf_util List Printf String

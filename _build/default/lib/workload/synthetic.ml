@@ -1,0 +1,273 @@
+(* The synthetic dataset of Section 5, reconstructed from the paper's
+   description.  Each object carries:
+
+   - five search-key tuples: one unique to the object, one found in all
+     objects, and three drawn from spaces of 10, 100 and 1000 values;
+   - one chain pointer forming a linked list of all items, always
+     remote when there is more than one machine (maximum delay);
+   - fourteen random pointers: seven locality classes with two pointers
+     each, the probability of a pointer staying local varying from .05
+     to .95 across classes;
+   - tree pointers forming a spanning tree: the root points once to
+     each other machine, and each of those targets roots a local
+     spanning tree (high parallelism at low message cost);
+   - a filler body blob, so objects are long relative to queries (the
+     ship-data baseline pays for it).
+
+   Objects are generated over *logical* ids (0..n-1) with a fixed
+   partition into groups; machine placement maps groups to sites.  The
+   9-machine partition refines the 3-machine one (site = group mod
+   n_sites), so the pointer graph is identical regardless of the number
+   of machines — exactly the property the paper's experiments relied
+   on.  "Local" during generation means same group, which implies same
+   site in every configuration.
+
+   One liberty, documented in DESIGN.md: the first pointer of each
+   random class follows a locality-respecting cycle through all objects
+   (the second is i.i.d. random).  This guarantees that a transitive
+   closure from the root visits all objects, matching the paper's "270
+   objects involved in the queries", which pure i.i.d. pointers would
+   not reproduce. *)
+
+type params = {
+  n_objects : int;
+  n_groups : int; (* finest machine partition; must divide evenly into sites *)
+  seed : int;
+  blob_bytes : int; (* filler body per object *)
+}
+
+let default_params = { n_objects = 270; n_groups = 9; seed = 42; blob_bytes = 2048 }
+
+let localities = [ 0.05; 0.20; 0.35; 0.50; 0.65; 0.80; 0.95 ]
+
+let rand_key p = Printf.sprintf "Rand%02.0f" (p *. 100.0)
+
+let chain_key = "Chain"
+
+let tree_key = "Tree"
+
+(* One logical object: search-key values plus logical pointer targets,
+   tagged with their pointer key. *)
+type logical_object = {
+  unique : int;
+  rand10 : int;
+  rand100 : int;
+  rand1000 : int;
+  pointers : (string * int) list;
+}
+
+type t = {
+  params : params;
+  group_of : int array;
+  objects : logical_object array;
+}
+
+let group_of_logical ~n_groups i = i mod n_groups
+
+(* A cyclic tour of all objects in which each step stays in the current
+   group with probability ~p.  Guarantees every object is visited. *)
+let locality_cycle prng ~n_objects ~group_of ~n_groups ~p =
+  let remaining = Array.make n_groups [] in
+  for i = n_objects - 1 downto 1 do
+    let g = group_of i in
+    remaining.(g) <- i :: remaining.(g)
+  done;
+  (* shuffle within each group *)
+  for g = 0 to n_groups - 1 do
+    let arr = Array.of_list remaining.(g) in
+    Hf_util.Prng.shuffle_in_place prng arr;
+    remaining.(g) <- Array.to_list arr
+  done;
+  let pop g =
+    match remaining.(g) with
+    | [] -> None
+    | x :: rest ->
+      remaining.(g) <- rest;
+      Some x
+  in
+  let pop_other g =
+    let candidates =
+      List.filter (fun h -> h <> g && remaining.(h) <> []) (List.init n_groups Fun.id)
+    in
+    match candidates with
+    | [] -> pop g
+    | _ -> pop (List.nth candidates (Hf_util.Prng.next_int prng (List.length candidates)))
+  in
+  let sequence = Array.make n_objects 0 in
+  let current = ref 0 in
+  for k = 1 to n_objects - 1 do
+    let g = group_of !current in
+    let next =
+      if Hf_util.Prng.next_bool prng p then
+        match pop g with Some x -> Some x | None -> pop_other g
+      else match pop_other g with Some x -> Some x | None -> pop g
+    in
+    match next with
+    | Some x ->
+      sequence.(k) <- x;
+      current := x
+    | None -> assert false (* exactly n_objects - 1 pops happen *)
+  done;
+  (* successor along the cycle *)
+  let successor = Array.make n_objects 0 in
+  for k = 0 to n_objects - 1 do
+    successor.(sequence.(k)) <- sequence.((k + 1) mod n_objects)
+  done;
+  successor
+
+(* An i.i.d. random target, local (same group) with probability p. *)
+let random_target prng ~n_objects ~group_of ~p i =
+  let g = group_of i in
+  let in_group target = group_of target = g in
+  let want_local = Hf_util.Prng.next_bool prng p in
+  let rec draw attempts =
+    let candidate = Hf_util.Prng.next_int prng n_objects in
+    if attempts > 200 then candidate
+    else if candidate = i then draw (attempts + 1)
+    else if in_group candidate = want_local then candidate
+    else draw (attempts + 1)
+  in
+  draw 0
+
+(* Spanning tree: the root (object 0) points to the head of every other
+   group; within each group a binary tree over the group's members.
+   Leaves get a local self-pointer: under Figure 3 semantics an object
+   without a matching pointer tuple fails the traversal body's selection
+   before the trailing search-key filter, so terminator self-pointers
+   keep every object of the closure filterable, as the paper's result
+   counts imply.  Self-pointers are suppressed by the mark table and
+   never cross the network. *)
+let tree_edges ~n_objects ~group_of ~n_groups =
+  let members = Array.make n_groups [] in
+  for i = n_objects - 1 downto 0 do
+    members.(group_of i) <- i :: members.(group_of i)
+  done;
+  let edges = ref [] in
+  for g = 0 to n_groups - 1 do
+    let arr = Array.of_list members.(g) in
+    Array.iteri
+      (fun j node ->
+        let n_children =
+          ((if (2 * j) + 1 < Array.length arr then 1 else 0)
+          + if (2 * j) + 2 < Array.length arr then 1 else 0)
+        in
+        let child k = if k < Array.length arr then edges := (node, arr.(k)) :: !edges in
+        child ((2 * j) + 1);
+        child ((2 * j) + 2);
+        if n_children = 0 then edges := (node, node) :: !edges)
+      arr;
+    if g <> group_of 0 && Array.length arr > 0 then edges := (0, arr.(0)) :: !edges
+  done;
+  !edges
+
+let generate ?(params = default_params) () =
+  if params.n_objects < 2 then invalid_arg "Synthetic.generate: need at least 2 objects";
+  if params.n_groups < 1 || params.n_groups > params.n_objects then
+    invalid_arg "Synthetic.generate: bad group count";
+  let prng = Hf_util.Prng.create params.seed in
+  let n = params.n_objects in
+  let n_groups = params.n_groups in
+  let group_of = Array.init n (group_of_logical ~n_groups) in
+  let group i = group_of.(i) in
+  let pointers = Array.make n [] in
+  let add_pointer i key target = pointers.(i) <- (key, target) :: pointers.(i) in
+  (* chain; the last object gets a terminator self-pointer so it is
+     still examined by the trailing search-key filter (see tree_edges) *)
+  for i = 0 to n - 2 do
+    add_pointer i chain_key (i + 1)
+  done;
+  add_pointer (n - 1) chain_key (n - 1);
+  (* random classes: one cycle pointer + one i.i.d. pointer per class *)
+  List.iter
+    (fun p ->
+      let key = rand_key p in
+      let successor = locality_cycle prng ~n_objects:n ~group_of:group ~n_groups ~p in
+      for i = 0 to n - 1 do
+        add_pointer i key successor.(i);
+        add_pointer i key (random_target prng ~n_objects:n ~group_of:group ~p i)
+      done)
+    localities;
+  (* tree *)
+  List.iter (fun (src, dst) -> add_pointer src tree_key dst) (tree_edges ~n_objects:n ~group_of:group ~n_groups);
+  let objects =
+    Array.init n (fun i ->
+        {
+          unique = i;
+          rand10 = 1 + Hf_util.Prng.next_int prng 10;
+          rand100 = 1 + Hf_util.Prng.next_int prng 100;
+          rand1000 = 1 + Hf_util.Prng.next_int prng 1000;
+          pointers = List.rev pointers.(i);
+        })
+  in
+  { params; group_of; objects }
+
+let n_objects t = t.params.n_objects
+
+let group t i = t.group_of.(i)
+
+let logical_pointers t i ~key =
+  List.filter_map (fun (k, target) -> if String.equal k key then Some target else None)
+    t.objects.(i).pointers
+
+let site_of_group ~n_groups ~n_sites g =
+  if n_sites < 1 then invalid_arg "Synthetic.site_of_group: bad site count";
+  if n_groups mod n_sites <> 0 then
+    invalid_arg "Synthetic.site_of_group: sites must divide groups evenly";
+  g mod n_sites
+
+(* Fraction of pointers of a class that are intra-group — a generation
+   invariant checked by the tests. *)
+let measured_locality t ~key =
+  let total = ref 0 and local = ref 0 in
+  Array.iteri
+    (fun i obj ->
+      List.iter
+        (fun (k, target) ->
+          if String.equal k key then begin
+            incr total;
+            if t.group_of.(i) = t.group_of.(target) then incr local
+          end)
+        obj.pointers)
+    t.objects;
+  if !total = 0 then 0.0 else float_of_int !local /. float_of_int !total
+
+type placed = {
+  dataset : t;
+  n_sites : int;
+  oids : Hf_data.Oid.t array; (* logical id -> oid *)
+  site_of : int array; (* logical id -> site *)
+  root : Hf_data.Oid.t; (* oid of logical object 0 *)
+}
+
+let filler_blob bytes i =
+  let pattern = Printf.sprintf "object-%d body " i in
+  let buf = Buffer.create bytes in
+  while Buffer.length buf < bytes do
+    Buffer.add_string buf pattern
+  done;
+  Buffer.sub buf 0 bytes
+
+let materialize t ~n_sites ~store_of =
+  let n = n_objects t in
+  let site_of =
+    Array.init n (fun i -> site_of_group ~n_groups:t.params.n_groups ~n_sites t.group_of.(i))
+  in
+  let oids = Array.init n (fun i -> Hf_data.Store.fresh_oid (store_of site_of.(i))) in
+  Array.iteri
+    (fun i lo ->
+      let search =
+        [ Hf_data.Tuple.number ~key:"Unique" lo.unique;
+          Hf_data.Tuple.number ~key:"Common" 1;
+          Hf_data.Tuple.number ~key:"Rand10" lo.rand10;
+          Hf_data.Tuple.number ~key:"Rand100" lo.rand100;
+          Hf_data.Tuple.number ~key:"Rand1000" lo.rand1000;
+        ]
+      in
+      let pointer_tuples =
+        List.map (fun (key, target) -> Hf_data.Tuple.pointer ~key oids.(target)) lo.pointers
+      in
+      let body = [ Hf_data.Tuple.text ~key:"Body" (filler_blob t.params.blob_bytes i) ] in
+      let obj = Hf_data.Hobject.of_tuples oids.(i) (search @ pointer_tuples @ body) in
+      Hf_data.Store.insert (store_of site_of.(i)) obj)
+    t.objects;
+  { dataset = t; n_sites; oids; site_of; root = oids.(0) }

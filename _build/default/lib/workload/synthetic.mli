@@ -1,0 +1,63 @@
+(** The synthetic dataset of the paper's experiments (Section 5).
+
+    Objects are generated over logical ids with a fixed partition into
+    groups; machine placement maps groups to sites, with the finer
+    partitions refining the coarser ones, so the pointer graph is
+    identical regardless of the number of machines.  Each object has
+    five search-key tuples (unique / common / spaces of 10, 100, 1000),
+    a chain pointer (always remote with > 1 machine), fourteen random
+    pointers in seven locality classes, tree pointers forming a spanning
+    tree, and a filler body blob. *)
+
+type params = {
+  n_objects : int;
+  n_groups : int;  (** finest machine partition; sites must divide it. *)
+  seed : int;
+  blob_bytes : int;  (** filler body per object. *)
+}
+
+val default_params : params
+(** 270 objects, 9 groups, seed 42, 2 KiB bodies — the paper's scale. *)
+
+val localities : float list
+(** The seven per-class probabilities of a pointer staying local:
+    .05, .20, .35, .50, .65, .80, .95. *)
+
+val rand_key : float -> string
+(** Pointer key of a locality class, e.g. [rand_key 0.05 = "Rand05"]. *)
+
+val chain_key : string
+val tree_key : string
+
+type t
+
+val generate : ?params:params -> unit -> t
+(** Deterministic in [params.seed]. Raises [Invalid_argument] on
+    degenerate parameters. *)
+
+val n_objects : t -> int
+
+val group : t -> int -> int
+(** Group of a logical object. *)
+
+val logical_pointers : t -> int -> key:string -> int list
+(** Logical targets of an object's pointers with the given key. *)
+
+val site_of_group : n_groups:int -> n_sites:int -> int -> int
+(** Placement map; the partition for [n_sites] refines coarser ones.
+    Raises [Invalid_argument] unless sites divide groups evenly. *)
+
+val measured_locality : t -> key:string -> float
+(** Fraction of the class's pointers that stay within their group. *)
+
+type placed = {
+  dataset : t;
+  n_sites : int;
+  oids : Hf_data.Oid.t array;  (** logical id → oid. *)
+  site_of : int array;  (** logical id → site. *)
+  root : Hf_data.Oid.t;  (** oid of logical object 0. *)
+}
+
+val materialize : t -> n_sites:int -> store_of:(int -> Hf_data.Store.t) -> placed
+(** Create the objects in the per-site stores.  [store_of s] must be the
+    store whose [Store.site] is [s]. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Hf_baseline Hf_data Hf_query Hf_server List Printf String

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Hf_client Hf_data Hf_query List Option String

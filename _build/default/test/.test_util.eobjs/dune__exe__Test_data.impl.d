@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Hf_data List String

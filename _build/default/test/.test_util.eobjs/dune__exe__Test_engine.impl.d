@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Hashtbl Hf_data Hf_engine Hf_query Hf_util List Option Printf QCheck2 QCheck_alcotest Queue

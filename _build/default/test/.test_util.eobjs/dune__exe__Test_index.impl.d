@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Fun Hashtbl Hf_data Hf_engine Hf_index Hf_query Hf_util List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Hf_data Hf_naming

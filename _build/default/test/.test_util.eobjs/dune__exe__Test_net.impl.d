@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Fun Hf_data Hf_engine Hf_net Hf_query Hf_util List QCheck2 QCheck_alcotest

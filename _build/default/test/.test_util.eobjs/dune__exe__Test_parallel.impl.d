@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Hf_data Hf_engine Hf_parallel Hf_query Hf_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Bytes Char Filename Fun Hf_data Hf_engine Hf_persist Hf_proto Hf_query Hf_server Hf_util List Option Out_channel QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Hf_data Hf_proto Hf_query List Printf QCheck2 QCheck_alcotest String

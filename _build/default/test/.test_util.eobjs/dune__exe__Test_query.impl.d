@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Hf_data Hf_engine Hf_query Hf_util List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hf_sim List

@@ -1,0 +1,1 @@
+test/test_termination.ml: Alcotest Array Fun Hf_termination Hf_util List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Hf_util List Option Printf QCheck2 QCheck_alcotest String

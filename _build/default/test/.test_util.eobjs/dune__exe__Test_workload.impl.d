@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl Hf_data Hf_engine Hf_query Hf_workload Lazy List Option Printf

@@ -1,0 +1,175 @@
+(* Tests for the embedded client facade and the script runner. *)
+
+module E = Hf_client.Embedded
+module Script = Hf_client.Script
+module Tuple = Hf_data.Tuple
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small software repository on 2 sites, as in the paper's Section 2
+   example: modules with authors, called routines and a library. *)
+let make_server () =
+  let server = E.create ~n_sites:2 () in
+  let main_ =
+    E.create_object server ~site:0
+      [ Tuple.string_ ~key:"Title" "Main Program for Sort routine";
+        Tuple.string_ ~key:"Author" "Joe Programmer";
+      ]
+  in
+  let qsort =
+    E.create_object server ~site:1
+      [ Tuple.string_ ~key:"Title" "Quicksort"; Tuple.string_ ~key:"Author" "Joe Programmer" ]
+  in
+  let io =
+    E.create_object server ~site:1
+      [ Tuple.string_ ~key:"Title" "IO helpers"; Tuple.string_ ~key:"Author" "Ann Author" ]
+  in
+  let lib =
+    E.create_object server ~site:0
+      [ Tuple.string_ ~key:"Title" "libc"; Tuple.string_ ~key:"Author" "Vendor" ]
+  in
+  (* link main -> qsort, io (called); main -> lib (library) *)
+  let store0 = E.store server 0 in
+  let obj = Option.get (Hf_data.Store.find store0 main_) in
+  let obj =
+    List.fold_left Hf_data.Hobject.add obj
+      [ Tuple.pointer ~key:"Called Routine" qsort;
+        Tuple.pointer ~key:"Called Routine" io;
+        Tuple.pointer ~key:"Library" lib;
+      ]
+  in
+  Hf_data.Store.replace store0 obj;
+  E.define_set server "S" [ main_ ];
+  (server, main_, qsort, io, lib)
+
+let test_paper_section2_query () =
+  (* "the set of objects called by routines in S, written by Joe
+     Programmer" — the paper's worked query. *)
+  let server, main_, qsort, _, _ = make_server () in
+  let r =
+    E.query server "S (Pointer, \"Called Routine\", ?X) ^^X (String, \"Author\", \"Joe Programmer\") -> T"
+  in
+  check_int "two results" 2 (List.length r.E.oids);
+  check_bool "main and qsort" true
+    (List.exists (Hf_data.Oid.equal main_) r.E.oids
+    && List.exists (Hf_data.Oid.equal qsort) r.E.oids);
+  (* result set is now usable as a starting set *)
+  check_bool "T defined" true (E.find_set server "T" = Some r.E.oids)
+
+let test_retrieve_into_variables () =
+  let server, _, _, _, _ = make_server () in
+  let r = E.query server "S (String, \"Author\", \"Joe Programmer\") (String, \"Title\", ->title)" in
+  match r.E.values with
+  | [ ("title", [ v ]) ] ->
+    check_bool "title value" true
+      (Hf_data.Value.equal v (Hf_data.Value.str "Main Program for Sort routine"))
+  | _ -> Alcotest.fail "expected one title"
+
+let test_wildcard_pointer_key () =
+  (* "?" in place of the key follows all pointers, including Library. *)
+  let server, _, _, _, lib = make_server () in
+  let r = E.query server "S (Pointer, ?, ?X) ^X (String, \"Author\", ?)" in
+  check_int "three targets" 3 (List.length r.E.oids);
+  check_bool "library included" true (List.exists (Hf_data.Oid.equal lib) r.E.oids)
+
+let test_unknown_set_rejected () =
+  let server, _, _, _, _ = make_server () in
+  match E.query server "NOSUCH (?, ?, ?)" with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception E.Invalid_query message ->
+    check_bool "mentions set" true (String.length message > 0)
+
+let test_parse_error_rejected () =
+  let server, _, _, _, _ = make_server () in
+  match E.query server "S (unclosed" with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception E.Invalid_query _ -> ()
+
+let test_validation_rejected () =
+  let server, _, _, _, _ = make_server () in
+  match E.query server "S ^NEVERBOUND" with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception E.Invalid_query message ->
+    check_bool "mentions variable" true (String.length message > 0)
+
+let test_query_ast_interface () =
+  let server, _, _, _, _ = make_server () in
+  let body =
+    Hf_query.Builder.(
+      body [ pointers ~key:"Called Routine" "X"; follow_keeping "X"; select () ])
+  in
+  let r = E.query_ast server ~source:"S" ~target:"U" body in
+  check_bool "U bound" true (E.find_set server "U" = Some r.E.oids)
+
+let test_set_roundtrip_through_queries () =
+  let server, _, _, _, _ = make_server () in
+  let r1 = E.query server "S (Pointer, \"Called Routine\", ?X) ^X (?, ?, ?) -> Called" in
+  check_int "called set" 2 (List.length r1.E.oids);
+  let r2 = E.query server "Called (String, \"Author\", \"Joe Programmer\")" in
+  check_int "filtered further" 1 (List.length r2.E.oids)
+
+let test_set_algebra () =
+  let server, _, _, _, _ = make_server () in
+  let _ = E.query server "S (Pointer, \"Called Routine\", ?X) ^^X (?, ?, ?) -> Reach" in
+  let _ = E.query server "S (Pointer, \"Library\", ?X) ^X (?, ?, ?) -> Libs" in
+  let union = E.define_union server "All" "Reach" "Libs" in
+  check_int "union" 4 (List.length union);
+  let inter = E.define_inter server "Both" "Reach" "Libs" in
+  check_int "disjoint intersection" 0 (List.length inter);
+  let diff = E.define_diff server "JustReach" "All" "Libs" in
+  check_int "difference" 3 (List.length diff);
+  (* the combined set is usable as a query source *)
+  let r = E.query server "All (String, \"Author\", \"Joe Programmer\")" in
+  check_int "queryable" 2 (List.length r.E.oids);
+  (* unknown operand rejected *)
+  (match E.define_union server "X" "All" "NOPE" with
+   | _ -> Alcotest.fail "expected rejection"
+   | exception E.Invalid_query _ -> ());
+  (* a named set can be materialized as a server-side set object *)
+  let set_oid = E.store_set server ~site:0 "All" in
+  let obj = Option.get (Hf_data.Store.find (E.store server 0) set_oid) in
+  check_int "pointer tuples" 4 (List.length (Hf_data.Hobject.pointers obj))
+
+let test_script_runner () =
+  let server, _, _, _, _ = make_server () in
+  let script =
+    "; find Joe's routines\n\
+     S (Pointer, \"Called Routine\", ?X) ^^X (String, \"Author\", \"Joe Programmer\") -> T\n\
+     \n\
+     T (String, \"Title\", ->titles)\n\
+     BROKEN (?, ?, ?)\n"
+  in
+  let report = Script.run server script in
+  check_int "three queries" 3 report.Script.queries_run;
+  check_int "one failure" 1 report.Script.failures;
+  check_bool "virtual time accumulated" true (report.Script.total_response_time > 0.0);
+  match (List.nth report.Script.entries 1).Script.result with
+  | Ok r -> check_int "two titles" 2 (List.length (List.assoc "titles" r.E.values))
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+
+let test_default_origin () =
+  let server, _, _, _, _ = make_server () in
+  E.set_default_origin server 1;
+  let r = E.query server "S (?, ?, ?)" in
+  check_int "runs from site 1" 1 (List.length r.E.oids)
+
+let () =
+  Alcotest.run "hf_client"
+    [
+      ( "embedded",
+        [
+          Alcotest.test_case "paper section-2 query" `Quick test_paper_section2_query;
+          Alcotest.test_case "retrieve into variables" `Quick test_retrieve_into_variables;
+          Alcotest.test_case "wildcard pointer key" `Quick test_wildcard_pointer_key;
+          Alcotest.test_case "unknown set rejected" `Quick test_unknown_set_rejected;
+          Alcotest.test_case "parse error rejected" `Quick test_parse_error_rejected;
+          Alcotest.test_case "validation rejected" `Quick test_validation_rejected;
+          Alcotest.test_case "AST interface" `Quick test_query_ast_interface;
+          Alcotest.test_case "sets round-trip" `Quick test_set_roundtrip_through_queries;
+          Alcotest.test_case "set algebra" `Quick test_set_algebra;
+          Alcotest.test_case "default origin" `Quick test_default_origin;
+        ] );
+      ( "script",
+        [ Alcotest.test_case "script runner" `Quick test_script_runner ] );
+    ]

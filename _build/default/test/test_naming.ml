@@ -1,0 +1,109 @@
+(* Tests for the naming service (Section 4: R*-style names, birth-site
+   arbitration, presumed-site hints, lazy hint correction). *)
+
+module Oid = Hf_data.Oid
+module N = Hf_naming.Name_service
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let oid ?(site = 0) serial = Oid.make ~birth_site:site ~serial
+
+let test_register_resolve () =
+  let ns = N.create ~n_sites:3 in
+  let a = oid ~site:1 7 in
+  N.register ns a;
+  match N.resolve ns a with
+  | Some { N.site; hops; corrected } ->
+    check_int "at birth site" 1 site;
+    check_int "direct hit" 1 hops;
+    check_bool "hint unchanged" true (Oid.hint corrected = 1)
+  | None -> Alcotest.fail "expected resolution"
+
+let test_unknown_object () =
+  let ns = N.create ~n_sites:3 in
+  check_bool "unknown" true (N.resolve ns (oid 1) = None);
+  check_bool "authoritative unknown" true (N.authoritative ns (oid 1) = None)
+
+let test_move_updates_registry () =
+  let ns = N.create ~n_sites:3 in
+  let a = oid ~site:0 1 in
+  N.register ns a;
+  N.move ns a ~to_:2;
+  check_bool "authoritative" true (N.authoritative ns a = Some 2);
+  check_int "one move" 1 (N.moves ns)
+
+let test_stale_hint_costs_hops () =
+  let ns = N.create ~n_sites:3 in
+  let a = oid ~site:0 1 in
+  N.register ns a;
+  N.move ns a ~to_:2;
+  (* hint still points at the birth site: miss there is cheap (birth
+     site answers directly) *)
+  (match N.resolve ns a with
+   | Some { N.site = 2; hops = 2; corrected } ->
+     check_int "hint corrected" 2 (Oid.hint corrected)
+   | _ -> Alcotest.fail "expected 2-hop resolution via birth site");
+  (* a hint pointing at a third, wrong site costs the full 3 hops *)
+  let stale = Oid.with_hint a 1 in
+  (match N.resolve ns stale with
+   | Some { N.hops = 3; site = 2; _ } -> ()
+   | _ -> Alcotest.fail "expected 3-hop resolution");
+  check_int "forwards counted" 2 (N.forwards ns)
+
+let test_corrected_hint_is_direct () =
+  let ns = N.create ~n_sites:4 in
+  let a = oid ~site:0 5 in
+  N.register ns a;
+  N.move ns a ~to_:3;
+  let corrected =
+    match N.resolve ns a with Some r -> r.N.corrected | None -> Alcotest.fail "resolve"
+  in
+  match N.resolve ns corrected with
+  | Some { N.hops = 1; site = 3; _ } -> ()
+  | _ -> Alcotest.fail "corrected hint should resolve directly"
+
+let test_move_unknown_rejected () =
+  let ns = N.create ~n_sites:2 in
+  Alcotest.check_raises "unknown move" (Invalid_argument "Name_service.move: unknown object")
+    (fun () -> N.move ns (oid 9) ~to_:1)
+
+let test_bad_site_rejected () =
+  let ns = N.create ~n_sites:2 in
+  let a = oid 1 in
+  N.register ns a;
+  Alcotest.check_raises "site range" (Invalid_argument "Name_service: site out of range")
+    (fun () -> N.move ns a ~to_:5)
+
+let test_multiple_moves () =
+  let ns = N.create ~n_sites:4 in
+  let a = oid ~site:0 1 in
+  N.register ns a;
+  N.move ns a ~to_:1;
+  N.move ns a ~to_:2;
+  N.move ns a ~to_:3;
+  check_bool "latest wins" true (N.authoritative ns a = Some 3);
+  check_int "cardinal" 1 (N.cardinal ns)
+
+let test_register_at () =
+  let ns = N.create ~n_sites:3 in
+  let a = oid ~site:0 1 in
+  N.register_at ns a ~site:2;
+  check_bool "lives away from birth" true (N.authoritative ns a = Some 2)
+
+let () =
+  Alcotest.run "hf_naming"
+    [
+      ( "name service",
+        [
+          Alcotest.test_case "register and resolve" `Quick test_register_resolve;
+          Alcotest.test_case "unknown object" `Quick test_unknown_object;
+          Alcotest.test_case "move updates registry" `Quick test_move_updates_registry;
+          Alcotest.test_case "stale hints cost hops" `Quick test_stale_hint_costs_hops;
+          Alcotest.test_case "corrected hint is direct" `Quick test_corrected_hint_is_direct;
+          Alcotest.test_case "move of unknown rejected" `Quick test_move_unknown_rejected;
+          Alcotest.test_case "bad site rejected" `Quick test_bad_site_rejected;
+          Alcotest.test_case "multiple moves" `Quick test_multiple_moves;
+          Alcotest.test_case "register away from birth" `Quick test_register_at;
+        ] );
+    ]

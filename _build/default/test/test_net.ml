@@ -1,0 +1,193 @@
+(* Tests for the TCP transport: the real Section 3.2 protocol over
+   loopback sockets, compared against the local engine oracle. *)
+
+module Oid = Hf_data.Oid
+module Tuple = Hf_data.Tuple
+module Store = Hf_data.Store
+module Tcp = Hf_net.Tcp_site
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse_program = Hf_query.Parser.parse_program
+
+(* Spin up [n] sites on loopback and wire them together. *)
+let with_sites n f =
+  let sites = Array.init n (fun site -> Tcp.create ~site ()) in
+  let addresses = Array.map Tcp.address sites in
+  Array.iter (fun site -> Tcp.set_peers site addresses) sites;
+  Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
+
+(* Ring of [n] objects alternating over the sites, keyword on every
+   third object. *)
+let load_ring sites n =
+  let k = Array.length sites in
+  let oids = Array.init n (fun i -> Store.fresh_oid (Tcp.store sites.(i mod k))) in
+  Array.iteri
+    (fun i oid ->
+      let tuples =
+        [ Tuple.pointer ~key:"R" oids.((i + 1) mod n) ]
+        @ (if i mod 3 = 0 then [ Tuple.keyword "hot" ] else [])
+      in
+      Store.insert (Tcp.store sites.(i mod k)) (Hf_data.Hobject.of_tuples oid tuples))
+    oids;
+  oids
+
+let closure = parse_program "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)"
+
+let test_single_site_query () =
+  with_sites 1 (fun sites ->
+      let oids = load_ring sites 9 in
+      let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      check_int "results" 3 (List.length outcome.Tcp.results);
+      check_int "no messages" 0 outcome.Tcp.messages_sent)
+
+let test_three_sites_over_tcp () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      check_int "results" 4 (List.length outcome.Tcp.results);
+      check_bool "messages crossed the network" true (outcome.Tcp.messages_sent > 0);
+      check_bool "bytes accounted" true (outcome.Tcp.bytes_sent > 0))
+
+let test_matches_local_engine () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 15 in
+      let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      (* oracle: same data in one store *)
+      let store = Store.create ~site:0 in
+      Array.iteri
+        (fun i oid ->
+          let tuples =
+            [ Tuple.pointer ~key:"R" oids.((i + 1) mod 15) ]
+            @ (if i mod 3 = 0 then [ Tuple.keyword "hot" ] else [])
+          in
+          Store.insert store (Hf_data.Hobject.of_tuples oid tuples))
+        oids;
+      let local = Hf_engine.Local.run_store ~store closure [ oids.(0) ] in
+      check_bool "TCP = local" true
+        (Oid.Set.equal outcome.Tcp.result_set local.Hf_engine.Local.result_set))
+
+let test_retrieve_over_tcp () =
+  with_sites 2 (fun sites ->
+      let a = Store.fresh_oid (Tcp.store sites.(0)) in
+      let b = Store.fresh_oid (Tcp.store sites.(1)) in
+      Store.insert (Tcp.store sites.(0))
+        (Hf_data.Hobject.of_tuples a
+           [ Tuple.pointer ~key:"R" b; Tuple.string_ ~key:"Title" "local" ]);
+      Store.insert (Tcp.store sites.(1))
+        (Hf_data.Hobject.of_tuples b [ Tuple.string_ ~key:"Title" "remote" ]);
+      let program = parse_program "(Pointer, \"R\", ?X) ^^X (String, \"Title\", ->title)" in
+      let outcome = Tcp.run_query sites.(0) program [ a ] in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      check_int "both pass" 2 (List.length outcome.Tcp.results);
+      match List.assoc_opt "title" outcome.Tcp.bindings with
+      | Some values ->
+        check_bool "remote title shipped back" true
+          (List.exists (Hf_data.Value.equal (Hf_data.Value.str "remote")) values)
+      | None -> Alcotest.fail "expected title binding")
+
+let test_sequential_queries () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      let o1 = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      let o2 = Tcp.run_query sites.(1) closure [ oids.(0) ] in
+      check_bool "both terminate" true (o1.Tcp.terminated && o2.Tcp.terminated);
+      check_bool "same results" true (Oid.Set.equal o1.Tcp.result_set o2.Tcp.result_set))
+
+let test_dead_peer_times_out_with_partial_results () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      (* kill site 2 before querying: ring 0 -> 1 -> 2(dead) *)
+      Tcp.shutdown sites.(2);
+      let outcome = Tcp.run_query ~timeout:1.0 sites.(0) closure [ oids.(0) ] in
+      check_bool "not terminated" false outcome.Tcp.terminated;
+      check_bool "partial results" true (List.length outcome.Tcp.results >= 1))
+
+let test_concurrent_remote_seeds () =
+  with_sites 3 (fun sites ->
+      (* initial set spanning all sites, no pointers: pure fan-out *)
+      let oids =
+        Array.init 9 (fun i ->
+            let store = Tcp.store sites.(i mod 3) in
+            let oid = Store.fresh_oid store in
+            Store.insert store (Hf_data.Hobject.of_tuples oid [ Tuple.keyword "hot" ]);
+            oid)
+      in
+      let program = parse_program "(Keyword, \"hot\", ?)" in
+      let outcome = Tcp.run_query sites.(0) program (Array.to_list oids) in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      check_int "all found" 9 (List.length outcome.Tcp.results))
+
+(* Random end-to-end property: arbitrary placements, graphs and
+   queries over real sockets must match the local engine. *)
+let prop_tcp_matches_local =
+  QCheck2.Test.make ~name:"TCP = local engine on random datasets" ~count:15 QCheck2.Gen.int
+    (fun seed ->
+      let prng = Hf_util.Prng.create seed in
+      let n_sites = 2 + Hf_util.Prng.next_int prng 2 in
+      let n = 5 + Hf_util.Prng.next_int prng 12 in
+      let placement = Array.init n (fun _ -> Hf_util.Prng.next_int prng n_sites) in
+      let edges =
+        List.init (Hf_util.Prng.next_int prng (3 * n)) (fun _ ->
+            (Hf_util.Prng.next_int prng n, Hf_util.Prng.next_int prng n))
+      in
+      let hot = Array.init n (fun _ -> Hf_util.Prng.next_bool prng 0.5) in
+      let tuples oids i =
+        [ Tuple.number ~key:"id" i ]
+        @ (if hot.(i) then [ Tuple.keyword "hot" ] else [])
+        @ List.filter_map
+            (fun (src, dst) -> if src = i then Some (Tuple.pointer ~key:"R" oids.(dst)) else None)
+            edges
+      in
+      let program =
+        if Hf_util.Prng.next_bool prng 0.5 then closure
+        else parse_program "[ (Pointer, \"R\", ?X) ^^X ]^3 (Keyword, \"hot\", ?)"
+      in
+      let start = Hf_util.Prng.next_int prng n in
+      with_sites n_sites (fun sites ->
+          let oids =
+            Array.init n (fun i -> Store.fresh_oid (Tcp.store sites.(placement.(i))))
+          in
+          Array.iteri
+            (fun i oid ->
+              Store.insert (Tcp.store sites.(placement.(i)))
+                (Hf_data.Hobject.of_tuples oid (tuples oids i)))
+            oids;
+          let outcome = Tcp.run_query sites.(0) program [ oids.(start) ] in
+          let store = Store.create ~site:0 in
+          Array.iteri
+            (fun i oid -> Store.insert store (Hf_data.Hobject.of_tuples oid (tuples oids i)))
+            oids;
+          let local = Hf_engine.Local.run_store ~store program [ oids.(start) ] in
+          outcome.Tcp.terminated
+          && Oid.Set.equal outcome.Tcp.result_set local.Hf_engine.Local.result_set))
+
+let test_many_queries_stress () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      for _ = 1 to 10 do
+        let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+        check_bool "terminated" true outcome.Tcp.terminated;
+        check_int "stable" 4 (List.length outcome.Tcp.results)
+      done)
+
+let () =
+  Alcotest.run "hf_net"
+    [
+      ( "tcp protocol",
+        [
+          Alcotest.test_case "single site" `Quick test_single_site_query;
+          Alcotest.test_case "three sites over TCP" `Quick test_three_sites_over_tcp;
+          Alcotest.test_case "matches the local engine" `Quick test_matches_local_engine;
+          Alcotest.test_case "retrieve over TCP" `Quick test_retrieve_over_tcp;
+          Alcotest.test_case "sequential queries" `Quick test_sequential_queries;
+          Alcotest.test_case "dead peer: timeout + partial results" `Quick
+            test_dead_peer_times_out_with_partial_results;
+          Alcotest.test_case "remote initial set" `Quick test_concurrent_remote_seeds;
+          Alcotest.test_case "repeated queries" `Quick test_many_queries_stress;
+          QCheck_alcotest.to_alcotest prop_tcp_matches_local;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the shared-memory multiprocessor engine (paper, Section 6):
+   result sets must equal the sequential engine's for any domain count,
+   including under pointer cycles and duplicate-prone diamonds. *)
+
+module Oid = Hf_data.Oid
+module Tuple = Hf_data.Tuple
+module Store = Hf_data.Store
+module Par = Hf_parallel.Shared_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Hf_query.Parser.parse_body
+
+let build prng n =
+  let store = Store.create ~site:0 in
+  let oids = Array.init n (fun _ -> Store.fresh_oid store) in
+  Array.iteri
+    (fun i oid ->
+      let successor = Tuple.pointer ~key:"R" oids.(Hf_util.Prng.next_int prng n) in
+      let extra =
+        if Hf_util.Prng.next_bool prng 0.5 then
+          [ Tuple.pointer ~key:"R" oids.(Hf_util.Prng.next_int prng n) ]
+        else []
+      in
+      let hot = if Hf_util.Prng.next_bool prng 0.5 then [ Tuple.keyword "hot" ] else [] in
+      Store.insert store
+        (Hf_data.Hobject.of_tuples oid ((Tuple.number ~key:"id" i :: successor :: extra) @ hot)))
+    oids;
+  (store, oids)
+
+let closure = parse "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)"
+
+let test_matches_sequential_basic () =
+  let prng = Hf_util.Prng.create 5 in
+  let store, oids = build prng 40 in
+  let program = Hf_query.Compile.compile closure in
+  let sequential = Hf_engine.Local.run_store ~store program [ oids.(0) ] in
+  List.iter
+    (fun domains ->
+      let parallel = Par.run_store ~domains ~store program [ oids.(0) ] in
+      check_bool
+        (Printf.sprintf "%d domains = sequential" domains)
+        true
+        (Oid.Set.equal sequential.Hf_engine.Local.result_set parallel.Hf_engine.Local.result_set))
+    [ 1; 2; 4; 8 ]
+
+let test_results_sorted () =
+  let prng = Hf_util.Prng.create 6 in
+  let store, oids = build prng 20 in
+  let program = Hf_query.Compile.compile closure in
+  let parallel = Par.run_store ~domains:4 ~store program [ oids.(0) ] in
+  let sorted = List.sort Oid.compare parallel.Hf_engine.Local.results in
+  check_bool "sorted by oid" true (sorted = parallel.Hf_engine.Local.results)
+
+let test_empty_initial () =
+  let store = Store.create ~site:0 in
+  let program = Hf_query.Compile.compile closure in
+  let r = Par.run_store ~domains:4 ~store program [] in
+  check_int "empty" 0 (List.length r.Hf_engine.Local.results)
+
+let test_bindings_collected () =
+  let store = Store.create ~site:0 in
+  let oids = Array.init 6 (fun _ -> Store.fresh_oid store) in
+  Array.iteri
+    (fun i oid ->
+      Store.insert store
+        (Hf_data.Hobject.of_tuples oid
+           [ Tuple.pointer ~key:"R" oids.((i + 1) mod 6); Tuple.string_ ~key:"Title" (Printf.sprintf "t%d" i) ]))
+    oids;
+  let program =
+    Hf_query.Compile.compile (parse "[ (Pointer, \"R\", ?X) ^^X ]* (String, \"Title\", ->title)")
+  in
+  let r = Par.run_store ~domains:3 ~store program [ oids.(0) ] in
+  match r.Hf_engine.Local.bindings with
+  | [ ("title", values) ] -> check_int "six titles" 6 (List.length values)
+  | _ -> Alcotest.fail "expected title binding"
+
+let test_invalid_domains () =
+  let store = Store.create ~site:0 in
+  Alcotest.check_raises "domains >= 1" (Invalid_argument "Shared_engine.run: domains must be >= 1")
+    (fun () ->
+      ignore (Par.run_store ~domains:0 ~store (Hf_query.Compile.compile closure) []))
+
+let prop_parallel_equals_sequential =
+  QCheck2.Test.make ~name:"parallel = sequential on random graphs" ~count:60
+    QCheck2.Gen.(pair int (int_range 1 6))
+    (fun (seed, domains) ->
+      let prng = Hf_util.Prng.create seed in
+      let n = 5 + Hf_util.Prng.next_int prng 40 in
+      let store, oids = build prng n in
+      let program = Hf_query.Compile.compile closure in
+      let sequential = Hf_engine.Local.run_store ~store program [ oids.(0) ] in
+      let parallel = Par.run_store ~domains ~store program [ oids.(0) ] in
+      Oid.Set.equal sequential.Hf_engine.Local.result_set parallel.Hf_engine.Local.result_set)
+
+let test_larger_workload_speed_sanity () =
+  (* Not a benchmark — just exercise a bigger graph across domains to
+     shake out races. *)
+  let prng = Hf_util.Prng.create 9 in
+  let store, oids = build prng 2000 in
+  let program = Hf_query.Compile.compile closure in
+  let sequential = Hf_engine.Local.run_store ~store program [ oids.(0) ] in
+  let parallel = Par.run_store ~domains:4 ~store program [ oids.(0) ] in
+  check_bool "large graph equal" true
+    (Oid.Set.equal sequential.Hf_engine.Local.result_set parallel.Hf_engine.Local.result_set)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hf_parallel"
+    [
+      ( "shared-memory engine",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential_basic;
+          Alcotest.test_case "results sorted" `Quick test_results_sorted;
+          Alcotest.test_case "empty initial set" `Quick test_empty_initial;
+          Alcotest.test_case "bindings collected" `Quick test_bindings_collected;
+          Alcotest.test_case "invalid domain count" `Quick test_invalid_domains;
+          Alcotest.test_case "large workload" `Slow test_larger_workload_speed_sanity;
+          qtest prop_parallel_equals_sequential;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Tests for store snapshots: round-trips, reproducibility, serial
+   preservation, and corruption detection. *)
+
+module Store = Hf_data.Store
+module Tuple = Hf_data.Tuple
+module Snapshot = Hf_persist.Snapshot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let sample_store () =
+  let store = Store.create ~site:2 in
+  let a =
+    Store.create_object store
+      [ Tuple.string_ ~key:"Title" "First";
+        Tuple.keyword "alpha";
+        Tuple.number ~key:"size" 42;
+        Tuple.text ~key:"Body" (String.make 500 'b');
+      ]
+  in
+  let b =
+    Store.create_object store
+      [ Tuple.pointer ~key:"Ref" (Hf_data.Hobject.oid a);
+        Tuple.pointer ~key:"Remote" (Hf_data.Oid.make ~birth_site:5 ~serial:77);
+      ]
+  in
+  ignore (Store.create_object store []);
+  (store, a, b)
+
+let stores_equal a b =
+  Store.site a = Store.site b
+  && Store.cardinal a = Store.cardinal b
+  && Store.fold a
+       (fun obj acc ->
+         acc
+         && match Store.find b (Hf_data.Hobject.oid obj) with
+            | Some other -> Hf_data.Hobject.equal obj other
+            | None -> false)
+       true
+
+let test_roundtrip () =
+  let store, _, _ = sample_store () in
+  let restored = Snapshot.decode (Snapshot.encode store) in
+  check_bool "stores equal" true (stores_equal store restored)
+
+let test_preserves_serials () =
+  let store, _, _ = sample_store () in
+  let restored = Snapshot.decode (Snapshot.encode store) in
+  check_int "serial high-water" (Store.next_serial store) (Store.next_serial restored);
+  (* a fresh oid after restore must not collide *)
+  let fresh = Store.fresh_oid restored in
+  check_bool "no collision" false (Store.mem restored fresh)
+
+let test_reproducible () =
+  let store, _, _ = sample_store () in
+  Alcotest.(check string) "byte-for-byte" (Snapshot.encode store) (Snapshot.encode store)
+
+let test_empty_store () =
+  let store = Store.create ~site:0 in
+  let restored = Snapshot.decode (Snapshot.encode store) in
+  check_int "empty" 0 (Store.cardinal restored)
+
+let test_file_roundtrip () =
+  let store, _, _ = sample_store () in
+  let path = Filename.temp_file "hf_snapshot" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.save store ~path;
+      let restored = Snapshot.load ~path in
+      check_bool "file round-trip" true (stores_equal store restored))
+
+let expect_corrupt data =
+  match Snapshot.decode data with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Snapshot.Corrupt _ -> ()
+
+let test_bad_magic () = expect_corrupt "NOTASNAP0\x00\x00"
+
+let test_truncation_detected () =
+  let store, _, _ = sample_store () in
+  let encoded = Snapshot.encode store in
+  (* cut inside the object frames *)
+  expect_corrupt (String.sub encoded 0 (String.length encoded - 7));
+  expect_corrupt (String.sub encoded 0 12)
+
+let test_trailing_bytes_detected () =
+  let store, _, _ = sample_store () in
+  expect_corrupt (Snapshot.encode store ^ "junk")
+
+let test_flipped_byte_detected () =
+  (* Flip a byte inside an object's frame header length: decoding must
+     fail rather than silently misread. *)
+  let store, _, _ = sample_store () in
+  let encoded = Bytes.of_string (Snapshot.encode store) in
+  let pos = String.length Snapshot.magic + 3 in
+  Bytes.set encoded pos (Char.chr (Char.code (Bytes.get encoded pos) lxor 0x5f));
+  match Snapshot.decode (Bytes.to_string encoded) with
+  | _ -> () (* a value byte may flip without structural damage *)
+  | exception Snapshot.Corrupt _ -> ()
+  | exception Hf_proto.Frame.Frame_error _ -> ()
+
+let prop_random_stores_roundtrip =
+  QCheck2.Test.make ~name:"random stores round-trip" ~count:100 QCheck2.Gen.int (fun seed ->
+      let prng = Hf_util.Prng.create seed in
+      let store = Store.create ~site:(Hf_util.Prng.next_int prng 10) in
+      let n = Hf_util.Prng.next_int prng 20 in
+      for i = 0 to n - 1 do
+        let tuples =
+          List.concat
+            [
+              (if Hf_util.Prng.next_bool prng 0.7 then [ Tuple.number ~key:"id" i ] else []);
+              (if Hf_util.Prng.next_bool prng 0.5 then [ Tuple.keyword "k" ] else []);
+              (if Hf_util.Prng.next_bool prng 0.5 then
+                 [ Tuple.pointer ~key:"R"
+                     (Hf_data.Oid.make ~birth_site:(Hf_util.Prng.next_int prng 5)
+                        ~serial:(Hf_util.Prng.next_int prng 100))
+                 ]
+               else []);
+            ]
+        in
+        ignore (Store.create_object store tuples)
+      done;
+      stores_equal store (Snapshot.decode (Snapshot.encode store)))
+
+(* Crash-recovery scenario: snapshot every site of a cluster, "restart"
+   into a fresh cluster restored from the snapshots, and check that a
+   distributed query gives the same answer. *)
+let test_cluster_recovery () =
+  let module C = Hf_server.Instances.Weighted in
+  let n_sites = 3 in
+  let build () = C.create ~n_sites () in
+  let cluster = build () in
+  let n = 12 in
+  let oids = Array.init n (fun i -> Store.fresh_oid (C.store cluster (i mod n_sites))) in
+  Array.iteri
+    (fun i oid ->
+      let tuples =
+        [ Tuple.pointer ~key:"R" oids.((i + 1) mod n) ]
+        @ (if i mod 4 = 0 then [ Tuple.keyword "hot" ] else [])
+      in
+      Store.insert (C.store cluster (i mod n_sites)) (Hf_data.Hobject.of_tuples oid tuples))
+    oids;
+  let program =
+    Hf_query.Parser.parse_program "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)"
+  in
+  let before = C.run_query cluster ~origin:0 program [ oids.(0) ] in
+  (* snapshot all sites *)
+  let snapshots = List.init n_sites (fun s -> Snapshot.encode (C.store cluster s)) in
+  (* "restart": restore each snapshot into a fresh cluster's stores *)
+  let revived = build () in
+  List.iteri
+    (fun s data ->
+      let restored = Snapshot.decode data in
+      let target = C.store revived s in
+      Store.iter restored (fun obj -> Store.insert target obj);
+      Store.advance_serial target (Store.next_serial restored))
+    snapshots;
+  let after = C.run_query revived ~origin:0 program [ oids.(0) ] in
+  check_bool "query survives restart" true
+    (Hf_data.Oid.Set.equal before.Hf_server.Cluster.result_set
+       after.Hf_server.Cluster.result_set);
+  check_bool "terminated" true after.Hf_server.Cluster.terminated
+
+(* --- WAL --- *)
+
+module Wal = Hf_persist.Wal
+
+let with_temp_files f =
+  let log_path = Filename.temp_file "hf_wal" ".log" in
+  let snapshot_path = Filename.temp_file "hf_snap" ".bin" in
+  Sys.remove snapshot_path;
+  (* start without a snapshot *)
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists log_path then Sys.remove log_path;
+      if Sys.file_exists snapshot_path then Sys.remove snapshot_path)
+    (fun () -> f ~log_path ~snapshot_path)
+
+let test_wal_record_roundtrip () =
+  let store, a, _ = sample_store () in
+  let obj = Option.get (Store.find store (Hf_data.Hobject.oid a)) in
+  let records =
+    [ Wal.Insert obj; Wal.Replace obj; Wal.Remove (Hf_data.Hobject.oid a) ]
+  in
+  List.iter
+    (fun record ->
+      let framed = Wal.encode_record record in
+      (* strip the frame to get the payload back *)
+      let decoder = Hf_proto.Frame.Decoder.create () in
+      Hf_proto.Frame.Decoder.feed decoder framed;
+      match Hf_proto.Frame.Decoder.next decoder with
+      | Some payload ->
+        let back = Wal.decode_record payload in
+        check_bool "roundtrip" true
+          (match record, back with
+           | Wal.Insert x, Wal.Insert y | Wal.Replace x, Wal.Replace y ->
+             Hf_data.Hobject.equal x y
+           | Wal.Remove x, Wal.Remove y -> Hf_data.Oid.equal x y
+           | _ -> false)
+      | None -> Alcotest.fail "frame did not round-trip")
+    records
+
+let test_wal_recovery_from_log_only () =
+  with_temp_files (fun ~log_path ~snapshot_path ->
+      let logged, r0 = Wal.open_logged ~site:1 ~log_path ~snapshot_path in
+      check_int "fresh log" 0 r0.Wal.applied;
+      let a = Wal.create_object logged [ Tuple.keyword "x" ] in
+      let b = Wal.create_object logged [ Tuple.keyword "y" ] in
+      Wal.replace logged (Hf_data.Hobject.add (Hf_data.Hobject.of_tuples (Hf_data.Hobject.oid a) [ Tuple.keyword "x" ]) (Tuple.keyword "more"));
+      Wal.remove logged (Hf_data.Hobject.oid b);
+      let live = Wal.store logged in
+      Wal.close logged;
+      let recovered, r = Wal.open_logged ~site:1 ~log_path ~snapshot_path in
+      check_int "four records" 4 r.Wal.applied;
+      check_bool "not truncated" false r.Wal.truncated;
+      check_bool "stores equal" true (stores_equal live (Wal.store recovered));
+      (* fresh oids after recovery must not collide *)
+      let fresh = Store.fresh_oid (Wal.store recovered) in
+      check_bool "no collision" false (Store.mem (Wal.store recovered) fresh);
+      Wal.close recovered)
+
+let test_wal_checkpoint () =
+  with_temp_files (fun ~log_path ~snapshot_path ->
+      let logged, _ = Wal.open_logged ~site:0 ~log_path ~snapshot_path in
+      ignore (Wal.create_object logged [ Tuple.keyword "before" ]);
+      let logged = Wal.checkpoint logged ~snapshot_path ~log_path in
+      ignore (Wal.create_object logged [ Tuple.keyword "after" ]);
+      let live = Wal.store logged in
+      Wal.close logged;
+      let recovered, r = Wal.open_logged ~site:0 ~log_path ~snapshot_path in
+      check_int "only post-checkpoint records replayed" 1 r.Wal.applied;
+      check_bool "stores equal" true (stores_equal live (Wal.store recovered));
+      Wal.close recovered)
+
+let test_wal_torn_tail () =
+  with_temp_files (fun ~log_path ~snapshot_path ->
+      let logged, _ = Wal.open_logged ~site:0 ~log_path ~snapshot_path in
+      ignore (Wal.create_object logged [ Tuple.keyword "kept" ]);
+      Wal.close logged;
+      (* simulate a crash mid-append: write half a record *)
+      let partial =
+        let obj = Hf_data.Hobject.of_tuples (Hf_data.Oid.make ~birth_site:0 ~serial:99) [] in
+        let framed = Wal.encode_record (Wal.Insert obj) in
+        String.sub framed 0 (String.length framed - 3)
+      in
+      Out_channel.with_open_gen [ Open_append; Open_binary ] 0o644 log_path (fun oc ->
+          Out_channel.output_string oc partial);
+      let recovered, r = Wal.open_logged ~site:0 ~log_path ~snapshot_path in
+      check_int "complete records applied" 1 r.Wal.applied;
+      check_bool "tail detected as torn" true r.Wal.truncated;
+      check_int "store has the kept object" 1 (Store.cardinal (Wal.store recovered));
+      Wal.close recovered)
+
+let test_wal_corrupt_record () =
+  let bad = Hf_proto.Frame.frame "\x09garbage" in
+  let decoder = Hf_proto.Frame.Decoder.create () in
+  Hf_proto.Frame.Decoder.feed decoder bad;
+  match Wal.decode_record (Option.get (Hf_proto.Frame.Decoder.next decoder)) with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Wal.Corrupt _ -> ()
+
+(* --- Blob store --- *)
+
+module Blob_store = Hf_persist.Blob_store
+
+let with_blob_store f =
+  let path = Filename.temp_file "hf_blobs" ".dat" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_blob_put_get () =
+  with_blob_store (fun path ->
+      let bs = Blob_store.open_ ~path in
+      let h1 = Blob_store.put bs "first blob" in
+      let h2 = Blob_store.put bs (String.make 10_000 'x') in
+      let h3 = Blob_store.put bs "" in
+      check_string "first" "first blob" (Blob_store.get bs h1);
+      check_int "big" 10_000 (String.length (Blob_store.get bs h2));
+      check_string "empty" "" (Blob_store.get bs h3);
+      Blob_store.close bs)
+
+let test_blob_reopen () =
+  with_blob_store (fun path ->
+      let bs = Blob_store.open_ ~path in
+      let h = Blob_store.put bs "persistent" in
+      Blob_store.close bs;
+      let bs2 = Blob_store.open_ ~path in
+      check_string "survives reopen" "persistent" (Blob_store.get bs2 h);
+      (* appends continue after the existing data *)
+      let h2 = Blob_store.put bs2 "more" in
+      check_string "appended" "more" (Blob_store.get bs2 h2);
+      check_string "old still valid" "persistent" (Blob_store.get bs2 h);
+      Blob_store.close bs2)
+
+let test_blob_bad_handle () =
+  with_blob_store (fun path ->
+      let bs = Blob_store.open_ ~path in
+      ignore (Blob_store.put bs "x");
+      (match Blob_store.get bs { Blob_store.offset = 0; length = 10_000 } with
+       | _ -> Alcotest.fail "expected Corrupt"
+       | exception Blob_store.Corrupt _ -> ());
+      Blob_store.close bs)
+
+let test_blob_externalize_roundtrip () =
+  with_blob_store (fun path ->
+      let bs = Blob_store.open_ ~path in
+      let store = Store.create ~site:0 in
+      let big_body = String.make 4_096 'B' in
+      let a =
+        Store.create_object store
+          [ Tuple.keyword "hot"; Tuple.text ~key:"Body" big_body;
+            Tuple.text ~key:"Abstract" "short" ]
+      in
+      let before = Option.get (Store.find store (Hf_data.Hobject.oid a)) in
+      let moved = Blob_store.externalize bs store ~threshold:1024 in
+      check_int "only the big blob moved" 1 moved;
+      (* search information still queryable, object now small *)
+      let r =
+        Hf_engine.Local.run_query ~store
+          (Hf_query.Parser.parse_body "(Keyword, \"hot\", ?)")
+          [ Hf_data.Hobject.oid a ]
+      in
+      check_int "queries unaffected" 1 (List.length r.Hf_engine.Local.results);
+      let slim = Option.get (Store.find store (Hf_data.Hobject.oid a)) in
+      check_bool "object shrank" true
+        (Hf_data.Hobject.byte_size slim < Hf_data.Hobject.byte_size before);
+      (* display path *)
+      check_bool "fetch reads the blob" true
+        (Blob_store.fetch bs slim ~key:"Body" = Some big_body);
+      check_bool "small blob not externalized" true
+        (Blob_store.fetch bs slim ~key:"Abstract" = None);
+      (* full restore *)
+      let restored = Blob_store.rehydrate bs store in
+      check_int "one restored" 1 restored;
+      let back = Option.get (Store.find store (Hf_data.Hobject.oid a)) in
+      check_bool "object identical after rehydrate" true (Hf_data.Hobject.equal before back);
+      Blob_store.close bs)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hf_persist"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "preserves serials" `Quick test_preserves_serials;
+          Alcotest.test_case "reproducible bytes" `Quick test_reproducible;
+          Alcotest.test_case "empty store" `Quick test_empty_store;
+          Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
+          Alcotest.test_case "trailing bytes detected" `Quick test_trailing_bytes_detected;
+          Alcotest.test_case "flipped frame byte" `Quick test_flipped_byte_detected;
+          Alcotest.test_case "cluster crash recovery" `Quick test_cluster_recovery;
+          qtest prop_random_stores_roundtrip;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "record round-trip" `Quick test_wal_record_roundtrip;
+          Alcotest.test_case "recovery from log only" `Quick test_wal_recovery_from_log_only;
+          Alcotest.test_case "checkpoint" `Quick test_wal_checkpoint;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick test_wal_corrupt_record;
+        ] );
+      ( "blob store",
+        [
+          Alcotest.test_case "put/get" `Quick test_blob_put_get;
+          Alcotest.test_case "reopen" `Quick test_blob_reopen;
+          Alcotest.test_case "bad handles rejected" `Quick test_blob_bad_handle;
+          Alcotest.test_case "externalize/rehydrate" `Quick test_blob_externalize_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the wire protocol: codec round-trips (including randomized
+   messages), decode errors on corrupt input, framing over chunked
+   streams, and the paper's ~40-byte query-message claim. *)
+
+module Message = Hf_proto.Message
+module Codec = Hf_proto.Codec
+module Frame = Hf_proto.Frame
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let oid ?(site = 0) ?(hint = 0) serial =
+  Hf_data.Oid.with_hint (Hf_data.Oid.make ~birth_site:site ~serial) hint
+
+let flagship_program =
+  Hf_query.Parser.parse_program
+    "[ (Pointer, \"Reference\", ?X) ^^X ]* (Keyword, \"Distributed\", ?)"
+
+let sample_deref =
+  Message.Deref_request
+    {
+      query = { Message.originator = 2; serial = 17 };
+      body = flagship_program;
+      oid = oid ~site:1 ~hint:3 42;
+      start = 2;
+      iters = [| 5 |];
+      credit = [ 3; 7 ];
+    }
+
+let roundtrip message =
+  match Codec.decode (Codec.encode message) with
+  | Ok decoded -> Message.equal message decoded
+  | Error _ -> false
+
+let test_roundtrip_deref () = check_bool "deref" true (roundtrip sample_deref)
+
+let test_roundtrip_result_items () =
+  let message =
+    Message.Result
+      {
+        query = { Message.originator = 0; serial = 1 };
+        payload = Message.Items [ oid 1; oid ~site:4 9 ];
+        bindings =
+          [ ("title", [ Hf_data.Value.str "First"; Hf_data.Value.blob "\x00\xffbits" ]);
+            ("size", [ Hf_data.Value.num (-42); Hf_data.Value.real 3.25 ]);
+          ];
+        credit = [ 1 ];
+      }
+  in
+  check_bool "result/items" true (roundtrip message)
+
+let test_roundtrip_result_count () =
+  let message =
+    Message.Result
+      {
+        query = { Message.originator = 3; serial = 0 };
+        payload = Message.Count 128;
+        bindings = [];
+        credit = [];
+      }
+  in
+  check_bool "result/count" true (roundtrip message)
+
+let test_roundtrip_credit_return () =
+  let message =
+    Message.Credit_return { query = { Message.originator = 1; serial = 2 }; credit = [ 0 ] }
+  in
+  check_bool "credit return" true (roundtrip message)
+
+let test_decode_truncated () =
+  let encoded = Codec.encode sample_deref in
+  for cut = 0 to String.length encoded - 1 do
+    match Codec.decode (String.sub encoded 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation at %d accepted" cut
+    | Error _ -> ()
+  done
+
+let test_decode_trailing_garbage () =
+  match Codec.decode (Codec.encode sample_deref ^ "x") with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error message -> check_bool "mentions trailing" true (String.length message > 0)
+
+let test_decode_bad_tag () =
+  match Codec.decode "\xff" with
+  | Ok _ -> Alcotest.fail "bad tag accepted"
+  | Error _ -> ()
+
+let test_decode_empty () =
+  match Codec.decode "" with Ok _ -> Alcotest.fail "empty accepted" | Error _ -> ()
+
+let test_query_message_size_regime () =
+  (* "Our messages send only the query (about 40 bytes for the
+     experiments presented here)". *)
+  let size = Codec.encoded_size sample_deref in
+  check_bool (Printf.sprintf "size %d in tens of bytes" size) true (size >= 30 && size <= 90)
+
+(* --- Randomized round-trips --- *)
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> Hf_data.Value.str s) string_small;
+        map (fun n -> Hf_data.Value.num n) int;
+        map (fun f -> Hf_data.Value.real f) (float_range (-1000.0) 1000.0);
+        map2
+          (fun site serial -> Hf_data.Value.ptr (oid ~site ~hint:site serial))
+          (int_range 0 20) (int_range 0 1000);
+        map (fun s -> Hf_data.Value.blob s) string_small;
+      ])
+
+let gen_pattern =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Hf_query.Pattern.Any;
+        map (fun v -> Hf_query.Pattern.Exact v) gen_value;
+        map (fun s -> Hf_query.Pattern.Glob s) string_small;
+        map
+          (fun (a, b) -> Hf_query.Pattern.Range (min a b, max a b))
+          (pair (int_range (-50) 50) (int_range (-50) 50));
+        map (fun s -> Hf_query.Pattern.Bind ("v" ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+        map (fun s -> Hf_query.Pattern.Use ("v" ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+      ])
+
+let gen_filter =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3
+          (fun t k d -> Hf_query.Filter.Select { ttype = t; key = k; data = d })
+          gen_pattern gen_pattern gen_pattern;
+        map2
+          (fun var keep ->
+            Hf_query.Filter.Deref
+              { var = "v" ^ var;
+                mode = (if keep then Hf_query.Filter.Keep_parent else Hf_query.Filter.Replace);
+              })
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 4))
+          bool;
+        map2
+          (fun k target -> Hf_query.Filter.Retrieve { ttype = Hf_query.Pattern.Any; key = k; target = "t" ^ target })
+          gen_pattern
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 4));
+      ])
+
+(* A structurally valid program: iterators inserted with body_start <=
+   own index. *)
+let gen_program =
+  QCheck2.Gen.(
+    bind (list_size (int_range 0 6) gen_filter) (fun filters ->
+        bind (int_range 0 3) (fun add_iters ->
+            let rec add n filters =
+              if n = 0 then return filters
+              else
+                bind (int_range 0 (List.length filters)) (fun body_start ->
+                    bind (oneof [ return Hf_query.Filter.Star; map (fun k -> Hf_query.Filter.Finite k) (int_range 1 5) ])
+                      (fun count ->
+                        add (n - 1)
+                          (filters @ [ Hf_query.Filter.iter ~body_start ~count ])))
+            in
+            map (fun fs -> Hf_query.Program.of_filters fs) (add add_iters filters))))
+
+let gen_query_id =
+  QCheck2.Gen.(map2 (fun o s -> { Message.originator = o; serial = s }) (int_range 0 30) (int_range 0 1000))
+
+let gen_credit = QCheck2.Gen.(list_size (int_range 0 5) (int_range 0 80))
+
+let gen_message =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* query = gen_query_id in
+         let* body = gen_program in
+         let* site = int_range 0 10 in
+         let* serial = int_range 0 500 in
+         let* start = int_range 0 10 in
+         let* iters = array_size (int_range 0 3) (int_range 1 20) in
+         let* credit = gen_credit in
+         return
+           (Message.Deref_request
+              { query; body; oid = oid ~site ~hint:site serial; start; iters; credit }));
+        (let* query = gen_query_id in
+         let* use_count = bool in
+         let* payload =
+           if use_count then map (fun n -> Message.Count n) (int_range 0 500)
+           else
+             map
+               (fun serials -> Message.Items (List.map (fun s -> oid s) serials))
+               (list_size (int_range 0 6) (int_range 0 100))
+         in
+         let* bindings =
+           list_size (int_range 0 3)
+             (pair
+                (map (fun s -> "t" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 4)))
+                (list_size (int_range 0 3) gen_value))
+         in
+         let* credit = gen_credit in
+         return (Message.Result { query; payload; bindings; credit }));
+        (let* query = gen_query_id in
+         let* credit = gen_credit in
+         return (Message.Credit_return { query; credit }));
+      ])
+
+let prop_message_roundtrip =
+  QCheck2.Test.make ~name:"codec round-trip on random messages" ~count:500 gen_message roundtrip
+
+let prop_truncation_rejected =
+  QCheck2.Test.make ~name:"codec rejects every strict prefix" ~count:100 gen_message
+    (fun message ->
+      let encoded = Codec.encode message in
+      let ok = ref true in
+      for cut = 0 to String.length encoded - 1 do
+        match Codec.decode (String.sub encoded 0 cut) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      !ok)
+
+(* --- Framing --- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ "alpha"; ""; String.make 1000 'x' ] in
+  let stream = String.concat "" (List.map Frame.frame payloads) in
+  let decoder = Frame.Decoder.create () in
+  Frame.Decoder.feed decoder stream;
+  Alcotest.(check (list string)) "all frames" payloads (Frame.Decoder.drain decoder)
+
+let test_frame_chunked_feeding () =
+  let payloads = [ "hello"; "world!"; "third frame" ] in
+  let stream = String.concat "" (List.map Frame.frame payloads) in
+  let decoder = Frame.Decoder.create () in
+  let collected = ref [] in
+  (* feed one byte at a time, as a pathological TCP stream would *)
+  String.iter
+    (fun c ->
+      Frame.Decoder.feed decoder (String.make 1 c);
+      collected := !collected @ Frame.Decoder.drain decoder)
+    stream;
+  Alcotest.(check (list string)) "reassembled" payloads !collected
+
+let test_frame_partial_pending () =
+  let decoder = Frame.Decoder.create () in
+  Frame.Decoder.feed decoder (String.sub (Frame.frame "abcdef") 0 5);
+  check_bool "incomplete" true (Frame.Decoder.next decoder = None);
+  check_int "buffered" 5 (Frame.Decoder.buffered_bytes decoder)
+
+let test_frame_oversize_rejected () =
+  Alcotest.check_raises "oversize frame" (Frame.Frame_error "incoming frame too large")
+    (fun () ->
+      let decoder = Frame.Decoder.create () in
+      Frame.Decoder.feed decoder "\xff\xff\xff\xff";
+      ignore (Frame.Decoder.next decoder))
+
+let prop_frame_roundtrip_chunked =
+  QCheck2.Test.make ~name:"framing survives arbitrary chunking" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 5) string_small) (int_range 1 7))
+    (fun (payloads, chunk) ->
+      let stream = String.concat "" (List.map Frame.frame payloads) in
+      let decoder = Frame.Decoder.create () in
+      let collected = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let len = min chunk (String.length stream - !i) in
+        Frame.Decoder.feed decoder (String.sub stream !i len);
+        collected := !collected @ Frame.Decoder.drain decoder;
+        i := !i + len
+      done;
+      !collected = payloads)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hf_proto"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "deref round-trip" `Quick test_roundtrip_deref;
+          Alcotest.test_case "result/items round-trip" `Quick test_roundtrip_result_items;
+          Alcotest.test_case "result/count round-trip" `Quick test_roundtrip_result_count;
+          Alcotest.test_case "credit-return round-trip" `Quick test_roundtrip_credit_return;
+          Alcotest.test_case "truncation rejected" `Quick test_decode_truncated;
+          Alcotest.test_case "trailing bytes rejected" `Quick test_decode_trailing_garbage;
+          Alcotest.test_case "bad tag rejected" `Quick test_decode_bad_tag;
+          Alcotest.test_case "empty rejected" `Quick test_decode_empty;
+          Alcotest.test_case "~40-byte query messages" `Quick test_query_message_size_regime;
+          qtest prop_message_roundtrip;
+          qtest prop_truncation_rejected;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "chunked feeding" `Quick test_frame_chunked_feeding;
+          Alcotest.test_case "partial pending" `Quick test_frame_partial_pending;
+          Alcotest.test_case "oversize rejected" `Quick test_frame_oversize_rejected;
+          qtest prop_frame_roundtrip_chunked;
+        ] );
+    ]

@@ -1,0 +1,550 @@
+(* Tests for the distributed server.  The central property — the paper's
+   correctness claim — is that distributed processing with query
+   shipping returns exactly the same result set as single-site
+   processing, for every termination detector, any placement, and any
+   query from the supported shapes.  Plus: the distributed-set (counts)
+   mode, failure injection (partial results), the local-vs-global mark
+   table ablation, and message accounting. *)
+
+module Oid = Hf_data.Oid
+module Tuple = Hf_data.Tuple
+module Store = Hf_data.Store
+module Cluster = Hf_server.Cluster
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Hf_query.Parser.parse_body
+
+(* A random logical dataset to be materialized either on a cluster or a
+   single store. *)
+type dataset = {
+  n : int;
+  placement : int array; (* logical -> site *)
+  edges : (int * string * int) list;
+  hot : bool array;
+}
+
+let random_dataset prng ~n_sites =
+  let n = 4 + Hf_util.Prng.next_int prng 20 in
+  let placement = Array.init n (fun _ -> Hf_util.Prng.next_int prng n_sites) in
+  let n_edges = Hf_util.Prng.next_int prng (3 * n) in
+  let keys = [| "R"; "S" |] in
+  let edges =
+    List.init n_edges (fun _ ->
+        ( Hf_util.Prng.next_int prng n,
+          Hf_util.Prng.pick prng keys,
+          Hf_util.Prng.next_int prng n ))
+  in
+  let hot = Array.init n (fun _ -> Hf_util.Prng.next_bool prng 0.5) in
+  { n; placement; edges; hot }
+
+let tuples_of ds oids i =
+  let pointers =
+    List.filter_map (fun (src, key, dst) -> if src = i then Some (Tuple.pointer ~key oids.(dst)) else None)
+      ds.edges
+  in
+  [ Tuple.number ~key:"id" i ]
+  @ (if ds.hot.(i) then [ Tuple.keyword "hot" ] else [])
+  @ pointers
+
+(* Materialize on the cluster: oids are born at their placement site. *)
+module Load (C : sig
+  type t
+
+  val store : t -> int -> Store.t
+end) =
+struct
+  let load cluster ds =
+    let oids = Array.init ds.n (fun i -> Store.fresh_oid (C.store cluster ds.placement.(i))) in
+    Array.iteri
+      (fun i oid ->
+        Store.insert (C.store cluster ds.placement.(i)) (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
+      oids;
+    oids
+end
+
+(* Single-store oracle. *)
+let local_oracle ds query initial_logical =
+  let store = Store.create ~site:0 in
+  let oids = Array.init ds.n (fun _ -> Store.fresh_oid store) in
+  Array.iteri
+    (fun i oid -> Store.insert store (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
+    oids;
+  let r =
+    Hf_engine.Local.run_store ~store (Hf_query.Compile.compile query)
+      (List.map (fun i -> oids.(i)) initial_logical)
+  in
+  (* translate to logical ids *)
+  let logical oid =
+    let found = ref (-1) in
+    Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+    !found
+  in
+  ( List.sort compare (List.map logical (Oid.Set.elements r.Hf_engine.Local.result_set)),
+    List.map (fun (t, vs) -> (t, List.sort Hf_data.Value.compare vs)) r.Hf_engine.Local.bindings )
+
+let queries =
+  [
+    "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)";
+    "[ (Pointer, \"R\", ?X) ^^X ]^3 (Keyword, \"hot\", ?)";
+    "[ (Pointer, \"R\", ?X) ^X ]* (?, ?, ?)";
+    "(Pointer, \"S\", ?X) ^^X (Keyword, \"hot\", ?)";
+    "[ (Pointer, \"R\", ?X) ^^X (Pointer, \"S\", ?Y) ^^Y ]^2 (Number, \"id\", 0..9)";
+    "[ (Pointer, \"R\", ?X) ^^X ]* (Number, \"id\", ->ids)";
+  ]
+
+(* Functor: the same battery for every termination detector. *)
+module Battery (D : Hf_termination.Detector.S) = struct
+  module C = Hf_server.Cluster.Make (D)
+  module L = Load (C)
+
+  let run_once ~seed =
+    let prng = Hf_util.Prng.create seed in
+    let n_sites = 1 + Hf_util.Prng.next_int prng 5 in
+    let ds = random_dataset prng ~n_sites in
+    let cluster = C.create ~n_sites () in
+    let oids = L.load cluster ds in
+    let query = parse (List.nth queries (Hf_util.Prng.next_int prng (List.length queries))) in
+    let origin = Hf_util.Prng.next_int prng n_sites in
+    let n_initial = 1 + Hf_util.Prng.next_int prng 3 in
+    let initial_logical =
+      List.sort_uniq compare (List.init n_initial (fun _ -> Hf_util.Prng.next_int prng ds.n))
+    in
+    let outcome =
+      C.run_query cluster ~origin (Hf_query.Compile.compile query)
+        (List.map (fun i -> oids.(i)) initial_logical)
+    in
+    let logical oid =
+      let found = ref (-1) in
+      Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+      !found
+    in
+    let got =
+      List.sort compare (List.map logical (Oid.Set.elements outcome.Cluster.result_set))
+    in
+    let got_bindings =
+      List.map (fun (t, vs) -> (t, List.sort Hf_data.Value.compare vs)) outcome.Cluster.bindings
+    in
+    let expected, expected_bindings = local_oracle ds query initial_logical in
+    outcome.Cluster.terminated && got = expected && got_bindings = expected_bindings
+
+  let prop name =
+    QCheck2.Test.make ~name ~count:120 QCheck2.Gen.int (fun seed -> run_once ~seed)
+end
+
+module Weighted_battery = Battery (Hf_termination.Weighted)
+module Ds_battery = Battery (Hf_termination.Dijkstra_scholten)
+module Fc_battery = Battery (Hf_termination.Four_counter)
+
+(* Same battery under heavy message-reordering: every message gets up to
+   200 ms of extra random transit, so work, result and control messages
+   overtake each other freely. *)
+module Jitter_battery = struct
+  module C = Hf_server.Cluster.Make (Hf_termination.Weighted)
+  module L = Load (C)
+
+  let run_once ~seed =
+    let prng = Hf_util.Prng.create seed in
+    let n_sites = 2 + Hf_util.Prng.next_int prng 4 in
+    let ds = random_dataset prng ~n_sites in
+    let config =
+      { Cluster.default_config with Cluster.jitter = 0.2; jitter_seed = seed }
+    in
+    let cluster = C.create ~config ~n_sites () in
+    let oids = L.load cluster ds in
+    let query = parse (List.nth queries (Hf_util.Prng.next_int prng (List.length queries))) in
+    let origin = Hf_util.Prng.next_int prng n_sites in
+    let initial_logical = [ Hf_util.Prng.next_int prng ds.n ] in
+    let outcome =
+      C.run_query cluster ~origin (Hf_query.Compile.compile query)
+        (List.map (fun i -> oids.(i)) initial_logical)
+    in
+    let logical oid =
+      let found = ref (-1) in
+      Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+      !found
+    in
+    let got =
+      List.sort compare (List.map logical (Oid.Set.elements outcome.Cluster.result_set))
+    in
+    let expected, _ = local_oracle ds query initial_logical in
+    outcome.Cluster.terminated && got = expected
+
+  let prop =
+    QCheck2.Test.make ~name:"weighted detector under message reordering" ~count:120
+      QCheck2.Gen.int (fun seed -> run_once ~seed)
+end
+
+(* Message loss: results are never wrong, only possibly incomplete, and
+   lost credit shows up as non-termination rather than a false claim of
+   completeness. *)
+module Loss_battery = struct
+  module C = Hf_server.Cluster.Make (Hf_termination.Weighted)
+  module L = Load (C)
+
+  let run_once ~seed =
+    let prng = Hf_util.Prng.create seed in
+    let n_sites = 2 + Hf_util.Prng.next_int prng 3 in
+    let ds = random_dataset prng ~n_sites in
+    let config = { Cluster.default_config with Cluster.loss = 0.3; jitter_seed = seed } in
+    let cluster = C.create ~config ~n_sites () in
+    let oids = L.load cluster ds in
+    let query = parse (List.hd queries) in
+    let initial_logical = [ Hf_util.Prng.next_int prng ds.n ] in
+    let outcome =
+      C.run_query cluster ~origin:0 (Hf_query.Compile.compile query)
+        (List.map (fun i -> oids.(i)) initial_logical)
+    in
+    let logical oid =
+      let found = ref (-1) in
+      Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+      !found
+    in
+    let got =
+      List.sort compare (List.map logical (Oid.Set.elements outcome.Cluster.result_set))
+    in
+    let expected, _ = local_oracle ds query initial_logical in
+    let subset = List.for_all (fun i -> List.mem i expected) got in
+    (* soundness always; completeness only when the detector declared *)
+    subset && ((not outcome.Cluster.terminated) || got = expected)
+
+  let prop =
+    QCheck2.Test.make ~name:"message loss: sound, incomplete only when undetected" ~count:120
+      QCheck2.Gen.int (fun seed -> run_once ~seed)
+end
+
+(* --- Focused scenarios on the weighted cluster --- *)
+
+module WC = Hf_server.Instances.Weighted
+module WL = Load (WC)
+
+let ring_dataset ~n ~n_sites =
+  {
+    n;
+    placement = Array.init n (fun i -> i mod n_sites);
+    edges = List.init n (fun i -> (i, "R", (i + 1) mod n));
+    hot = Array.init n (fun i -> i mod 4 = 0);
+  }
+
+let closure_query = parse "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)"
+
+let test_ring_basics () =
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let cluster = WC.create ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "results" 3 (List.length outcome.Cluster.results);
+  check_bool "response time positive" true (outcome.Cluster.response_time > 0.0);
+  (* ring alternating sites: every hop remote *)
+  check_int "work messages = ring hops" 12 outcome.Cluster.metrics.Hf_server.Metrics.work_messages
+
+let test_single_site_no_messages () =
+  let ds = ring_dataset ~n:8 ~n_sites:1 in
+  let cluster = WC.create ~n_sites:1 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "no work messages" 0 outcome.Cluster.metrics.Hf_server.Metrics.work_messages;
+  check_int "no result messages" 0 outcome.Cluster.metrics.Hf_server.Metrics.result_messages
+
+let test_empty_initial_set () =
+  let cluster = WC.create ~n_sites:3 () in
+  let outcome = WC.run_query cluster ~origin:1 (Hf_query.Compile.compile closure_query) [] in
+  check_bool "terminates immediately" true outcome.Cluster.terminated;
+  check_int "no results" 0 (List.length outcome.Cluster.results)
+
+let test_sequential_queries_reuse_cluster () =
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let cluster = WC.create ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let program = Hf_query.Compile.compile closure_query in
+  let o1 = WC.run_query cluster ~origin:0 program [ oids.(0) ] in
+  let o2 = WC.run_query cluster ~origin:1 program [ oids.(0) ] in
+  check_bool "both terminate" true (o1.Cluster.terminated && o2.Cluster.terminated);
+  check_bool "same results" true (Oid.Set.equal o1.Cluster.result_set o2.Cluster.result_set)
+
+let test_remote_initial_set () =
+  (* Initial objects on other sites: the query ships to them. *)
+  let ds = ring_dataset ~n:6 ~n_sites:3 in
+  let cluster = WC.create ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let program = Hf_query.Compile.compile (parse "(Keyword, \"hot\", ?)") in
+  let outcome = WC.run_query cluster ~origin:0 program [ oids.(1); oids.(4) ] in
+  (* logical 4 is hot (4 mod 4 = 0), logical 1 is not *)
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "one result" 1 (List.length outcome.Cluster.results);
+  check_int "two work messages for remote seeds" 2
+    outcome.Cluster.metrics.Hf_server.Metrics.work_messages
+
+let test_kill_site_partial_results () =
+  (* Paper, introduction: "If Node A is down, one should still be able
+     to pose a query to Node B.  This may not produce a complete answer
+     to the query, but it may be adequate." *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let cluster = WC.create ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  WC.kill_site cluster 2;
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "not terminated (credit lost with the dead site)" false outcome.Cluster.terminated;
+  (* ring 0->1->2(dead): only logical 0's hotness observable *)
+  check_bool "partial results delivered" true (List.length outcome.Cluster.results >= 1)
+
+let test_counts_mode () =
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let config = { Cluster.default_config with Cluster.result_mode = Cluster.Ship_counts } in
+  let cluster = WC.create ~config ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  (* members stay server-side *)
+  check_int "no shipped members" 0 outcome.Cluster.metrics.Hf_server.Metrics.results_shipped;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 outcome.Cluster.counts in
+  check_int "counts add up to the result-set size" 3 total
+
+let test_threshold_mode () =
+  (* The paper: the count-only method "would probably be employed only
+     when the size of the results exceeded some threshold". *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let run threshold =
+    let config =
+      { Cluster.default_config with Cluster.result_mode = Cluster.Ship_threshold threshold }
+    in
+    let cluster = WC.create ~config ~n_sites:3 () in
+    let oids = WL.load cluster ds in
+    WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ]
+  in
+  (* ring has 1 result per remote site: a high threshold ships members *)
+  let low = run 1 in
+  let high = run 100 in
+  check_bool "both terminate" true (low.Cluster.terminated && high.Cluster.terminated);
+  check_int "high threshold ships members" 2
+    high.Cluster.metrics.Hf_server.Metrics.results_shipped;
+  check_int "members arrive at the originator" 3 (List.length high.Cluster.results);
+  check_int "low threshold ships counts" 0 low.Cluster.metrics.Hf_server.Metrics.results_shipped;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 low.Cluster.counts in
+  check_int "counts cover the whole result set" 3 total
+
+let test_distributed_set_requery () =
+  (* Section 5's optimisation: re-query over the retained distributed
+     set; compare against running the composed query directly. *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let config = { Cluster.default_config with Cluster.result_mode = Cluster.Ship_counts } in
+  let cluster = WC.create ~config ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let q1 = Hf_query.Compile.compile (parse "[ (Pointer, \"R\", ?X) ^^X ]* (?, ?, ?)") in
+  let o1 = WC.run_query cluster ~origin:0 q1 [ oids.(0) ] in
+  check_bool "first query terminated" true o1.Cluster.terminated;
+  let q1_id = Option.get (WC.last_query_id cluster) in
+  let q2 = Hf_query.Compile.compile (parse "(Keyword, \"hot\", ?)") in
+  let o2 = WC.run_query_on_distributed cluster ~origin:0 ~from:q1_id q2 in
+  check_bool "second query terminated" true o2.Cluster.terminated;
+  let counts_total = List.fold_left (fun acc (_, n) -> acc + n) 0 o2.Cluster.counts in
+  check_int "refined counts" 3 counts_total;
+  (* one seed message per remote site *)
+  check_int "seed messages" 2 o2.Cluster.metrics.Hf_server.Metrics.work_messages
+
+let test_duplicate_work_accounting () =
+  (* Two sites pointing at the same remote object: the second deref
+     message is sent (local mark tables!) and ignored on arrival. *)
+  let ds =
+    {
+      n = 3;
+      placement = [| 0; 0; 1 |];
+      edges = [ (0, "R", 2); (1, "R", 2) ];
+      hot = [| true; true; true |];
+    }
+  in
+  let cluster = WC.create ~n_sites:2 () in
+  let oids = WL.load cluster ds in
+  let program = Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)") in
+  let outcome = WC.run_query cluster ~origin:0 program [ oids.(0); oids.(1) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "both messages sent" 2 outcome.Cluster.metrics.Hf_server.Metrics.work_messages;
+  check_int "one was duplicate work" 1
+    outcome.Cluster.metrics.Hf_server.Metrics.duplicate_work_messages;
+  check_int "all three pass" 3 (List.length outcome.Cluster.results)
+
+(* Dataset where the duplicate dereference is discovered long after the
+   remote site first processed the target (a 20-object local chain
+   separates the two pointers in time), so a global mark table gets the
+   chance to suppress the second message. *)
+let late_duplicate_dataset =
+  let chain = 20 in
+  let n = chain + 2 in
+  let target = n - 1 in
+  {
+    n;
+    placement = Array.init n (fun i -> if i = target then 1 else 0);
+    edges =
+      ((0, "R", target) :: List.init chain (fun i -> (i, "R", i + 1)))
+      @ [ (chain, "R", target) ];
+    hot = Array.make n true;
+  }
+
+let late_duplicate_query =
+  Hf_query.Compile.compile (parse "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)")
+
+let test_global_marks_suppress_duplicates () =
+  let run mark_scope =
+    let config = { Cluster.default_config with Cluster.mark_scope } in
+    let cluster = WC.create ~config ~n_sites:2 () in
+    let oids = WL.load cluster late_duplicate_dataset in
+    WC.run_query cluster ~origin:0 late_duplicate_query [ oids.(0) ]
+  in
+  let local = run Cluster.Local_marks in
+  let global = run Cluster.Global_marks in
+  check_bool "both terminated" true (local.Cluster.terminated && global.Cluster.terminated);
+  check_bool "same results" true
+    (List.length local.Cluster.results = List.length global.Cluster.results);
+  check_int "local marks: duplicate message sent" 2
+    local.Cluster.metrics.Hf_server.Metrics.work_messages;
+  check_int "global marks: duplicate suppressed" 1
+    global.Cluster.metrics.Hf_server.Metrics.work_messages
+
+let test_trace_events () =
+  let ds = ring_dataset ~n:6 ~n_sites:3 in
+  let trace = Hf_sim.Trace.create () in
+  let cluster = WC.create ~trace ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "sends recorded" outcome.Cluster.metrics.Hf_server.Metrics.work_messages
+    (Hf_sim.Trace.count_kind trace "work-send");
+  check_bool "termination recorded" true (Hf_sim.Trace.count_kind trace "terminate" = 1)
+
+let test_response_time_single_site_formula () =
+  (* With the paper's costs, single-site time = objects * 8ms + results
+     * 20ms (the E2 calibration). *)
+  let n = 20 in
+  let ds = ring_dataset ~n ~n_sites:1 in
+  let cluster = WC.create ~n_sites:1 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  let results = List.length outcome.Cluster.results in
+  (* n objects at 8 ms, results at 20 ms, plus one mark-table skip when
+     the ring closes back on the root *)
+  let expected =
+    (float_of_int n *. 0.008) +. (float_of_int results *. 0.020) +. 0.0005
+  in
+  Alcotest.(check (float 1e-6)) "calibrated formula" expected outcome.Cluster.response_time
+
+let test_object_mobility_with_name_service () =
+  (* Section 4: the birth site arbitrates an object's actual location.
+     The cluster's locate hook consults a name service, so a moved
+     object keeps answering queries from its new site. *)
+  let ns = Hf_naming.Name_service.create ~n_sites:2 in
+  let locate oid =
+    match Hf_naming.Name_service.authoritative ns oid with
+    | Some site -> site
+    | None -> Oid.birth_site oid
+  in
+  let cluster = WC.create ~locate ~n_sites:2 () in
+  let a = Store.fresh_oid (WC.store cluster 0) in
+  let b = Store.fresh_oid (WC.store cluster 1) in
+  Hf_naming.Name_service.register ns a;
+  Hf_naming.Name_service.register ns b;
+  Store.insert (WC.store cluster 0)
+    (Hf_data.Hobject.of_tuples a [ Tuple.pointer ~key:"R" b; Tuple.keyword "hot" ]);
+  Store.insert (WC.store cluster 1)
+    (Hf_data.Hobject.of_tuples b [ Tuple.keyword "hot" ]);
+  let program = Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)") in
+  let before = WC.run_query cluster ~origin:0 program [ a ] in
+  check_int "both found before the move" 2 (List.length before.Cluster.results);
+  check_int "one remote message" 1 before.Cluster.metrics.Hf_server.Metrics.work_messages;
+  (* move b to site 0: update the store contents and the registry *)
+  let obj_b = Option.get (Store.find (WC.store cluster 1) b) in
+  Store.remove (WC.store cluster 1) b;
+  Store.insert (WC.store cluster 0) obj_b;
+  Hf_naming.Name_service.move ns b ~to_:0;
+  let after = WC.run_query cluster ~origin:0 program [ a ] in
+  check_int "both found after the move" 2 (List.length after.Cluster.results);
+  check_int "no remote messages once co-located" 0
+    after.Cluster.metrics.Hf_server.Metrics.work_messages
+
+let test_concurrent_queries () =
+  (* Two queries submitted together execute concurrently, contending for
+     the same site CPUs: answers match solo runs, and the shared-site
+     contention shows up as response time. *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  (* solo reference *)
+  let solo =
+    let cluster = WC.create ~n_sites:3 () in
+    let oids = WL.load cluster ds in
+    WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ]
+  in
+  let cluster = WC.create ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let program = Hf_query.Compile.compile closure_query in
+  let h1 = WC.submit cluster ~origin:0 program [ oids.(0) ] in
+  let h2 = WC.submit cluster ~origin:1 program [ oids.(3) ] in
+  WC.await_quiescence cluster;
+  let o1 = WC.outcome cluster h1 and o2 = WC.outcome cluster h2 in
+  check_bool "both terminated" true (o1.Cluster.terminated && o2.Cluster.terminated);
+  check_bool "distinct query ids" true
+    (not (Hf_proto.Message.equal_query_id (WC.query_id h1) (WC.query_id h2)));
+  check_bool "q1 matches solo" true (Oid.Set.equal o1.Cluster.result_set solo.Cluster.result_set);
+  check_bool "q2 matches solo (same ring closure)" true
+    (Oid.Set.equal o2.Cluster.result_set solo.Cluster.result_set);
+  check_bool "contention slows at least one query" true
+    (o1.Cluster.response_time >= solo.Cluster.response_time -. 1e-9
+    || o2.Cluster.response_time >= solo.Cluster.response_time -. 1e-9)
+
+let test_forget_query () =
+  let ds = ring_dataset ~n:6 ~n_sites:2 in
+  let cluster = WC.create ~n_sites:2 () in
+  let oids = WL.load cluster ds in
+  let _ = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  let qid = Option.get (WC.last_query_id cluster) in
+  WC.forget_query cluster qid;
+  check_bool "gone" true (WC.last_query_id cluster = None)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hf_server"
+    [
+      ( "distributed = local",
+        [
+          qtest (Weighted_battery.prop "weighted detector");
+          qtest (Ds_battery.prop "dijkstra-scholten detector");
+          qtest (Fc_battery.prop "four-counter detector");
+          qtest Jitter_battery.prop;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "ring across 3 sites" `Quick test_ring_basics;
+          Alcotest.test_case "single site has no messages" `Quick test_single_site_no_messages;
+          Alcotest.test_case "empty initial set" `Quick test_empty_initial_set;
+          Alcotest.test_case "sequential queries" `Quick test_sequential_queries_reuse_cluster;
+          Alcotest.test_case "remote initial set" `Quick test_remote_initial_set;
+          Alcotest.test_case "response-time calibration" `Quick
+            test_response_time_single_site_formula;
+          Alcotest.test_case "object mobility via name service" `Quick
+            test_object_mobility_with_name_service;
+          Alcotest.test_case "concurrent queries" `Quick test_concurrent_queries;
+          Alcotest.test_case "forget query" `Quick test_forget_query;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "dead site yields partial results" `Quick
+            test_kill_site_partial_results;
+          qtest Loss_battery.prop;
+        ] );
+      ( "distributed sets",
+        [
+          Alcotest.test_case "counts mode" `Quick test_counts_mode;
+          Alcotest.test_case "threshold mode" `Quick test_threshold_mode;
+          Alcotest.test_case "re-query over distributed set" `Quick test_distributed_set_requery;
+        ] );
+      ( "mark-table ablation",
+        [
+          Alcotest.test_case "local marks allow duplicate messages" `Quick
+            test_duplicate_work_accounting;
+          Alcotest.test_case "global marks suppress them" `Quick
+            test_global_marks_suppress_duplicates;
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "trace events match metrics" `Quick test_trace_events ] );
+    ]

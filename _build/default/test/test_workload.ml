@@ -1,0 +1,313 @@
+(* Tests for the synthetic workload generator: the Section 5 dataset
+   invariants — search-key spaces, chain always remote, locality classes
+   near their nominal probabilities, closure coverage via the backbone
+   cycles, and graph identity across machine counts. *)
+
+module Syn = Hf_workload.Synthetic
+module Store = Hf_data.Store
+module Oid = Hf_data.Oid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_params = { Syn.default_params with Syn.n_objects = 90; blob_bytes = 64 }
+
+let dataset = lazy (Syn.generate ~params:small_params ())
+
+let test_object_count () =
+  let ds = Lazy.force dataset in
+  check_int "n_objects" 90 (Syn.n_objects ds)
+
+let test_chain_structure () =
+  let ds = Lazy.force dataset in
+  for i = 0 to Syn.n_objects ds - 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "chain %d" i)
+      [ i + 1 ]
+      (Syn.logical_pointers ds i ~key:Syn.chain_key)
+  done;
+  (* terminator self-pointer on the last object *)
+  Alcotest.(check (list int)) "chain end" [ 89 ]
+    (Syn.logical_pointers ds 89 ~key:Syn.chain_key)
+
+let test_chain_always_crosses_groups () =
+  let ds = Lazy.force dataset in
+  for i = 0 to Syn.n_objects ds - 2 do
+    check_bool "consecutive objects in different groups" true (Syn.group ds i <> Syn.group ds (i + 1))
+  done
+
+let test_two_pointers_per_random_class () =
+  let ds = Lazy.force dataset in
+  List.iter
+    (fun p ->
+      let key = Syn.rand_key p in
+      for i = 0 to Syn.n_objects ds - 1 do
+        check_int
+          (Printf.sprintf "%s pointers at %d" key i)
+          2
+          (List.length (Syn.logical_pointers ds i ~key))
+      done)
+    Syn.localities
+
+let test_locality_near_nominal () =
+  let ds = Lazy.force dataset in
+  List.iter
+    (fun p ->
+      let measured = Syn.measured_locality ds ~key:(Syn.rand_key p) in
+      check_bool
+        (Printf.sprintf "measured %.2f near nominal %.2f" measured p)
+        true
+        (abs_float (measured -. p) < 0.12))
+    Syn.localities
+
+let closure_from ds ~key start =
+  let visited = Hashtbl.create 64 in
+  let rec go i =
+    if not (Hashtbl.mem visited i) then begin
+      Hashtbl.replace visited i ();
+      List.iter go (Syn.logical_pointers ds i ~key)
+    end
+  in
+  go start;
+  Hashtbl.length visited
+
+let test_backbone_covers_everything () =
+  let ds = Lazy.force dataset in
+  (* "There were 270 objects involved in the queries" — every random
+     class reaches the whole database from the root. *)
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "closure of %s" (Syn.rand_key p))
+        (Syn.n_objects ds)
+        (closure_from ds ~key:(Syn.rand_key p) 0))
+    Syn.localities;
+  check_int "chain covers everything" (Syn.n_objects ds) (closure_from ds ~key:Syn.chain_key 0);
+  check_int "tree covers everything" (Syn.n_objects ds) (closure_from ds ~key:Syn.tree_key 0)
+
+let test_every_object_has_pointer_in_every_class () =
+  (* Figure 3 semantics: an object without a matching pointer dies in
+     the traversal body; the generator therefore guarantees outgoing
+     pointers everywhere (terminator self-pointers at leaves). *)
+  let ds = Lazy.force dataset in
+  let keys = Syn.chain_key :: Syn.tree_key :: List.map Syn.rand_key Syn.localities in
+  List.iter
+    (fun key ->
+      for i = 0 to Syn.n_objects ds - 1 do
+        check_bool
+          (Printf.sprintf "%s at %d" key i)
+          true
+          (Syn.logical_pointers ds i ~key <> [])
+      done)
+    keys
+
+let test_determinism () =
+  let a = Syn.generate ~params:small_params () in
+  let b = Syn.generate ~params:small_params () in
+  List.iter
+    (fun key ->
+      for i = 0 to Syn.n_objects a - 1 do
+        check_bool "same pointers" true
+          (Syn.logical_pointers a i ~key = Syn.logical_pointers b i ~key)
+      done)
+    (Syn.chain_key :: List.map Syn.rand_key Syn.localities)
+
+let test_seed_changes_graph () =
+  let a = Syn.generate ~params:small_params () in
+  let b = Syn.generate ~params:{ small_params with Syn.seed = 43 } () in
+  let key = Syn.rand_key 0.50 in
+  let differs = ref false in
+  for i = 0 to Syn.n_objects a - 1 do
+    if Syn.logical_pointers a i ~key <> Syn.logical_pointers b i ~key then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_placement_refinement () =
+  (* site = group mod n_sites: the 9-way partition refines the 3-way. *)
+  for g = 0 to 8 do
+    let site9 = Syn.site_of_group ~n_groups:9 ~n_sites:9 g in
+    let site3 = Syn.site_of_group ~n_groups:9 ~n_sites:3 g in
+    let site1 = Syn.site_of_group ~n_groups:9 ~n_sites:1 g in
+    check_int "site9 mod 3" (site9 mod 3) site3;
+    check_int "single site" 0 site1
+  done;
+  Alcotest.check_raises "uneven split"
+    (Invalid_argument "Synthetic.site_of_group: sites must divide groups evenly") (fun () ->
+      ignore (Syn.site_of_group ~n_groups:9 ~n_sites:2 0))
+
+let test_materialize () =
+  let ds = Lazy.force dataset in
+  let stores = Array.init 3 (fun site -> Store.create ~site) in
+  let placed = Syn.materialize ds ~n_sites:3 ~store_of:(fun s -> stores.(s)) in
+  check_int "all objects stored" 90
+    (Array.fold_left (fun acc store -> acc + Store.cardinal store) 0 stores);
+  (* even split: 9 groups of 10 over 3 sites *)
+  Array.iter (fun store -> check_int "even split" 30 (Store.cardinal store)) stores;
+  (* oids live where site_of says *)
+  Array.iteri
+    (fun i oid ->
+      check_bool "birth site = placement" true (Oid.birth_site oid = placed.Syn.site_of.(i));
+      check_bool "stored there" true (Store.mem stores.(placed.Syn.site_of.(i)) oid))
+    placed.Syn.oids;
+  (* search tuples present *)
+  let obj = Option.get (Store.find stores.(0) placed.Syn.root) in
+  check_bool "unique tuple" true
+    (List.exists
+       (fun t ->
+         Hf_data.Tuple.ttype t = Hf_data.Tuple.type_number
+         && Hf_data.Value.equal (Hf_data.Tuple.key t) (Hf_data.Value.str "Unique"))
+       (Hf_data.Hobject.tuples obj));
+  check_bool "body blob present" true
+    (List.exists (fun t -> Hf_data.Tuple.ttype t = Hf_data.Tuple.type_text)
+       (Hf_data.Hobject.tuples obj))
+
+let test_materialized_closure_matches_engine () =
+  (* End to end on one store: the engine's chain-closure visits all
+     objects and the unique-key query returns exactly one. *)
+  let ds = Lazy.force dataset in
+  let store = Store.create ~site:0 in
+  let placed = Syn.materialize ds ~n_sites:1 ~store_of:(fun _ -> store) in
+  let program =
+    Hf_workload.Queries.closure_program ~pointer_key:Syn.chain_key
+      (Hf_workload.Queries.select_unique 42)
+  in
+  let r = Hf_engine.Local.run_store ~store program [ placed.Syn.root ] in
+  check_int "every object examined" 90 r.Hf_engine.Local.stats.Hf_engine.Stats.objects_processed;
+  check_int "unique key finds one" 1 (List.length r.Hf_engine.Local.results)
+
+let test_selectivities () =
+  let ds = Lazy.force dataset in
+  let store = Store.create ~site:0 in
+  let placed = Syn.materialize ds ~n_sites:1 ~store_of:(fun _ -> store) in
+  let run selection =
+    let program = Hf_workload.Queries.closure_program ~pointer_key:Syn.chain_key selection in
+    List.length (Hf_engine.Local.run_store ~store program [ placed.Syn.root ]).Hf_engine.Local.results
+  in
+  check_int "common selects all" 90 (run Hf_workload.Queries.select_common);
+  let rand10 = run (Hf_workload.Queries.select_rand10 5) in
+  check_bool (Printf.sprintf "rand10 ~10%% (%d)" rand10) true (rand10 > 2 && rand10 < 20)
+
+let test_generate_validation () =
+  Alcotest.check_raises "tiny" (Invalid_argument "Synthetic.generate: need at least 2 objects")
+    (fun () -> ignore (Syn.generate ~params:{ small_params with Syn.n_objects = 1 } ()))
+
+(* --- Corpus --- *)
+
+module Corpus = Hf_workload.Corpus
+
+let corpus_fixture () =
+  let store = Store.create ~site:0 in
+  let corpus = Corpus.generate ~n_sites:1 ~store_of:(fun _ -> store) () in
+  (store, corpus)
+
+let test_corpus_counts () =
+  let store, corpus = corpus_fixture () in
+  check_int "all documents stored" 500 (Store.cardinal store);
+  check_int "oids array" 500 (Array.length (Corpus.oids corpus))
+
+let test_corpus_zipf_shape () =
+  let store, corpus = corpus_fixture () in
+  let find = Store.find store in
+  let common = Corpus.keyword_frequency ~find corpus 0 in
+  let mid = Corpus.keyword_frequency ~find corpus 50 in
+  let rare = Corpus.keyword_frequency ~find corpus 190 in
+  check_bool
+    (Printf.sprintf "zipf head %d > middle %d > tail %d (weak ordering)" common mid rare)
+    true
+    (common > mid && mid >= rare)
+
+let test_corpus_citations_point_backwards () =
+  let store, corpus = corpus_fixture () in
+  let oids = Corpus.oids corpus in
+  let index_of oid =
+    let found = ref (-1) in
+    Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+    !found
+  in
+  Array.iteri
+    (fun i oid ->
+      let obj = Option.get (Store.find store oid) in
+      List.iter
+        (fun target ->
+          let j = index_of target in
+          check_bool "cites earlier or self-terminator" true (j < i || (j = i && i >= 0)))
+        (Hf_data.Hobject.pointers_with_key obj ~key:Corpus.citation_key))
+    oids
+
+let test_corpus_every_doc_has_citation_tuple () =
+  (* leaves get terminator self-pointers, so closures can filter them *)
+  let store, corpus = corpus_fixture () in
+  Array.iter
+    (fun oid ->
+      let obj = Option.get (Store.find store oid) in
+      check_bool "has citation tuple" true
+        (Hf_data.Hobject.pointers_with_key obj ~key:Corpus.citation_key <> []))
+    (Corpus.oids corpus)
+
+let test_corpus_closure_queryable () =
+  let store, corpus = corpus_fixture () in
+  let ast =
+    Hf_query.Parser.parse_body "[ (Pointer, \"Cites\", ?X) ^^X ]* (Number, \"Year\", 1970..1991)"
+  in
+  let r = Hf_engine.Local.run_query ~store ast [ Corpus.newest corpus ] in
+  check_bool "newest reaches a real citation neighbourhood" true
+    (List.length r.Hf_engine.Local.results > 3)
+
+let test_corpus_deterministic () =
+  let store1 = Store.create ~site:0 in
+  let c1 = Corpus.generate ~n_sites:1 ~store_of:(fun _ -> store1) () in
+  let store2 = Store.create ~site:0 in
+  let c2 = Corpus.generate ~n_sites:1 ~store_of:(fun _ -> store2) () in
+  Array.iteri
+    (fun i oid1 ->
+      let o1 = Option.get (Store.find store1 oid1) in
+      let o2 = Option.get (Store.find store2 (Corpus.oids c2).(i)) in
+      check_bool "same document" true (Hf_data.Hobject.equal o1 o2))
+    (Corpus.oids c1)
+
+let () =
+  Alcotest.run "hf_workload"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "object count" `Quick test_object_count;
+          Alcotest.test_case "chain structure" `Quick test_chain_structure;
+          Alcotest.test_case "chain crosses groups" `Quick test_chain_always_crosses_groups;
+          Alcotest.test_case "two pointers per class" `Quick test_two_pointers_per_random_class;
+          Alcotest.test_case "every class has pointers everywhere" `Quick
+            test_every_object_has_pointer_in_every_class;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "locality near nominal" `Quick test_locality_near_nominal;
+          Alcotest.test_case "closures cover everything" `Quick test_backbone_covers_everything;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same graph" `Quick test_determinism;
+          Alcotest.test_case "different seed, different graph" `Quick test_seed_changes_graph;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "refinement property" `Quick test_placement_refinement;
+          Alcotest.test_case "materialize" `Quick test_materialize;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "closure matches engine" `Quick
+            test_materialized_closure_matches_engine;
+          Alcotest.test_case "selectivities" `Quick test_selectivities;
+          Alcotest.test_case "validation" `Quick test_generate_validation;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "counts" `Quick test_corpus_counts;
+          Alcotest.test_case "zipf keyword shape" `Quick test_corpus_zipf_shape;
+          Alcotest.test_case "citations point backwards" `Quick
+            test_corpus_citations_point_backwards;
+          Alcotest.test_case "terminator pointers everywhere" `Quick
+            test_corpus_every_doc_has_citation_tuple;
+          Alcotest.test_case "closure queryable" `Quick test_corpus_closure_queryable;
+          Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+        ] );
+    ]
