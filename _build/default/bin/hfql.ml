@@ -159,9 +159,9 @@ let dump_snapshot path =
 
 (* --- TCP demo --- *)
 
-let tcp_demo ~sites ~objects ~seed =
+let tcp_demo ~sites ~objects ~seed ~batch =
   let module Tcp = Hf_net.Tcp_site in
-  let endpoints = Array.init sites (fun site -> Tcp.create ~site ()) in
+  let endpoints = Array.init sites (fun site -> Tcp.create ~site ~batch ()) in
   let addresses = Array.map Tcp.address endpoints in
   Array.iter (fun s -> Tcp.set_peers s addresses) endpoints;
   Array.iteri
@@ -258,12 +258,29 @@ let repl_cmd =
     Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg)
 
 let tcp_demo_cmd =
-  let run sites objects seed = tcp_demo ~sites ~objects ~seed in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"K"
+             ~doc:"Coalesce up to $(docv) same-destination work items per message (1 = the \
+                   paper's one-message-per-item protocol, 0 = only flush when the site \
+                   drains).")
+  in
+  let run sites objects seed batch =
+    match
+      if batch = 0 then Ok Hf_proto.Batch.Flush_on_drain
+      else if batch >= 1 then Ok (Hf_proto.Batch.Flush_at batch)
+      else Error ()
+    with
+    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch
+    | Error () ->
+      Fmt.epr "hfql: --batch must be >= 0 (got %d)@." batch;
+      2
+  in
   Cmd.v
     (Cmd.info "tcp-demo"
        ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
              simulator).")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg)
 
 let () =
   let doc = "HyperFile filtering-query runner (paper reproduction demo)" in

@@ -1,1 +1,1 @@
-lib/net/tcp_site.mli: Hf_data Hf_query Unix
+lib/net/tcp_site.mli: Hf_data Hf_proto Hf_query Unix

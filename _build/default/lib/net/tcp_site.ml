@@ -118,6 +118,10 @@ type context = {
 type t = {
   id : int;
   store : Hf_data.Store.t;
+  batch_policy : Hf_proto.Batch.flush_policy;
+      (* per-destination work batching; [Flush_at 1] ships one
+         Deref_request per item, byte-identical to the original
+         protocol *)
   listener : Unix.file_descr;
   address : Unix.sockaddr;
   mutable peers : Unix.sockaddr array; (* index = site id *)
@@ -201,9 +205,59 @@ let credit_recovered t query ctx credit =
     Condition.broadcast t.done_cond
   end
 
+(* Ship a batch of work items to [dst], splitting the sender's credit
+   once for the whole batch.  A single item goes as a plain
+   [Deref_request] — byte-identical to the unbatched protocol — so a
+   [Flush_at 1] site is indistinguishable on the wire. *)
+let send_work_batch t query ctx ~dst items =
+  match items with
+  | [] -> ()
+  | items ->
+    let keep, gave = Credit.split ctx.held in
+    ctx.held <- keep;
+    let body = Hf_engine.Plan.program ctx.plan in
+    let credit = Credit.atoms gave in
+    (match items with
+     | [ wi ] ->
+       send t ~dst
+         (Message.Deref_request
+            {
+              query;
+              body;
+              oid = Hf_engine.Work_item.oid wi;
+              start = Hf_engine.Work_item.start wi;
+              iters = Hf_engine.Work_item.iters wi;
+              credit;
+            })
+     | items ->
+       send t ~dst
+         (Message.Work_batch
+            [
+              {
+                Message.query;
+                body;
+                items =
+                  List.map
+                    (fun wi ->
+                      {
+                        Message.oid = Hf_engine.Work_item.oid wi;
+                        start = Hf_engine.Work_item.start wi;
+                        iters = Hf_engine.Work_item.iters wi;
+                      })
+                    items;
+                credit;
+              };
+            ]))
+
 (* Process the working set to empty, then ship buffered results (credit
-   riding along) to the originator.  Runs under the site lock. *)
+   riding along) to the originator.  Runs under the site lock.
+
+   Remote spawns pass through a per-destination batcher: a destination
+   reaching K items flushes mid-drain, and everything left flushes when
+   the working set empties — always before this site's credit goes back,
+   so termination is never starved. *)
 let process_to_drain t query ctx =
+  let out = Hf_proto.Batch.create t.batch_policy in
   let rec drain_work () =
     match Hf_util.Deque.pop_front ctx.work with
     | None -> ()
@@ -222,20 +276,10 @@ let process_to_drain t query ctx =
         (fun wi ->
           let target_site = locate (Hf_engine.Work_item.oid wi) in
           if target_site = t.id then Hf_util.Deque.push_back ctx.work wi
-          else begin
-            let keep, gave = Credit.split ctx.held in
-            ctx.held <- keep;
-            send t ~dst:target_site
-              (Message.Deref_request
-                 {
-                   query;
-                   body = Hf_engine.Plan.program ctx.plan;
-                   oid = Hf_engine.Work_item.oid wi;
-                   start = Hf_engine.Work_item.start wi;
-                   iters = Hf_engine.Work_item.iters wi;
-                   credit = Credit.atoms gave;
-                 })
-          end)
+          else
+            match Hf_proto.Batch.push out ~dst:target_site wi with
+            | None -> ()
+            | Some items -> send_work_batch t query ctx ~dst:target_site items)
         spawned;
       (if passed then
          let oid = Hf_engine.Work_item.oid item in
@@ -252,7 +296,11 @@ let process_to_drain t query ctx =
       drain_work ()
   in
   drain_work ();
-  (* drained: return credit (and, away from the origin, results) *)
+  (* drained: flush buffered work before any credit goes back *)
+  List.iter
+    (fun (dst, items) -> send_work_batch t query ctx ~dst items)
+    (Hf_proto.Batch.flush_all out);
+  (* return credit (and, away from the origin, results) *)
   if t.id = ctx.origin then begin
     merge_bindings ctx.final_bindings
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings []);
@@ -293,6 +341,21 @@ let handle_message t message =
         ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
         Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters);
         process_to_drain t query ctx
+      | Message.Work_batch groups ->
+        List.iter
+          (fun { Message.query; body; items; credit } ->
+            let ctx =
+              match Hashtbl.find_opt t.contexts query with
+              | Some ctx -> ctx
+              | None -> new_context t ~query ~origin:query.Message.originator body
+            in
+            ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
+            List.iter
+              (fun { Message.oid; start; iters } ->
+                Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters))
+              items;
+            process_to_drain t query ctx)
+          groups
       | Message.Result { query; payload; bindings; credit } -> (
           match Hashtbl.find_opt t.contexts query with
           | None -> () (* unknown/forgotten query *)
@@ -350,7 +413,8 @@ let accept_loop t () =
 
 (* --- lifecycle --- *)
 
-let create ~site () =
+let create ~site ?(batch = Hf_proto.Batch.unbatched) () =
+  Hf_proto.Batch.validate_policy batch;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -360,6 +424,7 @@ let create ~site () =
     {
       id = site;
       store = Hf_data.Store.create ~site;
+      batch_policy = batch;
       listener;
       address;
       peers = [||];
@@ -416,25 +481,21 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
         t.next_serial <- t.next_serial + 1;
         let ctx = new_context t ~query ~origin:t.id program in
         ctx.held <- Credit.one;
+        (* Remote seeds batch per destination just like spawned work. *)
+        let out = Hf_proto.Batch.create t.batch_policy in
         List.iter
           (fun oid ->
             if locate oid = t.id then
               Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.initial ctx.plan oid)
-            else begin
-              let keep, gave = Credit.split ctx.held in
-              ctx.held <- keep;
-              send t ~dst:(locate oid)
-                (Message.Deref_request
-                   {
-                     query;
-                     body = program;
-                     oid;
-                     start = 0;
-                     iters = Hf_engine.Work_item.iters (Hf_engine.Work_item.initial ctx.plan oid);
-                     credit = Credit.atoms gave;
-                   })
-            end)
+            else
+              let dst = locate oid in
+              match Hf_proto.Batch.push out ~dst (Hf_engine.Work_item.initial ctx.plan oid) with
+              | None -> ()
+              | Some items -> send_work_batch t query ctx ~dst items)
           initial;
+        List.iter
+          (fun (dst, items) -> send_work_batch t query ctx ~dst items)
+          (Hf_proto.Batch.flush_all out);
         process_to_drain t query ctx;
         (query, ctx))
   in

@@ -12,8 +12,15 @@
 
 type t
 
-val create : site:int -> unit -> t
-(** Bind 127.0.0.1 on an ephemeral port and start accepting. *)
+val create : site:int -> ?batch:Hf_proto.Batch.flush_policy -> unit -> t
+(** Bind 127.0.0.1 on an ephemeral port and start accepting.
+
+    [batch] (default [Flush_at 1], i.e. unbatched) coalesces work items
+    bound for the same destination into one [Work_batch] message with a
+    single credit split; leftovers always flush before the site drains,
+    so termination is never delayed.  Single-item flushes go out as
+    plain [Deref_request]s — with the default policy the wire traffic is
+    byte-identical to the unbatched protocol. *)
 
 val address : t -> Unix.sockaddr
 

@@ -1,0 +1,1 @@
+lib/proto/batch.ml: Fmt Hashtbl Int List

@@ -312,6 +312,31 @@ let read_binding r =
   let values = read_list r read_value in
   (target, values)
 
+let write_batch_item buf { Message.oid; start; iters } =
+  write_oid buf oid;
+  write_varint buf start;
+  write_iters buf iters
+
+let read_batch_item r =
+  let oid = read_oid r in
+  let start = read_varint r in
+  let iters = read_iters r in
+  { Message.oid; start; iters }
+
+let write_batch_group buf { Message.query; body; items; credit } =
+  write_query_id buf query;
+  write_program buf body;
+  write_list buf write_batch_item items;
+  write_credit buf credit
+
+let read_batch_group r =
+  let query = read_query_id r in
+  let body = read_program r in
+  let items = read_list r read_batch_item in
+  if items = [] then fail "empty work-batch group";
+  let credit = read_credit r in
+  { Message.query; body; items; credit }
+
 let write_message buf message =
   match (message : Message.t) with
   | Deref_request { query; body; oid; start; iters; credit } ->
@@ -322,6 +347,10 @@ let write_message buf message =
     write_varint buf start;
     write_iters buf iters;
     write_credit buf credit
+  | Work_batch groups ->
+    if groups = [] then invalid_arg "Codec.write_message: empty Work_batch";
+    write_u8 buf 3;
+    write_list buf write_batch_group groups
   | Result { query; payload; bindings; credit } ->
     write_u8 buf 1;
     write_query_id buf query;
@@ -364,6 +393,10 @@ let read_message r : Message.t =
     let query = read_query_id r in
     let credit = read_credit r in
     Credit_return { query; credit }
+  | 3 ->
+    let groups = read_list r read_batch_group in
+    if groups = [] then fail "empty work batch";
+    Work_batch groups
   | tag -> fail "unknown message tag %d" tag
 
 let encode message =

@@ -30,6 +30,25 @@ type deref_request = {
   credit : int list; (* credit atom exponents *)
 }
 
+(* Batched query shipping: several work items bound for the same site
+   coalesce into one wire message.  Items are grouped by query so the
+   program/query header is written once per group, not once per item,
+   and each group carries a single credit share covering all its
+   items. *)
+
+type batch_item = {
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+}
+
+type batch_group = {
+  query : query_id;
+  body : Hf_query.Program.t;
+  items : batch_item list; (* never empty on the wire *)
+  credit : int list; (* one credit share for the whole group *)
+}
+
 type result_payload =
   | Items of Hf_data.Oid.t list
   | Count of int
@@ -45,6 +64,8 @@ type result_message = {
 
 type t =
   | Deref_request of deref_request
+  | Work_batch of batch_group list
+      (** coalesced dereferences for one destination; never empty. *)
   | Result of result_message
   | Credit_return of { query : query_id; credit : int list }
       (** standalone credit return (used when a drained site has no
@@ -52,6 +73,8 @@ type t =
 
 let query_of = function
   | Deref_request { query; _ } -> query
+  | Work_batch ({ query; _ } :: _) -> query
+  | Work_batch [] -> invalid_arg "Message.query_of: empty Work_batch"
   | Result { query; _ } -> query
   | Credit_return { query; _ } -> query
 
@@ -60,11 +83,30 @@ let pp ppf = function
     Fmt.pf ppf "deref[%a] oid=%a start=%d iters=[%a]" pp_query_id query Hf_data.Oid.pp oid start
       Fmt.(array ~sep:(any ";") int)
       iters
+  | Work_batch groups ->
+    Fmt.pf ppf "work-batch[%a] %d group(s), %d item(s)"
+      Fmt.(list ~sep:(any ",") pp_query_id)
+      (List.map (fun (g : batch_group) -> g.query) groups)
+      (List.length groups)
+      (List.fold_left (fun acc (g : batch_group) -> acc + List.length g.items) 0 groups)
   | Result { query; payload = Items items; bindings; _ } ->
     Fmt.pf ppf "result[%a] %d items, %d targets" pp_query_id query (List.length items)
       (List.length bindings)
   | Result { query; payload = Count n; _ } -> Fmt.pf ppf "result[%a] count=%d" pp_query_id query n
   | Credit_return { query; _ } -> Fmt.pf ppf "credit-return[%a]" pp_query_id query
+
+let equal_batch_item (x : batch_item) (y : batch_item) =
+  Hf_data.Oid.equal x.oid y.oid
+  && x.start = y.start
+  && Array.length x.iters = Array.length y.iters
+  && Array.for_all2 ( = ) x.iters y.iters
+
+let equal_batch_group (x : batch_group) (y : batch_group) =
+  equal_query_id x.query y.query
+  && Hf_query.Program.equal x.body y.body
+  && List.length x.items = List.length y.items
+  && List.for_all2 equal_batch_item x.items y.items
+  && x.credit = y.credit
 
 let equal a b =
   match a, b with
@@ -91,5 +133,7 @@ let equal a b =
            && List.for_all2 Hf_data.Value.equal va vb)
          x.bindings y.bindings
     && x.credit = y.credit
+  | Work_batch xs, Work_batch ys ->
+    List.length xs = List.length ys && List.for_all2 equal_batch_group xs ys
   | Credit_return x, Credit_return y -> equal_query_id x.query y.query && x.credit = y.credit
-  | (Deref_request _ | Result _ | Credit_return _), _ -> false
+  | (Deref_request _ | Work_batch _ | Result _ | Credit_return _), _ -> false

@@ -36,12 +36,36 @@ type result_message = {
   credit : int list;
 }
 
+type batch_item = {
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+}
+
+type batch_group = {
+  query : query_id;
+  body : Hf_query.Program.t;
+  items : batch_item list;  (** never empty on the wire. *)
+  credit : int list;  (** one credit share covering every item. *)
+}
+(** Batched query shipping: dereferences bound for the same site share
+    one wire message; the program/query header is written once per
+    group, amortized over its items. *)
+
 type t =
   | Deref_request of deref_request
+  | Work_batch of batch_group list
+      (** coalesced dereferences for one destination; never empty. *)
   | Result of result_message
   | Credit_return of { query : query_id; credit : int list }
 
+val equal_batch_item : batch_item -> batch_item -> bool
+val equal_batch_group : batch_group -> batch_group -> bool
+
 val query_of : t -> query_id
+(** For [Work_batch] this is the first group's query (the query the
+    message is charged to).  Raises [Invalid_argument] on an empty
+    batch. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

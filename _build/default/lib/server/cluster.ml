@@ -14,6 +14,18 @@
    exchange control messages, which piggyback on result messages when
    they travel to the originator anyway.
 
+   Work messages batch: remote dereferences pass through a per-site,
+   per-destination buffer (shared across concurrent queries) and one
+   wire message ships every buffered item for a destination, grouped by
+   query with one header and one credit split per group.  The flush
+   policy is [config.batch]: at K buffered items for a destination the
+   flushing task ships them inline; whatever remains ships when the
+   site's task queue runs dry (end of the local pump cycle).  A context
+   never drains while it still owns buffered items, so termination is
+   detected only after every buffered item is on the wire.  [Flush_at 1]
+   reproduces the unbatched per-item protocol exactly — bytes, timing
+   and message counts.
+
    Timing model: each site is a serial CPU.  Site work is queued as
    tasks; a task computes its outcome and duration when it starts, and
    its effects (message deliveries, new work) apply when it completes.
@@ -47,11 +59,17 @@ type config = {
          alike) — failure injection; queries then typically time out
          with partial results *)
   jitter_seed : int;
+  batch : Hf_proto.Batch.flush_policy;
+      (* per-destination work-message batching: [Flush_at 1] ships one
+         message per item (the paper's protocol); larger K coalesces
+         same-destination items — across concurrent queries — into one
+         message, amortizing the ~50 ms per-message overhead *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
-    poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1 }
+    poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
+    batch = Hf_proto.Batch.unbatched }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -103,13 +121,21 @@ module Make (D : Hf_termination.Detector.S) = struct
     tasks : task Hf_util.Deque.t;
     mutable busy : bool;
     mutable alive : bool;
+    outgoing : (Hf_proto.Message.query_id * Hf_engine.Work_item.t) Hf_proto.Batch.t;
+        (* per-destination buffer of remote work awaiting shipment;
+           shared by every query on the site so concurrent traffic to
+           the same destination coalesces *)
+    out_pending : (Hf_proto.Message.query_id, int) Hashtbl.t;
+        (* buffered-item count per query: a context must not drain while
+           it still owns buffered items, or the detector would see its
+           work as finished before the items' credit was split *)
   }
 
+  (* A work message carries whole per-query groups: the query header and
+     detector tag (one credit split) cover every item in the group. *)
   type message =
     | Work of {
-        query : Hf_proto.Message.query_id;
-        item : Hf_engine.Work_item.t;
-        tag : D.tag;
+        groups : (Hf_proto.Message.query_id * Hf_engine.Work_item.t list * D.tag) list;
         src : int;
       }
     | Results of {
@@ -149,6 +175,8 @@ module Make (D : Hf_termination.Detector.S) = struct
             tasks = Hf_util.Deque.create ();
             busy = false;
             alive = true;
+            outgoing = Hf_proto.Batch.create config.batch;
+            out_pending = Hashtbl.create 4;
           })
     in
     let locate = match locate with Some f -> f | None -> Oid.birth_site in
@@ -179,40 +207,21 @@ module Make (D : Hf_termination.Detector.S) = struct
     | Some trace ->
       Hf_sim.Trace.record trace ~time:(Hf_sim.Sim.now t.sim) ~site ~kind ~detail
 
-  (* --- serial site CPU --- *)
-
-  (* Task starts are deferred to a fresh simulator event so that a task
-     completion finishes all of its effects (pushing spawned work,
-     checking the drain condition) before the next task pops the working
-     set — same-timestamp events run FIFO. *)
-  let rec pump t site =
-    if site.alive && not site.busy then begin
-      match Hf_util.Deque.pop_front site.tasks with
-      | None -> ()
-      | Some task ->
-        site.busy <- true;
-        Hf_sim.Sim.schedule t.sim ~delay:0.0 (fun () ->
-            if site.alive then begin
-              let duration, complete = task () in
-              Hf_sim.Sim.schedule t.sim ~delay:duration (fun () ->
-                  site.busy <- false;
-                  if site.alive then complete ();
-                  pump t site)
-            end
-            else site.busy <- false)
-    end
-
-  let enqueue t site task =
-    Hf_util.Deque.push_back site.tasks task;
-    pump t site
-
   (* --- byte-size estimates (the real codec is exercised separately in
      tests; the simulator only needs consistent accounting) --- *)
 
-  let work_message_bytes program item =
-    Hf_query.Program.byte_size program + 13 (* oid *) + 4 (* start *)
-    + (4 * Array.length (Hf_engine.Work_item.iters item))
-    + 8 (* query id *) + 4 (* credit/tag *)
+  (* One batch group ships the program + query header + credit once,
+     then per-item (oid, start, iters).  A single-item group costs
+     exactly what the unbatched per-item work message did. *)
+  let batch_header_bytes program =
+    Hf_query.Program.byte_size program + 8 (* query id *) + 4 (* credit/tag *)
+
+  let batch_item_bytes item =
+    13 (* oid *) + 4 (* start *) + (4 * Array.length (Hf_engine.Work_item.iters item))
+
+  let batch_group_bytes program items =
+    batch_header_bytes program
+    + List.fold_left (fun acc item -> acc + batch_item_bytes item) 0 items
 
   let result_message_bytes payload bindings =
     let payload_bytes =
@@ -226,22 +235,6 @@ module Make (D : Hf_termination.Detector.S) = struct
           acc + String.length target
           + List.fold_left (fun acc v -> acc + Hf_data.Value.byte_size v) 4 values)
         0 bindings
-
-  (* --- message delivery --- *)
-
-  let deliver t ~transit ~dst message handler =
-    let dropped =
-      t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
-    in
-    if not dropped then begin
-      let transit =
-        if t.config.jitter <= 0.0 then transit
-        else transit +. (Hf_util.Prng.next_float t.jitter_prng *. t.config.jitter)
-      in
-      Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
-          let site = t.sites.(dst) in
-          if site.alive then enqueue t site (fun () -> handler site message))
-    end
 
   (* --- contexts --- *)
 
@@ -315,9 +308,162 @@ module Make (D : Hf_termination.Detector.S) = struct
     List.iter send_control controls;
     if terminated then finish_query t oq
 
-  (* --- sending --- *)
+  (* --- outgoing-batch bookkeeping --- *)
 
-  let rec send_control t ~src ctx (dst, payload) =
+  let pending_for site query =
+    match Hashtbl.find_opt site.out_pending query with Some n -> n | None -> 0
+
+  let adjust_pending site query delta =
+    let n = pending_for site query + delta in
+    if n <= 0 then Hashtbl.remove site.out_pending query
+    else Hashtbl.replace site.out_pending query n
+
+  (* Group a flushed (query, item) run by query, preserving
+     first-appearance order, so each query's header ships once. *)
+  let group_entries entries =
+    let rec add q wi = function
+      | [] -> [ (q, [ wi ]) ]
+      | (q', items) :: rest when Hf_proto.Message.equal_query_id q q' ->
+        (q', wi :: items) :: rest
+      | g :: rest -> g :: add q wi rest
+    in
+    List.fold_left (fun groups (q, wi) -> add q wi groups) [] entries
+    |> List.map (fun (q, items) -> (q, List.rev items))
+
+  let batch_total groups =
+    List.fold_left (fun acc (_, items, _) -> acc + List.length items) 0 groups
+
+  (* --- serial site CPU, message delivery and sending --- *)
+
+  (* Task starts are deferred to a fresh simulator event so that a task
+     completion finishes all of its effects (pushing spawned work,
+     checking the drain condition) before the next task pops the working
+     set — same-timestamp events run FIFO. *)
+  let rec pump t site =
+    if site.alive && not site.busy then begin
+      match Hf_util.Deque.pop_front site.tasks with
+      | None ->
+        (* End of the local pump cycle: the site ran out of tasks, so
+           ship whatever the batcher still buffers.  (With K = 1 the
+           buffer is always empty — every push flushes immediately.) *)
+        flush_idle t site
+      | Some task ->
+        site.busy <- true;
+        Hf_sim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+            if site.alive then begin
+              let duration, complete = task () in
+              Hf_sim.Sim.schedule t.sim ~delay:duration (fun () ->
+                  site.busy <- false;
+                  if site.alive then complete ();
+                  pump t site)
+            end
+            else site.busy <- false)
+    end
+
+  and enqueue t site task =
+    Hf_util.Deque.push_back site.tasks task;
+    pump t site
+
+  (* Turn a flushed per-destination run into sendable groups.  Called
+     synchronously at flush-decision time: [D.on_send_work] splits the
+     sender's credit here — once per group, not per item — so a context
+     can never look drained while its buffered items still carry
+     unsplit credit. *)
+  and prepare_batch t site ~dst entries =
+    let groups =
+      group_entries entries
+      |> List.filter_map (fun (query, items) ->
+             adjust_pending site query (-List.length items);
+             match context_of t site query with
+             | Some ctx -> Some (ctx, items, D.on_send_work ctx.detector ~dst)
+             | None -> None)
+    in
+    (dst, groups)
+
+  (* Metrics, trace and delivery of a prepared batch; the sender-CPU
+     cost is charged by the caller (inside the task that flushed). *)
+  and send_prepared t site (dst, groups) =
+    match groups with
+    | [] -> ()
+    | (ctx0, _, _) :: _ ->
+      let total = batch_total groups in
+      let oq0 = find_open t ctx0.query in
+      (match oq0 with
+       | Some oq ->
+         oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
+         if total >= 2 then
+           oq.metrics.Metrics.work_batches <- oq.metrics.Metrics.work_batches + 1
+       | None -> ());
+      List.iter
+        (fun (ctx, items, _) ->
+          match find_open t ctx.query with
+          | Some oq ->
+            let program = Hf_engine.Plan.program ctx.plan in
+            oq.metrics.Metrics.work_items <-
+              oq.metrics.Metrics.work_items + List.length items;
+            oq.metrics.Metrics.work_bytes <-
+              oq.metrics.Metrics.work_bytes + batch_group_bytes program items;
+            oq.metrics.Metrics.batch_bytes_saved <-
+              oq.metrics.Metrics.batch_bytes_saved
+              + ((List.length items - 1) * batch_header_bytes program)
+          | None -> ())
+        groups;
+      record t site.id "work-send" (Fmt.str "%d item(s) to %d" total dst);
+      deliver t ~src:site.id ~oq:oq0 ~label:"work"
+        ~transit:(Hf_sim.Costs.batch_transit t.config.costs ~items:total)
+        ~dst
+        (Work
+           { groups = List.map (fun (ctx, items, tag) -> (ctx.query, items, tag)) groups;
+             src = site.id;
+           })
+        (fun dsite message -> handle_message t dsite message)
+
+  (* Ship every buffered batch; runs when the site's task queue empties
+     and is a no-op with nothing buffered.  Each flush is charged as a
+     send task; its completion re-checks the drain condition of every
+     query that had items aboard. *)
+  and flush_idle t site =
+    if Hf_proto.Batch.pending site.outgoing > 0 then
+      List.iter
+        (fun (dst, entries) ->
+          match prepare_batch t site ~dst entries with
+          | _, [] -> ()
+          | (_, ((ctx0, _, _) :: _ as groups)) as prepared ->
+            enqueue t site (fun () ->
+                let cost =
+                  Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups)
+                in
+                (match find_open t ctx0.query with
+                 | Some oq -> Metrics.add_busy oq.metrics site.id cost
+                 | None -> ());
+                ( cost,
+                  fun () ->
+                    send_prepared t site prepared;
+                    List.iter (fun (ctx, _, _) -> maybe_drain t site ctx) groups )))
+        (Hf_proto.Batch.flush_all site.outgoing)
+
+  and deliver t ~src ~oq ~label ~transit ~dst message handler =
+    let dropped =
+      t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
+    in
+    if dropped then begin
+      (match (oq : open_query option) with
+       | Some oq ->
+         oq.metrics.Metrics.dropped_messages <- oq.metrics.Metrics.dropped_messages + 1
+       | None -> ());
+      record t src "drop" (Fmt.str "%s to %d" label dst)
+    end
+    else begin
+      let transit =
+        if t.config.jitter <= 0.0 then transit
+        else transit +. (Hf_util.Prng.next_float t.jitter_prng *. t.config.jitter)
+      in
+      Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
+          let site = t.sites.(dst) in
+          if site.alive then enqueue t site (fun () -> handler site message))
+    end
+
+  and send_control t ~src ctx (dst, payload) =
     let oq = find_open t ctx.query in
     let site = t.sites.(src) in
     enqueue t site (fun () ->
@@ -329,7 +475,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         record t src "control-send" (Fmt.str "to %d: %a" dst D.pp_control payload);
         ( t.config.costs.control_send,
           fun () ->
-            deliver t ~transit:t.config.costs.control_transit ~dst
+            deliver t ~src ~oq ~label:"control" ~transit:t.config.costs.control_transit ~dst
               (Control { query = ctx.query; payload; src })
               (fun dsite message -> handle_message t dsite message) ))
 
@@ -386,7 +532,8 @@ module Make (D : Hf_termination.Detector.S) = struct
               (Fmt.str "%d items to %d" (List.length items) ctx.origin);
             ( t.config.costs.result_msg_send,
               fun () ->
-                deliver t ~transit:t.config.costs.result_msg_transit ~dst:ctx.origin
+                deliver t ~src:site.id ~oq ~label:"result"
+                  ~transit:t.config.costs.result_msg_transit ~dst:ctx.origin
                   (Results { query = ctx.query; payload; bindings; piggybacked = to_origin;
                              src = site.id })
                   (fun dsite message -> handle_message t dsite message) ))
@@ -396,7 +543,11 @@ module Make (D : Hf_termination.Detector.S) = struct
   (* --- processing one work item --- *)
 
   and maybe_drain t site ctx =
-    if Hf_util.Deque.is_empty ctx.work && ctx.in_flight = 0 then drain t site ctx
+    if
+      Hf_util.Deque.is_empty ctx.work
+      && ctx.in_flight = 0
+      && pending_for site ctx.query = 0
+    then drain t site ctx
 
   and process_one t site ctx () =
     match Hf_util.Deque.pop_front ctx.work with
@@ -441,9 +592,26 @@ module Make (D : Hf_termination.Detector.S) = struct
         passed && not (Oid.Set.mem (Hf_engine.Work_item.oid item) ctx.local_result_set)
       in
       let costs = t.config.costs in
+      (* Remote spawns go through the per-site batcher; a push that
+         reaches the K threshold hands back the whole buffer for that
+         destination, which this task then ships (its send CPU is part
+         of this task's duration, as the per-item sends were). *)
+      let flushed =
+        List.filter_map
+          (fun wi ->
+            let dst = t.locate (Hf_engine.Work_item.oid wi) in
+            adjust_pending site ctx.query 1;
+            match Hf_proto.Batch.push site.outgoing ~dst (ctx.query, wi) with
+            | None -> None
+            | Some entries -> Some (prepare_batch t site ~dst entries))
+          remote
+      in
       let duration =
         (if skipped then costs.skip else costs.process)
-        +. (float_of_int (List.length remote) *. costs.msg_send)
+        +. List.fold_left
+             (fun acc (_, groups) ->
+               acc +. Hf_sim.Costs.batch_send costs ~items:(batch_total groups))
+             0.0 flushed
         +. (if is_new_result && site.id = ctx.origin then costs.result_add else 0.0)
       in
       (match oq with Some oq -> Metrics.add_busy oq.metrics site.id duration | None -> ());
@@ -454,23 +622,7 @@ module Make (D : Hf_termination.Detector.S) = struct
             Hf_util.Deque.push_back ctx.work (wi, Seeded);
             enqueue t site (process_one t site ctx))
           local;
-        List.iter
-          (fun wi ->
-            let dst = t.locate (Hf_engine.Work_item.oid wi) in
-            let tag = D.on_send_work ctx.detector ~dst in
-            (match oq with
-             | Some oq ->
-               oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
-               oq.metrics.Metrics.work_bytes <-
-                 oq.metrics.Metrics.work_bytes
-                 + work_message_bytes (Hf_engine.Plan.program ctx.plan) wi
-             | None -> ());
-            record t site.id "work-send"
-              (Fmt.str "oid %a to %d" Oid.pp (Hf_engine.Work_item.oid wi) dst);
-            deliver t ~transit:costs.msg_transit ~dst
-              (Work { query = ctx.query; item = wi; tag; src = site.id })
-              (fun dsite message -> handle_message t dsite message))
-          remote;
+        List.iter (send_prepared t site) flushed;
         if is_new_result then begin
           let oid = Hf_engine.Work_item.oid item in
           ctx.local_result_set <- Oid.Set.add oid ctx.local_result_set;
@@ -495,7 +647,16 @@ module Make (D : Hf_termination.Detector.S) = struct
             merge_bindings oq.final_bindings extra
           | None -> ()
         end;
-        maybe_drain t site ctx
+        maybe_drain t site ctx;
+        (* A flush triggered here may have shipped items other queries
+           had buffered; their drain condition can now hold too. *)
+        List.iter
+          (fun (_, groups) ->
+            List.iter
+              (fun ((gctx : context), _, _) ->
+                if gctx != ctx then maybe_drain t site gctx)
+              groups)
+          flushed
       in
       (duration, complete)
 
@@ -504,21 +665,39 @@ module Make (D : Hf_termination.Detector.S) = struct
   and handle_message t site message =
     let costs = t.config.costs in
     match message with
-    | Work { query; item; tag; src } -> (
-        match context_of t site query with
-        | None -> (0.0, fun () -> ())
-        | Some ctx ->
-          record t site.id "work-recv"
-            (Fmt.str "oid %a" Oid.pp (Hf_engine.Work_item.oid item));
-          (match find_open t query with
-           | Some oq -> Metrics.add_busy oq.metrics site.id costs.msg_recv
+    | Work { groups; src } -> (
+        (* Resolve each group's context up front; groups whose query is
+           no longer open are skipped (their credit is lost, exactly as
+           a per-item message for a closed query was). *)
+        let resolved =
+          List.filter_map
+            (fun (query, items, tag) ->
+              match context_of t site query with
+              | Some ctx -> Some (ctx, items, tag)
+              | None -> None)
+            groups
+        in
+        match resolved with
+        | [] -> (0.0, fun () -> ())
+        | (ctx0, _, _) :: _ ->
+          let total = batch_total resolved in
+          let duration = Hf_sim.Costs.batch_recv costs ~items:total in
+          record t site.id "work-recv" (Fmt.str "%d item(s)" total);
+          (match find_open t ctx0.query with
+           | Some oq -> Metrics.add_busy oq.metrics site.id duration
            | None -> ());
-          ( costs.msg_recv,
+          ( duration,
             fun () ->
-              let controls = D.on_recv_work ctx.detector ~src tag in
-              List.iter (send_control t ~src:site.id ctx) controls;
-              Hf_util.Deque.push_back ctx.work (item, From_network);
-              enqueue t site (process_one t site ctx) ))
+              List.iter
+                (fun (ctx, items, tag) ->
+                  let controls = D.on_recv_work ctx.detector ~src tag in
+                  List.iter (send_control t ~src:site.id ctx) controls;
+                  List.iter
+                    (fun item ->
+                      Hf_util.Deque.push_back ctx.work (item, From_network);
+                      enqueue t site (process_one t site ctx))
+                    items)
+                resolved ))
     | Results { query; payload; bindings; piggybacked; src } -> (
         match find_open t query with
         | None -> (0.0, fun () -> ())
@@ -684,8 +863,26 @@ module Make (D : Hf_termination.Detector.S) = struct
            let local, remote =
              List.partition (fun oid -> t.locate oid = origin) initial
            in
+           (* Remote seeds ride the same per-site batcher as spawned
+              work, so concurrent submissions coalesce too. *)
+           let flushed =
+             List.filter_map
+               (fun oid ->
+                 let dst = t.locate oid in
+                 adjust_pending origin_site oq.id 1;
+                 match
+                   Hf_proto.Batch.push origin_site.outgoing ~dst
+                     (oq.id, Hf_engine.Work_item.initial ctx.plan oid)
+                 with
+                 | None -> None
+                 | Some entries -> Some (prepare_batch t origin_site ~dst entries))
+               remote
+           in
            let duration =
-             float_of_int (List.length remote) *. t.config.costs.msg_send
+             List.fold_left
+               (fun acc (_, groups) ->
+                 acc +. Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups))
+               0.0 flushed
            in
            Metrics.add_busy oq.metrics origin duration;
            ( duration,
@@ -696,24 +893,16 @@ module Make (D : Hf_termination.Detector.S) = struct
                      (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
                    enqueue t origin_site (process_one t origin_site ctx))
                  local;
+               List.iter (send_prepared t origin_site) flushed;
+               maybe_drain t origin_site ctx;
+               (* Flushes can carry other concurrent submissions' items. *)
                List.iter
-                 (fun oid ->
-                   let dst = t.locate oid in
-                   let tag = D.on_send_work ctx.detector ~dst in
-                   oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
-                   oq.metrics.Metrics.work_bytes <-
-                     oq.metrics.Metrics.work_bytes
-                     + work_message_bytes program (Hf_engine.Work_item.initial ctx.plan oid);
-                   deliver t ~transit:t.config.costs.msg_transit ~dst
-                     (Work
-                        { query = oq.id;
-                          item = Hf_engine.Work_item.initial ctx.plan oid;
-                          tag;
-                          src = origin;
-                        })
-                     (fun dsite message -> handle_message t dsite message))
-                 remote;
-               maybe_drain t origin_site ctx )));
+                 (fun (_, groups) ->
+                   List.iter
+                     (fun ((gctx : context), _, _) ->
+                       if gctx != ctx then maybe_drain t origin_site gctx)
+                     groups)
+                 flushed )));
     oq
 
   (* Run every scheduled event; submitted queries execute (and contend)
@@ -767,7 +956,8 @@ module Make (D : Hf_termination.Detector.S) = struct
                  (fun dst ->
                    let tag = D.on_send_work ctx.detector ~dst in
                    oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
-                   deliver t ~transit:t.config.costs.msg_transit ~dst
+                   deliver t ~src:origin ~oq:(Some oq) ~label:"seed"
+                     ~transit:t.config.costs.msg_transit ~dst
                      (Seed_from { query = oq.id; from; tag; src = origin })
                      (fun dsite message -> handle_message t dsite message))
                  remote_sites;
@@ -777,7 +967,11 @@ module Make (D : Hf_termination.Detector.S) = struct
 
   let forget_query t query =
     Hashtbl.remove t.open_queries query;
-    Array.iter (fun site -> Hashtbl.remove site.contexts query) t.sites
+    Array.iter
+      (fun site ->
+        Hashtbl.remove site.contexts query;
+        Hashtbl.remove site.out_pending query)
+      t.sites
 
   let last_query_id t =
     if t.next_serial = 0 then None

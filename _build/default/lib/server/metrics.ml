@@ -6,6 +6,11 @@
 type t = {
   n_sites : int;
   mutable work_messages : int;
+  mutable work_items : int; (* work items carried by those messages *)
+  mutable work_batches : int; (* work messages that carried >= 2 items *)
+  mutable batch_bytes_saved : int;
+      (* bytes the per-group program/query headers would have cost had
+         each item shipped in its own message *)
   mutable result_messages : int;
   mutable control_messages : int; (* standalone control messages *)
   mutable piggybacked_controls : int; (* controls that rode on result messages *)
@@ -14,6 +19,7 @@ type t = {
   mutable duplicate_work_messages : int;
       (* deref requests for (object, start) pairs the receiving site had
          already processed — the cost of local (vs global) mark tables *)
+  mutable dropped_messages : int; (* messages the lossy network swallowed *)
   busy : float array; (* per-site CPU busy time *)
   mutable results_shipped : int; (* result items that crossed the network *)
 }
@@ -22,12 +28,16 @@ let create ~n_sites =
   {
     n_sites;
     work_messages = 0;
+    work_items = 0;
+    work_batches = 0;
+    batch_bytes_saved = 0;
     result_messages = 0;
     control_messages = 0;
     piggybacked_controls = 0;
     work_bytes = 0;
     result_bytes = 0;
     duplicate_work_messages = 0;
+    dropped_messages = 0;
     busy = Array.make n_sites 0.0;
     results_shipped = 0;
   }
@@ -44,7 +54,8 @@ let max_busy t = Array.fold_left max 0.0 t.busy
 
 let pp ppf t =
   Fmt.pf ppf
-    "work=%d (%dB) result=%d (%dB) control=%d (+%d piggybacked) dup-work=%d shipped=%d busy: \
-     total=%.3fs max=%.3fs"
-    t.work_messages t.work_bytes t.result_messages t.result_bytes t.control_messages
-    t.piggybacked_controls t.duplicate_work_messages t.results_shipped (total_busy t) (max_busy t)
+    "work=%d/%d items (%dB, %d batched, %dB saved) result=%d (%dB) control=%d (+%d piggybacked) \
+     dup-work=%d dropped=%d shipped=%d busy: total=%.3fs max=%.3fs"
+    t.work_messages t.work_items t.work_bytes t.work_batches t.batch_bytes_saved t.result_messages
+    t.result_bytes t.control_messages t.piggybacked_controls t.duplicate_work_messages
+    t.dropped_messages t.results_shipped (total_busy t) (max_busy t)

@@ -3,6 +3,14 @@
 type t = {
   n_sites : int;
   mutable work_messages : int;
+  mutable work_items : int;
+      (** work items carried by those messages; equals [work_messages]
+          when batching is off (K = 1). *)
+  mutable work_batches : int;
+      (** work messages that carried two or more items. *)
+  mutable batch_bytes_saved : int;
+      (** bytes the per-group program/query headers would have cost had
+          each item shipped in its own message. *)
   mutable result_messages : int;
   mutable control_messages : int;
   mutable piggybacked_controls : int;
@@ -12,6 +20,8 @@ type t = {
   mutable duplicate_work_messages : int;
       (** deref requests the receiving site's mark table then ignored —
           the cost of keeping mark tables local (paper, Section 3.2). *)
+  mutable dropped_messages : int;
+      (** messages the lossy network swallowed before delivery. *)
   busy : float array;  (** per-site CPU busy time (seconds). *)
   mutable results_shipped : int;
       (** result items that crossed the network. *)

@@ -20,6 +20,9 @@ type t = {
   msg_send : float; (* sender CPU per work message *)
   msg_transit : float; (* wire time per work message *)
   msg_recv : float; (* receiver CPU per work message *)
+  msg_item_send : float; (* marginal sender CPU per extra batched item *)
+  msg_item_transit : float; (* marginal wire time per extra batched item *)
+  msg_item_recv : float; (* marginal receiver CPU per extra batched item *)
   result_msg_send : float; (* sender CPU per result message *)
   result_msg_transit : float;
   result_msg_recv : float; (* receiver CPU per result message *)
@@ -32,7 +35,12 @@ type t = {
 (* 15 + 20 + 15 = 50 ms per remote dereference, matching the paper's
    lumped figure; likewise for result messages.  Control messages are
    cheap because in the real protocol credit returns piggyback on result
-   messages. *)
+   messages.
+
+   The per-item marginal costs model batched query shipping: the first
+   item in a message pays the full construction/syscall/transmission
+   overhead, each further item only its ~25-byte payload — a few ms of
+   copying and parsing, far below the fixed ~50 ms. *)
 let paper =
   {
     process = 0.008;
@@ -41,6 +49,9 @@ let paper =
     msg_send = 0.015;
     msg_transit = 0.020;
     msg_recv = 0.015;
+    msg_item_send = 0.002;
+    msg_item_transit = 0.001;
+    msg_item_recv = 0.002;
     result_msg_send = 0.015;
     result_msg_transit = 0.020;
     result_msg_recv = 0.015;
@@ -54,6 +65,17 @@ let work_message_total t = t.msg_send +. t.msg_transit +. t.msg_recv
 
 let result_message_total t = t.result_msg_send +. t.result_msg_transit +. t.result_msg_recv
 
+(* Cost of a work message carrying [n] items: full per-message overhead
+   once, marginal per-item cost for the rest.  [n = 1] is exactly the
+   unbatched per-message figure. *)
+let marginal n = float_of_int (max 0 (n - 1))
+
+let batch_send t ~items = t.msg_send +. (marginal items *. t.msg_item_send)
+
+let batch_transit t ~items = t.msg_transit +. (marginal items *. t.msg_item_transit)
+
+let batch_recv t ~items = t.msg_recv +. (marginal items *. t.msg_item_recv)
+
 let zero_latency =
   {
     process = 0.0;
@@ -62,6 +84,9 @@ let zero_latency =
     msg_send = 0.0;
     msg_transit = 0.0;
     msg_recv = 0.0;
+    msg_item_send = 0.0;
+    msg_item_transit = 0.0;
+    msg_item_recv = 0.0;
     result_msg_send = 0.0;
     result_msg_transit = 0.0;
     result_msg_recv = 0.0;
@@ -79,6 +104,9 @@ let scale factor t =
     msg_send = t.msg_send *. factor;
     msg_transit = t.msg_transit *. factor;
     msg_recv = t.msg_recv *. factor;
+    msg_item_send = t.msg_item_send *. factor;
+    msg_item_transit = t.msg_item_transit *. factor;
+    msg_item_recv = t.msg_item_recv *. factor;
     result_msg_send = t.result_msg_send *. factor;
     result_msg_transit = t.result_msg_transit *. factor;
     result_msg_recv = t.result_msg_recv *. factor;

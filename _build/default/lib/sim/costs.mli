@@ -13,6 +13,9 @@ type t = {
   msg_send : float;
   msg_transit : float;
   msg_recv : float;
+  msg_item_send : float;  (** marginal sender CPU per extra batched item. *)
+  msg_item_transit : float;  (** marginal wire time per extra batched item. *)
+  msg_item_recv : float;  (** marginal receiver CPU per extra batched item. *)
   result_msg_send : float;
   result_msg_transit : float;
   result_msg_recv : float;
@@ -33,6 +36,15 @@ val work_message_total : t -> float
 (** End-to-end cost of one work message (the paper's ~50 ms). *)
 
 val result_message_total : t -> float
+
+val batch_send : t -> items:int -> float
+(** Sender CPU for a work message carrying [items] items: the full
+    per-message overhead plus the marginal per-item cost for every item
+    beyond the first.  [items = 1] equals [msg_send]. *)
+
+val batch_transit : t -> items:int -> float
+
+val batch_recv : t -> items:int -> float
 
 val scale : float -> t -> t
 (** Multiply every component. *)

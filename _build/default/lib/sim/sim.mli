@@ -32,7 +32,10 @@ val halt : t -> unit
 (** Make the current {!run} stop after the executing event returns. *)
 
 val run : ?limit:float -> t -> unit
-(** Execute events until the queue is empty or {!halt} is called. *)
+(** Execute events until the queue is empty or {!halt} is called.
+    When the next event lies beyond [limit], raises
+    {!Time_limit_exceeded} with that event still queued, so a later
+    [run] resumes from it. *)
 
 val step : t -> bool
 (** Execute a single event; [false] when the queue is empty. *)

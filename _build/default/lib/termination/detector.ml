@@ -29,11 +29,14 @@ module type S = sig
   (** The origin put the initial work items into its own working set. *)
 
   val on_send_work : t -> dst:int -> tag
-  (** About to send a work message; returns the tag to attach. *)
+  (** About to send a work message; returns the tag to attach.  A work
+      message may carry a whole batch of items for [dst]: the tag (e.g.
+      one credit split) covers the batch, not each item. *)
 
   val on_recv_work : t -> src:int -> tag -> (int * control) list
   (** A work message arrived; may emit immediate control messages
-      (e.g. Dijkstra–Scholten acknowledgements). *)
+      (e.g. Dijkstra–Scholten acknowledgements).  Called once per
+      message even when it batches several work items. *)
 
   val on_drain : t -> (int * control) list * bool
   (** The local working set just became empty.  Returns control

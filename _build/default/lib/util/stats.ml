@@ -25,10 +25,19 @@ let percentile_sorted sorted p =
     end
   end
 
+(* NaN would make the sort order (and thus every rank statistic)
+   meaningless, so reject it up front instead of returning
+   order-dependent garbage. *)
+let reject_nan ~what samples =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (what ^ ": NaN sample"))
+    samples
+
 let percentile samples p =
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  reject_nan ~what:"Stats.percentile" samples;
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted p
 
 let mean samples =
@@ -48,8 +57,9 @@ let stddev samples =
 let summarize samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  reject_nan ~what:"Stats.summarize" samples;
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   {
     count = n;
     mean = mean samples;

@@ -13,8 +13,8 @@ type summary = {
 
 val percentile : float array -> float -> float
 (** [percentile samples p] with [p] in [\[0,1\]], linear interpolation
-    between closest ranks. Raises [Invalid_argument] on an empty sample
-    or [p] out of range. *)
+    between closest ranks. Raises [Invalid_argument] on an empty sample,
+    [p] out of range, or a NaN sample. *)
 
 val mean : float array -> float
 (** Arithmetic mean. Raises [Invalid_argument] on an empty sample. *)
@@ -23,6 +23,7 @@ val stddev : float array -> float
 (** Sample standard deviation; [0.] for samples of size < 2. *)
 
 val summarize : float array -> summary
-(** Full summary. Raises [Invalid_argument] on an empty sample. *)
+(** Full summary. Raises [Invalid_argument] on an empty or NaN-bearing
+    sample. *)
 
 val pp_summary : Format.formatter -> summary -> unit

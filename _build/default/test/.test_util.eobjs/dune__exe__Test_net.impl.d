@@ -1,1 +1,1 @@
-test/test_net.ml: Alcotest Array Fun Hf_data Hf_engine Hf_net Hf_query Hf_util List QCheck2 QCheck_alcotest
+test/test_net.ml: Alcotest Array Fun Hf_data Hf_engine Hf_net Hf_proto Hf_query Hf_util List Printf QCheck2 QCheck_alcotest

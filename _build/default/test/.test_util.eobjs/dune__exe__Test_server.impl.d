@@ -1,1 +1,1 @@
-test/test_server.ml: Alcotest Array Hf_data Hf_engine Hf_naming Hf_proto Hf_query Hf_server Hf_sim Hf_termination Hf_util List Option QCheck2 QCheck_alcotest
+test/test_server.ml: Alcotest Array Hf_data Hf_engine Hf_naming Hf_proto Hf_query Hf_server Hf_sim Hf_termination Hf_util List Option Printf QCheck2 QCheck_alcotest

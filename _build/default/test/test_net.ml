@@ -12,8 +12,8 @@ let check_bool = Alcotest.(check bool)
 let parse_program = Hf_query.Parser.parse_program
 
 (* Spin up [n] sites on loopback and wire them together. *)
-let with_sites n f =
-  let sites = Array.init n (fun site -> Tcp.create ~site ()) in
+let with_sites ?batch n f =
+  let sites = Array.init n (fun site -> Tcp.create ~site ?batch ()) in
   let addresses = Array.map Tcp.address sites in
   Array.iter (fun site -> Tcp.set_peers site addresses) sites;
   Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
@@ -121,6 +121,51 @@ let test_concurrent_remote_seeds () =
       check_bool "terminated" true outcome.Tcp.terminated;
       check_int "all found" 9 (List.length outcome.Tcp.results))
 
+let test_batched_fan_out () =
+  (* The same 9-object pure fan-out, batched: remote seeds bound for the
+     same site coalesce into Work_batch messages — identical answers,
+     fewer wire messages than the 6 per-seed requests. *)
+  let run ?batch () =
+    with_sites ?batch 3 (fun sites ->
+        let oids =
+          Array.init 9 (fun i ->
+              let store = Tcp.store sites.(i mod 3) in
+              let oid = Store.fresh_oid store in
+              Store.insert store (Hf_data.Hobject.of_tuples oid [ Tuple.keyword "hot" ]);
+              oid)
+        in
+        let program = parse_program "(Keyword, \"hot\", ?)" in
+        Tcp.run_query sites.(0) program (Array.to_list oids))
+  in
+  let plain = run () in
+  let batched = run ~batch:(Hf_proto.Batch.Flush_at 4) () in
+  check_bool "both terminated" true (plain.Tcp.terminated && batched.Tcp.terminated);
+  check_bool "same answers" true (Oid.Set.equal plain.Tcp.result_set batched.Tcp.result_set);
+  check_bool
+    (Printf.sprintf "fewer messages (%d < %d)" batched.Tcp.messages_sent plain.Tcp.messages_sent)
+    true
+    (batched.Tcp.messages_sent < plain.Tcp.messages_sent)
+
+let test_batched_matches_local_engine () =
+  (* Ring closure with a drain-flush batcher on every site: answers
+     still match the single-store oracle. *)
+  with_sites ~batch:Hf_proto.Batch.Flush_on_drain 3 (fun sites ->
+      let oids = load_ring sites 15 in
+      let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      let store = Store.create ~site:0 in
+      Array.iteri
+        (fun i oid ->
+          let tuples =
+            [ Tuple.pointer ~key:"R" oids.((i + 1) mod 15) ]
+            @ (if i mod 3 = 0 then [ Tuple.keyword "hot" ] else [])
+          in
+          Store.insert store (Hf_data.Hobject.of_tuples oid tuples))
+        oids;
+      let local = Hf_engine.Local.run_store ~store closure [ oids.(0) ] in
+      check_bool "batched TCP = local" true
+        (Oid.Set.equal outcome.Tcp.result_set local.Hf_engine.Local.result_set))
+
 (* Random end-to-end property: arbitrary placements, graphs and
    queries over real sockets must match the local engine. *)
 let prop_tcp_matches_local =
@@ -187,6 +232,9 @@ let () =
           Alcotest.test_case "dead peer: timeout + partial results" `Quick
             test_dead_peer_times_out_with_partial_results;
           Alcotest.test_case "remote initial set" `Quick test_concurrent_remote_seeds;
+          Alcotest.test_case "batched fan-out" `Quick test_batched_fan_out;
+          Alcotest.test_case "batched ring matches local engine" `Quick
+            test_batched_matches_local_engine;
           Alcotest.test_case "repeated queries" `Quick test_many_queries_stress;
           QCheck_alcotest.to_alcotest prop_tcp_matches_local;
         ] );

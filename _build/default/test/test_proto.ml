@@ -5,6 +5,7 @@
 module Message = Hf_proto.Message
 module Codec = Hf_proto.Codec
 module Frame = Hf_proto.Frame
+module Batch = Hf_proto.Batch
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -66,6 +67,106 @@ let test_roundtrip_credit_return () =
     Message.Credit_return { query = { Message.originator = 1; serial = 2 }; credit = [ 0 ] }
   in
   check_bool "credit return" true (roundtrip message)
+
+let batch_item ?(start = 0) ?(iters = [||]) serial = { Message.oid = oid serial; start; iters }
+
+let sample_batch =
+  Message.Work_batch
+    [
+      { Message.query = { Message.originator = 0; serial = 3 };
+        body = flagship_program;
+        items = [ batch_item 1; batch_item ~start:2 ~iters:[| 4; 1 |] 2; batch_item 9 ];
+        credit = [ 5 ];
+      };
+      { Message.query = { Message.originator = 1; serial = 8 };
+        body = Hf_query.Parser.parse_program "(Keyword, \"x\", ?)";
+        items = [ batch_item 7 ];
+        credit = [ 2; 2 ];
+      };
+    ]
+
+let test_roundtrip_work_batch () = check_bool "work batch" true (roundtrip sample_batch)
+
+let test_work_batch_empty_rejected () =
+  (* An empty group list must not encode... *)
+  (try
+     ignore (Codec.encode (Message.Work_batch []));
+     Alcotest.fail "empty Work_batch encoded"
+   with Invalid_argument _ -> ());
+  (* ...and a crafted empty batch (tag 3, zero groups) must not decode. *)
+  match Codec.decode "\x03\x00" with
+  | Ok _ -> Alcotest.fail "empty work batch accepted"
+  | Error _ -> ()
+
+let test_batch_amortization () =
+  (* One batch of N same-query items beats N singleton requests: the
+     program and query header are sent once. *)
+  let query = { Message.originator = 2; serial = 17 } in
+  let n = 8 in
+  let serials = List.init n (fun i -> 40 + i) in
+  let batched =
+    Message.Work_batch
+      [ { Message.query; body = flagship_program;
+          items = List.map (fun s -> batch_item ~iters:[| 5 |] s) serials;
+          credit = [ 3 ] } ]
+  in
+  let singles =
+    List.map
+      (fun s ->
+        Message.Deref_request
+          { query; body = flagship_program; oid = oid s; start = 0; iters = [| 5 |];
+            credit = [ 3 ] })
+      serials
+  in
+  let single_bytes =
+    List.fold_left (fun acc m -> acc + Codec.encoded_size m) 0 singles
+  in
+  let batch_bytes = Codec.encoded_size batched in
+  check_bool
+    (Printf.sprintf "batch %dB < %d singles %dB" batch_bytes n single_bytes)
+    true
+    (batch_bytes < single_bytes)
+
+(* --- Batch buffer semantics --- *)
+
+let test_batch_policy_k1 () =
+  let b = Batch.create (Batch.Flush_at 1) in
+  Alcotest.(check (option (list int))) "immediate flush" (Some [ 7 ]) (Batch.push b ~dst:2 7);
+  check_int "nothing pending" 0 (Batch.pending b)
+
+let test_batch_policy_k3 () =
+  let b = Batch.create (Batch.Flush_at 3) in
+  Alcotest.(check (option (list int))) "1st buffered" None (Batch.push b ~dst:0 1);
+  Alcotest.(check (option (list int))) "other dst separate" None (Batch.push b ~dst:1 9);
+  Alcotest.(check (option (list int))) "2nd buffered" None (Batch.push b ~dst:0 2);
+  Alcotest.(check (option (list int)))
+    "3rd flushes oldest-first" (Some [ 1; 2; 3 ]) (Batch.push b ~dst:0 3);
+  check_int "dst 0 cleared" 0 (Batch.pending_for b ~dst:0);
+  check_int "dst 1 untouched" 1 (Batch.pending_for b ~dst:1);
+  Alcotest.(check (list (pair int (list int))))
+    "flush_all drains leftovers" [ (1, [ 9 ]) ] (Batch.flush_all b);
+  check_int "empty after flush_all" 0 (Batch.pending b)
+
+let test_batch_policy_drain () =
+  let b = Batch.create Batch.Flush_on_drain in
+  for i = 1 to 50 do
+    Alcotest.(check (option (list int)))
+      "never flushes on size" None (Batch.push b ~dst:(i mod 2) i)
+  done;
+  check_int "all pending" 50 (Batch.pending b);
+  let flushed = Batch.flush_all b in
+  Alcotest.(check (list int)) "ascending dsts" [ 0; 1 ] (List.map fst flushed);
+  check_int "all drained" 50 (List.length (List.concat_map snd flushed))
+
+let test_batch_bad_policy () =
+  (try
+     ignore (Batch.create (Batch.Flush_at 0));
+     Alcotest.fail "Flush_at 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    Batch.validate_policy (Batch.Flush_at (-3));
+    Alcotest.fail "Flush_at -3 accepted"
+  with Invalid_argument _ -> ()
 
 let test_decode_truncated () =
   let encoded = Codec.encode sample_deref in
@@ -200,6 +301,21 @@ let gen_message =
         (let* query = gen_query_id in
          let* credit = gen_credit in
          return (Message.Credit_return { query; credit }));
+        (let gen_batch_item =
+           let* site = int_range 0 10 in
+           let* serial = int_range 0 500 in
+           let* start = int_range 0 10 in
+           let* iters = array_size (int_range 0 3) (int_range 1 20) in
+           return { Message.oid = oid ~site ~hint:site serial; start; iters }
+         in
+         let gen_group =
+           let* query = gen_query_id in
+           let* body = gen_program in
+           let* items = list_size (int_range 1 5) gen_batch_item in
+           let* credit = gen_credit in
+           return { Message.query; body; items; credit }
+         in
+         map (fun groups -> Message.Work_batch groups) (list_size (int_range 1 4) gen_group));
       ])
 
 let prop_message_roundtrip =
@@ -279,6 +395,9 @@ let () =
           Alcotest.test_case "result/items round-trip" `Quick test_roundtrip_result_items;
           Alcotest.test_case "result/count round-trip" `Quick test_roundtrip_result_count;
           Alcotest.test_case "credit-return round-trip" `Quick test_roundtrip_credit_return;
+          Alcotest.test_case "work-batch round-trip" `Quick test_roundtrip_work_batch;
+          Alcotest.test_case "empty work batch rejected" `Quick test_work_batch_empty_rejected;
+          Alcotest.test_case "batch amortizes headers" `Quick test_batch_amortization;
           Alcotest.test_case "truncation rejected" `Quick test_decode_truncated;
           Alcotest.test_case "trailing bytes rejected" `Quick test_decode_trailing_garbage;
           Alcotest.test_case "bad tag rejected" `Quick test_decode_bad_tag;
@@ -294,5 +413,12 @@ let () =
           Alcotest.test_case "partial pending" `Quick test_frame_partial_pending;
           Alcotest.test_case "oversize rejected" `Quick test_frame_oversize_rejected;
           qtest prop_frame_roundtrip_chunked;
+        ] );
+      ( "batch buffer",
+        [
+          Alcotest.test_case "K=1 flushes every push" `Quick test_batch_policy_k1;
+          Alcotest.test_case "K=3 fires at three, per destination" `Quick test_batch_policy_k3;
+          Alcotest.test_case "drain policy never fires on size" `Quick test_batch_policy_drain;
+          Alcotest.test_case "bad policies rejected" `Quick test_batch_bad_policy;
         ] );
     ]

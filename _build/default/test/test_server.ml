@@ -500,6 +500,157 @@ let test_forget_query () =
   WC.forget_query cluster qid;
   check_bool "gone" true (WC.last_query_id cluster = None)
 
+(* --- Batching: coalesced work messages must not change answers --- *)
+
+let random_policy prng =
+  match Hf_util.Prng.next_int prng 4 with
+  | 0 -> Hf_proto.Batch.Flush_at 1
+  | 1 -> Hf_proto.Batch.Flush_at (2 + Hf_util.Prng.next_int prng 5)
+  | 2 -> Hf_proto.Batch.Flush_at 16
+  | _ -> Hf_proto.Batch.Flush_on_drain
+
+(* A convoy of concurrent queries (shapes drawn from [seed]) under a
+   given flush policy; returns per-query (terminated, logical result
+   set) plus aggregate work-message/item counts. *)
+let run_convoy ?(loss = 0.0) ~policy ~seed () =
+  let prng = Hf_util.Prng.create seed in
+  let n_sites = 2 + Hf_util.Prng.next_int prng 4 in
+  let ds = random_dataset prng ~n_sites in
+  let config =
+    { Cluster.default_config with Cluster.batch = policy; loss; jitter_seed = seed }
+  in
+  let cluster = WC.create ~config ~n_sites () in
+  let oids = WL.load cluster ds in
+  let n_queries = 1 + Hf_util.Prng.next_int prng 4 in
+  let specs =
+    List.init n_queries (fun _ ->
+        let query = List.nth queries (Hf_util.Prng.next_int prng (List.length queries)) in
+        let origin = Hf_util.Prng.next_int prng n_sites in
+        let initial = [ Hf_util.Prng.next_int prng ds.n ] in
+        (query, origin, initial))
+  in
+  let handles =
+    List.map
+      (fun (query, origin, initial) ->
+        WC.submit cluster ~origin
+          (Hf_query.Compile.compile (parse query))
+          (List.map (fun i -> oids.(i)) initial))
+      specs
+  in
+  WC.await_quiescence cluster;
+  let logical oid =
+    let found = ref (-1) in
+    Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+    !found
+  in
+  let outcomes = List.map (WC.outcome cluster) handles in
+  let per_query =
+    List.map
+      (fun o ->
+        ( o.Cluster.terminated,
+          List.sort compare (List.map logical (Oid.Set.elements o.Cluster.result_set)) ))
+      outcomes
+  in
+  let total f =
+    List.fold_left (fun acc o -> acc + f o.Cluster.metrics) 0 outcomes
+  in
+  ( ds,
+    specs,
+    per_query,
+    total (fun m -> m.Hf_server.Metrics.work_messages),
+    total (fun m -> m.Hf_server.Metrics.work_items) )
+
+let prop_batched_equals_unbatched =
+  QCheck2.Test.make ~name:"batched = unbatched = oracle (any policy)" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let policy =
+        random_policy (Hf_util.Prng.create (seed lxor 0x5f5f5f))
+      in
+      let ds, specs, batched, _, _ = run_convoy ~policy ~seed () in
+      let _, _, unbatched, _, _ = run_convoy ~policy:Hf_proto.Batch.unbatched ~seed () in
+      (* every query terminates and matches the single-store oracle... *)
+      List.for_all2
+        (fun (query, _origin, initial) (terminated, got) ->
+          let expected, _ = local_oracle ds (parse query) initial in
+          terminated && got = expected)
+        specs batched
+      (* ...and the batched run answers exactly what the unbatched one does *)
+      && List.map snd batched = List.map snd unbatched)
+
+let prop_batched_loss_sound =
+  QCheck2.Test.make ~name:"batching under message loss stays sound" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let policy = random_policy (Hf_util.Prng.create (seed lxor 0x2a2a2a)) in
+      let ds, specs, per_query, _, _ = run_convoy ~loss:0.3 ~policy ~seed () in
+      List.for_all2
+        (fun (query, _origin, initial) (terminated, got) ->
+          let expected, _ = local_oracle ds (parse query) initial in
+          let subset = List.for_all (fun i -> List.mem i expected) got in
+          (* results are never wrong; complete whenever termination was
+             actually detected *)
+          subset && ((not terminated) || got = expected))
+        specs per_query)
+
+let test_convoy_coalesces () =
+  (* Six concurrent ring closures at K=4: identical answers, strictly
+     fewer wire messages carrying the same items, and the trace still
+     shows exactly one work-send per wire message. *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let run policy trace =
+    let config = { Cluster.default_config with Cluster.batch = policy } in
+    let cluster = WC.create ~config ?trace ~n_sites:3 () in
+    let oids = WL.load cluster ds in
+    let program = Hf_query.Compile.compile closure_query in
+    let handles =
+      List.init 6 (fun i -> WC.submit cluster ~origin:(i mod 3) program [ oids.(i) ])
+    in
+    WC.await_quiescence cluster;
+    List.map (WC.outcome cluster) handles
+  in
+  let plain = run Hf_proto.Batch.unbatched None in
+  let trace = Hf_sim.Trace.create () in
+  let batched = run (Hf_proto.Batch.Flush_at 4) (Some trace) in
+  List.iter (fun o -> check_bool "terminated" true o.Cluster.terminated) (plain @ batched);
+  List.iter2
+    (fun p b ->
+      check_bool "same results" true (Oid.Set.equal p.Cluster.result_set b.Cluster.result_set))
+    plain batched;
+  let total f outcomes =
+    List.fold_left (fun acc o -> acc + f o.Cluster.metrics) 0 outcomes
+  in
+  let msgs = total (fun m -> m.Hf_server.Metrics.work_messages) in
+  check_int "same items aboard" (total (fun m -> m.Hf_server.Metrics.work_items) plain)
+    (total (fun m -> m.Hf_server.Metrics.work_items) batched);
+  check_bool
+    (Printf.sprintf "fewer messages (%d < %d)" (msgs batched) (msgs plain))
+    true
+    (msgs batched < msgs plain);
+  check_bool "some messages actually batched" true
+    (total (fun m -> m.Hf_server.Metrics.work_batches) batched > 0);
+  check_int "one work-send per wire message" (msgs batched)
+    (Hf_sim.Trace.count_kind trace "work-send")
+
+let test_drop_metrics () =
+  (* Total loss: the query cannot terminate, and every swallowed message
+     is visible in the metrics and the trace (regression: drops used to
+     be silent). *)
+  let ds = ring_dataset ~n:6 ~n_sites:2 in
+  let trace = Hf_sim.Trace.create () in
+  let config = { Cluster.default_config with Cluster.loss = 1.0 } in
+  let cluster = WC.create ~config ~trace ~n_sites:2 () in
+  let oids = WL.load cluster ds in
+  let outcome =
+    WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ]
+  in
+  check_bool "cannot terminate" false outcome.Cluster.terminated;
+  let dropped = outcome.Cluster.metrics.Hf_server.Metrics.dropped_messages in
+  check_bool (Printf.sprintf "drops counted (%d)" dropped) true (dropped >= 1);
+  check_int "every drop traced" dropped (Hf_sim.Trace.count_kind trace "drop");
+  (* only the origin's local portion of the ring can answer *)
+  check_bool "results are partial" true
+    (List.length outcome.Cluster.results
+    < List.length (fst (local_oracle ds closure_query [ 0 ])))
+
 let qtest t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -530,7 +681,14 @@ let () =
         [
           Alcotest.test_case "dead site yields partial results" `Quick
             test_kill_site_partial_results;
+          Alcotest.test_case "dropped messages are counted and traced" `Quick test_drop_metrics;
           qtest Loss_battery.prop;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "convoy coalesces work messages" `Quick test_convoy_coalesces;
+          qtest prop_batched_equals_unbatched;
+          qtest prop_batched_loss_sound;
         ] );
       ( "distributed sets",
         [

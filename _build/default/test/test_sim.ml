@@ -78,6 +78,22 @@ let test_limit () =
   | () -> Alcotest.fail "expected limit breach"
   | exception Sim.Time_limit_exceeded t -> check_float "breach time" 5.0 t
 
+let test_limit_keeps_event () =
+  (* The event that breached the limit must stay queued: a later
+     unrestricted run still executes it (regression: it used to be
+     popped and lost). *)
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~delay:5.0 (fun () -> fired := true);
+  (match Sim.run ~limit:2.0 sim with
+   | () -> Alcotest.fail "expected limit breach"
+   | exception Sim.Time_limit_exceeded _ -> ());
+  check_bool "not yet fired" false !fired;
+  check_int "still pending" 1 (Sim.pending sim);
+  Sim.run sim;
+  check_bool "fires on resume" true !fired;
+  check_float "clock advanced" 5.0 (Sim.now sim)
+
 let test_step () =
   let sim = Sim.create () in
   let hits = ref 0 in
@@ -135,6 +151,7 @@ let () =
           Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
           Alcotest.test_case "halt and resume" `Quick test_halt;
           Alcotest.test_case "time limit" `Quick test_limit;
+          Alcotest.test_case "limit keeps the breaching event" `Quick test_limit_keeps_event;
           Alcotest.test_case "single step" `Quick test_step;
         ] );
       ( "costs",

@@ -282,6 +282,18 @@ let test_stats_singleton () =
   check_float "sd" 0.0 s.Hf_util.Stats.stddev;
   check_float "p99" 42.0 s.Hf_util.Stats.p99
 
+let test_stats_nan_rejected () =
+  (* NaN used to poison the sort silently (polymorphic compare gives no
+     total order with NaN); now it is an error. *)
+  Alcotest.check_raises "percentile NaN" (Invalid_argument "Stats.percentile: NaN sample")
+    (fun () -> ignore (Hf_util.Stats.percentile [| 1.0; nan; 3.0 |] 0.5));
+  Alcotest.check_raises "summarize NaN" (Invalid_argument "Stats.summarize: NaN sample")
+    (fun () -> ignore (Hf_util.Stats.summarize [| nan |]))
+
+let test_stats_negative_zero_sorts () =
+  (* Float.compare (not polymorphic compare) orders the samples. *)
+  check_float "p0 with -0.0" (-1.0) (Hf_util.Stats.percentile [| 0.0; -1.0; -0.0; 1.0 |] 0.0)
+
 (* --- Glob --- *)
 
 let glob_case pattern text expected () =
@@ -387,6 +399,8 @@ let () =
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty errors" `Quick test_stats_empty_errors;
           Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
+          Alcotest.test_case "negative zero ordering" `Quick test_stats_negative_zero_sorts;
         ] );
       ( "glob",
         [

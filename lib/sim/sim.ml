@@ -41,16 +41,23 @@ let run ?limit t =
   t.halted <- false;
   let rec loop () =
     if not t.halted then begin
-      match Hf_util.Heap.pop t.queue with
+      (* Check the bound on the peeked time before popping: the
+         over-limit event must stay queued so a later [run] (with a
+         larger limit, or none) resumes from it instead of skipping
+         it. *)
+      match Hf_util.Heap.peek t.queue with
       | None -> ()
-      | Some (time, f) ->
+      | Some (time, _) ->
         (match limit with
          | Some max_time when time > max_time -> raise (Time_limit_exceeded time)
          | Some _ | None -> ());
-        t.now <- time;
-        t.events_processed <- t.events_processed + 1;
-        f ();
-        loop ()
+        (match Hf_util.Heap.pop t.queue with
+         | None -> assert false
+         | Some (time, f) ->
+           t.now <- time;
+           t.events_processed <- t.events_processed + 1;
+           f ();
+           loop ())
     end
   in
   loop ()
