@@ -24,6 +24,31 @@ let f2 x = Printf.sprintf "%.2f" x
 let f1 x = Printf.sprintf "%.1f" x
 let f3 x = Printf.sprintf "%.3f" x
 
+(* --- machine-readable output (--json FILE) ----------------------------
+   Every experiment drops entries into a flat id -> value map; the whole
+   map is written once at the end as the "experiments" object (schema
+   documented in EXPERIMENTS.md).  Simulated-time entries are
+   deterministic; wall-clock entries (E12, E14, micro, *.wall_s) vary
+   by host. *)
+
+module J = Hf_obs.Json
+
+let json_records : (string * J.t) list ref = ref []
+
+let record_json id json = json_records := (id, json) :: !json_records
+
+let summary_to_json (s : Hf_util.Stats.summary) =
+  J.Obj
+    [ ("count", J.Int s.Hf_util.Stats.count);
+      ("mean_s", J.Float s.Hf_util.Stats.mean);
+      ("stddev_s", J.Float s.Hf_util.Stats.stddev);
+      ("min_s", J.Float s.Hf_util.Stats.min);
+      ("max_s", J.Float s.Hf_util.Stats.max);
+      ("p50_s", J.Float s.Hf_util.Stats.p50);
+      ("p90_s", J.Float s.Hf_util.Stats.p90);
+      ("p99_s", J.Float s.Hf_util.Stats.p99);
+    ]
+
 (* --- workload runners ------------------------------------------------ *)
 
 let dataset = Syn.generate () (* 270 objects, 9 groups, seed 42 *)
@@ -43,6 +68,20 @@ type run_summary = {
   mean_work_bytes : float;
   mean_result_bytes : float;
 }
+
+let run_summary_to_json s =
+  J.Obj
+    [ ("response_time", summary_to_json s.times);
+      ("mean_results", J.Float s.mean_results);
+      ("mean_work_messages", J.Float s.mean_work_msgs);
+      ("mean_result_messages", J.Float s.mean_result_msgs);
+      ("mean_control_messages", J.Float s.mean_control_msgs);
+      ("mean_duplicate_messages", J.Float s.mean_dup_msgs);
+      ("mean_work_bytes", J.Float s.mean_work_bytes);
+      ("mean_result_bytes", J.Float s.mean_result_bytes);
+    ]
+
+let record_run id s = record_json id (run_summary_to_json s)
 
 (* The paper's methodology: time [n_queries] queries that follow the
    same pointers and search the same tuple type, randomizing the key
@@ -122,6 +161,13 @@ let e1_basic_costs () =
   let derived_msg =
     (chain3.times.Hf_util.Stats.mean -. unique.times.Hf_util.Stats.mean) /. chain3.mean_work_msgs
   in
+  record_json "e1.derived_ms"
+    (J.Obj
+       [ ("process_object", J.Float (derived_process *. 1000.0));
+         ("result_add", J.Float (derived_result_add *. 1000.0));
+         ("remote_deref_message", J.Float (derived_msg *. 1000.0));
+         ("remote_result_message", J.Float (Hf_sim.Costs.result_message_total costs *. 1000.0));
+       ]);
   Tab.print
     [ Tab.column "basic time"; Tab.right "paper (ms)"; Tab.right "measured (ms)" ]
     [
@@ -140,6 +186,7 @@ let e2_single_site () =
     List.map
       (fun (label, key) ->
         let s = run_queries ~n_sites:1 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
+        record_run (Printf.sprintf "e2.single_site.%s" label) s;
         [ label; "1"; "2.7"; f2 s.times.Hf_util.Stats.mean; f1 s.mean_results ])
       [ ("chain", Syn.chain_key); ("tree", Syn.tree_key) ]
   in
@@ -159,6 +206,7 @@ let e3_chain_worst_case () =
           run_queries ~n_queries:20 ~n_sites ~pointer_key:Syn.chain_key ~selectivity:Q.Rand10
             dataset
         in
+        record_run (Printf.sprintf "e3.chain.%d_sites" n_sites) s;
         [ "chain"; string_of_int n_sites; "15"; f2 s.times.Hf_util.Stats.mean;
           f1 s.mean_work_msgs ])
       [ 3; 9 ]
@@ -175,6 +223,7 @@ let e4_tree_parallelism () =
     List.map
       (fun (n_sites, paper) ->
         let s = run_queries ~n_sites ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 dataset in
+        record_run (Printf.sprintf "e4.tree.%d_sites" n_sites) s;
         [ "tree"; string_of_int n_sites; paper; f2 s.times.Hf_util.Stats.mean;
           f1 s.mean_work_msgs ])
       [ (1, "2.7"); (3, "1.5"); (9, "1.0") ]
@@ -193,6 +242,7 @@ let e5_figure4 () =
   let single =
     run_queries ~n_sites:1 ~pointer_key:(Syn.rand_key 0.50) ~selectivity:Q.Rand10 dataset
   in
+  record_run "e5.single_site" single;
   Fmt.pr "   single-site reference: %.2f s@.@." single.times.Hf_util.Stats.mean;
   let rows =
     List.map
@@ -200,6 +250,8 @@ let e5_figure4 () =
         let key = Syn.rand_key p in
         let three = run_queries ~n_sites:3 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
         let nine = run_queries ~n_sites:9 ~pointer_key:key ~selectivity:Q.Rand10 dataset in
+        record_run (Printf.sprintf "e5.local%02.0f.3_sites" (p *. 100.0)) three;
+        record_run (Printf.sprintf "e5.local%02.0f.9_sites" (p *. 100.0)) nine;
         [ Printf.sprintf "%.0f%%" (p *. 100.0);
           f2 three.times.Hf_util.Stats.mean;
           f2 three.times.Hf_util.Stats.p90;
@@ -230,6 +282,11 @@ let e6_selectivity () =
             let s =
               run_queries ~n_queries:30 ~n_sites ~pointer_key:key ~selectivity:sel dataset
             in
+            record_run
+              (Printf.sprintf "e6.%s.%d_sites"
+                 (match sel with Q.Rand10 -> "rand10" | _ -> "all")
+                 n_sites)
+              s;
             [ label; string_of_int n_sites; paper; f2 s.times.Hf_util.Stats.mean;
               f1 s.mean_results; f1 s.mean_result_msgs ])
           [ 1; 3; 9 ] papers)
@@ -252,6 +309,9 @@ let e7_size_scaling () =
   let full_run = run_queries ~n_sites:3 ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 dataset in
   let half_run = run_queries ~n_sites:3 ~pointer_key:Syn.tree_key ~selectivity:Q.Rand10 half in
   let ratio = half_run.times.Hf_util.Stats.mean /. full_run.times.Hf_util.Stats.mean in
+  record_run "e7.objects270" full_run;
+  record_run "e7.objects135" half_run;
+  record_json "e7.ratio" (J.Float ratio);
   Tab.print
     [ Tab.column "objects"; Tab.right "measured (s)"; Tab.right "vs 270" ]
     [
@@ -274,6 +334,9 @@ let e8_distributed_set () =
   let items = run Cluster.Ship_items in
   let counts = run Cluster.Ship_counts in
   let threshold = run (Cluster.Ship_threshold 10) in
+  record_run "e8.ship_items" items;
+  record_run "e8.ship_counts" counts;
+  record_run "e8.ship_threshold10" threshold;
   Tab.print
     [ Tab.column "result mode"; Tab.right "measured (s)"; Tab.right "result bytes" ]
     [
@@ -290,6 +353,12 @@ let e8_distributed_set () =
   let qid = Option.get (C.last_query_id cluster) in
   let refine = Hf_query.Compile.compile [ Q.select_rand10 5 ] in
   let o2 = C.run_query_on_distributed cluster ~origin:0 ~from:qid refine in
+  record_json "e8.followup"
+    (J.Obj
+       [ ("response_time_s", J.Float o2.Cluster.response_time);
+         ("seed_messages", J.Int o2.Cluster.metrics.Metrics.work_messages);
+         ("broad_query_s", J.Float o1.Cluster.response_time);
+       ]);
   Fmt.pr
     "   follow-up over the distributed set: %.2f s with %d seed messages (broad query itself: \
      %.2f s)@."
@@ -310,6 +379,10 @@ let e9_mark_tables () =
           run_queries ~n_queries:30 ~config ~n_sites:3 ~pointer_key:key ~selectivity:Q.Rand10
             dataset
         in
+        record_run
+          (Printf.sprintf "e9.%s"
+             (match scope with Cluster.Local_marks -> "local_marks" | _ -> "global_marks"))
+          s;
         [ label; f2 s.times.Hf_util.Stats.mean; f1 s.mean_work_msgs; f1 s.mean_dup_msgs ])
       [ ("local (paper)", Cluster.Local_marks); ("global oracle", Cluster.Global_marks) ]
   in
@@ -336,6 +409,22 @@ let e10_baseline () =
   in
   let fs1 = run_fs 1 and fs8 = run_fs 8 in
   let sm = shipped.Cluster.metrics in
+  let fs_json (fs : Hf_baseline.File_server.outcome) =
+    J.Obj
+      [ ("response_time_s", J.Float fs.Hf_baseline.File_server.response_time);
+        ("messages", J.Int fs.Hf_baseline.File_server.messages);
+        ("bytes", J.Int fs.Hf_baseline.File_server.bytes);
+      ]
+  in
+  record_json "e10.query_shipping"
+    (J.Obj
+       [ ("response_time_s", J.Float shipped.Cluster.response_time);
+         ("messages", J.Int (Metrics.total_messages sm));
+         ("bytes", J.Int (Metrics.total_bytes sm));
+       ]);
+  record_json "e10.file_server_sequential" (fs_json fs1);
+  record_json "e10.file_server_pipelined8" (fs_json fs8);
+  record_json "e10.cluster_registry" (Hf_obs.Registry.to_json (C.registry cluster));
   Tab.print
     [ Tab.column "system"; Tab.right "time (s)"; Tab.right "messages"; Tab.right "bytes moved" ]
     [
@@ -367,6 +456,7 @@ let e10_baseline () =
         credit = [ 4 ];
       }
   in
+  record_json "e10.deref_message_bytes" (J.Int (Hf_proto.Codec.encoded_size deref));
   Fmt.pr "   encoded dereference message: %d bytes (paper: ~40)@."
     (Hf_proto.Codec.encoded_size deref)
 
@@ -379,6 +469,7 @@ module type CLUSTER_FOR_ABLATION = sig
     ?config:Cluster.config ->
     ?locate:(Hf_data.Oid.t -> int) ->
     ?trace:Hf_sim.Trace.t ->
+    ?tracer:Hf_obs.Tracer.t ->
     n_sites:int ->
     unit ->
     t
@@ -392,11 +483,18 @@ let e11_termination () =
     "the prototype used the weighted-messages algorithm; credit returns piggyback on result \
      messages, so detection is nearly free on the common path";
   let program = Q.closure_program ~pointer_key:(Syn.rand_key 0.50) (Q.select_rand10 5) in
-  let run_with label (module M : CLUSTER_FOR_ABLATION) =
+  let run_with ~id label (module M : CLUSTER_FOR_ABLATION) =
     let cluster = M.create ~n_sites:3 () in
     let placed = Syn.materialize dataset ~n_sites:3 ~store_of:(M.store cluster) in
     let outcome = M.run_query cluster ~origin:0 program [ placed.Syn.root ] in
     let m = outcome.Cluster.metrics in
+    record_json (Printf.sprintf "e11.%s" id)
+      (J.Obj
+         [ ("terminated", J.Bool outcome.Cluster.terminated);
+           ("response_time_s", J.Float outcome.Cluster.response_time);
+           ("control_messages", J.Int m.Metrics.control_messages);
+           ("piggybacked_controls", J.Int m.Metrics.piggybacked_controls);
+         ]);
     [ label;
       (if outcome.Cluster.terminated then "yes" else "NO");
       f3 outcome.Cluster.response_time;
@@ -408,9 +506,10 @@ let e11_termination () =
     [ Tab.column "detector"; Tab.right "terminated"; Tab.right "time (s)";
       Tab.right "control msgs"; Tab.right "piggybacked" ]
     [
-      run_with "weighted (paper)" (module Hf_server.Instances.Weighted);
-      run_with "dijkstra-scholten" (module Hf_server.Instances.Dijkstra_scholten);
-      run_with "four-counter" (module Hf_server.Instances.Four_counter);
+      run_with ~id:"weighted" "weighted (paper)" (module Hf_server.Instances.Weighted);
+      run_with ~id:"dijkstra_scholten" "dijkstra-scholten"
+        (module Hf_server.Instances.Dijkstra_scholten);
+      run_with ~id:"four_counter" "four-counter" (module Hf_server.Instances.Four_counter);
     ]
 
 (* --- E12: shared-memory multiprocessor (Section 6) -------------------- *)
@@ -459,6 +558,13 @@ let e12_shared_memory () =
         let time = List.fold_left (fun acc (t, _) -> min acc t) infinity samples in
         let _, results = List.hd samples in
         if domains = 1 then base := time;
+        record_json
+          (Printf.sprintf "e12.domains%d" domains)
+          (J.Obj
+             [ ("wall_ms", J.Float (time *. 1000.0));
+               ("speedup", J.Float (!base /. time));
+               ("results", J.Int results);
+             ]);
         [ string_of_int domains; f1 (time *. 1000.0); f2 (!base /. time);
           string_of_int results ])
       [ 1; 2; 4; 8 ]
@@ -517,10 +623,10 @@ let e13_batching () =
       List.map (fun o -> o.Cluster.result_set) outcomes )
   in
   let workloads =
-    [ ("chain (E3)", Syn.chain_key); ("50% local (E5)", Syn.rand_key 0.50) ]
+    [ ("chain (E3)", "chain", Syn.chain_key); ("50% local (E5)", "local50", Syn.rand_key 0.50) ]
   in
   List.iter
-    (fun (wname, pointer_key) ->
+    (fun (wname, wid, pointer_key) ->
       let baseline = ref [] in
       let agree = ref true in
       let rows =
@@ -533,10 +639,26 @@ let e13_batching () =
             else
               agree :=
                 !agree && List.for_all2 Hf_data.Oid.Set.equal !baseline sets;
+            let pid =
+              match policy with
+              | Hf_proto.Batch.Flush_at k -> Printf.sprintf "k%d" k
+              | Hf_proto.Batch.Flush_on_drain -> "kinf"
+            in
+            record_json
+              (Printf.sprintf "e13.%s.%s" wid pid)
+              (J.Obj
+                 [ ("work_messages", J.Int msgs);
+                   ("work_items", J.Int items);
+                   ("work_batches", J.Int batches);
+                   ("bytes_saved", J.Int saved);
+                   ("mean_response_s", J.Float mean_resp);
+                   ("makespan_s", J.Float makespan);
+                 ]);
             [ pname; string_of_int msgs; string_of_int items; string_of_int batches;
               string_of_int saved; f2 mean_resp; f2 makespan ])
           policies
       in
+      record_json (Printf.sprintf "e13.%s.agree_with_k1" wid) (J.Bool !agree);
       Fmt.pr "   workload: %s, %d concurrent queries, 3 machines@." wname n_queries;
       Tab.print
         [ Tab.column "policy"; Tab.right "work msgs"; Tab.right "items";
@@ -600,6 +722,14 @@ let e14_index_acceleration () =
   in
   let engine_ms = time_runs engine_answer in
   let planner_ms = time_runs planner_answer in
+  record_json "e14.indexes"
+    (J.Obj
+       [ ("engine_ms_per_query", J.Float engine_ms);
+         ("planner_ms_per_query", J.Float planner_ms);
+         ("speedup", J.Float (engine_ms /. planner_ms));
+         ("index_build_ms", J.Float build_ms);
+         ("answers_agree", J.Bool agree);
+       ]);
   Tab.print
     [ Tab.column "evaluation"; Tab.right "ms/query (wall)"; Tab.right "speedup" ]
     [
@@ -682,9 +812,43 @@ let micro_benchmarks () =
       results []
     |> List.sort compare
   in
+  List.iter
+    (fun row ->
+      match row with
+      | [ name; ns ] ->
+          let ns = try float_of_string ns with _ -> nan in
+          record_json (Printf.sprintf "micro.%s" name) (J.Obj [ ("ns_per_run", J.Float ns) ])
+      | _ -> ())
+    rows;
   Tab.print [ Tab.column "operation"; Tab.right "ns/run" ] rows
 
 (* --- main -------------------------------------------------------------- *)
+
+let json_path =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let timed id f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  record_json (id ^ ".wall_s") (J.Float (Unix.gettimeofday () -. t0))
+
+let write_json path =
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "hyperfile-bench/1");
+        ("experiments", J.Obj (List.rev !json_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "@.machine-readable results: %s (%d entries)@." path (List.length !json_records)
 
 let () =
   Fmt.pr "HyperFile benchmark harness — reproducing the evaluation of@.";
@@ -692,19 +856,20 @@ let () =
     "Clifton & Garcia-Molina, \"Distributed Processing of Filtering Queries in HyperFile\" \
      (ICDCS 1991)@.";
   Fmt.pr "Simulator calibrated with the paper's measured basic times; see EXPERIMENTS.md@.";
-  e1_basic_costs ();
-  e2_single_site ();
-  e3_chain_worst_case ();
-  e4_tree_parallelism ();
-  e5_figure4 ();
-  e6_selectivity ();
-  e7_size_scaling ();
-  e8_distributed_set ();
-  e9_mark_tables ();
-  e10_baseline ();
-  e11_termination ();
-  e12_shared_memory ();
-  e13_batching ();
-  e14_index_acceleration ();
-  micro_benchmarks ();
+  timed "e1" e1_basic_costs;
+  timed "e2" e2_single_site;
+  timed "e3" e3_chain_worst_case;
+  timed "e4" e4_tree_parallelism;
+  timed "e5" e5_figure4;
+  timed "e6" e6_selectivity;
+  timed "e7" e7_size_scaling;
+  timed "e8" e8_distributed_set;
+  timed "e9" e9_mark_tables;
+  timed "e10" e10_baseline;
+  timed "e11" e11_termination;
+  timed "e12" e12_shared_memory;
+  timed "e13" e13_batching;
+  timed "e14" e14_index_acceleration;
+  timed "micro" micro_benchmarks;
+  Option.iter write_json json_path;
   Fmt.pr "@.done.@."

@@ -10,8 +10,8 @@
    root; scripts can traverse Chain/Tree/RandNN pointer classes and
    filter on the Unique/Common/Rand10/Rand100/Rand1000 search keys. *)
 
-let setup_server ~sites ~objects ~seed =
-  let server = Hf_client.Embedded.create ~n_sites:sites () in
+let setup_server ?tracer ~sites ~objects ~seed () =
+  let server = Hf_client.Embedded.create ?tracer ~n_sites:sites () in
   let params =
     { Hf_workload.Synthetic.default_params with
       Hf_workload.Synthetic.n_objects = objects;
@@ -57,15 +57,29 @@ let run_script ~sites ~objects ~seed ~origin path =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
-  let server = setup_server ~sites ~objects ~seed in
+  let server = setup_server ~sites ~objects ~seed () in
   let report = Hf_client.Script.run ~origin server source in
   Fmt.pr "%a@." Hf_client.Script.pp_report report;
   if report.Hf_client.Script.failures = 0 then 0 else 1
 
 (* --- demo --- *)
 
-let demo ~sites ~objects ~seed =
-  let server = setup_server ~sites ~objects ~seed in
+(* Write the trace (if requested) and report what went to disk. *)
+let finish_trace tracer = function
+  | None -> ()
+  | Some path ->
+    Hf_obs.Tracer.write_file tracer path;
+    Fmt.pr "trace: %d span(s) -> %s%s@." (Hf_obs.Tracer.count tracer) path
+      (match Hf_obs.Tracer.dropped tracer with
+       | 0 -> ""
+       | n -> Printf.sprintf " (%d dropped past the limit)" n)
+
+let demo ~sites ~objects ~seed ~trace =
+  (* The sim cluster installs its virtual clock on the tracer. *)
+  let tracer =
+    match trace with None -> Hf_obs.Tracer.noop | Some _ -> Hf_obs.Tracer.create ()
+  in
+  let server = setup_server ~tracer ~sites ~objects ~seed () in
   let queries =
     [
       "Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits";
@@ -83,12 +97,13 @@ let demo ~sites ~objects ~seed =
           Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
         r.Hf_client.Embedded.values)
     queries;
+  finish_trace tracer trace;
   0
 
 (* --- interactive REPL --- *)
 
 let repl ~sites ~objects ~seed ~origin =
-  let server = setup_server ~sites ~objects ~seed in
+  let server = setup_server ~sites ~objects ~seed () in
   Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects.@." sites objects;
   Fmt.pr "The set \"Root\" holds the dataset root.  Commands: :sets, :quit.@.";
   Fmt.pr "Example: Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits@.";
@@ -125,7 +140,7 @@ let repl ~sites ~objects ~seed ~origin =
 (* --- snapshots --- *)
 
 let save_demo ~sites ~objects ~seed path =
-  let server = setup_server ~sites ~objects ~seed in
+  let server = setup_server ~sites ~objects ~seed () in
   (* snapshot every site: path becomes path.siteN *)
   List.iter
     (fun site ->
@@ -159,9 +174,18 @@ let dump_snapshot path =
 
 (* --- TCP demo --- *)
 
-let tcp_demo ~sites ~objects ~seed ~batch =
+let tcp_demo ~sites ~objects ~seed ~batch ~trace =
   let module Tcp = Hf_net.Tcp_site in
-  let endpoints = Array.init sites (fun site -> Tcp.create ~site ~batch ()) in
+  (* One shared tracer across the in-process sites: wire messages carry
+     span ids, so remote spans still parent on the originating site. *)
+  let tracer =
+    match trace with
+    | None -> Hf_obs.Tracer.noop
+    | Some _ ->
+      let t0 = Unix.gettimeofday () in
+      Hf_obs.Tracer.create ~clock:(fun () -> Unix.gettimeofday () -. t0) ()
+  in
+  let endpoints = Array.init sites (fun site -> Tcp.create ~site ~batch ~tracer ()) in
   let addresses = Array.map Tcp.address endpoints in
   Array.iter (fun s -> Tcp.set_peers s addresses) endpoints;
   Array.iteri
@@ -192,6 +216,7 @@ let tcp_demo ~sites ~objects ~seed ~batch =
     (outcome.Tcp.response_time *. 1000.0)
     outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
   Array.iter Tcp.shutdown endpoints;
+  finish_trace tracer trace;
   if outcome.Tcp.terminated then 0 else 1
 
 (* --- cmdliner plumbing --- *)
@@ -208,6 +233,13 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Data
 
 let origin_arg =
   Arg.(value & opt int 0 & info [ "origin" ] ~docv:"SITE" ~doc:"Originating site for queries.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a causal span trace to $(docv): Chrome trace_event JSON (load it in \
+                 Perfetto or chrome://tracing), or one JSON object per span when $(docv) \
+                 ends in .jsonl.")
 
 let check_cmd =
   let query_arg =
@@ -228,10 +260,10 @@ let run_cmd =
     Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ script_arg)
 
 let demo_cmd =
-  let run sites objects seed = demo ~sites ~objects ~seed in
+  let run sites objects seed trace = demo ~sites ~objects ~seed ~trace in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run canned queries against the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ trace_arg)
 
 let save_demo_cmd =
   let path_arg =
@@ -265,13 +297,13 @@ let tcp_demo_cmd =
                    paper's one-message-per-item protocol, 0 = only flush when the site \
                    drains).")
   in
-  let run sites objects seed batch =
+  let run sites objects seed batch trace =
     match
       if batch = 0 then Ok Hf_proto.Batch.Flush_on_drain
       else if batch >= 1 then Ok (Hf_proto.Batch.Flush_at batch)
       else Error ()
     with
-    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch
+    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch ~trace
     | Error () ->
       Fmt.epr "hfql: --batch must be >= 0 (got %d)@." batch;
       2
@@ -280,7 +312,7 @@ let tcp_demo_cmd =
     (Cmd.info "tcp-demo"
        ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
              simulator).")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ trace_arg)
 
 let () =
   let doc = "HyperFile filtering-query runner (paper reproduction demo)" in

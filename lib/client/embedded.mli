@@ -13,7 +13,12 @@ exception Invalid_query of string
 type t
 
 val create :
-  ?config:Hf_server.Cluster.config -> ?trace:Hf_sim.Trace.t -> n_sites:int -> unit -> t
+  ?config:Hf_server.Cluster.config ->
+  ?trace:Hf_sim.Trace.t ->
+  ?tracer:Hf_obs.Tracer.t ->
+  n_sites:int ->
+  unit ->
+  t
 
 val cluster : t -> C.t
 

@@ -100,6 +100,7 @@ let conn_close conn =
 type context = {
   plan : Hf_engine.Plan.t;
   origin : int;
+  span : int; (* this site's evaluation span for the query *)
   marks : Hf_engine.Mark_table.t;
   work : Hf_engine.Work_item.t Hf_util.Deque.t;
   stats : Hf_engine.Stats.t;
@@ -132,6 +133,15 @@ type t = {
   mutable next_serial : int;
   mutable running : bool;
   mutable threads : Thread.t list;
+  (* observability.  Sites sharing one tracer (same process, as in
+     tests and the demo) get cross-site spans: the wire carries the
+     sender's span id and the receiver closes it on arrival, so a work
+     message's span extends over its real transit.  Separate processes
+     each see their own half. *)
+  tracer : Hf_obs.Tracer.t;
+  registry : Hf_obs.Registry.t;
+  sent_frame_bytes : Hf_obs.Histogram.t; (* per-message encoded size *)
+  query_rtt : Hf_obs.Histogram.t; (* run_query wall time, seconds *)
   (* transport metrics *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
@@ -146,7 +156,7 @@ let locked t f =
 
 (* --- sending --- *)
 
-let send t ~dst message =
+let send t ?(span = 0) ~dst message =
   let conn =
     match Hashtbl.find_opt t.conns dst with
     | Some conn -> Some conn
@@ -158,20 +168,29 @@ let send t ~dst message =
         | exception Unix.Unix_error _ -> None (* peer down: message lost *))
   in
   match conn with
-  | None -> ()
+  | None -> Hf_obs.Tracer.finish ~detail:"peer down" t.tracer span
   | Some conn ->
-    let payload = Hf_proto.Codec.encode message in
+    let payload = Hf_proto.Codec.encode ~span message in
     t.messages_sent <- t.messages_sent + 1;
     t.bytes_sent <- t.bytes_sent + String.length payload;
+    Hf_obs.Histogram.observe t.sent_frame_bytes (float_of_int (String.length payload));
     conn_send conn (Hf_proto.Frame.frame payload)
 
 (* --- query contexts --- *)
 
-let new_context t ~query ~origin program =
+(* [cause] parents this site's evaluation span on the span of the work
+   message that introduced the query here (0: no known cause). *)
+let new_context t ?(cause = 0) ~query ~origin program =
+  let span =
+    Hf_obs.Tracer.start t.tracer ~parent:cause
+      ~query:(Fmt.str "%a" Message.pp_query_id query)
+      ~site:t.id ~phase:Hf_obs.Span.Eval "site-eval"
+  in
   let ctx =
     {
       plan = Hf_engine.Plan.make program;
       origin;
+      span;
       marks = Hf_engine.Mark_table.create ();
       work = Hf_util.Deque.create ();
       stats = Hf_engine.Stats.create ();
@@ -217,9 +236,16 @@ let send_work_batch t query ctx ~dst items =
     ctx.held <- keep;
     let body = Hf_engine.Plan.program ctx.plan in
     let credit = Credit.atoms gave in
+    let span =
+      Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+        ~query:(Fmt.str "%a" Message.pp_query_id query)
+        ~site:t.id ~phase:Hf_obs.Span.Ship
+        (Fmt.str "work->%d" dst)
+    in
+    Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%d item(s)" (List.length items));
     (match items with
      | [ wi ] ->
-       send t ~dst
+       send t ~span ~dst
          (Message.Deref_request
             {
               query;
@@ -230,7 +256,7 @@ let send_work_batch t query ctx ~dst items =
               credit;
             })
      | items ->
-       send t ~dst
+       send t ~span ~dst
          (Message.Work_batch
             [
               {
@@ -318,25 +344,45 @@ let process_to_drain t query ctx =
     let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings [] in
     ctx.result_buffer <- [];
     Hashtbl.reset ctx.bindings;
-    if items <> [] || bindings <> [] then
-      send t ~dst:ctx.origin
+    if items <> [] || bindings <> [] then begin
+      let span =
+        Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+          ~query:(Fmt.str "%a" Message.pp_query_id query)
+          ~site:t.id ~phase:Hf_obs.Span.Ship
+          (Fmt.str "result->%d" ctx.origin)
+      in
+      Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%d item(s)" (List.length items));
+      send t ~span ~dst:ctx.origin
         (Message.Result
            { query; payload = Message.Items items; bindings; credit = Credit.atoms credit })
-    else if not (Credit.is_zero credit) then
-      send t ~dst:ctx.origin (Message.Credit_return { query; credit = Credit.atoms credit })
+    end
+    else if not (Credit.is_zero credit) then begin
+      let span =
+        Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+          ~query:(Fmt.str "%a" Message.pp_query_id query)
+          ~site:t.id ~phase:Hf_obs.Span.Credit
+          (Fmt.str "credit->%d" ctx.origin)
+      in
+      send t ~span ~dst:ctx.origin
+        (Message.Credit_return { query; credit = Credit.atoms credit })
+    end
   end
 
 (* --- incoming messages --- *)
 
-let handle_message t message =
+(* [span] is the sender's shipping span carried on the wire (0 when the
+   sender traced nothing): it is closed here — arrival time — and new
+   contexts parent their evaluation spans on it. *)
+let handle_message t ?(span = 0) message =
   locked t (fun () ->
       t.messages_received <- t.messages_received + 1;
+      Hf_obs.Tracer.finish t.tracer span;
       match (message : Message.t) with
       | Message.Deref_request { query; body; oid; start; iters; credit } ->
         let ctx =
           match Hashtbl.find_opt t.contexts query with
           | Some ctx -> ctx
-          | None -> new_context t ~query ~origin:query.Message.originator body
+          | None -> new_context t ~cause:span ~query ~origin:query.Message.originator body
         in
         ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
         Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters);
@@ -347,7 +393,8 @@ let handle_message t message =
             let ctx =
               match Hashtbl.find_opt t.contexts query with
               | Some ctx -> ctx
-              | None -> new_context t ~query ~origin:query.Message.originator body
+              | None ->
+                new_context t ~cause:span ~query ~origin:query.Message.originator body
             in
             ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
             List.iter
@@ -389,8 +436,8 @@ let reader_loop t fd () =
       Hf_proto.Frame.Decoder.feed decoder (Bytes.sub_string chunk 0 n);
       List.iter
         (fun payload ->
-          match Hf_proto.Codec.decode payload with
-          | Ok message -> handle_message t message
+          match Hf_proto.Codec.decode_traced payload with
+          | Ok (message, span) -> handle_message t ~span message
           | Error err ->
             Log.warn (fun m -> m "site %d: undecodable message dropped: %s" t.id err))
         (Hf_proto.Frame.Decoder.drain decoder);
@@ -413,13 +460,16 @@ let accept_loop t () =
 
 (* --- lifecycle --- *)
 
-let create ~site ?(batch = Hf_proto.Batch.unbatched) () =
+let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.noop) () =
   Hf_proto.Batch.validate_policy batch;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
   Unix.listen listener 16;
   let address = Unix.getsockname listener in
+  let registry = Hf_obs.Registry.create () in
+  let sent_frame_bytes = Hf_obs.Registry.histogram registry "hf.net.sent_frame_bytes" in
+  let query_rtt = Hf_obs.Registry.histogram registry "hf.net.query_rtt_s" in
   let t =
     {
       id = site;
@@ -435,11 +485,20 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) () =
       next_serial = 0;
       running = true;
       threads = [];
+      tracer;
+      registry;
+      sent_frame_bytes;
+      query_rtt;
       messages_sent = 0;
       bytes_sent = 0;
       messages_received = 0;
     }
   in
+  Hf_obs.Registry.register_counter registry "hf.net.messages_sent" (fun () ->
+      t.messages_sent);
+  Hf_obs.Registry.register_counter registry "hf.net.bytes_sent" (fun () -> t.bytes_sent);
+  Hf_obs.Registry.register_counter registry "hf.net.messages_received" (fun () ->
+      t.messages_received);
   t.threads <- [ Thread.create (accept_loop t) () ];
   t
 
@@ -448,6 +507,10 @@ let address t = t.address
 let store t = t.store
 
 let id t = t.id
+
+let tracer t = t.tracer
+
+let registry t = t.registry
 
 let set_peers t peers = t.peers <- peers
 
@@ -475,11 +538,16 @@ type outcome = {
 let run_query ?(timeout = 10.0) (t : t) program initial =
   let started = Unix.gettimeofday () in
   let sent_before = t.messages_sent and bytes_before = t.bytes_sent in
-  let query, ctx =
+  let query, ctx, root_span =
     locked t (fun () ->
         let query = { Message.originator = t.id; serial = t.next_serial } in
         t.next_serial <- t.next_serial + 1;
-        let ctx = new_context t ~query ~origin:t.id program in
+        let root_span =
+          Hf_obs.Tracer.start t.tracer
+            ~query:(Fmt.str "%a" Message.pp_query_id query)
+            ~site:t.id ~phase:Hf_obs.Span.Query "query"
+        in
+        let ctx = new_context t ~cause:root_span ~query ~origin:t.id program in
         ctx.held <- Credit.one;
         (* Remote seeds batch per destination just like spawned work. *)
         let out = Hf_proto.Batch.create t.batch_policy in
@@ -497,7 +565,7 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
           (fun (dst, items) -> send_work_batch t query ctx ~dst items)
           (Hf_proto.Batch.flush_all out);
         process_to_drain t query ctx;
-        (query, ctx))
+        (query, ctx, root_span))
   in
   (* Wait for termination, or time out (e.g. a crashed peer).  The
      stdlib's Condition.wait has no timeout, so a ticker thread pokes
@@ -536,5 +604,9 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
   Mutex.unlock t.lock;
   stop_ticker := true;
   (try Thread.join ticker with _ -> ());
+  Hf_obs.Histogram.observe t.query_rtt outcome.response_time;
+  Hf_obs.Tracer.finish t.tracer ctx.span;
+  Hf_obs.Tracer.finish t.tracer root_span
+    ~detail:(if outcome.terminated then "terminated" else "timeout");
   ignore query;
   outcome

@@ -12,7 +12,8 @@
 
 type t
 
-val create : site:int -> ?batch:Hf_proto.Batch.flush_policy -> unit -> t
+val create :
+  site:int -> ?batch:Hf_proto.Batch.flush_policy -> ?tracer:Hf_obs.Tracer.t -> unit -> t
 (** Bind 127.0.0.1 on an ephemeral port and start accepting.
 
     [batch] (default [Flush_at 1], i.e. unbatched) coalesces work items
@@ -20,7 +21,14 @@ val create : site:int -> ?batch:Hf_proto.Batch.flush_policy -> unit -> t
     single credit split; leftovers always flush before the site drains,
     so termination is never delayed.  Single-item flushes go out as
     plain [Deref_request]s — with the default policy the wire traffic is
-    byte-identical to the unbatched protocol. *)
+    byte-identical to the unbatched protocol.
+
+    [tracer] (default {!Hf_obs.Tracer.noop}) records spans; when every
+    site of an in-process cluster shares one tracer, wire messages
+    carry the sender's span id and the receiver closes the span on
+    arrival, so shipping spans cover real transit and remote evaluation
+    spans parent on the originating site's.  With tracing off the wire
+    bytes are unchanged. *)
 
 val address : t -> Unix.sockaddr
 
@@ -30,6 +38,14 @@ val set_peers : t -> Unix.sockaddr array -> unit
 val store : t -> Hf_data.Store.t
 
 val id : t -> int
+
+val tracer : t -> Hf_obs.Tracer.t
+
+val registry : t -> Hf_obs.Registry.t
+(** Per-site transport metrics: [hf.net.messages_sent], [hf.net.bytes_sent],
+    [hf.net.messages_received], the [hf.net.sent_frame_bytes] histogram
+    (per-message encoded size) and [hf.net.query_rtt_s] (wall-clock
+    {!run_query} latency, origin site only). *)
 
 type outcome = {
   results : Hf_data.Oid.t list;  (** arrival order at the originator. *)

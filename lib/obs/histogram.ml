@@ -1,0 +1,172 @@
+(* Log-bucketed histogram for latencies, byte counts and other
+   non-negative measurements.
+
+   Two stores run in parallel:
+   - power-of-two buckets (exact counts, fixed memory) for shape and
+     for overflow-proof accounting;
+   - a bounded reservoir of raw samples from which percentiles are
+     extracted with the existing [Hf_util.Stats] rank code (exact while
+     the reservoir has room; once it fills, percentiles describe the
+     first [sample_limit] observations and [dropped_samples] says how
+     many came after).
+
+   NaN is rejected up front, mirroring [Hf_util.Stats]: a NaN sample
+   would poison every rank statistic. *)
+
+(* Bucket layout: bucket 0 holds v < 2^e_min (including zero and
+   negatives); bucket i (1 <= i < n_buckets - 1) holds
+   2^(e_min + i - 1) <= v < 2^(e_min + i); the last bucket holds
+   everything above.  e_min = -20 puts the smallest bucket near a
+   microsecond, the top one past 4e12 — wide enough for both seconds
+   and byte counts. *)
+let e_min = -20
+
+let n_buckets = 64
+
+let bucket_index v =
+  if Float.is_nan v then invalid_arg "Histogram.bucket_index: NaN";
+  if v < Float.ldexp 1.0 e_min then 0
+  else begin
+    (* frexp v = (m, e) with v = m * 2^e, 0.5 <= m < 1, so
+       2^(e-1) <= v < 2^e and the bucket's low bound exponent is e-1. *)
+    let _, e = Float.frexp v in
+    min (n_buckets - 1) (e - e_min)
+  end
+
+let bucket_bounds i =
+  if i < 0 || i >= n_buckets then invalid_arg "Histogram.bucket_bounds: out of range";
+  if i = 0 then (Float.neg_infinity, Float.ldexp 1.0 e_min)
+  else
+    ( Float.ldexp 1.0 (e_min + i - 1),
+      if i = n_buckets - 1 then Float.infinity else Float.ldexp 1.0 (e_min + i) )
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+  mutable samples : float array; (* reservoir; first [n_samples] slots live *)
+  mutable n_samples : int;
+  sample_limit : int;
+  mutable dropped_samples : int; (* observations past the reservoir *)
+}
+
+let default_sample_limit = 4096
+
+let create ?(sample_limit = default_sample_limit) () =
+  if sample_limit < 1 then invalid_arg "Histogram.create: sample_limit must be positive";
+  {
+    count = 0;
+    sum = 0.0;
+    vmin = Float.infinity;
+    vmax = Float.neg_infinity;
+    buckets = Array.make n_buckets 0;
+    samples = [||];
+    n_samples = 0;
+    sample_limit;
+    dropped_samples = 0;
+  }
+
+let push_sample t v =
+  if t.n_samples < t.sample_limit then begin
+    if t.n_samples >= Array.length t.samples then begin
+      let capacity = max 16 (min t.sample_limit (2 * Array.length t.samples)) in
+      let grown = Array.make capacity 0.0 in
+      Array.blit t.samples 0 grown 0 t.n_samples;
+      t.samples <- grown
+    end;
+    t.samples.(t.n_samples) <- v;
+    t.n_samples <- t.n_samples + 1
+  end
+  else t.dropped_samples <- t.dropped_samples + 1
+
+let observe t v =
+  if Float.is_nan v then invalid_arg "Histogram.observe: NaN sample";
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let i = bucket_index v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  push_sample t v
+
+let count t = t.count
+
+let sum t = t.sum
+
+let dropped_samples t = t.dropped_samples
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then out := (i, t.buckets.(i)) :: !out
+  done;
+  !out
+
+let summary t =
+  if t.count = 0 then None
+  else begin
+    let s = Hf_util.Stats.summarize (Array.sub t.samples 0 t.n_samples) in
+    (* count/mean/min/max are tracked exactly even past the reservoir;
+       only the rank statistics are reservoir-bounded. *)
+    Some
+      {
+        s with
+        Hf_util.Stats.count = t.count;
+        mean = t.sum /. float_of_int t.count;
+        min = t.vmin;
+        max = t.vmax;
+      }
+  end
+
+let merge a b =
+  let t = create ~sample_limit:(max a.sample_limit b.sample_limit) () in
+  let absorb src =
+    Array.iteri (fun i n -> t.buckets.(i) <- t.buckets.(i) + n) src.buckets;
+    t.count <- t.count + src.count;
+    t.sum <- t.sum +. src.sum;
+    if src.vmin < t.vmin then t.vmin <- src.vmin;
+    if src.vmax > t.vmax then t.vmax <- src.vmax;
+    for i = 0 to src.n_samples - 1 do
+      push_sample t src.samples.(i)
+    done;
+    t.dropped_samples <- t.dropped_samples + src.dropped_samples
+  in
+  absorb a;
+  absorb b;
+  t
+
+let pp ppf t =
+  match summary t with
+  | None -> Fmt.pf ppf "empty"
+  | Some s ->
+    Fmt.pf ppf "%a%s" Hf_util.Stats.pp_summary s
+      (if t.dropped_samples > 0 then
+         Printf.sprintf " (percentiles over first %d samples; %d beyond)" t.n_samples
+           t.dropped_samples
+       else "")
+
+let to_json t =
+  match summary t with
+  | None -> Json.Obj [ ("count", Json.Int 0) ]
+  | Some s ->
+    Json.Obj
+      [
+        ("count", Json.Int t.count);
+        ("sum", Json.Float t.sum);
+        ("mean", Json.Float s.Hf_util.Stats.mean);
+        ("min", Json.Float s.Hf_util.Stats.min);
+        ("max", Json.Float s.Hf_util.Stats.max);
+        ("p50", Json.Float s.Hf_util.Stats.p50);
+        ("p90", Json.Float s.Hf_util.Stats.p90);
+        ("p99", Json.Float s.Hf_util.Stats.p99);
+        ("dropped_samples", Json.Int t.dropped_samples);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, n) ->
+                 let lo, hi = bucket_bounds i in
+                 Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
+               (buckets t)) );
+      ]

@@ -1,0 +1,46 @@
+(** Log-bucketed histogram for latencies, byte counts and other
+    non-negative measurements.
+
+    Exact power-of-two bucket counts plus a bounded sample reservoir;
+    percentiles come from the reservoir via the [Hf_util.Stats] rank
+    code, so they are exact until [sample_limit] observations and
+    reservoir-bounded after (see {!dropped_samples}). *)
+
+type t
+
+val n_buckets : int
+
+val bucket_index : float -> int
+(** Bucket 0 holds values below the smallest bound (including zero and
+    negatives); bucket [i] holds [2^(e_min+i-1) <= v < 2^(e_min+i)];
+    the last bucket is the overflow.  Raises on NaN. *)
+
+val bucket_bounds : int -> float * float
+(** [(lo, hi)] with [lo] inclusive, [hi] exclusive; the edge buckets
+    return infinite bounds. *)
+
+val create : ?sample_limit:int -> unit -> t
+(** [sample_limit] bounds the percentile reservoir (default 4096). *)
+
+val observe : t -> float -> unit
+(** Raises [Invalid_argument] on NaN, mirroring [Hf_util.Stats]. *)
+
+val count : t -> int
+val sum : t -> float
+
+val dropped_samples : t -> int
+(** Observations that arrived after the reservoir filled; bucket counts
+    and count/sum/min/max still include them. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(index, count)], ascending. *)
+
+val summary : t -> Hf_util.Stats.summary option
+(** [None] when empty.  count/mean/min/max are exact; p50/p90/p99 are
+    over the reservoir. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' observations. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -1,0 +1,70 @@
+(* Typed metrics registry: named counters, gauges and histograms under
+   the `hf.<layer>.<name>` convention, with one pp / to_json path shared
+   by the sim cluster, the TCP sites and the bench harness.
+
+   Counters and gauges can be registry-owned (allocated here) or views
+   over storage that already exists — the hot paths keep their plain
+   mutable records and the registry reads them at report time, so
+   registration costs nothing per event. *)
+
+type value =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> float)
+  | Histogram of Histogram.t
+
+type t = { mutable metrics : (string * value) list (* newest first *) }
+
+let create () = { metrics = [] }
+
+let names t = List.rev_map fst t.metrics
+
+let find t name = List.assoc_opt name t.metrics
+
+let register t name value =
+  if String.length name = 0 then invalid_arg "Registry.register: empty name";
+  if List.mem_assoc name t.metrics then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate metric %S" name);
+  t.metrics <- (name, value) :: t.metrics
+
+let register_counter t name read = register t name (Counter read)
+
+let register_gauge t name read = register t name (Gauge read)
+
+let register_histogram t name histogram = register t name (Histogram histogram)
+
+let counter t name =
+  let cell = ref 0 in
+  register_counter t name (fun () -> !cell);
+  cell
+
+let gauge t name =
+  let cell = ref 0.0 in
+  register_gauge t name (fun () -> !cell);
+  cell
+
+let histogram ?sample_limit t name =
+  let h = Histogram.create ?sample_limit () in
+  register_histogram t name h;
+  h
+
+let sorted t = List.sort (fun (a, _) (b, _) -> String.compare a b) t.metrics
+
+let pp ppf t =
+  let pp_metric ppf (name, value) =
+    match value with
+    | Counter read -> Fmt.pf ppf "%-42s %d" name (read ())
+    | Gauge read -> Fmt.pf ppf "%-42s %.6g" name (read ())
+    | Histogram h -> Fmt.pf ppf "%-42s %a" name Histogram.pp h
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_metric) (sorted t)
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, value) ->
+         ( name,
+           match value with
+           | Counter read -> Json.Int (read ())
+           | Gauge read -> Json.Float (read ())
+           | Histogram h -> Histogram.to_json h ))
+       (sorted t))

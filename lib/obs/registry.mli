@@ -1,0 +1,37 @@
+(** Typed metrics registry: named counters, gauges and histograms.
+
+    Naming convention: [hf.<layer>.<name>], e.g.
+    [hf.server.work_messages], [hf.net.sent_bytes],
+    [hf.bench.response_time_s].  Registration order does not matter;
+    {!pp} and {!to_json} sort by name. *)
+
+type value =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> float)
+  | Histogram of Histogram.t
+
+type t
+
+val create : unit -> t
+
+val register_counter : t -> string -> (unit -> int) -> unit
+(** A counter {e view}: the registry reads existing storage at report
+    time, so instrumented hot paths keep their plain mutable fields.
+    Raises on duplicate or empty names (all registration does). *)
+
+val register_gauge : t -> string -> (unit -> float) -> unit
+val register_histogram : t -> string -> Histogram.t -> unit
+
+val counter : t -> string -> int ref
+(** Registry-owned counter: allocates the cell and registers a view. *)
+
+val gauge : t -> string -> float ref
+val histogram : ?sample_limit:int -> t -> string -> Histogram.t
+
+val names : t -> string list
+(** In registration order. *)
+
+val find : t -> string -> value option
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -1,0 +1,44 @@
+(* One unit of attributed work in a query's causal tree.
+
+   A span records which query did what, on which site, in which phase,
+   and — the part none of the ad-hoc counters could answer — which span
+   *caused* it: a cross-site work message carries the shipping span's id
+   so the remote evaluation hangs off the originating site's span. *)
+
+type phase =
+  | Query (* root span: one per issued query, at the originator *)
+  | Eval (* engine work on a site's per-query context *)
+  | Ship (* a message travelling between sites *)
+  | Flush (* the batcher shipping buffered work *)
+  | Credit (* termination-detector traffic *)
+  | Drain (* a context's working set ran dry *)
+  | Recv (* arrival of a message at an existing context *)
+
+let phase_name = function
+  | Query -> "query"
+  | Eval -> "eval"
+  | Ship -> "ship"
+  | Flush -> "flush"
+  | Credit -> "credit"
+  | Drain -> "drain"
+  | Recv -> "recv"
+
+type t = {
+  id : int; (* unique within a tracer; 0 is reserved for "no span" *)
+  parent : int; (* 0 = a root *)
+  query : string; (* rendered query id, e.g. "q0@0" *)
+  site : int;
+  phase : phase;
+  name : string;
+  start : float;
+  mutable finish : float; (* = start until finished *)
+  mutable detail : string;
+}
+
+let duration span = span.finish -. span.start
+
+let pp ppf span =
+  Fmt.pf ppf "#%-4d %8.4f +%.4f site%-2d %-6s %-12s %s%s%s" span.id span.start (duration span)
+    span.site (phase_name span.phase) span.name span.query
+    (if span.parent = 0 then "" else Printf.sprintf " <- #%d" span.parent)
+    (if span.detail = "" then "" else " | " ^ span.detail)

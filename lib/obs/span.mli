@@ -1,0 +1,27 @@
+(** Causal spans: attributed units of work in a query's trace tree. *)
+
+type phase =
+  | Query  (** root span: one per issued query, at the originator. *)
+  | Eval  (** engine work on a site's per-query context. *)
+  | Ship  (** a message travelling between sites. *)
+  | Flush  (** the batcher shipping buffered work. *)
+  | Credit  (** termination-detector traffic. *)
+  | Drain  (** a context's working set ran dry. *)
+  | Recv  (** arrival of a message at an existing context. *)
+
+val phase_name : phase -> string
+
+type t = {
+  id : int;  (** unique within a tracer; 0 is reserved for "no span". *)
+  parent : int;  (** causing span's id; 0 = a root. *)
+  query : string;  (** rendered query id, e.g. ["q0@0"]. *)
+  site : int;
+  phase : phase;
+  name : string;
+  start : float;
+  mutable finish : float;  (** equals [start] until finished. *)
+  mutable detail : string;
+}
+
+val duration : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(** Span collector with a zero-cost disabled mode.
+
+    Instrument unconditionally and pass {!noop} when tracing is off:
+    every operation on the noop tracer is one variant check.  Span ids
+    are positive ints unique per tracer; 0 means "no span" and is the
+    conventional absent parent, so ids thread through message fields
+    without options.
+
+    Completed spans are retained up to [limit]; later spans increment
+    {!dropped} instead of silently vanishing (the [Hf_sim.Trace]
+    policy).  Thread-safe: the TCP transport finishes spans from
+    several reader threads. *)
+
+type t
+
+val noop : t
+
+val create : ?limit:int -> ?clock:(unit -> float) -> unit -> t
+(** [limit] bounds retained completed spans (default 200_000).
+    [clock] supplies span timestamps (default: constant 0; the sim
+    cluster installs its virtual clock via {!set_clock}, the CLI passes
+    a wall clock). *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+
+val start : t -> ?parent:int -> query:string -> site:int -> phase:Span.phase -> string -> int
+(** Open a span; returns its id (0 on the noop tracer). *)
+
+val finish : ?detail:string -> t -> int -> unit
+(** Close an open span.  Unknown ids (including 0) are ignored. *)
+
+val set_detail : t -> int -> string -> unit
+
+val instant :
+  t -> ?parent:int -> ?detail:string -> query:string -> site:int -> phase:Span.phase -> string -> int
+(** A zero-duration span, recorded immediately. *)
+
+val spans : t -> Span.t list
+(** Completed and still-open spans, in id (creation) order. *)
+
+val count : t -> int
+val dropped : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_jsonl : t -> string
+(** One span object per line. *)
+
+val to_chrome_json : t -> string
+(** Chrome trace_event JSON (loadable in Perfetto / chrome://tracing):
+    "X" events with pid = site, tid = (site, query) lane, and flow
+    arrows binding each span to its causal parent. *)
+
+val write_file : t -> string -> unit
+(** JSONL when [path] ends in [.jsonl], Chrome trace JSON otherwise. *)

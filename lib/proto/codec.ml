@@ -399,20 +399,47 @@ let read_message r : Message.t =
     Work_batch groups
   | tag -> fail "unknown message tag %d" tag
 
-let encode message =
+(* A traced message is wrapped in an envelope: tag 127 (unused by any
+   message variant), the originating span id as a varint, then the
+   message encoded exactly as before.  Untraced encoding never emits
+   the envelope, so wire bytes with tracing off are byte-for-byte the
+   PR 1 format (and the ~40-byte query-message accounting still
+   holds). *)
+let traced_tag = 127
+
+let encode ?span message =
   let buf = Buffer.create 64 in
+  (match span with
+   | Some s when s <> 0 ->
+     write_u8 buf traced_tag;
+     write_varint buf s
+   | _ -> ());
   write_message buf message;
   Buffer.contents buf
 
-let decode data =
+let read_traced_message r =
+  let span =
+    if (not (at_end r)) && Char.code r.data.[r.pos] = traced_tag then begin
+      r.pos <- r.pos + 1;
+      read_varint r
+    end
+    else 0
+  in
+  let message = read_message r in
+  (message, span)
+
+let decode_traced data =
   match
     let r = reader data in
-    let message = read_message r in
+    let result = read_traced_message r in
     if not (at_end r) then fail "trailing bytes after message (offset %d)" r.pos;
-    message
+    result
   with
-  | message -> Ok message
+  | result -> Ok result
   | exception Decode_error msg -> Error msg
+
+let decode data =
+  match decode_traced data with Ok (message, _span) -> Ok message | Error _ as e -> e
 
 let decode_exn data =
   match decode data with Ok message -> message | Error msg -> raise (Decode_error msg)

@@ -6,10 +6,19 @@
 
 exception Decode_error of string
 
-val encode : Message.t -> string
+val encode : ?span:int -> Message.t -> string
+(** With [?span] absent, [None], or [Some 0], the encoding is
+    byte-identical to the untraced wire format.  A non-zero span id is
+    carried in a leading envelope (tag 127 + varint) so a receiving
+    tracer can parent its spans on the sender's. *)
 
 val decode : string -> (Message.t, string) result
-(** Rejects trailing bytes. *)
+(** Rejects trailing bytes.  Accepts (and discards) a traced
+    envelope. *)
+
+val decode_traced : string -> (Message.t * int, string) result
+(** Like {!decode} but also returns the carried span id (0 when the
+    message was sent untraced). *)
 
 val decode_exn : string -> Message.t
 (** Raises [Decode_error]. *)

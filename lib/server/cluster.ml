@@ -89,6 +89,10 @@ module Make (D : Hf_termination.Detector.S) = struct
     query : Hf_proto.Message.query_id;
     plan : Hf_engine.Plan.t;
     origin : int;
+    span : int;
+        (* this site's evaluation span for the query; parented on the
+           work message that first reached the site (or the query root
+           at the originator) *)
     marks : Hf_engine.Mark_table.t; (* shared across sites under Global_marks *)
     work : (Hf_engine.Work_item.t * work_source) Hf_util.Deque.t;
     detector : D.t;
@@ -103,6 +107,7 @@ module Make (D : Hf_termination.Detector.S) = struct
     id : Hf_proto.Message.query_id;
     program : Hf_query.Program.t;
     start_time : float;
+    span : int; (* root span: submit to detected termination *)
     metrics : Metrics.t;
     mutable final_results : Oid.t list; (* newest first *)
     mutable final_set : Oid.Set.t;
@@ -133,10 +138,14 @@ module Make (D : Hf_termination.Detector.S) = struct
 
   (* A work message carries whole per-query groups: the query header and
      detector tag (one credit split) cover every item in the group. *)
+  (* Every message carries the sender-side span id that covers its
+     trip (0 when tracing is off), so receiver-side spans can parent
+     on the originating site's — the cross-site causal edge. *)
   type message =
     | Work of {
         groups : (Hf_proto.Message.query_id * Hf_engine.Work_item.t list * D.tag) list;
         src : int;
+        span : int;
       }
     | Results of {
         query : Hf_proto.Message.query_id;
@@ -144,13 +153,20 @@ module Make (D : Hf_termination.Detector.S) = struct
         bindings : (string * Hf_data.Value.t list) list;
         piggybacked : (int * D.control) list; (* controls riding along *)
         src : int;
+        span : int;
       }
-    | Control of { query : Hf_proto.Message.query_id; payload : D.control; src : int }
+    | Control of {
+        query : Hf_proto.Message.query_id;
+        payload : D.control;
+        src : int;
+        span : int;
+      }
     | Seed_from of {
         query : Hf_proto.Message.query_id;
         from : Hf_proto.Message.query_id;
         tag : D.tag;
         src : int;
+        span : int;
       }
 
   type t = {
@@ -159,12 +175,16 @@ module Make (D : Hf_termination.Detector.S) = struct
     config : config;
     locate : Oid.t -> int;
     trace : Hf_sim.Trace.t option;
+    tracer : Hf_obs.Tracer.t;
+    registry : Hf_obs.Registry.t; (* cluster-wide metrics *)
+    work_batch_items : Hf_obs.Histogram.t; (* items per shipped work message *)
     open_queries : (Hf_proto.Message.query_id, open_query) Hashtbl.t;
     mutable next_serial : int;
     jitter_prng : Hf_util.Prng.t;
   }
 
-  let create ?(config = default_config) ?locate ?trace ~n_sites () =
+  let create ?(config = default_config) ?locate ?trace ?(tracer = Hf_obs.Tracer.noop)
+      ~n_sites () =
     if n_sites <= 0 then invalid_arg "Cluster.create: n_sites must be positive";
     let sites =
       Array.init n_sites (fun id ->
@@ -180,12 +200,21 @@ module Make (D : Hf_termination.Detector.S) = struct
           })
     in
     let locate = match locate with Some f -> f | None -> Oid.birth_site in
+    let sim = Hf_sim.Sim.create () in
+    (* Spans are stamped in virtual time so trace durations line up
+       with the simulated response times. *)
+    Hf_obs.Tracer.set_clock tracer (fun () -> Hf_sim.Sim.now sim);
+    let registry = Hf_obs.Registry.create () in
+    let work_batch_items = Hf_obs.Registry.histogram registry "hf.server.work_batch_items" in
     {
-      sim = Hf_sim.Sim.create ();
+      sim;
       sites;
       config;
       locate;
       trace;
+      tracer;
+      registry;
+      work_batch_items;
       open_queries = Hashtbl.create 8;
       next_serial = 0;
       jitter_prng = Hf_util.Prng.create config.jitter_seed;
@@ -196,6 +225,12 @@ module Make (D : Hf_termination.Detector.S) = struct
   let store t site = t.sites.(site).store
 
   let sim t = t.sim
+
+  let tracer t = t.tracer
+
+  let registry t = t.registry
+
+  let qname query = Fmt.str "%a" Hf_proto.Message.pp_query_id query
 
   let kill_site t site = t.sites.(site).alive <- false
 
@@ -240,7 +275,10 @@ module Make (D : Hf_termination.Detector.S) = struct
 
   let find_open t query = Hashtbl.find_opt t.open_queries query
 
-  let context_of t site query =
+  (* [cause] is the span id of the work message (or other event) that
+     first brought the query to this site; the fresh context's
+     evaluation span parents on it, falling back to the query root. *)
+  let context_of t ?(cause = 0) site query =
     match Hashtbl.find_opt site.contexts query with
     | Some ctx -> Some ctx
     | None -> (
@@ -261,11 +299,17 @@ module Make (D : Hf_termination.Detector.S) = struct
                 | Some origin_ctx -> origin_ctx.marks
                 | None -> Hf_engine.Mark_table.create ())
           in
+          let parent = if cause <> 0 then cause else oq.span in
+          let span =
+            Hf_obs.Tracer.start t.tracer ~parent ~query:(qname query) ~site:site.id
+              ~phase:Hf_obs.Span.Eval "site-eval"
+          in
           let ctx =
             {
               query;
               plan = Hf_engine.Plan.make oq.program;
               origin = query.originator;
+              span;
               marks;
               work = Hf_util.Deque.create ();
               detector =
@@ -301,7 +345,14 @@ module Make (D : Hf_termination.Detector.S) = struct
     if not oq.terminated then begin
       oq.terminated <- true;
       oq.finish_time <- Hf_sim.Sim.now t.sim;
-      record t oq.id.originator "terminate" (Fmt.str "%a" Hf_proto.Message.pp_query_id oq.id)
+      record t oq.id.originator "terminate" (Fmt.str "%a" Hf_proto.Message.pp_query_id oq.id);
+      Array.iter
+        (fun site ->
+          match Hashtbl.find_opt site.contexts oq.id with
+          | Some ctx -> Hf_obs.Tracer.finish t.tracer ctx.span
+          | None -> ())
+        t.sites;
+      Hf_obs.Tracer.finish t.tracer oq.span
     end
 
   let handle_detector_result t oq (controls, terminated) send_control =
@@ -409,12 +460,20 @@ module Make (D : Hf_termination.Detector.S) = struct
           | None -> ())
         groups;
       record t site.id "work-send" (Fmt.str "%d item(s) to %d" total dst);
-      deliver t ~src:site.id ~oq:oq0 ~label:"work"
+      Hf_obs.Histogram.observe t.work_batch_items (float_of_int total);
+      let span =
+        Hf_obs.Tracer.start t.tracer ~parent:ctx0.span ~query:(qname ctx0.query)
+          ~site:site.id ~phase:Hf_obs.Span.Ship
+          (Fmt.str "work->%d" dst)
+      in
+      Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%d item(s)" total);
+      deliver t ~src:site.id ~oq:oq0 ~label:"work" ~span
         ~transit:(Hf_sim.Costs.batch_transit t.config.costs ~items:total)
         ~dst
         (Work
            { groups = List.map (fun (ctx, items, tag) -> (ctx.query, items, tag)) groups;
              src = site.id;
+             span;
            })
         (fun dsite message -> handle_message t dsite message)
 
@@ -428,7 +487,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         (fun (dst, entries) ->
           match prepare_batch t site ~dst entries with
           | _, [] -> ()
-          | (_, ((ctx0, _, _) :: _ as groups)) as prepared ->
+          | (dst, ((ctx0, _, _) :: _ as groups)) as prepared ->
             enqueue t site (fun () ->
                 let cost =
                   Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups)
@@ -436,13 +495,22 @@ module Make (D : Hf_termination.Detector.S) = struct
                 (match find_open t ctx0.query with
                  | Some oq -> Metrics.add_busy oq.metrics site.id cost
                  | None -> ());
+                ignore
+                  (Hf_obs.Tracer.instant t.tracer ~parent:ctx0.span
+                     ~detail:(Fmt.str "%d item(s)" (batch_total groups))
+                     ~query:(qname ctx0.query) ~site:site.id ~phase:Hf_obs.Span.Flush
+                     (Fmt.str "flush->%d" dst));
                 ( cost,
                   fun () ->
                     send_prepared t site prepared;
                     List.iter (fun (ctx, _, _) -> maybe_drain t site ctx) groups )))
         (Hf_proto.Batch.flush_all site.outgoing)
 
-  and deliver t ~src ~oq ~label ~transit ~dst message handler =
+  (* [span] (when non-zero) is the shipping span opened by the sender;
+     it closes when the message lands — or immediately, tagged
+     "dropped", when the lossy network eats it — so transit time shows
+     up as the span's extent. *)
+  and deliver t ~src ~oq ~label ?(span = 0) ~transit ~dst message handler =
     let dropped =
       t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
     in
@@ -451,7 +519,8 @@ module Make (D : Hf_termination.Detector.S) = struct
        | Some oq ->
          oq.metrics.Metrics.dropped_messages <- oq.metrics.Metrics.dropped_messages + 1
        | None -> ());
-      record t src "drop" (Fmt.str "%s to %d" label dst)
+      record t src "drop" (Fmt.str "%s to %d" label dst);
+      Hf_obs.Tracer.finish ~detail:"dropped" t.tracer span
     end
     else begin
       let transit =
@@ -459,6 +528,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         else transit +. (Hf_util.Prng.next_float t.jitter_prng *. t.config.jitter)
       in
       Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
+          Hf_obs.Tracer.finish t.tracer span;
           let site = t.sites.(dst) in
           if site.alive then enqueue t site (fun () -> handler site message))
     end
@@ -475,8 +545,15 @@ module Make (D : Hf_termination.Detector.S) = struct
         record t src "control-send" (Fmt.str "to %d: %a" dst D.pp_control payload);
         ( t.config.costs.control_send,
           fun () ->
-            deliver t ~src ~oq ~label:"control" ~transit:t.config.costs.control_transit ~dst
-              (Control { query = ctx.query; payload; src })
+            let span =
+              Hf_obs.Tracer.start t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+                ~site:src ~phase:Hf_obs.Span.Credit
+                (Fmt.str "control->%d" dst)
+            in
+            Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%a" D.pp_control payload);
+            deliver t ~src ~oq ~label:"control" ~span
+              ~transit:t.config.costs.control_transit ~dst
+              (Control { query = ctx.query; payload; src; span })
               (fun dsite message -> handle_message t dsite message) ))
 
   (* Ship buffered results (and piggybacked controls) to the originator;
@@ -484,6 +561,9 @@ module Make (D : Hf_termination.Detector.S) = struct
      standalone. *)
   and drain t site ctx =
     record t site.id "drain" (Fmt.str "%a" Hf_proto.Message.pp_query_id ctx.query);
+    ignore
+      (Hf_obs.Tracer.instant t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+         ~site:site.id ~phase:Hf_obs.Span.Drain "drain");
     let controls, terminated = D.on_drain ctx.detector in
     let oq = find_open t ctx.query in
     (match oq with Some oq when terminated -> finish_query t oq | Some _ | None -> ());
@@ -532,10 +612,17 @@ module Make (D : Hf_termination.Detector.S) = struct
               (Fmt.str "%d items to %d" (List.length items) ctx.origin);
             ( t.config.costs.result_msg_send,
               fun () ->
-                deliver t ~src:site.id ~oq ~label:"result"
+                let span =
+                  Hf_obs.Tracer.start t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+                    ~site:site.id ~phase:Hf_obs.Span.Ship
+                    (Fmt.str "result->%d" ctx.origin)
+                in
+                Hf_obs.Tracer.set_detail t.tracer span
+                  (Fmt.str "%d item(s)" (List.length items));
+                deliver t ~src:site.id ~oq ~label:"result" ~span
                   ~transit:t.config.costs.result_msg_transit ~dst:ctx.origin
                   (Results { query = ctx.query; payload; bindings; piggybacked = to_origin;
-                             src = site.id })
+                             src = site.id; span })
                   (fun dsite message -> handle_message t dsite message) ))
       end
     end
@@ -665,15 +752,25 @@ module Make (D : Hf_termination.Detector.S) = struct
   and handle_message t site message =
     let costs = t.config.costs in
     match message with
-    | Work { groups; src } -> (
+    | Work { groups; src; span } -> (
         (* Resolve each group's context up front; groups whose query is
            no longer open are skipped (their credit is lost, exactly as
-           a per-item message for a closed query was). *)
+           a per-item message for a closed query was).  A fresh context
+           parents its evaluation span on the work message's span; a
+           site that already held a context records the arrival as an
+           instant so the causal edge still shows in the trace. *)
         let resolved =
           List.filter_map
             (fun (query, items, tag) ->
-              match context_of t site query with
-              | Some ctx -> Some (ctx, items, tag)
+              let existed = Hashtbl.mem site.contexts query in
+              match context_of t ~cause:span site query with
+              | Some ctx ->
+                if existed then
+                  ignore
+                    (Hf_obs.Tracer.instant t.tracer ~parent:span ~query:(qname query)
+                       ~site:site.id ~phase:Hf_obs.Span.Recv
+                       (Fmt.str "work-recv x%d" (List.length items)));
+                Some (ctx, items, tag)
               | None -> None)
             groups
         in
@@ -698,7 +795,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                       enqueue t site (process_one t site ctx))
                     items)
                 resolved ))
-    | Results { query; payload; bindings; piggybacked; src } -> (
+    | Results { query; payload; bindings; piggybacked; src; span } -> (
         match find_open t query with
         | None -> (0.0, fun () -> ())
         | Some oq ->
@@ -719,6 +816,10 @@ module Make (D : Hf_termination.Detector.S) = struct
           in
           Metrics.add_busy oq.metrics site.id duration;
           record t site.id "result-recv" (Fmt.str "%d new items" (List.length new_items));
+          ignore
+            (Hf_obs.Tracer.instant t.tracer ~parent:span ~query:(qname query)
+               ~site:site.id ~phase:Hf_obs.Span.Recv
+               (Fmt.str "result-recv x%d" (List.length new_items)));
           ( duration,
             fun () ->
               List.iter
@@ -742,8 +843,8 @@ module Make (D : Hf_termination.Detector.S) = struct
                       (D.on_recv_control ctx.detector ~src payload)
                       (send_control t ~src:site.id ctx))
                   piggybacked ))
-    | Control { query; payload; src } -> (
-        match context_of t site query with
+    | Control { query; payload; src; span } -> (
+        match context_of t ~cause:span site query with
         | None -> (0.0, fun () -> ())
         | Some ctx ->
           (match find_open t query with
@@ -757,8 +858,8 @@ module Make (D : Hf_termination.Detector.S) = struct
               | None -> ()
               | Some oq ->
                 handle_detector_result t oq result (send_control t ~src:site.id ctx) ))
-    | Seed_from { query; from; tag; src } -> (
-        match context_of t site query with
+    | Seed_from { query; from; tag; src; span } -> (
+        match context_of t ~cause:span site query with
         | None -> (0.0, fun () -> ())
         | Some ctx ->
           ( costs.msg_recv,
@@ -799,11 +900,16 @@ module Make (D : Hf_termination.Detector.S) = struct
   let open_query t ~origin program =
     let query = { Hf_proto.Message.originator = origin; serial = t.next_serial } in
     t.next_serial <- t.next_serial + 1;
+    let span =
+      Hf_obs.Tracer.start t.tracer ~query:(qname query) ~site:origin
+        ~phase:Hf_obs.Span.Query "query"
+    in
     let oq =
       {
         id = query;
         program;
         start_time = Hf_sim.Sim.now t.sim;
+        span;
         metrics = Metrics.create ~n_sites:(n_sites t);
         final_results = [];
         final_set = Oid.Set.empty;
@@ -956,9 +1062,14 @@ module Make (D : Hf_termination.Detector.S) = struct
                  (fun dst ->
                    let tag = D.on_send_work ctx.detector ~dst in
                    oq.metrics.Metrics.work_messages <- oq.metrics.Metrics.work_messages + 1;
-                   deliver t ~src:origin ~oq:(Some oq) ~label:"seed"
+                   let span =
+                     Hf_obs.Tracer.start t.tracer ~parent:ctx.span ~query:(qname oq.id)
+                       ~site:origin ~phase:Hf_obs.Span.Ship
+                       (Fmt.str "seed->%d" dst)
+                   in
+                   deliver t ~src:origin ~oq:(Some oq) ~label:"seed" ~span
                      ~transit:t.config.costs.msg_transit ~dst
-                     (Seed_from { query = oq.id; from; tag; src = origin })
+                     (Seed_from { query = oq.id; from; tag; src = origin; span })
                      (fun dsite message -> handle_message t dsite message))
                  remote_sites;
                maybe_drain t origin_site ctx )));

@@ -9,27 +9,38 @@ type event = {
   detail : string;
 }
 
-type t = { mutable events : event list; mutable count : int; limit : int }
+type t = {
+  mutable events : event list;
+  mutable count : int;
+  limit : int;
+  mutable dropped : int; (* events past [limit], counted not kept *)
+}
 
-let create ?(limit = 100_000) () = { events = []; count = 0; limit }
+let create ?(limit = 100_000) () = { events = []; count = 0; limit; dropped = 0 }
 
 let record t ~time ~site ~kind ~detail =
   if t.count < t.limit then begin
     t.events <- { time; site; kind; detail } :: t.events;
     t.count <- t.count + 1
   end
+  else t.dropped <- t.dropped + 1
 
 let events t = List.rev t.events
 
 let count t = t.count
+
+let dropped t = t.dropped
 
 let count_kind t kind =
   List.fold_left (fun acc e -> if String.equal e.kind kind then acc + 1 else acc) 0 t.events
 
 let clear t =
   t.events <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let pp_event ppf e = Fmt.pf ppf "%8.4f site%-2d %-12s %s" e.time e.site e.kind e.detail
 
-let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_event) (events t)
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_event) (events t);
+  if t.dropped > 0 then Fmt.pf ppf "@,... and %d dropped event(s) past the limit" t.dropped

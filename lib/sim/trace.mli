@@ -5,7 +5,8 @@ type event = { time : float; site : int; kind : string; detail : string }
 type t
 
 val create : ?limit:int -> unit -> t
-(** Recording stops after [limit] events (default 100_000). *)
+(** Recording stops after [limit] events (default 100_000); later
+    events are counted in {!dropped} so truncation is detectable. *)
 
 val record : t -> time:float -> site:int -> kind:string -> detail:string -> unit
 
@@ -13,6 +14,10 @@ val events : t -> event list
 (** In recording order. *)
 
 val count : t -> int
+
+val dropped : t -> int
+(** Events that arrived after the limit was reached; {!pp} reports the
+    count when non-zero. *)
 
 val count_kind : t -> string -> int
 

@@ -19,6 +19,9 @@ type t = {
   mutable recovered : Credit.t; (* meaningful at the origin only *)
   mutable splits : int; (* instrumentation *)
   mutable returns : int;
+  mutable deepest_split : int;
+      (* largest atom exponent ever given away: how finely the credit
+         was diced by the query's fan-out *)
 }
 
 type tag = Credit.t
@@ -29,7 +32,15 @@ let name = "weighted"
 
 let create ~n_sites ~origin ~self =
   Detector.check_args ~n_sites ~origin ~self;
-  { self; origin; held = Credit.zero; recovered = Credit.zero; splits = 0; returns = 0 }
+  {
+    self;
+    origin;
+    held = Credit.zero;
+    recovered = Credit.zero;
+    splits = 0;
+    returns = 0;
+    deepest_split = 0;
+  }
 
 let on_seed t =
   assert (t.self = t.origin);
@@ -38,6 +49,9 @@ let on_seed t =
 let on_send_work t ~dst:_ =
   let keep, give = Credit.split t.held in
   t.splits <- t.splits + 1;
+  (match Credit.max_exponent give with
+   | Some k when k > t.deepest_split -> t.deepest_split <- k
+   | _ -> ());
   t.held <- keep;
   give
 
@@ -79,3 +93,11 @@ let recovered t = t.recovered
 let splits t = t.splits
 
 let return_messages t = t.returns
+
+let deepest_split t = t.deepest_split
+
+let register ?(prefix = "hf.termination") t registry =
+  let c name read = Hf_obs.Registry.register_counter registry (prefix ^ "." ^ name) read in
+  c "credit_splits" (fun () -> t.splits);
+  c "credit_returns" (fun () -> t.returns);
+  c "deepest_split" (fun () -> t.deepest_split)

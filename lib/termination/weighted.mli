@@ -23,3 +23,12 @@ val splits : t -> int
 
 val return_messages : t -> int
 (** Number of credit-return control messages emitted by this site. *)
+
+val deepest_split : t -> int
+(** Largest atom exponent ever given away by this site — how finely the
+    query's fan-out diced the unit credit (an atom of exponent [k] is
+    worth 2{^-k}). *)
+
+val register : ?prefix:string -> t -> Hf_obs.Registry.t -> unit
+(** Install the split/return counters as views in [registry] under
+    [prefix] (default ["hf.termination"]). *)

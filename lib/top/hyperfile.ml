@@ -80,6 +80,14 @@ module Synthetic = Hf_workload.Synthetic
 module Workload_queries = Hf_workload.Queries
 module File_server = Hf_baseline.File_server
 
+(** {1 Observability} *)
+
+module Span = Hf_obs.Span
+module Tracer = Hf_obs.Tracer
+module Histogram = Hf_obs.Histogram
+module Registry = Hf_obs.Registry
+module Json = Hf_obs.Json
+
 (** {1 Utilities} *)
 
 module Prng = Hf_util.Prng

@@ -1,0 +1,399 @@
+(* Tests for the observability layer: log-bucketed histograms, the
+   metrics registry, the span tracer and its exports, the traced wire
+   envelope, and a golden causal-chain test on a 2-site cluster — the
+   PR's acceptance property that every remote-site span has a parent on
+   the originating site. *)
+
+module Histogram = Hf_obs.Histogram
+module Registry = Hf_obs.Registry
+module Tracer = Hf_obs.Tracer
+module Span = Hf_obs.Span
+module Json = Hf_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- histogram: bucket boundaries -------------------------------------- *)
+
+let test_bucket_edges () =
+  (* bucket 0 catches zero and negatives *)
+  check_int "zero" 0 (Histogram.bucket_index 0.0);
+  check_int "negative" 0 (Histogram.bucket_index (-3.0));
+  (* the overflow bucket catches huge values *)
+  check_int "overflow" (Histogram.n_buckets - 1) (Histogram.bucket_index 1e300);
+  (* interior buckets: lo inclusive, hi exclusive *)
+  for i = 1 to Histogram.n_buckets - 2 do
+    let lo, hi = Histogram.bucket_bounds i in
+    check_int (Printf.sprintf "lo of bucket %d" i) i (Histogram.bucket_index lo);
+    check_int (Printf.sprintf "hi of bucket %d" i) (i + 1) (Histogram.bucket_index hi);
+    check_bool (Printf.sprintf "lo < hi at %d" i) true (lo < hi)
+  done;
+  (* a value strictly inside its bucket's bounds *)
+  let i = Histogram.bucket_index 2.5 in
+  let lo, hi = Histogram.bucket_bounds i in
+  check_bool "2.5 within bounds" true (lo <= 2.5 && 2.5 < hi)
+
+let test_bucket_nan_rejected () =
+  check_bool "bucket_index nan raises" true
+    (match Histogram.bucket_index nan with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let h = Histogram.create () in
+  check_bool "observe nan raises" true
+    (match Histogram.observe h nan with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- histogram: percentiles match Hf_util.Stats ------------------------ *)
+
+let test_percentiles_match_stats () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = Histogram.create () in
+  Array.iter (Histogram.observe h) samples;
+  let expected = Hf_util.Stats.summarize samples in
+  match Histogram.summary h with
+  | None -> Alcotest.fail "summary on non-empty histogram"
+  | Some s ->
+      check_int "count" expected.Hf_util.Stats.count s.Hf_util.Stats.count;
+      check_float "mean" expected.Hf_util.Stats.mean s.Hf_util.Stats.mean;
+      check_float "p50" expected.Hf_util.Stats.p50 s.Hf_util.Stats.p50;
+      check_float "p90" expected.Hf_util.Stats.p90 s.Hf_util.Stats.p90;
+      check_float "p99" expected.Hf_util.Stats.p99 s.Hf_util.Stats.p99;
+      check_float "min" expected.Hf_util.Stats.min s.Hf_util.Stats.min;
+      check_float "max" expected.Hf_util.Stats.max s.Hf_util.Stats.max
+
+let test_empty_summary () =
+  check_bool "empty histogram has no summary" true
+    (Histogram.summary (Histogram.create ()) = None)
+
+let test_reservoir_bound () =
+  let h = Histogram.create ~sample_limit:8 () in
+  for i = 1 to 20 do
+    Histogram.observe h (float_of_int i)
+  done;
+  check_int "count includes all" 20 (Histogram.count h);
+  check_int "dropped past the reservoir" 12 (Histogram.dropped_samples h);
+  (* exact aggregates still include dropped samples *)
+  check_float "sum" 210.0 (Histogram.sum h);
+  match Histogram.summary h with
+  | None -> Alcotest.fail "summary"
+  | Some s ->
+      check_int "summary count" 20 s.Hf_util.Stats.count;
+      check_float "summary max exact" 20.0 s.Hf_util.Stats.max
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 1.0; 2.0 ];
+  List.iter (Histogram.observe b) [ 4.0; 8.0; 16.0 ];
+  let m = Histogram.merge a b in
+  check_int "merged count" 5 (Histogram.count m);
+  check_float "merged sum" 31.0 (Histogram.sum m);
+  check_int "inputs untouched" 2 (Histogram.count a);
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 (Histogram.buckets m) in
+  check_int "bucket counts add up" 5 total
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_views () =
+  let r = Registry.create () in
+  let hits = ref 0 in
+  Registry.register_counter r "hf.test.hits" (fun () -> !hits);
+  Registry.register_gauge r "hf.test.load" (fun () -> 0.5);
+  let h = Registry.histogram r "hf.test.latency_s" in
+  Histogram.observe h 0.25;
+  hits := 7;
+  (* views read live storage at report time *)
+  (match Registry.find r "hf.test.hits" with
+  | Some (Registry.Counter read) -> check_int "live counter" 7 (read ())
+  | _ -> Alcotest.fail "counter lookup");
+  let owned = Registry.counter r "hf.test.owned" in
+  incr owned;
+  (match Registry.find r "hf.test.owned" with
+  | Some (Registry.Counter read) -> check_int "owned counter" 1 (read ())
+  | _ -> Alcotest.fail "owned lookup");
+  check_int "names registered" 4 (List.length (Registry.names r))
+
+let test_registry_duplicate_rejected () =
+  let r = Registry.create () in
+  Registry.register_counter r "hf.test.x" (fun () -> 0);
+  check_bool "duplicate raises" true
+    (match Registry.register_counter r "hf.test.x" (fun () -> 1) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "empty name raises" true
+    (match Registry.register_gauge r "" (fun () -> 0.0) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_registry_json_sorted () =
+  let r = Registry.create () in
+  Registry.register_counter r "hf.test.b" (fun () -> 2);
+  Registry.register_counter r "hf.test.a" (fun () -> 1);
+  match Registry.to_json r with
+  | Json.Obj fields ->
+      Alcotest.(check (list string))
+        "sorted by name" [ "hf.test.a"; "hf.test.b" ] (List.map fst fields)
+  | _ -> Alcotest.fail "registry json is an object"
+
+(* --- tracer ------------------------------------------------------------- *)
+
+let test_noop_tracer () =
+  let t = Tracer.noop in
+  check_bool "disabled" false (Tracer.enabled t);
+  let id = Tracer.start t ~query:"q" ~site:0 ~phase:Span.Query "root" in
+  check_int "noop start returns 0" 0 id;
+  Tracer.finish t id;
+  check_int "nothing recorded" 0 (Tracer.count t)
+
+let test_span_nesting () =
+  let clock = ref 0.0 in
+  let t = Tracer.create ~clock:(fun () -> !clock) () in
+  let root = Tracer.start t ~query:"q1@0" ~site:0 ~phase:Span.Query "query" in
+  clock := 1.0;
+  let child = Tracer.start t ~parent:root ~query:"q1@0" ~site:0 ~phase:Span.Eval "site-eval" in
+  clock := 2.0;
+  Tracer.finish t child;
+  clock := 3.0;
+  Tracer.finish t root ~detail:"done";
+  match Tracer.spans t with
+  | [ r; c ] ->
+      check_int "root is a root" 0 r.Span.parent;
+      check_int "child parents on root" root c.Span.parent;
+      check_bool "ids distinct and positive" true (root > 0 && child > 0 && root <> child);
+      check_float "child duration" 1.0 (Span.duration c);
+      check_float "root duration" 3.0 (Span.duration r);
+      Alcotest.(check string) "detail recorded" "done" r.Span.detail
+  | spans -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length spans))
+
+let test_tracer_limit_and_dropped () =
+  let t = Tracer.create ~limit:2 () in
+  for i = 1 to 5 do
+    ignore (Tracer.instant t ~query:"q" ~site:0 ~phase:Span.Flush (Printf.sprintf "e%d" i))
+  done;
+  check_int "retained up to limit" 2 (Tracer.count t);
+  check_int "rest counted as dropped" 3 (Tracer.dropped t);
+  Tracer.clear t;
+  check_int "clear resets count" 0 (Tracer.count t);
+  check_int "clear resets dropped" 0 (Tracer.dropped t)
+
+let test_instant_is_zero_duration () =
+  let t = Tracer.create ~clock:(fun () -> 42.0) () in
+  ignore (Tracer.instant t ~query:"q" ~site:3 ~phase:Span.Drain "drain");
+  match Tracer.spans t with
+  | [ s ] ->
+      check_float "start = finish" s.Span.start s.Span.finish;
+      check_int "site" 3 s.Span.site
+  | _ -> Alcotest.fail "one span"
+
+let test_exports () =
+  let t = Tracer.create () in
+  let root = Tracer.start t ~query:"q1@0" ~site:0 ~phase:Span.Query "query" in
+  let child = Tracer.start t ~parent:root ~query:"q1@0" ~site:1 ~phase:Span.Eval "site-eval" in
+  Tracer.finish t child;
+  Tracer.finish t root;
+  let jsonl = Tracer.to_jsonl t in
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  check_int "one JSONL line per span" 2 (List.length lines);
+  List.iter
+    (fun l -> check_bool "line is an object" true (String.length l > 0 && l.[0] = '{'))
+    lines;
+  let chrome = Tracer.to_chrome_json t in
+  check_bool "chrome export has traceEvents" true (contains "traceEvents" chrome);
+  check_bool "chrome export has complete events" true (contains "\"ph\":\"X\"" chrome);
+  check_bool "chrome export has flow arrows" true (contains "\"ph\":\"s\"" chrome)
+
+(* --- sim trace: dropped counter (satellite) ----------------------------- *)
+
+let test_sim_trace_dropped () =
+  let tr = Hf_sim.Trace.create ~limit:2 () in
+  for i = 1 to 5 do
+    Hf_sim.Trace.record tr ~time:(float_of_int i) ~site:0 ~kind:"k" ~detail:""
+  done;
+  check_int "recorded up to limit" 2 (Hf_sim.Trace.count tr);
+  check_int "dropped past limit" 3 (Hf_sim.Trace.dropped tr);
+  let rendered = Fmt.str "%a" Hf_sim.Trace.pp tr in
+  check_bool "pp reports the drop" true (contains "dropped" rendered);
+  Hf_sim.Trace.clear tr;
+  check_int "clear resets dropped" 0 (Hf_sim.Trace.dropped tr)
+
+(* --- traced wire envelope ----------------------------------------------- *)
+
+let sample_message =
+  Hf_proto.Message.Credit_return
+    { query = { Hf_proto.Message.originator = 0; serial = 3 }; credit = [ 2; 5 ] }
+
+let test_codec_traced_roundtrip () =
+  let encoded = Hf_proto.Codec.encode ~span:9001 sample_message in
+  match Hf_proto.Codec.decode_traced encoded with
+  | Error e -> Alcotest.fail e
+  | Ok (m, span) ->
+      check_int "span survives the wire" 9001 span;
+      check_bool "message survives the wire" true (Hf_proto.Message.equal sample_message m)
+
+let test_codec_untraced_bytes_identical () =
+  (* span 0 (and no span) must not change the encoding: PR 1 byte
+     compatibility, and E10's message-size claim. *)
+  let plain = Hf_proto.Codec.encode sample_message in
+  Alcotest.(check string) "span:0 is byte-identical" plain
+    (Hf_proto.Codec.encode ~span:0 sample_message);
+  (match Hf_proto.Codec.decode_traced plain with
+  | Ok (m, span) ->
+      check_int "untraced decodes to span 0" 0 span;
+      check_bool "message intact" true (Hf_proto.Message.equal sample_message m)
+  | Error e -> Alcotest.fail e);
+  (* plain decode ignores the envelope *)
+  match Hf_proto.Codec.decode (Hf_proto.Codec.encode ~span:77 sample_message) with
+  | Ok m -> check_bool "decode drops the span" true (Hf_proto.Message.equal sample_message m)
+  | Error e -> Alcotest.fail e
+
+(* --- golden causal chain on a 2-site cluster ---------------------------- *)
+
+module C = Hf_server.Instances.Weighted
+module Cluster = Hf_server.Cluster
+
+let test_causal_chain_two_sites () =
+  let tracer = Tracer.create () in
+  let cluster = C.create ~tracer ~n_sites:2 () in
+  let s0 = C.store cluster 0 and s1 = C.store cluster 1 in
+  (* A at site 0 points to B at site 1: the query must hop. *)
+  let a = Hf_data.Store.fresh_oid s0 in
+  let b = Hf_data.Store.fresh_oid s1 in
+  Hf_data.Store.insert s0
+    (Hf_data.Hobject.of_tuples a
+       [ Hf_data.Tuple.number ~key:"id" 0; Hf_data.Tuple.pointer ~key:"R" b ]);
+  (* leaf terminator self-pointer, as the workload generator does
+     (EXPERIMENTS.md D5): without a matching pointer tuple the leaf dies
+     in the traversal body before the trailing filter. *)
+  Hf_data.Store.insert s1
+    (Hf_data.Hobject.of_tuples b
+       [ Hf_data.Tuple.number ~key:"id" 1; Hf_data.Tuple.pointer ~key:"R" b ]);
+  let program =
+    Hf_query.Parser.parse_program "[ (Pointer, \"R\", ?X) ^^X ]* (Number, \"id\", ?)"
+  in
+  let outcome = C.run_query cluster ~origin:0 program [ a ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_int "both objects matched" 2 (List.length outcome.Cluster.results);
+  let spans = Tracer.spans tracer in
+  check_bool "spans recorded" true (spans <> []);
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Span.id s) spans;
+  let find_span id = Hashtbl.find_opt by_id id in
+  (* every non-root span's parent exists: no orphans *)
+  List.iter
+    (fun s ->
+      if s.Span.parent <> 0 then
+        check_bool
+          (Printf.sprintf "parent of span %d resolves" s.Span.id)
+          true
+          (find_span s.Span.parent <> None))
+    spans;
+  (* the golden chain: remote Eval (site 1) -> Ship (site 0) ->
+     origin Eval or Query root (site 0). *)
+  let remote_eval =
+    List.find_opt (fun s -> s.Span.site = 1 && s.Span.phase = Span.Eval) spans
+  in
+  (match remote_eval with
+  | None -> Alcotest.fail "no Eval span on the remote site"
+  | Some re -> (
+      match find_span re.Span.parent with
+      | Some ship ->
+          check_bool "remote eval caused by a Ship span" true (ship.Span.phase = Span.Ship);
+          check_int "ship originates at site 0" 0 ship.Span.site;
+          check_bool "ship has positive duration (closed at arrival)" true
+            (Span.duration ship > 0.0);
+          (match find_span ship.Span.parent with
+          | Some origin ->
+              check_int "ship caused from site 0" 0 origin.Span.site;
+              check_bool "ship parents on origin Eval" true (origin.Span.phase = Span.Eval)
+          | None -> Alcotest.fail "ship span has no parent")
+      | None -> Alcotest.fail "remote eval has no parent"));
+  (* walking parents from any span terminates at the one Query root *)
+  let rec root_of s =
+    if s.Span.parent = 0 then s
+    else
+      match find_span s.Span.parent with
+      | Some p -> root_of p
+      | None -> Alcotest.fail "broken parent chain"
+  in
+  let roots =
+    List.sort_uniq compare (List.map (fun s -> (root_of s).Span.id) spans)
+  in
+  check_int "single causal root" 1 (List.length roots);
+  (match find_span (List.hd roots) with
+  | Some r -> check_bool "root is a Query span" true (r.Span.phase = Span.Query)
+  | None -> assert false);
+  (* and with tracing off, the same run records nothing *)
+  let quiet = C.create ~n_sites:2 () in
+  let q0 = C.store quiet 0 and q1 = C.store quiet 1 in
+  let a' = Hf_data.Store.fresh_oid q0 in
+  let b' = Hf_data.Store.fresh_oid q1 in
+  Hf_data.Store.insert q0
+    (Hf_data.Hobject.of_tuples a'
+       [ Hf_data.Tuple.number ~key:"id" 0; Hf_data.Tuple.pointer ~key:"R" b' ]);
+  Hf_data.Store.insert q1
+    (Hf_data.Hobject.of_tuples b'
+       [ Hf_data.Tuple.number ~key:"id" 1; Hf_data.Tuple.pointer ~key:"R" b' ]);
+  let outcome' = C.run_query quiet ~origin:0 program [ a' ] in
+  check_bool "untraced run terminates" true outcome'.Cluster.terminated;
+  check_float "untraced timing identical" outcome.Cluster.response_time
+    outcome'.Cluster.response_time;
+  check_int "noop tracer recorded nothing" 0 (Tracer.count (C.tracer quiet))
+
+(* --- json serializer ----------------------------------------------------- *)
+
+let test_json_serializer () =
+  let doc =
+    Json.Obj
+      [ ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null; Json.Str "x\"y\n" ]);
+        ("nan", Json.Float nan);
+        ("f", Json.Float 1.5);
+      ]
+  in
+  Alcotest.(check string)
+    "escapes and nan-as-null" "{\"a\":1,\"b\":[true,null,\"x\\\"y\\n\"],\"nan\":null,\"f\":1.5}"
+    (Json.to_string doc)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+          Alcotest.test_case "nan rejected" `Quick test_bucket_nan_rejected;
+          Alcotest.test_case "percentiles match Stats" `Quick test_percentiles_match_stats;
+          Alcotest.test_case "empty summary" `Quick test_empty_summary;
+          Alcotest.test_case "reservoir bound" `Quick test_reservoir_bound;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "live views" `Quick test_registry_views;
+          Alcotest.test_case "duplicates rejected" `Quick test_registry_duplicate_rejected;
+          Alcotest.test_case "json sorted" `Quick test_registry_json_sorted;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "noop" `Quick test_noop_tracer;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "limit and dropped" `Quick test_tracer_limit_and_dropped;
+          Alcotest.test_case "instant" `Quick test_instant_is_zero_duration;
+          Alcotest.test_case "exports" `Quick test_exports;
+        ] );
+      ("sim-trace", [ Alcotest.test_case "dropped counter" `Quick test_sim_trace_dropped ]);
+      ( "codec",
+        [
+          Alcotest.test_case "traced roundtrip" `Quick test_codec_traced_roundtrip;
+          Alcotest.test_case "untraced bytes identical" `Quick
+            test_codec_untraced_bytes_identical;
+        ] );
+      ( "causal-chain",
+        [ Alcotest.test_case "two-site golden trace" `Quick test_causal_chain_two_sites ] );
+      ("json", [ Alcotest.test_case "serializer" `Quick test_json_serializer ]);
+    ]
