@@ -1,0 +1,125 @@
+(* hfcheck: static analysis of HyperFile's distributed-correctness
+   invariants over dune's .cmt typed trees.
+
+     dune build @check && dune exec bin/hfcheck.exe
+
+   Exits 0 when every error-severity finding is fixed, suppressed by an
+   [@hf.allow "rule -- justification"] attribute, or recorded in the
+   baseline file; exits 1 otherwise, 2 on usage/setup problems. *)
+
+let default_build_dir = "_build/default"
+
+let scope_of_prefixes prefixes source =
+  List.exists
+    (fun prefix ->
+      String.length source >= String.length prefix
+      && String.sub source 0 (String.length prefix) = prefix)
+    prefixes
+
+let run build_dir json_out baseline_file write_baseline all prefixes =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then begin
+    Fmt.epr "hfcheck: build directory %s not found — run 'dune build @check' first@."
+      build_dir;
+    exit 2
+  end;
+  let baseline =
+    match baseline_file with
+    | Some path when not write_baseline -> Some (Hf_analysis.Allow.load_baseline path)
+    | _ -> None
+  in
+  let default = Hf_analysis.Driver.default_config ?baseline () in
+  let config =
+    if all then
+      {
+        default with
+        Hf_analysis.Driver.scope = (fun _ -> true);
+        io_scope = (fun _ -> true);
+      }
+    else
+      match prefixes with
+      | [] -> default
+      | prefixes -> { default with Hf_analysis.Driver.scope = scope_of_prefixes prefixes }
+  in
+  let report = Hf_analysis.Driver.analyze_tree config build_dir in
+  if report.Hf_analysis.Driver.files_analyzed = 0 then begin
+    Fmt.epr "hfcheck: no .cmt files in scope under %s — run 'dune build @check' first@."
+      build_dir;
+    exit 2
+  end;
+  (match json_out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Hf_obs.Json.to_string (Hf_analysis.Driver.report_to_json report));
+        output_char oc '\n')
+  | None -> ());
+  (match (write_baseline, baseline_file) with
+  | true, Some path ->
+    Hf_analysis.Allow.save_baseline path report.Hf_analysis.Driver.findings;
+    Fmt.pr "hfcheck: wrote %d finding(s) to baseline %s@."
+      (List.length report.Hf_analysis.Driver.findings)
+      path
+  | true, None ->
+    Fmt.epr "hfcheck: --write-baseline needs --baseline FILE@.";
+    exit 2
+  | false, _ -> ());
+  Fmt.pr "%a" Hf_analysis.Driver.pp_report report;
+  if Hf_analysis.Driver.errors report <> [] && not write_baseline then exit 1
+
+open Cmdliner
+
+let build_dir =
+  let doc = "Build context to scan for .cmt files." in
+  Arg.(value & opt string default_build_dir & info [ "build" ] ~docv:"DIR" ~doc)
+
+let json_out =
+  let doc = "Write the report as JSON (schema hyperfile-hfcheck/1) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let baseline_file =
+  let doc =
+    "Baseline file of '$(i,rule file:line)' keys; findings listed there are reported as \
+     baselined and do not fail the run."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let write_baseline =
+  let doc = "Write the current unsuppressed findings to the --baseline file and exit 0." in
+  Arg.(value & flag & info [ "write-baseline" ] ~doc)
+
+let all =
+  let doc = "Analyze every compilation unit, including test/ and examples/." in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+let prefixes =
+  let doc =
+    "Source-path prefixes to analyze (default: lib/ and bin/). The io rule is always \
+     scoped to lib/."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"PREFIX" ~doc)
+
+let cmd =
+  let doc = "static analysis of HyperFile distributed-correctness invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads typed trees (.cmt) from the dune build context and checks: poly-compare \
+         (R1) — no polymorphic equality/ordering/hashing at types containing Oid.t or \
+         Value.t; codec-tag (R2) — wire-tag uniqueness, encoder/decoder parity, tag 127 \
+         reserved; guarded-by (R3) — [@hf.guarded_by] fields touched only under their \
+         lock wrapper; swallow (R4) — no 'try ... with _ -> ()'; io (R5) — no direct \
+         printing from lib/.";
+      `P
+        "Suppress a finding with [@hf.allow \"rule -- justification\"] at the offending \
+         expression, binding or field, or grandfather it in a baseline file.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "hfcheck" ~doc ~man)
+    Term.(const run $ build_dir $ json_out $ baseline_file $ write_baseline $ all $ prefixes)
+
+let () = exit (Cmd.eval cmd)

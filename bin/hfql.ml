@@ -116,7 +116,9 @@ let repl ~sites ~objects ~seed ~origin =
     | Some line when String.trim line = ":sets" ->
       List.iter
         (fun (name, oids) -> Fmt.pr "  %-12s %d object(s)@." name (List.length oids))
-        (List.sort compare (Hf_client.Embedded.sets server));
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (Hf_client.Embedded.sets server));
       loop ()
     | Some line ->
       (match Hf_client.Embedded.query ~origin server line with

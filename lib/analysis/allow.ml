@@ -1,0 +1,224 @@
+(* Explicit suppression for hfcheck findings.
+
+   Two mechanisms, both deliberate and reviewable:
+
+   - [@hf.allow "rule[,rule] -- justification"] attributes attached to
+     an expression, a value binding, a record field, or (as a floating
+     [@@@hf.allow ...]) a whole file.  The justification after ["--"]
+     is mandatory: an allow without one is itself a finding
+     ([allow-syntax]), so suppressions stay auditable.
+
+   - a committed baseline file of ["rule file:line"] keys, for grand-
+     fathering findings during an incremental cleanup (see Driver). *)
+
+let canonical_rules =
+  [ "poly-compare"; "codec-tag"; "guarded-by"; "swallow"; "io"; "allow-syntax" ]
+
+(* Short aliases accepted in attribute payloads. *)
+let aliases =
+  [
+    ("r1", "poly-compare");
+    ("r2", "codec-tag");
+    ("r3", "guarded-by");
+    ("r4", "swallow");
+    ("r5", "io");
+  ]
+
+let canonicalize rule =
+  let rule = String.lowercase_ascii (String.trim rule) in
+  match List.assoc_opt rule aliases with
+  | Some canonical -> Some canonical
+  | None -> if List.mem rule canonical_rules then Some rule else None
+
+type region = {
+  rules : string list;  (* canonical ids this region suppresses *)
+  justification : string;
+  file : string;
+  start_cnum : int;
+  end_cnum : int;
+}
+
+(* --- payload parsing --- *)
+
+let attr_name (attr : Parsetree.attribute) = attr.Parsetree.attr_name.Location.txt
+
+let string_payload (attr : Parsetree.attribute) =
+  match attr.Parsetree.attr_payload with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+(* Split ["rules -- justification"] at the first [" -- "]. *)
+let split_justification payload =
+  let sep = " -- " in
+  let n = String.length payload and k = String.length sep in
+  let rec find i =
+    if i + k > n then None
+    else if String.sub payload i k = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    (String.sub payload 0 i, String.trim (String.sub payload (i + k) (n - i - k)))
+  | None -> (payload, "")
+
+(* Parse one [@hf.allow] payload into (rules, justification, errors). *)
+let parse_allow ~loc payload =
+  let rules_part, justification = split_justification payload in
+  let rule_names =
+    String.split_on_char ',' rules_part |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rules, errors =
+    List.fold_left
+      (fun (rules, errors) name ->
+        match canonicalize name with
+        | Some canonical -> (canonical :: rules, errors)
+        | None ->
+          ( rules,
+            Finding.make ~rule:"allow-syntax" ~severity:Finding.Error loc
+              (Fmt.str "unknown rule %S in [@hf.allow] (known: %s)" name
+                 (String.concat ", " canonical_rules))
+            :: errors ))
+      ([], []) rule_names
+  in
+  let errors =
+    if rule_names = [] then
+      Finding.make ~rule:"allow-syntax" ~severity:Finding.Error loc
+        "[@hf.allow] needs a payload: \"rule[,rule] -- justification\""
+      :: errors
+    else if justification = "" then
+      Finding.make ~rule:"allow-syntax" ~severity:Finding.Error loc
+        "[@hf.allow] needs a justification: \"rule -- why this is safe\""
+      :: errors
+    else errors
+  in
+  (List.rev rules, justification, List.rev errors)
+
+(* --- collection from a typed tree --- *)
+
+type collection = { mutable regions : region list; mutable errors : Finding.t list }
+
+let region_of ~(loc : Location.t) rules justification =
+  {
+    rules;
+    justification;
+    file = loc.Location.loc_start.Lexing.pos_fname;
+    start_cnum = loc.Location.loc_start.Lexing.pos_cnum;
+    end_cnum = loc.Location.loc_end.Lexing.pos_cnum;
+  }
+
+let harvest acc ~(scope : Location.t) (attrs : Parsetree.attributes) =
+  List.iter
+    (fun attr ->
+      if attr_name attr = "hf.allow" then begin
+        let attr_loc = attr.Parsetree.attr_loc in
+        match string_payload attr with
+        | None ->
+          acc.errors <-
+            Finding.make ~rule:"allow-syntax" ~severity:Finding.Error attr_loc
+              "[@hf.allow] payload must be a string literal"
+            :: acc.errors
+        | Some payload ->
+          let rules, justification, errors = parse_allow ~loc:attr_loc payload in
+          acc.errors <- List.rev_append errors acc.errors;
+          if rules <> [] && errors = [] then
+            acc.regions <- region_of ~loc:scope rules justification :: acc.regions
+      end)
+    attrs
+
+let whole_file_scope =
+  let pos name = { Lexing.pos_fname = name; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 } in
+  fun name ->
+    {
+      Location.loc_start = pos name;
+      loc_end = { (pos name) with Lexing.pos_cnum = max_int };
+      loc_ghost = true;
+    }
+
+let collect (structure : Typedtree.structure) =
+  let acc = { regions = []; errors = [] } in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    harvest acc ~scope:e.exp_loc e.exp_attributes;
+    default.expr sub e
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    harvest acc ~scope:vb.vb_loc vb.vb_attributes;
+    default.value_binding sub vb
+  in
+  let type_declaration sub (decl : Typedtree.type_declaration) =
+    (match decl.typ_kind with
+    | Ttype_record labels ->
+      List.iter
+        (fun (ld : Typedtree.label_declaration) ->
+          harvest acc ~scope:ld.ld_loc ld.ld_attributes)
+        labels
+    | _ -> ());
+    harvest acc ~scope:decl.typ_loc decl.typ_attributes;
+    default.type_declaration sub decl
+  in
+  let structure_item sub (item : Typedtree.structure_item) =
+    (match item.str_desc with
+    | Tstr_attribute attr ->
+      (* [@@@hf.allow ...]: file-wide scope. *)
+      harvest acc
+        ~scope:(whole_file_scope item.str_loc.Location.loc_start.Lexing.pos_fname)
+        [ attr ]
+    | _ -> ());
+    default.structure_item sub item
+  in
+  let iterator =
+    { default with expr; value_binding; type_declaration; structure_item }
+  in
+  iterator.structure iterator structure;
+  (acc.regions, List.rev acc.errors)
+
+let suppresses region (finding : Finding.t) =
+  region.file = finding.Finding.file
+  && region.start_cnum <= finding.Finding.cnum
+  && finding.Finding.cnum <= region.end_cnum
+  && List.mem finding.Finding.rule region.rules
+
+let suppressed_by regions finding = List.exists (fun r -> suppresses r finding) regions
+
+(* --- baseline files --- *)
+
+let load_baseline path =
+  let table = Hashtbl.create 16 in
+  (match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+              Hashtbl.replace table line ()
+          done
+        with End_of_file -> ())
+  | exception Sys_error _ -> ());
+  table
+
+let save_baseline path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "# hfcheck baseline: one \"rule file:line\" key per line.\n";
+      output_string oc "# Regenerate with: hfcheck --write-baseline <this file>\n";
+      List.iter
+        (fun finding ->
+          output_string oc (Finding.key finding);
+          output_char oc '\n')
+        (List.sort_uniq Finding.compare findings))
+
+let in_baseline table finding = Hashtbl.mem table (Finding.key finding)

@@ -1,0 +1,34 @@
+(** Suppression of hfcheck findings: [@hf.allow] attributes and
+    committed baseline files. *)
+
+val canonical_rules : string list
+
+val canonicalize : string -> string option
+(** Resolve a rule name or alias ([R1]..[R5], case-insensitive) to its
+    canonical id. *)
+
+val attr_name : Parsetree.attribute -> string
+
+val string_payload : Parsetree.attribute -> string option
+(** The payload when it is a single string literal. *)
+
+type region = {
+  rules : string list;
+  justification : string;
+  file : string;
+  start_cnum : int;
+  end_cnum : int;
+}
+
+val collect : Typedtree.structure -> region list * Finding.t list
+(** All [@hf.allow] regions in a typed tree, plus [allow-syntax]
+    findings for malformed payloads (unknown rule, missing
+    justification). *)
+
+val suppressed_by : region list -> Finding.t -> bool
+
+val load_baseline : string -> (string, unit) Hashtbl.t
+(** Missing file loads as an empty baseline. *)
+
+val save_baseline : string -> Finding.t list -> unit
+val in_baseline : (string, unit) Hashtbl.t -> Finding.t -> bool

@@ -1,0 +1,45 @@
+(* Loading dune-produced .cmt files.
+
+   dune compiles every module with [-bin-annot], leaving
+   [_build/default/<dir>/.<lib>.objs/byte/<Mod>.cmt] files whose typed
+   trees carry source locations relative to the build-context root —
+   exactly the repo-relative [lib/foo/bar.ml] paths findings report. *)
+
+type unit_info = {
+  cmt_path : string;
+  source : string;  (* e.g. "lib/proto/codec.ml" *)
+  structure : Typedtree.structure;
+}
+
+type failure = { cmt_path : string; reason : string }
+
+let read path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Cmt_format.Implementation structure; cmt_sourcefile = Some source; _ } ->
+    Ok (Some { cmt_path = path; source; structure })
+  | _ -> Ok None (* interface, pack or partial cmt: nothing to analyze *)
+  | exception Cmi_format.Error _ -> Error { cmt_path = path; reason = "bad cmi/cmt format" }
+  | exception Sys_error reason -> Error { cmt_path = path; reason }
+  | exception Failure reason -> Error { cmt_path = path; reason }
+
+let ends_with ~suffix s =
+  let n = String.length s and k = String.length suffix in
+  n >= k && String.sub s (n - k) k = suffix
+
+(* All .cmt files under [root], in a stable order. *)
+let scan root =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path
+          else if ends_with ~suffix:".cmt" path then acc := path :: !acc)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  if Sys.file_exists root && Sys.is_directory root then walk root;
+  List.rev !acc

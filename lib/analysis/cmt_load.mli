@@ -1,0 +1,15 @@
+(** Loading dune-produced [.cmt] files. *)
+
+type unit_info = {
+  cmt_path : string;
+  source : string;  (** build-context-relative, e.g. ["lib/proto/codec.ml"]. *)
+  structure : Typedtree.structure;
+}
+
+type failure = { cmt_path : string; reason : string }
+
+val read : string -> (unit_info option, failure) result
+(** [Ok None] for interfaces/packs; [Error] for unreadable files. *)
+
+val scan : string -> string list
+(** All [.cmt] paths under a directory, sorted; [] if it is missing. *)

@@ -1,0 +1,121 @@
+(* Orchestration: scan a build tree, run the rules over every
+   implementation cmt in scope, apply [@hf.allow] regions and the
+   baseline, and render text/JSON reports. *)
+
+type config = {
+  scope : string -> bool;  (* which source files are analyzed at all *)
+  io_scope : string -> bool;  (* where R5 (io) applies *)
+  baseline : (string, unit) Hashtbl.t option;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let default_config ?baseline () =
+  {
+    scope =
+      (fun source -> starts_with ~prefix:"lib/" source || starts_with ~prefix:"bin/" source);
+    io_scope = (fun source -> starts_with ~prefix:"lib/" source);
+    baseline;
+  }
+
+type report = {
+  findings : Finding.t list;  (* unsuppressed, sorted *)
+  suppressed : int;  (* silenced by [@hf.allow] *)
+  baselined : int;  (* silenced by the baseline file *)
+  files_analyzed : int;
+  failures : Cmt_load.failure list;  (* unreadable cmt files *)
+}
+
+let errors report =
+  List.filter (fun f -> f.Finding.severity = Finding.Error) report.findings
+
+(* Findings for one typed tree: rule output plus allow-syntax errors,
+   with out-of-scope R5 findings dropped and suppression regions applied. *)
+let analyze_unit config (unit_info : Cmt_load.unit_info) =
+  let raw = Rules.run unit_info.structure in
+  let regions, allow_errors = Allow.collect unit_info.structure in
+  let raw =
+    List.filter
+      (fun f -> f.Finding.rule <> "io" || config.io_scope f.Finding.file)
+      raw
+    @ allow_errors
+  in
+  let suppressed, kept = List.partition (Allow.suppressed_by regions) raw in
+  let baselined, kept =
+    match config.baseline with
+    | None -> ([], kept)
+    | Some table -> List.partition (Allow.in_baseline table) kept
+  in
+  (kept, List.length suppressed, List.length baselined)
+
+let analyze_units config units =
+  let findings, suppressed, baselined =
+    List.fold_left
+      (fun (fs, s, b) unit_info ->
+        let kept, suppressed, baselined = analyze_unit config unit_info in
+        (List.rev_append kept fs, s + suppressed, b + baselined))
+      ([], 0, 0) units
+  in
+  {
+    findings = List.sort_uniq Finding.compare findings;
+    suppressed;
+    baselined;
+    files_analyzed = List.length units;
+    failures = [];
+  }
+
+let load_units config root =
+  let units, failures =
+    List.fold_left
+      (fun (units, failures) cmt_path ->
+        match Cmt_load.read cmt_path with
+        | Ok (Some unit_info) ->
+          if config.scope unit_info.Cmt_load.source then (unit_info :: units, failures)
+          else (units, failures)
+        | Ok None -> (units, failures)
+        | Error failure -> (units, failure :: failures))
+      ([], []) (Cmt_load.scan root)
+  in
+  (List.rev units, List.rev failures)
+
+let analyze_tree config root =
+  let units, failures = load_units config root in
+  let report = analyze_units config units in
+  { report with failures }
+
+(* --- reporters --------------------------------------------------------- *)
+
+let pp_report ppf report =
+  List.iter (fun finding -> Fmt.pf ppf "%a@." Finding.pp finding) report.findings;
+  List.iter
+    (fun (failure : Cmt_load.failure) ->
+      Fmt.pf ppf "hfcheck: cannot read %s (%s)@." failure.cmt_path failure.reason)
+    report.failures;
+  let errors = List.length (errors report) in
+  let warnings = List.length report.findings - errors in
+  Fmt.pf ppf "hfcheck: %d error(s), %d warning(s) in %d file(s)" errors warnings
+    report.files_analyzed;
+  if report.suppressed > 0 then Fmt.pf ppf "; %d suppressed by [@hf.allow]" report.suppressed;
+  if report.baselined > 0 then Fmt.pf ppf "; %d baselined" report.baselined;
+  Fmt.pf ppf "@."
+
+let report_to_json report : Hf_obs.Json.t =
+  Obj
+    [
+      ("schema", Str "hyperfile-hfcheck/1");
+      ("files_analyzed", Int report.files_analyzed);
+      ("errors", Int (List.length (errors report)));
+      ("warnings", Int (List.length report.findings - List.length (errors report)));
+      ("suppressed", Int report.suppressed);
+      ("baselined", Int report.baselined);
+      ("findings", List (List.map Finding.to_json report.findings));
+      ( "failures",
+        List
+          (List.map
+             (fun (failure : Cmt_load.failure) ->
+               Hf_obs.Json.Obj
+                 [ ("cmt", Str failure.cmt_path); ("reason", Str failure.reason) ])
+             report.failures) );
+    ]

@@ -1,0 +1,31 @@
+(** hfcheck orchestration: scan, analyze, suppress, report. *)
+
+type config = {
+  scope : string -> bool;  (** which source files are analyzed at all. *)
+  io_scope : string -> bool;  (** where the [io] rule applies. *)
+  baseline : (string, unit) Hashtbl.t option;
+}
+
+val default_config : ?baseline:(string, unit) Hashtbl.t -> unit -> config
+(** Analyze [lib/] and [bin/]; apply the [io] rule to [lib/] only. *)
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed, sorted. *)
+  suppressed : int;
+  baselined : int;
+  files_analyzed : int;
+  failures : Cmt_load.failure list;
+}
+
+val errors : report -> Finding.t list
+(** Error-severity findings: any means a nonzero exit. *)
+
+val analyze_unit : config -> Cmt_load.unit_info -> Finding.t list * int * int
+(** (kept findings, suppressed count, baselined count) for one unit. *)
+
+val analyze_units : config -> Cmt_load.unit_info list -> report
+val load_units : config -> string -> Cmt_load.unit_info list * Cmt_load.failure list
+val analyze_tree : config -> string -> report
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Hf_obs.Json.t

@@ -1,0 +1,65 @@
+(* A single diagnostic produced by an hfcheck rule.
+
+   Findings carry a stable rule id, a source position taken from the
+   typed tree (so [file:line:col] points into the real .ml file, not
+   the cmt), and a severity: [Error] findings fail the build, [Warning]
+   findings are advisory and never affect the exit code. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (* canonical rule id, e.g. "poly-compare" *)
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  cnum : int;  (* absolute char offset; used for suppression regions *)
+  message : string;
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    severity;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    cnum = p.Lexing.pos_cnum;
+    message;
+  }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* Baseline key: deliberately excludes the column and message so small
+   edits to a flagged line do not invalidate a committed baseline. *)
+let key t = Fmt.str "%s %s:%d" t.rule t.file t.line
+
+let pp ppf t =
+  Fmt.pf ppf "%s:%d:%d: %s [%s] %s" t.file t.line t.col (severity_label t.severity)
+    t.rule t.message
+
+let to_json t : Hf_obs.Json.t =
+  Obj
+    [
+      ("rule", Str t.rule);
+      ("severity", Str (severity_label t.severity));
+      ("file", Str t.file);
+      ("line", Int t.line);
+      ("col", Int t.col);
+      ("message", Str t.message);
+    ]

@@ -4,7 +4,21 @@
     name also carries a {e presumed current site} hint used to route
     dereferences; the hint is advisory and excluded from equality,
     ordering and hashing.  The birth site is the final arbiter of an
-    object's actual location when the hint is stale. *)
+    object's actual location when the hint is stale.
+
+    {2 Equality semantics}
+
+    Two names denote the same object iff their (birth site, serial)
+    pairs agree — always use [equal]/[compare]/[hash] (or [Table],
+    [Set], [Map] below), never the polymorphic operators.  Structural
+    comparison also sees the presumed-site hint, so [Stdlib.(=)] can
+    report two names for the same object as different whenever one
+    arrived over a connection that refreshed its hint.  Downstream that
+    shows up as silent re-evaluation (a mark-table miss reprocesses the
+    object) or duplicated results (a result set admits the object
+    twice), and only on runs where hints drifted — the worst kind of
+    nondeterminism.  hfcheck rule R1 (poly-compare) rejects polymorphic
+    equality, ordering and hashing at any type containing [t]. *)
 
 type t
 

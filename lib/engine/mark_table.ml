@@ -31,7 +31,7 @@ end
 module Key_set = Set.Make (Key)
 
 type t = {
-  table : Key_set.t Hf_data.Oid.Table.t;
+  table : Key_set.t Hf_data.Oid.Table.t; [@hf.guarded_by "locked"]
   lock : Mutex.t option;
       (* Set for the shared-memory multiprocessor engine (paper,
          Section 6), where several domains share one mark table.  Races

@@ -32,21 +32,26 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type out_conn = {
   fd : Unix.file_descr;
-  queue : string Queue.t;
+  queue : string Queue.t; [@hf.guarded_by "conn_locked"]
   queue_mutex : Mutex.t;
   queue_cond : Condition.t;
-  closing : bool ref;
+  closing : bool ref; [@hf.guarded_by "conn_locked"]
   mutable writer : Thread.t option;
 }
 
+let conn_locked conn f =
+  Mutex.lock conn.queue_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.queue_mutex) f
+
 let writer_loop conn () =
   let rec next () =
-    Mutex.lock conn.queue_mutex;
-    while Queue.is_empty conn.queue && not !(conn.closing) do
-      Condition.wait conn.queue_cond conn.queue_mutex
-    done;
-    let item = if Queue.is_empty conn.queue then None else Some (Queue.pop conn.queue) in
-    Mutex.unlock conn.queue_mutex;
+    let item =
+      conn_locked conn (fun () ->
+          while Queue.is_empty conn.queue && not !(conn.closing) do
+            Condition.wait conn.queue_cond conn.queue_mutex
+          done;
+          if Queue.is_empty conn.queue then None else Some (Queue.pop conn.queue))
+    in
     match item with
     | None -> () (* closing *)
     | Some frame -> (
@@ -82,38 +87,45 @@ let open_out_conn addr =
   conn
 
 let conn_send conn frame =
-  Mutex.lock conn.queue_mutex;
-  Queue.push frame conn.queue;
-  Condition.signal conn.queue_cond;
-  Mutex.unlock conn.queue_mutex
+  conn_locked conn (fun () ->
+      Queue.push frame conn.queue;
+      Condition.signal conn.queue_cond)
 
-let conn_close conn =
-  Mutex.lock conn.queue_mutex;
-  conn.closing := true;
-  Condition.signal conn.queue_cond;
-  Mutex.unlock conn.queue_mutex;
-  (match conn.writer with Some thread -> (try Thread.join thread with _ -> ()) | None -> ());
+(* A writer thread that refuses to die (blocked in a signal handler,
+   say) should not make shutdown raise: the join failure is counted in
+   [join_errors] — surfaced as hf.net.join_errors — and the socket is
+   closed regardless. *)
+let conn_close ~join_errors conn =
+  conn_locked conn (fun () ->
+      conn.closing := true;
+      Condition.signal conn.queue_cond);
+  (match conn.writer with
+  | Some thread -> ( try Thread.join thread with _ -> Atomic.incr join_errors)
+  | None -> ());
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 (* --- per-query state --- *)
 
+(* Every mutable part of a context is owned by the site lock: handlers
+   and [run_query] only touch contexts inside [locked]. *)
 type context = {
   plan : Hf_engine.Plan.t;
   origin : int;
   span : int; (* this site's evaluation span for the query *)
   marks : Hf_engine.Mark_table.t;
-  work : Hf_engine.Work_item.t Hf_util.Deque.t;
+  work : Hf_engine.Work_item.t Hf_util.Deque.t; [@hf.guarded_by "locked"]
   stats : Hf_engine.Stats.t;
-  mutable held : Credit.t; (* weighted-termination credit at this site *)
-  mutable result_buffer : Hf_data.Oid.t list;
-  bindings : (string, Hf_data.Value.t list) Hashtbl.t;
-  mutable local_result_set : Hf_data.Oid.Set.t;
+  mutable held : Credit.t; [@hf.guarded_by "locked"]
+      (* weighted-termination credit at this site *)
+  mutable result_buffer : Hf_data.Oid.t list; [@hf.guarded_by "locked"]
+  bindings : (string, Hf_data.Value.t list) Hashtbl.t; [@hf.guarded_by "locked"]
+  mutable local_result_set : Hf_data.Oid.Set.t; [@hf.guarded_by "locked"]
   (* origin-side only *)
-  mutable recovered : Credit.t;
-  mutable final_results : Hf_data.Oid.t list; (* newest first *)
-  mutable final_set : Hf_data.Oid.Set.t;
-  final_bindings : (string, Hf_data.Value.t list) Hashtbl.t;
-  mutable terminated : bool;
+  mutable recovered : Credit.t; [@hf.guarded_by "locked"]
+  mutable final_results : Hf_data.Oid.t list; [@hf.guarded_by "locked"] (* newest first *)
+  mutable final_set : Hf_data.Oid.Set.t; [@hf.guarded_by "locked"]
+  final_bindings : (string, Hf_data.Value.t list) Hashtbl.t; [@hf.guarded_by "locked"]
+  mutable terminated : bool; [@hf.guarded_by "locked"]
 }
 
 type t = {
@@ -126,13 +138,14 @@ type t = {
   listener : Unix.file_descr;
   address : Unix.sockaddr;
   mutable peers : Unix.sockaddr array; (* index = site id *)
-  conns : (int, out_conn) Hashtbl.t;
+  conns : (int, out_conn) Hashtbl.t; [@hf.guarded_by "locked"]
   lock : Mutex.t; (* guards contexts, store access during queries, conns *)
   done_cond : Condition.t; (* signalled when a local query terminates *)
-  contexts : (Message.query_id, context) Hashtbl.t;
-  mutable next_serial : int;
+  contexts : (Message.query_id, context) Hashtbl.t; [@hf.guarded_by "locked"]
+  mutable next_serial : int; [@hf.guarded_by "locked"]
   mutable running : bool;
-  mutable threads : Thread.t list;
+  mutable threads : Thread.t list; [@hf.guarded_by "locked"]
+  join_errors : int Atomic.t; (* threads that could not be joined on close *)
   (* observability.  Sites sharing one tracer (same process, as in
      tests and the demo) get cross-site spans: the wire carries the
      sender's span id and the receiver closes it on arrival, so a work
@@ -143,9 +156,9 @@ type t = {
   sent_frame_bytes : Hf_obs.Histogram.t; (* per-message encoded size *)
   query_rtt : Hf_obs.Histogram.t; (* run_query wall time, seconds *)
   (* transport metrics *)
-  mutable messages_sent : int;
-  mutable bytes_sent : int;
-  mutable messages_received : int;
+  mutable messages_sent : int; [@hf.guarded_by "locked"]
+  mutable bytes_sent : int; [@hf.guarded_by "locked"]
+  mutable messages_received : int; [@hf.guarded_by "locked"]
 }
 
 let locate oid = Hf_data.Oid.birth_site oid
@@ -175,6 +188,7 @@ let send t ?(span = 0) ~dst message =
     t.bytes_sent <- t.bytes_sent + String.length payload;
     Hf_obs.Histogram.observe t.sent_frame_bytes (float_of_int (String.length payload));
     conn_send conn (Hf_proto.Frame.frame payload)
+[@@hf.requires_lock "locked"]
 
 (* --- query contexts --- *)
 
@@ -207,6 +221,7 @@ let new_context t ?(cause = 0) ~query ~origin program =
   in
   Hashtbl.replace t.contexts query ctx;
   ctx
+[@@hf.requires_lock "locked"]
 
 let merge_bindings table extra =
   List.iter
@@ -223,6 +238,7 @@ let credit_recovered t query ctx credit =
     Log.debug (fun m -> m "site %d: query %a terminated" t.id Message.pp_query_id query);
     Condition.broadcast t.done_cond
   end
+[@@hf.requires_lock "locked"]
 
 (* Ship a batch of work items to [dst], splitting the sender's credit
    once for the whole batch.  A single item goes as a plain
@@ -274,6 +290,7 @@ let send_work_batch t query ctx ~dst items =
                 credit;
               };
             ]))
+[@@hf.requires_lock "locked"]
 
 (* Process the working set to empty, then ship buffered results (credit
    riding along) to the originator.  Runs under the site lock.
@@ -367,6 +384,7 @@ let process_to_drain t query ctx =
         (Message.Credit_return { query; credit = Credit.atoms credit })
     end
   end
+[@@hf.requires_lock "locked"]
 
 (* --- incoming messages --- *)
 
@@ -485,6 +503,7 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.no
       next_serial = 0;
       running = true;
       threads = [];
+      join_errors = Atomic.make 0;
       tracer;
       registry;
       sent_frame_bytes;
@@ -495,11 +514,16 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.no
     }
   in
   Hf_obs.Registry.register_counter registry "hf.net.messages_sent" (fun () ->
-      t.messages_sent);
-  Hf_obs.Registry.register_counter registry "hf.net.bytes_sent" (fun () -> t.bytes_sent);
+      locked t (fun () -> t.messages_sent));
+  Hf_obs.Registry.register_counter registry "hf.net.bytes_sent" (fun () ->
+      locked t (fun () -> t.bytes_sent));
   Hf_obs.Registry.register_counter registry "hf.net.messages_received" (fun () ->
-      t.messages_received);
-  t.threads <- [ Thread.create (accept_loop t) () ];
+      locked t (fun () -> t.messages_received));
+  Hf_obs.Registry.register_counter registry "hf.net.join_errors" (fun () ->
+      Atomic.get t.join_errors);
+  (* Cons, not assign: the accept loop may already have registered a
+     reader thread by the time this runs. *)
+  locked t (fun () -> t.threads <- Thread.create (accept_loop t) () :: t.threads);
   t
 
 let address t = t.address
@@ -519,7 +543,7 @@ let shutdown t =
     t.running <- false;
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     locked t (fun () ->
-        Hashtbl.iter (fun _ conn -> conn_close conn) t.conns;
+        Hashtbl.iter (fun _ conn -> conn_close ~join_errors:t.join_errors conn) t.conns;
         Hashtbl.reset t.conns)
   end
 
@@ -537,9 +561,9 @@ type outcome = {
 
 let run_query ?(timeout = 10.0) (t : t) program initial =
   let started = Unix.gettimeofday () in
-  let sent_before = t.messages_sent and bytes_before = t.bytes_sent in
-  let query, ctx, root_span =
+  let query, ctx, root_span, sent_before, bytes_before =
     locked t (fun () ->
+        let sent_before = t.messages_sent and bytes_before = t.bytes_sent in
         let query = { Message.originator = t.id; serial = t.next_serial } in
         t.next_serial <- t.next_serial + 1;
         let root_span =
@@ -565,7 +589,7 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
           (fun (dst, items) -> send_work_batch t query ctx ~dst items)
           (Hf_proto.Batch.flush_all out);
         process_to_drain t query ctx;
-        (query, ctx, root_span))
+        (query, ctx, root_span, sent_before, bytes_before))
   in
   (* Wait for termination, or time out (e.g. a crashed peer).  The
      stdlib's Condition.wait has no timeout, so a ticker thread pokes
@@ -578,32 +602,31 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
       (fun () ->
         while not !stop_ticker do
           Thread.delay 0.02;
-          Mutex.lock t.lock;
-          Condition.broadcast t.done_cond;
-          Mutex.unlock t.lock
+          locked t (fun () -> Condition.broadcast t.done_cond)
         done)
       ()
   in
-  Mutex.lock t.lock;
-  while (not ctx.terminated) && Unix.gettimeofday () < deadline do
-    Condition.wait t.done_cond t.lock
-  done;
   let outcome =
-    {
-      results = List.rev ctx.final_results;
-      result_set = ctx.final_set;
-      bindings =
-        Hashtbl.fold (fun target values acc -> (target, values) :: acc) ctx.final_bindings []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
-      terminated = ctx.terminated;
-      response_time = Unix.gettimeofday () -. started;
-      messages_sent = t.messages_sent - sent_before;
-      bytes_sent = t.bytes_sent - bytes_before;
-    }
+    locked t (fun () ->
+        while (not ctx.terminated) && Unix.gettimeofday () < deadline do
+          Condition.wait t.done_cond t.lock
+        done;
+        {
+          results = List.rev ctx.final_results;
+          result_set = ctx.final_set;
+          bindings =
+            Hashtbl.fold
+              (fun target values acc -> (target, values) :: acc)
+              ctx.final_bindings []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+          terminated = ctx.terminated;
+          response_time = Unix.gettimeofday () -. started;
+          messages_sent = t.messages_sent - sent_before;
+          bytes_sent = t.bytes_sent - bytes_before;
+        })
   in
-  Mutex.unlock t.lock;
   stop_ticker := true;
-  (try Thread.join ticker with _ -> ());
+  (try Thread.join ticker with _ -> Atomic.incr t.join_errors);
   Hf_obs.Histogram.observe t.query_rtt outcome.response_time;
   Hf_obs.Tracer.finish t.tracer ctx.span;
   Hf_obs.Tracer.finish t.tracer root_span

@@ -17,51 +17,47 @@
 type shared = {
   mutex : Mutex.t;
   not_empty : Condition.t;
-  work : Hf_engine.Work_item.t Hf_util.Deque.t;
-  mutable idle : int;
-  mutable finished : bool;
-  mutable result_set : Hf_data.Oid.Set.t;
-  bindings : (string, Hf_data.Value.t list) Hashtbl.t;
+  work : Hf_engine.Work_item.t Hf_util.Deque.t; [@hf.guarded_by "locked"]
+  mutable idle : int; [@hf.guarded_by "locked"]
+  mutable finished : bool; [@hf.guarded_by "locked"]
+  mutable result_set : Hf_data.Oid.Set.t; [@hf.guarded_by "locked"]
+  bindings : (string, Hf_data.Value.t list) Hashtbl.t; [@hf.guarded_by "locked"]
 }
 
+let locked shared f =
+  Mutex.lock shared.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shared.mutex) f
+
 let push_spawned shared items =
-  if items <> [] then begin
-    Mutex.lock shared.mutex;
-    List.iter (fun item -> Hf_util.Deque.push_back shared.work item) items;
-    Condition.broadcast shared.not_empty;
-    Mutex.unlock shared.mutex
-  end
+  if items <> [] then
+    locked shared (fun () ->
+        List.iter (fun item -> Hf_util.Deque.push_back shared.work item) items;
+        Condition.broadcast shared.not_empty)
 
 (* Take the next item, or detect global termination: the working set is
    empty and every other domain is already idle. *)
 let next_item shared ~domains =
-  Mutex.lock shared.mutex;
-  let rec await () =
-    match Hf_util.Deque.pop_front shared.work with
-    | Some item ->
-      Mutex.unlock shared.mutex;
-      Some item
-    | None ->
-      if shared.finished then begin
-        Mutex.unlock shared.mutex;
-        None
-      end
-      else begin
-        shared.idle <- shared.idle + 1;
-        if shared.idle = domains then begin
-          shared.finished <- true;
-          Condition.broadcast shared.not_empty;
-          Mutex.unlock shared.mutex;
-          None
-        end
-        else begin
-          Condition.wait shared.not_empty shared.mutex;
-          shared.idle <- shared.idle - 1;
-          await ()
-        end
-      end
-  in
-  await ()
+  locked shared (fun () ->
+      let rec await () =
+        match Hf_util.Deque.pop_front shared.work with
+        | Some item -> Some item
+        | None ->
+          if shared.finished then None
+          else begin
+            shared.idle <- shared.idle + 1;
+            if shared.idle = domains then begin
+              shared.finished <- true;
+              Condition.broadcast shared.not_empty;
+              None
+            end
+            else begin
+              Condition.wait shared.not_empty shared.mutex;
+              shared.idle <- shared.idle - 1;
+              await ()
+            end
+          end
+      in
+      await ())
 
 let worker shared ~domains ~plan ~find ~marks () =
   let stats = Hf_engine.Stats.create () in
@@ -81,18 +77,17 @@ let worker shared ~domains ~plan ~find ~marks () =
   in
   loop ();
   (* Merge worker-local results under the lock. *)
-  Mutex.lock shared.mutex;
-  List.iter
-    (fun oid -> shared.result_set <- Hf_data.Oid.Set.add oid shared.result_set)
-    !passed;
-  List.iter
-    (fun (target, values) ->
-      let existing =
-        match Hashtbl.find_opt shared.bindings target with None -> [] | Some v -> v
-      in
-      Hashtbl.replace shared.bindings target (existing @ values))
-    (List.rev !local_bindings);
-  Mutex.unlock shared.mutex;
+  locked shared (fun () ->
+      List.iter
+        (fun oid -> shared.result_set <- Hf_data.Oid.Set.add oid shared.result_set)
+        !passed;
+      List.iter
+        (fun (target, values) ->
+          let existing =
+            match Hashtbl.find_opt shared.bindings target with None -> [] | Some v -> v
+          in
+          Hashtbl.replace shared.bindings target (existing @ values))
+        (List.rev !local_bindings));
   stats
 
 let run ?(domains = 2) ~find program initial =
@@ -110,9 +105,11 @@ let run ?(domains = 2) ~find program initial =
       bindings = Hashtbl.create 8;
     }
   in
-  List.iter
-    (fun oid -> Hf_util.Deque.push_back shared.work (Hf_engine.Work_item.initial plan oid))
-    initial;
+  locked shared (fun () ->
+      List.iter
+        (fun oid ->
+          Hf_util.Deque.push_back shared.work (Hf_engine.Work_item.initial plan oid))
+        initial);
   let helpers =
     List.init (domains - 1) (fun _ ->
         Domain.spawn (worker shared ~domains ~plan ~find ~marks))
@@ -123,17 +120,15 @@ let run ?(domains = 2) ~find program initial =
       (fun acc d -> Hf_engine.Stats.merge acc (Domain.join d))
       own_stats helpers
   in
-  stats.Hf_engine.Stats.results <- Hf_data.Oid.Set.cardinal shared.result_set;
-  let bindings =
-    Hashtbl.fold (fun target values acc -> (target, values) :: acc) shared.bindings []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  (* All domains are joined; the lock is only for the checker's benefit. *)
+  let result_set, bindings =
+    locked shared (fun () ->
+        ( shared.result_set,
+          Hashtbl.fold (fun target values acc -> (target, values) :: acc) shared.bindings []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b) ))
   in
-  {
-    Hf_engine.Local.results = Hf_data.Oid.Set.elements shared.result_set;
-    result_set = shared.result_set;
-    bindings;
-    stats;
-  }
+  stats.Hf_engine.Stats.results <- Hf_data.Oid.Set.cardinal result_set;
+  { Hf_engine.Local.results = Hf_data.Oid.Set.elements result_set; result_set; bindings; stats }
 
 let run_store ?domains ~store program initial =
   run ?domains ~find:(Hf_data.Store.find store) program initial

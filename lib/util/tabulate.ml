@@ -55,5 +55,3 @@ let render ?(indent = 0) columns rows =
   Buffer.add_char buf '\n';
   List.iter (fun row -> emit_row row aligns) rows;
   Buffer.contents buf
-
-let print ?indent columns rows = print_string (render ?indent columns rows)

@@ -12,6 +12,6 @@ val right : string -> column
 
 val render : ?indent:int -> column list -> string list list -> string
 (** [render columns rows] lays the rows out under a header rule. Raises
-    [Invalid_argument] if any row's width differs from the header's. *)
-
-val print : ?indent:int -> column list -> string list list -> unit
+    [Invalid_argument] if any row's width differs from the header's.
+    Printing the result is the caller's business — reporters live in
+    bin/, per hfcheck rule R5. *)

@@ -1,0 +1,6 @@
+(* hfcheck fixture: malformed suppressions are themselves findings, and
+   do not silence the original violation. *)
+
+let missing_justification f = (try f () with _ -> ()) [@hf.allow "swallow"]
+
+let unknown_rule f = (try f () with _ -> ()) [@hf.allow "no-such-rule -- whatever"]

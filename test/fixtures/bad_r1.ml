@@ -1,0 +1,16 @@
+(* hfcheck fixture: every binding here must trip R1 (poly-compare). *)
+
+let bad_equal (a : Hf_data.Oid.t) b = a = b (* line 3 *)
+
+let bad_compare (a : Hf_data.Oid.t) b = compare a b (* line 5 *)
+
+let bad_hash (o : Hf_data.Oid.t) = Hashtbl.hash o (* line 7 *)
+
+let bad_mem (o : Hf_data.Oid.t) os = List.mem o os (* line 9 *)
+
+let bad_hashtbl (table : (Hf_data.Oid.t, int) Hashtbl.t) o =
+  Hashtbl.find_opt table o (* line 12 *)
+
+let bad_value_eq (a : Hf_data.Value.t) b = a <> b (* line 14 *)
+
+let bad_function_eq (f : int -> int) g = f = g (* line 16 *)

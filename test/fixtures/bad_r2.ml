@@ -1,0 +1,25 @@
+(* hfcheck fixture for R2 (codec-tag): a toy codec with a duplicate
+   wire tag, a use of the reserved envelope tag 127, and an
+   encoder/decoder tag mismatch. *)
+
+type shape = Circle of int | Square of int | Diamond
+
+let write_u8 buf n = Buffer.add_char buf (Char.chr n)
+
+let read_u8 (s, pos) = Char.code s.[pos]
+
+let write_shape buf shape =
+  match shape with
+  | Circle r ->
+    write_u8 buf 0;
+    write_u8 buf r
+  | Square s ->
+    write_u8 buf 0 (* duplicate tag: already used by Circle *);
+    write_u8 buf s
+  | Diamond -> write_u8 buf 127 (* reserved traced-envelope tag *)
+
+let read_shape input =
+  match read_u8 input with
+  | 0 -> Circle 1
+  | 2 -> Square 2 (* mismatch: writer emits 0 for Square *)
+  | _ -> Diamond

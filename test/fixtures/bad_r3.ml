@@ -1,0 +1,21 @@
+(* hfcheck fixture for R3 (guarded-by): [count] may only be touched
+   inside [locked]; [bad_increment] races. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable count : int; [@hf.guarded_by "locked"]
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let good_increment t = locked t (fun () -> t.count <- t.count + 1)
+
+let good_read t = locked t (fun () -> t.count)
+
+let bad_increment t = t.count <- t.count + 1 (* line 17: unguarded write *)
+
+let bad_read t = t.count (* line 19: unguarded read *)
+
+let annotated_read t = t.count [@@hf.requires_lock "locked"]

@@ -1,0 +1,10 @@
+(* hfcheck fixture for R4 (swallow): both handlers drop the exception. *)
+
+let swallow_unit f = try f () with _ -> () (* line 3 *)
+
+let swallow_default f = match f () with n -> n | exception _ -> 0 (* line 5 *)
+
+let typed_handler_ok f = try f () with Not_found -> () (* specific: fine *)
+
+let counting_handler_ok errors f =
+  try f () with _ -> incr errors (* side effect: fine *)

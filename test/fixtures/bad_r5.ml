@@ -1,0 +1,5 @@
+(* hfcheck fixture for R5 (io): library code printing to stdout. *)
+
+let announce name = print_endline name (* line 3 *)
+
+let debug_dump x = Printf.printf "%d\n" x (* line 5 *)

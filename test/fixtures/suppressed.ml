@@ -1,0 +1,13 @@
+(* hfcheck fixture: real violations silenced by [@hf.allow] with a
+   justification — must produce zero unsuppressed findings. *)
+
+let eq_suppressed (a : Hf_data.Oid.t) b =
+  (a = b) [@hf.allow "poly-compare -- fixture: demonstrates expression-level suppression"]
+
+let swallow_suppressed f =
+  (try f () with _ -> ())
+  [@hf.allow "swallow -- fixture: demonstrates suppressing a dropped exception"]
+
+(* Binding-level suppression through [@@...]. *)
+let hash_suppressed (o : Hf_data.Oid.t) = Hashtbl.hash o
+[@@hf.allow "R1 -- fixture: binding-level suppression, alias form"]

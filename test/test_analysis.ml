@@ -1,0 +1,177 @@
+(* hfcheck: each rule against a known-bad fixture (exact findings), a
+   known-good fixture (zero findings), suppression and baseline
+   round-trips, and a self-check that the repo's own libraries are
+   clean.  The fixtures live in test/fixtures and are compiled as an
+   ordinary (warning-silenced) library so dune produces their .cmt
+   files; this test runs from _build/default/test, so they are under
+   fixtures/. *)
+
+module A = Hf_analysis
+
+(* dune runtest runs this from _build/default/test; dune exec runs it
+   from the workspace root.  Cope with both. *)
+let in_build_test_dir = Sys.file_exists "fixtures/.hf_check_fixtures.objs"
+
+let fixtures_dir =
+  if in_build_test_dir then "fixtures/.hf_check_fixtures.objs/byte"
+  else "_build/default/test/fixtures/.hf_check_fixtures.objs/byte"
+
+let lib_build_dir = if in_build_test_dir then "../lib" else "_build/default/lib"
+
+let fixture name = Filename.concat fixtures_dir ("hf_check_fixtures__" ^ name ^ ".cmt")
+
+(* Fixtures live under test/, so both scopes are forced open. *)
+let everywhere ?baseline () =
+  {
+    (A.Driver.default_config ?baseline ()) with
+    A.Driver.scope = (fun _ -> true);
+    io_scope = (fun _ -> true);
+  }
+
+let load name =
+  match A.Cmt_load.read (fixture name) with
+  | Ok (Some unit_info) -> unit_info
+  | Ok None -> Alcotest.failf "%s: not an implementation cmt" name
+  | Error { reason; _ } -> Alcotest.failf "%s: %s" name reason
+
+let analyze ?baseline name = A.Driver.analyze_units (everywhere ?baseline ()) [ load name ]
+
+let lines rule report =
+  report.A.Driver.findings
+  |> List.filter (fun f -> f.A.Finding.rule = rule)
+  |> List.map (fun f -> f.A.Finding.line)
+  |> List.sort_uniq Int.compare
+
+let int_list = Alcotest.(list int)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_poly_compare () =
+  let report = analyze "Bad_r1" in
+  Alcotest.check int_list "poly-compare lines" [ 3; 5; 7; 9; 12; 14; 16 ]
+    (lines "poly-compare" report);
+  Alcotest.(check int) "nothing else" 7 (List.length report.A.Driver.findings)
+
+let test_codec_tag () =
+  let report = analyze "Bad_r2" in
+  Alcotest.check int_list "codec-tag lines" [ 17; 19 ] (lines "codec-tag" report);
+  let messages = List.map (fun f -> f.A.Finding.message) report.A.Driver.findings in
+  let expect fragment =
+    if not (List.exists (fun m -> contains m fragment) messages) then
+      Alcotest.failf "no finding mentions %S in %a" fragment
+        Fmt.(Dump.list string)
+        messages
+  in
+  expect "duplicate wire tag 0";
+  expect "decodes it at tag 2";
+  expect "reserved";
+  Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
+
+let test_guarded_by () =
+  let report = analyze "Bad_r3" in
+  Alcotest.check int_list "guarded-by lines" [ 17; 19 ] (lines "guarded-by" report);
+  (* line 17 is an increment: both the read and the write are flagged *)
+  Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
+
+let test_swallow () =
+  let report = analyze "Bad_r4" in
+  Alcotest.check int_list "swallow lines" [ 3; 5 ] (lines "swallow" report);
+  Alcotest.(check int) "nothing else" 2 (List.length report.A.Driver.findings)
+
+let test_io () =
+  let report = analyze "Bad_r5" in
+  Alcotest.check int_list "io lines" [ 3; 5 ] (lines "io" report);
+  Alcotest.(check int) "nothing else" 2 (List.length report.A.Driver.findings)
+
+let test_io_scoped_out () =
+  (* With the default config the io rule does not apply outside lib/. *)
+  let config =
+    { (A.Driver.default_config ()) with A.Driver.scope = (fun _ -> true) }
+  in
+  let report = A.Driver.analyze_units config [ load "Bad_r5" ] in
+  Alcotest.check int_list "io silent outside lib/" [] (lines "io" report)
+
+let test_good_clean () =
+  let report = analyze "Good_clean" in
+  Alcotest.check int_list "no findings"
+    []
+    (List.map (fun f -> f.A.Finding.line) report.A.Driver.findings);
+  Alcotest.(check int) "nothing suppressed" 0 report.A.Driver.suppressed
+
+let test_suppressed () =
+  let report = analyze "Suppressed" in
+  Alcotest.check int_list "all findings suppressed" []
+    (List.map (fun f -> f.A.Finding.line) report.A.Driver.findings);
+  Alcotest.(check int) "three suppressions" 3 report.A.Driver.suppressed
+
+let test_bad_allow () =
+  let report = analyze "Bad_allow" in
+  (* A malformed [@hf.allow] never silences the original finding, and is
+     itself reported. *)
+  Alcotest.check int_list "swallow still reported" [ 4; 6 ] (lines "swallow" report);
+  Alcotest.check int_list "malformed attributes reported" [ 4; 6 ]
+    (lines "allow-syntax" report);
+  Alcotest.(check int) "nothing suppressed" 0 report.A.Driver.suppressed
+
+let test_baseline_roundtrip () =
+  let before = analyze "Bad_r1" in
+  let count = List.length before.A.Driver.findings in
+  Alcotest.(check bool) "fixture has findings" true (count > 0);
+  let path = Filename.temp_file "hfcheck_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      A.Allow.save_baseline path before.A.Driver.findings;
+      let baseline = A.Allow.load_baseline path in
+      let after = analyze ~baseline "Bad_r1" in
+      Alcotest.check int_list "baseline silences everything" []
+        (List.map (fun f -> f.A.Finding.line) after.A.Driver.findings);
+      Alcotest.(check int) "all baselined" count after.A.Driver.baselined)
+
+let test_baseline_missing_file () =
+  let baseline = A.Allow.load_baseline "no/such/baseline.txt" in
+  Alcotest.(check int) "missing baseline is empty" 0 (Hashtbl.length baseline)
+
+let test_self_check () =
+  (* The repo's own libraries must be clean under the default config:
+     this is exactly what CI enforces. *)
+  let report = A.Driver.analyze_tree (A.Driver.default_config ()) lib_build_dir in
+  Alcotest.(check bool) "analyzed a real tree" true (report.A.Driver.files_analyzed > 20);
+  (match report.A.Driver.findings with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "repo is not hfcheck-clean:@.%a"
+      Fmt.(list ~sep:Fmt.cut A.Finding.pp)
+      findings);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "no unreadable cmts" []
+    (List.map
+       (fun { A.Cmt_load.cmt_path; reason } -> (cmt_path, reason))
+       report.A.Driver.failures)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "poly-compare fixture" `Quick test_poly_compare;
+          Alcotest.test_case "codec-tag fixture" `Quick test_codec_tag;
+          Alcotest.test_case "guarded-by fixture" `Quick test_guarded_by;
+          Alcotest.test_case "swallow fixture" `Quick test_swallow;
+          Alcotest.test_case "io fixture" `Quick test_io;
+          Alcotest.test_case "io scoped to lib/" `Quick test_io_scoped_out;
+          Alcotest.test_case "clean fixture" `Quick test_good_clean;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "hf.allow regions" `Quick test_suppressed;
+          Alcotest.test_case "malformed hf.allow" `Quick test_bad_allow;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "missing baseline" `Quick test_baseline_missing_file;
+        ] );
+      ("self", [ Alcotest.test_case "repo is clean" `Quick test_self_check ]);
+    ]
