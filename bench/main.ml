@@ -672,6 +672,86 @@ let e13_batching () =
       Fmt.pr "   result sets identical to K=1: %b@.@." !agree)
     workloads
 
+(* --- E15: loss sweep — reliable delivery under a lossy network -------- *)
+
+let e15_loss_sweep () =
+  section "E15 (extension): reliable query shipping under message loss"
+    "the paper assumes messages arrive; this sweep injects per-message loss and compares \
+     fire-and-forget (answers silently incomplete, termination credit lost) against the \
+     ack/retransmit layer of doc/fault_tolerance.md (exact answers, bought with \
+     retransmissions)";
+  let n_runs = 20 in
+  let probs = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let reliability =
+    Some { Hf_proto.Reliable.default with Hf_proto.Reliable.max_retries = 30 }
+  in
+  let run ~seed ~loss ~reliable =
+    let config =
+      { Cluster.default_config with
+        Cluster.loss;
+        jitter_seed = seed;
+        reliability = (if reliable then reliability else None);
+      }
+    in
+    let cluster, placed = fresh_cluster ~config ~n_sites:3 dataset in
+    let prng = Hf_util.Prng.create (1000 + seed) in
+    let selection = Q.random_selection prng ~n_objects:(Syn.n_objects dataset) Q.Rand10 in
+    let program = Q.closure_program ~pointer_key:(Syn.rand_key 0.50) selection in
+    C.run_query cluster ~origin:0 program [ placed.Syn.root ]
+  in
+  (* per-seed oracle: the lossless answer *)
+  let oracles =
+    List.init n_runs (fun seed -> (run ~seed ~loss:0.0 ~reliable:false).Cluster.result_set)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun reliable ->
+          let outcomes = List.init n_runs (fun seed -> run ~seed ~loss ~reliable) in
+          let exact =
+            List.fold_left2
+              (fun acc o oracle ->
+                if o.Cluster.terminated && Hf_data.Oid.Set.equal o.Cluster.result_set oracle
+                then acc + 1
+                else acc)
+              0 outcomes oracles
+          in
+          let completion = float_of_int exact /. float_of_int n_runs in
+          let mean_resp =
+            List.fold_left (fun acc o -> acc +. o.Cluster.response_time) 0.0 outcomes
+            /. float_of_int n_runs
+          in
+          let sum f = List.fold_left (fun acc o -> acc + f o.Cluster.metrics) 0 outcomes in
+          let dropped = sum (fun m -> m.Metrics.dropped_messages) in
+          let retransmits = sum (fun m -> m.Metrics.retransmits) in
+          let dup_drops = sum (fun m -> m.Metrics.dup_drops) in
+          let give_ups = sum (fun m -> m.Metrics.give_ups) in
+          let mode = if reliable then "reliable" else "plain" in
+          record_json
+            (Printf.sprintf "e15.p%02d.%s" (int_of_float ((loss *. 100.0) +. 0.5)) mode)
+            (J.Obj
+               [ ("loss", J.Float loss);
+                 ("runs", J.Int n_runs);
+                 ("completion_rate", J.Float completion);
+                 ("mean_response_s", J.Float mean_resp);
+                 ("dropped_messages", J.Int dropped);
+                 ("retransmits", J.Int retransmits);
+                 ("dup_drops", J.Int dup_drops);
+                 ("give_ups", J.Int give_ups);
+               ]);
+          rows :=
+            [ f2 loss; mode; f2 completion; f3 mean_resp; string_of_int dropped;
+              string_of_int retransmits; string_of_int dup_drops; string_of_int give_ups ]
+            :: !rows)
+        [ false; true ])
+    probs;
+  Fmt.pr "   %d runs per cell, 3 machines, 50%%-local closure workload@." n_runs;
+  print_table
+    [ Tab.right "loss p"; Tab.column "delivery"; Tab.right "complete"; Tab.right "mean resp (s)";
+      Tab.right "dropped"; Tab.right "rtx"; Tab.right "dup-drop"; Tab.right "gave-up" ]
+    (List.rev !rows)
+
 (* --- E14: index acceleration (extension beyond the paper) ------------- *)
 
 let e14_index_acceleration () =
@@ -874,6 +954,7 @@ let () =
   timed "e12" e12_shared_memory;
   timed "e13" e13_batching;
   timed "e14" e14_index_acceleration;
+  timed "e15" e15_loss_sweep;
   timed "micro" micro_benchmarks;
   Option.iter write_json json_path;
   Fmt.pr "@.done.@."

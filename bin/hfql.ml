@@ -176,7 +176,7 @@ let dump_snapshot path =
 
 (* --- TCP demo --- *)
 
-let tcp_demo ~sites ~objects ~seed ~batch ~trace =
+let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
   let module Tcp = Hf_net.Tcp_site in
   (* One shared tracer across the in-process sites: wire messages carry
      span ids, so remote spans still parent on the originating site. *)
@@ -187,7 +187,10 @@ let tcp_demo ~sites ~objects ~seed ~batch ~trace =
       let t0 = Unix.gettimeofday () in
       Hf_obs.Tracer.create ~clock:(fun () -> Unix.gettimeofday () -. t0) ()
   in
-  let endpoints = Array.init sites (fun site -> Tcp.create ~site ~batch ~tracer ()) in
+  let reliability = if reliable then Some Hf_proto.Reliable.default else None in
+  let endpoints =
+    Array.init sites (fun site -> Tcp.create ~site ~batch ?reliability ~tracer ())
+  in
   let addresses = Array.map Tcp.address endpoints in
   Array.iter (fun s -> Tcp.set_peers s addresses) endpoints;
   Array.iteri
@@ -213,13 +216,20 @@ let tcp_demo ~sites ~objects ~seed ~batch ~trace =
       (Hf_workload.Queries.select_rand10 5)
   in
   let outcome = Tcp.run_query endpoints.(0) program [ placed.Hf_workload.Synthetic.root ] in
-  Fmt.pr "closure over TCP: %d result(s), terminated=%b, %.1f ms, %d message(s), %d bytes@."
-    (List.length outcome.Tcp.results) outcome.Tcp.terminated
+  let status_text =
+    match outcome.Tcp.status with
+    | Tcp.Complete -> "complete"
+    | Tcp.Partial dead ->
+      Fmt.str "partial (unreachable: %a)" Fmt.(list ~sep:comma int) dead
+    | Tcp.Timed_out -> "timed out (peers may merely be slow)"
+  in
+  Fmt.pr "closure over TCP: %d result(s), %s, %.1f ms, %d message(s), %d bytes@."
+    (List.length outcome.Tcp.results) status_text
     (outcome.Tcp.response_time *. 1000.0)
     outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
   Array.iter Tcp.shutdown endpoints;
   finish_trace tracer trace;
-  if outcome.Tcp.terminated then 0 else 1
+  match outcome.Tcp.status with Tcp.Complete -> 0 | Tcp.Timed_out -> 1 | Tcp.Partial _ -> 2
 
 (* --- cmdliner plumbing --- *)
 
@@ -299,13 +309,20 @@ let tcp_demo_cmd =
                    paper's one-message-per-item protocol, 0 = only flush when the site \
                    drains).")
   in
-  let run sites objects seed batch trace =
+  let reliable_arg =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"Layer ack/retransmit delivery under the protocol (see \
+                   doc/fault_tolerance.md); exit status 2 marks a partial answer \
+                   (unreachable peer).")
+  in
+  let run sites objects seed batch reliable trace =
     match
       if batch = 0 then Ok Hf_proto.Batch.Flush_on_drain
       else if batch >= 1 then Ok (Hf_proto.Batch.Flush_at batch)
       else Error ()
     with
-    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch ~trace
+    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace
     | Error () ->
       Fmt.epr "hfql: --batch must be >= 0 (got %d)@." batch;
       2
@@ -314,7 +331,7 @@ let tcp_demo_cmd =
     (Cmd.info "tcp-demo"
        ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
              simulator).")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ trace_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ reliable_arg $ trace_arg)
 
 let () =
   let doc = "HyperFile filtering-query runner (paper reproduction demo)" in

@@ -43,8 +43,12 @@ let () =
       "[ (Pointer, \"Cites\", ?X) ^^X ]* (Keyword, \"distributed\", ?)"
   in
   let outcome = Tcp.run_query sites.(0) program [ oids.(0) ] in
-  Fmt.pr "closure query over TCP: %d result(s), terminated=%b, %.1f ms wall clock@."
-    (List.length outcome.Tcp.results) outcome.Tcp.terminated
+  Fmt.pr "closure query over TCP: %d result(s), %s, %.1f ms wall clock@."
+    (List.length outcome.Tcp.results)
+    (match outcome.Tcp.status with
+     | Tcp.Complete -> "complete"
+     | Tcp.Partial dead -> Fmt.str "partial (unreachable: %a)" Fmt.(list ~sep:comma int) dead
+     | Tcp.Timed_out -> "timed out")
     (outcome.Tcp.response_time *. 1000.0);
   Fmt.pr "site 0 sent %d wire message(s), %d bytes@." outcome.Tcp.messages_sent
     outcome.Tcp.bytes_sent;

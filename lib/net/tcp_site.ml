@@ -36,6 +36,10 @@ type out_conn = {
   queue_mutex : Mutex.t;
   queue_cond : Condition.t;
   closing : bool ref; [@hf.guarded_by "conn_locked"]
+  broken : bool ref; [@hf.guarded_by "conn_locked"]
+      (* the writer thread hit a socket error: frames queued here are
+         lost, and the connection must be replaced before this peer can
+         be written to again *)
   mutable writer : Thread.t option;
 }
 
@@ -65,7 +69,11 @@ let writer_loop conn () =
           write_all 0
         with
         | () -> next ()
-        | exception Unix.Unix_error _ -> () (* peer gone; drop remaining output *))
+        | exception Unix.Unix_error _ ->
+          (* peer gone; drop remaining output and mark the connection so
+             the next send replaces it (and, with reliability on, the
+             retransmit path re-delivers what this queue lost) *)
+          conn_locked conn (fun () -> conn.broken := true))
   in
   next ()
 
@@ -80,6 +88,7 @@ let open_out_conn addr =
       queue_mutex = Mutex.create ();
       queue_cond = Condition.create ();
       closing = ref false;
+      broken = ref false;
       writer = None;
     }
   in
@@ -126,6 +135,9 @@ type context = {
   mutable final_set : Hf_data.Oid.Set.t; [@hf.guarded_by "locked"]
   final_bindings : (string, Hf_data.Value.t list) Hashtbl.t; [@hf.guarded_by "locked"]
   mutable terminated : bool; [@hf.guarded_by "locked"]
+  mutable unreachable : int list; [@hf.guarded_by "locked"]
+      (* origin-side: sites whose retry budget was exhausted while this
+         query ran — the answer is partial with respect to them *)
 }
 
 type t = {
@@ -135,6 +147,11 @@ type t = {
       (* per-destination work batching; [Flush_at 1] ships one
          Deref_request per item, byte-identical to the original
          protocol *)
+  reliability : Hf_proto.Reliable.config option;
+      (* ack/retransmit layer; [None] = fire-and-forget (a lost frame or
+         crashed peer silently loses messages and their credit) *)
+  links : (int, Message.t Hf_proto.Reliable.t) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* per-peer reliable-link state, created on first contact *)
   listener : Unix.file_descr;
   address : Unix.sockaddr;
   mutable peers : Unix.sockaddr array; (* index = site id *)
@@ -155,10 +172,15 @@ type t = {
   registry : Hf_obs.Registry.t;
   sent_frame_bytes : Hf_obs.Histogram.t; (* per-message encoded size *)
   query_rtt : Hf_obs.Histogram.t; (* run_query wall time, seconds *)
+  ack_latency : Hf_obs.Histogram.t; (* first-send to cumulative-ack, seconds *)
   (* transport metrics *)
   mutable messages_sent : int; [@hf.guarded_by "locked"]
   mutable bytes_sent : int; [@hf.guarded_by "locked"]
   mutable messages_received : int; [@hf.guarded_by "locked"]
+  mutable retransmits : int; [@hf.guarded_by "locked"]
+  mutable dup_drops : int; [@hf.guarded_by "locked"]
+  mutable acks_sent : int; [@hf.guarded_by "locked"]
+  mutable give_ups : int; [@hf.guarded_by "locked"]
 }
 
 let locate oid = Hf_data.Oid.birth_site oid
@@ -169,21 +191,58 @@ let locked t f =
 
 (* --- sending --- *)
 
-let send t ?(span = 0) ~dst message =
+(* The reliable-link state for peer [dst], created on first contact.
+   One [Reliable.t] per peer holds both halves of the link: sequencing
+   and retransmission for frames we send it, dedup and cumulative acks
+   for frames it sends us. *)
+let link_for t dst =
+  match Hashtbl.find_opt t.links dst with
+  | Some link -> link
+  | None ->
+    let link =
+      Hf_proto.Reliable.create (Option.value t.reliability ~default:Hf_proto.Reliable.default)
+    in
+    Hashtbl.replace t.links dst link;
+    link
+[@@hf.requires_lock "locked"]
+
+(* One physical transmission attempt: connection management plus frame
+   encoding.  [seq] is the reliability sequence number (0 when
+   unsequenced — reliability off, or a standalone [Link_ack]); the
+   cumulative ack for the reverse direction is peeked immediately
+   before the frame leaves, so every outgoing envelope carries the
+   freshest ack.  A connection whose writer died is replaced here —
+   with reliability on, whatever its queue lost is retransmitted. *)
+let transmit_raw t ?(span = 0) ~seq ~dst message =
+  let reopen () =
+    match open_out_conn t.peers.(dst) with
+    | conn ->
+      Hashtbl.replace t.conns dst conn;
+      Some conn
+    | exception Unix.Unix_error _ -> None (* peer down *)
+  in
   let conn =
     match Hashtbl.find_opt t.conns dst with
-    | Some conn -> Some conn
-    | None -> (
-        match open_out_conn t.peers.(dst) with
-        | conn ->
-          Hashtbl.replace t.conns dst conn;
-          Some conn
-        | exception Unix.Unix_error _ -> None (* peer down: message lost *))
+    | Some conn ->
+      if conn_locked conn (fun () -> !(conn.broken)) then begin
+        conn_close ~join_errors:t.join_errors conn;
+        Hashtbl.remove t.conns dst;
+        reopen ()
+      end
+      else Some conn
+    | None -> reopen ()
   in
   match conn with
   | None -> Hf_obs.Tracer.finish ~detail:"peer down" t.tracer span
   | Some conn ->
-    let payload = Hf_proto.Codec.encode ~span message in
+    let rel =
+      match t.reliability with
+      | None -> None
+      | Some _ ->
+        Some
+          { Hf_proto.Codec.src = t.id; seq; ack = Hf_proto.Reliable.take_ack (link_for t dst) }
+    in
+    let payload = Hf_proto.Codec.encode ~span ?rel message in
     t.messages_sent <- t.messages_sent + 1;
     t.bytes_sent <- t.bytes_sent + String.length payload;
     Hf_obs.Histogram.observe t.sent_frame_bytes (float_of_int (String.length payload));
@@ -217,6 +276,7 @@ let new_context t ?(cause = 0) ~query ~origin program =
       final_set = Hf_data.Oid.Set.empty;
       final_bindings = Hashtbl.create 4;
       terminated = false;
+      unreachable = [];
     }
   in
   Hashtbl.replace t.contexts query ctx;
@@ -238,6 +298,65 @@ let credit_recovered t query ctx credit =
     Log.debug (fun m -> m "site %d: query %a terminated" t.id Message.pp_query_id query);
     Condition.broadcast t.done_cond
   end
+[@@hf.requires_lock "locked"]
+
+let note_unreachable ctx dead =
+  if not (List.mem dead ctx.unreachable) then ctx.unreachable <- dead :: ctx.unreachable
+[@@hf.requires_lock "locked"]
+
+(* Front door for outgoing messages.  With reliability off this is a
+   single fire-and-forget transmission — seed behavior, byte-identical
+   frames.  With it on, the message first registers with the peer's
+   reliable link, so a lost frame costs a retransmission instead of the
+   message; a peer already past its retry budget fails fast into
+   [give_up_message]. *)
+let rec send t ?(span = 0) ~dst message =
+  match t.reliability with
+  | None -> transmit_raw t ~span ~seq:0 ~dst message
+  | Some _ ->
+    let link = link_for t dst in
+    if Hf_proto.Reliable.unreachable link then begin
+      Hf_obs.Tracer.finish ~detail:"unreachable" t.tracer span;
+      give_up_message t ~dst message
+    end
+    else begin
+      let seq = Hf_proto.Reliable.send link ~now:(Unix.gettimeofday ()) message in
+      transmit_raw t ~span ~seq ~dst message
+    end
+
+(* [dst]'s retry budget is exhausted and [message] will never be
+   delivered.  The receiver provably never processed it (dedup would
+   have acked it), so the credit it carried can be reclaimed without
+   double-counting: returned to the originator — directly when that is
+   this site — together with a [Site_unreachable] notice so the client
+   learns its answer is partial.  When the unreachable peer IS the
+   originator there is no one left to pay or tell: the credit is
+   dropped, which also bounds the recursion through [send]. *)
+and give_up_message t ~dst message =
+  t.give_ups <- t.give_ups + 1;
+  Log.warn (fun m ->
+      m "site %d: giving up on %a to unreachable peer %d" t.id Message.pp message dst);
+  let reclaim query credit =
+    let origin = query.Message.originator in
+    if dst = origin then () (* the originator itself is gone *)
+    else if t.id = origin then (
+      match Hashtbl.find_opt t.contexts query with
+      | None -> ()
+      | Some ctx ->
+        note_unreachable ctx dst;
+        credit_recovered t query ctx (Credit.of_atoms credit))
+    else begin
+      send t ~dst:origin (Message.Site_unreachable { query; dead = dst });
+      if credit <> [] then send t ~dst:origin (Message.Credit_return { query; credit })
+    end
+  in
+  match (message : Message.t) with
+  | Message.Deref_request { query; credit; _ } -> reclaim query credit
+  | Message.Work_batch groups ->
+    List.iter (fun { Message.query; credit; _ } -> reclaim query credit) groups
+  | Message.Result { query; credit; _ } -> reclaim query credit
+  | Message.Credit_return { query; credit } -> reclaim query credit
+  | Message.Link_ack | Message.Site_unreachable _ -> ()
 [@@hf.requires_lock "locked"]
 
 (* Ship a batch of work items to [dst], splitting the sender's credit
@@ -390,11 +509,36 @@ let process_to_drain t query ctx =
 
 (* [span] is the sender's shipping span carried on the wire (0 when the
    sender traced nothing): it is closed here — arrival time — and new
-   contexts parent their evaluation spans on it. *)
-let handle_message t ?(span = 0) message =
+   contexts parent their evaluation spans on it.
+
+   [rel] is the reliability envelope, when present: its piggybacked ack
+   releases our retained sends to [rel.src], and its sequence number is
+   checked against the receive window BEFORE the message reaches any
+   handler — a retransmitted duplicate dies here, never re-evaluating
+   work or re-depositing credit. *)
+let handle_message t ?(span = 0) ?rel message =
   locked t (fun () ->
       t.messages_received <- t.messages_received + 1;
       Hf_obs.Tracer.finish t.tracer span;
+      let fresh =
+        match ((rel : Hf_proto.Codec.rel option), t.reliability) with
+        | None, _ | _, None -> true
+        | Some { src = peer; seq; ack }, Some _ -> (
+          let link = link_for t peer in
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun latency -> Hf_obs.Histogram.observe t.ack_latency latency)
+            (Hf_proto.Reliable.on_ack link ~now ack);
+          seq = 0
+          ||
+          match Hf_proto.Reliable.receive link ~now ~seq with
+          | `Fresh -> true
+          | `Duplicate ->
+            t.dup_drops <- t.dup_drops + 1;
+            Log.debug (fun m -> m "site %d: duplicate seq %d from %d dropped" t.id seq peer);
+            false)
+      in
+      if fresh then
       match (message : Message.t) with
       | Message.Deref_request { query; body; oid; start; iters; credit } ->
         let ctx =
@@ -440,7 +584,46 @@ let handle_message t ?(span = 0) message =
       | Message.Credit_return { query; credit } -> (
           match Hashtbl.find_opt t.contexts query with
           | None -> ()
-          | Some ctx -> credit_recovered t query ctx (Credit.of_atoms credit)))
+          | Some ctx -> credit_recovered t query ctx (Credit.of_atoms credit))
+      | Message.Link_ack -> () (* transport-level: the ack value rode in the envelope *)
+      | Message.Site_unreachable { query; dead } -> (
+          match Hashtbl.find_opt t.contexts query with
+          | None -> ()
+          | Some ctx -> note_unreachable ctx dead))
+
+(* Fire every due link deadline: standalone acks whose piggyback window
+   expired, retransmissions, and retry-cap give-ups.  Driven by the
+   reliability ticker thread — the wall-clock twin of the simulator's
+   timer events.  The link table is snapshotted first because a give-up
+   may open a new link (to the originator) mid-walk. *)
+let poke_links t =
+  let now = Unix.gettimeofday () in
+  let links = Hashtbl.fold (fun peer link acc -> (peer, link) :: acc) t.links [] in
+  List.iter
+    (fun (peer, link) ->
+      List.iter
+        (function
+          | Hf_proto.Reliable.Send_ack ->
+            t.acks_sent <- t.acks_sent + 1;
+            transmit_raw t ~seq:0 ~dst:peer Message.Link_ack
+          | Hf_proto.Reliable.Retransmit entries ->
+            List.iter
+              (fun (seq, message) ->
+                t.retransmits <- t.retransmits + 1;
+                ignore
+                  (Hf_obs.Tracer.instant t.tracer
+                     ~detail:(Fmt.str "seq=%d" seq)
+                     ~query:"-" ~site:t.id ~phase:Hf_obs.Span.Retransmit
+                     (Fmt.str "retransmit->%d" peer));
+                transmit_raw t ~seq ~dst:peer message)
+              entries
+          | Hf_proto.Reliable.Give_up entries ->
+            Log.warn (fun m ->
+                m "site %d: peer %d declared unreachable after retries" t.id peer);
+            List.iter (fun (_, message) -> give_up_message t ~dst:peer message) entries)
+        (Hf_proto.Reliable.poll link ~now))
+    links
+[@@hf.requires_lock "locked"]
 
 (* --- reader / accept threads --- *)
 
@@ -454,8 +637,8 @@ let reader_loop t fd () =
       Hf_proto.Frame.Decoder.feed decoder (Bytes.sub_string chunk 0 n);
       List.iter
         (fun payload ->
-          match Hf_proto.Codec.decode_traced payload with
-          | Ok (message, span) -> handle_message t ~span message
+          match Hf_proto.Codec.decode_enveloped payload with
+          | Ok (message, span, rel) -> handle_message t ~span ?rel message
           | Error err ->
             Log.warn (fun m -> m "site %d: undecodable message dropped: %s" t.id err))
         (Hf_proto.Frame.Decoder.drain decoder);
@@ -478,8 +661,10 @@ let accept_loop t () =
 
 (* --- lifecycle --- *)
 
-let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.noop) () =
+let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability
+    ?(tracer = Hf_obs.Tracer.noop) () =
   Hf_proto.Batch.validate_policy batch;
+  Option.iter Hf_proto.Reliable.validate reliability;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -488,11 +673,14 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.no
   let registry = Hf_obs.Registry.create () in
   let sent_frame_bytes = Hf_obs.Registry.histogram registry "hf.net.sent_frame_bytes" in
   let query_rtt = Hf_obs.Registry.histogram registry "hf.net.query_rtt_s" in
+  let ack_latency = Hf_obs.Registry.histogram registry "hf.net.ack_latency_s" in
   let t =
     {
       id = site;
       store = Hf_data.Store.create ~site;
       batch_policy = batch;
+      reliability;
+      links = Hashtbl.create 8;
       listener;
       address;
       peers = [||];
@@ -508,9 +696,14 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.no
       registry;
       sent_frame_bytes;
       query_rtt;
+      ack_latency;
       messages_sent = 0;
       bytes_sent = 0;
       messages_received = 0;
+      retransmits = 0;
+      dup_drops = 0;
+      acks_sent = 0;
+      give_ups = 0;
     }
   in
   Hf_obs.Registry.register_counter registry "hf.net.messages_sent" (fun () ->
@@ -521,9 +714,30 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?(tracer = Hf_obs.Tracer.no
       locked t (fun () -> t.messages_received));
   Hf_obs.Registry.register_counter registry "hf.net.join_errors" (fun () ->
       Atomic.get t.join_errors);
+  Hf_obs.Registry.register_counter registry "hf.net.retransmits" (fun () ->
+      locked t (fun () -> t.retransmits));
+  Hf_obs.Registry.register_counter registry "hf.net.dup_drops" (fun () ->
+      locked t (fun () -> t.dup_drops));
+  Hf_obs.Registry.register_counter registry "hf.net.acks_sent" (fun () ->
+      locked t (fun () -> t.acks_sent));
+  Hf_obs.Registry.register_counter registry "hf.net.give_ups" (fun () ->
+      locked t (fun () -> t.give_ups));
   (* Cons, not assign: the accept loop may already have registered a
      reader thread by the time this runs. *)
   locked t (fun () -> t.threads <- Thread.create (accept_loop t) () :: t.threads);
+  (* Reliability ticker: drives the retransmit / delayed-ack / give-up
+     deadlines of every peer link. *)
+  (match reliability with
+   | None -> ()
+   | Some cfg ->
+     let period = Float.max 0.002 (Float.min 0.01 (cfg.ack_delay /. 2.0)) in
+     let ticker () =
+       while t.running do
+         Thread.delay period;
+         locked t (fun () -> poke_links t)
+       done
+     in
+     locked t (fun () -> t.threads <- Thread.create ticker () :: t.threads));
   t
 
 let address t = t.address
@@ -549,11 +763,22 @@ let shutdown t =
 
 (* --- issuing queries from the embedding client --- *)
 
+(* Distinguishes "the peer was slow" from "the peer is gone": a timeout
+   says nothing about the missing sites, while [Partial] is a positive
+   statement — retransmission gave up on exactly these peers and every
+   other site's contribution is fully accounted for (credit converged
+   to 1). *)
+type status =
+  | Complete
+  | Partial of int list (* unreachable sites, ascending *)
+  | Timed_out
+
 type outcome = {
   results : Hf_data.Oid.t list;
   result_set : Hf_data.Oid.Set.t;
   bindings : (string * Hf_data.Value.t list) list;
   terminated : bool;
+  status : status;
   response_time : float; (* wall-clock seconds *)
   messages_sent : int;
   bytes_sent : int;
@@ -611,6 +836,11 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
         while (not ctx.terminated) && Unix.gettimeofday () < deadline do
           Condition.wait t.done_cond t.lock
         done;
+        let status =
+          if not ctx.terminated then Timed_out
+          else if ctx.unreachable = [] then Complete
+          else Partial (List.sort_uniq compare ctx.unreachable)
+        in
         {
           results = List.rev ctx.final_results;
           result_set = ctx.final_set;
@@ -620,6 +850,7 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
               ctx.final_bindings []
             |> List.sort (fun (a, _) (b, _) -> String.compare a b);
           terminated = ctx.terminated;
+          status;
           response_time = Unix.gettimeofday () -. started;
           messages_sent = t.messages_sent - sent_before;
           bytes_sent = t.bytes_sent - bytes_before;
@@ -630,6 +861,10 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
   Hf_obs.Histogram.observe t.query_rtt outcome.response_time;
   Hf_obs.Tracer.finish t.tracer ctx.span;
   Hf_obs.Tracer.finish t.tracer root_span
-    ~detail:(if outcome.terminated then "terminated" else "timeout");
+    ~detail:
+      (match outcome.status with
+       | Complete -> "terminated"
+       | Partial dead -> Fmt.str "partial: unreachable %a" Fmt.(list ~sep:comma int) dead
+       | Timed_out -> "timeout");
   ignore query;
   outcome

@@ -13,7 +13,12 @@
 type t
 
 val create :
-  site:int -> ?batch:Hf_proto.Batch.flush_policy -> ?tracer:Hf_obs.Tracer.t -> unit -> t
+  site:int ->
+  ?batch:Hf_proto.Batch.flush_policy ->
+  ?reliability:Hf_proto.Reliable.config ->
+  ?tracer:Hf_obs.Tracer.t ->
+  unit ->
+  t
 (** Bind 127.0.0.1 on an ephemeral port and start accepting.
 
     [batch] (default [Flush_at 1], i.e. unbatched) coalesces work items
@@ -28,7 +33,18 @@ val create :
     carry the sender's span id and the receiver closes the span on
     arrival, so shipping spans cover real transit and remote evaluation
     spans parent on the originating site's.  With tracing off the wire
-    bytes are unchanged. *)
+    bytes are unchanged.
+
+    [reliability] (default off) layers ack/retransmit delivery under
+    the protocol ({!Hf_proto.Reliable}): every frame carries a
+    per-peer sequence number and a piggybacked cumulative ack, a
+    ticker thread retransmits unacknowledged frames with exponential
+    backoff, receivers drop redelivered duplicates before they reach a
+    handler, and a peer that exhausts the retry cap is declared
+    unreachable — its messages' credit reclaimed so the query still
+    terminates, with a {!Partial} status.  All sites of a cluster must
+    agree on whether reliability is on (the envelope changes the frame
+    layout).  See doc/fault_tolerance.md. *)
 
 val address : t -> Unix.sockaddr
 
@@ -45,15 +61,29 @@ val registry : t -> Hf_obs.Registry.t
 (** Per-site transport metrics: [hf.net.messages_sent], [hf.net.bytes_sent],
     [hf.net.messages_received], the [hf.net.sent_frame_bytes] histogram
     (per-message encoded size) and [hf.net.query_rtt_s] (wall-clock
-    {!run_query} latency, origin site only). *)
+    {!run_query} latency, origin site only).  With reliability on, also
+    [hf.net.retransmits], [hf.net.dup_drops], [hf.net.acks_sent],
+    [hf.net.give_ups] and the [hf.net.ack_latency_s] histogram. *)
+
+type status =
+  | Complete  (** all credit recovered, no site given up on. *)
+  | Partial of int list
+      (** terminated, but retransmission exhausted its retries on these
+          sites (ascending): their contribution is missing and every
+          other site's is fully accounted for.  Requires reliability;
+          "the peer is dead" — a positive statement, unlike a
+          timeout. *)
+  | Timed_out
+      (** the timeout expired before credit converged: "the peer may
+          merely be slow" — [results] holds whatever arrived. *)
 
 type outcome = {
   results : Hf_data.Oid.t list;  (** arrival order at the originator. *)
   result_set : Hf_data.Oid.Set.t;
   bindings : (string * Hf_data.Value.t list) list;
   terminated : bool;
-      (** [false] when the timeout expired first (e.g. a peer is down) —
-          [results] then holds the partial answer. *)
+      (** [false] exactly when [status] is [Timed_out]. *)
+  status : status;
   response_time : float;  (** wall-clock seconds. *)
   messages_sent : int;  (** wire messages this site sent for the query. *)
   bytes_sent : int;
@@ -63,7 +93,10 @@ val run_query :
   ?timeout:float -> t -> Hf_query.Program.t -> Hf_data.Oid.t list -> outcome
 (** Issue a query from this site over the initial set and wait for the
     weighted-termination detector to recover all credit (default
-    timeout 10 s). *)
+    timeout 10 s).  With reliability on, a permanently dead peer does
+    not hang the query until the timeout: once its retry budget is
+    spent the credit aboard its messages is reclaimed, termination
+    converges, and the outcome is [Partial]. *)
 
 val shutdown : t -> unit
 (** Close the listener and all connections; idempotent. *)

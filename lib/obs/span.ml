@@ -13,6 +13,7 @@ type phase =
   | Credit (* termination-detector traffic *)
   | Drain (* a context's working set ran dry *)
   | Recv (* arrival of a message at an existing context *)
+  | Retransmit (* the reliability layer resending an unacknowledged message *)
 
 let phase_name = function
   | Query -> "query"
@@ -22,6 +23,7 @@ let phase_name = function
   | Credit -> "credit"
   | Drain -> "drain"
   | Recv -> "recv"
+  | Retransmit -> "retransmit"
 
 type t = {
   id : int; (* unique within a tracer; 0 is reserved for "no span" *)

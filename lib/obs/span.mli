@@ -8,6 +8,7 @@ type phase =
   | Credit  (** termination-detector traffic. *)
   | Drain  (** a context's working set ran dry. *)
   | Recv  (** arrival of a message at an existing context. *)
+  | Retransmit  (** the reliability layer resending an unacknowledged message. *)
 
 val phase_name : phase -> string
 

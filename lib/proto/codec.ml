@@ -367,6 +367,11 @@ let write_message buf message =
     write_u8 buf 2;
     write_query_id buf query;
     write_credit buf credit
+  | Link_ack -> write_u8 buf 4
+  | Site_unreachable { query; dead } ->
+    write_u8 buf 5;
+    write_query_id buf query;
+    write_varint buf dead
 
 let read_message r : Message.t =
   match read_u8 r with
@@ -397,6 +402,11 @@ let read_message r : Message.t =
     let groups = read_list r read_batch_group in
     if groups = [] then fail "empty work batch";
     Work_batch groups
+  | 4 -> Link_ack
+  | 5 ->
+    let query = read_query_id r in
+    let dead = read_varint r in
+    Site_unreachable { query; dead }
   | tag -> fail "unknown message tag %d" tag
 
 (* A traced message is wrapped in an envelope: tag 127 (unused by any
@@ -404,11 +414,28 @@ let read_message r : Message.t =
    message encoded exactly as before.  Untraced encoding never emits
    the envelope, so wire bytes with tracing off are byte-for-byte the
    PR 1 format (and the ~40-byte query-message accounting still
-   holds). *)
+   holds).
+
+   A second, outer envelope (tag 126) carries reliable-delivery
+   metadata: sender site, per-destination sequence number (0 =
+   unsequenced) and the cumulative ack the sender piggybacks for the
+   reverse direction.  Sites running without the reliability layer
+   never emit it, so their wire bytes are unchanged too. *)
 let traced_tag = 127
 
-let encode ?span message =
+let rel_tag = 126
+
+type rel = { src : int; seq : int; ack : int }
+
+let encode ?span ?rel message =
   let buf = Buffer.create 64 in
+  (match rel with
+   | Some { src; seq; ack } ->
+     write_u8 buf rel_tag;
+     write_varint buf src;
+     write_varint buf seq;
+     write_varint buf ack
+   | None -> ());
   (match span with
    | Some s when s <> 0 ->
      write_u8 buf traced_tag;
@@ -417,7 +444,17 @@ let encode ?span message =
   write_message buf message;
   Buffer.contents buf
 
-let read_traced_message r =
+let read_enveloped_message r =
+  let rel =
+    if (not (at_end r)) && Char.code r.data.[r.pos] = rel_tag then begin
+      r.pos <- r.pos + 1;
+      let src = read_varint r in
+      let seq = read_varint r in
+      let ack = read_varint r in
+      Some { src; seq; ack }
+    end
+    else None
+  in
   let span =
     if (not (at_end r)) && Char.code r.data.[r.pos] = traced_tag then begin
       r.pos <- r.pos + 1;
@@ -426,17 +463,22 @@ let read_traced_message r =
     else 0
   in
   let message = read_message r in
-  (message, span)
+  (message, span, rel)
 
-let decode_traced data =
+let decode_enveloped data =
   match
     let r = reader data in
-    let result = read_traced_message r in
+    let result = read_enveloped_message r in
     if not (at_end r) then fail "trailing bytes after message (offset %d)" r.pos;
     result
   with
   | result -> Ok result
   | exception Decode_error msg -> Error msg
+
+let decode_traced data =
+  match decode_enveloped data with
+  | Ok (message, span, _rel) -> Ok (message, span)
+  | Error _ as e -> e
 
 let decode data =
   match decode_traced data with Ok (message, _span) -> Ok message | Error _ as e -> e

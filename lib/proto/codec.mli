@@ -6,19 +6,30 @@
 
 exception Decode_error of string
 
-val encode : ?span:int -> Message.t -> string
-(** With [?span] absent, [None], or [Some 0], the encoding is
-    byte-identical to the untraced wire format.  A non-zero span id is
-    carried in a leading envelope (tag 127 + varint) so a receiving
-    tracer can parent its spans on the sender's. *)
+type rel = { src : int; seq : int; ack : int }
+(** Reliable-delivery envelope: sending site, per-destination sequence
+    number ([0] = unsequenced, e.g. a standalone [Link_ack]) and the
+    cumulative ack piggybacked for the reverse direction (see
+    {!Reliable}). *)
+
+val encode : ?span:int -> ?rel:rel -> Message.t -> string
+(** With [?span] absent, [None], or [Some 0], and [?rel] absent, the
+    encoding is byte-identical to the plain wire format.  A non-zero
+    span id is carried in an envelope (tag 127 + varint) so a receiving
+    tracer can parent its spans on the sender's; reliability metadata
+    rides in an outer envelope (tag 126 + three varints). *)
 
 val decode : string -> (Message.t, string) result
-(** Rejects trailing bytes.  Accepts (and discards) a traced
-    envelope. *)
+(** Rejects trailing bytes.  Accepts (and discards) traced and
+    reliability envelopes. *)
 
 val decode_traced : string -> (Message.t * int, string) result
 (** Like {!decode} but also returns the carried span id (0 when the
     message was sent untraced). *)
+
+val decode_enveloped : string -> (Message.t * int * rel option, string) result
+(** Like {!decode_traced} but also returns the reliability envelope
+    when present. *)
 
 val decode_exn : string -> Message.t
 (** Raises [Decode_error]. *)

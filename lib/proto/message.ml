@@ -70,6 +70,15 @@ type t =
   | Credit_return of { query : query_id; credit : int list }
       (** standalone credit return (used when a drained site has no
           results to ship). *)
+  | Link_ack
+      (* standalone cumulative acknowledgement: the value itself rides
+         in the reliability envelope (Codec), so the body is empty.
+         Sent only when no reverse traffic carried the ack in time. *)
+  | Site_unreachable of { query : query_id; dead : int }
+      (* retransmission to [dead] gave up: tell the originator the
+         answer will be partial.  The reclaimed credit travels
+         separately (Credit_return / Result), so termination detection
+         still converges. *)
 
 let query_of = function
   | Deref_request { query; _ } -> query
@@ -77,6 +86,8 @@ let query_of = function
   | Work_batch [] -> invalid_arg "Message.query_of: empty Work_batch"
   | Result { query; _ } -> query
   | Credit_return { query; _ } -> query
+  | Link_ack -> invalid_arg "Message.query_of: Link_ack carries no query"
+  | Site_unreachable { query; _ } -> query
 
 let pp ppf = function
   | Deref_request { query; oid; start; iters; _ } ->
@@ -94,6 +105,9 @@ let pp ppf = function
       (List.length bindings)
   | Result { query; payload = Count n; _ } -> Fmt.pf ppf "result[%a] count=%d" pp_query_id query n
   | Credit_return { query; _ } -> Fmt.pf ppf "credit-return[%a]" pp_query_id query
+  | Link_ack -> Fmt.string ppf "link-ack"
+  | Site_unreachable { query; dead } ->
+    Fmt.pf ppf "site-unreachable[%a] dead=%d" pp_query_id query dead
 
 let equal_batch_item (x : batch_item) (y : batch_item) =
   Hf_data.Oid.equal x.oid y.oid
@@ -136,4 +150,8 @@ let equal a b =
   | Work_batch xs, Work_batch ys ->
     List.length xs = List.length ys && List.for_all2 equal_batch_group xs ys
   | Credit_return x, Credit_return y -> equal_query_id x.query y.query && x.credit = y.credit
-  | (Deref_request _ | Work_batch _ | Result _ | Credit_return _), _ -> false
+  | Link_ack, Link_ack -> true
+  | Site_unreachable x, Site_unreachable y ->
+    equal_query_id x.query y.query && x.dead = y.dead
+  | (Deref_request _ | Work_batch _ | Result _ | Credit_return _ | Link_ack
+    | Site_unreachable _), _ -> false

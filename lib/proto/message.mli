@@ -58,6 +58,15 @@ type t =
       (** coalesced dereferences for one destination; never empty. *)
   | Result of result_message
   | Credit_return of { query : query_id; credit : int list }
+  | Link_ack
+      (** standalone cumulative acknowledgement; the ack value rides in
+          the reliability envelope ({!Codec.encode}), so the body is
+          empty.  Sent only when no reverse traffic carried the ack
+          within the delayed-ack window. *)
+  | Site_unreachable of { query : query_id; dead : int }
+      (** retransmission to [dead] exhausted its retries: the
+          originator's answer will be partial.  Reclaimed credit
+          travels separately so termination still converges. *)
 
 val equal_batch_item : batch_item -> batch_item -> bool
 val equal_batch_group : batch_group -> batch_group -> bool
@@ -65,7 +74,7 @@ val equal_batch_group : batch_group -> batch_group -> bool
 val query_of : t -> query_id
 (** For [Work_batch] this is the first group's query (the query the
     message is charged to).  Raises [Invalid_argument] on an empty
-    batch. *)
+    batch or on [Link_ack], which belongs to a link, not a query. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

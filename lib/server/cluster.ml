@@ -64,12 +64,22 @@ type config = {
          message per item (the paper's protocol); larger K coalesces
          same-destination items — across concurrent queries — into one
          message, amortizing the ~50 ms per-message overhead *)
+  reliability : Hf_proto.Reliable.config option;
+      (* [Some _] sequences every protocol message per destination,
+         piggybacks cumulative acks, retransmits on ack timeout (timers
+         ride the event queue, in virtual time) and dedups redelivery
+         at the receiver, so lossy runs return the lossless answer;
+         when the retry cap declares a peer unreachable its credit is
+         reclaimed and the query finishes with the peer listed in
+         [outcome.unreachable_sites].  [None] (the default) is the
+         bare paper protocol: a drop loses the message, and its credit,
+         for good. *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
     poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
-    batch = Hf_proto.Batch.unbatched }
+    batch = Hf_proto.Batch.unbatched; reliability = None }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -77,6 +87,9 @@ type outcome = {
   bindings : (string * Hf_data.Value.t list) list;
   counts : (int * int) list; (* (site, local result count), Ship_counts mode *)
   terminated : bool;
+  unreachable_sites : int list;
+      (* peers the reliability layer gave up on; non-empty + terminated
+         means the answer is explicitly partial rather than hung *)
   response_time : float; (* virtual seconds from issue to detected termination *)
   metrics : Metrics.t;
   engine_stats : Hf_engine.Stats.t; (* merged over sites *)
@@ -114,27 +127,12 @@ module Make (D : Hf_termination.Detector.S) = struct
     final_bindings : (string, Hf_data.Value.t list) Hashtbl.t;
     mutable counts : (int * int) list;
     mutable terminated : bool;
+    mutable unreachable_sites : int list;
+        (* peers the reliability layer gave up on for this query *)
     mutable finish_time : float;
   }
 
   type task = unit -> float * (unit -> unit)
-
-  type site = {
-    id : int;
-    store : Hf_data.Store.t;
-    contexts : (Hf_proto.Message.query_id, context) Hashtbl.t;
-    tasks : task Hf_util.Deque.t;
-    mutable busy : bool;
-    mutable alive : bool;
-    outgoing : (Hf_proto.Message.query_id * Hf_engine.Work_item.t) Hf_proto.Batch.t;
-        (* per-destination buffer of remote work awaiting shipment;
-           shared by every query on the site so concurrent traffic to
-           the same destination coalesces *)
-    out_pending : (Hf_proto.Message.query_id, int) Hashtbl.t;
-        (* buffered-item count per query: a context must not drain while
-           it still owns buffered items, or the detector would see its
-           work as finished before the items' credit was split *)
-  }
 
   (* A work message carries whole per-query groups: the query header and
      detector tag (one credit split) cover every item in the group. *)
@@ -168,6 +166,49 @@ module Make (D : Hf_termination.Detector.S) = struct
         src : int;
         span : int;
       }
+    | Ack of { src : int }
+        (* standalone cumulative ack: transport-level, consumed at
+           delivery (the value rides alongside, not inside) — never
+           reaches a site's task queue *)
+    | Unreachable of {
+        query : Hf_proto.Message.query_id;
+        dead : int;
+        src : int;
+        span : int;
+      }
+        (* retransmission to [dead] gave up: the originator's answer
+           will be partial *)
+
+  (* What the reliability layer retains for retransmission: the message
+     plus enough context to repeat the physical send. *)
+  type shipment = { label : string; transit : float; msg : message }
+
+  type link = {
+    rel : shipment Hf_proto.Reliable.t;
+    mutable armed : float option;
+        (* virtual time of the earliest scheduled poll event, so timer
+           events are not scheduled twice for the same deadline *)
+  }
+
+  type site = {
+    id : int;
+    store : Hf_data.Store.t;
+    contexts : (Hf_proto.Message.query_id, context) Hashtbl.t;
+    tasks : task Hf_util.Deque.t;
+    mutable busy : bool;
+    mutable alive : bool;
+    outgoing : (Hf_proto.Message.query_id * Hf_engine.Work_item.t) Hf_proto.Batch.t;
+        (* per-destination buffer of remote work awaiting shipment;
+           shared by every query on the site so concurrent traffic to
+           the same destination coalesces *)
+    out_pending : (Hf_proto.Message.query_id, int) Hashtbl.t;
+        (* buffered-item count per query: a context must not drain while
+           it still owns buffered items, or the detector would see its
+           work as finished before the items' credit was split *)
+    links : link array;
+        (* per-peer reliable-delivery state (index = peer site id);
+           dormant unless [config.reliability] is set *)
+  }
 
   type t = {
     sim : Hf_sim.Sim.t;
@@ -178,6 +219,10 @@ module Make (D : Hf_termination.Detector.S) = struct
     tracer : Hf_obs.Tracer.t;
     registry : Hf_obs.Registry.t; (* cluster-wide metrics *)
     work_batch_items : Hf_obs.Histogram.t; (* items per shipped work message *)
+    ack_latency : Hf_obs.Histogram.t; (* seconds from first send to cumulative ack *)
+    mutable standalone_acks : int; (* acks that found no reverse traffic to ride *)
+    mutable total_retransmits : int;
+    mutable total_dup_drops : int;
     open_queries : (Hf_proto.Message.query_id, open_query) Hashtbl.t;
     mutable next_serial : int;
     jitter_prng : Hf_util.Prng.t;
@@ -186,6 +231,12 @@ module Make (D : Hf_termination.Detector.S) = struct
   let create ?(config = default_config) ?locate ?trace ?(tracer = Hf_obs.Tracer.noop)
       ~n_sites () =
     if n_sites <= 0 then invalid_arg "Cluster.create: n_sites must be positive";
+    (match config.reliability with
+     | Some rel -> Hf_proto.Reliable.validate rel
+     | None -> ());
+    let rel_config =
+      Option.value config.reliability ~default:Hf_proto.Reliable.default
+    in
     let sites =
       Array.init n_sites (fun id ->
           {
@@ -197,6 +248,9 @@ module Make (D : Hf_termination.Detector.S) = struct
             alive = true;
             outgoing = Hf_proto.Batch.create config.batch;
             out_pending = Hashtbl.create 4;
+            links =
+              Array.init n_sites (fun _ ->
+                  { rel = Hf_proto.Reliable.create rel_config; armed = None });
           })
     in
     let locate = match locate with Some f -> f | None -> Oid.birth_site in
@@ -206,19 +260,33 @@ module Make (D : Hf_termination.Detector.S) = struct
     Hf_obs.Tracer.set_clock tracer (fun () -> Hf_sim.Sim.now sim);
     let registry = Hf_obs.Registry.create () in
     let work_batch_items = Hf_obs.Registry.histogram registry "hf.server.work_batch_items" in
-    {
-      sim;
-      sites;
-      config;
-      locate;
-      trace;
-      tracer;
-      registry;
-      work_batch_items;
-      open_queries = Hashtbl.create 8;
-      next_serial = 0;
-      jitter_prng = Hf_util.Prng.create config.jitter_seed;
-    }
+    let ack_latency = Hf_obs.Registry.histogram registry "hf.server.ack_latency_s" in
+    let t =
+      {
+        sim;
+        sites;
+        config;
+        locate;
+        trace;
+        tracer;
+        registry;
+        work_batch_items;
+        ack_latency;
+        standalone_acks = 0;
+        total_retransmits = 0;
+        total_dup_drops = 0;
+        open_queries = Hashtbl.create 8;
+        next_serial = 0;
+        jitter_prng = Hf_util.Prng.create config.jitter_seed;
+      }
+    in
+    Hf_obs.Registry.register_counter registry "hf.server.standalone_acks" (fun () ->
+        t.standalone_acks);
+    Hf_obs.Registry.register_counter registry "hf.server.retransmits" (fun () ->
+        t.total_retransmits);
+    Hf_obs.Registry.register_counter registry "hf.server.dup_drops" (fun () ->
+        t.total_dup_drops);
+    t
 
   let n_sites t = Array.length t.sites
 
@@ -358,6 +426,26 @@ module Make (D : Hf_termination.Detector.S) = struct
   let handle_detector_result t oq (controls, terminated) send_control =
     List.iter send_control controls;
     if terminated then finish_query t oq
+
+  (* --- reliability bookkeeping --- *)
+
+  (* The query a message is charged to, for metric attribution; acks
+     belong to a link, not a query. *)
+  let message_query = function
+    | Work { groups = (query, _, _) :: _; _ } -> Some query
+    | Work { groups = []; _ } -> None
+    | Results { query; _ } -> Some query
+    | Control { query; _ } -> Some query
+    | Seed_from { query; _ } -> Some query
+    | Unreachable { query; _ } -> Some query
+    | Ack _ -> None
+
+  let mark_unreachable t oq dead =
+    if not (List.mem dead oq.unreachable_sites) then begin
+      oq.unreachable_sites <- dead :: oq.unreachable_sites;
+      record t oq.id.Hf_proto.Message.originator "unreachable"
+        (Fmt.str "site %d (%s)" dead (qname oq.id))
+    end
 
   (* --- outgoing-batch bookkeeping --- *)
 
@@ -509,8 +597,67 @@ module Make (D : Hf_termination.Detector.S) = struct
   (* [span] (when non-zero) is the shipping span opened by the sender;
      it closes when the message lands — or immediately, tagged
      "dropped", when the lossy network eats it — so transit time shows
-     up as the span's extent. *)
+     up as the span's extent.
+
+     With [config.reliability] unset this is the whole story: a drop
+     loses the message (and any credit aboard) for good.  With it set,
+     the message first passes through the per-peer reliable link —
+     sequence assignment, retransmit timers on the event queue,
+     receiver-side dedup — so a drop only costs a retransmission, and a
+     peer that never acks is eventually declared unreachable and its
+     messages' credit reclaimed ([abandon]). *)
   and deliver t ~src ~oq ~label ?(span = 0) ~transit ~dst message handler =
+    match t.config.reliability with
+    | None ->
+      let dropped =
+        t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
+      in
+      if dropped then begin
+        (match (oq : open_query option) with
+         | Some oq ->
+           oq.metrics.Metrics.dropped_messages <- oq.metrics.Metrics.dropped_messages + 1
+         | None -> ());
+        record t src "drop" (Fmt.str "%s to %d" label dst);
+        Hf_obs.Tracer.finish ~detail:"dropped" t.tracer span
+      end
+      else begin
+        let transit =
+          if t.config.jitter <= 0.0 then transit
+          else transit +. (Hf_util.Prng.next_float t.jitter_prng *. t.config.jitter)
+        in
+        Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
+            Hf_obs.Tracer.finish t.tracer span;
+            let site = t.sites.(dst) in
+            if site.alive then enqueue t site (fun () -> handler site message))
+      end
+    | Some _ ->
+      let link = t.sites.(src).links.(dst) in
+      if Hf_proto.Reliable.unreachable link.rel then begin
+        (* Fail fast: the retry cap already fired for this peer, so
+           reclaim this message's credit immediately instead of queueing
+           another doomed retransmission cycle. *)
+        record t src "unreachable-drop" (Fmt.str "%s to %d" label dst);
+        Hf_obs.Tracer.finish ~detail:"unreachable" t.tracer span;
+        abandon t ~src ~dst { label; transit; msg = message }
+      end
+      else begin
+        let seq =
+          Hf_proto.Reliable.send link.rel ~now:(Hf_sim.Sim.now t.sim)
+            { label; transit; msg = message }
+        in
+        transmit t ~src ~dst ~span ~label ~transit ~seq ~oq message;
+        arm_link t ~site:src ~peer:dst
+      end
+
+  (* One physical transmission attempt (first send and retransmissions
+     alike): draw the loss/jitter dice, piggyback the cumulative ack for
+     the reverse direction, and on arrival run the transport half —
+     ack processing and dedup — before the message is allowed to become
+     site work.  Duplicates die here, which is what makes redelivery
+     idempotent: [D.on_recv_work] (credit deposit) and evaluation run at
+     most once per sequence number. *)
+  and transmit t ~src ~dst ?(span = 0) ~label ~transit ~seq ~oq message =
+    let ack = Hf_proto.Reliable.take_ack t.sites.(src).links.(dst).rel in
     let dropped =
       t.config.loss > 0.0 && Hf_util.Prng.next_float t.jitter_prng < t.config.loss
     in
@@ -529,9 +676,142 @@ module Make (D : Hf_termination.Detector.S) = struct
       in
       Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
           Hf_obs.Tracer.finish t.tracer span;
-          let site = t.sites.(dst) in
-          if site.alive then enqueue t site (fun () -> handler site message))
+          let dsite = t.sites.(dst) in
+          if dsite.alive then begin
+            let dlink = dsite.links.(src) in
+            let now = Hf_sim.Sim.now t.sim in
+            List.iter
+              (fun latency -> Hf_obs.Histogram.observe t.ack_latency latency)
+              (Hf_proto.Reliable.on_ack dlink.rel ~now ack);
+            let fresh =
+              if seq = 0 then true
+              else
+                match Hf_proto.Reliable.receive dlink.rel ~now ~seq with
+                | `Fresh -> true
+                | `Duplicate ->
+                  t.total_dup_drops <- t.total_dup_drops + 1;
+                  (match Option.bind (message_query message) (find_open t) with
+                   | Some oq ->
+                     oq.metrics.Metrics.dup_drops <- oq.metrics.Metrics.dup_drops + 1
+                   | None -> ());
+                  record t dst "dup-drop" (Fmt.str "%s seq=%d from %d" label seq src);
+                  false
+            in
+            if seq > 0 then arm_link t ~site:dst ~peer:src;
+            if fresh then
+              match message with
+              | Ack _ -> () (* transport-level: consumed by on_ack above *)
+              | _ -> enqueue t dsite (fun () -> handle_message t dsite message)
+          end)
     end
+
+  (* Schedule a poll event for the link's next deadline, unless one is
+     already scheduled at or before it.  Spurious polls are harmless
+     ([Reliable.poll] only fires what is actually due), so a stale
+     event left behind by an earlier arm just re-checks and re-arms. *)
+  and arm_link t ~site ~peer =
+    let link = t.sites.(site).links.(peer) in
+    match Hf_proto.Reliable.next_deadline link.rel with
+    | None -> ()
+    | Some deadline ->
+      let covered = match link.armed with Some a -> a <= deadline | None -> false in
+      if not covered then begin
+        link.armed <- Some deadline;
+        let time = Float.max deadline (Hf_sim.Sim.now t.sim) in
+        Hf_sim.Sim.schedule_at t.sim ~time (fun () ->
+            (match link.armed with
+             | Some a when a <= time -> link.armed <- None
+             | Some _ | None -> ());
+            fire_link t ~site ~peer)
+      end
+
+  and fire_link t ~site ~peer =
+    let s = t.sites.(site) in
+    if s.alive then begin
+      let link = s.links.(peer) in
+      List.iter
+        (function
+          | Hf_proto.Reliable.Send_ack -> send_ack t ~src:site ~dst:peer
+          | Hf_proto.Reliable.Retransmit entries ->
+            List.iter
+              (fun (seq, (sh : shipment)) ->
+                let oq = Option.bind (message_query sh.msg) (find_open t) in
+                t.total_retransmits <- t.total_retransmits + 1;
+                (match oq with
+                 | Some oq ->
+                   oq.metrics.Metrics.retransmits <- oq.metrics.Metrics.retransmits + 1
+                 | None -> ());
+                record t site "retransmit" (Fmt.str "%s seq=%d to %d" sh.label seq peer);
+                let span =
+                  match oq with
+                  | Some oq ->
+                    Hf_obs.Tracer.start t.tracer ~parent:oq.span ~query:(qname oq.id)
+                      ~site ~phase:Hf_obs.Span.Retransmit
+                      (Fmt.str "retransmit->%d" peer)
+                  | None -> 0
+                in
+                Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%s seq=%d" sh.label seq);
+                transmit t ~src:site ~dst:peer ~span ~label:sh.label ~transit:sh.transit
+                  ~seq ~oq sh.msg)
+              entries
+          | Hf_proto.Reliable.Give_up entries ->
+            List.iter (fun (_, sh) -> abandon t ~src:site ~dst:peer sh) entries)
+        (Hf_proto.Reliable.poll link.rel ~now:(Hf_sim.Sim.now t.sim));
+      arm_link t ~site ~peer
+    end
+
+  (* Standalone cumulative ack: transport-level, so it bypasses the site
+     CPU — the serial-CPU model charges for protocol work, not for the
+     delivery substrate. *)
+  and send_ack t ~src ~dst =
+    t.standalone_acks <- t.standalone_acks + 1;
+    record t src "ack-send" (Fmt.str "to %d" dst);
+    transmit t ~src ~dst ~label:"ack" ~transit:t.config.costs.control_transit ~seq:0
+      ~oq:None (Ack { src })
+
+  (* The retry cap fired for [sh] (or the link was already dead at send
+     time): the receiver provably never processed the message, so its
+     credit can be reclaimed without risk of double-counting —
+     [D.on_send_failed] unwinds the send exactly once per tag.  The
+     originator learns its answer is partial via an [Unreachable]
+     notice (or directly, when the giving-up site is the originator).
+     Results/control messages carry no unwindable tag: their loss
+     matters only when the destination — the originator — is itself
+     gone, and then there is no one left to tell. *)
+  and abandon t ~src ~dst (sh : shipment) =
+    (match Option.bind (message_query sh.msg) (find_open t) with
+     | Some oq -> oq.metrics.Metrics.give_ups <- oq.metrics.Metrics.give_ups + 1
+     | None -> ());
+    record t src "give-up" (Fmt.str "%s to %d" sh.label dst);
+    let site = t.sites.(src) in
+    let reclaim query tag =
+      (match context_of t site query with
+       | None -> ()
+       | Some ctx ->
+         let result = D.on_send_failed ctx.detector ~dst tag in
+         (match find_open t query with
+          | Some oq -> handle_detector_result t oq result (send_control t ~src ctx)
+          | None ->
+            let controls, _ = result in
+            List.iter (send_control t ~src ctx) controls));
+      notify_unreachable t ~src query ~dead:dst
+    in
+    match sh.msg with
+    | Work { groups; _ } -> List.iter (fun (query, _, tag) -> reclaim query tag) groups
+    | Seed_from { query; tag; _ } -> reclaim query tag
+    | Results _ | Control _ | Unreachable _ | Ack _ -> ()
+
+  and notify_unreachable t ~src query ~dead =
+    match find_open t query with
+    | None -> ()
+    | Some oq ->
+      if src = query.Hf_proto.Message.originator then mark_unreachable t oq dead
+      else
+        deliver t ~src ~oq:(Some oq) ~label:"unreachable"
+          ~transit:t.config.costs.control_transit
+          ~dst:query.Hf_proto.Message.originator
+          (Unreachable { query; dead; src; span = 0 })
+          (fun dsite message -> handle_message t dsite message)
 
   and send_control t ~src ctx (dst, payload) =
     let oq = find_open t ctx.query in
@@ -878,6 +1158,15 @@ module Make (D : Hf_termination.Detector.S) = struct
                   enqueue t site (process_one t site ctx))
                 seeds;
               maybe_drain t site ctx ))
+    | Ack _ ->
+      (* transport-level; consumed in [transmit] before dedup. *)
+      (0.0, fun () -> ())
+    | Unreachable { query; dead; _ } -> (
+        match find_open t query with
+        | None -> (0.0, fun () -> ())
+        | Some oq ->
+          Metrics.add_busy oq.metrics site.id costs.control_recv;
+          (costs.control_recv, fun () -> mark_unreachable t oq dead))
 
   (* --- detector polling (wave-based detectors) --- *)
 
@@ -916,6 +1205,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         final_bindings = Hashtbl.create 4;
         counts = [];
         terminated = false;
+        unreachable_sites = [];
         finish_time = Hf_sim.Sim.now t.sim;
       }
     in
@@ -944,6 +1234,7 @@ module Make (D : Hf_termination.Detector.S) = struct
       bindings;
       counts = List.sort compare counts;
       terminated = oq.terminated;
+      unreachable_sites = List.sort compare oq.unreachable_sites;
       response_time =
         (if oq.terminated then oq.finish_time -. oq.start_time
          else Hf_sim.Sim.now t.sim -. oq.start_time);

@@ -20,6 +20,15 @@ type t = {
       (* deref requests for (object, start) pairs the receiving site had
          already processed — the cost of local (vs global) mark tables *)
   mutable dropped_messages : int; (* messages the lossy network swallowed *)
+  mutable retransmits : int;
+      (* transmissions repeated by the reliability layer after an ack
+         timeout *)
+  mutable dup_drops : int;
+      (* deliveries discarded by receiver-side dedup (a retransmitted
+         copy of a message that already arrived) *)
+  mutable give_ups : int;
+      (* messages abandoned after the retry cap — the peer was declared
+         unreachable and the message's credit reclaimed *)
   busy : float array; (* per-site CPU busy time *)
   mutable results_shipped : int; (* result items that crossed the network *)
 }
@@ -38,6 +47,9 @@ let create ~n_sites =
     result_bytes = 0;
     duplicate_work_messages = 0;
     dropped_messages = 0;
+    retransmits = 0;
+    dup_drops = 0;
+    give_ups = 0;
     busy = Array.make n_sites 0.0;
     results_shipped = 0;
   }
@@ -68,6 +80,9 @@ let register ?(prefix = "hf.server") t registry =
   c "result_bytes" (fun () -> t.result_bytes);
   c "duplicate_work_messages" (fun () -> t.duplicate_work_messages);
   c "dropped_messages" (fun () -> t.dropped_messages);
+  c "retransmits" (fun () -> t.retransmits);
+  c "dup_drops" (fun () -> t.dup_drops);
+  c "give_ups" (fun () -> t.give_ups);
   c "results_shipped" (fun () -> t.results_shipped);
   c "total_messages" (fun () -> total_messages t);
   c "total_bytes" (fun () -> total_bytes t);
@@ -84,9 +99,10 @@ let to_json t = Hf_obs.Registry.to_json (view t)
 let pp_summary ppf t =
   Fmt.pf ppf
     "work=%d/%d items (%dB, %d batched, %dB saved) result=%d (%dB) control=%d (+%d piggybacked) \
-     dup-work=%d dropped=%d shipped=%d busy: total=%.3fs max=%.3fs"
+     dup-work=%d dropped=%d rtx=%d dup-drop=%d gave-up=%d shipped=%d busy: total=%.3fs max=%.3fs"
     t.work_messages t.work_items t.work_bytes t.work_batches t.batch_bytes_saved t.result_messages
     t.result_bytes t.control_messages t.piggybacked_controls t.duplicate_work_messages
-    t.dropped_messages t.results_shipped (total_busy t) (max_busy t)
+    t.dropped_messages t.retransmits t.dup_drops t.give_ups t.results_shipped (total_busy t)
+    (max_busy t)
 
 let pp = pp_summary

@@ -22,6 +22,15 @@ type t = {
           the cost of keeping mark tables local (paper, Section 3.2). *)
   mutable dropped_messages : int;
       (** messages the lossy network swallowed before delivery. *)
+  mutable retransmits : int;
+      (** transmissions repeated by the reliability layer after an ack
+          timeout. *)
+  mutable dup_drops : int;
+      (** deliveries discarded by receiver-side dedup (a retransmitted
+          copy of a message that had already arrived). *)
+  mutable give_ups : int;
+      (** messages abandoned after the retry cap: the peer was declared
+          unreachable and the message's credit reclaimed. *)
   busy : float array;  (** per-site CPU busy time (seconds). *)
   mutable results_shipped : int;
       (** result items that crossed the network. *)

@@ -38,6 +38,15 @@ module type S = sig
       (e.g. Dijkstra–Scholten acknowledgements).  Called once per
       message even when it batches several work items. *)
 
+  val on_send_failed : t -> dst:int -> tag -> (int * control) list * bool
+  (** A work message tagged [tag] for [dst] was reported undeliverable
+      (the reliability layer exhausted its retries): whatever the tag
+      pledged — a credit share, a deficit increment, a send count —
+      must be unwound as if the message had never been sent, or the
+      query could never terminate.  Called at most once per tag, and
+      only for tags whose message the receiver provably never
+      processed.  Same result convention as [on_drain]. *)
+
   val on_drain : t -> (int * control) list * bool
   (** The local working set just became empty.  Returns control
       messages to send and, at the origin, whether termination is now

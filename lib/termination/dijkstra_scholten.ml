@@ -72,6 +72,15 @@ let on_recv_work t ~src () =
     []
   end
 
+(* An undeliverable work message never engaged its receiver, so the ack
+   it owed will never come: cancel the deficit entry directly.  This
+   can complete the detach condition, exactly as the missing ack would
+   have. *)
+let on_send_failed t ~dst:_ () =
+  t.deficit <- t.deficit - 1;
+  assert (t.deficit >= 0);
+  try_detach t
+
 let on_drain t =
   t.active <- false;
   try_detach t

@@ -63,6 +63,13 @@ let on_seed t =
 
 let on_send_work t ~dst:_ = t.sent <- t.sent + 1
 
+(* An undeliverable work message will never appear in any receiver's
+   counter: uncount the send, or sent = received could never hold
+   again. *)
+let on_send_failed t ~dst:_ () =
+  t.sent <- t.sent - 1;
+  ([], false)
+
 let on_recv_work t ~src:_ () =
   t.received <- t.received + 1;
   t.active <- true;

@@ -61,6 +61,22 @@ let on_recv_work t ~src:_ credit =
 
 let terminated t = t.self = t.origin && Credit.is_one t.recovered
 
+(* An undeliverable work message: its credit share was split off but
+   will never be held (the receiver provably never processed the
+   message), so recover it directly — at the origin into [recovered],
+   elsewhere as an ordinary return control.  The unit invariant is
+   preserved and the origin still converges to exactly 1. *)
+let on_send_failed t ~dst:_ credit =
+  if Credit.is_zero credit then ([], terminated t)
+  else if t.self = t.origin then begin
+    t.recovered <- Credit.add t.recovered credit;
+    ([], terminated t)
+  end
+  else begin
+    t.returns <- t.returns + 1;
+    ([ (t.origin, Return credit) ], false)
+  end
+
 let on_drain t =
   if Credit.is_zero t.held then ([], terminated t)
   else begin

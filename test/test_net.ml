@@ -12,11 +12,22 @@ let check_bool = Alcotest.(check bool)
 let parse_program = Hf_query.Parser.parse_program
 
 (* Spin up [n] sites on loopback and wire them together. *)
-let with_sites ?batch n f =
-  let sites = Array.init n (fun site -> Tcp.create ~site ?batch ()) in
+let with_sites ?batch ?reliability n f =
+  let sites = Array.init n (fun site -> Tcp.create ~site ?batch ?reliability ()) in
   let addresses = Array.map Tcp.address sites in
   Array.iter (fun site -> Tcp.set_peers site addresses) sites;
   Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
+
+(* Tight timeouts so a dead-peer test gives up in about a second of
+   wall clock instead of Reliable.default's minute. *)
+let fast_reliability =
+  {
+    Hf_proto.Reliable.ack_timeout = 0.05;
+    backoff = 2.0;
+    max_timeout = 0.2;
+    max_retries = 5;
+    ack_delay = 0.01;
+  }
 
 (* Ring of [n] objects alternating over the sites, keyword on every
    third object. *)
@@ -104,6 +115,32 @@ let test_dead_peer_times_out_with_partial_results () =
       Tcp.shutdown sites.(2);
       let outcome = Tcp.run_query ~timeout:1.0 sites.(0) closure [ oids.(0) ] in
       check_bool "not terminated" false outcome.Tcp.terminated;
+      check_bool "status says timed out, not dead" true (outcome.Tcp.status = Tcp.Timed_out);
+      check_bool "partial results" true (List.length outcome.Tcp.results >= 1))
+
+let test_reliable_matches_plain () =
+  (* Reliability changes the frame layout (envelopes) and adds ack
+     traffic, but over a healthy network the answer is identical. *)
+  with_sites ~reliability:fast_reliability 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      let outcome = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      check_bool "complete" true (outcome.Tcp.status = Tcp.Complete);
+      check_int "results" 4 (List.length outcome.Tcp.results))
+
+let test_dead_peer_partial_with_reliability () =
+  (* Same dead peer as above, but with ack/retransmit underneath: the
+     retry budget distinguishes "peer dead" from "peer slow".  Instead
+     of hanging until the caller's timeout, retransmission gives up,
+     the credit aboard the undeliverable work is reclaimed, and the
+     query terminates with an explicit [Partial] naming the site. *)
+  with_sites ~reliability:fast_reliability 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      Tcp.shutdown sites.(2);
+      let outcome = Tcp.run_query ~timeout:10.0 sites.(0) closure [ oids.(0) ] in
+      check_bool "terminated before the 10 s timeout" true outcome.Tcp.terminated;
+      check_bool "status is partial naming site 2" true (outcome.Tcp.status = Tcp.Partial [ 2 ]);
+      check_bool "well under the timeout" true (outcome.Tcp.response_time < 8.0);
       check_bool "partial results" true (List.length outcome.Tcp.results >= 1))
 
 let test_concurrent_remote_seeds () =
@@ -231,6 +268,9 @@ let () =
           Alcotest.test_case "sequential queries" `Quick test_sequential_queries;
           Alcotest.test_case "dead peer: timeout + partial results" `Quick
             test_dead_peer_times_out_with_partial_results;
+          Alcotest.test_case "reliable delivery matches plain" `Quick test_reliable_matches_plain;
+          Alcotest.test_case "dead peer with reliability: explicit partial" `Quick
+            test_dead_peer_partial_with_reliability;
           Alcotest.test_case "remote initial set" `Quick test_concurrent_remote_seeds;
           Alcotest.test_case "batched fan-out" `Quick test_batched_fan_out;
           Alcotest.test_case "batched ring matches local engine" `Quick

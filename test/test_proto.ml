@@ -87,6 +87,42 @@ let sample_batch =
 
 let test_roundtrip_work_batch () = check_bool "work batch" true (roundtrip sample_batch)
 
+let test_roundtrip_link_ack () = check_bool "link ack" true (roundtrip Message.Link_ack)
+
+let test_roundtrip_site_unreachable () =
+  check_bool "site unreachable" true
+    (roundtrip
+       (Message.Site_unreachable { query = { Message.originator = 1; serial = 9 }; dead = 4 }))
+
+let test_envelope_roundtrip () =
+  let rel = { Codec.src = 3; seq = 41; ack = 40 } in
+  let encoded = Codec.encode ~span:7 ~rel sample_deref in
+  (match Codec.decode_enveloped encoded with
+   | Ok (message, span, Some got) ->
+     check_bool "message" true (Message.equal message sample_deref);
+     check_int "span" 7 span;
+     check_int "src" 3 got.Codec.src;
+     check_int "seq" 41 got.Codec.seq;
+     check_int "ack" 40 got.Codec.ack
+   | Ok (_, _, None) -> Alcotest.fail "reliability envelope lost"
+   | Error err -> Alcotest.fail err);
+  (* the plain decoders accept (and discard) both envelopes *)
+  check_bool "decode" true
+    (match Codec.decode encoded with
+     | Ok m -> Message.equal m sample_deref
+     | Error _ -> false);
+  check_bool "decode_traced" true
+    (match Codec.decode_traced encoded with
+     | Ok (m, span) -> span = 7 && Message.equal m sample_deref
+     | Error _ -> false)
+
+let test_envelope_absent_is_plain () =
+  let plain = Codec.encode sample_deref in
+  match Codec.decode_enveloped plain with
+  | Ok (m, 0, None) -> check_bool "message" true (Message.equal m sample_deref)
+  | Ok _ -> Alcotest.fail "phantom envelope on plain bytes"
+  | Error err -> Alcotest.fail err
+
 let test_work_batch_empty_rejected () =
   (* An empty group list must not encode... *)
   (try
@@ -316,6 +352,10 @@ let gen_message =
            return { Message.query; body; items; credit }
          in
          map (fun groups -> Message.Work_batch groups) (list_size (int_range 1 4) gen_group));
+        return Message.Link_ack;
+        (let* query = gen_query_id in
+         let* dead = int_range 0 15 in
+         return (Message.Site_unreachable { query; dead }));
       ])
 
 let prop_message_roundtrip =
@@ -332,6 +372,160 @@ let prop_truncation_rejected =
         | Error _ -> ()
       done;
       !ok)
+
+(* --- Reliable link state machine --- *)
+
+module Reliable = Hf_proto.Reliable
+
+let rcfg =
+  {
+    Reliable.ack_timeout = 1.0;
+    backoff = 2.0;
+    max_timeout = 4.0;
+    max_retries = 2;
+    ack_delay = 0.1;
+  }
+
+let test_reliable_sequencing () =
+  let l = Reliable.create rcfg in
+  check_int "first seq" 1 (Reliable.send l ~now:0.0 "a");
+  check_int "second seq" 2 (Reliable.send l ~now:0.1 "b");
+  check_int "third seq" 3 (Reliable.send l ~now:0.2 "c");
+  check_int "in flight" 3 (Reliable.in_flight l);
+  let latencies = Reliable.on_ack l ~now:0.5 2 in
+  check_int "two acked" 2 (List.length latencies);
+  check_bool "latencies measured from first send" true
+    (List.sort compare latencies = [ 0.4; 0.5 ]);
+  check_int "one left" 1 (Reliable.in_flight l);
+  check_int "stale ack is idempotent" 0 (List.length (Reliable.on_ack l ~now:0.6 2))
+
+let test_reliable_dedup () =
+  let l = Reliable.create rcfg in
+  check_bool "1 fresh" true (Reliable.receive l ~now:0.0 ~seq:1 = `Fresh);
+  check_bool "1 again = dup" true (Reliable.receive l ~now:0.1 ~seq:1 = `Duplicate);
+  check_bool "3 out of order = fresh" true (Reliable.receive l ~now:0.2 ~seq:3 = `Fresh);
+  check_bool "3 again = dup" true (Reliable.receive l ~now:0.3 ~seq:3 = `Duplicate);
+  check_int "cum stops at the gap" 1 (Reliable.take_ack l);
+  check_bool "2 fills the gap" true (Reliable.receive l ~now:0.4 ~seq:2 = `Fresh);
+  check_int "cum catches up" 3 (Reliable.take_ack l);
+  check_int "dup count" 2 (Reliable.duplicates l)
+
+let test_reliable_retransmit_backoff () =
+  let l = Reliable.create rcfg in
+  ignore (Reliable.send l ~now:0.0 "a");
+  check_bool "armed at ack_timeout" true (Reliable.next_deadline l = Some 1.0);
+  check_bool "quiet before the deadline" true (Reliable.poll l ~now:0.5 = []);
+  (match Reliable.poll l ~now:1.0 with
+   | [ Reliable.Retransmit [ (1, "a") ] ] -> ()
+   | _ -> Alcotest.fail "expected a retransmission at the deadline");
+  check_bool "timeout doubled" true (Reliable.next_deadline l = Some 3.0);
+  check_int "counted" 1 (Reliable.retransmitted l);
+  (* progress resets the backoff *)
+  ignore (Reliable.on_ack l ~now:3.0 1);
+  ignore (Reliable.send l ~now:4.0 "b");
+  check_bool "backoff reset by the ack" true (Reliable.next_deadline l = Some 5.0)
+
+let test_reliable_give_up () =
+  let l = Reliable.create rcfg in
+  ignore (Reliable.send l ~now:0.0 "a");
+  ignore (Reliable.poll l ~now:2.0);
+  ignore (Reliable.poll l ~now:10.0);
+  (match Reliable.poll l ~now:20.0 with
+   | [ Reliable.Give_up [ (1, "a") ] ] -> ()
+   | _ -> Alcotest.fail "expected give-up once the retry cap fired");
+  check_bool "unreachable" true (Reliable.unreachable l);
+  Alcotest.check_raises "send refused" (Invalid_argument "Reliable.send: link unreachable")
+    (fun () -> ignore (Reliable.send l ~now:21.0 "b"))
+
+let test_reliable_delayed_ack () =
+  let l = Reliable.create rcfg in
+  check_bool "nothing owed" true (not (Reliable.ack_owed l));
+  ignore (Reliable.receive l ~now:0.0 ~seq:1);
+  check_bool "owed" true (Reliable.ack_owed l);
+  check_bool "ack deadline armed" true (Reliable.next_deadline l = Some 0.1);
+  check_bool "piggyback window still open" true (Reliable.poll l ~now:0.05 = []);
+  (match Reliable.poll l ~now:0.1 with
+   | [ Reliable.Send_ack ] -> ()
+   | _ -> Alcotest.fail "expected a standalone ack");
+  check_int "cumulative value" 1 (Reliable.take_ack l);
+  check_bool "cleared" true (not (Reliable.ack_owed l));
+  check_bool "idle" true (Reliable.next_deadline l = None)
+
+let test_reliable_validate () =
+  let rejects config =
+    match Reliable.validate config with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "zero timeout" true (rejects { rcfg with Reliable.ack_timeout = 0.0 });
+  check_bool "backoff below 1" true (rejects { rcfg with Reliable.backoff = 0.5 });
+  check_bool "cap below initial" true (rejects { rcfg with Reliable.max_timeout = 0.5 });
+  check_bool "negative retries" true (rejects { rcfg with Reliable.max_retries = -1 });
+  check_bool "negative ack delay" true (rejects { rcfg with Reliable.ack_delay = -0.1 });
+  Reliable.validate Reliable.default
+
+(* Drive a sender/receiver pair over a channel that drops both data and
+   acks from a deterministic pseudo-random schedule: every message must
+   come out exactly once — retransmission covers the losses, dedup
+   covers the redeliveries. *)
+let prop_reliable_lossy_exactly_once =
+  QCheck2.Test.make ~name:"lossy channel delivers exactly once" ~count:100
+    QCheck2.Gen.(triple (int_range 1 25) (int_range 0 1_000_000) (int_range 0 60))
+    (fun (n, seed, drop_pct) ->
+      let cfg =
+        {
+          Reliable.ack_timeout = 1.0;
+          backoff = 1.5;
+          max_timeout = 8.0;
+          max_retries = 200;
+          ack_delay = 0.2;
+        }
+      in
+      let s = Reliable.create cfg and r = Reliable.create cfg in
+      let state = ref (seed + 1) in
+      let drop () =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod 100 < drop_pct
+      in
+      let delivered = Array.make (n + 1) 0 in
+      let attempt now seq =
+        if not (drop ()) then begin
+          (match Reliable.receive r ~now ~seq with
+           | `Fresh -> delivered.(seq) <- delivered.(seq) + 1
+           | `Duplicate -> ());
+          (* the receiver acks immediately; the ack may be lost too *)
+          let ack = Reliable.take_ack r in
+          if not (drop ()) then ignore (Reliable.on_ack s ~now ack)
+        end
+      in
+      let now = ref 0.0 in
+      for i = 1 to n do
+        attempt !now (Reliable.send s ~now:!now i)
+      done;
+      let complete = ref true in
+      let guard = ref 0 in
+      while Reliable.in_flight s > 0 && !complete && !guard < 10_000 do
+        incr guard;
+        (match Reliable.next_deadline s with
+         | Some d -> now := Float.max !now d
+         | None -> ());
+        List.iter
+          (function
+            | Reliable.Retransmit entries ->
+              List.iter (fun (seq, _) -> attempt !now seq) entries
+            | Reliable.Send_ack -> ()
+            | Reliable.Give_up _ -> complete := false)
+          (Reliable.poll s ~now:!now)
+      done;
+      !complete
+      && Reliable.in_flight s = 0
+      && Array.for_all (fun count -> count <= 1) delivered
+      &&
+      let all = ref true in
+      for i = 1 to n do
+        if delivered.(i) <> 1 then all := false
+      done;
+      !all)
 
 (* --- Framing --- *)
 
@@ -396,6 +590,11 @@ let () =
           Alcotest.test_case "result/count round-trip" `Quick test_roundtrip_result_count;
           Alcotest.test_case "credit-return round-trip" `Quick test_roundtrip_credit_return;
           Alcotest.test_case "work-batch round-trip" `Quick test_roundtrip_work_batch;
+          Alcotest.test_case "link-ack round-trip" `Quick test_roundtrip_link_ack;
+          Alcotest.test_case "site-unreachable round-trip" `Quick
+            test_roundtrip_site_unreachable;
+          Alcotest.test_case "reliability envelope round-trip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "no envelope = plain bytes" `Quick test_envelope_absent_is_plain;
           Alcotest.test_case "empty work batch rejected" `Quick test_work_batch_empty_rejected;
           Alcotest.test_case "batch amortizes headers" `Quick test_batch_amortization;
           Alcotest.test_case "truncation rejected" `Quick test_decode_truncated;
@@ -413,6 +612,16 @@ let () =
           Alcotest.test_case "partial pending" `Quick test_frame_partial_pending;
           Alcotest.test_case "oversize rejected" `Quick test_frame_oversize_rejected;
           qtest prop_frame_roundtrip_chunked;
+        ] );
+      ( "reliable link",
+        [
+          Alcotest.test_case "sequencing and cumulative acks" `Quick test_reliable_sequencing;
+          Alcotest.test_case "receiver dedup" `Quick test_reliable_dedup;
+          Alcotest.test_case "retransmit with backoff" `Quick test_reliable_retransmit_backoff;
+          Alcotest.test_case "give-up at the retry cap" `Quick test_reliable_give_up;
+          Alcotest.test_case "delayed standalone ack" `Quick test_reliable_delayed_ack;
+          Alcotest.test_case "config validation" `Quick test_reliable_validate;
+          qtest prop_reliable_lossy_exactly_once;
         ] );
       ( "batch buffer",
         [

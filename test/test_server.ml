@@ -214,6 +214,57 @@ module Loss_battery = struct
       QCheck2.Gen.int (fun seed -> run_once ~seed)
 end
 
+(* Reliability: with the ack/retransmit layer underneath, a lossy
+   network yields EXACTLY the lossless answer — same result set,
+   termination detected, recovered credit 1 (run_query asserts this
+   internally), and no object evaluated twice: receiver-side dedup
+   makes redelivery idempotent, so the merged objects_processed count
+   matches the lossless run's. *)
+module Reliable_battery = struct
+  module C = Hf_server.Cluster.Make (Hf_termination.Weighted)
+  module L = Load (C)
+
+  (* A generous retry budget so even p = 0.2 never falsely declares a
+     live peer unreachable across thousands of property-test messages. *)
+  let reliability = Some { Hf_proto.Reliable.default with Hf_proto.Reliable.max_retries = 30 }
+
+  let run_at ~seed ~loss =
+    let prng = Hf_util.Prng.create seed in
+    let n_sites = 2 + Hf_util.Prng.next_int prng 3 in
+    let ds = random_dataset prng ~n_sites in
+    let query = parse (List.nth queries (Hf_util.Prng.next_int prng (List.length queries))) in
+    let origin = Hf_util.Prng.next_int prng n_sites in
+    let initial_logical = [ Hf_util.Prng.next_int prng ds.n ] in
+    let run config =
+      let cluster = C.create ~config ~n_sites () in
+      let oids = L.load cluster ds in
+      let outcome =
+        C.run_query cluster ~origin (Hf_query.Compile.compile query)
+          (List.map (fun i -> oids.(i)) initial_logical)
+      in
+      let logical oid =
+        let found = ref (-1) in
+        Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
+        !found
+      in
+      (outcome, List.sort compare (List.map logical (Oid.Set.elements outcome.Cluster.result_set)))
+    in
+    let lossy, got =
+      run { Cluster.default_config with Cluster.loss; jitter_seed = seed; reliability }
+    in
+    let lossless, expected = run { Cluster.default_config with Cluster.jitter_seed = seed } in
+    lossy.Cluster.terminated && lossless.Cluster.terminated
+    && lossy.Cluster.unreachable_sites = []
+    && got = expected
+    && lossy.Cluster.engine_stats.Hf_engine.Stats.objects_processed
+       = lossless.Cluster.engine_stats.Hf_engine.Stats.objects_processed
+
+  let prop ~loss =
+    QCheck2.Test.make
+      ~name:(Fmt.str "retransmit at p=%.2f: lossless answer, nothing evaluated twice" loss)
+      ~count:80 QCheck2.Gen.int (fun seed -> run_at ~seed ~loss)
+end
+
 (* --- Focused scenarios on the weighted cluster --- *)
 
 module WC = Hf_server.Instances.Weighted
@@ -290,6 +341,52 @@ let test_kill_site_partial_results () =
   check_bool "not terminated (credit lost with the dead site)" false outcome.Cluster.terminated;
   (* ring 0->1->2(dead): only logical 0's hotness observable *)
   check_bool "partial results delivered" true (List.length outcome.Cluster.results >= 1)
+
+let test_dead_site_partial_with_reliability () =
+  (* Same dead site, but with the reliability layer: instead of hanging
+     with lost credit, retransmission exhausts its retries, the credit
+     aboard the undeliverable messages is reclaimed, and the query
+     TERMINATES with the dead site reported — an explicit partial
+     answer rather than a timeout. *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let config =
+    { Cluster.default_config with
+      Cluster.reliability = Some Hf_proto.Reliable.default;
+      jitter_seed = 7;
+    }
+  in
+  let cluster = WC.create ~config ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  WC.kill_site cluster 2;
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated (credit reclaimed from the dead link)" true outcome.Cluster.terminated;
+  check_bool "dead site reported" true (outcome.Cluster.unreachable_sites = [ 2 ]);
+  check_bool "give-ups counted" true (outcome.Cluster.metrics.Hf_server.Metrics.give_ups > 0);
+  (* ring 0->1->2(dead): only logical 0's hotness observable *)
+  check_bool "partial results delivered" true (List.length outcome.Cluster.results >= 1)
+
+let test_reliable_ring_under_loss () =
+  (* Deterministic heavy loss on the ring: with retransmission the
+     answer is exactly the lossless one, and the loss actually bit
+     (retransmits and dup-drops observable). *)
+  let ds = ring_dataset ~n:12 ~n_sites:3 in
+  let config =
+    { Cluster.default_config with
+      Cluster.loss = 0.3;
+      jitter_seed = 42;
+      reliability = Some Hf_proto.Reliable.default;
+    }
+  in
+  let cluster = WC.create ~config ~n_sites:3 () in
+  let oids = WL.load cluster ds in
+  let outcome = WC.run_query cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ] in
+  check_bool "terminated" true outcome.Cluster.terminated;
+  check_bool "no site given up on" true (outcome.Cluster.unreachable_sites = []);
+  check_int "full answer despite loss" 3 (List.length outcome.Cluster.results);
+  check_bool "losses actually happened" true
+    (outcome.Cluster.metrics.Hf_server.Metrics.dropped_messages > 0);
+  check_bool "retransmissions happened" true
+    (outcome.Cluster.metrics.Hf_server.Metrics.retransmits > 0)
 
 let test_counts_mode () =
   let ds = ring_dataset ~n:12 ~n_sites:3 in
@@ -683,6 +780,16 @@ let () =
             test_kill_site_partial_results;
           Alcotest.test_case "dropped messages are counted and traced" `Quick test_drop_metrics;
           qtest Loss_battery.prop;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "dead site: explicit partial answer" `Quick
+            test_dead_site_partial_with_reliability;
+          Alcotest.test_case "ring under heavy loss: exact answer" `Quick
+            test_reliable_ring_under_loss;
+          qtest (Reliable_battery.prop ~loss:0.0);
+          qtest (Reliable_battery.prop ~loss:0.05);
+          qtest (Reliable_battery.prop ~loss:0.2);
         ] );
       ( "batching",
         [
