@@ -752,6 +752,181 @@ let e15_loss_sweep () =
       Tab.right "dropped"; Tab.right "rtx"; Tab.right "dup-drop"; Tab.right "gave-up" ]
     (List.rev !rows)
 
+(* --- E16: remote-answer caching and Bloom ship pruning ----------------- *)
+
+(* A hub workload with repeat queries: one root object fans out to
+   [n_docs] documents whose placement is drawn per-document (local to
+   the origin with probability [locality], else round-robin over the
+   remote sites).  The query's post-ship suffix is deref-free, so every
+   shipped item's verdict is cacheable; repeating the query turns those
+   ships into local cache hits, and the Bloom summaries prune ships
+   whose selection provably matches nothing at the destination. *)
+let e16_n_docs = 120
+
+let e16_corpus ~n_sites ~locality cluster =
+  let prng = Hf_util.Prng.create 11 in
+  let docs =
+    Array.init e16_n_docs (fun i ->
+        let site =
+          if Hf_util.Prng.next_bool prng locality then 0 else 1 + (i mod (n_sites - 1))
+        in
+        let store = C.store cluster site in
+        let oid = Hf_data.Store.fresh_oid store in
+        let tuples =
+          [ Hf_data.Tuple.number ~key:"id" i ]
+          @ (if i mod 10 < 3 then [ Hf_data.Tuple.keyword "hot" ] else [])
+          (* "annotated" exists only on site 1: ships of an annotated
+             search to any other site die on arrival, which the
+             destination summary proves in advance *)
+          @ (if site = 1 then [ Hf_data.Tuple.keyword "annotated" ] else [])
+        in
+        Hf_data.Store.insert store (Hf_data.Hobject.of_tuples oid tuples);
+        oid)
+  in
+  let root_store = C.store cluster 0 in
+  let root = Hf_data.Store.fresh_oid root_store in
+  Hf_data.Store.insert root_store
+    (Hf_data.Hobject.of_tuples root
+       (Array.to_list (Array.map (fun oid -> Hf_data.Tuple.pointer ~key:"R" oid) docs)));
+  root
+
+type e16_tally = {
+  mutable t_work_items : int;
+  mutable t_work_bytes : int;
+  mutable t_hits : int;
+  mutable t_prunes : int;
+  mutable t_misses : int;
+  mutable t_validations : int;
+  mutable t_fills : int;
+  mutable t_resp : float;
+}
+
+let e16_run ~cache ~locality ~program ~repeats =
+  let config = { Cluster.default_config with Cluster.cache } in
+  let cluster = C.create ~config ~n_sites:3 () in
+  let root = e16_corpus ~n_sites:3 ~locality cluster in
+  let tally =
+    { t_work_items = 0; t_work_bytes = 0; t_hits = 0; t_prunes = 0; t_misses = 0;
+      t_validations = 0; t_fills = 0; t_resp = 0.0 }
+  in
+  let sets =
+    List.init repeats (fun _ ->
+        let o = C.run_query cluster ~origin:0 program [ root ] in
+        assert o.Cluster.terminated;
+        let m = o.Cluster.metrics in
+        tally.t_work_items <- tally.t_work_items + m.Metrics.work_items;
+        tally.t_work_bytes <- tally.t_work_bytes + m.Metrics.work_bytes;
+        tally.t_hits <- tally.t_hits + m.Metrics.cache_hits;
+        tally.t_prunes <- tally.t_prunes + m.Metrics.cache_prunes;
+        tally.t_misses <- tally.t_misses + m.Metrics.cache_misses;
+        tally.t_validations <- tally.t_validations + m.Metrics.cache_validations;
+        tally.t_fills <- tally.t_fills + m.Metrics.cache_fills;
+        tally.t_resp <- tally.t_resp +. o.Cluster.response_time;
+        (match C.last_query_id cluster with
+         | Some qid -> C.forget_query cluster qid
+         | None -> ());
+        o.Cluster.result_set)
+  in
+  (sets, tally)
+
+let e16_cache_pruning () =
+  section "E16 (extension): remote-answer caching and Bloom ship pruning"
+    "the paper re-ships the query for every remote dereference, every time; memoizing remote \
+     verdicts (revalidated by store version) and pruning ships against Bloom tuple summaries \
+     removes repeat traffic without ever changing an answer (DESIGN.md §4g)";
+  let repeats = 5 in
+  let program =
+    Hf_query.Parser.parse_program "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)"
+  in
+  Fmt.pr "   hub workload: %d documents, 3 machines, the same query issued %d times@."
+    e16_n_docs repeats;
+  let total_base_items = ref 0 and total_avoided = ref 0 in
+  let all_identical = ref true in
+  let rows =
+    List.map
+      (fun locality ->
+        let base_sets, base = e16_run ~cache:None ~locality ~program ~repeats in
+        let cached_sets, cached =
+          e16_run ~cache:(Some Hf_index.Remote_cache.default) ~locality ~program ~repeats
+        in
+        let identical = List.for_all2 Hf_data.Oid.Set.equal base_sets cached_sets in
+        all_identical := !all_identical && identical;
+        let avoided = cached.t_hits + cached.t_prunes in
+        total_base_items := !total_base_items + base.t_work_items;
+        total_avoided := !total_avoided + avoided;
+        let avoided_frac = float_of_int avoided /. float_of_int (max 1 base.t_work_items) in
+        let id = Printf.sprintf "e16.local%02.0f" (locality *. 100.0) in
+        record_json id
+          (J.Obj
+             [ ("locality", J.Float locality);
+               ("repeats", J.Int repeats);
+               ("baseline_work_items", J.Int base.t_work_items);
+               ("cached_work_items", J.Int cached.t_work_items);
+               ("cache_hits", J.Int cached.t_hits);
+               ("cache_prunes", J.Int cached.t_prunes);
+               ("cache_misses", J.Int cached.t_misses);
+               ("cache_validations", J.Int cached.t_validations);
+               ("cache_fills", J.Int cached.t_fills);
+               ("ships_avoided_frac", J.Float avoided_frac);
+               ("work_bytes_saved", J.Int (base.t_work_bytes - cached.t_work_bytes));
+               ("baseline_mean_response_s", J.Float (base.t_resp /. float_of_int repeats));
+               ("cached_mean_response_s", J.Float (cached.t_resp /. float_of_int repeats));
+               ("result_sets_identical", J.Bool identical);
+             ]);
+        [ Printf.sprintf "%.0f%%" (locality *. 100.0);
+          string_of_int base.t_work_items;
+          string_of_int cached.t_work_items;
+          string_of_int cached.t_hits;
+          string_of_int cached.t_prunes;
+          Printf.sprintf "%.0f%%" (avoided_frac *. 100.0);
+          string_of_int (base.t_work_bytes - cached.t_work_bytes);
+          f2 (base.t_resp /. float_of_int repeats);
+          f2 (cached.t_resp /. float_of_int repeats);
+        ])
+      [ 0.2; 0.5; 0.8 ]
+  in
+  print_table
+    [ Tab.column "P(local)"; Tab.right "ships (base)"; Tab.right "ships (cached)";
+      Tab.right "hits"; Tab.right "prunes"; Tab.right "avoided"; Tab.right "bytes saved";
+      Tab.right "base resp (s)"; Tab.right "cached resp (s)" ]
+    rows;
+  let overall =
+    float_of_int !total_avoided /. float_of_int (max 1 !total_base_items)
+  in
+  record_json "e16.overall_ships_avoided" (J.Float overall);
+  record_json "e16.result_sets_identical" (J.Bool !all_identical);
+  Fmt.pr "   overall ships avoided: %.0f%%; result sets identical to cache-off: %b@."
+    (overall *. 100.0) !all_identical;
+  (* the PR's acceptance floor: >= 30%% avoided, byte-identical answers *)
+  assert (overall >= 0.30);
+  assert !all_identical;
+  (* Bloom pruning in isolation: a selection whose keyword lives only on
+     site 1 — ships to site 2 are provably dead and never leave, even on
+     the first, cold-cache run. *)
+  let annotated =
+    Hf_query.Parser.parse_program "(Pointer, \"R\", ?X) ^^X (Keyword, \"annotated\", ?)"
+  in
+  let sets_cold, cold = e16_run ~cache:None ~locality:0.2 ~program:annotated ~repeats:1 in
+  let sets_pruned, pruned =
+    e16_run ~cache:(Some Hf_index.Remote_cache.default) ~locality:0.2 ~program:annotated
+      ~repeats:1
+  in
+  let agree =
+    List.for_all2 Hf_data.Oid.Set.equal sets_cold sets_pruned
+  in
+  record_json "e16.prune"
+    (J.Obj
+       [ ("baseline_work_items", J.Int cold.t_work_items);
+         ("cached_work_items", J.Int pruned.t_work_items);
+         ("cache_prunes", J.Int pruned.t_prunes);
+         ("result_sets_identical", J.Bool agree);
+       ]);
+  Fmt.pr
+    "   cold-cache prune check (keyword on one site only): %d of %d ships pruned, answers \
+     agree: %b@."
+    pruned.t_prunes cold.t_work_items agree;
+  assert agree
+
 (* --- E14: index acceleration (extension beyond the paper) ------------- *)
 
 let e14_index_acceleration () =
@@ -955,6 +1130,7 @@ let () =
   timed "e13" e13_batching;
   timed "e14" e14_index_acceleration;
   timed "e15" e15_loss_sweep;
+  timed "e16" e16_cache_pruning;
   timed "micro" micro_benchmarks;
   Option.iter write_json json_path;
   Fmt.pr "@.done.@."

@@ -10,8 +10,16 @@
    root; scripts can traverse Chain/Tree/RandNN pointer classes and
    filter on the Unique/Common/Rand10/Rand100/Rand1000 search keys. *)
 
-let setup_server ?tracer ~sites ~objects ~seed () =
-  let server = Hf_client.Embedded.create ?tracer ~n_sites:sites () in
+let setup_server ?tracer ?(cache = false) ~sites ~objects ~seed () =
+  let config =
+    if cache then
+      Some
+        { Hf_server.Cluster.default_config with
+          Hf_server.Cluster.cache = Some Hf_index.Remote_cache.default;
+        }
+    else None
+  in
+  let server = Hf_client.Embedded.create ?config ?tracer ~n_sites:sites () in
   let params =
     { Hf_workload.Synthetic.default_params with
       Hf_workload.Synthetic.n_objects = objects;
@@ -102,10 +110,24 @@ let demo ~sites ~objects ~seed ~trace =
 
 (* --- interactive REPL --- *)
 
-let repl ~sites ~objects ~seed ~origin =
-  let server = setup_server ~sites ~objects ~seed () in
-  Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects.@." sites objects;
-  Fmt.pr "The set \"Root\" holds the dataset root.  Commands: :sets, :quit.@.";
+let repl ~sites ~objects ~seed ~origin ~cache =
+  let server = setup_server ~cache ~sites ~objects ~seed () in
+  (* Session totals for :cache-stats — the counters live in each
+     outcome's metrics, so we sum them as queries run. *)
+  let hits = ref 0 and misses = ref 0 and prunes = ref 0 in
+  let validations = ref 0 and fills = ref 0 and invalidations = ref 0 in
+  let tally (o : Hf_server.Cluster.outcome) =
+    let m = o.Hf_server.Cluster.metrics in
+    hits := !hits + m.Hf_server.Metrics.cache_hits;
+    misses := !misses + m.Hf_server.Metrics.cache_misses;
+    prunes := !prunes + m.Hf_server.Metrics.cache_prunes;
+    validations := !validations + m.Hf_server.Metrics.cache_validations;
+    fills := !fills + m.Hf_server.Metrics.cache_fills;
+    invalidations := !invalidations + m.Hf_server.Metrics.cache_invalidations
+  in
+  Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects%s.@." sites objects
+    (if cache then ", remote-answer cache on" else "");
+  Fmt.pr "The set \"Root\" holds the dataset root.  Commands: :sets, :cache-stats, :quit.@.";
   Fmt.pr "Example: Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits@.";
   let rec loop () =
     Fmt.pr "hfql> %!";
@@ -120,9 +142,24 @@ let repl ~sites ~objects ~seed ~origin =
            (fun (a, _) (b, _) -> String.compare a b)
            (Hf_client.Embedded.sets server));
       loop ()
+    | Some line when String.trim line = ":cache-stats" ->
+      if not cache then Fmt.pr "remote-answer cache is off (start the repl with --cache)@."
+      else begin
+        Fmt.pr "  hits          %d@." !hits;
+        Fmt.pr "  misses        %d@." !misses;
+        Fmt.pr "  prunes        %d@." !prunes;
+        Fmt.pr "  validations   %d@." !validations;
+        Fmt.pr "  fills         %d@." !fills;
+        Fmt.pr "  invalidations %d@." !invalidations;
+        let asked = !hits + !misses in
+        if asked > 0 then
+          Fmt.pr "  hit rate      %.0f%%@." (100.0 *. float_of_int !hits /. float_of_int asked)
+      end;
+      loop ()
     | Some line ->
       (match Hf_client.Embedded.query ~origin server line with
        | r ->
+         tally r.Hf_client.Embedded.outcome;
          Fmt.pr "%d result(s) in %.3f simulated seconds%s@."
            (List.length r.Hf_client.Embedded.oids)
            r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time
@@ -296,10 +333,16 @@ let dump_cmd =
     Term.(const dump_snapshot $ path_arg)
 
 let repl_cmd =
-  let run sites objects seed origin = repl ~sites ~objects ~seed ~origin in
+  let cache_arg =
+    Arg.(value & flag
+         & info [ "cache" ]
+             ~doc:"Enable the remote-answer cache and Bloom ship pruning (DESIGN.md §4g); \
+                   inspect it with the :cache-stats shell command.")
+  in
+  let run sites objects seed origin cache = repl ~sites ~objects ~seed ~origin ~cache in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive query shell over the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ cache_arg)
 
 let tcp_demo_cmd =
   let batch_arg =

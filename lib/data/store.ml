@@ -7,13 +7,21 @@ type t = {
   site : int;
   objects : Hobject.t Oid.Table.t;
   mutable next_serial : int;
+  mutable version : int;
 }
 
 let create ~site =
   if site < 0 then invalid_arg "Store.create: negative site";
-  { site; objects = Oid.Table.create 64; next_serial = 0 }
+  { site; objects = Oid.Table.create 64; next_serial = 0; version = 0 }
 
 let site t = t.site
+
+let version t = t.version
+
+(* Every mutation of the object table moves the version forward, so an
+   answer computed "at version v" names exactly one table state — the
+   remote-answer cache keys its freshness checks on it. *)
+let bump t = t.version <- t.version + 1
 
 let fresh_oid t =
   let oid = Oid.make ~birth_site:t.site ~serial:t.next_serial in
@@ -29,15 +37,22 @@ let advance_serial t serial = t.next_serial <- max t.next_serial serial
 let insert t obj =
   let oid = Hobject.oid obj in
   if Oid.Table.mem t.objects oid then invalid_arg "Store.insert: oid already present";
-  Oid.Table.replace t.objects oid obj
+  Oid.Table.replace t.objects oid obj;
+  bump t
 
-let replace t obj = Oid.Table.replace t.objects (Hobject.oid obj) obj
+let replace t obj =
+  Oid.Table.replace t.objects (Hobject.oid obj) obj;
+  bump t
 
 let find t oid = Oid.Table.find_opt t.objects oid
 
 let mem t oid = Oid.Table.mem t.objects oid
 
-let remove t oid = Oid.Table.remove t.objects oid
+let remove t oid =
+  if Oid.Table.mem t.objects oid then begin
+    Oid.Table.remove t.objects oid;
+    bump t
+  end
 
 let cardinal t = Oid.Table.length t.objects
 

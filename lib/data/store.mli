@@ -12,6 +12,13 @@ val create : site:int -> t
 
 val site : t -> int
 
+val version : t -> int
+(** Monotonic counter of object-table mutations: every {!insert},
+    {!replace} and (effective) {!remove} moves it forward, so a value
+    of [version] names exactly one table state.  The remote-answer
+    cache records the version an answer was computed at and revalidates
+    against the current one before reuse (DESIGN.md §4g). *)
+
 val fresh_oid : t -> Oid.t
 (** Next name born at this site. *)
 

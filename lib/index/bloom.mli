@@ -1,0 +1,46 @@
+(** Bloom summary of a site's tuple content.
+
+    A filter over [m] bits with [k] hash functions answers "possibly
+    present" or "definitely absent".  Absence is exact — there are no
+    false negatives by construction, so a query-shipping decision made
+    on a miss can never lose a result (DESIGN.md §4g).  Hashing is
+    seeded FNV-1a with double hashing: deterministic across runs and
+    platforms. *)
+
+type t
+
+val create : expected:int -> fp_rate:float -> t
+(** Sized for [expected] keys at false-positive probability [fp_rate]
+    (standard [m = -n ln p / ln² 2] sizing).  Raises [Invalid_argument]
+    unless [expected > 0] and [0 < fp_rate < 1]. *)
+
+val add : t -> string -> unit
+
+val mem : t -> string -> bool
+(** [false] is definite absence; [true] is "possibly present". *)
+
+val bits : t -> int
+(** Bit-array size [m]. *)
+
+val probes : t -> int
+(** Hash functions [k]. *)
+
+val count : t -> int
+(** Insertions so far (not distinct keys). *)
+
+val fp_estimate : t -> float
+(** Expected false-positive probability at the current fill,
+    [(1 - e^{-kn/m})^k]. *)
+
+val to_string : t -> string
+(** Compact wire form, carried in [Cache_version] messages. *)
+
+val of_string : string -> t option
+(** Total inverse of {!to_string}: arbitrary bytes yield [None], never
+    an exception (the codec fuzz suite feeds it garbage). *)
+
+val equal : t -> t -> bool
+(** Same geometry and same bit pattern ([count] is advisory and
+    ignored). *)
+
+val pp : Format.formatter -> t -> unit

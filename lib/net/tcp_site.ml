@@ -138,6 +138,28 @@ type context = {
   mutable unreachable : int list; [@hf.guarded_by "locked"]
       (* origin-side: sites whose retry budget was exhausted while this
          query ran — the answer is partial with respect to them *)
+  (* Cache layer (DESIGN.md §4g): items headed for an unvalidated
+     destination wait in [parked], their credit unsplit, until the
+     Cache_version reply (or a give-up) resolves them; the credit-return
+     tail is gated on all of [parked_count], [out_pending] and
+     [draining] so it runs only once every remote-bound item is on the
+     wire (or served locally). *)
+  validated : (int, int) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* dst -> store version vouched for this query *)
+  validating : (int, unit) Hashtbl.t; [@hf.guarded_by "locked"]
+  parked : (int, Hf_engine.Work_item.t list) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* dst -> items awaiting validation, newest first *)
+  mutable parked_count : int; [@hf.guarded_by "locked"]
+  mutable out_pending : int; [@hf.guarded_by "locked"]
+      (* items buffered in some live [process_to_drain] batcher *)
+  mutable draining : int; [@hf.guarded_by "locked"]
+      (* reentrancy depth of [process_to_drain]: a give-up that fires
+         mid-drain must not run the credit-return tail under the outer
+         drain's feet *)
+  mutable answers : (Hf_engine.Work_item.t * bool) list; [@hf.guarded_by "locked"]
+      (* cacheable verdicts computed here for the originator's cache,
+         newest first; flushed (credit-free) with the drain tail *)
+  mutable answers_version : int; [@hf.guarded_by "locked"]
 }
 
 type t = {
@@ -181,6 +203,21 @@ type t = {
   mutable dup_drops : int; [@hf.guarded_by "locked"]
   mutable acks_sent : int; [@hf.guarded_by "locked"]
   mutable give_ups : int; [@hf.guarded_by "locked"]
+  (* cache layer (None = ships every item, the seed protocol) *)
+  cache_config : Hf_index.Remote_cache.config option;
+  cache : Hf_index.Remote_cache.t option; [@hf.guarded_by "locked"]
+  mutable summary_memo : (int * Hf_index.Bloom.t) option; [@hf.guarded_by "locked"]
+      (* this site's own Bloom tuple summary, memoized per store version *)
+  summary_told : (int, int) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* peer -> store version whose summary we last sent them *)
+  summaries : (int, int * Hf_index.Bloom.t) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* peer -> (version, summary) learned from Cache_version replies *)
+  mutable cache_hits : int; [@hf.guarded_by "locked"]
+  mutable cache_misses : int; [@hf.guarded_by "locked"]
+  mutable cache_prunes : int; [@hf.guarded_by "locked"]
+  mutable cache_validations : int; [@hf.guarded_by "locked"]
+  mutable cache_fills : int; [@hf.guarded_by "locked"]
+  mutable cache_invalidations : int; [@hf.guarded_by "locked"]
 }
 
 let locate oid = Hf_data.Oid.birth_site oid
@@ -277,6 +314,14 @@ let new_context t ?(cause = 0) ~query ~origin program =
       final_bindings = Hashtbl.create 4;
       terminated = false;
       unreachable = [];
+      validated = Hashtbl.create 4;
+      validating = Hashtbl.create 4;
+      parked = Hashtbl.create 4;
+      parked_count = 0;
+      out_pending = 0;
+      draining = 0;
+      answers = [];
+      answers_version = 0;
     }
   in
   Hashtbl.replace t.contexts query ctx;
@@ -356,14 +401,144 @@ and give_up_message t ~dst message =
     List.iter (fun { Message.query; credit; _ } -> reclaim query credit) groups
   | Message.Result { query; credit; _ } -> reclaim query credit
   | Message.Credit_return { query; credit } -> reclaim query credit
-  | Message.Link_ack | Message.Site_unreachable _ -> ()
+  | Message.Cache_validate { query; _ } -> (
+      (* The validation round trip died: un-park the waiting items and
+         ship them the plain way — those sends fail fast against the
+         dead link and their credit is reclaimed by the work arms
+         above.  Carries no credit itself. *)
+      match Hashtbl.find_opt t.contexts query with
+      | None -> ()
+      | Some ctx -> release_parked t query ctx ~dst None)
+  | Message.Link_ack | Message.Site_unreachable _ | Message.Cache_version _
+  | Message.Cache_answers _ -> ()
+[@@hf.requires_lock "locked"]
+
+(* --- the cache layer (DESIGN.md §4g) --- *)
+
+(* Apply a verdict obtained without shipping (cache hit): the result
+   bookkeeping the remote's Result message would have caused, minus the
+   wire. *)
+and apply_cached_verdict t ctx wi passed =
+  if passed then begin
+    let oid = Hf_engine.Work_item.oid wi in
+    if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
+      ctx.local_result_set <- Hf_data.Oid.Set.add oid ctx.local_result_set;
+      if t.id = ctx.origin then begin
+        if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+          ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+          ctx.final_results <- oid :: ctx.final_results
+        end
+      end
+      else ctx.result_buffer <- oid :: ctx.result_buffer
+    end
+  end
+[@@hf.requires_lock "locked"]
+
+(* Resolve one item against a destination whose store version has been
+   vouched for this query: prune and hit keep the item off the wire —
+   before its credit is ever split — and a miss lands in [acc] for
+   shipping. *)
+and resolve_item t ctx ~dst ~version wi acc =
+  let start = Hf_engine.Work_item.start wi in
+  let iters = Hf_engine.Work_item.iters wi in
+  let probes = Hf_index.Remote_cache.prune_probes ctx.plan ~start ~iters in
+  let pruned =
+    probes <> []
+    && (match Hashtbl.find_opt t.summaries dst with
+        | Some (v, summary) when v = version ->
+          Hf_index.Remote_cache.summary_misses summary probes
+        | Some _ | None -> false)
+  in
+  if pruned then begin
+    t.cache_prunes <- t.cache_prunes + 1;
+    acc
+  end
+  else
+    match t.cache with
+    | Some cache when Hf_index.Remote_cache.cacheable ctx.plan ~start ~iters -> (
+        let key =
+          Hf_index.Remote_cache.entry_key ~dst ~plan:ctx.plan ~start ~iters
+            ~oid:(Hf_engine.Work_item.oid wi)
+        in
+        match
+          Hf_index.Remote_cache.lookup cache ~now:(Unix.gettimeofday ()) ~key ~version
+        with
+        | Hf_index.Remote_cache.Hit passed ->
+          t.cache_hits <- t.cache_hits + 1;
+          apply_cached_verdict t ctx wi passed;
+          acc
+        | Hf_index.Remote_cache.Invalidated ->
+          t.cache_invalidations <- t.cache_invalidations + 1;
+          t.cache_misses <- t.cache_misses + 1;
+          wi :: acc
+        | Hf_index.Remote_cache.Absent ->
+          t.cache_misses <- t.cache_misses + 1;
+          wi :: acc)
+    | Some _ | None -> wi :: acc
+[@@hf.requires_lock "locked"]
+
+(* Un-park every item waiting on [dst].  [Some version]: resolve each
+   against the vouched version.  [None] (the validation round trip gave
+   up): ship them all the plain way.  Ends with the drain tail, which
+   the [draining] guard suppresses when a give-up fired mid-drain. *)
+and release_parked t query ctx ~dst version =
+  Hashtbl.remove ctx.validating dst;
+  (match Hashtbl.find_opt ctx.parked dst with
+   | None -> ()
+   | Some waiting ->
+     Hashtbl.remove ctx.parked dst;
+     let items = List.rev waiting in
+     ctx.parked_count <- ctx.parked_count - List.length items;
+     let misses =
+       match version with
+       | None -> items
+       | Some version ->
+         List.rev
+           (List.fold_left (fun acc wi -> resolve_item t ctx ~dst ~version wi acc) [] items)
+     in
+     send_work_batch t query ctx ~dst misses);
+  finish_drain t query ctx
+[@@hf.requires_lock "locked"]
+
+(* Route one remote-bound item: plain batcher push with caching off;
+   with it on, resolve against the validated version, or park behind a
+   Cache_validate round trip on first contact with the destination. *)
+and route_remote t query ctx ~out wi =
+  let dst = locate (Hf_engine.Work_item.oid wi) in
+  let push wi =
+    ctx.out_pending <- ctx.out_pending + 1;
+    match Hf_proto.Batch.push out ~dst wi with
+    | None -> ()
+    | Some items ->
+      ctx.out_pending <- ctx.out_pending - List.length items;
+      send_work_batch t query ctx ~dst items
+  in
+  match t.cache with
+  | None -> push wi
+  | Some _ -> (
+      match Hashtbl.find_opt ctx.validated dst with
+      | Some version -> (
+          match resolve_item t ctx ~dst ~version wi [] with
+          | [] -> () (* pruned, or served from the cache *)
+          | misses -> List.iter push misses)
+      | None ->
+        let waiting =
+          match Hashtbl.find_opt ctx.parked dst with Some l -> l | None -> []
+        in
+        Hashtbl.replace ctx.parked dst (wi :: waiting);
+        ctx.parked_count <- ctx.parked_count + 1;
+        if not (Hashtbl.mem ctx.validating dst) then begin
+          Hashtbl.replace ctx.validating dst ();
+          t.cache_validations <- t.cache_validations + 1;
+          send t ~dst (Message.Cache_validate { query; src = t.id })
+        end)
 [@@hf.requires_lock "locked"]
 
 (* Ship a batch of work items to [dst], splitting the sender's credit
    once for the whole batch.  A single item goes as a plain
    [Deref_request] — byte-identical to the unbatched protocol — so a
    [Flush_at 1] site is indistinguishable on the wire. *)
-let send_work_batch t query ctx ~dst items =
+and send_work_batch t query ctx ~dst items =
   match items with
   | [] -> ()
   | items ->
@@ -411,15 +586,90 @@ let send_work_batch t query ctx ~dst items =
             ]))
 [@@hf.requires_lock "locked"]
 
-(* Process the working set to empty, then ship buffered results (credit
-   riding along) to the originator.  Runs under the site lock.
+(* The credit-return tail: ship buffered results (credit riding along)
+   to the originator, or at the originator recover the held credit.
+   Gated — it must not run while a [process_to_drain] is still active
+   ([draining]), while items sit in a live batcher ([out_pending]) or
+   wait on a validation round trip ([parked_count]): credit would go
+   home before those items' share was split off, and the originator
+   would see termination with work outstanding. *)
+and finish_drain t query ctx =
+  if
+    ctx.draining = 0 && ctx.parked_count = 0 && ctx.out_pending = 0
+    && Hf_util.Deque.is_empty ctx.work
+  then begin
+    (* Opportunistic cache fill first: verdicts computed here flow to
+       the originator's cache.  Credit-free — a drop costs future hits,
+       never correctness. *)
+    (if t.id <> ctx.origin && ctx.answers <> [] then begin
+       let answers =
+         List.rev_map
+           (fun (wi, passed) : Message.cache_answer ->
+             {
+               oid = Hf_engine.Work_item.oid wi;
+               start = Hf_engine.Work_item.start wi;
+               iters = Hf_engine.Work_item.iters wi;
+               passed;
+             })
+           ctx.answers
+       in
+       let version = ctx.answers_version in
+       ctx.answers <- [];
+       send t ~dst:ctx.origin (Message.Cache_answers { query; src = t.id; version; answers })
+     end);
+    if t.id = ctx.origin then begin
+      merge_bindings ctx.final_bindings
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings []);
+      Hashtbl.reset ctx.bindings;
+      if not (Credit.is_zero ctx.held) then begin
+        let credit = ctx.held in
+        ctx.held <- Credit.zero;
+        credit_recovered t query ctx credit
+      end
+    end
+    else begin
+      let credit = ctx.held in
+      ctx.held <- Credit.zero;
+      let items = List.rev ctx.result_buffer in
+      let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings [] in
+      ctx.result_buffer <- [];
+      Hashtbl.reset ctx.bindings;
+      if items <> [] || bindings <> [] then begin
+        let span =
+          Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+            ~query:(Fmt.str "%a" Message.pp_query_id query)
+            ~site:t.id ~phase:Hf_obs.Span.Ship
+            (Fmt.str "result->%d" ctx.origin)
+        in
+        Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%d item(s)" (List.length items));
+        send t ~span ~dst:ctx.origin
+          (Message.Result
+             { query; payload = Message.Items items; bindings; credit = Credit.atoms credit })
+      end
+      else if not (Credit.is_zero credit) then begin
+        let span =
+          Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+            ~query:(Fmt.str "%a" Message.pp_query_id query)
+            ~site:t.id ~phase:Hf_obs.Span.Credit
+            (Fmt.str "credit->%d" ctx.origin)
+        in
+        send t ~span ~dst:ctx.origin
+          (Message.Credit_return { query; credit = Credit.atoms credit })
+      end
+    end
+  end
+[@@hf.requires_lock "locked"]
 
-   Remote spawns pass through a per-destination batcher: a destination
-   reaching K items flushes mid-drain, and everything left flushes when
-   the working set empties — always before this site's credit goes back,
-   so termination is never starved. *)
-let process_to_drain t query ctx =
+(* Process the working set to empty, then run the credit-return tail.
+   Runs under the site lock.
+
+   Remote spawns pass through the cache layer and a per-destination
+   batcher: a destination reaching K items flushes mid-drain, and
+   everything left flushes when the working set empties — always before
+   this site's credit goes back, so termination is never starved. *)
+and process_to_drain t query ctx =
   let out = Hf_proto.Batch.create t.batch_policy in
+  ctx.draining <- ctx.draining + 1;
   let rec drain_work () =
     match Hf_util.Deque.pop_front ctx.work with
     | None -> ()
@@ -430,7 +680,7 @@ let process_to_drain t query ctx =
         in
         Hashtbl.replace ctx.bindings target (existing @ values)
       in
-      let { Hf_engine.Eval.spawned; passed; skipped = _ } =
+      let { Hf_engine.Eval.spawned; passed; skipped } =
         Hf_engine.Eval.run_object ~plan:ctx.plan ~find:(Hf_data.Store.find t.store)
           ~marks:ctx.marks ~stats:ctx.stats ~emit item
       in
@@ -438,11 +688,24 @@ let process_to_drain t query ctx =
         (fun wi ->
           let target_site = locate (Hf_engine.Work_item.oid wi) in
           if target_site = t.id then Hf_util.Deque.push_back ctx.work wi
-          else
-            match Hf_proto.Batch.push out ~dst:target_site wi with
-            | None -> ()
-            | Some items -> send_work_batch t query ctx ~dst:target_site items)
+          else route_remote t query ctx ~out wi)
         spawned;
+      (* Record the verdict for the originator's cache: items that ran
+         for real (not mark-skipped) at a non-origin site, whose
+         reachable suffix is store-state-only (cacheable). *)
+      (if
+         Option.is_some t.cache
+         && (not skipped)
+         && t.id <> ctx.origin
+         && Hf_index.Remote_cache.cacheable ctx.plan
+              ~start:(Hf_engine.Work_item.start item)
+              ~iters:(Hf_engine.Work_item.iters item)
+       then begin
+         let v = Hf_data.Store.version t.store in
+         if ctx.answers <> [] && ctx.answers_version <> v then ctx.answers <- [];
+         ctx.answers_version <- v;
+         ctx.answers <- (item, passed) :: ctx.answers
+       end);
       (if passed then
          let oid = Hf_engine.Work_item.oid item in
          if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
@@ -460,49 +723,12 @@ let process_to_drain t query ctx =
   drain_work ();
   (* drained: flush buffered work before any credit goes back *)
   List.iter
-    (fun (dst, items) -> send_work_batch t query ctx ~dst items)
+    (fun (dst, items) ->
+      ctx.out_pending <- ctx.out_pending - List.length items;
+      send_work_batch t query ctx ~dst items)
     (Hf_proto.Batch.flush_all out);
-  (* return credit (and, away from the origin, results) *)
-  if t.id = ctx.origin then begin
-    merge_bindings ctx.final_bindings
-      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings []);
-    Hashtbl.reset ctx.bindings;
-    if not (Credit.is_zero ctx.held) then begin
-      let credit = ctx.held in
-      ctx.held <- Credit.zero;
-      credit_recovered t query ctx credit
-    end
-  end
-  else begin
-    let credit = ctx.held in
-    ctx.held <- Credit.zero;
-    let items = List.rev ctx.result_buffer in
-    let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.bindings [] in
-    ctx.result_buffer <- [];
-    Hashtbl.reset ctx.bindings;
-    if items <> [] || bindings <> [] then begin
-      let span =
-        Hf_obs.Tracer.start t.tracer ~parent:ctx.span
-          ~query:(Fmt.str "%a" Message.pp_query_id query)
-          ~site:t.id ~phase:Hf_obs.Span.Ship
-          (Fmt.str "result->%d" ctx.origin)
-      in
-      Hf_obs.Tracer.set_detail t.tracer span (Fmt.str "%d item(s)" (List.length items));
-      send t ~span ~dst:ctx.origin
-        (Message.Result
-           { query; payload = Message.Items items; bindings; credit = Credit.atoms credit })
-    end
-    else if not (Credit.is_zero credit) then begin
-      let span =
-        Hf_obs.Tracer.start t.tracer ~parent:ctx.span
-          ~query:(Fmt.str "%a" Message.pp_query_id query)
-          ~site:t.id ~phase:Hf_obs.Span.Credit
-          (Fmt.str "credit->%d" ctx.origin)
-      in
-      send t ~span ~dst:ctx.origin
-        (Message.Credit_return { query; credit = Credit.atoms credit })
-    end
-  end
+  ctx.draining <- ctx.draining - 1;
+  finish_drain t query ctx
 [@@hf.requires_lock "locked"]
 
 (* --- incoming messages --- *)
@@ -560,7 +786,7 @@ let handle_message t ?(span = 0) ?rel message =
             in
             ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
             List.iter
-              (fun { Message.oid; start; iters } ->
+              (fun ({ oid; start; iters } : Message.batch_item) ->
                 Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters))
               items;
             process_to_drain t query ctx)
@@ -589,7 +815,68 @@ let handle_message t ?(span = 0) ?rel message =
       | Message.Site_unreachable { query; dead } -> (
           match Hashtbl.find_opt t.contexts query with
           | None -> ()
-          | Some ctx -> note_unreachable ctx dead))
+          | Some ctx -> note_unreachable ctx dead)
+      | Message.Cache_validate { query; src = peer } ->
+        (* Report our store version; piggyback the Bloom summary unless
+           this peer was already told this version's. *)
+        let version = Hf_data.Store.version t.store in
+        let summary =
+          match t.cache_config with
+          | None -> None (* not participating: version-only reply *)
+          | Some cfg ->
+            let bloom =
+              match t.summary_memo with
+              | Some (v, bloom) when v = version -> bloom
+              | Some _ | None ->
+                let bloom = Hf_index.Remote_cache.summary_of_store cfg t.store in
+                t.summary_memo <- Some (version, bloom);
+                bloom
+            in
+            if
+              match Hashtbl.find_opt t.summary_told peer with
+              | Some v -> v = version
+              | None -> false
+            then None
+            else begin
+              Hashtbl.replace t.summary_told peer version;
+              Some (Hf_index.Bloom.to_string bloom)
+            end
+        in
+        send t ~dst:peer (Message.Cache_version { query; site = t.id; version; summary })
+      | Message.Cache_version { query; site = peer; version; summary } -> (
+          (match summary with
+           | Some raw -> (
+               match Hf_index.Bloom.of_string raw with
+               | Some bloom -> Hashtbl.replace t.summaries peer (version, bloom)
+               | None -> () (* malformed summary: no pruning, still correct *))
+           | None -> (
+               (* No summary aboard means "you already have it"; if ours
+                  is for another version, drop it — a stale summary must
+                  never prune at the new version. *)
+               match Hashtbl.find_opt t.summaries peer with
+               | Some (v, _) when v <> version -> Hashtbl.remove t.summaries peer
+               | Some _ | None -> ()));
+          match Hashtbl.find_opt t.contexts query with
+          | None -> ()
+          | Some ctx ->
+            Hashtbl.replace ctx.validated peer version;
+            release_parked t query ctx ~dst:peer (Some version))
+      | Message.Cache_answers { query; src = peer; version; answers } -> (
+          (* Opportunistic fill at the originator: install the remote's
+             verdicts, keyed by the answering site. *)
+          match (t.cache, Hashtbl.find_opt t.contexts query) with
+          | Some cache, Some ctx ->
+            t.cache_fills <- t.cache_fills + List.length answers;
+            List.iter
+              (fun ({ oid; start; iters; passed } : Message.cache_answer) ->
+                let key =
+                  Hf_index.Remote_cache.entry_key ~dst:peer ~plan:ctx.plan ~start ~iters
+                    ~oid
+                in
+                Hf_index.Remote_cache.put cache ~now:(Unix.gettimeofday ()) ~key ~version
+                  ~passed)
+              answers
+          | (Some _ | None), _ -> ()))
 
 (* Fire every due link deadline: standalone acks whose piggyback window
    expired, retransmissions, and retry-cap give-ups.  Driven by the
@@ -661,10 +948,11 @@ let accept_loop t () =
 
 (* --- lifecycle --- *)
 
-let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability
+let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
     ?(tracer = Hf_obs.Tracer.noop) () =
   Hf_proto.Batch.validate_policy batch;
   Option.iter Hf_proto.Reliable.validate reliability;
+  Option.iter Hf_index.Remote_cache.validate cache;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -704,6 +992,17 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability
       dup_drops = 0;
       acks_sent = 0;
       give_ups = 0;
+      cache_config = cache;
+      cache = Option.map Hf_index.Remote_cache.create cache;
+      summary_memo = None;
+      summary_told = Hashtbl.create 4;
+      summaries = Hashtbl.create 4;
+      cache_hits = 0;
+      cache_misses = 0;
+      cache_prunes = 0;
+      cache_validations = 0;
+      cache_fills = 0;
+      cache_invalidations = 0;
     }
   in
   Hf_obs.Registry.register_counter registry "hf.net.messages_sent" (fun () ->
@@ -722,6 +1021,18 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability
       locked t (fun () -> t.acks_sent));
   Hf_obs.Registry.register_counter registry "hf.net.give_ups" (fun () ->
       locked t (fun () -> t.give_ups));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_hits" (fun () ->
+      locked t (fun () -> t.cache_hits));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_misses" (fun () ->
+      locked t (fun () -> t.cache_misses));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_prunes" (fun () ->
+      locked t (fun () -> t.cache_prunes));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_validations" (fun () ->
+      locked t (fun () -> t.cache_validations));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_fills" (fun () ->
+      locked t (fun () -> t.cache_fills));
+  Hf_obs.Registry.register_counter registry "hf.net.cache_invalidations" (fun () ->
+      locked t (fun () -> t.cache_invalidations));
   (* Cons, not assign: the accept loop may already have registered a
      reader thread by the time this runs. *)
   locked t (fun () -> t.threads <- Thread.create (accept_loop t) () :: t.threads);
@@ -798,21 +1109,22 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
         in
         let ctx = new_context t ~cause:root_span ~query ~origin:t.id program in
         ctx.held <- Credit.one;
-        (* Remote seeds batch per destination just like spawned work. *)
+        (* Remote seeds ride the same cache layer and per-destination
+           batcher as spawned work. *)
         let out = Hf_proto.Batch.create t.batch_policy in
+        ctx.draining <- ctx.draining + 1;
         List.iter
           (fun oid ->
             if locate oid = t.id then
               Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.initial ctx.plan oid)
-            else
-              let dst = locate oid in
-              match Hf_proto.Batch.push out ~dst (Hf_engine.Work_item.initial ctx.plan oid) with
-              | None -> ()
-              | Some items -> send_work_batch t query ctx ~dst items)
+            else route_remote t query ctx ~out (Hf_engine.Work_item.initial ctx.plan oid))
           initial;
         List.iter
-          (fun (dst, items) -> send_work_batch t query ctx ~dst items)
+          (fun (dst, items) ->
+            ctx.out_pending <- ctx.out_pending - List.length items;
+            send_work_batch t query ctx ~dst items)
           (Hf_proto.Batch.flush_all out);
+        ctx.draining <- ctx.draining - 1;
         process_to_drain t query ctx;
         (query, ctx, root_span, sent_before, bytes_before))
   in

@@ -16,6 +16,7 @@ val create :
   site:int ->
   ?batch:Hf_proto.Batch.flush_policy ->
   ?reliability:Hf_proto.Reliable.config ->
+  ?cache:Hf_index.Remote_cache.config ->
   ?tracer:Hf_obs.Tracer.t ->
   unit ->
   t
@@ -44,7 +45,17 @@ val create :
     unreachable — its messages' credit reclaimed so the query still
     terminates, with a {!Partial} status.  All sites of a cluster must
     agree on whether reliability is on (the envelope changes the frame
-    layout).  See doc/fault_tolerance.md. *)
+    layout).  See doc/fault_tolerance.md.
+
+    [cache] (default off) enables the cross-site acceleration layer
+    (DESIGN.md §4g): before the first ship to a destination the query
+    validates the destination's store version (items wait parked, their
+    credit unsplit); at a validated version, verdicts cached from
+    earlier queries answer items locally without splitting credit, and
+    the destination's Bloom tuple summary prunes ships that provably
+    die on arrival.  Enable it on every site of a cluster — a
+    non-caching site still answers validations (version-only) but
+    never parks, caches or prunes. *)
 
 val address : t -> Unix.sockaddr
 
@@ -63,7 +74,10 @@ val registry : t -> Hf_obs.Registry.t
     (per-message encoded size) and [hf.net.query_rtt_s] (wall-clock
     {!run_query} latency, origin site only).  With reliability on, also
     [hf.net.retransmits], [hf.net.dup_drops], [hf.net.acks_sent],
-    [hf.net.give_ups] and the [hf.net.ack_latency_s] histogram. *)
+    [hf.net.give_ups] and the [hf.net.ack_latency_s] histogram.  With
+    the cache on, [hf.net.cache_hits], [hf.net.cache_misses],
+    [hf.net.cache_prunes], [hf.net.cache_validations],
+    [hf.net.cache_fills] and [hf.net.cache_invalidations]. *)
 
 type status =
   | Complete  (** all credit recovered, no site given up on. *)

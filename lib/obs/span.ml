@@ -14,6 +14,7 @@ type phase =
   | Drain (* a context's working set ran dry *)
   | Recv (* arrival of a message at an existing context *)
   | Retransmit (* the reliability layer resending an unacknowledged message *)
+  | Cache (* remote-answer cache traffic: validate round trips, hits, prunes *)
 
 let phase_name = function
   | Query -> "query"
@@ -24,6 +25,7 @@ let phase_name = function
   | Drain -> "drain"
   | Recv -> "recv"
   | Retransmit -> "retransmit"
+  | Cache -> "cache"
 
 type t = {
   id : int; (* unique within a tracer; 0 is reserved for "no span" *)

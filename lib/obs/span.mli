@@ -9,6 +9,9 @@ type phase =
   | Drain  (** a context's working set ran dry. *)
   | Recv  (** arrival of a message at an existing context. *)
   | Retransmit  (** the reliability layer resending an unacknowledged message. *)
+  | Cache
+      (** remote-answer cache traffic: validate round trips, hits,
+          prunes. *)
 
 val phase_name : phase -> string
 

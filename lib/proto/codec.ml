@@ -312,16 +312,16 @@ let read_binding r =
   let values = read_list r read_value in
   (target, values)
 
-let write_batch_item buf { Message.oid; start; iters } =
+let write_batch_item buf ({ oid; start; iters } : Message.batch_item) =
   write_oid buf oid;
   write_varint buf start;
   write_iters buf iters
 
-let read_batch_item r =
+let read_batch_item r : Message.batch_item =
   let oid = read_oid r in
   let start = read_varint r in
   let iters = read_iters r in
-  { Message.oid; start; iters }
+  { oid; start; iters }
 
 let write_batch_group buf { Message.query; body; items; credit } =
   write_query_id buf query;
@@ -336,6 +336,24 @@ let read_batch_group r =
   if items = [] then fail "empty work-batch group";
   let credit = read_credit r in
   { Message.query; body; items; credit }
+
+let write_cache_answer buf ({ oid; start; iters; passed } : Message.cache_answer) =
+  write_oid buf oid;
+  write_varint buf start;
+  write_iters buf iters;
+  write_u8 buf (if passed then 1 else 0)
+
+let read_cache_answer r : Message.cache_answer =
+  let oid = read_oid r in
+  let start = read_varint r in
+  let iters = read_iters r in
+  let passed =
+    match read_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | tag -> fail "unknown cache-answer verdict %d" tag
+  in
+  { oid; start; iters; passed }
 
 let write_message buf message =
   match (message : Message.t) with
@@ -372,6 +390,27 @@ let write_message buf message =
     write_u8 buf 5;
     write_query_id buf query;
     write_varint buf dead
+  | Cache_validate { query; src } ->
+    write_u8 buf 6;
+    write_query_id buf query;
+    write_varint buf src
+  | Cache_version { query; site; version; summary } ->
+    write_u8 buf 7;
+    write_query_id buf query;
+    write_varint buf site;
+    write_varint buf version;
+    (match summary with
+     | None -> write_u8 buf 0
+     | Some s ->
+       write_u8 buf 1;
+       write_string buf s)
+  | Cache_answers { query; src; version; answers } ->
+    if answers = [] then invalid_arg "Codec.write_message: empty Cache_answers";
+    write_u8 buf 8;
+    write_query_id buf query;
+    write_varint buf src;
+    write_varint buf version;
+    write_list buf write_cache_answer answers
 
 let read_message r : Message.t =
   match read_u8 r with
@@ -407,6 +446,28 @@ let read_message r : Message.t =
     let query = read_query_id r in
     let dead = read_varint r in
     Site_unreachable { query; dead }
+  | 6 ->
+    let query = read_query_id r in
+    let src = read_varint r in
+    Cache_validate { query; src }
+  | 7 ->
+    let query = read_query_id r in
+    let site = read_varint r in
+    let version = read_varint r in
+    let summary =
+      match read_u8 r with
+      | 0 -> None
+      | 1 -> Some (read_string r)
+      | tag -> fail "unknown summary presence tag %d" tag
+    in
+    Cache_version { query; site; version; summary }
+  | 8 ->
+    let query = read_query_id r in
+    let src = read_varint r in
+    let version = read_varint r in
+    let answers = read_list r read_cache_answer in
+    if answers = [] then fail "empty cache-answers";
+    Cache_answers { query; src; version; answers }
   | tag -> fail "unknown message tag %d" tag
 
 (* A traced message is wrapped in an envelope: tag 127 (unused by any

@@ -62,6 +62,20 @@ type result_message = {
   credit : int list;
 }
 
+(* Remote-answer caching (DESIGN.md §4g).  A shipping site asks the
+   destination for its current store version before reusing cached
+   verdicts; the destination answers with the version and (optionally)
+   its Bloom tuple summary; verdicts for cacheable items flow back to
+   the query's originator opportunistically.  All three are control
+   plane: they carry no credit and never enter termination detection. *)
+
+type cache_answer = {
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+  passed : bool;
+}
+
 type t =
   | Deref_request of deref_request
   | Work_batch of batch_group list
@@ -79,6 +93,24 @@ type t =
          answer will be partial.  The reclaimed credit travels
          separately (Credit_return / Result), so termination detection
          still converges. *)
+  | Cache_validate of { query : query_id; src : int }
+      (** "what store version are you at?" — sent once per (query,
+          destination) before the first ship, while the items wait
+          parked at the sender. *)
+  | Cache_version of {
+      query : query_id;
+      site : int;
+      version : int;
+      summary : string option;
+          (** the site's Bloom tuple summary ({!Hf_index.Bloom}'s wire
+              form), piggybacked when it changed since last told. *)
+    }
+  | Cache_answers of {
+      query : query_id;
+      src : int;
+      version : int;  (** store version the verdicts were computed at. *)
+      answers : cache_answer list;  (** never empty on the wire. *)
+    }
 
 let query_of = function
   | Deref_request { query; _ } -> query
@@ -88,6 +120,9 @@ let query_of = function
   | Credit_return { query; _ } -> query
   | Link_ack -> invalid_arg "Message.query_of: Link_ack carries no query"
   | Site_unreachable { query; _ } -> query
+  | Cache_validate { query; _ } -> query
+  | Cache_version { query; _ } -> query
+  | Cache_answers { query; _ } -> query
 
 let pp ppf = function
   | Deref_request { query; oid; start; iters; _ } ->
@@ -108,6 +143,21 @@ let pp ppf = function
   | Link_ack -> Fmt.string ppf "link-ack"
   | Site_unreachable { query; dead } ->
     Fmt.pf ppf "site-unreachable[%a] dead=%d" pp_query_id query dead
+  | Cache_validate { query; src } ->
+    Fmt.pf ppf "cache-validate[%a] src=%d" pp_query_id query src
+  | Cache_version { query; site; version; summary } ->
+    Fmt.pf ppf "cache-version[%a] site=%d v=%d%s" pp_query_id query site version
+      (match summary with Some s -> Fmt.str " summary=%dB" (String.length s) | None -> "")
+  | Cache_answers { query; src; version; answers } ->
+    Fmt.pf ppf "cache-answers[%a] src=%d v=%d %d answer(s)" pp_query_id query src version
+      (List.length answers)
+
+let equal_cache_answer (x : cache_answer) (y : cache_answer) =
+  Hf_data.Oid.equal x.oid y.oid
+  && x.start = y.start
+  && Array.length x.iters = Array.length y.iters
+  && Array.for_all2 ( = ) x.iters y.iters
+  && x.passed = y.passed
 
 let equal_batch_item (x : batch_item) (y : batch_item) =
   Hf_data.Oid.equal x.oid y.oid
@@ -153,5 +203,19 @@ let equal a b =
   | Link_ack, Link_ack -> true
   | Site_unreachable x, Site_unreachable y ->
     equal_query_id x.query y.query && x.dead = y.dead
+  | Cache_validate x, Cache_validate y ->
+    equal_query_id x.query y.query && x.src = y.src
+  | Cache_version x, Cache_version y ->
+    equal_query_id x.query y.query
+    && x.site = y.site
+    && x.version = y.version
+    && Option.equal String.equal x.summary y.summary
+  | Cache_answers x, Cache_answers y ->
+    equal_query_id x.query y.query
+    && x.src = y.src
+    && x.version = y.version
+    && List.length x.answers = List.length y.answers
+    && List.for_all2 equal_cache_answer x.answers y.answers
   | (Deref_request _ | Work_batch _ | Result _ | Credit_return _ | Link_ack
-    | Site_unreachable _), _ -> false
+    | Site_unreachable _ | Cache_validate _ | Cache_version _ | Cache_answers _), _ ->
+    false

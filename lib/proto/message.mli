@@ -52,6 +52,15 @@ type batch_group = {
     one wire message; the program/query header is written once per
     group, amortized over its items. *)
 
+type cache_answer = {
+  oid : Hf_data.Oid.t;
+  start : int;
+  iters : int array;
+  passed : bool;
+}
+(** One memoizable verdict: the named work item, evaluated at the
+    answering site, passed or failed (DESIGN.md §4g). *)
+
 type t =
   | Deref_request of deref_request
   | Work_batch of batch_group list
@@ -67,9 +76,31 @@ type t =
       (** retransmission to [dead] exhausted its retries: the
           originator's answer will be partial.  Reclaimed credit
           travels separately so termination still converges. *)
+  | Cache_validate of { query : query_id; src : int }
+      (** "what store version are you at?" — sent once per (query,
+          destination) before the first ship while the sender parks its
+          items.  Control plane: no credit, no termination effect. *)
+  | Cache_version of {
+      query : query_id;
+      site : int;
+      version : int;
+      summary : string option;
+          (** the site's Bloom tuple summary in [Hf_index.Bloom]'s wire
+              form, piggybacked when it changed since last told. *)
+    }  (** Answer to [Cache_validate]. *)
+  | Cache_answers of {
+      query : query_id;
+      src : int;
+      version : int;  (** store version the verdicts were computed at. *)
+      answers : cache_answer list;  (** never empty on the wire. *)
+    }
+      (** Opportunistic fill: verdicts for cacheable items a remote
+          site evaluated, sent to the query's originator.  Loss only
+          loses future cache hits, never correctness. *)
 
 val equal_batch_item : batch_item -> batch_item -> bool
 val equal_batch_group : batch_group -> batch_group -> bool
+val equal_cache_answer : cache_answer -> cache_answer -> bool
 
 val query_of : t -> query_id
 (** For [Work_batch] this is the first group's query (the query the

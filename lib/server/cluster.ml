@@ -74,12 +74,21 @@ type config = {
          [outcome.unreachable_sites].  [None] (the default) is the
          bare paper protocol: a drop loses the message, and its credit,
          for good. *)
+  cache : Hf_index.Remote_cache.config option;
+      (* [Some _] enables the cross-site acceleration layer (DESIGN.md
+         §4g): before the first ship to a destination, a query
+         validates the destination's store version (items wait parked,
+         their credit unsplit); at a validated version, verdicts cached
+         from earlier traffic answer items locally without splitting
+         credit, and the destination's Bloom tuple summary prunes
+         ships that provably die on arrival.  Entries age in virtual
+         time per [ttl].  [None] (the default) ships every item. *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
     poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
-    batch = Hf_proto.Batch.unbatched; reliability = None }
+    batch = Hf_proto.Batch.unbatched; reliability = None; cache = None }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -114,6 +123,19 @@ module Make (D : Hf_termination.Detector.S) = struct
     mutable result_buffer : Oid.t list; (* pending shipment, newest first *)
     mutable local_result_set : Oid.Set.t; (* all results found at this site *)
     mutable in_flight : int; (* items popped from W whose task has not completed *)
+    (* Cache layer (config.cache): per-destination validation state.
+       Items headed for an unvalidated destination wait in [parked] —
+       their credit unsplit, so [parked_count] must hold the drain
+       condition open — until a [Cache_version] reply (or a give-up)
+       resolves them. *)
+    validated : (int, int) Hashtbl.t; (* dst -> store version vouched this query *)
+    validating : (int, unit) Hashtbl.t; (* dst with a Cache_validate in flight *)
+    parked : (int, Hf_engine.Work_item.t list) Hashtbl.t; (* dst -> items, newest first *)
+    mutable parked_count : int;
+    mutable answers : (Hf_engine.Work_item.t * bool) list;
+        (* cacheable verdicts computed here for the originator's cache,
+           newest first; flushed (credit-free) at drain *)
+    mutable answers_version : int; (* store version the answers were computed at *)
   }
 
   type open_query = {
@@ -178,6 +200,29 @@ module Make (D : Hf_termination.Detector.S) = struct
       }
         (* retransmission to [dead] gave up: the originator's answer
            will be partial *)
+    | Cache_validate of { query : Hf_proto.Message.query_id; src : int; span : int }
+        (* "what store version are you at?" — sent before the first
+           ship to a destination; carries no credit *)
+    | Cache_version of {
+        query : Hf_proto.Message.query_id;
+        site : int; (* the answering site *)
+        version : int;
+        summary : Hf_index.Bloom.t option;
+            (* Bloom tuple summary, piggybacked only when the asker has
+               not been told this version's summary yet *)
+        src : int;
+        span : int;
+      }
+    | Cache_answers of {
+        query : Hf_proto.Message.query_id;
+        src : int;
+        version : int; (* the answering site's store version *)
+        answers : (Hf_engine.Work_item.t * bool) list;
+        span : int;
+      }
+        (* opportunistic fill: verdicts this site computed, shipped to
+           the originator's cache at drain; credit-free, so a loss only
+           costs future hits *)
 
   (* What the reliability layer retains for retransmission: the message
      plus enough context to repeat the physical send. *)
@@ -208,6 +253,19 @@ module Make (D : Hf_termination.Detector.S) = struct
     links : link array;
         (* per-peer reliable-delivery state (index = peer site id);
            dormant unless [config.reliability] is set *)
+    cache : Hf_index.Remote_cache.t option;
+        (* remote-answer cache ([Some _] iff [config.cache] is set);
+           filled only at query originators, consulted on every ship *)
+    mutable summary_memo : (int * Hf_index.Bloom.t) option;
+        (* this site's own Bloom tuple summary, memoized per store
+           version; rebuilt lazily when a Cache_validate arrives after
+           a version bump *)
+    summary_told : (int, int) Hashtbl.t;
+        (* peer -> store version whose summary we last sent them, so
+           repeat validations skip the summary bytes *)
+    summaries : (int, int * Hf_index.Bloom.t) Hashtbl.t;
+        (* peer -> (version, summary) learned from Cache_version
+           replies; prune checks require the validated version *)
   }
 
   type t = {
@@ -234,6 +292,9 @@ module Make (D : Hf_termination.Detector.S) = struct
     (match config.reliability with
      | Some rel -> Hf_proto.Reliable.validate rel
      | None -> ());
+    (match config.cache with
+     | Some cache -> Hf_index.Remote_cache.validate cache
+     | None -> ());
     let rel_config =
       Option.value config.reliability ~default:Hf_proto.Reliable.default
     in
@@ -251,6 +312,10 @@ module Make (D : Hf_termination.Detector.S) = struct
             links =
               Array.init n_sites (fun _ ->
                   { rel = Hf_proto.Reliable.create rel_config; armed = None });
+            cache = Option.map Hf_index.Remote_cache.create config.cache;
+            summary_memo = None;
+            summary_told = Hashtbl.create 4;
+            summaries = Hashtbl.create 4;
           })
     in
     let locate = match locate with Some f -> f | None -> Oid.birth_site in
@@ -387,6 +452,12 @@ module Make (D : Hf_termination.Detector.S) = struct
               result_buffer = [];
               local_result_set = Oid.Set.empty;
               in_flight = 0;
+              validated = Hashtbl.create 4;
+              validating = Hashtbl.create 4;
+              parked = Hashtbl.create 4;
+              parked_count = 0;
+              answers = [];
+              answers_version = 0;
             }
           in
           Hashtbl.replace site.contexts query ctx;
@@ -438,6 +509,9 @@ module Make (D : Hf_termination.Detector.S) = struct
     | Control { query; _ } -> Some query
     | Seed_from { query; _ } -> Some query
     | Unreachable { query; _ } -> Some query
+    | Cache_validate { query; _ } -> Some query
+    | Cache_version { query; _ } -> Some query
+    | Cache_answers { query; _ } -> Some query
     | Ack _ -> None
 
   let mark_unreachable t oq dead =
@@ -799,7 +873,16 @@ module Make (D : Hf_termination.Detector.S) = struct
     match sh.msg with
     | Work { groups; _ } -> List.iter (fun (query, _, tag) -> reclaim query tag) groups
     | Seed_from { query; tag; _ } -> reclaim query tag
-    | Results _ | Control _ | Unreachable _ | Ack _ -> ()
+    | Cache_validate { query; _ } -> (
+        (* The validation round trip died: un-park the waiting items and
+           ship them the plain way — those sends fail fast against the
+           dead link and their credit is reclaimed by the Work arm. *)
+        match context_of t site query with
+        | None -> ()
+        | Some ctx ->
+          release_parked t site ctx ~dst (fun wi acc -> push_remote t site ctx wi acc))
+    | Results _ | Control _ | Unreachable _ | Ack _ | Cache_version _ | Cache_answers _ ->
+      ()
 
   and notify_unreachable t ~src query ~dead =
     match find_open t query with
@@ -836,6 +919,184 @@ module Make (D : Hf_termination.Detector.S) = struct
               (Control { query = ctx.query; payload; src; span })
               (fun dsite message -> handle_message t dsite message) ))
 
+  (* --- the cache layer (config.cache, DESIGN.md §4g) --- *)
+
+  (* The plain path: count the item against the batcher and push it;
+     a push that reaches the K threshold hands back the buffer, which
+     the caller turns into a prepared batch. *)
+  and push_remote t site ctx wi acc =
+    let dst = t.locate (Hf_engine.Work_item.oid wi) in
+    adjust_pending site ctx.query 1;
+    match Hf_proto.Batch.push site.outgoing ~dst (ctx.query, wi) with
+    | None -> acc
+    | Some entries -> prepare_batch t site ~dst entries :: acc
+
+  (* Apply a verdict obtained without shipping (cache hit): exactly the
+     result bookkeeping [process_one] would have received back from the
+     remote site, minus the network. *)
+  and apply_verdict t site ctx wi passed =
+    if passed then begin
+      let oid = Hf_engine.Work_item.oid wi in
+      if not (Oid.Set.mem oid ctx.local_result_set) then begin
+        ctx.local_result_set <- Oid.Set.add oid ctx.local_result_set;
+        if site.id = ctx.origin then (
+          match find_open t ctx.query with
+          | Some oq ->
+            if not (Oid.Set.mem oid oq.final_set) then begin
+              oq.final_set <- Oid.Set.add oid oq.final_set;
+              oq.final_results <- oid :: oq.final_results
+            end
+          | None -> ())
+        else ctx.result_buffer <- oid :: ctx.result_buffer
+      end
+    end
+
+  (* Resolve one remote-bound item against a destination whose store
+     version has been vouched for this query.  Order matters for
+     credit safety: prune and hit happen before the item ever reaches
+     the batcher, so their credit is never split. *)
+  and resolve_item t site ctx ~dst ~version wi acc =
+    let start = Hf_engine.Work_item.start wi in
+    let iters = Hf_engine.Work_item.iters wi in
+    let oq = find_open t ctx.query in
+    let bump f = match oq with Some oq -> f oq.metrics | None -> () in
+    let cache_note name =
+      ignore
+        (Hf_obs.Tracer.instant t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+           ~site:site.id ~phase:Hf_obs.Span.Cache
+           ~detail:(Fmt.str "dst=%d v=%d" dst version)
+           name)
+    in
+    let probes = Hf_index.Remote_cache.prune_probes ctx.plan ~start ~iters in
+    let pruned =
+      probes <> []
+      && (match Hashtbl.find_opt site.summaries dst with
+          | Some (v, summary) when v = version ->
+            Hf_index.Remote_cache.summary_misses summary probes
+          | Some _ | None -> false)
+    in
+    if pruned then begin
+      (* The destination's summary proves the item's first filter cannot
+         match there: no spawns, no results, no bindings — dropping it
+         is indistinguishable from shipping it, and cheaper. *)
+      bump (fun m -> m.Metrics.cache_prunes <- m.Metrics.cache_prunes + 1);
+      record t site.id "cache-prune" (Fmt.str "ship to %d skipped (%s)" dst (qname ctx.query));
+      cache_note "cache-prune";
+      acc
+    end
+    else if Hf_index.Remote_cache.cacheable ctx.plan ~start ~iters then begin
+      match site.cache with
+      | None -> push_remote t site ctx wi acc
+      | Some cache -> (
+          let key =
+            Hf_index.Remote_cache.entry_key ~dst ~plan:ctx.plan ~start ~iters
+              ~oid:(Hf_engine.Work_item.oid wi)
+          in
+          match
+            Hf_index.Remote_cache.lookup cache ~now:(Hf_sim.Sim.now t.sim) ~key ~version
+          with
+          | Hf_index.Remote_cache.Hit passed when t.config.result_mode = Ship_items ->
+            bump (fun m -> m.Metrics.cache_hits <- m.Metrics.cache_hits + 1);
+            record t site.id "cache-hit" (Fmt.str "ship to %d skipped (%s)" dst (qname ctx.query));
+            cache_note "cache-hit";
+            apply_verdict t site ctx wi passed;
+            acc
+          | Hf_index.Remote_cache.Hit _ ->
+            (* Counting modes attribute results to the site that found
+               them; serving locally would shift the attribution, so
+               ship anyway. *)
+            push_remote t site ctx wi acc
+          | Hf_index.Remote_cache.Invalidated ->
+            bump (fun m ->
+                m.Metrics.cache_invalidations <- m.Metrics.cache_invalidations + 1;
+                m.Metrics.cache_misses <- m.Metrics.cache_misses + 1);
+            push_remote t site ctx wi acc
+          | Hf_index.Remote_cache.Absent ->
+            bump (fun m -> m.Metrics.cache_misses <- m.Metrics.cache_misses + 1);
+            push_remote t site ctx wi acc)
+    end
+    else push_remote t site ctx wi acc
+
+  (* Route one remote-bound item.  With caching off this is the plain
+     batcher push; with it on, the first item for a destination parks
+     the traffic behind a Cache_validate round trip, and items for a
+     validated destination resolve (prune / hit / miss) immediately. *)
+  and route_remote t site ctx wi acc =
+    match site.cache with
+    | None -> push_remote t site ctx wi acc
+    | Some _ -> (
+        let dst = t.locate (Hf_engine.Work_item.oid wi) in
+        match Hashtbl.find_opt ctx.validated dst with
+        | Some version -> resolve_item t site ctx ~dst ~version wi acc
+        | None ->
+          let waiting =
+            match Hashtbl.find_opt ctx.parked dst with Some l -> l | None -> []
+          in
+          Hashtbl.replace ctx.parked dst (wi :: waiting);
+          ctx.parked_count <- ctx.parked_count + 1;
+          if not (Hashtbl.mem ctx.validating dst) then begin
+            Hashtbl.replace ctx.validating dst ();
+            send_cache_validate t site ctx ~dst
+          end;
+          acc)
+
+  and send_cache_validate t site ctx ~dst =
+    let oq = find_open t ctx.query in
+    (match oq with
+     | Some oq ->
+       oq.metrics.Metrics.cache_validations <- oq.metrics.Metrics.cache_validations + 1
+     | None -> ());
+    enqueue t site (fun () ->
+        (match oq with
+         | Some oq ->
+           oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
+           Metrics.add_busy oq.metrics site.id t.config.costs.control_send
+         | None -> ());
+        record t site.id "cache-validate-send" (Fmt.str "to %d" dst);
+        ( t.config.costs.control_send,
+          fun () ->
+            let span =
+              Hf_obs.Tracer.start t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+                ~site:site.id ~phase:Hf_obs.Span.Cache
+                (Fmt.str "cache-validate->%d" dst)
+            in
+            deliver t ~src:site.id ~oq ~label:"cache-validate" ~span
+              ~transit:t.config.costs.control_transit ~dst
+              (Cache_validate { query = ctx.query; src = site.id; span })
+              (fun dsite message -> handle_message t dsite message) ))
+
+  (* Charge and ship a batch prepared outside [process_one]'s task (the
+     parked-item resolution paths), mirroring [flush_idle]'s send task. *)
+  and ship_resolved t site prepared =
+    match prepared with
+    | _, [] -> ()
+    | _, ((ctx0, _, _) :: _ as groups) ->
+      enqueue t site (fun () ->
+          let cost = Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups) in
+          (match find_open t ctx0.query with
+           | Some oq -> Metrics.add_busy oq.metrics site.id cost
+           | None -> ());
+          ( cost,
+            fun () ->
+              send_prepared t site prepared;
+              List.iter (fun ((gctx : context), _, _) -> maybe_drain t site gctx) groups ))
+
+  (* Unpark every item waiting on [dst] and hand each to [resolve]; the
+     no-op task at the end forces a pump cycle so pushes that stayed
+     under the flush threshold still ship via [flush_idle]. *)
+  and release_parked t site ctx ~dst resolve =
+    Hashtbl.remove ctx.validating dst;
+    match Hashtbl.find_opt ctx.parked dst with
+    | None -> maybe_drain t site ctx
+    | Some waiting ->
+      Hashtbl.remove ctx.parked dst;
+      let items = List.rev waiting in
+      ctx.parked_count <- ctx.parked_count - List.length items;
+      let flushed = List.fold_left (fun acc wi -> resolve wi acc) [] items in
+      List.iter (ship_resolved t site) flushed;
+      enqueue t site (fun () -> (0.0, fun () -> ()));
+      maybe_drain t site ctx
+
   (* Ship buffered results (and piggybacked controls) to the originator;
      or, with nothing buffered, send the detector's drain controls
      standalone. *)
@@ -847,6 +1108,35 @@ module Make (D : Hf_termination.Detector.S) = struct
     let controls, terminated = D.on_drain ctx.detector in
     let oq = find_open t ctx.query in
     (match oq with Some oq when terminated -> finish_query t oq | Some _ | None -> ());
+    (* Opportunistic cache fill: ship the verdicts this site computed to
+       the originator's cache.  Credit-free — a drop costs future hits,
+       never correctness. *)
+    if site.cache <> None && site.id <> ctx.origin && ctx.answers <> [] then begin
+      let answers = List.rev ctx.answers in
+      let version = ctx.answers_version in
+      ctx.answers <- [];
+      enqueue t site (fun () ->
+          (match oq with
+           | Some oq ->
+             oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
+             Metrics.add_busy oq.metrics site.id t.config.costs.control_send
+           | None -> ());
+          record t site.id "cache-answers-send"
+            (Fmt.str "%d verdict(s) to %d" (List.length answers) ctx.origin);
+          ( t.config.costs.control_send,
+            fun () ->
+              let span =
+                Hf_obs.Tracer.start t.tracer ~parent:ctx.span ~query:(qname ctx.query)
+                  ~site:site.id ~phase:Hf_obs.Span.Cache
+                  (Fmt.str "cache-answers->%d" ctx.origin)
+              in
+              Hf_obs.Tracer.set_detail t.tracer span
+                (Fmt.str "%d verdict(s) v=%d" (List.length answers) version);
+              deliver t ~src:site.id ~oq ~label:"cache-answers" ~span
+                ~transit:t.config.costs.control_transit ~dst:ctx.origin
+                (Cache_answers { query = ctx.query; src = site.id; version; answers; span })
+                (fun dsite message -> handle_message t dsite message) ))
+    end;
     if site.id = ctx.origin then
       (* Originator: results are already final; controls go out directly. *)
       List.iter (send_control t ~src:site.id ctx) controls
@@ -914,6 +1204,7 @@ module Make (D : Hf_termination.Detector.S) = struct
       Hf_util.Deque.is_empty ctx.work
       && ctx.in_flight = 0
       && pending_for site ctx.query = 0
+      && ctx.parked_count = 0
     then drain t site ctx
 
   and process_one t site ctx () =
@@ -959,19 +1250,14 @@ module Make (D : Hf_termination.Detector.S) = struct
         passed && not (Oid.Set.mem (Hf_engine.Work_item.oid item) ctx.local_result_set)
       in
       let costs = t.config.costs in
-      (* Remote spawns go through the per-site batcher; a push that
-         reaches the K threshold hands back the whole buffer for that
-         destination, which this task then ships (its send CPU is part
-         of this task's duration, as the per-item sends were). *)
+      (* Remote spawns go through the cache layer and then the per-site
+         batcher; a push that reaches the K threshold hands back the
+         whole buffer for that destination, which this task then ships
+         (its send CPU is part of this task's duration, as the per-item
+         sends were). *)
       let flushed =
-        List.filter_map
-          (fun wi ->
-            let dst = t.locate (Hf_engine.Work_item.oid wi) in
-            adjust_pending site ctx.query 1;
-            match Hf_proto.Batch.push site.outgoing ~dst (ctx.query, wi) with
-            | None -> None
-            | Some entries -> Some (prepare_batch t site ~dst entries))
-          remote
+        List.rev
+          (List.fold_left (fun acc wi -> route_remote t site ctx wi acc) [] remote)
       in
       let duration =
         (if skipped then costs.skip else costs.process)
@@ -984,6 +1270,24 @@ module Make (D : Hf_termination.Detector.S) = struct
       (match oq with Some oq -> Metrics.add_busy oq.metrics site.id duration | None -> ());
       let complete () =
         ctx.in_flight <- ctx.in_flight - 1;
+        (* Record the verdict for the originator's cache: only items
+           that arrived over the network (so the originator keyed a
+           ship to this site), ran for real (not mark-skipped), and
+           whose reachable suffix is store-state-only (cacheable). *)
+        (if
+           site.cache <> None
+           && source = From_network
+           && (not skipped)
+           && site.id <> ctx.origin
+           && Hf_index.Remote_cache.cacheable ctx.plan
+                ~start:(Hf_engine.Work_item.start item)
+                ~iters:(Hf_engine.Work_item.iters item)
+         then begin
+           let v = Hf_data.Store.version site.store in
+           if ctx.answers <> [] && ctx.answers_version <> v then ctx.answers <- [];
+           ctx.answers_version <- v;
+           ctx.answers <- (item, passed) :: ctx.answers
+         end);
         List.iter
           (fun wi ->
             Hf_util.Deque.push_back ctx.work (wi, Seeded);
@@ -1167,6 +1471,110 @@ module Make (D : Hf_termination.Detector.S) = struct
         | Some oq ->
           Metrics.add_busy oq.metrics site.id costs.control_recv;
           (costs.control_recv, fun () -> mark_unreachable t oq dead))
+    | Cache_validate { query; src; span } ->
+      (match find_open t query with
+       | Some oq -> Metrics.add_busy oq.metrics site.id costs.control_recv
+       | None -> ());
+      record t site.id "cache-validate-recv" (Fmt.str "from %d" src);
+      ( costs.control_recv,
+        fun () ->
+          let version = Hf_data.Store.version site.store in
+          let summary =
+            match t.config.cache with
+            | None -> None
+            | Some cfg ->
+              let bloom =
+                match site.summary_memo with
+                | Some (v, bloom) when v = version -> bloom
+                | Some _ | None ->
+                  let bloom = Hf_index.Remote_cache.summary_of_store cfg site.store in
+                  site.summary_memo <- Some (version, bloom);
+                  bloom
+              in
+              if
+                match Hashtbl.find_opt site.summary_told src with
+                | Some v -> v = version
+                | None -> false
+              then None (* the asker already holds this version's summary *)
+              else begin
+                Hashtbl.replace site.summary_told src version;
+                Some bloom
+              end
+          in
+          let oq = find_open t query in
+          enqueue t site (fun () ->
+              (match oq with
+               | Some oq ->
+                 oq.metrics.Metrics.control_messages <-
+                   oq.metrics.Metrics.control_messages + 1;
+                 Metrics.add_busy oq.metrics site.id t.config.costs.control_send
+               | None -> ());
+              record t site.id "cache-version-send"
+                (Fmt.str "v=%d to %d%s" version src
+                   (if Option.is_none summary then "" else " +summary"));
+              ( t.config.costs.control_send,
+                fun () ->
+                  let rspan =
+                    Hf_obs.Tracer.start t.tracer ~parent:span ~query:(qname query)
+                      ~site:site.id ~phase:Hf_obs.Span.Cache
+                      (Fmt.str "cache-version->%d" src)
+                  in
+                  deliver t ~src:site.id ~oq ~label:"cache-version" ~span:rspan
+                    ~transit:t.config.costs.control_transit ~dst:src
+                    (Cache_version
+                       { query; site = site.id; version; summary; src = site.id;
+                         span = rspan })
+                    (fun dsite message -> handle_message t dsite message) )) )
+    | Cache_version { query; site = peer; version; summary; src = _; span } ->
+      (match find_open t query with
+       | Some oq -> Metrics.add_busy oq.metrics site.id costs.control_recv
+       | None -> ());
+      record t site.id "cache-version-recv" (Fmt.str "site %d at v=%d" peer version);
+      ( costs.control_recv,
+        fun () ->
+          (match summary with
+           | Some bloom -> Hashtbl.replace site.summaries peer (version, bloom)
+           | None -> (
+               (* No summary aboard means "you already have it"; if ours
+                  is for another version (the reply that carried the new
+                  one was lost), drop it — a stale summary must never
+                  prune at the new version. *)
+               match Hashtbl.find_opt site.summaries peer with
+               | Some (v, _) when v <> version -> Hashtbl.remove site.summaries peer
+               | Some _ | None -> ()));
+          match context_of t ~cause:span site query with
+          | None -> ()
+          | Some ctx ->
+            Hashtbl.replace ctx.validated peer version;
+            release_parked t site ctx ~dst:peer (fun wi acc ->
+                resolve_item t site ctx ~dst:peer ~version wi acc) )
+    | Cache_answers { query; src; version; answers; span } ->
+      (match find_open t query with
+       | Some oq -> Metrics.add_busy oq.metrics site.id costs.control_recv
+       | None -> ());
+      record t site.id "cache-answers-recv"
+        (Fmt.str "%d verdict(s) from %d" (List.length answers) src);
+      ( costs.control_recv,
+        fun () ->
+          match (site.cache, context_of t ~cause:span site query) with
+          | Some cache, Some ctx ->
+            (match find_open t query with
+             | Some oq ->
+               oq.metrics.Metrics.cache_fills <-
+                 oq.metrics.Metrics.cache_fills + List.length answers
+             | None -> ());
+            List.iter
+              (fun (wi, passed) ->
+                let key =
+                  Hf_index.Remote_cache.entry_key ~dst:src ~plan:ctx.plan
+                    ~start:(Hf_engine.Work_item.start wi)
+                    ~iters:(Hf_engine.Work_item.iters wi)
+                    ~oid:(Hf_engine.Work_item.oid wi)
+                in
+                Hf_index.Remote_cache.put cache ~now:(Hf_sim.Sim.now t.sim) ~key
+                  ~version ~passed)
+              answers
+          | (Some _ | None), _ -> () )
 
   (* --- detector polling (wave-based detectors) --- *)
 
@@ -1260,20 +1668,17 @@ module Make (D : Hf_termination.Detector.S) = struct
            let local, remote =
              List.partition (fun oid -> t.locate oid = origin) initial
            in
-           (* Remote seeds ride the same per-site batcher as spawned
-              work, so concurrent submissions coalesce too. *)
+           (* Remote seeds ride the same cache layer and per-site
+              batcher as spawned work, so concurrent submissions
+              coalesce too. *)
            let flushed =
-             List.filter_map
-               (fun oid ->
-                 let dst = t.locate oid in
-                 adjust_pending origin_site oq.id 1;
-                 match
-                   Hf_proto.Batch.push origin_site.outgoing ~dst
-                     (oq.id, Hf_engine.Work_item.initial ctx.plan oid)
-                 with
-                 | None -> None
-                 | Some entries -> Some (prepare_batch t origin_site ~dst entries))
-               remote
+             List.rev
+               (List.fold_left
+                  (fun acc oid ->
+                    route_remote t origin_site ctx
+                      (Hf_engine.Work_item.initial ctx.plan oid)
+                      acc)
+                  [] remote)
            in
            let duration =
              List.fold_left

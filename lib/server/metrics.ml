@@ -31,6 +31,18 @@ type t = {
          unreachable and the message's credit reclaimed *)
   busy : float array; (* per-site CPU busy time *)
   mutable results_shipped : int; (* result items that crossed the network *)
+  mutable cache_hits : int;
+      (* work items answered from the remote-answer cache instead of
+         shipping *)
+  mutable cache_misses : int; (* cacheable items that had to ship anyway *)
+  mutable cache_prunes : int;
+      (* ships skipped because the destination's Bloom summary proved
+         the item dead on arrival *)
+  mutable cache_validations : int; (* Cache_validate round trips issued *)
+  mutable cache_fills : int; (* verdicts installed from Cache_answers *)
+  mutable cache_invalidations : int;
+      (* entries evicted because the destination reported a different
+         store version (or the entry aged out) *)
 }
 
 let create ~n_sites =
@@ -52,6 +64,12 @@ let create ~n_sites =
     give_ups = 0;
     busy = Array.make n_sites 0.0;
     results_shipped = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_prunes = 0;
+    cache_validations = 0;
+    cache_fills = 0;
+    cache_invalidations = 0;
   }
 
 let add_busy t site duration = t.busy.(site) <- t.busy.(site) +. duration
@@ -84,6 +102,12 @@ let register ?(prefix = "hf.server") t registry =
   c "dup_drops" (fun () -> t.dup_drops);
   c "give_ups" (fun () -> t.give_ups);
   c "results_shipped" (fun () -> t.results_shipped);
+  c "cache_hits" (fun () -> t.cache_hits);
+  c "cache_misses" (fun () -> t.cache_misses);
+  c "cache_prunes" (fun () -> t.cache_prunes);
+  c "cache_validations" (fun () -> t.cache_validations);
+  c "cache_fills" (fun () -> t.cache_fills);
+  c "cache_invalidations" (fun () -> t.cache_invalidations);
   c "total_messages" (fun () -> total_messages t);
   c "total_bytes" (fun () -> total_bytes t);
   g "busy_total_s" (fun () -> total_busy t);
@@ -99,10 +123,12 @@ let to_json t = Hf_obs.Registry.to_json (view t)
 let pp_summary ppf t =
   Fmt.pf ppf
     "work=%d/%d items (%dB, %d batched, %dB saved) result=%d (%dB) control=%d (+%d piggybacked) \
-     dup-work=%d dropped=%d rtx=%d dup-drop=%d gave-up=%d shipped=%d busy: total=%.3fs max=%.3fs"
+     dup-work=%d dropped=%d rtx=%d dup-drop=%d gave-up=%d shipped=%d cache: hit=%d miss=%d \
+     prune=%d fill=%d inval=%d busy: total=%.3fs max=%.3fs"
     t.work_messages t.work_items t.work_bytes t.work_batches t.batch_bytes_saved t.result_messages
     t.result_bytes t.control_messages t.piggybacked_controls t.duplicate_work_messages
-    t.dropped_messages t.retransmits t.dup_drops t.give_ups t.results_shipped (total_busy t)
+    t.dropped_messages t.retransmits t.dup_drops t.give_ups t.results_shipped t.cache_hits
+    t.cache_misses t.cache_prunes t.cache_fills t.cache_invalidations (total_busy t)
     (max_busy t)
 
 let pp = pp_summary

@@ -34,6 +34,21 @@ type t = {
   busy : float array;  (** per-site CPU busy time (seconds). *)
   mutable results_shipped : int;
       (** result items that crossed the network. *)
+  mutable cache_hits : int;
+      (** work items answered from the remote-answer cache instead of
+          shipping (DESIGN.md §4g). *)
+  mutable cache_misses : int;
+      (** cacheable items that had to ship anyway. *)
+  mutable cache_prunes : int;
+      (** ships skipped because the destination's Bloom summary proved
+          the item dead on arrival. *)
+  mutable cache_validations : int;
+      (** [Cache_validate] round trips issued. *)
+  mutable cache_fills : int;
+      (** verdicts installed from [Cache_answers] messages. *)
+  mutable cache_invalidations : int;
+      (** entries evicted because the destination reported a different
+          store version (or the entry aged past its ttl). *)
 }
 
 val create : n_sites:int -> t

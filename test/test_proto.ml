@@ -94,6 +94,59 @@ let test_roundtrip_site_unreachable () =
     (roundtrip
        (Message.Site_unreachable { query = { Message.originator = 1; serial = 9 }; dead = 4 }))
 
+(* --- Cache messages (DESIGN.md §4g) --- *)
+
+let sample_summary =
+  let bloom = Hf_index.Bloom.create ~expected:32 ~fp_rate:0.01 in
+  Hf_index.Bloom.add bloom "t:Keyword";
+  Hf_index.Bloom.add bloom "t:Pointer";
+  Hf_index.Bloom.to_string bloom
+
+let test_roundtrip_cache_validate () =
+  check_bool "cache validate" true
+    (roundtrip
+       (Message.Cache_validate { query = { Message.originator = 0; serial = 4 }; src = 2 }))
+
+let test_roundtrip_cache_version () =
+  let query = { Message.originator = 1; serial = 12 } in
+  check_bool "with summary" true
+    (roundtrip
+       (Message.Cache_version { query; site = 2; version = 7; summary = Some sample_summary }));
+  check_bool "version only" true
+    (roundtrip (Message.Cache_version { query; site = 0; version = 0; summary = None }))
+
+let cache_answer ?(start = 0) ?(iters = [||]) ~passed serial : Message.cache_answer =
+  { oid = oid serial; start; iters; passed }
+
+let test_roundtrip_cache_answers () =
+  check_bool "cache answers" true
+    (roundtrip
+       (Message.Cache_answers
+          {
+            query = { Message.originator = 2; serial = 5 };
+            src = 1;
+            version = 3;
+            answers =
+              [ cache_answer ~passed:true 4;
+                cache_answer ~start:2 ~iters:[| 1; 3 |] ~passed:false 9 ];
+          }))
+
+let test_cache_answers_empty_rejected () =
+  (* An empty answer list must not encode... *)
+  (try
+     ignore
+       (Codec.encode
+          (Message.Cache_answers
+             { query = { Message.originator = 0; serial = 1 }; src = 0; version = 0;
+               answers = [] }));
+     Alcotest.fail "empty Cache_answers encoded"
+   with Invalid_argument _ -> ());
+  (* ...and crafted empty-answer bytes must not decode (tag 8, query
+     0/1, src 0, version 0, zero answers). *)
+  match Codec.decode "\x08\x00\x01\x00\x00\x00" with
+  | Ok _ -> Alcotest.fail "empty Cache_answers accepted"
+  | Error _ -> ()
+
 let test_envelope_roundtrip () =
   let rel = { Codec.src = 3; seq = 41; ack = 40 } in
   let encoded = Codec.encode ~span:7 ~rel sample_deref in
@@ -356,6 +409,41 @@ let gen_message =
         (let* query = gen_query_id in
          let* dead = int_range 0 15 in
          return (Message.Site_unreachable { query; dead }));
+        (let* query = gen_query_id in
+         let* src = int_range 0 15 in
+         return (Message.Cache_validate { query; src }));
+        (let* query = gen_query_id in
+         let* site = int_range 0 15 in
+         let* version = int_range 0 10_000 in
+         let* summary =
+           oneof
+             [ return None;
+               map
+                 (fun keys ->
+                   let bloom =
+                     Hf_index.Bloom.create ~expected:(1 + List.length keys) ~fp_rate:0.02
+                   in
+                   List.iter (Hf_index.Bloom.add bloom) keys;
+                   Some (Hf_index.Bloom.to_string bloom))
+                 (list_size (int_range 0 8) string_small);
+             ]
+         in
+         return (Message.Cache_version { query; site; version; summary }));
+        (let gen_answer =
+           let* site = int_range 0 10 in
+           let* serial = int_range 0 500 in
+           let* start = int_range 0 10 in
+           let* iters = array_size (int_range 0 3) (int_range 1 20) in
+           let* passed = bool in
+           return
+             ({ oid = oid ~site ~hint:site serial; start; iters; passed }
+               : Message.cache_answer)
+         in
+         let* query = gen_query_id in
+         let* src = int_range 0 15 in
+         let* version = int_range 0 10_000 in
+         let* answers = list_size (int_range 1 5) gen_answer in
+         return (Message.Cache_answers { query; src; version; answers }));
       ])
 
 let prop_message_roundtrip =
@@ -372,6 +460,31 @@ let prop_truncation_rejected =
         | Error _ -> ()
       done;
       !ok)
+
+(* Arbitrary bytes must come back as [Error], never an exception — the
+   decoder faces the network.  Exercised both bare and under each
+   envelope wrapper (tags 126/127), so envelope parsing is fuzzed
+   too. *)
+let prop_garbage_never_raises =
+  QCheck2.Test.make ~name:"decoder total on garbage bytes" ~count:500
+    QCheck2.Gen.(pair (string_size (int_range 0 64)) (int_range 0 2))
+    (fun (bytes, wrap) ->
+      let input =
+        match wrap with
+        | 0 -> bytes
+        | 1 -> "\x7f" ^ bytes (* traced envelope tag *)
+        | _ -> "\x7e" ^ bytes (* reliability envelope tag *)
+      in
+      let total f = match f input with Ok _ | Error _ -> true | exception _ -> false in
+      total Codec.decode
+      && total Codec.decode_traced
+      && total Codec.decode_enveloped
+      &&
+      (* Bloom summaries ride Cache_version as opaque strings; their
+         parser must be total too. *)
+      match Hf_index.Bloom.of_string bytes with
+      | Some _ | None -> true
+      | exception _ -> false)
 
 (* --- Reliable link state machine --- *)
 
@@ -593,6 +706,11 @@ let () =
           Alcotest.test_case "link-ack round-trip" `Quick test_roundtrip_link_ack;
           Alcotest.test_case "site-unreachable round-trip" `Quick
             test_roundtrip_site_unreachable;
+          Alcotest.test_case "cache-validate round-trip" `Quick test_roundtrip_cache_validate;
+          Alcotest.test_case "cache-version round-trip" `Quick test_roundtrip_cache_version;
+          Alcotest.test_case "cache-answers round-trip" `Quick test_roundtrip_cache_answers;
+          Alcotest.test_case "empty cache answers rejected" `Quick
+            test_cache_answers_empty_rejected;
           Alcotest.test_case "reliability envelope round-trip" `Quick test_envelope_roundtrip;
           Alcotest.test_case "no envelope = plain bytes" `Quick test_envelope_absent_is_plain;
           Alcotest.test_case "empty work batch rejected" `Quick test_work_batch_empty_rejected;
@@ -604,6 +722,7 @@ let () =
           Alcotest.test_case "~40-byte query messages" `Quick test_query_message_size_regime;
           qtest prop_message_roundtrip;
           qtest prop_truncation_rejected;
+          qtest prop_garbage_never_raises;
         ] );
       ( "frame",
         [
