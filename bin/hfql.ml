@@ -10,12 +10,15 @@
    root; scripts can traverse Chain/Tree/RandNN pointer classes and
    filter on the Unique/Common/Rand10/Rand100/Rand1000 search keys. *)
 
-let setup_server ?tracer ?(cache = false) ~sites ~objects ~seed () =
+let setup_server ?tracer ?(cache = false) ?in_flight ~sites ~objects ~seed () =
   let config =
-    if cache then
+    if cache || in_flight <> None then
       Some
         { Hf_server.Cluster.default_config with
-          Hf_server.Cluster.cache = Some Hf_index.Remote_cache.default;
+          Hf_server.Cluster.cache =
+            (if cache then Some Hf_index.Remote_cache.default else None);
+          admission =
+            { Hf_server.Sched.unlimited with Hf_server.Sched.in_flight_cap = in_flight };
         }
     else None
   in
@@ -82,12 +85,16 @@ let finish_trace tracer = function
        | 0 -> ""
        | n -> Printf.sprintf " (%d dropped past the limit)" n)
 
-let demo ~sites ~objects ~seed ~trace =
+let demo ~sites ~objects ~seed ~in_flight ~trace =
   (* The sim cluster installs its virtual clock on the tracer. *)
   let tracer =
     match trace with None -> Hf_obs.Tracer.noop | Some _ -> Hf_obs.Tracer.create ()
   in
-  let server = setup_server ~tracer ~sites ~objects ~seed () in
+  let server =
+    setup_server ~tracer
+      ?in_flight:(if in_flight > 1 then Some in_flight else None)
+      ~sites ~objects ~seed ()
+  in
   let queries =
     [
       "Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits";
@@ -105,6 +112,34 @@ let demo ~sites ~objects ~seed ~trace =
           Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
         r.Hf_client.Embedded.values)
     queries;
+  (* --in-flight N: submit N copies of the closure query at once; the
+     admission gate keeps all of them running and the per-query slices
+     interleave (DESIGN.md §4h), so the batch finishes in a fraction of
+     N back-to-back runs. *)
+  if in_flight > 1 then begin
+    let module C = Hf_client.Embedded.C in
+    let cluster = Hf_client.Embedded.cluster server in
+    let program =
+      Hf_query.Compile.compile
+        (Hf_query.Parser.parse_body "[ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5)")
+    in
+    let root = Option.value ~default:[] (Hf_client.Embedded.find_set server "Root") in
+    Fmt.pr "@.concurrent batch: %d copies of the closure query, all in flight@." in_flight;
+    let handles = List.init in_flight (fun _ -> C.submit cluster ~origin:0 program root) in
+    C.await_quiescence cluster;
+    let times =
+      List.map
+        (fun h -> (C.outcome cluster h).Hf_server.Cluster.response_time)
+        handles
+    in
+    let makespan = List.fold_left Float.max 0.0 times in
+    let fastest = List.fold_left Float.min makespan times in
+    Fmt.pr "  batch makespan %.3f simulated seconds (%.2f queries/s); one at a time \
+            would take roughly %.3f@."
+      makespan
+      (float_of_int in_flight /. makespan)
+      (float_of_int in_flight *. fastest)
+  end;
   finish_trace tracer trace;
   0
 
@@ -259,6 +294,7 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
     | Tcp.Partial dead ->
       Fmt.str "partial (unreachable: %a)" Fmt.(list ~sep:comma int) dead
     | Tcp.Timed_out -> "timed out (peers may merely be slow)"
+    | Tcp.Cancelled -> "cancelled"
   in
   Fmt.pr "closure over TCP: %d result(s), %s, %.1f ms, %d message(s), %d bytes@."
     (List.length outcome.Tcp.results) status_text
@@ -266,7 +302,10 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
     outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
   Array.iter Tcp.shutdown endpoints;
   finish_trace tracer trace;
-  match outcome.Tcp.status with Tcp.Complete -> 0 | Tcp.Timed_out -> 1 | Tcp.Partial _ -> 2
+  match outcome.Tcp.status with
+  | Tcp.Complete -> 0
+  | Tcp.Timed_out | Tcp.Cancelled -> 1
+  | Tcp.Partial _ -> 2
 
 (* --- cmdliner plumbing --- *)
 
@@ -309,10 +348,16 @@ let run_cmd =
     Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ script_arg)
 
 let demo_cmd =
-  let run sites objects seed trace = demo ~sites ~objects ~seed ~trace in
+  let in_flight_arg =
+    Arg.(value & opt int 1
+         & info [ "in-flight" ] ~docv:"N"
+             ~doc:"Keep $(docv) queries in flight at once (admission cap; DESIGN.md §4h) \
+                   and finish the demo with a concurrent batch of $(docv) closure queries.")
+  in
+  let run sites objects seed in_flight trace = demo ~sites ~objects ~seed ~in_flight ~trace in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run canned queries against the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ trace_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ in_flight_arg $ trace_arg)
 
 let save_demo_cmd =
   let path_arg =

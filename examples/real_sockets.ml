@@ -48,7 +48,8 @@ let () =
     (match outcome.Tcp.status with
      | Tcp.Complete -> "complete"
      | Tcp.Partial dead -> Fmt.str "partial (unreachable: %a)" Fmt.(list ~sep:comma int) dead
-     | Tcp.Timed_out -> "timed out")
+     | Tcp.Timed_out -> "timed out"
+     | Tcp.Cancelled -> "cancelled")
     (outcome.Tcp.response_time *. 1000.0);
   Fmt.pr "site 0 sent %d wire message(s), %d bytes@." outcome.Tcp.messages_sent
     outcome.Tcp.bytes_sent;

@@ -15,14 +15,28 @@
    - one writer thread per outbound connection drains a send queue, so
      a handler never blocks on a peer's socket (no send/receive
      deadlock);
-   - [run_query] (called by the embedding client on the originating
-     site) seeds the query and waits on a condition variable until the
-     origin's detector recovers all credit, or a timeout expires
-     (crashed peers then yield partial results, per the paper's
-     "partial results are better than none"). *)
+   - [submit_query] (called by the embedding client on the originating
+     site) seeds the query through the admission gate and returns a
+     handle; a per-query drainer thread processes the working set in
+     bounded slices, releasing the site lock between slices so
+     concurrent queries interleave.  [await] waits on a condition
+     variable until the origin's detector recovers all credit, or a
+     timeout expires (crashed peers then yield partial results, per the
+     paper's "partial results are better than none").  [run_query] is
+     submit + await.
+
+   Concurrency (DESIGN.md §4h): any number of queries may be live at
+   once.  Shared per-link state needs no per-query keying — reliable
+   seq/ack and dedup are link-scoped by design (they protect frames,
+   not queries), the remote-answer cache is keyed by (destination,
+   plan, item) which is already query-independent, and work batchers
+   are per-drain locals so batches never mix queries on this engine.
+   The admission gate ([Hf_server.Sched]) caps in-flight queries per
+   origin and queues the rest fairly. *)
 
 module Message = Hf_proto.Message
 module Credit = Hf_termination.Credit
+module Sched = Hf_server.Sched
 
 let src = Logs.Src.create "hf.net" ~doc:"HyperFile TCP transport"
 
@@ -160,6 +174,21 @@ type context = {
       (* cacheable verdicts computed here for the originator's cache,
          newest first; flushed (credit-free) with the drain tail *)
   mutable answers_version : int; [@hf.guarded_by "locked"]
+  (* Per-query transport attribution: site-global counters bleed across
+     overlapping queries, so each frame is also charged to its query's
+     context and outcomes read these instead of global deltas. *)
+  mutable msgs_sent : int; [@hf.guarded_by "locked"]
+  mutable bytes_out : int; [@hf.guarded_by "locked"]
+  (* origin-side admission / cancellation state *)
+  mutable admitted : bool; [@hf.guarded_by "locked"]
+  mutable slot_released : bool; [@hf.guarded_by "locked"]
+  mutable cancelled : bool; [@hf.guarded_by "locked"]
+}
+
+type pending = {
+  p_query : Message.query_id;
+  p_seed : unit -> unit;
+      (* runs under the site lock when the queued query takes a slot *)
 }
 
 type t = {
@@ -182,7 +211,18 @@ type t = {
   done_cond : Condition.t; (* signalled when a local query terminates *)
   contexts : (Message.query_id, context) Hashtbl.t; [@hf.guarded_by "locked"]
   mutable next_serial : int; [@hf.guarded_by "locked"]
+  admission : Sched.config;
+  gate : pending Sched.t; [@hf.guarded_by "locked"]
+      (* admission gate for locally-issued queries (DESIGN.md §4h) *)
+  closed : (Message.query_id, unit) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* tombstones for evicted queries: late or retransmitted work for
+         a query the originator already closed must not resurrect a
+         context (its credit is dead — same as a loss).  Bounded FIFO. *)
+  closed_order : Message.query_id Queue.t; [@hf.guarded_by "locked"]
   mutable running : bool;
+  mutable ticker : Thread.t option;
+      (* the reliability ticker, joinable on its own: shutdown quiesces
+         it before tearing connections down *)
   mutable threads : Thread.t list; [@hf.guarded_by "locked"]
   join_errors : int Atomic.t; (* threads that could not be joined on close *)
   (* observability.  Sites sharing one tracer (same process, as in
@@ -282,6 +322,24 @@ let transmit_raw t ?(span = 0) ~seq ~dst message =
     let payload = Hf_proto.Codec.encode ~span ?rel message in
     t.messages_sent <- t.messages_sent + 1;
     t.bytes_sent <- t.bytes_sent + String.length payload;
+    (* Per-query attribution: site-global counters cover every query at
+       once, so an outcome reading global deltas would charge one query
+       with its neighbors' traffic.  Each frame — retransmissions
+       included — is charged to its query's live context instead; link
+       housekeeping ([Link_ack]) and post-eviction control frames have
+       no query context and stay site-global only. *)
+    (match
+       (match (message : Message.t) with
+        | Message.Link_ack | Message.Work_batch [] -> None
+        | m -> Some (Message.query_of m))
+     with
+    | Some q -> (
+        match Hashtbl.find_opt t.contexts q with
+        | Some ctx ->
+          ctx.msgs_sent <- ctx.msgs_sent + 1;
+          ctx.bytes_out <- ctx.bytes_out + String.length payload
+        | None -> ())
+    | None -> ());
     Hf_obs.Histogram.observe t.sent_frame_bytes (float_of_int (String.length payload));
     conn_send conn (Hf_proto.Frame.frame payload)
 [@@hf.requires_lock "locked"]
@@ -322,10 +380,59 @@ let new_context t ?(cause = 0) ~query ~origin program =
       draining = 0;
       answers = [];
       answers_version = 0;
+      msgs_sent = 0;
+      bytes_out = 0;
+      admitted = false;
+      slot_released = false;
+      cancelled = false;
     }
   in
   Hashtbl.replace t.contexts query ctx;
   ctx
+[@@hf.requires_lock "locked"]
+
+(* --- context eviction (ISSUE 6 satellite S1) --- *)
+
+(* A terminated (or cancelled) query must leave no per-site state
+   behind: under concurrency the contexts table is long-lived working
+   state, not a per-query scratchpad, and leaking one entry per query
+   is an unbounded heap on a server that never restarts. *)
+
+let tombstone_cap = 1024
+
+let mark_closed t query =
+  if not (Hashtbl.mem t.closed query) then begin
+    Hashtbl.replace t.closed query ();
+    Queue.push query t.closed_order;
+    if Queue.length t.closed_order > tombstone_cap then
+      Hashtbl.remove t.closed (Queue.pop t.closed_order)
+  end
+[@@hf.requires_lock "locked"]
+
+(* Drop the query's context and tombstone its id.  The record itself
+   stays reachable from any live handle (origin side), so [await] can
+   still read the final results; what this reclaims is the table entry,
+   the working set and the parked items — and the tombstone makes a
+   late Work_batch for the query die at the door instead of
+   resurrecting an empty context. *)
+let evict_context t query (ctx : context) =
+  Hf_obs.Tracer.finish t.tracer ctx.span;
+  Hf_util.Deque.clear ctx.work;
+  Hashtbl.reset ctx.parked;
+  ctx.parked_count <- 0;
+  Hashtbl.reset ctx.validating;
+  Hashtbl.remove t.contexts query;
+  mark_closed t query
+[@@hf.requires_lock "locked"]
+
+(* Free the admission slot a finished/cancelled local query held; a
+   queued submission, if any, takes over the slot and is seeded here,
+   still under the site lock. *)
+let release_slot t (ctx : context) =
+  if ctx.admitted && not ctx.slot_released then begin
+    ctx.slot_released <- true;
+    match Sched.release t.gate with Some job -> job.p_seed () | None -> ()
+  end
 [@@hf.requires_lock "locked"]
 
 let merge_bindings table extra =
@@ -334,16 +441,6 @@ let merge_bindings table extra =
       let existing = match Hashtbl.find_opt table target with None -> [] | Some v -> v in
       Hashtbl.replace table target (existing @ values))
     extra
-
-(* Credit recovered at the origin: check for global termination. *)
-let credit_recovered t query ctx credit =
-  ctx.recovered <- Credit.add ctx.recovered credit;
-  if Credit.is_one ctx.recovered && not ctx.terminated then begin
-    ctx.terminated <- true;
-    Log.debug (fun m -> m "site %d: query %a terminated" t.id Message.pp_query_id query);
-    Condition.broadcast t.done_cond
-  end
-[@@hf.requires_lock "locked"]
 
 let note_unreachable ctx dead =
   if not (List.mem dead ctx.unreachable) then ctx.unreachable <- dead :: ctx.unreachable
@@ -410,7 +507,9 @@ and give_up_message t ~dst message =
       | None -> ()
       | Some ctx -> release_parked t query ctx ~dst None)
   | Message.Link_ack | Message.Site_unreachable _ | Message.Cache_version _
-  | Message.Cache_answers _ -> ()
+  | Message.Cache_answers _ | Message.Query_done _ -> ()
+  (* Query_done carries no credit: an unreachable peer just keeps its
+     tombstone-less context until its own give-ups reclaim it. *)
 [@@hf.requires_lock "locked"]
 
 (* --- the cache layer (DESIGN.md §4g) --- *)
@@ -660,76 +759,159 @@ and finish_drain t query ctx =
   end
 [@@hf.requires_lock "locked"]
 
-(* Process the working set to empty, then run the credit-return tail.
-   Runs under the site lock.
+(* Process at most [budget] items of the working set; [true] iff work
+   remains.  One bounded slice per lock hold is what lets N queries
+   share a site: the old drain held the lock from first item to credit
+   return, serializing every other query (and every incoming message)
+   behind it.
 
    Remote spawns pass through the cache layer and a per-destination
-   batcher: a destination reaching K items flushes mid-drain, and
+   batcher: a destination reaching K items flushes mid-slice, and
    everything left flushes when the working set empties — always before
    this site's credit goes back, so termination is never starved. *)
-and process_to_drain t query ctx =
-  let out = Hf_proto.Batch.create t.batch_policy in
-  ctx.draining <- ctx.draining + 1;
-  let rec drain_work () =
-    match Hf_util.Deque.pop_front ctx.work with
-    | None -> ()
-    | Some item ->
-      let emit ~target values =
-        let existing =
-          match Hashtbl.find_opt ctx.bindings target with None -> [] | Some v -> v
+and drain_slice t query ctx ~out ~budget =
+  let rec step n =
+    if n = 0 then not (Hf_util.Deque.is_empty ctx.work)
+    else
+      match Hf_util.Deque.pop_front ctx.work with
+      | None -> false
+      | Some item ->
+        let emit ~target values =
+          let existing =
+            match Hashtbl.find_opt ctx.bindings target with None -> [] | Some v -> v
+          in
+          Hashtbl.replace ctx.bindings target (existing @ values)
         in
-        Hashtbl.replace ctx.bindings target (existing @ values)
-      in
-      let { Hf_engine.Eval.spawned; passed; skipped } =
-        Hf_engine.Eval.run_object ~plan:ctx.plan ~find:(Hf_data.Store.find t.store)
-          ~marks:ctx.marks ~stats:ctx.stats ~emit item
-      in
-      List.iter
-        (fun wi ->
-          let target_site = locate (Hf_engine.Work_item.oid wi) in
-          if target_site = t.id then Hf_util.Deque.push_back ctx.work wi
-          else route_remote t query ctx ~out wi)
-        spawned;
-      (* Record the verdict for the originator's cache: items that ran
-         for real (not mark-skipped) at a non-origin site, whose
-         reachable suffix is store-state-only (cacheable). *)
-      (if
-         Option.is_some t.cache
-         && (not skipped)
-         && t.id <> ctx.origin
-         && Hf_index.Remote_cache.cacheable ctx.plan
-              ~start:(Hf_engine.Work_item.start item)
-              ~iters:(Hf_engine.Work_item.iters item)
-       then begin
-         let v = Hf_data.Store.version t.store in
-         if ctx.answers <> [] && ctx.answers_version <> v then ctx.answers <- [];
-         ctx.answers_version <- v;
-         ctx.answers <- (item, passed) :: ctx.answers
-       end);
-      (if passed then
-         let oid = Hf_engine.Work_item.oid item in
-         if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
-           ctx.local_result_set <- Hf_data.Oid.Set.add oid ctx.local_result_set;
-           if t.id = ctx.origin then begin
-             if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
-               ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
-               ctx.final_results <- oid :: ctx.final_results
-             end
-           end
-           else ctx.result_buffer <- oid :: ctx.result_buffer
+        let { Hf_engine.Eval.spawned; passed; skipped } =
+          Hf_engine.Eval.run_object ~plan:ctx.plan ~find:(Hf_data.Store.find t.store)
+            ~marks:ctx.marks ~stats:ctx.stats ~emit item
+        in
+        List.iter
+          (fun wi ->
+            let target_site = locate (Hf_engine.Work_item.oid wi) in
+            if target_site = t.id then Hf_util.Deque.push_back ctx.work wi
+            else route_remote t query ctx ~out wi)
+          spawned;
+        (* Record the verdict for the originator's cache: items that ran
+           for real (not mark-skipped) at a non-origin site, whose
+           reachable suffix is store-state-only (cacheable). *)
+        (if
+           Option.is_some t.cache
+           && (not skipped)
+           && t.id <> ctx.origin
+           && Hf_index.Remote_cache.cacheable ctx.plan
+                ~start:(Hf_engine.Work_item.start item)
+                ~iters:(Hf_engine.Work_item.iters item)
+         then begin
+           let v = Hf_data.Store.version t.store in
+           if ctx.answers <> [] && ctx.answers_version <> v then ctx.answers <- [];
+           ctx.answers_version <- v;
+           ctx.answers <- (item, passed) :: ctx.answers
          end);
-      drain_work ()
+        (if passed then
+           let oid = Hf_engine.Work_item.oid item in
+           if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
+             ctx.local_result_set <- Hf_data.Oid.Set.add oid ctx.local_result_set;
+             if t.id = ctx.origin then begin
+               if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+                 ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+                 ctx.final_results <- oid :: ctx.final_results
+               end
+             end
+             else ctx.result_buffer <- oid :: ctx.result_buffer
+           end);
+        step (n - 1)
   in
-  drain_work ();
-  (* drained: flush buffered work before any credit goes back *)
-  List.iter
-    (fun (dst, items) ->
-      ctx.out_pending <- ctx.out_pending - List.length items;
-      send_work_batch t query ctx ~dst items)
-    (Hf_proto.Batch.flush_all out);
-  ctx.draining <- ctx.draining - 1;
-  finish_drain t query ctx
+  step budget
 [@@hf.requires_lock "locked"]
+
+(* Credit recovered at the origin: check for global termination.  In
+   the chain because termination broadcasts [Query_done] (through
+   [send]) and a give-up may in turn recover credit. *)
+and credit_recovered t query ctx credit =
+  ctx.recovered <- Credit.add ctx.recovered credit;
+  if Credit.is_one ctx.recovered && not ctx.terminated then begin
+    ctx.terminated <- true;
+    Log.debug (fun m -> m "site %d: query %a terminated" t.id Message.pp_query_id query);
+    (* Termination is the eviction point (satellite S1): drop our own
+       context first — so the broadcast frames are not charged to the
+       query's outcome — then tell every peer to drop theirs and free
+       the admission slot.  The handle still references the context
+       record, so [await] reads the final results unharmed. *)
+    evict_context t query ctx;
+    broadcast_query_done t query;
+    release_slot t ctx;
+    Condition.broadcast t.done_cond
+  end
+[@@hf.requires_lock "locked"]
+
+(* [Query_done] goes to every peer, not just the ones this site talked
+   to: third-party shipping (B spawns work for C) opens contexts at
+   sites the originator never contacted directly. *)
+and broadcast_query_done t query =
+  Array.iteri
+    (fun peer _ ->
+      if peer <> t.id then send t ~dst:peer (Message.Query_done { query; src = t.id }))
+    t.peers
+[@@hf.requires_lock "locked"]
+
+(* Backpressure (DESIGN.md §4h): pause shipping while any reliable link
+   holds at least [link_window] unacked frames — the sender is outrunning
+   what the loss-recovery window can protect. *)
+let link_congested t =
+  match (t.admission.Sched.link_window, t.reliability) with
+  | Some window, Some _ ->
+    Hashtbl.fold
+      (fun _ link acc -> acc || Hf_proto.Reliable.in_flight link >= window)
+      t.links false
+  | None, _ | _, None -> false
+[@@hf.requires_lock "locked"]
+
+let drain_slice_budget = 64
+
+(* Process the working set to empty in bounded slices, then run the
+   credit-return tail.  Takes and releases the site lock per slice —
+   with a yield (or, under link congestion, a short sleep) in between —
+   so concurrent queries and incoming messages interleave with a long
+   drain instead of queueing behind it.  [seeds] are the query's initial
+   oids (origin side): they ride the same cache layer and batcher as
+   spawned work, exactly as the single-query engine shipped them.
+
+   Reentrancy: several threads may drain the same context — items are
+   popped under the lock, so each is processed once, and the
+   [ctx.draining] depth keeps the credit tail gated until the last
+   drainer's flush is out. *)
+let process_to_drain ?(seeds = []) t query ctx =
+  let out = Hf_proto.Batch.create t.batch_policy in
+  locked t (fun () ->
+      ctx.draining <- ctx.draining + 1;
+      List.iter
+        (fun oid ->
+          let wi = Hf_engine.Work_item.initial ctx.plan oid in
+          if locate oid = t.id then Hf_util.Deque.push_back ctx.work wi
+          else route_remote t query ctx ~out wi)
+        seeds);
+  let rec loop () =
+    let more, congested =
+      locked t (fun () ->
+          let more = drain_slice t query ctx ~out ~budget:drain_slice_budget in
+          (more, more && link_congested t))
+    in
+    if more then begin
+      if congested then Thread.delay 0.0005 else Thread.yield ();
+      loop ()
+    end
+  in
+  loop ();
+  locked t (fun () ->
+      (* drained: flush buffered work before any credit goes back *)
+      List.iter
+        (fun (dst, items) ->
+          ctx.out_pending <- ctx.out_pending - List.length items;
+          send_work_batch t query ctx ~dst items)
+        (Hf_proto.Batch.flush_all out);
+      ctx.draining <- ctx.draining - 1;
+      finish_drain t query ctx)
 
 (* --- incoming messages --- *)
 
@@ -741,9 +923,18 @@ and process_to_drain t query ctx =
    releases our retained sends to [rel.src], and its sequence number is
    checked against the receive window BEFORE the message reaches any
    handler — a retransmitted duplicate dies here, never re-evaluating
-   work or re-depositing credit. *)
+   work or re-depositing credit.
+
+   Work arms no longer drain under the handler's lock hold: they bank
+   the items and return the touched contexts, and the drain runs after
+   the lock is released, in bounded slices ([process_to_drain]) — this
+   is what lets queries from several origins make progress on one site
+   concurrently.  Work for a tombstoned (already closed) query dies
+   here: its credit is dead by construction — the originator only
+   closes after the detector converged. *)
 let handle_message t ?(span = 0) ?rel message =
-  locked t (fun () ->
+  let to_drain =
+    locked t (fun () ->
       t.messages_received <- t.messages_received + 1;
       Hf_obs.Tracer.finish t.tracer span;
       let fresh =
@@ -764,58 +955,69 @@ let handle_message t ?(span = 0) ?rel message =
             Log.debug (fun m -> m "site %d: duplicate seq %d from %d dropped" t.id seq peer);
             false)
       in
-      if fresh then
+      if not fresh then []
+      else
       match (message : Message.t) with
       | Message.Deref_request { query; body; oid; start; iters; credit } ->
-        let ctx =
-          match Hashtbl.find_opt t.contexts query with
-          | Some ctx -> ctx
-          | None -> new_context t ~cause:span ~query ~origin:query.Message.originator body
-        in
-        ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
-        Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters);
-        process_to_drain t query ctx
+        if Hashtbl.mem t.closed query then []
+        else begin
+          let ctx =
+            match Hashtbl.find_opt t.contexts query with
+            | Some ctx -> ctx
+            | None -> new_context t ~cause:span ~query ~origin:query.Message.originator body
+          in
+          ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
+          Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters);
+          [ (query, ctx) ]
+        end
       | Message.Work_batch groups ->
-        List.iter
+        List.filter_map
           (fun { Message.query; body; items; credit } ->
-            let ctx =
-              match Hashtbl.find_opt t.contexts query with
-              | Some ctx -> ctx
-              | None ->
-                new_context t ~cause:span ~query ~origin:query.Message.originator body
-            in
-            ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
-            List.iter
-              (fun ({ oid; start; iters } : Message.batch_item) ->
-                Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.make ~oid ~start ~iters))
-              items;
-            process_to_drain t query ctx)
+            if Hashtbl.mem t.closed query then None
+            else begin
+              let ctx =
+                match Hashtbl.find_opt t.contexts query with
+                | Some ctx -> ctx
+                | None ->
+                  new_context t ~cause:span ~query ~origin:query.Message.originator body
+              in
+              ctx.held <- Credit.add ctx.held (Credit.of_atoms credit);
+              List.iter
+                (fun ({ oid; start; iters } : Message.batch_item) ->
+                  Hf_util.Deque.push_back ctx.work
+                    (Hf_engine.Work_item.make ~oid ~start ~iters))
+                items;
+              Some (query, ctx)
+            end)
           groups
-      | Message.Result { query; payload; bindings; credit } -> (
-          match Hashtbl.find_opt t.contexts query with
-          | None -> () (* unknown/forgotten query *)
-          | Some ctx ->
-            (match payload with
-             | Message.Items items ->
-               List.iter
-                 (fun oid ->
-                   if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
-                     ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
-                     ctx.final_results <- oid :: ctx.final_results
-                   end)
-                 items
-             | Message.Count _ -> ());
-            merge_bindings ctx.final_bindings bindings;
-            credit_recovered t query ctx (Credit.of_atoms credit))
-      | Message.Credit_return { query; credit } -> (
-          match Hashtbl.find_opt t.contexts query with
-          | None -> ()
-          | Some ctx -> credit_recovered t query ctx (Credit.of_atoms credit))
-      | Message.Link_ack -> () (* transport-level: the ack value rode in the envelope *)
-      | Message.Site_unreachable { query; dead } -> (
-          match Hashtbl.find_opt t.contexts query with
-          | None -> ()
-          | Some ctx -> note_unreachable ctx dead)
+      | Message.Result { query; payload; bindings; credit } ->
+        (match Hashtbl.find_opt t.contexts query with
+         | None -> () (* unknown/forgotten/closed query *)
+         | Some ctx ->
+           (match payload with
+            | Message.Items items ->
+              List.iter
+                (fun oid ->
+                  if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+                    ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+                    ctx.final_results <- oid :: ctx.final_results
+                  end)
+                items
+            | Message.Count _ -> ());
+           merge_bindings ctx.final_bindings bindings;
+           credit_recovered t query ctx (Credit.of_atoms credit));
+        []
+      | Message.Credit_return { query; credit } ->
+        (match Hashtbl.find_opt t.contexts query with
+         | None -> ()
+         | Some ctx -> credit_recovered t query ctx (Credit.of_atoms credit));
+        []
+      | Message.Link_ack -> [] (* transport-level: the ack value rode in the envelope *)
+      | Message.Site_unreachable { query; dead } ->
+        (match Hashtbl.find_opt t.contexts query with
+         | None -> ()
+         | Some ctx -> note_unreachable ctx dead);
+        []
       | Message.Cache_validate { query; src = peer } ->
         (* Report our store version; piggyback the Bloom summary unless
            this peer was already told this version's. *)
@@ -842,41 +1044,56 @@ let handle_message t ?(span = 0) ?rel message =
               Some (Hf_index.Bloom.to_string bloom)
             end
         in
-        send t ~dst:peer (Message.Cache_version { query; site = t.id; version; summary })
-      | Message.Cache_version { query; site = peer; version; summary } -> (
-          (match summary with
-           | Some raw -> (
-               match Hf_index.Bloom.of_string raw with
-               | Some bloom -> Hashtbl.replace t.summaries peer (version, bloom)
-               | None -> () (* malformed summary: no pruning, still correct *))
-           | None -> (
-               (* No summary aboard means "you already have it"; if ours
-                  is for another version, drop it — a stale summary must
-                  never prune at the new version. *)
-               match Hashtbl.find_opt t.summaries peer with
-               | Some (v, _) when v <> version -> Hashtbl.remove t.summaries peer
-               | Some _ | None -> ()));
-          match Hashtbl.find_opt t.contexts query with
-          | None -> ()
-          | Some ctx ->
-            Hashtbl.replace ctx.validated peer version;
-            release_parked t query ctx ~dst:peer (Some version))
-      | Message.Cache_answers { query; src = peer; version; answers } -> (
-          (* Opportunistic fill at the originator: install the remote's
-             verdicts, keyed by the answering site. *)
-          match (t.cache, Hashtbl.find_opt t.contexts query) with
-          | Some cache, Some ctx ->
-            t.cache_fills <- t.cache_fills + List.length answers;
-            List.iter
-              (fun ({ oid; start; iters; passed } : Message.cache_answer) ->
-                let key =
-                  Hf_index.Remote_cache.entry_key ~dst:peer ~plan:ctx.plan ~start ~iters
-                    ~oid
-                in
-                Hf_index.Remote_cache.put cache ~now:(Unix.gettimeofday ()) ~key ~version
-                  ~passed)
-              answers
-          | (Some _ | None), _ -> ()))
+        send t ~dst:peer (Message.Cache_version { query; site = t.id; version; summary });
+        []
+      | Message.Cache_version { query; site = peer; version; summary } ->
+        (match summary with
+         | Some raw -> (
+             match Hf_index.Bloom.of_string raw with
+             | Some bloom -> Hashtbl.replace t.summaries peer (version, bloom)
+             | None -> () (* malformed summary: no pruning, still correct *))
+         | None -> (
+             (* No summary aboard means "you already have it"; if ours
+                is for another version, drop it — a stale summary must
+                never prune at the new version. *)
+             match Hashtbl.find_opt t.summaries peer with
+             | Some (v, _) when v <> version -> Hashtbl.remove t.summaries peer
+             | Some _ | None -> ()));
+        (match Hashtbl.find_opt t.contexts query with
+         | None -> ()
+         | Some ctx ->
+           Hashtbl.replace ctx.validated peer version;
+           release_parked t query ctx ~dst:peer (Some version));
+        []
+      | Message.Cache_answers { query; src = peer; version; answers } ->
+        (* Opportunistic fill at the originator: install the remote's
+           verdicts, keyed by the answering site. *)
+        (match (t.cache, Hashtbl.find_opt t.contexts query) with
+         | Some cache, Some ctx ->
+           t.cache_fills <- t.cache_fills + List.length answers;
+           List.iter
+             (fun ({ oid; start; iters; passed } : Message.cache_answer) ->
+               let key =
+                 Hf_index.Remote_cache.entry_key ~dst:peer ~plan:ctx.plan ~start ~iters
+                   ~oid
+               in
+               Hf_index.Remote_cache.put cache ~now:(Unix.gettimeofday ()) ~key ~version
+                 ~passed)
+             answers
+         | (Some _ | None), _ -> ());
+        []
+      | Message.Query_done { query; _ } ->
+        (* The originator closed the query (terminated or cancelled):
+           drop our share of its state.  A context whose origin is this
+           site is never evicted here — only the local handle closes
+           those. *)
+        (match Hashtbl.find_opt t.contexts query with
+         | Some ctx when ctx.origin <> t.id -> evict_context t query ctx
+         | Some _ -> ()
+         | None -> mark_closed t query);
+        [])
+  in
+  List.iter (fun (query, ctx) -> process_to_drain t query ctx) to_drain
 
 (* Fire every due link deadline: standalone acks whose piggyback window
    expired, retransmissions, and retry-cap give-ups.  Driven by the
@@ -949,10 +1166,11 @@ let accept_loop t () =
 (* --- lifecycle --- *)
 
 let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
-    ?(tracer = Hf_obs.Tracer.noop) () =
+    ?(admission = Sched.unlimited) ?(tracer = Hf_obs.Tracer.noop) () =
   Hf_proto.Batch.validate_policy batch;
   Option.iter Hf_proto.Reliable.validate reliability;
   Option.iter Hf_index.Remote_cache.validate cache;
+  Sched.validate admission;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -977,7 +1195,12 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       done_cond = Condition.create ();
       contexts = Hashtbl.create 8;
       next_serial = 0;
+      admission;
+      gate = Sched.create admission;
+      closed = Hashtbl.create 32;
+      closed_order = Queue.create ();
       running = true;
+      ticker = None;
       threads = [];
       join_errors = Atomic.make 0;
       tracer;
@@ -1033,11 +1256,19 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       locked t (fun () -> t.cache_fills));
   Hf_obs.Registry.register_counter registry "hf.net.cache_invalidations" (fun () ->
       locked t (fun () -> t.cache_invalidations));
+  Hf_obs.Registry.register_counter registry "hf.net.queries_running" (fun () ->
+      locked t (fun () -> Sched.running t.gate));
+  Hf_obs.Registry.register_counter registry "hf.net.queries_queued" (fun () ->
+      locked t (fun () -> Sched.queued t.gate));
+  Hf_obs.Registry.register_counter registry "hf.net.contexts_live" (fun () ->
+      locked t (fun () -> Hashtbl.length t.contexts));
   (* Cons, not assign: the accept loop may already have registered a
      reader thread by the time this runs. *)
   locked t (fun () -> t.threads <- Thread.create (accept_loop t) () :: t.threads);
   (* Reliability ticker: drives the retransmit / delayed-ack / give-up
-     deadlines of every peer link. *)
+     deadlines of every peer link.  Kept out of the anonymous [threads]
+     list so [shutdown] can join it FIRST — it transmits on the
+     outbound connections, which must not be torn down under it. *)
   (match reliability with
    | None -> ()
    | Some cfg ->
@@ -1045,10 +1276,10 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
      let ticker () =
        while t.running do
          Thread.delay period;
-         locked t (fun () -> poke_links t)
+         if t.running then locked t (fun () -> poke_links t)
        done
      in
-     locked t (fun () -> t.threads <- Thread.create ticker () :: t.threads));
+     t.ticker <- Some (Thread.create ticker ()));
   t
 
 let address t = t.address
@@ -1066,6 +1297,26 @@ let set_peers t peers = t.peers <- peers
 let shutdown t =
   if t.running then begin
     t.running <- false;
+    (* Quiesce the reliability ticker BEFORE tearing connections down
+       (satellite S2): it periodically takes the site lock and
+       transmits on the outbound connections, so closing them first
+       races a retransmit against the writer join — the poke either
+       lands on a closing queue (frame silently dropped after the
+       writer exited) or reopens a connection to a peer that is itself
+       mid-shutdown.  [running] is already false, so the join returns
+       within one ticker period. *)
+    (match t.ticker with
+     | Some thread ->
+       (try Thread.join thread with _ -> Atomic.incr t.join_errors);
+       t.ticker <- None
+     | None -> ());
+    (* shutdown(2) before close: close alone does NOT wake a thread
+       blocked in accept(2) — the in-flight syscall pins the socket, so
+       the "closed" listener keeps accepting one more connection and a
+       supposedly-dead site goes on answering queries (observed as a
+       flaky dead-peer test).  Shutting the socket down fails the
+       blocked accept with EINVAL and refuses subsequent connects. *)
+    (try Unix.shutdown t.listener SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     locked t (fun () ->
         Hashtbl.iter (fun _ conn -> conn_close ~join_errors:t.join_errors conn) t.conns;
@@ -1083,6 +1334,7 @@ type status =
   | Complete
   | Partial of int list (* unreachable sites, ascending *)
   | Timed_out
+  | Cancelled
 
 type outcome = {
   results : Hf_data.Oid.t list;
@@ -1095,44 +1347,56 @@ type outcome = {
   bytes_sent : int;
 }
 
-let run_query ?(timeout = 10.0) (t : t) program initial =
+type handle = {
+  h_query : Message.query_id;
+  h_ctx : context;
+  h_root_span : int;
+  h_started : float;
+}
+
+(* Issue a query without waiting for it: the admission gate either
+   starts it now or parks it (fairly) until a running one finishes.  An
+   admitted query is processed by its own drainer thread, in bounded
+   lock slices, so any number of them interleave on the site — the old
+   [run_query] held the site lock for the whole query, serializing the
+   server on its busiest code path. *)
+let submit_query (t : t) program initial =
   let started = Unix.gettimeofday () in
-  let query, ctx, root_span, sent_before, bytes_before =
-    locked t (fun () ->
-        let sent_before = t.messages_sent and bytes_before = t.bytes_sent in
-        let query = { Message.originator = t.id; serial = t.next_serial } in
-        t.next_serial <- t.next_serial + 1;
-        let root_span =
-          Hf_obs.Tracer.start t.tracer
-            ~query:(Fmt.str "%a" Message.pp_query_id query)
-            ~site:t.id ~phase:Hf_obs.Span.Query "query"
-        in
-        let ctx = new_context t ~cause:root_span ~query ~origin:t.id program in
+  locked t (fun () ->
+      let query = { Message.originator = t.id; serial = t.next_serial } in
+      t.next_serial <- t.next_serial + 1;
+      let root_span =
+        Hf_obs.Tracer.start t.tracer
+          ~query:(Fmt.str "%a" Message.pp_query_id query)
+          ~site:t.id ~phase:Hf_obs.Span.Query "query"
+      in
+      let ctx = new_context t ~cause:root_span ~query ~origin:t.id program in
+      let seed () =
+        ctx.admitted <- true;
         ctx.held <- Credit.one;
-        (* Remote seeds ride the same cache layer and per-destination
-           batcher as spawned work. *)
-        let out = Hf_proto.Batch.create t.batch_policy in
-        ctx.draining <- ctx.draining + 1;
-        List.iter
-          (fun oid ->
-            if locate oid = t.id then
-              Hf_util.Deque.push_back ctx.work (Hf_engine.Work_item.initial ctx.plan oid)
-            else route_remote t query ctx ~out (Hf_engine.Work_item.initial ctx.plan oid))
-          initial;
-        List.iter
-          (fun (dst, items) ->
-            ctx.out_pending <- ctx.out_pending - List.length items;
-            send_work_batch t query ctx ~dst items)
-          (Hf_proto.Batch.flush_all out);
-        ctx.draining <- ctx.draining - 1;
-        process_to_drain t query ctx;
-        (query, ctx, root_span, sent_before, bytes_before))
-  in
-  (* Wait for termination, or time out (e.g. a crashed peer).  The
-     stdlib's Condition.wait has no timeout, so a ticker thread pokes
-     the condition periodically; it is joined only after the lock is
-     released. *)
-  let deadline = started +. timeout in
+        let drainer = Thread.create (fun () -> process_to_drain ~seeds:initial t query ctx) () in
+        t.threads <- drainer :: t.threads
+      in
+      (match Sched.admit t.gate ~tenant:t.id { p_query = query; p_seed = seed } with
+       | Sched.Run -> seed ()
+       | Sched.Queued -> ()
+       | Sched.Rejected ->
+         Hashtbl.remove t.contexts query;
+         Hf_obs.Tracer.finish ~detail:"rejected" t.tracer ctx.span;
+         Hf_obs.Tracer.finish ~detail:"rejected" t.tracer root_span;
+         failwith
+           (Fmt.str "Tcp_site.submit_query: admission queue full at site %d (%a)" t.id
+              Sched.pp_config t.admission));
+      { h_query = query; h_ctx = ctx; h_root_span = root_span; h_started = started })
+
+(* Wait for termination, or time out (e.g. a crashed peer).  The
+   stdlib's Condition.wait has no timeout, so a ticker thread pokes the
+   condition periodically; it is joined only after the lock is
+   released.  Timing out leaves the query running (and its admission
+   slot held): a second [await] on the same handle picks it back up. *)
+let await ?(timeout = 10.0) (t : t) (handle : handle) =
+  let ctx = handle.h_ctx in
+  let deadline = Unix.gettimeofday () +. timeout in
   let stop_ticker = ref false in
   let ticker =
     Thread.create
@@ -1145,11 +1409,14 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
   in
   let outcome =
     locked t (fun () ->
-        while (not ctx.terminated) && Unix.gettimeofday () < deadline do
+        while
+          (not (ctx.terminated || ctx.cancelled)) && Unix.gettimeofday () < deadline
+        do
           Condition.wait t.done_cond t.lock
         done;
         let status =
-          if not ctx.terminated then Timed_out
+          if ctx.cancelled then Cancelled
+          else if not ctx.terminated then Timed_out
           else if ctx.unreachable = [] then Complete
           else Partial (List.sort_uniq compare ctx.unreachable)
         in
@@ -1163,20 +1430,62 @@ let run_query ?(timeout = 10.0) (t : t) program initial =
             |> List.sort (fun (a, _) (b, _) -> String.compare a b);
           terminated = ctx.terminated;
           status;
-          response_time = Unix.gettimeofday () -. started;
-          messages_sent = t.messages_sent - sent_before;
-          bytes_sent = t.bytes_sent - bytes_before;
+          response_time = Unix.gettimeofday () -. handle.h_started;
+          (* per-query attribution (satellite S3): concurrent neighbors'
+             frames never land in this outcome *)
+          messages_sent = ctx.msgs_sent;
+          bytes_sent = ctx.bytes_out;
         })
   in
   stop_ticker := true;
   (try Thread.join ticker with _ -> Atomic.incr t.join_errors);
   Hf_obs.Histogram.observe t.query_rtt outcome.response_time;
-  Hf_obs.Tracer.finish t.tracer ctx.span;
-  Hf_obs.Tracer.finish t.tracer root_span
-    ~detail:
-      (match outcome.status with
-       | Complete -> "terminated"
-       | Partial dead -> Fmt.str "partial: unreachable %a" Fmt.(list ~sep:comma int) dead
-       | Timed_out -> "timeout");
-  ignore query;
+  (match outcome.status with
+   | Timed_out -> () (* still live: spans close when it terminates *)
+   | Complete | Partial _ | Cancelled ->
+     Hf_obs.Tracer.finish t.tracer handle.h_root_span
+       ~detail:
+         (match outcome.status with
+          | Complete -> "terminated"
+          | Partial dead -> Fmt.str "partial: unreachable %a" Fmt.(list ~sep:comma int) dead
+          | Cancelled -> "cancelled"
+          | Timed_out -> assert false));
   outcome
+
+(* Abort a local query.  Queued: it just leaves the admission queue.
+   Admitted: this site's context is discarded wholesale and the peers
+   are told to discard theirs — the outstanding credit is deliberately
+   never recovered, which is sound because a cancelled query no longer
+   needs the termination detector to converge; in-flight work for it
+   dies against the tombstones.  Idempotent; a terminated query is left
+   alone. *)
+let cancel (t : t) (handle : handle) =
+  locked t (fun () ->
+      let ctx = handle.h_ctx in
+      if not (ctx.terminated || ctx.cancelled) then begin
+        ctx.cancelled <- true;
+        if ctx.admitted then begin
+          evict_context t handle.h_query ctx;
+          broadcast_query_done t handle.h_query;
+          release_slot t ctx
+        end
+        else begin
+          ignore
+            (Sched.cancel_queued t.gate (fun job ->
+                 Message.equal_query_id job.p_query handle.h_query));
+          evict_context t handle.h_query ctx
+        end;
+        Hf_obs.Tracer.finish ~detail:"cancelled" t.tracer handle.h_root_span;
+        Condition.broadcast t.done_cond
+      end)
+
+let run_query ?(timeout = 10.0) (t : t) program initial =
+  await ~timeout t (submit_query t program initial)
+
+(* --- introspection (tests, demo) --- *)
+
+let context_count t = locked t (fun () -> Hashtbl.length t.contexts)
+
+let admission_running t = locked t (fun () -> Sched.running t.gate)
+
+let admission_queued t = locked t (fun () -> Sched.queued t.gate)

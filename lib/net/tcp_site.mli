@@ -5,7 +5,14 @@
     Lifecycle: {!create} each site (binds an ephemeral loopback port and
     starts its accept thread), collect the {!address}es, {!set_peers} on
     every site, then load stores and issue queries from any site with
-    {!run_query}.  {!shutdown} closes sockets and stops threads.
+    {!run_query} — or {!submit_query}/{!await} to keep several in
+    flight.  {!shutdown} closes sockets and stops threads.
+
+    Queries run concurrently (DESIGN.md §4h): each locally-issued query
+    passes an admission gate ({!Hf_server.Sched}) and is drained by its
+    own thread in bounded site-lock slices, so N in-flight queries — and
+    incoming work from other origins — interleave instead of queueing
+    behind one long drain.
 
     Objects live at their birth site ([Oid.birth_site] routes
     dereferences), as in the simulated cluster. *)
@@ -17,6 +24,7 @@ val create :
   ?batch:Hf_proto.Batch.flush_policy ->
   ?reliability:Hf_proto.Reliable.config ->
   ?cache:Hf_index.Remote_cache.config ->
+  ?admission:Hf_server.Sched.config ->
   ?tracer:Hf_obs.Tracer.t ->
   unit ->
   t
@@ -55,7 +63,14 @@ val create :
     the destination's Bloom tuple summary prunes ships that provably
     die on arrival.  Enable it on every site of a cluster — a
     non-caching site still answers validations (version-only) but
-    never parks, caches or prunes. *)
+    never parks, caches or prunes.
+
+    [admission] (default {!Hf_server.Sched.unlimited}) caps locally
+    issued queries: at most [in_flight_cap] run at once, up to
+    [max_queued] more wait in the fair admission queue
+    ({!submit_query} raises [Failure] beyond that), and with
+    reliability on, a drain pauses shipping while some link holds
+    [link_window] or more unacked frames (backpressure). *)
 
 val address : t -> Unix.sockaddr
 
@@ -90,27 +105,68 @@ type status =
   | Timed_out
       (** the timeout expired before credit converged: "the peer may
           merely be slow" — [results] holds whatever arrived. *)
+  | Cancelled  (** the caller {!cancel}led the query before it
+          terminated. *)
 
 type outcome = {
   results : Hf_data.Oid.t list;  (** arrival order at the originator. *)
   result_set : Hf_data.Oid.Set.t;
   bindings : (string * Hf_data.Value.t list) list;
   terminated : bool;
-      (** [false] exactly when [status] is [Timed_out]. *)
+      (** [false] exactly when [status] is [Timed_out] or [Cancelled]. *)
   status : status;
-  response_time : float;  (** wall-clock seconds. *)
-  messages_sent : int;  (** wire messages this site sent for the query. *)
+  response_time : float;  (** wall-clock seconds since submission. *)
+  messages_sent : int;
+      (** wire messages this site sent for THIS query (work, results,
+          credit, cache traffic and their retransmissions) — attributed
+          per query, so concurrent neighbors never bleed into each
+          other's outcome.  Standalone link acks and post-termination
+          [Query_done] frames are link housekeeping and appear only in
+          the site-global [hf.net.*] counters. *)
   bytes_sent : int;
 }
 
+type handle
+(** A locally-issued, not-yet-awaited query. *)
+
+val submit_query : t -> Hf_query.Program.t -> Hf_data.Oid.t list -> handle
+(** Issue a query from this site over the initial set and return
+    without waiting; any number may be in flight at once.  The
+    admission gate either starts it now or queues it (fairly) until a
+    running one finishes.  Raises [Failure] when the admission queue is
+    full ([max_queued]). *)
+
+val await : ?timeout:float -> t -> handle -> outcome
+(** Wait until the query terminates (all credit recovered), is
+    cancelled, or the timeout (default 10 s) expires.  With reliability
+    on, a permanently dead peer does not hang the query until the
+    timeout: once its retry budget is spent the credit aboard its
+    messages is reclaimed, termination converges, and the outcome is
+    [Partial].  A timeout leaves the query running (slot held); [await]
+    again to keep waiting. *)
+
+val cancel : t -> handle -> unit
+(** Abort a local query: a queued one just leaves the admission queue,
+    a running one has its state discarded here and at every peer
+    ([Query_done] broadcast), and its admission slot is freed — the
+    outstanding credit is deliberately not recovered, which is sound
+    because a cancelled query no longer needs termination to converge.
+    Idempotent; terminated queries are left alone. *)
+
 val run_query :
   ?timeout:float -> t -> Hf_query.Program.t -> Hf_data.Oid.t list -> outcome
-(** Issue a query from this site over the initial set and wait for the
-    weighted-termination detector to recover all credit (default
-    timeout 10 s).  With reliability on, a permanently dead peer does
-    not hang the query until the timeout: once its retry budget is
-    spent the credit aboard its messages is reclaimed, termination
-    converges, and the outcome is [Partial]. *)
+(** [submit_query] + [await]. *)
+
+val context_count : t -> int
+(** Live per-query contexts at this site (any origin).  Terminated and
+    cancelled queries are evicted, so an idle site returns 0. *)
+
+val admission_running : t -> int
+(** Locally-issued queries currently admitted. *)
+
+val admission_queued : t -> int
+(** Locally-issued queries waiting in the admission queue. *)
 
 val shutdown : t -> unit
-(** Close the listener and all connections; idempotent. *)
+(** Quiesce the reliability ticker, then close the listener and all
+    connections; idempotent. *)

@@ -411,6 +411,10 @@ let write_message buf message =
     write_varint buf src;
     write_varint buf version;
     write_list buf write_cache_answer answers
+  | Query_done { query; src } ->
+    write_u8 buf 9;
+    write_query_id buf query;
+    write_varint buf src
 
 let read_message r : Message.t =
   match read_u8 r with
@@ -468,6 +472,10 @@ let read_message r : Message.t =
     let answers = read_list r read_cache_answer in
     if answers = [] then fail "empty cache-answers";
     Cache_answers { query; src; version; answers }
+  | 9 ->
+    let query = read_query_id r in
+    let src = read_varint r in
+    Query_done { query; src }
   | tag -> fail "unknown message tag %d" tag
 
 (* A traced message is wrapped in an envelope: tag 127 (unused by any

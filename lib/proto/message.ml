@@ -111,6 +111,11 @@ type t =
       version : int;  (** store version the verdicts were computed at. *)
       answers : cache_answer list;  (** never empty on the wire. *)
     }
+  | Query_done of { query : query_id; src : int }
+      (* the originator detected termination (or cancelled): receivers
+         evict the query's context and drop any still-parked items.
+         Control plane — no credit, no termination effect; a loss only
+         delays the eviction until the receiver's tombstone ages out. *)
 
 let query_of = function
   | Deref_request { query; _ } -> query
@@ -123,6 +128,7 @@ let query_of = function
   | Cache_validate { query; _ } -> query
   | Cache_version { query; _ } -> query
   | Cache_answers { query; _ } -> query
+  | Query_done { query; _ } -> query
 
 let pp ppf = function
   | Deref_request { query; oid; start; iters; _ } ->
@@ -151,6 +157,7 @@ let pp ppf = function
   | Cache_answers { query; src; version; answers } ->
     Fmt.pf ppf "cache-answers[%a] src=%d v=%d %d answer(s)" pp_query_id query src version
       (List.length answers)
+  | Query_done { query; src } -> Fmt.pf ppf "query-done[%a] src=%d" pp_query_id query src
 
 let equal_cache_answer (x : cache_answer) (y : cache_answer) =
   Hf_data.Oid.equal x.oid y.oid
@@ -216,6 +223,8 @@ let equal a b =
     && x.version = y.version
     && List.length x.answers = List.length y.answers
     && List.for_all2 equal_cache_answer x.answers y.answers
+  | Query_done x, Query_done y -> equal_query_id x.query y.query && x.src = y.src
   | (Deref_request _ | Work_batch _ | Result _ | Credit_return _ | Link_ack
-    | Site_unreachable _ | Cache_validate _ | Cache_version _ | Cache_answers _), _ ->
+    | Site_unreachable _ | Cache_validate _ | Cache_version _ | Cache_answers _
+    | Query_done _), _ ->
     false

@@ -97,6 +97,12 @@ type t =
       (** Opportunistic fill: verdicts for cacheable items a remote
           site evaluated, sent to the query's originator.  Loss only
           loses future cache hits, never correctness. *)
+  | Query_done of { query : query_id; src : int }
+      (** The originator detected termination (or the caller cancelled):
+          receivers evict the query's per-site context and drop parked
+          items.  Control plane: no credit, no termination effect — by
+          the time it is sent the detector has already converged, so a
+          loss merely delays the eviction. *)
 
 val equal_batch_item : batch_item -> batch_item -> bool
 val equal_batch_group : batch_group -> batch_group -> bool

@@ -83,12 +83,19 @@ type config = {
          credit, and the destination's Bloom tuple summary prunes
          ships that provably die on arrival.  Entries age in virtual
          time per [ttl].  [None] (the default) ships every item. *)
+  admission : Sched.config;
+      (* per-origin admission gate (DESIGN.md §4h): at most
+         [in_flight_cap] queries from one origin run at once, excess
+         submissions wait in a fair queue bounded by [max_queued].
+         [Sched.unlimited] (the default) admits everything immediately —
+         the pre-concurrency behavior. *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
     poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
-    batch = Hf_proto.Batch.unbatched; reliability = None; cache = None }
+    batch = Hf_proto.Batch.unbatched; reliability = None; cache = None;
+    admission = Sched.unlimited }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -152,6 +159,16 @@ module Make (D : Hf_termination.Detector.S) = struct
     mutable unreachable_sites : int list;
         (* peers the reliability layer gave up on for this query *)
     mutable finish_time : float;
+    mutable admitted : bool;
+        (* past the admission gate; false while queued behind the
+           in-flight cap (and forever for rejected/cancelled-queued) *)
+    mutable cancelled : bool;
+        (* cancelled by the caller: contexts evicted, late messages
+           dropped, detector state discarded *)
+    mutable captured : (Hf_engine.Stats.t * int) option;
+        (* (merged engine stats, originator's local result count),
+           snapshotted at termination — the per-site contexts are
+           evicted then, so the outcome can no longer read them live *)
   }
 
   type task = unit -> float * (unit -> unit)
@@ -239,7 +256,13 @@ module Make (D : Hf_termination.Detector.S) = struct
     id : int;
     store : Hf_data.Store.t;
     contexts : (Hf_proto.Message.query_id, context) Hashtbl.t;
-    tasks : task Hf_util.Deque.t;
+    retained : (Hf_proto.Message.query_id, Oid.Set.t) Hashtbl.t;
+        (* local result portions of terminated queries, kept (until
+           [forget_query]) so [run_query_on_distributed] can still seed
+           from them after the contexts are evicted *)
+    tasks : task Sched.Rr.t;
+        (* the serial site CPU's run queue: round-robin across tenants
+           (tenant = query origin), exact FIFO with a single tenant *)
     mutable busy : bool;
     mutable alive : bool;
     outgoing : (Hf_proto.Message.query_id * Hf_engine.Work_item.t) Hf_proto.Batch.t;
@@ -284,6 +307,9 @@ module Make (D : Hf_termination.Detector.S) = struct
     open_queries : (Hf_proto.Message.query_id, open_query) Hashtbl.t;
     mutable next_serial : int;
     jitter_prng : Hf_util.Prng.t;
+    gates : (Hf_proto.Message.query_id * (unit -> unit)) Sched.t array;
+        (* per-origin admission gates; a queued entry is the query id
+           plus the thunk that seeds it once a slot frees *)
   }
 
   let create ?(config = default_config) ?locate ?trace ?(tracer = Hf_obs.Tracer.noop)
@@ -295,6 +321,7 @@ module Make (D : Hf_termination.Detector.S) = struct
     (match config.cache with
      | Some cache -> Hf_index.Remote_cache.validate cache
      | None -> ());
+    Sched.validate config.admission;
     let rel_config =
       Option.value config.reliability ~default:Hf_proto.Reliable.default
     in
@@ -304,7 +331,8 @@ module Make (D : Hf_termination.Detector.S) = struct
             id;
             store = Hf_data.Store.create ~site:id;
             contexts = Hashtbl.create 8;
-            tasks = Hf_util.Deque.create ();
+            retained = Hashtbl.create 8;
+            tasks = Sched.Rr.create ();
             busy = false;
             alive = true;
             outgoing = Hf_proto.Batch.create config.batch;
@@ -343,6 +371,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         open_queries = Hashtbl.create 8;
         next_serial = 0;
         jitter_prng = Hf_util.Prng.create config.jitter_seed;
+        gates = Array.init n_sites (fun _ -> Sched.create config.admission);
       }
     in
     Hf_obs.Registry.register_counter registry "hf.server.standalone_acks" (fun () ->
@@ -406,7 +435,12 @@ module Make (D : Hf_termination.Detector.S) = struct
 
   (* --- contexts --- *)
 
-  let find_open t query = Hashtbl.find_opt t.open_queries query
+  (* A cancelled query is invisible to the message paths: its handle
+     still answers [outcome], but stray traffic must not revive it. *)
+  let find_open t query =
+    match Hashtbl.find_opt t.open_queries query with
+    | Some oq when not oq.cancelled -> Some oq
+    | Some _ | None -> None
 
   (* [cause] is the span id of the work message (or other event) that
      first brought the query to this site; the fresh context's
@@ -422,6 +456,12 @@ module Make (D : Hf_termination.Detector.S) = struct
            real protocol does.) *)
         match find_open t query with
         | None -> None
+        | Some oq when oq.terminated ->
+          (* Terminal status evicts the per-site contexts; a message
+             that straggles in afterwards (duplicate delivery, late
+             control) must not resurrect one.  The detector has already
+             converged, so dropping the straggler is sound. *)
+          None
         | Some oq ->
           let marks =
             match t.config.mark_scope with
@@ -480,18 +520,49 @@ module Make (D : Hf_termination.Detector.S) = struct
         Hashtbl.replace table target (existing @ values))
       extra
 
+  (* Free an admission slot; if a submission was queued behind the cap
+     it takes over the slot and its seeding thunk runs now. *)
+  let release_gate t origin =
+    match Sched.release t.gates.(origin) with
+    | Some (query, seed) ->
+      (match Hashtbl.find_opt t.open_queries query with
+       | Some oq -> oq.admitted <- true
+       | None -> ());
+      seed ()
+    | None -> ()
+
+  (* Evict the query's per-site state.  Contexts used to stay resident
+     forever after terminal status — the leak this PR fixes; every
+     outcome-visible bit is snapshotted into the open query first, and
+     each site's local result portion moves to [retained] so
+     [run_query_on_distributed] can still seed from it. *)
+  let evict_query t (oq : open_query) =
+    let stats = merged_stats t oq.id in
+    let origin_local =
+      match Hashtbl.find_opt t.sites.(oq.id.originator).contexts oq.id with
+      | Some ctx -> Oid.Set.cardinal ctx.local_result_set
+      | None -> 0
+    in
+    oq.captured <- Some (stats, origin_local);
+    Array.iter
+      (fun site ->
+        match Hashtbl.find_opt site.contexts oq.id with
+        | Some ctx ->
+          Hf_obs.Tracer.finish t.tracer ctx.span;
+          Hashtbl.replace site.retained oq.id ctx.local_result_set;
+          Hashtbl.remove site.contexts oq.id;
+          Hashtbl.remove site.out_pending oq.id
+        | None -> ())
+      t.sites;
+    Hf_obs.Tracer.finish t.tracer oq.span;
+    if oq.admitted then release_gate t oq.id.originator
+
   let finish_query t oq =
     if not oq.terminated then begin
       oq.terminated <- true;
       oq.finish_time <- Hf_sim.Sim.now t.sim;
       record t oq.id.originator "terminate" (Fmt.str "%a" Hf_proto.Message.pp_query_id oq.id);
-      Array.iter
-        (fun site ->
-          match Hashtbl.find_opt site.contexts oq.id with
-          | Some ctx -> Hf_obs.Tracer.finish t.tracer ctx.span
-          | None -> ())
-        t.sites;
-      Hf_obs.Tracer.finish t.tracer oq.span
+      evict_query t oq
     end
 
   let handle_detector_result t oq (controls, terminated) send_control =
@@ -513,6 +584,14 @@ module Make (D : Hf_termination.Detector.S) = struct
     | Cache_version { query; _ } -> Some query
     | Cache_answers { query; _ } -> Some query
     | Ack _ -> None
+
+  (* Scheduling tenant for a delivered message's handler task: the
+     originating query's origin.  Acks never reach the task queue, so
+     the [-1] fallback is only defensive. *)
+  let tenant_of_message m =
+    match message_query m with
+    | Some q -> q.Hf_proto.Message.originator
+    | None -> -1
 
   let mark_unreachable t oq dead =
     if not (List.mem dead oq.unreachable_sites) then begin
@@ -554,7 +633,7 @@ module Make (D : Hf_termination.Detector.S) = struct
      set — same-timestamp events run FIFO. *)
   let rec pump t site =
     if site.alive && not site.busy then begin
-      match Hf_util.Deque.pop_front site.tasks with
+      match Sched.Rr.pop site.tasks with
       | None ->
         (* End of the local pump cycle: the site ran out of tasks, so
            ship whatever the batcher still buffers.  (With K = 1 the
@@ -573,8 +652,11 @@ module Make (D : Hf_termination.Detector.S) = struct
             else site.busy <- false)
     end
 
-  and enqueue t site task =
-    Hf_util.Deque.push_back site.tasks task;
+  (* [tenant] is the origin of the query the task serves (the issue's
+     multi-tenant notion); the site CPU round-robins across tenants so
+     one origin's burst cannot starve another's queries. *)
+  and enqueue t site ~tenant task =
+    Sched.Rr.push site.tasks ~tenant task;
     pump t site
 
   (* Turn a flushed per-destination run into sendable groups.  Called
@@ -650,7 +732,7 @@ module Make (D : Hf_termination.Detector.S) = struct
           match prepare_batch t site ~dst entries with
           | _, [] -> ()
           | (dst, ((ctx0, _, _) :: _ as groups)) as prepared ->
-            enqueue t site (fun () ->
+            enqueue t site ~tenant:ctx0.origin (fun () ->
                 let cost =
                   Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups)
                 in
@@ -702,7 +784,9 @@ module Make (D : Hf_termination.Detector.S) = struct
         Hf_sim.Sim.schedule t.sim ~delay:transit (fun () ->
             Hf_obs.Tracer.finish t.tracer span;
             let site = t.sites.(dst) in
-            if site.alive then enqueue t site (fun () -> handler site message))
+            if site.alive then
+              enqueue t site ~tenant:(tenant_of_message message) (fun () ->
+                  handler site message))
       end
     | Some _ ->
       let link = t.sites.(src).links.(dst) in
@@ -775,7 +859,9 @@ module Make (D : Hf_termination.Detector.S) = struct
             if fresh then
               match message with
               | Ack _ -> () (* transport-level: consumed by on_ack above *)
-              | _ -> enqueue t dsite (fun () -> handle_message t dsite message)
+              | _ ->
+                enqueue t dsite ~tenant:(tenant_of_message message) (fun () ->
+                    handle_message t dsite message)
           end)
     end
 
@@ -899,7 +985,7 @@ module Make (D : Hf_termination.Detector.S) = struct
   and send_control t ~src ctx (dst, payload) =
     let oq = find_open t ctx.query in
     let site = t.sites.(src) in
-    enqueue t site (fun () ->
+    enqueue t site ~tenant:ctx.origin (fun () ->
         (match oq with
          | Some oq ->
            oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
@@ -1046,7 +1132,7 @@ module Make (D : Hf_termination.Detector.S) = struct
      | Some oq ->
        oq.metrics.Metrics.cache_validations <- oq.metrics.Metrics.cache_validations + 1
      | None -> ());
-    enqueue t site (fun () ->
+    enqueue t site ~tenant:ctx.origin (fun () ->
         (match oq with
          | Some oq ->
            oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
@@ -1071,7 +1157,7 @@ module Make (D : Hf_termination.Detector.S) = struct
     match prepared with
     | _, [] -> ()
     | _, ((ctx0, _, _) :: _ as groups) ->
-      enqueue t site (fun () ->
+      enqueue t site ~tenant:ctx0.origin (fun () ->
           let cost = Hf_sim.Costs.batch_send t.config.costs ~items:(batch_total groups) in
           (match find_open t ctx0.query with
            | Some oq -> Metrics.add_busy oq.metrics site.id cost
@@ -1094,7 +1180,7 @@ module Make (D : Hf_termination.Detector.S) = struct
       ctx.parked_count <- ctx.parked_count - List.length items;
       let flushed = List.fold_left (fun acc wi -> resolve wi acc) [] items in
       List.iter (ship_resolved t site) flushed;
-      enqueue t site (fun () -> (0.0, fun () -> ()));
+      enqueue t site ~tenant:ctx.origin (fun () -> (0.0, fun () -> ()));
       maybe_drain t site ctx
 
   (* Ship buffered results (and piggybacked controls) to the originator;
@@ -1115,7 +1201,7 @@ module Make (D : Hf_termination.Detector.S) = struct
       let answers = List.rev ctx.answers in
       let version = ctx.answers_version in
       ctx.answers <- [];
-      enqueue t site (fun () ->
+      enqueue t site ~tenant:ctx.origin (fun () ->
           (match oq with
            | Some oq ->
              oq.metrics.Metrics.control_messages <- oq.metrics.Metrics.control_messages + 1;
@@ -1163,7 +1249,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         in
         ctx.result_buffer <- [];
         Hashtbl.reset ctx.bindings;
-        enqueue t site (fun () ->
+        enqueue t site ~tenant:ctx.origin (fun () ->
             (match oq with
              | Some oq ->
                Metrics.add_busy oq.metrics site.id t.config.costs.result_msg_send;
@@ -1291,7 +1377,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         List.iter
           (fun wi ->
             Hf_util.Deque.push_back ctx.work (wi, Seeded);
-            enqueue t site (process_one t site ctx))
+            enqueue t site ~tenant:ctx.origin (process_one t site ctx))
           local;
         List.iter (send_prepared t site) flushed;
         if is_new_result then begin
@@ -1376,7 +1462,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                   List.iter
                     (fun item ->
                       Hf_util.Deque.push_back ctx.work (item, From_network);
-                      enqueue t site (process_one t site ctx))
+                      enqueue t site ~tenant:ctx.origin (process_one t site ctx))
                     items)
                 resolved ))
     | Results { query; payload; bindings; piggybacked; src; span } -> (
@@ -1451,15 +1537,20 @@ module Make (D : Hf_termination.Detector.S) = struct
               let controls = D.on_recv_work ctx.detector ~src tag in
               List.iter (send_control t ~src:site.id ctx) controls;
               let seeds =
+                (* [from] normally terminated long ago, so its context
+                   was evicted and the portion lives in [retained]. *)
                 match Hashtbl.find_opt site.contexts from with
-                | None -> []
                 | Some prev -> Oid.Set.elements prev.local_result_set
+                | None -> (
+                    match Hashtbl.find_opt site.retained from with
+                    | Some set -> Oid.Set.elements set
+                    | None -> [])
               in
               List.iter
                 (fun oid ->
                   Hf_util.Deque.push_back ctx.work
                     (Hf_engine.Work_item.initial ctx.plan oid, From_network);
-                  enqueue t site (process_one t site ctx))
+                  enqueue t site ~tenant:ctx.origin (process_one t site ctx))
                 seeds;
               maybe_drain t site ctx ))
     | Ack _ ->
@@ -1502,7 +1593,7 @@ module Make (D : Hf_termination.Detector.S) = struct
               end
           in
           let oq = find_open t query in
-          enqueue t site (fun () ->
+          enqueue t site ~tenant:query.originator (fun () ->
               (match oq with
                | Some oq ->
                  oq.metrics.Metrics.control_messages <-
@@ -1615,6 +1706,9 @@ module Make (D : Hf_termination.Detector.S) = struct
         terminated = false;
         unreachable_sites = [];
         finish_time = Hf_sim.Sim.now t.sim;
+        admitted = false;
+        cancelled = false;
+        captured = None;
       }
     in
     Hashtbl.replace t.open_queries query oq;
@@ -1625,15 +1719,25 @@ module Make (D : Hf_termination.Detector.S) = struct
       Hashtbl.fold (fun target values acc -> (target, values) :: acc) oq.final_bindings []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
+    let origin_local =
+      (* live while the query runs, snapshotted once termination evicts
+         the per-site contexts *)
+      match oq.captured with
+      | Some (_, origin_local) -> Some origin_local
+      | None -> (
+          match Hashtbl.find_opt t.sites.(oq.id.originator).contexts oq.id with
+          | Some ctx -> Some (Oid.Set.cardinal ctx.local_result_set)
+          | None -> None)
+    in
     let counts =
       (* include the originator's own local results in counting modes *)
       match t.config.result_mode with
       | Ship_items -> oq.counts
       | Ship_counts | Ship_threshold _ -> (
-          match Hashtbl.find_opt t.sites.(oq.id.originator).contexts oq.id with
+          match origin_local with
           | None -> oq.counts
-          | Some ctx ->
-            (oq.id.originator, Oid.Set.cardinal ctx.local_result_set)
+          | Some n ->
+            (oq.id.originator, n)
             :: List.filter (fun (s, _) -> s <> oq.id.originator) oq.counts)
     in
     {
@@ -1647,24 +1751,46 @@ module Make (D : Hf_termination.Detector.S) = struct
         (if oq.terminated then oq.finish_time -. oq.start_time
          else Hf_sim.Sim.now t.sim -. oq.start_time);
       metrics = oq.metrics;
-      engine_stats = merged_stats t oq.id;
+      engine_stats =
+        (match oq.captured with
+         | Some (stats, _) -> stats
+         | None -> merged_stats t oq.id);
     }
 
   type handle = open_query
 
   (* Schedule a query from [origin] over [initial] without running the
      simulation — several submitted queries then execute concurrently,
-     contending for the same site CPUs, when the simulation runs. *)
-  let submit t ~origin program initial =
+     contending for the same site CPUs, when the simulation runs.
+     Submissions pass the origin's admission gate: over the in-flight
+     cap they wait (fairly, by tenant) for a slot; over [max_queued]
+     the submission is rejected with [Failure]. *)
+  let rec submit t ~origin program initial =
     if origin < 0 || origin >= n_sites t then invalid_arg "Cluster.submit: bad origin";
     let oq = open_query t ~origin program in
     let origin_site = t.sites.(origin) in
+    let seed () = seed_query t oq origin_site initial in
+    (match Sched.admit t.gates.(origin) ~tenant:origin (oq.id, seed) with
+     | Sched.Run ->
+       oq.admitted <- true;
+       seed ()
+     | Sched.Queued -> ()
+     | Sched.Rejected ->
+       Hashtbl.remove t.open_queries oq.id;
+       Hf_obs.Tracer.finish ~detail:"rejected" t.tracer oq.span;
+       failwith
+         (Fmt.str "Cluster.submit: admission queue full at site %d (%a)" origin
+            Sched.pp_config t.config.admission));
+    oq
+
+  and seed_query t oq origin_site initial =
+    let origin = origin_site.id in
     (match context_of t origin_site oq.id with
      | None -> assert false
      | Some ctx ->
        D.on_seed ctx.detector;
        start_polling t oq ctx origin_site;
-       enqueue t origin_site (fun () ->
+       enqueue t origin_site ~tenant:origin (fun () ->
            let local, remote =
              List.partition (fun oid -> t.locate oid = origin) initial
            in
@@ -1693,7 +1819,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                  (fun oid ->
                    Hf_util.Deque.push_back ctx.work
                      (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
-                   enqueue t origin_site (process_one t origin_site ctx))
+                   enqueue t origin_site ~tenant:origin (process_one t origin_site ctx))
                  local;
                List.iter (send_prepared t origin_site) flushed;
                maybe_drain t origin_site ctx;
@@ -1704,8 +1830,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                      (fun ((gctx : context), _, _) ->
                        if gctx != ctx then maybe_drain t origin_site gctx)
                      groups)
-                 flushed )));
-    oq
+                 flushed )))
 
   (* Run every scheduled event; submitted queries execute (and contend)
      together. *)
@@ -1714,6 +1839,44 @@ module Make (D : Hf_termination.Detector.S) = struct
   let outcome t handle = outcome_of t handle
 
   let query_id (handle : handle) = handle.id
+
+  (* Cancel a submitted query.  A submission still queued at the
+     admission gate simply leaves the queue; a running one has its
+     per-site state evicted and becomes invisible to the message paths
+     (late messages drop at [find_open]/[context_of]).  The per-site
+     detector instances are discarded with the contexts — the origin no
+     longer needs their credit to converge, which is the same soundness
+     argument [abandon] makes for an unreachable peer's messages. *)
+  let cancel t (handle : handle) =
+    let oq = handle in
+    if not (oq.terminated || oq.cancelled) then
+      if not oq.admitted then begin
+        ignore
+          (Sched.cancel_queued t.gates.(oq.id.originator) (fun (q, _) ->
+               Hf_proto.Message.equal_query_id q oq.id));
+        oq.cancelled <- true;
+        Hf_obs.Tracer.finish ~detail:"cancelled" t.tracer oq.span
+      end
+      else begin
+        record t oq.id.originator "cancel" (qname oq.id);
+        (* Empty every working set first so tasks already queued for
+           this query's contexts complete as no-ops. *)
+        Array.iter
+          (fun site ->
+            match Hashtbl.find_opt site.contexts oq.id with
+            | Some ctx ->
+              Hf_util.Deque.clear ctx.work;
+              Hashtbl.reset ctx.parked;
+              ctx.parked_count <- 0;
+              ctx.result_buffer <- []
+            | None -> ())
+          t.sites;
+        evict_query t oq;
+        oq.cancelled <- true;
+        oq.finish_time <- Hf_sim.Sim.now t.sim
+      end
+
+  let cancelled (handle : handle) = handle.cancelled
 
   (* Issue a query and run the simulation until the cluster goes quiet —
      the sequential-client model of the paper's experiments. *)
@@ -1734,7 +1897,7 @@ module Make (D : Hf_termination.Detector.S) = struct
      | Some ctx ->
        D.on_seed ctx.detector;
        start_polling t oq ctx origin_site;
-       enqueue t origin_site (fun () ->
+       enqueue t origin_site ~tenant:origin (fun () ->
            let remote_sites =
              List.filter (fun s -> s <> origin) (List.init (n_sites t) Fun.id)
            in
@@ -1744,16 +1907,22 @@ module Make (D : Hf_termination.Detector.S) = struct
            Metrics.add_busy oq.metrics origin duration;
            ( duration,
              fun () ->
-               (* Local portion. *)
-               (match Hashtbl.find_opt origin_site.contexts from with
-                | None -> ()
-                | Some prev ->
-                  List.iter
-                    (fun oid ->
-                      Hf_util.Deque.push_back ctx.work
-                        (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
-                      enqueue t origin_site (process_one t origin_site ctx))
-                    (Oid.Set.elements prev.local_result_set));
+               (* Local portion ([retained] once [from] terminated and
+                  its context was evicted). *)
+               let local_seeds =
+                 match Hashtbl.find_opt origin_site.contexts from with
+                 | Some prev -> Oid.Set.elements prev.local_result_set
+                 | None -> (
+                     match Hashtbl.find_opt origin_site.retained from with
+                     | Some set -> Oid.Set.elements set
+                     | None -> [])
+               in
+               List.iter
+                 (fun oid ->
+                   Hf_util.Deque.push_back ctx.work
+                     (Hf_engine.Work_item.initial ctx.plan oid, Seeded);
+                   enqueue t origin_site ~tenant:origin (process_one t origin_site ctx))
+                 local_seeds;
                List.iter
                  (fun dst ->
                    let tag = D.on_send_work ctx.detector ~dst in
@@ -1777,8 +1946,28 @@ module Make (D : Hf_termination.Detector.S) = struct
     Array.iter
       (fun site ->
         Hashtbl.remove site.contexts query;
+        Hashtbl.remove site.retained query;
         Hashtbl.remove site.out_pending query)
       t.sites
+
+  (* --- introspection for the leak-regression and admission tests --- *)
+
+  (* Live per-site contexts across the cluster; zero once every
+     submitted query reached terminal status (satellite 1's invariant). *)
+  let context_count t =
+    Array.fold_left (fun acc site -> acc + Hashtbl.length site.contexts) 0 t.sites
+
+  (* Buffered-item ledger entries across the cluster; like [contexts]
+     these must return to empty at quiescence. *)
+  let buffered_count t =
+    Array.fold_left (fun acc site -> acc + Hashtbl.length site.out_pending) 0 t.sites
+
+  let retained_count t =
+    Array.fold_left (fun acc site -> acc + Hashtbl.length site.retained) 0 t.sites
+
+  let admission_running t ~origin = Sched.running t.gates.(origin)
+
+  let admission_queued t ~origin = Sched.queued t.gates.(origin)
 
   let last_query_id t =
     if t.next_serial = 0 then None

@@ -1,0 +1,149 @@
+(* Admission and fair scheduling for concurrent queries — see the .mli
+   and DESIGN.md §4h.  No locking here: callers serialize access (the
+   sim is single-threaded, Tcp_site holds its site mutex). *)
+
+module Rr = struct
+  (* Per-tenant FIFOs plus a ring of tenants that currently hold items.
+     The ring is itself a deque: pop takes the head tenant's oldest
+     item and rotates the tenant to the tail while it still has work.
+     With one tenant the ring never reorders anything, so the whole
+     structure is an exact FIFO — the compatibility property the
+     single-query suites rely on. *)
+  type 'a t = {
+    queues : (int, 'a Hf_util.Deque.t) Hashtbl.t;
+    ring : int Hf_util.Deque.t;
+    mutable count : int;
+  }
+
+  let create () = { queues = Hashtbl.create 4; ring = Hf_util.Deque.create (); count = 0 }
+
+  let push t ~tenant x =
+    let q =
+      match Hashtbl.find_opt t.queues tenant with
+      | Some q -> q
+      | None ->
+        let q = Hf_util.Deque.create () in
+        Hashtbl.replace t.queues tenant q;
+        q
+    in
+    if Hf_util.Deque.is_empty q then Hf_util.Deque.push_back t.ring tenant;
+    Hf_util.Deque.push_back q x;
+    t.count <- t.count + 1
+
+  let pop t =
+    match Hf_util.Deque.pop_front t.ring with
+    | None -> None
+    | Some tenant -> (
+        match Hashtbl.find_opt t.queues tenant with
+        | None -> None (* unreachable: ring tenants always have a queue *)
+        | Some q ->
+          let x = Hf_util.Deque.pop_front q in
+          (match x with Some _ -> t.count <- t.count - 1 | None -> ());
+          if Hf_util.Deque.is_empty q then Hashtbl.remove t.queues tenant
+          else Hf_util.Deque.push_back t.ring tenant;
+          x)
+
+  let length t = t.count
+
+  let is_empty t = t.count = 0
+
+  let tenants t = Hf_util.Deque.length t.ring
+
+  let remove t p =
+    (* Cancellation path: cold, so a rebuild of the one affected queue
+       (and, if it empties, the ring) is fine. *)
+    let found = ref None in
+    let victim_tenant = ref None in
+    Hf_util.Deque.to_list t.ring
+    |> List.iter (fun tenant ->
+           if !found = None then
+             match Hashtbl.find_opt t.queues tenant with
+             | None -> ()
+             | Some q ->
+               let items = Hf_util.Deque.to_list q in
+               let rec split acc = function
+                 | [] -> None
+                 | x :: rest when p x -> Some (List.rev_append acc rest, x)
+                 | x :: rest -> split (x :: acc) rest
+               in
+               (match split [] items with
+                | None -> ()
+                | Some (rest, x) ->
+                  found := Some x;
+                  t.count <- t.count - 1;
+                  Hf_util.Deque.clear q;
+                  List.iter (Hf_util.Deque.push_back q) rest;
+                  if Hf_util.Deque.is_empty q then begin
+                    Hashtbl.remove t.queues tenant;
+                    victim_tenant := Some tenant
+                  end));
+    (match !victim_tenant with
+     | None -> ()
+     | Some tenant ->
+       let ring = Hf_util.Deque.to_list t.ring in
+       Hf_util.Deque.clear t.ring;
+       List.iter
+         (fun r -> if r <> tenant then Hf_util.Deque.push_back t.ring r)
+         ring);
+    !found
+end
+
+type config = {
+  in_flight_cap : int option;
+  max_queued : int option;
+  link_window : int option;
+}
+
+let unlimited = { in_flight_cap = None; max_queued = None; link_window = None }
+
+let validate c =
+  let check name = function
+    | Some k when k < 1 ->
+      invalid_arg (Printf.sprintf "Sched.config: %s must be >= 1 (got %d)" name k)
+    | Some _ | None -> ()
+  in
+  check "in_flight_cap" c.in_flight_cap;
+  check "max_queued" c.max_queued;
+  check "link_window" c.link_window
+
+let pp_config ppf c =
+  let opt ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some k -> Format.pp_print_int ppf k
+  in
+  Format.fprintf ppf "cap=%a queued<=%a window=%a" opt c.in_flight_cap opt
+    c.max_queued opt c.link_window
+
+type decision = Run | Queued | Rejected
+
+type 'a t = { config : config; waiting : 'a Rr.t; mutable running : int }
+
+let create config =
+  validate config;
+  { config; waiting = Rr.create (); running = 0 }
+
+let admit t ~tenant job =
+  match t.config.in_flight_cap with
+  | Some cap when t.running >= cap -> (
+      match t.config.max_queued with
+      | Some bound when Rr.length t.waiting >= bound -> Rejected
+      | Some _ | None ->
+        Rr.push t.waiting ~tenant job;
+        Queued)
+  | Some _ | None ->
+    t.running <- t.running + 1;
+    Run
+
+let release t =
+  if t.running > 0 then t.running <- t.running - 1;
+  match Rr.pop t.waiting with
+  | Some job ->
+    t.running <- t.running + 1;
+    Some job
+  | None -> None
+
+let cancel_queued t p = Rr.remove t.waiting p
+
+let running t = t.running
+
+let queued t = Rr.length t.waiting

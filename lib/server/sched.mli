@@ -1,0 +1,100 @@
+(** Admission and fair scheduling for concurrent queries (DESIGN.md §4h).
+
+    Both engines historically ran one query at a time: the sim cluster
+    drained each submission to completion and [Tcp_site.run_query] held
+    the site lock for the whole query.  This module supplies the two
+    engine-agnostic pieces that make N in-flight queries a first-class
+    mode:
+
+    - {!Rr}, a round-robin multi-queue: items are pushed under a tenant
+      key (tenant = query origin) and popped fairly across tenants, so
+      one chatty origin cannot starve another.  With a single tenant it
+      degrades to an exact FIFO — byte-identical scheduling to the old
+      single-queue engines, which keeps the single-query benchmarks and
+      differential suites unchanged.
+
+    - an admission gate: at most [in_flight_cap] queries run at once per
+      gate (one gate per origin site); excess submissions wait in a fair
+      queue, and [max_queued] bounds that queue for backpressure.
+
+    The module does no locking and never blocks: callers hold their own
+    engine lock (the sim is single-threaded; [Tcp_site] wraps calls in
+    its site mutex). *)
+
+module Rr : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> tenant:int -> 'a -> unit
+  (** Append to [tenant]'s queue (FIFO within a tenant). *)
+
+  val pop : 'a t -> 'a option
+  (** Dequeue from the tenant at the head of the round-robin ring; the
+      tenant rotates to the tail if it still has items.  [None] iff
+      empty. *)
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val tenants : 'a t -> int
+  (** Number of tenants currently holding at least one item. *)
+
+  val remove : 'a t -> ('a -> bool) -> 'a option
+  (** Remove and return the first item (in per-tenant FIFO order,
+      tenants in ring order) satisfying the predicate; [None] if no
+      item matches.  Used to cancel a queued admission. *)
+end
+
+type config = {
+  in_flight_cap : int option;
+      (** At most this many queries admitted at once; [None] = no cap
+          (every submission runs immediately — the pre-concurrency
+          behavior). *)
+  max_queued : int option;
+      (** Bound on the admission queue; a submission that would exceed
+          it is rejected (backpressure).  [None] = unbounded. *)
+  link_window : int option;
+      (** Backpressure threshold on a link's reliable in-flight window:
+          an engine pauses shipping on a link holding at least this many
+          unacked messages.  [None] = never pause.  Only meaningful when
+          the engine's reliability layer is on. *)
+}
+
+val unlimited : config
+(** No cap, no queue bound, no link window — concurrency-transparent. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] if any [Some k] field has [k < 1]. *)
+
+val pp_config : Format.formatter -> config -> unit
+
+type decision =
+  | Run  (** admitted: a slot was taken, start now *)
+  | Queued  (** over the cap: parked in the fair admission queue *)
+  | Rejected  (** the admission queue itself is full *)
+
+type 'a t
+(** One admission gate (per origin site); ['a] is the queued job
+    payload — typically the query id plus a seeding thunk. *)
+
+val create : config -> 'a t
+(** Raises [Invalid_argument] on an invalid config. *)
+
+val admit : 'a t -> tenant:int -> 'a -> decision
+(** [Run] takes a slot immediately; the job is only stored when the
+    answer is [Queued]. *)
+
+val release : 'a t -> 'a option
+(** Free the slot held by a finished (or cancelled) admitted query.
+    If a job is waiting, it takes over the slot and is returned — the
+    caller must start it.  Callers must pair each [release] with a
+    prior [Run] (or returned job); the gate does not track identities. *)
+
+val cancel_queued : 'a t -> ('a -> bool) -> 'a option
+(** Remove a not-yet-admitted job from the queue (no slot is freed). *)
+
+val running : 'a t -> int
+
+val queued : 'a t -> int

@@ -1,0 +1,29 @@
+(* hfcheck fixture for R3 with two distinct locks — the §4h admission
+   scheduler's lock next to the site lock.  Guards are matched by name:
+   holding [locked] does not license a field guarded by
+   [sched_locked]; the wrong lock is still a race. *)
+
+type t = {
+  site_mutex : Mutex.t;
+  sched_mutex : Mutex.t;
+  mutable draining : int; [@hf.guarded_by "locked"]
+  mutable admitted : int; [@hf.guarded_by "sched_locked"]
+}
+
+let locked t f =
+  Mutex.lock t.site_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.site_mutex) f
+
+let sched_locked t f =
+  Mutex.lock t.sched_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sched_mutex) f
+
+let good_nested t =
+  locked t (fun () -> sched_locked t (fun () -> t.draining + t.admitted))
+
+let bad_wrong_lock t = locked t (fun () -> t.admitted <- t.admitted + 1)
+(* line 24: guarded by sched_locked, held lock is locked *)
+
+let bad_bare t = t.admitted (* line 27: no lock at all *)
+
+let annotated_read t = t.admitted [@@hf.requires_lock "sched_locked"]

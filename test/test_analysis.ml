@@ -76,6 +76,20 @@ let test_guarded_by () =
   (* line 17 is an increment: both the read and the write are flagged *)
   Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
 
+let test_guarded_by_two_locks () =
+  (* The §4h scheduler adds a second lock next to the site lock; R3
+     matches guards by name, so holding [locked] must not license a
+     field guarded by [sched_locked]. *)
+  let report = analyze "Bad_r3_sched" in
+  Alcotest.check int_list "guarded-by lines" [ 24; 27 ] (lines "guarded-by" report);
+  let messages = List.map (fun f -> f.A.Finding.message) report.A.Driver.findings in
+  if not (List.exists (fun m -> contains m "sched_locked") messages) then
+    Alcotest.failf "no finding names the scheduler lock in %a"
+      Fmt.(Dump.list string)
+      messages;
+  (* line 24 is an increment: both the read and the write are flagged *)
+  Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
+
 let test_swallow () =
   let report = analyze "Bad_r4" in
   Alcotest.check int_list "swallow lines" [ 3; 5 ] (lines "swallow" report);
@@ -161,6 +175,8 @@ let () =
           Alcotest.test_case "poly-compare fixture" `Quick test_poly_compare;
           Alcotest.test_case "codec-tag fixture" `Quick test_codec_tag;
           Alcotest.test_case "guarded-by fixture" `Quick test_guarded_by;
+          Alcotest.test_case "guarded-by: two locks (scheduler)" `Quick
+            test_guarded_by_two_locks;
           Alcotest.test_case "swallow fixture" `Quick test_swallow;
           Alcotest.test_case "io fixture" `Quick test_io;
           Alcotest.test_case "io scoped to lib/" `Quick test_io_scoped_out;

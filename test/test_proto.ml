@@ -131,6 +131,10 @@ let test_roundtrip_cache_answers () =
                 cache_answer ~start:2 ~iters:[| 1; 3 |] ~passed:false 9 ];
           }))
 
+let test_roundtrip_query_done () =
+  check_bool "query done" true
+    (roundtrip (Message.Query_done { query = { Message.originator = 3; serial = 21 }; src = 3 }))
+
 let test_cache_answers_empty_rejected () =
   (* An empty answer list must not encode... *)
   (try
@@ -444,6 +448,9 @@ let gen_message =
          let* version = int_range 0 10_000 in
          let* answers = list_size (int_range 1 5) gen_answer in
          return (Message.Cache_answers { query; src; version; answers }));
+        (let* query = gen_query_id in
+         let* src = int_range 0 15 in
+         return (Message.Query_done { query; src }));
       ])
 
 let prop_message_roundtrip =
@@ -709,6 +716,7 @@ let () =
           Alcotest.test_case "cache-validate round-trip" `Quick test_roundtrip_cache_validate;
           Alcotest.test_case "cache-version round-trip" `Quick test_roundtrip_cache_version;
           Alcotest.test_case "cache-answers round-trip" `Quick test_roundtrip_cache_answers;
+          Alcotest.test_case "query-done round-trip" `Quick test_roundtrip_query_done;
           Alcotest.test_case "empty cache answers rejected" `Quick
             test_cache_answers_empty_rejected;
           Alcotest.test_case "reliability envelope round-trip" `Quick test_envelope_roundtrip;
