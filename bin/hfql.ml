@@ -81,19 +81,52 @@ let finish_trace tracer = function
   | Some path ->
     Hf_obs.Tracer.write_file tracer path;
     Fmt.pr "trace: %d span(s) -> %s%s@." (Hf_obs.Tracer.count tracer) path
-      (match Hf_obs.Tracer.dropped tracer with
+      (match Hf_obs.Tracer.sampled_out tracer with
        | 0 -> ""
-       | n -> Printf.sprintf " (%d dropped past the limit)" n)
+       | n ->
+         Printf.sprintf " (%d skipped by sampling at rate %.2f)" n
+           (Hf_obs.Tracer.sample_rate tracer))
 
-let demo ~sites ~objects ~seed ~in_flight ~trace =
+(* A truncated trace silently understates every profile built from it —
+   make it loud (satellite of DESIGN.md §4i). *)
+let warn_dropped tracer =
+  match Hf_obs.Tracer.dropped tracer with
+  | 0 -> ()
+  | n ->
+    Fmt.epr
+      "hfql: warning: %d span(s) dropped past the tracer limit — traces and profiles for \
+       this run are incomplete@."
+      n
+
+let demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms ~sample_rate
+    =
+  let tracing = trace <> None || profile || profile_json <> None || slow_ms <> None in
   (* The sim cluster installs its virtual clock on the tracer. *)
   let tracer =
-    match trace with None -> Hf_obs.Tracer.noop | Some _ -> Hf_obs.Tracer.create ()
+    if tracing then Hf_obs.Tracer.create ~sample_rate () else Hf_obs.Tracer.noop
   in
   let server =
     setup_server ~tracer
       ?in_flight:(if in_flight > 1 then Some in_flight else None)
       ~sites ~objects ~seed ()
+  in
+  let profiles = ref [] in
+  (* EXPLAIN ANALYZE per query; the slow-query log fires on virtual
+     response time, so it is deterministic for a given seed. *)
+  let profiled text (r : Hf_client.Embedded.result) =
+    if tracing then begin
+      let prof = Hf_client.Embedded.profile server r in
+      profiles := prof :: !profiles;
+      if profile then Fmt.pr "%a@." Hf_obs.Profile.pp prof;
+      match slow_ms with
+      | Some threshold
+        when r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time *. 1000.0
+             >= threshold ->
+        Fmt.epr "hfql: slow query (%.1f ms >= %.1f ms): %s@.%a@."
+          (r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time *. 1000.0)
+          threshold text Hf_obs.Profile.pp prof
+      | _ -> ()
+    end
   in
   let queries =
     [
@@ -110,7 +143,8 @@ let demo ~sites ~objects ~seed ~in_flight ~trace =
       List.iter
         (fun (target, values) ->
           Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
-        r.Hf_client.Embedded.values)
+        r.Hf_client.Embedded.values;
+      profiled text r)
     queries;
   (* --in-flight N: submit N copies of the closure query at once; the
      admission gate keeps all of them running and the per-query slices
@@ -138,9 +172,34 @@ let demo ~sites ~objects ~seed ~in_flight ~trace =
             would take roughly %.3f@."
       makespan
       (float_of_int in_flight /. makespan)
-      (float_of_int in_flight *. fastest)
+      (float_of_int in_flight *. fastest);
+    (* Under contention the interesting profile is the slowest query's:
+       its Wait rows show what the batch cost it. *)
+    if tracing then begin
+      let slowest =
+        List.fold_left
+          (fun acc h ->
+            let rt = (C.outcome cluster h).Hf_server.Cluster.response_time in
+            match acc with Some (_, best) when best >= rt -> acc | _ -> Some (h, rt))
+          None handles
+      in
+      match slowest with
+      | None -> ()
+      | Some (h, _) ->
+        let prof = C.profile cluster h in
+        profiles := prof :: !profiles;
+        if profile then Fmt.pr "%a@." Hf_obs.Profile.pp prof
+    end
   end;
+  (match profile_json with
+   | None -> ()
+   | Some path ->
+     let json = Hf_obs.Json.List (List.rev_map Hf_obs.Profile.to_json !profiles) in
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Hf_obs.Json.to_string json));
+     Fmt.pr "profiles: %d -> %s@." (List.length !profiles) path);
   finish_trace tracer trace;
+  warn_dropped tracer;
   0
 
 (* --- interactive REPL --- *)
@@ -248,20 +307,25 @@ let dump_snapshot path =
 
 (* --- TCP demo --- *)
 
-let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
+let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~monitor
+    ~linger ~sample_rate =
   let module Tcp = Hf_net.Tcp_site in
+  let tracing = trace <> None || profile in
   (* One shared tracer across the in-process sites: wire messages carry
      span ids, so remote spans still parent on the originating site. *)
   let tracer =
-    match trace with
-    | None -> Hf_obs.Tracer.noop
-    | Some _ ->
+    if tracing then begin
       let t0 = Unix.gettimeofday () in
-      Hf_obs.Tracer.create ~clock:(fun () -> Unix.gettimeofday () -. t0) ()
+      Hf_obs.Tracer.create ~clock:(fun () -> Unix.gettimeofday () -. t0) ~sample_rate ()
+    end
+    else Hf_obs.Tracer.noop
   in
   let reliability = if reliable then Some Hf_proto.Reliable.default else None in
   let endpoints =
-    Array.init sites (fun site -> Tcp.create ~site ~batch ?reliability ~tracer ())
+    Array.init sites (fun site ->
+        Tcp.create ~site ~batch ?reliability ~tracer
+          ?monitor_port:(if monitor then Some 0 else None)
+          ())
   in
   let addresses = Array.map Tcp.address endpoints in
   Array.iter (fun s -> Tcp.set_peers s addresses) endpoints;
@@ -271,6 +335,15 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
       | Unix.ADDR_INET (_, port) -> Fmt.pr "site %d on 127.0.0.1:%d@." i port
       | Unix.ADDR_UNIX _ -> ())
     addresses;
+  if monitor then
+    Array.iter
+      (fun s ->
+        match Tcp.monitor_address s with
+        | Some (Unix.ADDR_INET (_, port)) ->
+          Fmt.pr "monitor for site %d on 127.0.0.1:%d (try: hfql stats %d)@." (Tcp.id s)
+            port port
+        | Some (Unix.ADDR_UNIX _) | None -> ())
+      endpoints;
   let params =
     { Hf_workload.Synthetic.default_params with
       Hf_workload.Synthetic.n_objects = objects;
@@ -287,7 +360,8 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
     Hf_workload.Queries.closure_program ~pointer_key:Hf_workload.Synthetic.tree_key
       (Hf_workload.Queries.select_rand10 5)
   in
-  let outcome = Tcp.run_query endpoints.(0) program [ placed.Hf_workload.Synthetic.root ] in
+  let handle = Tcp.submit_query endpoints.(0) program [ placed.Hf_workload.Synthetic.root ] in
+  let outcome = Tcp.await endpoints.(0) handle in
   let status_text =
     match outcome.Tcp.status with
     | Tcp.Complete -> "complete"
@@ -300,12 +374,59 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace =
     (List.length outcome.Tcp.results) status_text
     (outcome.Tcp.response_time *. 1000.0)
     outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
+  if profile then Fmt.pr "%a@." Hf_obs.Profile.pp (Tcp.profile endpoints.(0) handle outcome);
+  (* Cluster-wide scrape over the wire: every peer answers a credit-free
+     Stats_pull, and the per-site registries merge bucket-exactly. *)
+  if stats then begin
+    let per_site = Tcp.pull_stats endpoints.(0) in
+    Fmt.pr "cluster stats (%d site(s) merged):@.%a@."
+      (List.length per_site)
+      Hf_obs.Registry.pp_snapshot
+      (Hf_obs.Registry.merge_snapshots (List.map snd per_site))
+  end;
+  (* Keep the sites (and their monitoring ports) up so an external
+     scraper can connect before everything tears down. *)
+  if linger > 0.0 then begin
+    Fmt.pr "lingering %.0f s for scrapers...@." linger;
+    Thread.delay linger
+  end;
   Array.iter Tcp.shutdown endpoints;
   finish_trace tracer trace;
+  warn_dropped tracer;
   match outcome.Tcp.status with
   | Tcp.Complete -> 0
   | Tcp.Timed_out | Tcp.Cancelled -> 1
   | Tcp.Partial _ -> 2
+
+(* --- stats: read a site's monitoring surface --- *)
+
+(* The monitor endpoint speaks no protocol at all: connect, read the
+   Prometheus text dump to EOF, done.  This command is a convenience
+   over [nc]. *)
+let stats_dump ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ ->
+    Fmt.epr "hfql stats: bad host %S (use a dotted address, e.g. 127.0.0.1)@." host;
+    1
+  | inet -> (
+    let addr = Unix.ADDR_INET (inet, port) in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | exception Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      Fmt.epr "hfql stats: cannot connect to %s:%d: %s@." host port (Unix.error_message err);
+      1
+    | () ->
+      let buf = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          print_string (Bytes.sub_string buf 0 n);
+          drain ()
+      in
+      Fun.protect ~finally:(fun () -> Unix.close fd) drain;
+      0)
 
 (* --- cmdliner plumbing --- *)
 
@@ -328,6 +449,19 @@ let trace_arg =
            ~doc:"Write a causal span trace to $(docv): Chrome trace_event JSON (load it in \
                  Perfetto or chrome://tracing), or one JSON object per span when $(docv) \
                  ends in .jsonl.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print an EXPLAIN ANALYZE profile per query: per-site phase time \
+                 breakdown, ship rounds, queue wait vs execution, and the engine's \
+                 per-query message/byte/cache counters (DESIGN.md §4i).")
+
+let sample_rate_arg =
+  Arg.(value & opt float 1.0
+       & info [ "sample-rate" ] ~docv:"R"
+           ~doc:"Trace only fraction $(docv) of queries (whole queries, chosen \
+                 deterministically); keeps tracing affordable under concurrent load.")
 
 let check_cmd =
   let query_arg =
@@ -354,10 +488,30 @@ let demo_cmd =
              ~doc:"Keep $(docv) queries in flight at once (admission cap; DESIGN.md §4h) \
                    and finish the demo with a concurrent batch of $(docv) closure queries.")
   in
-  let run sites objects seed in_flight trace = demo ~sites ~objects ~seed ~in_flight ~trace in
+  let profile_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile-json" ] ~docv:"FILE"
+             ~doc:"Write every query's profile to $(docv) as a JSON array.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-query log: print the profile of any query whose response time \
+                   reaches $(docv) milliseconds to stderr.")
+  in
+  let run sites objects seed in_flight trace profile profile_json slow_ms sample_rate =
+    if sample_rate < 0.0 || sample_rate > 1.0 then begin
+      Fmt.epr "hfql: --sample-rate must be in [0, 1] (got %g)@." sample_rate;
+      2
+    end
+    else
+      demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms
+        ~sample_rate
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run canned queries against the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ in_flight_arg $ trace_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ in_flight_arg $ trace_arg
+          $ profile_arg $ profile_json_arg $ slow_ms_arg $ sample_rate_arg)
 
 let save_demo_cmd =
   let path_arg =
@@ -404,13 +558,40 @@ let tcp_demo_cmd =
                    doc/fault_tolerance.md); exit status 2 marks a partial answer \
                    (unreachable peer).")
   in
-  let run sites objects seed batch reliable trace =
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"After the query, pull every site's registry over the wire \
+                   (credit-free Stats_pull/Stats_report) and print the merged \
+                   cluster-wide snapshot.")
+  in
+  let monitor_flag =
+    Arg.(value & flag
+         & info [ "monitor" ]
+             ~doc:"Bind an always-on monitoring listener per site (ephemeral loopback \
+                   port, printed at startup); each answers any connection with a \
+                   Prometheus text dump — readable with $(b,hfql stats PORT) or nc.")
+  in
+  let linger_arg =
+    Arg.(value & opt float 0.0
+         & info [ "linger" ] ~docv:"S"
+             ~doc:"Keep the sites (and any $(b,--monitor) ports) up for $(docv) seconds \
+                   after the query, so external scrapers can connect.")
+  in
+  let run sites objects seed batch reliable trace profile stats monitor linger sample_rate =
     match
       if batch = 0 then Ok Hf_proto.Batch.Flush_on_drain
       else if batch >= 1 then Ok (Hf_proto.Batch.Flush_at batch)
       else Error ()
     with
-    | Ok batch -> tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace
+    | Ok batch ->
+      if sample_rate < 0.0 || sample_rate > 1.0 then begin
+        Fmt.epr "hfql: --sample-rate must be in [0, 1] (got %g)@." sample_rate;
+        2
+      end
+      else
+        tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~monitor
+          ~linger ~sample_rate
     | Error () ->
       Fmt.epr "hfql: --batch must be >= 0 (got %d)@." batch;
       2
@@ -419,11 +600,31 @@ let tcp_demo_cmd =
     (Cmd.info "tcp-demo"
        ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
              simulator).")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ reliable_arg $ trace_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ reliable_arg
+          $ trace_arg $ profile_arg $ stats_flag $ monitor_flag $ linger_arg
+          $ sample_rate_arg)
+
+let stats_cmd =
+  let port_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"PORT" ~doc:"Monitoring port (see $(b,tcp-demo --monitor)).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Monitoring host (dotted address).")
+  in
+  let run host port = stats_dump ~host ~port in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dump a site's metrics from its monitoring port (Prometheus text format).")
+    Term.(const run $ host_arg $ port_arg)
 
 let () =
   let doc = "HyperFile filtering-query runner (paper reproduction demo)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hfql" ~doc)
-          [ check_cmd; run_cmd; demo_cmd; repl_cmd; save_demo_cmd; dump_cmd; tcp_demo_cmd ]))
+          [
+            check_cmd; run_cmd; demo_cmd; repl_cmd; save_demo_cmd; dump_cmd; tcp_demo_cmd;
+            stats_cmd;
+          ]))

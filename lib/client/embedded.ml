@@ -50,6 +50,7 @@ type result = {
   (* convenience projections *)
   oids : Hf_data.Oid.t list;
   values : (string * Hf_data.Value.t list) list;
+  handle : C.handle; (* for post-hoc profiling *)
 }
 
 let check_body body =
@@ -63,7 +64,9 @@ let run_parsed t ~origin (q : Hf_query.Parser.query) =
   check_body q.body;
   let initial = match q.source with None -> [] | Some name -> set_exn t name in
   let program = Hf_query.Compile.compile q.body in
-  let outcome = C.run_query t.cluster ~origin program initial in
+  let handle = C.submit t.cluster ~origin program initial in
+  C.await_quiescence t.cluster;
+  let outcome = C.outcome t.cluster handle in
   (match q.target with
    | Some name -> Hashtbl.replace t.sets name outcome.Hf_server.Cluster.results
    | None -> ());
@@ -72,6 +75,7 @@ let run_parsed t ~origin (q : Hf_query.Parser.query) =
     target = q.target;
     oids = outcome.Hf_server.Cluster.results;
     values = outcome.Hf_server.Cluster.bindings;
+    handle;
   }
 
 let query ?origin t text =
@@ -84,6 +88,8 @@ let query ?origin t text =
 let query_ast ?origin ?source ?target t body =
   let origin = Option.value origin ~default:t.default_origin in
   run_parsed t ~origin { Hf_query.Parser.source; body; target }
+
+let profile t (r : result) = C.profile t.cluster r.handle
 
 (* Create an object on a site and return its oid — the write half of the
    application interface. *)

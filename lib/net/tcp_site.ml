@@ -179,6 +179,9 @@ type context = {
      context and outcomes read these instead of global deltas. *)
   mutable msgs_sent : int; [@hf.guarded_by "locked"]
   mutable bytes_out : int; [@hf.guarded_by "locked"]
+  mutable queue_wait_s : float; [@hf.guarded_by "locked"]
+      (* origin-side: seconds spent in the admission queue before the
+         seed ran; 0 for remotely-introduced contexts *)
   (* origin-side admission / cancellation state *)
   mutable admitted : bool; [@hf.guarded_by "locked"]
   mutable slot_released : bool; [@hf.guarded_by "locked"]
@@ -258,6 +261,24 @@ type t = {
   mutable cache_validations : int; [@hf.guarded_by "locked"]
   mutable cache_fills : int; [@hf.guarded_by "locked"]
   mutable cache_invalidations : int; [@hf.guarded_by "locked"]
+  (* cluster-wide stats scraping and monitoring (DESIGN.md §4i) *)
+  mutable stats_token : int; [@hf.guarded_by "locked"]
+      (* last Stats_pull token issued by this site; replies carrying an
+         older token (or 0 — a periodic push) never satisfy a waiting
+         [pull_stats] *)
+  peer_stats : (int, Hf_obs.Registry.snapshot) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* peer -> last registry snapshot received from it *)
+  peer_stats_token : (int, int) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* peer -> highest pull token that snapshotting has answered *)
+  stats_cond : Condition.t; (* signalled when a Stats_report lands *)
+  stats_period : float option;
+  mutable stats_ticker : Thread.t option;
+      (* periodic scrape thread; joined at shutdown before connections
+         come down, like the reliability ticker *)
+  mutable monitor : Unix.file_descr option;
+      (* always-on monitoring surface: a loopback listener that answers
+         every connection with a Prometheus text dump of [registry] *)
+  admission_wait : Hf_obs.Histogram.t; (* submit-to-seed queue wait, seconds *)
 }
 
 let locate oid = Hf_data.Oid.birth_site oid
@@ -265,6 +286,49 @@ let locate oid = Hf_data.Oid.birth_site oid
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- stats snapshots on the wire (DESIGN.md §4i) --- *)
+
+(* Registry snapshots and wire stats live in different layers — hf_obs
+   knows nothing of the protocol and hf_proto nothing of registries —
+   so the transport converts between them.  Histograms cross as exact
+   shape (count/sum/min/max/buckets); the percentile reservoir stays
+   site-local by design. *)
+let stats_of_snapshot snapshot =
+  List.map
+    (fun (name, sampled) ->
+      let value =
+        match (sampled : Hf_obs.Registry.sampled) with
+        | Hf_obs.Registry.Counter_value n -> Message.Stat_counter n
+        | Hf_obs.Registry.Gauge_value v -> Message.Stat_gauge v
+        | Hf_obs.Registry.Histogram_value h ->
+          Message.Stat_histogram
+            {
+              count = Hf_obs.Histogram.count h;
+              sum = Hf_obs.Histogram.sum h;
+              vmin = Hf_obs.Histogram.vmin h;
+              vmax = Hf_obs.Histogram.vmax h;
+              buckets = Hf_obs.Histogram.buckets h;
+            }
+      in
+      { Message.name; value })
+    snapshot
+
+(* A histogram the codec accepted but [of_shape] rejects (negative
+   count, bucket index out of range — a version-skewed peer) drops that
+   one metric, not the whole report. *)
+let snapshot_of_stats stats =
+  List.filter_map
+    (fun { Message.name; value } ->
+      match value with
+      | Message.Stat_counter n -> Some (name, Hf_obs.Registry.Counter_value n)
+      | Message.Stat_gauge v -> Some (name, Hf_obs.Registry.Gauge_value v)
+      | Message.Stat_histogram { count; sum; vmin; vmax; buckets } -> (
+          match Hf_obs.Histogram.of_shape ~count ~sum ~vmin ~vmax ~buckets () with
+          | h -> Some (name, Hf_obs.Registry.Histogram_value h)
+          | exception Invalid_argument _ -> None))
+    stats
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- sending --- *)
 
@@ -330,7 +394,8 @@ let transmit_raw t ?(span = 0) ~seq ~dst message =
        no query context and stay site-global only. *)
     (match
        (match (message : Message.t) with
-        | Message.Link_ack | Message.Work_batch [] -> None
+        | Message.Link_ack | Message.Stats_pull _ | Message.Stats_report _
+        | Message.Work_batch [] -> None
         | m -> Some (Message.query_of m))
      with
     | Some q -> (
@@ -382,6 +447,7 @@ let new_context t ?(cause = 0) ~query ~origin program =
       answers_version = 0;
       msgs_sent = 0;
       bytes_out = 0;
+      queue_wait_s = 0.0;
       admitted = false;
       slot_released = false;
       cancelled = false;
@@ -507,9 +573,12 @@ and give_up_message t ~dst message =
       | None -> ()
       | Some ctx -> release_parked t query ctx ~dst None)
   | Message.Link_ack | Message.Site_unreachable _ | Message.Cache_version _
-  | Message.Cache_answers _ | Message.Query_done _ -> ()
+  | Message.Cache_answers _ | Message.Query_done _ | Message.Stats_pull _
+  | Message.Stats_report _ -> ()
   (* Query_done carries no credit: an unreachable peer just keeps its
-     tombstone-less context until its own give-ups reclaim it. *)
+     tombstone-less context until its own give-ups reclaim it.  Stats
+     messages are credit-free by design — losing one costs a stale
+     scrape, nothing more. *)
 [@@hf.requires_lock "locked"]
 
 (* --- the cache layer (DESIGN.md §4g) --- *)
@@ -913,6 +982,15 @@ let process_to_drain ?(seeds = []) t query ctx =
       ctx.draining <- ctx.draining - 1;
       finish_drain t query ctx)
 
+(* Answer a [Stats_pull]: snapshot our registry and ship it back.  The
+   snapshot MUST be taken outside the site lock — registry gauges read
+   site state under [locked], and the mutex is not reentrant — so the
+   pull handler defers here, after [handle_message] releases the
+   lock. *)
+let report_stats t ~dst ~token =
+  let stats = stats_of_snapshot (Hf_obs.Registry.snapshot t.registry) in
+  locked t (fun () -> send t ~dst (Message.Stats_report { src = t.id; token; stats }))
+
 (* --- incoming messages --- *)
 
 (* [span] is the sender's shipping span carried on the wire (0 when the
@@ -933,6 +1011,9 @@ let process_to_drain ?(seeds = []) t query ctx =
    here: its credit is dead by construction — the originator only
    closes after the detector converged. *)
 let handle_message t ?(span = 0) ?rel message =
+  (* actions that must run after the lock is released (stats replies:
+     snapshotting the registry re-takes the lock) *)
+  let after = ref [] in
   let to_drain =
     locked t (fun () ->
       t.messages_received <- t.messages_received + 1;
@@ -1091,8 +1172,21 @@ let handle_message t ?(span = 0) ?rel message =
          | Some ctx when ctx.origin <> t.id -> evict_context t query ctx
          | Some _ -> ()
          | None -> mark_closed t query);
+        []
+      | Message.Stats_pull { src = peer; token } ->
+        after := (fun () -> report_stats t ~dst:peer ~token) :: !after;
+        []
+      | Message.Stats_report { src = peer; token; stats } ->
+        Hashtbl.replace t.peer_stats peer (snapshot_of_stats stats);
+        (* tokens only ratchet up: a periodic push (token 0) arriving
+           between a fresh report and its waiter's check must not make
+           the pull look unanswered again *)
+        let prev = Option.value ~default:0 (Hashtbl.find_opt t.peer_stats_token peer) in
+        if token > prev then Hashtbl.replace t.peer_stats_token peer token;
+        Condition.broadcast t.stats_cond;
         [])
   in
+  List.iter (fun act -> act ()) !after;
   List.iter (fun (query, ctx) -> process_to_drain t query ctx) to_drain
 
 (* Fire every due link deadline: standalone acks whose piggyback window
@@ -1166,11 +1260,16 @@ let accept_loop t () =
 (* --- lifecycle --- *)
 
 let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
-    ?(admission = Sched.unlimited) ?(tracer = Hf_obs.Tracer.noop) () =
+    ?(admission = Sched.unlimited) ?(tracer = Hf_obs.Tracer.noop) ?stats_period ?monitor_port
+    () =
   Hf_proto.Batch.validate_policy batch;
   Option.iter Hf_proto.Reliable.validate reliability;
   Option.iter Hf_index.Remote_cache.validate cache;
   Sched.validate admission;
+  Option.iter
+    (fun p ->
+      if not (p > 0.0) then invalid_arg "Tcp_site.create: stats_period must be positive")
+    stats_period;
   let listener = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listener SO_REUSEADDR true;
   Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, 0));
@@ -1180,6 +1279,7 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
   let sent_frame_bytes = Hf_obs.Registry.histogram registry "hf.net.sent_frame_bytes" in
   let query_rtt = Hf_obs.Registry.histogram registry "hf.net.query_rtt_s" in
   let ack_latency = Hf_obs.Registry.histogram registry "hf.net.ack_latency_s" in
+  let admission_wait = Hf_obs.Registry.histogram registry "hf.net.admission_wait_s" in
   let t =
     {
       id = site;
@@ -1226,6 +1326,14 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       cache_validations = 0;
       cache_fills = 0;
       cache_invalidations = 0;
+      stats_token = 0;
+      peer_stats = Hashtbl.create 8;
+      peer_stats_token = Hashtbl.create 8;
+      stats_cond = Condition.create ();
+      stats_period;
+      stats_ticker = None;
+      monitor = None;
+      admission_wait;
     }
   in
   Hf_obs.Registry.register_counter registry "hf.net.messages_sent" (fun () ->
@@ -1262,6 +1370,30 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       locked t (fun () -> Sched.queued t.gate));
   Hf_obs.Registry.register_counter registry "hf.net.contexts_live" (fun () ->
       locked t (fun () -> Hashtbl.length t.contexts));
+  (* Live gauges over previously-dark state (DESIGN.md §4i): the
+     reliable links' unacked window and owed acks, the admission gate's
+     fairness picture, and the answer cache's occupancy.  All of it is
+     owned by the site lock, so every read goes through [locked]. *)
+  Hf_obs.Registry.register_gauge registry "hf.net.link_in_flight" (fun () ->
+      locked t (fun () ->
+          float_of_int
+            (Hashtbl.fold
+               (fun _ link acc -> acc + Hf_proto.Reliable.in_flight link)
+               t.links 0)));
+  Hf_obs.Registry.register_gauge registry "hf.net.link_ack_backlog" (fun () ->
+      locked t (fun () ->
+          float_of_int
+            (Hashtbl.fold
+               (fun _ link acc -> if Hf_proto.Reliable.ack_owed link then acc + 1 else acc)
+               t.links 0)));
+  Hf_obs.Registry.register_gauge registry "hf.net.sched_tenants" (fun () ->
+      locked t (fun () -> float_of_int (Sched.waiting_tenants t.gate)));
+  Hf_obs.Registry.register_gauge registry "hf.net.cache_entries" (fun () ->
+      locked t (fun () ->
+          match t.cache with
+          | None -> 0.0
+          | Some cache -> float_of_int (Hf_index.Remote_cache.length cache)));
+  Hf_obs.Tracer.register tracer registry ~prefix:"hf.net";
   (* Cons, not assign: the accept loop may already have registered a
      reader thread by the time this runs. *)
   locked t (fun () -> t.threads <- Thread.create (accept_loop t) () :: t.threads);
@@ -1280,6 +1412,65 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
        done
      in
      t.ticker <- Some (Thread.create ticker ()));
+  (* Periodic scrape (DESIGN.md §4i): pull every peer's registry on a
+     timer so [peer_stats] stays warm without anyone asking.  Token 0
+     marks the replies unsolicited — a concurrent [pull_stats] with a
+     real token never mistakes one for its answer.  Joined at shutdown
+     before connections come down, like the reliability ticker. *)
+  (match stats_period with
+   | None -> ()
+   | Some period ->
+     let ticker () =
+       while t.running do
+         Thread.delay period;
+         if t.running then
+           locked t (fun () ->
+               Array.iteri
+                 (fun peer _ ->
+                   if peer <> t.id then
+                     send t ~dst:peer (Message.Stats_pull { src = t.id; token = 0 }))
+                 t.peers)
+       done
+     in
+     t.stats_ticker <- Some (Thread.create ticker ()));
+  (* The always-on monitoring surface: a plain-TCP loopback listener
+     that answers every connection with a Prometheus text dump of this
+     site's registry and closes.  No HTTP framing — `nc localhost port`
+     (or [hfql stats]) reads it directly.  Snapshots are taken outside
+     the site lock (gauges take it). *)
+  (match monitor_port with
+   | None -> ()
+   | Some port ->
+     let mon = Unix.socket PF_INET SOCK_STREAM 0 in
+     Unix.setsockopt mon SO_REUSEADDR true;
+     Unix.bind mon (ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen mon 4;
+     t.monitor <- Some mon;
+     let serve fd =
+       let body =
+         Hf_obs.Prometheus.render ~labels:[ ("site", string_of_int t.id) ] t.registry
+       in
+       let bytes = Bytes.of_string body in
+       let rec write_all off =
+         if off < Bytes.length bytes then
+           match Unix.write fd bytes off (Bytes.length bytes - off) with
+           | n -> write_all (off + n)
+           | exception Unix.Unix_error _ -> ()
+       in
+       write_all 0;
+       try Unix.close fd with Unix.Unix_error _ -> ()
+     in
+     let monitor_loop () =
+       let rec loop () =
+         match Unix.accept mon with
+         | fd, _ ->
+           serve fd;
+           loop ()
+         | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
+       in
+       loop ()
+     in
+     locked t (fun () -> t.threads <- Thread.create monitor_loop () :: t.threads));
   t
 
 let address t = t.address
@@ -1309,6 +1500,19 @@ let shutdown t =
      | Some thread ->
        (try Thread.join thread with _ -> Atomic.incr t.join_errors);
        t.ticker <- None
+     | None -> ());
+    (* the stats ticker transmits too: same quiesce-before-teardown *)
+    (match t.stats_ticker with
+     | Some thread ->
+       (try Thread.join thread with _ -> Atomic.incr t.join_errors);
+       t.stats_ticker <- None
+     | None -> ());
+    (* wake the monitor accept thread the same way as the listener's *)
+    (match t.monitor with
+     | Some fd ->
+       (try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       t.monitor <- None
      | None -> ());
     (* shutdown(2) before close: close alone does NOT wake a thread
        blocked in accept(2) — the in-flight syscall pins the socket, so
@@ -1343,6 +1547,7 @@ type outcome = {
   terminated : bool;
   status : status;
   response_time : float; (* wall-clock seconds *)
+  queue_wait_s : float; (* time spent in the admission queue *)
   messages_sent : int;
   bytes_sent : int;
 }
@@ -1374,6 +1579,23 @@ let submit_query (t : t) program initial =
       let seed () =
         ctx.admitted <- true;
         ctx.held <- Credit.one;
+        (* Queue wait, measured at the moment the gate finally seeds us:
+           zero when admission was immediate.  Recorded three ways — the
+           site histogram (the monitoring surface), the context (the
+           outcome's per-query figure), and a retroactive [Wait] span so
+           the profile's phase breakdown shows queued time next to
+           execution time. *)
+        let wait = Float.max 0.0 (Unix.gettimeofday () -. started) in
+        ctx.queue_wait_s <- wait;
+        Hf_obs.Histogram.observe t.admission_wait wait;
+        (* the span lives on the tracer's clock (which may not be wall
+           time): end it "now" there and back-date the start by [wait] *)
+        let trace_now = Hf_obs.Tracer.now t.tracer in
+        ignore
+          (Hf_obs.Tracer.complete t.tracer ~parent:root_span
+             ~query:(Fmt.str "%a" Message.pp_query_id query)
+             ~site:t.id ~phase:Hf_obs.Span.Wait ~start:(trace_now -. wait)
+             ~finish:trace_now "admission-wait");
         let drainer = Thread.create (fun () -> process_to_drain ~seeds:initial t query ctx) () in
         t.threads <- drainer :: t.threads
       in
@@ -1431,6 +1653,7 @@ let await ?(timeout = 10.0) (t : t) (handle : handle) =
           terminated = ctx.terminated;
           status;
           response_time = Unix.gettimeofday () -. handle.h_started;
+          queue_wait_s = ctx.queue_wait_s;
           (* per-query attribution (satellite S3): concurrent neighbors'
              frames never land in this outcome *)
           messages_sent = ctx.msgs_sent;
@@ -1489,3 +1712,98 @@ let context_count t = locked t (fun () -> Hashtbl.length t.contexts)
 let admission_running t = locked t (fun () -> Sched.running t.gate)
 
 let admission_queued t = locked t (fun () -> Sched.queued t.gate)
+
+let monitor_address t = Option.map Unix.getsockname t.monitor
+
+(* --- cluster-wide stats (DESIGN.md §4i) --- *)
+
+(* Snapshot every site's registry: broadcast a [Stats_pull] under a
+   fresh token and wait until each peer's report carrying (at least)
+   that token lands, or the timeout passes — an unreachable peer then
+   contributes its last-known snapshot, if any, rather than blocking
+   the scrape forever.  Returns (site, snapshot) pairs, this site
+   included, ascending by site id.  Same ticker-poke shape as [await]:
+   stdlib condition variables have no timed wait. *)
+let pull_stats ?(timeout = 5.0) (t : t) =
+  let token, peers =
+    locked t (fun () ->
+        t.stats_token <- t.stats_token + 1;
+        let token = t.stats_token in
+        let peers = ref [] in
+        Array.iteri
+          (fun peer _ ->
+            if peer <> t.id then begin
+              peers := peer :: !peers;
+              send t ~dst:peer (Message.Stats_pull { src = t.id; token })
+            end)
+          t.peers;
+        (token, !peers))
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let stop_ticker = ref false in
+  let ticker =
+    Thread.create
+      (fun () ->
+        while not !stop_ticker do
+          Thread.delay 0.01;
+          locked t (fun () -> Condition.broadcast t.stats_cond)
+        done)
+      ()
+  in
+  let remote =
+    locked t (fun () ->
+        let missing () =
+          List.exists
+            (fun peer ->
+              match Hashtbl.find_opt t.peer_stats_token peer with
+              | Some answered -> answered < token
+              | None -> true)
+            peers
+        in
+        while missing () && Unix.gettimeofday () < deadline do
+          Condition.wait t.stats_cond t.lock
+        done;
+        List.filter_map
+          (fun peer ->
+            Option.map (fun snap -> (peer, snap)) (Hashtbl.find_opt t.peer_stats peer))
+          peers)
+  in
+  stop_ticker := true;
+  (try Thread.join ticker with _ -> Atomic.incr t.join_errors);
+  (* own snapshot outside the lock: gauges take it *)
+  let own = (t.id, Hf_obs.Registry.snapshot t.registry) in
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (own :: remote)
+
+(* One merged registry over the whole cluster: counters and gauges sum,
+   histograms merge bucket-exactly ({!Hf_obs.Registry.merge_snapshots}). *)
+let cluster_stats ?timeout t = Hf_obs.Registry.merge_snapshots (List.map snd (pull_stats ?timeout t))
+
+(* Last-known peer snapshots without going to the wire — what the
+   [stats_period] scrape keeps warm. *)
+let known_peer_stats t =
+  locked t (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun peer snap acc -> (peer, snap) :: acc) t.peer_stats []))
+
+(* --- per-query profiles (EXPLAIN ANALYZE, DESIGN.md §4i) --- *)
+
+(* Fold the tracer's spans for this query into a per-site phase/rounds
+   breakdown and pin the engine's per-query counters alongside as
+   scalars.  Call after [await]: a still-running query yields a partial
+   profile (open spans count from start to "now" on the tracer's
+   clock).  Sites sharing one tracer (tests, the demo cluster) get the
+   full cross-site picture; separate processes each see their half. *)
+let profile (t : t) (handle : handle) (outcome : outcome) =
+  let query = Fmt.str "%a" Message.pp_query_id handle.h_query in
+  Hf_obs.Profile.of_spans ~query
+    ~scalars:
+      [
+        ("messages_sent", Hf_obs.Profile.Int outcome.messages_sent);
+        ("bytes_sent", Hf_obs.Profile.Int outcome.bytes_sent);
+        ("results", Hf_obs.Profile.Int (List.length outcome.results));
+        ("queue_wait_s", Hf_obs.Profile.Float outcome.queue_wait_s);
+        ("response_time_s", Hf_obs.Profile.Float outcome.response_time);
+      ]
+    ~dropped:(Hf_obs.Tracer.dropped t.tracer)
+    (Hf_obs.Tracer.spans t.tracer)

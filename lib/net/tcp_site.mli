@@ -26,6 +26,8 @@ val create :
   ?cache:Hf_index.Remote_cache.config ->
   ?admission:Hf_server.Sched.config ->
   ?tracer:Hf_obs.Tracer.t ->
+  ?stats_period:float ->
+  ?monitor_port:int ->
   unit ->
   t
 (** Bind 127.0.0.1 on an ephemeral port and start accepting.
@@ -70,7 +72,19 @@ val create :
     [max_queued] more wait in the fair admission queue
     ({!submit_query} raises [Failure] beyond that), and with
     reliability on, a drain pauses shipping while some link holds
-    [link_window] or more unacked frames (backpressure). *)
+    [link_window] or more unacked frames (backpressure).
+
+    [stats_period] (default off) starts a scrape ticker that sends a
+    credit-free [Stats_pull] to every peer each period, keeping
+    {!known_peer_stats} warm without a client asking.  Raises
+    [Invalid_argument] unless positive.
+
+    [monitor_port] (default off) binds an always-on monitoring surface:
+    a plain-TCP loopback listener (port 0 = ephemeral, see
+    {!monitor_address}) that answers every connection with a Prometheus
+    text dump of this site's registry — each metric labeled
+    [site="<id>"] — and closes.  No HTTP framing: [nc localhost port]
+    or [hfql stats] reads it directly. *)
 
 val address : t -> Unix.sockaddr
 
@@ -116,6 +130,9 @@ type outcome = {
       (** [false] exactly when [status] is [Timed_out] or [Cancelled]. *)
   status : status;
   response_time : float;  (** wall-clock seconds since submission. *)
+  queue_wait_s : float;
+      (** time spent in the admission queue before the query started
+          (0 when admission was immediate). *)
   messages_sent : int;
       (** wire messages this site sent for THIS query (work, results,
           credit, cache traffic and their retransmissions) — attributed
@@ -167,6 +184,39 @@ val admission_running : t -> int
 val admission_queued : t -> int
 (** Locally-issued queries waiting in the admission queue. *)
 
+(** {1 Cluster-wide stats and profiles (DESIGN.md §4i)} *)
+
+val pull_stats : ?timeout:float -> t -> (int * Hf_obs.Registry.snapshot) list
+(** Snapshot every site's registry: broadcast a [Stats_pull] under a
+    fresh token and wait (default 5 s) until each peer's report lands.
+    A peer that misses the deadline contributes its last-known snapshot
+    if any, so a dead site degrades the scrape instead of hanging it.
+    Returns (site, snapshot) pairs including this site, ascending.
+    Stats messages are credit-free and loss-tolerant — they never touch
+    termination detection. *)
+
+val cluster_stats : ?timeout:float -> t -> Hf_obs.Registry.snapshot
+(** [pull_stats] merged into one cluster-wide registry view: counters
+    and gauges sum across sites, histograms merge bucket-exactly. *)
+
+val known_peer_stats : t -> (int * Hf_obs.Registry.snapshot) list
+(** Last-known peer snapshots without going to the wire — what the
+    [stats_period] scrape keeps warm.  Empty until some pull or scrape
+    completed. *)
+
+val monitor_address : t -> Unix.sockaddr option
+(** The monitoring listener's bound address ([None] when [monitor_port]
+    was not given). *)
+
+val profile : t -> handle -> outcome -> Hf_obs.Profile.t
+(** EXPLAIN ANALYZE: fold the tracer's spans for this query into a
+    per-site phase/rounds breakdown, with the outcome's per-query
+    counters ([messages_sent], [bytes_sent], [queue_wait_s],
+    [response_time_s], [results]) pinned alongside as scalars.  Call
+    after {!await}.  Sites sharing one tracer get the full cross-site
+    picture; separate processes each see their own half. *)
+
 val shutdown : t -> unit
-(** Quiesce the reliability ticker, then close the listener and all
-    connections; idempotent. *)
+(** Quiesce the reliability and stats tickers, then close the
+    monitoring listener, the protocol listener and all connections;
+    idempotent. *)

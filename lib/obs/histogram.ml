@@ -68,6 +68,30 @@ let create ?(sample_limit = default_sample_limit) () =
     dropped_samples = 0;
   }
 
+(* Rebuild a histogram from its exact components (count/sum/min/max and
+   bucket counts) without any reservoir samples — the form a histogram
+   takes after crossing the wire in a [Stats_report], or after a
+   [diff].  Percentiles are unavailable ([summary] returns [None]);
+   count, sum, min, max and bucket shape are exact. *)
+let of_shape ?(sample_limit = default_sample_limit) ~count ~sum ~vmin ~vmax ~buckets () =
+  if count < 0 then invalid_arg "Histogram.of_shape: negative count";
+  let t = create ~sample_limit () in
+  List.iter
+    (fun (i, n) ->
+      if i < 0 || i >= n_buckets then invalid_arg "Histogram.of_shape: bucket out of range";
+      if n < 0 then invalid_arg "Histogram.of_shape: negative bucket count";
+      t.buckets.(i) <- t.buckets.(i) + n)
+    buckets;
+  t.count <- count;
+  t.sum <- sum;
+  t.vmin <- vmin;
+  t.vmax <- vmax;
+  t
+
+let vmin t = t.vmin
+
+let vmax t = t.vmax
+
 let push_sample t v =
   if t.n_samples < t.sample_limit then begin
     if t.n_samples >= Array.length t.samples then begin
@@ -104,8 +128,15 @@ let buckets t =
   done;
   !out
 
+let copy t =
+  {
+    t with
+    buckets = Array.copy t.buckets;
+    samples = Array.sub t.samples 0 t.n_samples;
+  }
+
 let summary t =
-  if t.count = 0 then None
+  if t.count = 0 || t.n_samples = 0 then None
   else begin
     let s = Hf_util.Stats.summarize (Array.sub t.samples 0 t.n_samples) in
     (* count/mean/min/max are tracked exactly even past the reservoir;
@@ -137,9 +168,28 @@ let merge a b =
   absorb b;
   t
 
+(* [newer] minus [older], for rate computation over two snapshots of the
+   same histogram: bucket counts, count and sum subtract (clamped at
+   zero, so a reset counterpart yields the newer values rather than
+   negatives); min/max are not diffable and keep [newer]'s.  The result
+   carries no reservoir — percentiles of a difference are undefined. *)
+let diff ~older ~newer =
+  let t = create ~sample_limit:newer.sample_limit () in
+  Array.iteri (fun i n -> t.buckets.(i) <- max 0 (n - older.buckets.(i))) newer.buckets;
+  t.count <- max 0 (newer.count - older.count);
+  t.sum <- (if newer.count >= older.count then newer.sum -. older.sum else newer.sum);
+  t.vmin <- newer.vmin;
+  t.vmax <- newer.vmax;
+  t
+
 let pp ppf t =
   match summary t with
-  | None -> Fmt.pf ppf "empty"
+  | None ->
+    if t.count = 0 then Fmt.pf ppf "empty"
+    else
+      Fmt.pf ppf "n=%d mean=%.3f min=%.3f max=%.3f (no percentile samples)" t.count
+        (t.sum /. float_of_int t.count)
+        t.vmin t.vmax
   | Some s ->
     Fmt.pf ppf "%a%s" Hf_util.Stats.pp_summary s
       (if t.dropped_samples > 0 then
@@ -147,9 +197,29 @@ let pp ppf t =
            t.dropped_samples
        else "")
 
+let json_buckets t =
+  Json.List
+    (List.map
+       (fun (i, n) ->
+         let lo, hi = bucket_bounds i in
+         Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
+       (buckets t))
+
 let to_json t =
   match summary t with
-  | None -> Json.Obj [ ("count", Json.Int 0) ]
+  | None ->
+    if t.count = 0 then Json.Obj [ ("count", Json.Int 0) ]
+    else
+      Json.Obj
+        [
+          ("count", Json.Int t.count);
+          ("sum", Json.Float t.sum);
+          ("mean", Json.Float (t.sum /. float_of_int t.count));
+          ("min", Json.Float t.vmin);
+          ("max", Json.Float t.vmax);
+          ("dropped_samples", Json.Int t.dropped_samples);
+          ("buckets", json_buckets t);
+        ]
   | Some s ->
     Json.Obj
       [
@@ -162,11 +232,5 @@ let to_json t =
         ("p90", Json.Float s.Hf_util.Stats.p90);
         ("p99", Json.Float s.Hf_util.Stats.p99);
         ("dropped_samples", Json.Int t.dropped_samples);
-        ( "buckets",
-          Json.List
-            (List.map
-               (fun (i, n) ->
-                 let lo, hi = bucket_bounds i in
-                 Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
-               (buckets t)) );
+        ("buckets", json_buckets t);
       ]

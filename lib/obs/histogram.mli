@@ -22,11 +22,36 @@ val bucket_bounds : int -> float * float
 val create : ?sample_limit:int -> unit -> t
 (** [sample_limit] bounds the percentile reservoir (default 4096). *)
 
+val of_shape :
+  ?sample_limit:int ->
+  count:int ->
+  sum:float ->
+  vmin:float ->
+  vmax:float ->
+  buckets:(int * int) list ->
+  unit ->
+  t
+(** Rebuild a histogram from its exact components — the form it takes
+    after crossing the wire in a stats report.  The result carries no
+    percentile reservoir ({!summary} returns [None]); count, sum,
+    min/max and bucket shape are exact.  Raises [Invalid_argument] on a
+    negative count, an out-of-range bucket index, or a negative bucket
+    count. *)
+
+val copy : t -> t
+(** Deep copy (a point-in-time snapshot of a live histogram). *)
+
 val observe : t -> float -> unit
 (** Raises [Invalid_argument] on NaN, mirroring [Hf_util.Stats]. *)
 
 val count : t -> int
 val sum : t -> float
+
+val vmin : t -> float
+(** Smallest observation; [+inf] when empty. *)
+
+val vmax : t -> float
+(** Largest observation; [-inf] when empty. *)
 
 val dropped_samples : t -> int
 (** Observations that arrived after the reservoir filled; bucket counts
@@ -36,11 +61,19 @@ val buckets : t -> (int * int) list
 (** Non-empty buckets as [(index, count)], ascending. *)
 
 val summary : t -> Hf_util.Stats.summary option
-(** [None] when empty.  count/mean/min/max are exact; p50/p90/p99 are
-    over the reservoir. *)
+(** [None] when empty, or when the histogram carries no reservoir
+    samples (one rebuilt by {!of_shape}, or a {!diff}).  count/mean/
+    min/max are exact; p50/p90/p99 are over the reservoir. *)
 
 val merge : t -> t -> t
 (** Fresh histogram holding both inputs' observations. *)
+
+val diff : older:t -> newer:t -> t
+(** [newer] minus [older] — for rates over two snapshots of the same
+    histogram.  Count and bucket counts subtract, clamped at zero so a
+    reset source never yields negatives; the sum subtracts, falling
+    back to [newer]'s across a reset; min/max keep [newer]'s; the
+    result has no percentile reservoir. *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Json.t

@@ -1,0 +1,90 @@
+(* Prometheus text exposition (version 0.0.4) over a registry snapshot.
+
+   The registry's dotted names ([hf.net.bytes_sent]) are not valid
+   Prometheus metric names, so every character outside
+   [[a-zA-Z0-9_:]] maps to '_' ([hf_net_bytes_sent]); a leading digit
+   gets a '_' prefix.  Label values use the exposition escapes:
+   backslash, double quote and newline.  Histograms render as the
+   standard cumulative [_bucket{le="..."}] series (upper bounds from
+   the power-of-two bucket layout, '+Inf' last) plus [_sum] and
+   [_count]. *)
+
+let name_ok c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = ':'
+
+let sanitize_name name =
+  let mapped = String.map (fun c -> if name_ok c then c else '_') name in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with
+    | '0' .. '9' -> "_" ^ mapped
+    | _ -> mapped
+
+let escape_label_value value =
+  let buf = Buffer.create (String.length value) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    value;
+  Buffer.contents buf
+
+(* Prometheus forbids NaN-free guarantees nowhere, but its text format
+   spells the IEEE specials out. *)
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let labels_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+           labels)
+    ^ "}"
+
+let render_snapshot ?(labels = []) snap =
+  let buf = Buffer.create 1024 in
+  let base = labels_string labels in
+  let line name suffix extra value =
+    Buffer.add_string buf (name ^ suffix);
+    (match (extra, labels) with
+     | [], [] -> ()
+     | extra, _ -> Buffer.add_string buf (labels_string (labels @ extra)));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (raw_name, value) ->
+      let name = sanitize_name raw_name in
+      match (value : Registry.sampled) with
+      | Registry.Counter_value n ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name base n)
+      | Registry.Gauge_value v ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name base (number v))
+      | Registry.Histogram_value h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cumulative = ref 0 in
+        List.iter
+          (fun (i, n) ->
+            cumulative := !cumulative + n;
+            let _, hi = Histogram.bucket_bounds i in
+            line name "_bucket" [ ("le", number hi) ] (string_of_int !cumulative))
+          (Histogram.buckets h);
+        line name "_bucket" [ ("le", "+Inf") ] (string_of_int (Histogram.count h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name base (number (Histogram.sum h)));
+        Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name base (Histogram.count h)))
+    snap;
+  Buffer.contents buf
+
+let render ?labels registry = render_snapshot ?labels (Registry.snapshot registry)

@@ -35,3 +35,34 @@ val find : t -> string -> value option
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Json.t
+
+(** {1 Snapshots}
+
+    Pure-data captures of a registry: counters and gauges read once,
+    histograms deep-copied.  Snapshots diff (rates between two points
+    in time), merge (cross-site aggregation) and serialize (the
+    [Stats_report] wire message and the Prometheus endpoint both render
+    from one). *)
+
+type sampled =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of Histogram.t
+
+type snapshot = (string * sampled) list
+(** Sorted by metric name. *)
+
+val snapshot : t -> snapshot
+
+val diff : older:snapshot -> newer:snapshot -> snapshot
+(** [newer] minus [older], matched by name: counters subtract (clamped
+    at zero across a reset), histograms diff bucket-wise
+    ({!Histogram.diff}), gauges keep the newer reading.  Metrics only
+    present in [newer] pass through unchanged. *)
+
+val merge_snapshots : snapshot list -> snapshot
+(** Cross-site aggregation: counters and gauges sum, histograms merge;
+    any name present on any input appears in the result. *)
+
+val snapshot_to_json : snapshot -> Json.t
+val pp_snapshot : Format.formatter -> snapshot -> unit

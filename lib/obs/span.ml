@@ -15,6 +15,7 @@ type phase =
   | Recv (* arrival of a message at an existing context *)
   | Retransmit (* the reliability layer resending an unacknowledged message *)
   | Cache (* remote-answer cache traffic: validate round trips, hits, prunes *)
+  | Wait (* time a task spent queued before a scheduler ran it *)
 
 let phase_name = function
   | Query -> "query"
@@ -26,6 +27,9 @@ let phase_name = function
   | Recv -> "recv"
   | Retransmit -> "retransmit"
   | Cache -> "cache"
+  | Wait -> "wait"
+
+let all_phases = [ Query; Eval; Ship; Flush; Credit; Drain; Recv; Retransmit; Cache; Wait ]
 
 type t = {
   id : int; (* unique within a tracer; 0 is reserved for "no span" *)

@@ -12,8 +12,12 @@ type phase =
   | Cache
       (** remote-answer cache traffic: validate round trips, hits,
           prunes. *)
+  | Wait  (** time a task spent queued before a scheduler ran it. *)
 
 val phase_name : phase -> string
+
+val all_phases : phase list
+(** Every phase, in declaration order (profile tables iterate this). *)
 
 type t = {
   id : int;  (** unique within a tracer; 0 is reserved for "no span". *)

@@ -22,6 +22,10 @@ type active = {
   mutable closed : Span.t list; (* newest first *)
   mutable closed_count : int;
   mutable dropped : int;
+  sample_rate : float; (* fraction of queries traced; 1.0 = all *)
+  sample_cutoff : int; (* rate scaled to [0, 1_000_000] for the hash test *)
+  sample_seed : int;
+  sampled_out : int Atomic.t; (* spans skipped by the sampling decision *)
   lock : Mutex.t;
 }
 
@@ -31,7 +35,10 @@ let noop = Noop
 
 let default_limit = 200_000
 
-let create ?(limit = default_limit) ?(clock = fun () -> 0.0) () =
+let create ?(limit = default_limit) ?(clock = fun () -> 0.0) ?(sample_rate = 1.0) ?(seed = 0) ()
+    =
+  if Float.is_nan sample_rate || sample_rate < 0.0 || sample_rate > 1.0 then
+    invalid_arg "Tracer.create: sample_rate must be in [0, 1]";
   Active
     {
       clock;
@@ -41,12 +48,39 @@ let create ?(limit = default_limit) ?(clock = fun () -> 0.0) () =
       closed = [];
       closed_count = 0;
       dropped = 0;
+      sample_rate;
+      sample_cutoff = int_of_float (sample_rate *. 1_000_000.0);
+      sample_seed = seed;
+      sampled_out = Atomic.make 0;
       lock = Mutex.create ();
     }
 
 let enabled = function Noop -> false | Active _ -> true
 
 let set_clock t clock = match t with Noop -> () | Active a -> a.clock <- clock
+
+let now t = match t with Noop -> 0.0 | Active a -> a.clock ()
+
+(* The sampling decision is per QUERY, not per span: a query is traced
+   in full or not at all (a partial causal tree is worse than none).
+   Hashing the rendered query id makes the decision deterministic and —
+   crucial for in-process clusters sharing one wire — identical on
+   every site holding a tracer with the same seed, so a sampled-out
+   query's spans are absent everywhere rather than half-stitched.
+
+   The decision is pure and lock-free on purpose: at sample_rate 0.1
+   it runs for ten times as many spans as are recorded, so it must cost
+   a hash and a compare, not a mutex round-trip — that difference alone
+   is most of E18's overhead budget.  [seeded_hash] hashes the string
+   in place without allocating a pair. *)
+let sampled a ~query =
+  a.sample_cutoff >= 1_000_000
+  || a.sample_cutoff > 0
+     && Hashtbl.seeded_hash a.sample_seed query mod 1_000_000 < a.sample_cutoff
+
+let sample_rate = function Noop -> 1.0 | Active a -> a.sample_rate
+
+let sampled_out = function Noop -> 0 | Active a -> Atomic.get a.sampled_out
 
 let locked a f =
   Mutex.lock a.lock;
@@ -62,6 +96,9 @@ let retain a span =
 let start t ?(parent = 0) ~query ~site ~phase name =
   match t with
   | Noop -> 0
+  | Active a when not (sampled a ~query) ->
+    Atomic.incr a.sampled_out;
+    0
   | Active a ->
     locked a (fun () ->
         let id = a.next_id in
@@ -73,9 +110,13 @@ let start t ?(parent = 0) ~query ~site ~phase name =
         Hashtbl.replace a.open_spans id span;
         id)
 
+(* [set_detail] and [finish] skip the lock entirely on id 0 — the id a
+   sampled-out [start] hands back — so the untraced 90% of queries at
+   sample_rate 0.1 pay only a branch here (E18's overhead bound). *)
 let set_detail t id detail =
   match t with
   | Noop -> ()
+  | Active _ when id = 0 -> ()
   | Active a ->
     locked a (fun () ->
         match Hashtbl.find_opt a.open_spans id with
@@ -85,6 +126,7 @@ let set_detail t id detail =
 let finish ?detail t id =
   match t with
   | Noop -> ()
+  | Active _ when id = 0 -> ()
   | Active a ->
     locked a (fun () ->
         match Hashtbl.find_opt a.open_spans id with
@@ -95,15 +137,37 @@ let finish ?detail t id =
           (match detail with Some d -> span.Span.detail <- d | None -> ());
           retain a span)
 
+(* Record a span whose interval is already over — e.g. a queue wait
+   measured by the scheduler only once the task finally runs.  The
+   caller supplies both timestamps; the tracer's clock is not
+   consulted, so retroactive spans and live spans interleave cleanly
+   under a virtual clock. *)
+let complete t ?(parent = 0) ?(detail = "") ~query ~site ~phase ~start ~finish name =
+  match t with
+  | Noop -> 0
+  | Active a when not (sampled a ~query) ->
+    Atomic.incr a.sampled_out;
+    0
+  | Active a ->
+    locked a (fun () ->
+        let id = a.next_id in
+        a.next_id <- id + 1;
+        retain a { Span.id; parent; query; site; phase; name; start; finish; detail };
+        id)
+
 let instant t ?(parent = 0) ?(detail = "") ~query ~site ~phase name =
   match t with
   | Noop -> 0
+  | Active a when not (sampled a ~query) ->
+    Atomic.incr a.sampled_out;
+    0
   | Active a ->
     locked a (fun () ->
         let id = a.next_id in
         a.next_id <- id + 1;
         let now = a.clock () in
-        retain a { Span.id; parent; query; site; phase; name; start = now; finish = now; detail };
+        retain a
+          { Span.id; parent; query; site; phase; name; start = now; finish = now; detail };
         id)
 
 let spans t =
@@ -128,7 +192,17 @@ let clear t =
         Hashtbl.reset a.open_spans;
         a.closed <- [];
         a.closed_count <- 0;
-        a.dropped <- 0)
+        a.dropped <- 0;
+        Atomic.set a.sampled_out 0)
+
+(* Surface the tracer's own health as metrics: a truncated trace
+   ([dropped] > 0) used to be visible only by noticing the Perfetto
+   file was short. *)
+let register t registry ~prefix =
+  Registry.register_counter registry (prefix ^ ".trace_spans") (fun () -> count t);
+  Registry.register_counter registry (prefix ^ ".trace_dropped") (fun () -> dropped t);
+  Registry.register_counter registry (prefix ^ ".trace_sampled_out") (fun () -> sampled_out t);
+  Registry.register_gauge registry (prefix ^ ".trace_sample_rate") (fun () -> sample_rate t)
 
 let pp ppf t =
   match t with

@@ -355,6 +355,54 @@ let read_cache_answer r : Message.cache_answer =
   in
   { oid; start; iters; passed }
 
+let write_stat_value buf (value : Message.stat_value) =
+  match value with
+  | Stat_counter n ->
+    write_u8 buf 0;
+    write_int buf n
+  | Stat_gauge v ->
+    write_u8 buf 1;
+    write_float buf v
+  | Stat_histogram { count; sum; vmin; vmax; buckets } ->
+    write_u8 buf 2;
+    write_varint buf count;
+    write_float buf sum;
+    write_float buf vmin;
+    write_float buf vmax;
+    write_list buf
+      (fun buf (i, n) ->
+        write_varint buf i;
+        write_varint buf n)
+      buckets
+
+let read_stat_value r : Message.stat_value =
+  match read_u8 r with
+  | 0 -> Stat_counter (read_int r)
+  | 1 -> Stat_gauge (read_float r)
+  | 2 ->
+    let count = read_varint r in
+    let sum = read_float r in
+    let vmin = read_float r in
+    let vmax = read_float r in
+    let buckets =
+      read_list r (fun r ->
+          let i = read_varint r in
+          let n = read_varint r in
+          (i, n))
+    in
+    Stat_histogram { count; sum; vmin; vmax; buckets }
+  | tag -> fail "unknown stat value tag %d" tag
+
+let write_stat buf ({ name; value } : Message.stat) =
+  write_string buf name;
+  write_stat_value buf value
+
+let read_stat r : Message.stat =
+  let name = read_string r in
+  if String.length name = 0 then fail "empty stat name";
+  let value = read_stat_value r in
+  { name; value }
+
 let write_message buf message =
   match (message : Message.t) with
   | Deref_request { query; body; oid; start; iters; credit } ->
@@ -415,6 +463,15 @@ let write_message buf message =
     write_u8 buf 9;
     write_query_id buf query;
     write_varint buf src
+  | Stats_pull { src; token } ->
+    write_u8 buf 10;
+    write_varint buf src;
+    write_varint buf token
+  | Stats_report { src; token; stats } ->
+    write_u8 buf 11;
+    write_varint buf src;
+    write_varint buf token;
+    write_list buf write_stat stats
 
 let read_message r : Message.t =
   match read_u8 r with
@@ -476,6 +533,15 @@ let read_message r : Message.t =
     let query = read_query_id r in
     let src = read_varint r in
     Query_done { query; src }
+  | 10 ->
+    let src = read_varint r in
+    let token = read_varint r in
+    Stats_pull { src; token }
+  | 11 ->
+    let src = read_varint r in
+    let token = read_varint r in
+    let stats = read_list r read_stat in
+    Stats_report { src; token; stats }
   | tag -> fail "unknown message tag %d" tag
 
 (* A traced message is wrapped in an envelope: tag 127 (unused by any

@@ -77,3 +77,6 @@ val read_filter : reader -> Hf_query.Filter.t
 
 val write_program : writer -> Hf_query.Program.t -> unit
 val read_program : reader -> Hf_query.Program.t
+
+val write_stat : writer -> Message.stat -> unit
+val read_stat : reader -> Message.stat

@@ -76,6 +76,26 @@ type cache_answer = {
   passed : bool;
 }
 
+(* Cluster-wide stats scraping (DESIGN.md §4i).  Any site can ask a
+   peer for a snapshot of its metrics registry; the reply carries the
+   values as pure data — counters, gauges, and histograms reduced to
+   their exact shape (no percentile reservoir crosses the wire).
+   Credit-free and loss-tolerant like the cache messages: a dropped
+   pull or report costs one stale scrape, never correctness. *)
+
+type stat_value =
+  | Stat_counter of int
+  | Stat_gauge of float
+  | Stat_histogram of {
+      count : int;
+      sum : float;
+      vmin : float;
+      vmax : float;
+      buckets : (int * int) list; (* (bucket index, count), ascending *)
+    }
+
+type stat = { name : string; value : stat_value }
+
 type t =
   | Deref_request of deref_request
   | Work_batch of batch_group list
@@ -116,6 +136,14 @@ type t =
          evict the query's context and drop any still-parked items.
          Control plane — no credit, no termination effect; a loss only
          delays the eviction until the receiver's tombstone ages out. *)
+  | Stats_pull of { src : int; token : int }
+      (* "snapshot your registry for me."  [token] matches the reply to
+         the request (a puller waiting on a fresh scrape ignores stale
+         reports).  Belongs to no query — like Link_ack, pure control
+         plane. *)
+  | Stats_report of { src : int; token : int; stats : stat list }
+      (* the answering site's registry snapshot; [token] echoes the
+         pull's (0 for an unsolicited/periodic push). *)
 
 let query_of = function
   | Deref_request { query; _ } -> query
@@ -129,6 +157,8 @@ let query_of = function
   | Cache_version { query; _ } -> query
   | Cache_answers { query; _ } -> query
   | Query_done { query; _ } -> query
+  | Stats_pull _ -> invalid_arg "Message.query_of: Stats_pull carries no query"
+  | Stats_report _ -> invalid_arg "Message.query_of: Stats_report carries no query"
 
 let pp ppf = function
   | Deref_request { query; oid; start; iters; _ } ->
@@ -158,6 +188,9 @@ let pp ppf = function
     Fmt.pf ppf "cache-answers[%a] src=%d v=%d %d answer(s)" pp_query_id query src version
       (List.length answers)
   | Query_done { query; src } -> Fmt.pf ppf "query-done[%a] src=%d" pp_query_id query src
+  | Stats_pull { src; token } -> Fmt.pf ppf "stats-pull src=%d token=%d" src token
+  | Stats_report { src; token; stats } ->
+    Fmt.pf ppf "stats-report src=%d token=%d %d metric(s)" src token (List.length stats)
 
 let equal_cache_answer (x : cache_answer) (y : cache_answer) =
   Hf_data.Oid.equal x.oid y.oid
@@ -178,6 +211,21 @@ let equal_batch_group (x : batch_group) (y : batch_group) =
   && List.length x.items = List.length y.items
   && List.for_all2 equal_batch_item x.items y.items
   && x.credit = y.credit
+
+let equal_stat_value (x : stat_value) (y : stat_value) =
+  match x, y with
+  | Stat_counter m, Stat_counter n -> m = n
+  | Stat_gauge a, Stat_gauge b -> Float.equal a b (* NaN-safe: gauges may carry NaN *)
+  | Stat_histogram a, Stat_histogram b ->
+    a.count = b.count
+    && Float.equal a.sum b.sum
+    && Float.equal a.vmin b.vmin
+    && Float.equal a.vmax b.vmax
+    && a.buckets = b.buckets
+  | (Stat_counter _ | Stat_gauge _ | Stat_histogram _), _ -> false
+
+let equal_stat (x : stat) (y : stat) =
+  String.equal x.name y.name && equal_stat_value x.value y.value
 
 let equal a b =
   match a, b with
@@ -224,7 +272,13 @@ let equal a b =
     && List.length x.answers = List.length y.answers
     && List.for_all2 equal_cache_answer x.answers y.answers
   | Query_done x, Query_done y -> equal_query_id x.query y.query && x.src = y.src
+  | Stats_pull x, Stats_pull y -> x.src = y.src && x.token = y.token
+  | Stats_report x, Stats_report y ->
+    x.src = y.src
+    && x.token = y.token
+    && List.length x.stats = List.length y.stats
+    && List.for_all2 equal_stat x.stats y.stats
   | (Deref_request _ | Work_batch _ | Result _ | Credit_return _ | Link_ack
     | Site_unreachable _ | Cache_validate _ | Cache_version _ | Cache_answers _
-    | Query_done _), _ ->
+    | Query_done _ | Stats_pull _ | Stats_report _), _ ->
     false

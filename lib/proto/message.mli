@@ -61,6 +61,22 @@ type cache_answer = {
 (** One memoizable verdict: the named work item, evaluated at the
     answering site, passed or failed (DESIGN.md §4g). *)
 
+type stat_value =
+  | Stat_counter of int
+  | Stat_gauge of float
+  | Stat_histogram of {
+      count : int;
+      sum : float;
+      vmin : float;
+      vmax : float;
+      buckets : (int * int) list;  (** (bucket index, count), ascending. *)
+    }
+(** One metric value as pure wire data (DESIGN.md §4i).  Histograms
+    ship their exact shape — count/sum/min/max and bucket counts — but
+    never the percentile reservoir. *)
+
+type stat = { name : string; value : stat_value }
+
 type t =
   | Deref_request of deref_request
   | Work_batch of batch_group list
@@ -103,15 +119,26 @@ type t =
           items.  Control plane: no credit, no termination effect — by
           the time it is sent the detector has already converged, so a
           loss merely delays the eviction. *)
+  | Stats_pull of { src : int; token : int }
+      (** "snapshot your registry for me."  [token] matches the reply
+          to the request.  Belongs to no query — pure control plane,
+          credit-free and loss-tolerant: a dropped pull costs one stale
+          scrape, never correctness. *)
+  | Stats_report of { src : int; token : int; stats : stat list }
+      (** the answering site's registry snapshot; [token] echoes the
+          pull's (0 for an unsolicited periodic push). *)
 
 val equal_batch_item : batch_item -> batch_item -> bool
 val equal_batch_group : batch_group -> batch_group -> bool
 val equal_cache_answer : cache_answer -> cache_answer -> bool
+val equal_stat_value : stat_value -> stat_value -> bool
+val equal_stat : stat -> stat -> bool
 
 val query_of : t -> query_id
 (** For [Work_batch] this is the first group's query (the query the
     message is charged to).  Raises [Invalid_argument] on an empty
-    batch or on [Link_ack], which belongs to a link, not a query. *)
+    batch and on [Link_ack], [Stats_pull] and [Stats_report], which
+    belong to a link or the site, not a query. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

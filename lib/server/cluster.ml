@@ -107,6 +107,9 @@ type outcome = {
       (* peers the reliability layer gave up on; non-empty + terminated
          means the answer is explicitly partial rather than hung *)
   response_time : float; (* virtual seconds from issue to detected termination *)
+  queue_wait_s : float;
+      (* virtual seconds the submission waited at the admission gate
+         before seeding; 0 when admission was immediate *)
   metrics : Metrics.t;
   engine_stats : Hf_engine.Stats.t; (* merged over sites *)
 }
@@ -162,6 +165,8 @@ module Make (D : Hf_termination.Detector.S) = struct
     mutable admitted : bool;
         (* past the admission gate; false while queued behind the
            in-flight cap (and forever for rejected/cancelled-queued) *)
+    mutable queue_wait_s : float;
+        (* time spent queued at the admission gate before seeding *)
     mutable cancelled : bool;
         (* cancelled by the caller: contexts evicted, late messages
            dropped, detector state discarded *)
@@ -301,6 +306,11 @@ module Make (D : Hf_termination.Detector.S) = struct
     registry : Hf_obs.Registry.t; (* cluster-wide metrics *)
     work_batch_items : Hf_obs.Histogram.t; (* items per shipped work message *)
     ack_latency : Hf_obs.Histogram.t; (* seconds from first send to cumulative ack *)
+    queue_wait : Hf_obs.Histogram.t;
+        (* virtual seconds a task spends in a site's run queue before
+           the serial CPU starts it — the queueing half of response
+           time, previously dark (DESIGN.md §4i) *)
+    admission_wait : Hf_obs.Histogram.t; (* submit-to-seed gate wait, virtual s *)
     mutable standalone_acks : int; (* acks that found no reverse traffic to ride *)
     mutable total_retransmits : int;
     mutable total_dup_drops : int;
@@ -354,6 +364,8 @@ module Make (D : Hf_termination.Detector.S) = struct
     let registry = Hf_obs.Registry.create () in
     let work_batch_items = Hf_obs.Registry.histogram registry "hf.server.work_batch_items" in
     let ack_latency = Hf_obs.Registry.histogram registry "hf.server.ack_latency_s" in
+    let queue_wait = Hf_obs.Registry.histogram registry "hf.server.queue_wait_s" in
+    let admission_wait = Hf_obs.Registry.histogram registry "hf.server.admission_wait_s" in
     let t =
       {
         sim;
@@ -365,6 +377,8 @@ module Make (D : Hf_termination.Detector.S) = struct
         registry;
         work_batch_items;
         ack_latency;
+        queue_wait;
+        admission_wait;
         standalone_acks = 0;
         total_retransmits = 0;
         total_dup_drops = 0;
@@ -380,6 +394,36 @@ module Make (D : Hf_termination.Detector.S) = struct
         t.total_retransmits);
     Hf_obs.Registry.register_counter registry "hf.server.dup_drops" (fun () ->
         t.total_dup_drops);
+    (* Live gauges over the scheduler's previously-dark state
+       (DESIGN.md §4i): run-queue depth and tenancy, admission gate
+       occupancy, context and cache population.  The sim is
+       single-threaded, so plain reads are consistent. *)
+    Hf_obs.Registry.register_gauge registry "hf.server.tasks_queued" (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc site -> acc + Sched.Rr.length site.tasks) 0 t.sites));
+    Hf_obs.Registry.register_gauge registry "hf.server.task_tenants" (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc site -> acc + Sched.Rr.tenants site.tasks) 0 t.sites));
+    Hf_obs.Registry.register_gauge registry "hf.server.queries_running" (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc gate -> acc + Sched.running gate) 0 t.gates));
+    Hf_obs.Registry.register_gauge registry "hf.server.queries_queued" (fun () ->
+        float_of_int (Array.fold_left (fun acc gate -> acc + Sched.queued gate) 0 t.gates));
+    Hf_obs.Registry.register_gauge registry "hf.server.sched_tenants" (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc gate -> acc + Sched.waiting_tenants gate) 0 t.gates));
+    Hf_obs.Registry.register_gauge registry "hf.server.contexts_live" (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc site -> acc + Hashtbl.length site.contexts) 0 t.sites));
+    Hf_obs.Registry.register_gauge registry "hf.server.cache_entries" (fun () ->
+        float_of_int
+          (Array.fold_left
+             (fun acc site ->
+               match site.cache with
+               | None -> acc
+               | Some cache -> acc + Hf_index.Remote_cache.length cache)
+             0 t.sites));
+    Hf_obs.Tracer.register tracer registry ~prefix:"hf.server";
     t
 
   let n_sites t = Array.length t.sites
@@ -656,6 +700,12 @@ module Make (D : Hf_termination.Detector.S) = struct
      multi-tenant notion); the site CPU round-robins across tenants so
      one origin's burst cannot starve another's queries. *)
   and enqueue t site ~tenant task =
+    let queued_at = Hf_sim.Sim.now t.sim in
+    let task () =
+      (* run-queue wait: how long the serial CPU left this task parked *)
+      Hf_obs.Histogram.observe t.queue_wait (Hf_sim.Sim.now t.sim -. queued_at);
+      task ()
+    in
     Sched.Rr.push site.tasks ~tenant task;
     pump t site
 
@@ -1707,6 +1757,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         unreachable_sites = [];
         finish_time = Hf_sim.Sim.now t.sim;
         admitted = false;
+        queue_wait_s = 0.0;
         cancelled = false;
         captured = None;
       }
@@ -1750,6 +1801,7 @@ module Make (D : Hf_termination.Detector.S) = struct
       response_time =
         (if oq.terminated then oq.finish_time -. oq.start_time
          else Hf_sim.Sim.now t.sim -. oq.start_time);
+      queue_wait_s = oq.queue_wait_s;
       metrics = oq.metrics;
       engine_stats =
         (match oq.captured with
@@ -1769,7 +1821,20 @@ module Make (D : Hf_termination.Detector.S) = struct
     if origin < 0 || origin >= n_sites t then invalid_arg "Cluster.submit: bad origin";
     let oq = open_query t ~origin program in
     let origin_site = t.sites.(origin) in
-    let seed () = seed_query t oq origin_site initial in
+    let seed () =
+      (* virtual time spent held at the admission gate; recorded as a
+         retroactive Wait span so profiles separate queueing from work *)
+      let now = Hf_sim.Sim.now t.sim in
+      let wait = Float.max 0.0 (now -. oq.start_time) in
+      oq.queue_wait_s <- wait;
+      Hf_obs.Histogram.observe t.admission_wait wait;
+      if wait > 0.0 then
+        ignore
+          (Hf_obs.Tracer.complete t.tracer ~parent:oq.span ~query:(qname oq.id)
+             ~site:origin ~phase:Hf_obs.Span.Wait ~start:oq.start_time ~finish:now
+             "admission-wait");
+      seed_query t oq origin_site initial
+    in
     (match Sched.admit t.gates.(origin) ~tenant:origin (oq.id, seed) with
      | Sched.Run ->
        oq.admitted <- true;
@@ -1837,6 +1902,37 @@ module Make (D : Hf_termination.Detector.S) = struct
   let await_quiescence t = Hf_sim.Sim.run t.sim
 
   let outcome t handle = outcome_of t handle
+
+  (* EXPLAIN ANALYZE (DESIGN.md §4i): fold the tracer's spans for this
+     query into a per-site phase/rounds breakdown, with the engine's own
+     per-query counters pinned alongside as scalars.  The scalars come
+     from [Metrics], not from the spans — the differential tests check
+     the two accounts agree. *)
+  let profile ?spans t (handle : handle) =
+    let o = outcome_of t handle in
+    (* [?spans] lets a monitoring loop profiling many handles fetch (and
+       sort) the tracer's spans once instead of per handle *)
+    let spans =
+      match spans with Some s -> s | None -> Hf_obs.Tracer.spans t.tracer
+    in
+    let m = o.metrics in
+    Hf_obs.Profile.of_spans ~query:(qname handle.id)
+      ~scalars:
+        [
+          ("messages", Hf_obs.Profile.Int (Metrics.total_messages m));
+          ("bytes", Hf_obs.Profile.Int (Metrics.total_bytes m));
+          ("work_messages", Hf_obs.Profile.Int m.Metrics.work_messages);
+          ("work_items", Hf_obs.Profile.Int m.Metrics.work_items);
+          ("results", Hf_obs.Profile.Int (List.length o.results));
+          ("busy_total_s", Hf_obs.Profile.Float (Metrics.total_busy m));
+          ("queue_wait_s", Hf_obs.Profile.Float o.queue_wait_s);
+          ("response_time_s", Hf_obs.Profile.Float o.response_time);
+          ("cache_hits", Hf_obs.Profile.Int m.Metrics.cache_hits);
+          ("cache_prunes", Hf_obs.Profile.Int m.Metrics.cache_prunes);
+          ("retransmits", Hf_obs.Profile.Int m.Metrics.retransmits);
+        ]
+      ~dropped:(Hf_obs.Tracer.dropped t.tracer)
+      spans
 
   let query_id (handle : handle) = handle.id
 

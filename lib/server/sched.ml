@@ -147,3 +147,5 @@ let cancel_queued t p = Rr.remove t.waiting p
 let running t = t.running
 
 let queued t = Rr.length t.waiting
+
+let waiting_tenants t = Rr.tenants t.waiting

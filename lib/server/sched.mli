@@ -98,3 +98,8 @@ val cancel_queued : 'a t -> ('a -> bool) -> 'a option
 val running : 'a t -> int
 
 val queued : 'a t -> int
+
+val waiting_tenants : 'a t -> int
+(** Distinct tenants with at least one queued job — the fairness gauge:
+    queue depth alone cannot tell one flooding origin from many starved
+    ones. *)

@@ -1,0 +1,27 @@
+(* hfcheck fixture for R3 in gauge-closure position.  The §4i registry
+   reads guarded scheduler state through thunks registered at create
+   time and called much later, from whatever thread scrapes the
+   metrics.  Deferring the read into a closure does not launder the
+   access: a thunk that touches a guarded field without taking the
+   lock first is still a race. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable queued : int; [@hf.guarded_by "locked"]
+  mutable running : int; [@hf.guarded_by "locked"]
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* the registry's registration shape: store a thunk, read it later *)
+let gauges : (unit -> int) list ref = ref []
+
+let register read = gauges := read :: !gauges
+
+let good_gauge t = register (fun () -> locked t (fun () -> t.queued + t.running))
+
+let bad_gauge t = register (fun () -> t.queued) (* line 25: unlocked thunk *)
+
+let bad_gauge_sum t = register (fun () -> t.queued + t.running) (* line 27: two reads *)

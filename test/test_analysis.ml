@@ -90,6 +90,16 @@ let test_guarded_by_two_locks () =
   (* line 24 is an increment: both the read and the write are flagged *)
   Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
 
+let test_guarded_by_gauge_closures () =
+  (* The §4i registry reads Sched state through thunks registered once
+     and called at scrape time: R3 must see through the closure — an
+     unlocked read deferred into a thunk is still unlocked — while a
+     thunk that takes the lock inside stays clean. *)
+  let report = analyze "Bad_r3_gauge" in
+  Alcotest.check int_list "guarded-by lines" [ 25; 27 ] (lines "guarded-by" report);
+  (* line 27 reads both guarded fields *)
+  Alcotest.(check int) "three findings" 3 (List.length report.A.Driver.findings)
+
 let test_swallow () =
   let report = analyze "Bad_r4" in
   Alcotest.check int_list "swallow lines" [ 3; 5 ] (lines "swallow" report);
@@ -177,6 +187,8 @@ let () =
           Alcotest.test_case "guarded-by fixture" `Quick test_guarded_by;
           Alcotest.test_case "guarded-by: two locks (scheduler)" `Quick
             test_guarded_by_two_locks;
+          Alcotest.test_case "guarded-by: gauge closures (registry)" `Quick
+            test_guarded_by_gauge_closures;
           Alcotest.test_case "swallow fixture" `Quick test_swallow;
           Alcotest.test_case "io fixture" `Quick test_io;
           Alcotest.test_case "io scoped to lib/" `Quick test_io_scoped_out;

@@ -256,6 +256,161 @@ let test_many_queries_stress () =
         check_int "stable" 4 (List.length outcome.Tcp.results)
       done)
 
+(* --- cluster-wide stats and profiles (DESIGN.md §4i) --- *)
+
+(* [with_sites] plus the observability knobs. *)
+let with_obs_sites ?tracer ?stats_period ?monitor_port n f =
+  let sites =
+    Array.init n (fun site -> Tcp.create ~site ?tracer ?stats_period ?monitor_port ())
+  in
+  let addresses = Array.map Tcp.address sites in
+  Array.iter (fun site -> Tcp.set_peers site addresses) sites;
+  Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* Acceptance: a [Stats_pull] broadcast from one site of a 3-site TCP
+   cluster returns every peer's registry — including the gauges over
+   previously-dark state (admission gate, reliable links, answer
+   cache) — and the merged cluster view sums counters site-exactly. *)
+let test_stats_pull_three_sites () =
+  with_sites 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      let (_ : Tcp.outcome) = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      let stats = Tcp.pull_stats sites.(0) in
+      Alcotest.(check (list int)) "every site reports, ascending" [ 0; 1; 2 ]
+        (List.map fst stats);
+      let counter snap name =
+        match List.assoc_opt name snap with
+        | Some (Hf_obs.Registry.Counter_value n) -> n
+        | Some _ -> Alcotest.failf "%s is not a counter" name
+        | None -> Alcotest.failf "%s missing from a report" name
+      in
+      List.iter
+        (fun (site, snap) ->
+          List.iter
+            (fun name ->
+              match List.assoc_opt name snap with
+              | Some (Hf_obs.Registry.Gauge_value _) -> ()
+              | Some _ -> Alcotest.failf "site %d: %s is not a gauge" site name
+              | None -> Alcotest.failf "site %d: %s missing from the report" site name)
+            [
+              "hf.net.sched_tenants";
+              "hf.net.link_in_flight";
+              "hf.net.link_ack_backlog";
+              "hf.net.cache_entries";
+              "hf.net.trace_sample_rate";
+            ];
+          (match List.assoc_opt "hf.net.admission_wait_s" snap with
+           | Some (Hf_obs.Registry.Histogram_value _) -> ()
+           | _ -> Alcotest.failf "site %d: admission_wait_s histogram missing" site);
+          ignore (counter snap "hf.net.messages_sent"))
+        stats;
+      (* the ring query crossed the network, so some peer's own counter
+         says so — proof the numbers are the peers', not defaults *)
+      let per_site = List.map (fun (_, snap) -> counter snap "hf.net.messages_sent") stats in
+      check_bool "query traffic visible in the reports" true
+        (List.exists (fun n -> n > 0) per_site);
+      (* merging the pulled snapshots sums counters exactly *)
+      let merged = Hf_obs.Registry.merge_snapshots (List.map snd stats) in
+      check_int "merged counter = sum over sites"
+        (List.fold_left ( + ) 0 per_site)
+        (counter merged "hf.net.messages_sent"))
+
+(* The [stats_period] ticker keeps [known_peer_stats] warm without a
+   client pulling. *)
+let test_periodic_scrape_warms_peer_stats () =
+  with_obs_sites ~stats_period:0.05 3 (fun sites ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        let known = Tcp.known_peer_stats sites.(0) in
+        if List.length known >= 2 || Unix.gettimeofday () > deadline then known
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+      in
+      let known = wait () in
+      Alcotest.(check (list int)) "both peers scraped" [ 1; 2 ] (List.map fst known);
+      List.iter
+        (fun (site, snap) ->
+          check_bool (Printf.sprintf "site %d snapshot non-empty" site) true (snap <> []))
+        known)
+
+(* The always-on monitoring surface: connect to the monitor port, read
+   to EOF, get this site's registry as Prometheus text. *)
+let test_monitor_surface () =
+  with_obs_sites ~monitor_port:0 1 (fun sites ->
+      let oids = load_ring sites 6 in
+      let (_ : Tcp.outcome) = Tcp.run_query sites.(0) closure [ oids.(0) ] in
+      match Tcp.monitor_address sites.(0) with
+      | None -> Alcotest.fail "monitor_port 0 should bind an ephemeral port"
+      | Some addr ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect sock addr;
+              let buf = Buffer.create 4096 in
+              let chunk = Bytes.create 4096 in
+              let rec drain () =
+                let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+                if n > 0 then begin
+                  Buffer.add_subbytes buf chunk 0 n;
+                  drain ()
+                end
+              in
+              (try drain () with End_of_file -> ());
+              Buffer.contents buf)
+        in
+        check_bool "TYPE line for the message counter" true
+          (contains text "# TYPE hf_net_messages_sent counter");
+        check_bool "series carry the site label" true (contains text "site=\"0\"");
+        check_bool "sched gauge exposed" true (contains text "hf_net_sched_tenants");
+        check_bool "admission-wait histogram exposed" true
+          (contains text "hf_net_admission_wait_s_bucket"))
+
+(* EXPLAIN ANALYZE over real sockets: the profile's scalars are the
+   outcome's exact per-query counters, and the span-derived view is
+   structurally consistent with it (TCP mirror of test_server's sim
+   reconciliation differential). *)
+let test_profile_reconciles_over_tcp () =
+  let tracer = Hf_obs.Tracer.create ~clock:Unix.gettimeofday () in
+  with_obs_sites ~tracer 3 (fun sites ->
+      let oids = load_ring sites 12 in
+      let handle = Tcp.submit_query sites.(0) closure [ oids.(0) ] in
+      let outcome = Tcp.await sites.(0) handle in
+      check_bool "terminated" true outcome.Tcp.terminated;
+      let module P = Hf_obs.Profile in
+      let p = Tcp.profile sites.(0) handle outcome in
+      let scalar name =
+        match P.scalar_int p name with
+        | Some n -> n
+        | None -> Alcotest.failf "scalar %s missing" name
+      in
+      check_int "messages scalar = outcome" outcome.Tcp.messages_sent (scalar "messages_sent");
+      check_int "bytes scalar = outcome" outcome.Tcp.bytes_sent (scalar "bytes_sent");
+      check_int "results scalar = outcome" (List.length outcome.Tcp.results) (scalar "results");
+      (match P.scalar_float p "response_time_s" with
+       | Some rt ->
+         Alcotest.(check (float 1e-9)) "response time pinned" outcome.Tcp.response_time rt
+       | None -> Alcotest.fail "response_time_s scalar missing");
+      (* the root Query span opens inside submit and closes inside
+         await, so its duration brackets the measured response time —
+         real clocks, so a coarse envelope rather than the sim's exact
+         tie *)
+      check_bool "span total brackets the response time" true
+        (p.P.total_s > 0.0 && Float.abs (p.P.total_s -. outcome.Tcp.response_time) < 0.5);
+      check_bool "cross-site rounds observed" true (p.P.rounds >= 1);
+      check_int "all three sites appear" 3 (List.length p.P.sites);
+      check_bool "some site shipped work" true
+        (List.exists (fun r -> r.P.ships > 0) p.P.sites);
+      check_int "no dropped spans" 0 p.P.dropped_spans)
+
 let () =
   Alcotest.run "hf_net"
     [
@@ -277,5 +432,15 @@ let () =
             test_batched_matches_local_engine;
           Alcotest.test_case "repeated queries" `Quick test_many_queries_stress;
           QCheck_alcotest.to_alcotest prop_tcp_matches_local;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats pull across three sites" `Quick test_stats_pull_three_sites;
+          Alcotest.test_case "periodic scrape warms peer stats" `Quick
+            test_periodic_scrape_warms_peer_stats;
+          Alcotest.test_case "monitor surface serves Prometheus text" `Quick
+            test_monitor_surface;
+          Alcotest.test_case "profile reconciles with outcome" `Quick
+            test_profile_reconciles_over_tcp;
         ] );
     ]

@@ -135,6 +135,60 @@ let test_roundtrip_query_done () =
   check_bool "query done" true
     (roundtrip (Message.Query_done { query = { Message.originator = 3; serial = 21 }; src = 3 }))
 
+(* --- stats messages (DESIGN.md §4i): credit-free control plane ------- *)
+
+let sample_stats_report =
+  Message.Stats_report
+    {
+      src = 2;
+      token = 9;
+      stats =
+        [
+          { Message.name = "hf.server.work_messages"; value = Message.Stat_counter 41 };
+          { Message.name = "hf.server.queries_running"; value = Message.Stat_gauge 2.5 };
+          { Message.name = "hf.server.queue_wait_s";
+            value =
+              Message.Stat_histogram
+                { count = 5; sum = 1.25; vmin = 0.01; vmax = 0.9; buckets = [ (3, 2); (7, 3) ] };
+          };
+        ];
+    }
+
+let test_roundtrip_stats () =
+  check_bool "stats pull" true (roundtrip (Message.Stats_pull { src = 4; token = 123 }));
+  check_bool "stats report" true (roundtrip sample_stats_report);
+  (* an empty snapshot is legal: a site can answer before registering
+     anything *)
+  check_bool "empty report" true
+    (roundtrip (Message.Stats_report { src = 0; token = 0; stats = [] }))
+
+let test_stats_under_envelopes () =
+  (* stats ride the same wire as query traffic, so they must compose
+     with the traced and reliability envelopes like any other message *)
+  let rel = { Codec.src = 1; seq = 7; ack = 6 } in
+  let encoded = Codec.encode ~span:33 ~rel sample_stats_report in
+  (match Codec.decode_enveloped encoded with
+  | Ok (m, span, Some got) ->
+      check_bool "message" true (Message.equal sample_stats_report m);
+      check_int "span" 33 span;
+      check_int "seq" 7 got.Codec.seq
+  | Ok _ -> Alcotest.fail "envelope lost"
+  | Error e -> Alcotest.fail e);
+  match Codec.decode (Codec.encode ~span:5 (Message.Stats_pull { src = 4; token = 1 })) with
+  | Ok m -> check_bool "pull under traced envelope" true (Message.equal m (Message.Stats_pull { src = 4; token = 1 }))
+  | Error e -> Alcotest.fail e
+
+let test_stats_carry_no_query () =
+  (* pure control plane: charging one to a query is a programming error *)
+  check_bool "stats_pull has no query" true
+    (match Message.query_of (Message.Stats_pull { src = 0; token = 0 }) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "stats_report has no query" true
+    (match Message.query_of sample_stats_report with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_cache_answers_empty_rejected () =
   (* An empty answer list must not encode... *)
   (try
@@ -451,6 +505,39 @@ let gen_message =
         (let* query = gen_query_id in
          let* src = int_range 0 15 in
          return (Message.Query_done { query; src }));
+        (let* src = int_range 0 15 in
+         let* token = int_range 0 10_000 in
+         return (Message.Stats_pull { src; token }));
+        (let gen_stat_value =
+           oneof
+             [
+               map (fun n -> Message.Stat_counter n) (int_range 0 1_000_000);
+               map (fun g -> Message.Stat_gauge g) (float_range (-1000.0) 1000.0);
+               (let* count = int_range 0 500 in
+                let* sum = float_range 0.0 1000.0 in
+                let* vmin = float_range 0.0 10.0 in
+                let* vmax = float_range 10.0 1000.0 in
+                let* buckets =
+                  map
+                    (fun cells ->
+                      (* canonical wire shape: ascending unique indices *)
+                      List.sort_uniq (fun (i, _) (j, _) -> Int.compare i j) cells)
+                    (list_size (int_range 0 5) (pair (int_range 0 40) (int_range 1 50)))
+                in
+                return (Message.Stat_histogram { count; sum; vmin; vmax; buckets }));
+             ]
+         in
+         let gen_stat =
+           let* name =
+             map (fun s -> "hf.t." ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+           in
+           let* value = gen_stat_value in
+           return { Message.name; value }
+         in
+         let* src = int_range 0 15 in
+         let* token = int_range 0 10_000 in
+         let* stats = list_size (int_range 0 5) gen_stat in
+         return (Message.Stats_report { src; token; stats }));
       ])
 
 let prop_message_roundtrip =
@@ -717,6 +804,9 @@ let () =
           Alcotest.test_case "cache-version round-trip" `Quick test_roundtrip_cache_version;
           Alcotest.test_case "cache-answers round-trip" `Quick test_roundtrip_cache_answers;
           Alcotest.test_case "query-done round-trip" `Quick test_roundtrip_query_done;
+          Alcotest.test_case "stats round-trips" `Quick test_roundtrip_stats;
+          Alcotest.test_case "stats under both envelopes" `Quick test_stats_under_envelopes;
+          Alcotest.test_case "stats carry no query" `Quick test_stats_carry_no_query;
           Alcotest.test_case "empty cache answers rejected" `Quick
             test_cache_answers_empty_rejected;
           Alcotest.test_case "reliability envelope round-trip" `Quick test_envelope_roundtrip;

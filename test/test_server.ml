@@ -750,6 +750,77 @@ let test_drop_metrics () =
 
 let qtest t = QCheck_alcotest.to_alcotest t
 
+(* --- EXPLAIN ANALYZE reconciliation (DESIGN.md Â§4i) ---------------------
+
+   The profile is two views of one query: span-derived time (where did
+   it go) and engine-attributed counters (what did it cost).  Where the
+   views overlap they must agree exactly, on every termination engine. *)
+
+module Profile_reconciliation (D : Hf_termination.Detector.S) = struct
+  module C = Hf_server.Cluster.Make (D)
+  module L = Load (C)
+  module M = Hf_server.Metrics
+  module P = Hf_obs.Profile
+
+  let run () =
+    let ds = ring_dataset ~n:12 ~n_sites:3 in
+    let tracer = Hf_obs.Tracer.create () in
+    let cluster = C.create ~tracer ~n_sites:3 () in
+    let oids = L.load cluster ds in
+    let handle =
+      C.submit cluster ~origin:0 (Hf_query.Compile.compile closure_query) [ oids.(0) ]
+    in
+    C.await_quiescence cluster;
+    let o = C.outcome cluster handle in
+    check_bool "terminated" true o.Cluster.terminated;
+    let p = C.profile cluster handle in
+    let m = o.Cluster.metrics in
+    (* the engine scalars pinned into the profile are the outcome's own *)
+    check_bool "messages" true (P.scalar_int p "messages" = Some (M.total_messages m));
+    check_bool "bytes" true (P.scalar_int p "bytes" = Some (M.total_bytes m));
+    check_bool "work_messages" true (P.scalar_int p "work_messages" = Some m.M.work_messages);
+    check_bool "work_items" true (P.scalar_int p "work_items" = Some m.M.work_items);
+    check_bool "results" true (P.scalar_int p "results" = Some (List.length o.Cluster.results));
+    (match P.scalar_float p "response_time_s" with
+    | Some rt -> Alcotest.(check (float 1e-9)) "response_time scalar" o.Cluster.response_time rt
+    | None -> Alcotest.fail "response_time_s scalar missing");
+    (match P.scalar_float p "busy_total_s" with
+    | Some b -> Alcotest.(check (float 1e-9)) "busy scalar" (M.total_busy m) b
+    | None -> Alcotest.fail "busy_total_s scalar missing");
+    (* the differential core: the root Query span's duration — a
+       span-derived quantity — equals the engine's own response-time
+       accounting, to the last bit of float *)
+    Alcotest.(check (float 1e-9)) "profile total = response time" o.Cluster.response_time
+      p.P.total_s;
+    (* span-side internal consistency: site residency fits inside the
+       query, and each row's busy/wait equal its phase entries *)
+    List.iter
+      (fun (r : P.site_row) ->
+        check_bool "site residency within the query" true (r.P.busy_s <= p.P.total_s +. 1e-9);
+        let phase ph =
+          match List.find_opt (fun (q, _, _) -> q = ph) r.P.phases with
+          | Some (_, secs, _) -> secs
+          | None -> 0.0
+        in
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "site %d busy = Eval phase" r.P.site)
+          (phase Hf_obs.Span.Eval) r.P.busy_s;
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "site %d wait = Wait phase" r.P.site)
+          (phase Hf_obs.Span.Wait) r.P.wait_s)
+      p.P.sites;
+    check_int "nothing dropped" 0 p.P.dropped_spans;
+    (* the ring alternates sites, so the query ships and rounds nest *)
+    check_bool "at least one ship round" true (p.P.rounds >= 1);
+    check_int "every site appears" 3 (List.length p.P.sites);
+    check_bool "ships recorded" true
+      (List.exists (fun (r : P.site_row) -> r.P.ships > 0) p.P.sites)
+end
+
+module Weighted_profile = Profile_reconciliation (Hf_termination.Weighted)
+module Ds_profile = Profile_reconciliation (Hf_termination.Dijkstra_scholten)
+module Fc_profile = Profile_reconciliation (Hf_termination.Four_counter)
+
 let () =
   Alcotest.run "hf_server"
     [
@@ -773,6 +844,12 @@ let () =
             test_object_mobility_with_name_service;
           Alcotest.test_case "concurrent queries" `Quick test_concurrent_queries;
           Alcotest.test_case "forget query" `Quick test_forget_query;
+        ] );
+      ( "profile reconciliation",
+        [
+          Alcotest.test_case "weighted engine" `Quick Weighted_profile.run;
+          Alcotest.test_case "dijkstra-scholten engine" `Quick Ds_profile.run;
+          Alcotest.test_case "four-counter engine" `Quick Fc_profile.run;
         ] );
       ( "failure injection",
         [
