@@ -16,7 +16,32 @@ let scope_of_prefixes prefixes source =
       && String.sub source 0 (String.length prefix) = prefix)
     prefixes
 
-let run build_dir json_out baseline_file write_baseline all prefixes =
+(* "--rules R1,r7,credit-linearity" -> canonical ids, or exit 2. *)
+let parse_rules = function
+  | None -> None
+  | Some spec ->
+    let names =
+      String.split_on_char ',' spec |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let canonical =
+      List.map
+        (fun name ->
+          match Hf_analysis.Allow.canonicalize name with
+          | Some rule -> rule
+          | None ->
+            Fmt.epr "hfcheck: unknown rule %S in --rules (known: %s)@." name
+              (String.concat ", " Hf_analysis.Driver.checkable_rules);
+            exit 2)
+        names
+    in
+    if canonical = [] then begin
+      Fmt.epr "hfcheck: --rules needs at least one rule@.";
+      exit 2
+    end;
+    Some (List.sort_uniq String.compare canonical)
+
+let run build_dir json_out dot_out baseline_file write_baseline all rules prefixes =
   if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then begin
     Fmt.epr "hfcheck: build directory %s not found — run 'dune build @check' first@."
       build_dir;
@@ -27,7 +52,10 @@ let run build_dir json_out baseline_file write_baseline all prefixes =
     | Some path when not write_baseline -> Some (Hf_analysis.Allow.load_baseline path)
     | _ -> None
   in
-  let default = Hf_analysis.Driver.default_config ?baseline () in
+  let rules = parse_rules rules in
+  let default =
+    { (Hf_analysis.Driver.default_config ?baseline ()) with Hf_analysis.Driver.rules }
+  in
   let config =
     if all then
       {
@@ -56,6 +84,15 @@ let run build_dir json_out baseline_file write_baseline all prefixes =
           (Hf_obs.Json.to_string (Hf_analysis.Driver.report_to_json report));
         output_char oc '\n')
   | None -> ());
+  (match dot_out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Hf_analysis.Linker.dot_of_graph report.Hf_analysis.Driver.lock_graph))
+  | None -> ());
   (match (write_baseline, baseline_file) with
   | true, Some path ->
     Hf_analysis.Allow.save_baseline path report.Hf_analysis.Driver.findings;
@@ -76,8 +113,19 @@ let build_dir =
   Arg.(value & opt string default_build_dir & info [ "build" ] ~docv:"DIR" ~doc)
 
 let json_out =
-  let doc = "Write the report as JSON (schema hyperfile-hfcheck/1) to $(docv)." in
+  let doc = "Write the report as JSON (schema hyperfile-hfcheck/2) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let dot_out =
+  let doc = "Write the R6 lock-order graph as Graphviz DOT to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let rules =
+  let doc =
+    "Comma-separated rules to report (canonical names or R1..R8 aliases, e.g. \
+     'R6,R7,credit-linearity'). Default: all rules."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
 
 let baseline_file =
   let doc =
@@ -114,12 +162,24 @@ let cmd =
          lock wrapper; swallow (R4) — no 'try ... with _ -> ()'; io (R5) — no direct \
          printing from lib/.";
       `P
+        "Whole-program rules run over the linked summaries of every unit in scope: \
+         lock-order (R6) — the global lock-acquisition graph must be acyclic (cycles \
+         are potential deadlocks; export the graph with --dot); blocking-under-lock \
+         (R7) — no Unix I/O, Thread.join, foreign Condition.wait or lock \
+         re-acquisition reachable while a [@hf.guarded_by] lock is held, through any \
+         helper chain; credit-linearity (R8) — Credit.t is linear: ignored, \
+         wildcard-dropped, unused or undocumented-discarded credit is flagged.";
+      `P
         "Suppress a finding with [@hf.allow \"rule -- justification\"] at the offending \
-         expression, binding or field, or grandfather it in a baseline file.";
+         expression, binding or field, or grandfather it in a baseline file.  An R7 \
+         allow on a call also exempts the callee's transitive effects at that site \
+         (deferred thunks, loopback connects).";
     ]
   in
   Cmd.v
     (Cmd.info "hfcheck" ~doc ~man)
-    Term.(const run $ build_dir $ json_out $ baseline_file $ write_baseline $ all $ prefixes)
+    Term.(
+      const run $ build_dir $ json_out $ dot_out $ baseline_file $ write_baseline $ all
+      $ rules $ prefixes)
 
 let () = exit (Cmd.eval cmd)

@@ -12,7 +12,10 @@
      fathering findings during an incremental cleanup (see Driver). *)
 
 let canonical_rules =
-  [ "poly-compare"; "codec-tag"; "guarded-by"; "swallow"; "io"; "allow-syntax" ]
+  [
+    "poly-compare"; "codec-tag"; "guarded-by"; "swallow"; "io"; "lock-order";
+    "blocking-under-lock"; "credit-linearity"; "allow-syntax";
+  ]
 
 (* Short aliases accepted in attribute payloads. *)
 let aliases =
@@ -22,6 +25,9 @@ let aliases =
     ("r3", "guarded-by");
     ("r4", "swallow");
     ("r5", "io");
+    ("r6", "lock-order");
+    ("r7", "blocking-under-lock");
+    ("r8", "credit-linearity");
   ]
 
 let canonicalize rule =

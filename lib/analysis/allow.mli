@@ -4,7 +4,7 @@
 val canonical_rules : string list
 
 val canonicalize : string -> string option
-(** Resolve a rule name or alias ([R1]..[R5], case-insensitive) to its
+(** Resolve a rule name or alias ([R1]..[R8], case-insensitive) to its
     canonical id. *)
 
 val attr_name : Parsetree.attribute -> string

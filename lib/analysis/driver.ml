@@ -1,11 +1,14 @@
-(* Orchestration: scan a build tree, run the rules over every
-   implementation cmt in scope, apply [@hf.allow] regions and the
-   baseline, and render text/JSON reports. *)
+(* Orchestration: scan a build tree, run the per-unit rules (R1-R5)
+   over every implementation cmt in scope, summarize every unit and
+   link the summaries for the whole-program rules (R6-R8), then apply
+   [@hf.allow] regions, the rule filter and the baseline, and render
+   text/JSON reports. *)
 
 type config = {
   scope : string -> bool;  (* which source files are analyzed at all *)
   io_scope : string -> bool;  (* where R5 (io) applies *)
   baseline : (string, unit) Hashtbl.t option;
+  rules : string list option;  (* canonical ids to keep; None = all *)
 }
 
 let starts_with ~prefix s =
@@ -18,7 +21,12 @@ let default_config ?baseline () =
       (fun source -> starts_with ~prefix:"lib/" source || starts_with ~prefix:"bin/" source);
     io_scope = (fun source -> starts_with ~prefix:"lib/" source);
     baseline;
+    rules = None;
   }
+
+(* Every rule the pipeline can produce findings for, in rule order. *)
+let checkable_rules =
+  List.filter (fun r -> r <> "allow-syntax") Allow.canonical_rules
 
 type report = {
   findings : Finding.t list;  (* unsuppressed, sorted *)
@@ -26,21 +34,56 @@ type report = {
   baselined : int;  (* silenced by the baseline file *)
   files_analyzed : int;
   failures : Cmt_load.failure list;  (* unreadable cmt files *)
+  rules_run : string list;
+  functions_summarized : int;
+  lock_graph : Linker.graph;
 }
 
 let errors report =
   List.filter (fun f -> f.Finding.severity = Finding.Error) report.findings
 
-(* Findings for one typed tree: rule output plus allow-syntax errors,
-   with out-of-scope R5 findings dropped and suppression regions applied. *)
-let analyze_unit config (unit_info : Cmt_load.unit_info) =
-  let raw = Rules.run unit_info.structure in
-  let regions, allow_errors = Allow.collect unit_info.structure in
+let analyze_units config units =
+  (* Per-unit pass: R1-R5 findings plus this unit's allow regions. *)
+  let per_unit =
+    List.map
+      (fun (u : Cmt_load.unit_info) ->
+        let raw = Rules.run u.structure in
+        let regions, allow_errors = Allow.collect u.structure in
+        let raw =
+          List.filter
+            (fun f -> f.Finding.rule <> "io" || config.io_scope f.Finding.file)
+            raw
+        in
+        (u, raw @ allow_errors, regions))
+      units
+  in
+  (* Whole-program pass: summarize each unit against the global guard
+     table, then link.  Regions are per-unit (they only ever match
+     their own file) but the linker needs them at summary time to cut
+     waived calls out of propagation. *)
+  let guards = Summary.guard_table units in
+  let known_units =
+    List.map (fun (u : Cmt_load.unit_info) -> Summary.unit_of_source u.source) units
+  in
+  let summaries =
+    List.map2
+      (fun (u : Cmt_load.unit_info) (_, _, regions) ->
+        Summary.of_unit ~guards ~known_units ~regions u)
+      units per_unit
+  in
+  let linked = Linker.link summaries in
+  let regions = List.concat_map (fun (_, _, regions) -> regions) per_unit in
   let raw =
-    List.filter
-      (fun f -> f.Finding.rule <> "io" || config.io_scope f.Finding.file)
-      raw
-    @ allow_errors
+    List.concat_map (fun (_, findings, _) -> findings) per_unit
+    @ linked.Linker.findings
+  in
+  let raw =
+    match config.rules with
+    | None -> raw
+    | Some active ->
+      List.filter
+        (fun f -> f.Finding.rule = "allow-syntax" || List.mem f.Finding.rule active)
+        raw
   in
   let suppressed, kept = List.partition (Allow.suppressed_by regions) raw in
   let baselined, kept =
@@ -48,22 +91,15 @@ let analyze_unit config (unit_info : Cmt_load.unit_info) =
     | None -> ([], kept)
     | Some table -> List.partition (Allow.in_baseline table) kept
   in
-  (kept, List.length suppressed, List.length baselined)
-
-let analyze_units config units =
-  let findings, suppressed, baselined =
-    List.fold_left
-      (fun (fs, s, b) unit_info ->
-        let kept, suppressed, baselined = analyze_unit config unit_info in
-        (List.rev_append kept fs, s + suppressed, b + baselined))
-      ([], 0, 0) units
-  in
   {
-    findings = List.sort_uniq Finding.compare findings;
-    suppressed;
-    baselined;
+    findings = List.sort_uniq Finding.compare kept;
+    suppressed = List.length suppressed;
+    baselined = List.length baselined;
     files_analyzed = List.length units;
     failures = [];
+    rules_run = (match config.rules with None -> checkable_rules | Some r -> r);
+    functions_summarized = linked.Linker.functions;
+    lock_graph = linked.Linker.graph;
   }
 
 let load_units config root =
@@ -95,8 +131,11 @@ let pp_report ppf report =
     report.failures;
   let errors = List.length (errors report) in
   let warnings = List.length report.findings - errors in
-  Fmt.pf ppf "hfcheck: %d error(s), %d warning(s) in %d file(s)" errors warnings
-    report.files_analyzed;
+  Fmt.pf ppf
+    "hfcheck: %d error(s), %d warning(s) in %d file(s); %d function(s) summarized, %d \
+     lock(s)"
+    errors warnings report.files_analyzed report.functions_summarized
+    (List.length report.lock_graph.Linker.nodes);
   if report.suppressed > 0 then Fmt.pf ppf "; %d suppressed by [@hf.allow]" report.suppressed;
   if report.baselined > 0 then Fmt.pf ppf "; %d baselined" report.baselined;
   Fmt.pf ppf "@."
@@ -104,13 +143,17 @@ let pp_report ppf report =
 let report_to_json report : Hf_obs.Json.t =
   Obj
     [
-      ("schema", Str "hyperfile-hfcheck/1");
+      ("schema", Str "hyperfile-hfcheck/2");
+      ("rules", List (List.map (fun r -> Hf_obs.Json.Str r) report.rules_run));
       ("files_analyzed", Int report.files_analyzed);
+      ("functions", Int report.functions_summarized);
+      ("locks", Int (List.length report.lock_graph.Linker.nodes));
       ("errors", Int (List.length (errors report)));
       ("warnings", Int (List.length report.findings - List.length (errors report)));
       ("suppressed", Int report.suppressed);
       ("baselined", Int report.baselined);
       ("findings", List (List.map Finding.to_json report.findings));
+      ("lock_graph", Linker.graph_to_json report.lock_graph);
       ( "failures",
         List
           (List.map

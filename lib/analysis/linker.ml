@@ -1,0 +1,444 @@
+(* Phase 2 of the whole-program analyzer: join the per-unit summaries
+   into one call graph and run the three interprocedural rules.
+
+   R6 lock-order        — build the global lock-acquisition graph (an
+                          edge L1 -> L2 whenever L2 can be acquired
+                          while L1 is held, directly or through a
+                          callee) and report every cycle as a
+                          potential deadlock; the graph is exportable
+                          as DOT for CI artifacts.
+   R7 blocking-under-lock — no blocking operation (Unix I/O,
+                          Thread.join/delay, Domain.join, a foreign
+                          Condition.wait) and no re-acquisition of an
+                          already-held lock may be reachable while a
+                          [@hf.guarded_by] lock is held, through any
+                          chain of helper functions.
+   R8 credit-linearity  — Credit.t is a linear resource: ignored,
+                          wildcard-dropped, never-used or explicitly
+                          discarded credit is flagged; deliberate
+                          drops carry [@hf.allow "credit-linearity --
+                          why"].
+
+   Propagation: ACQ*(F) = locks F can acquire, BLK*(F) = blocking
+   operations F can reach, both computed by a worklist fixpoint over
+   the name-resolved call graph.  A call waived for
+   blocking-under-lock is cut out of propagation entirely — that is
+   the semantics of such an allow ("this call does not run while the
+   lock is held": a deferred thunk, a loopback connect) — while the
+   local finding is still emitted and then suppressed by the same
+   region, so the suppression count stays honest. *)
+
+open Summary
+
+type edge = { e_from : lock; e_to : lock; e_loc : Location.t }
+
+type graph = { nodes : lock list; edges : edge list }
+
+type result = { findings : Finding.t list; graph : graph; functions : int }
+
+let loc_line (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  Fmt.str "%s:%d" p.Lexing.pos_fname p.Lexing.pos_lnum
+
+let compare_loc (a : Location.t) (b : Location.t) =
+  let pa = a.Location.loc_start and pb = b.Location.loc_start in
+  match String.compare pa.Lexing.pos_fname pb.Lexing.pos_fname with
+  | 0 -> Int.compare pa.Lexing.pos_cnum pb.Lexing.pos_cnum
+  | c -> c
+
+(* --- transitive facts -------------------------------------------------- *)
+
+(* One lock F can (transitively) acquire, with a witness: where, and
+   through which direct callee if not acquired by F itself. *)
+type acq_fact = { q_lock : lock; q_loc : Location.t; q_via : string option }
+
+type blk_fact = {
+  t_kind : block_kind;
+  t_loc : Location.t;  (* the ultimate blocking operation *)
+  t_via : string option;  (* first callee on the chain from this fn *)
+}
+
+type facts = {
+  acq : (string, acq_fact) Hashtbl.t;  (* lock_id -> witness *)
+  blk : (string, blk_fact) Hashtbl.t;  (* kind@file:line -> witness *)
+}
+
+let blk_key kind (loc : Location.t) = block_label kind ^ "@" ^ loc_line loc
+
+let waives rule event_waived = List.mem rule event_waived
+
+let r6 = "lock-order"
+let r7 = "blocking-under-lock"
+let r8 = "credit-linearity"
+
+let link (summaries : Summary.t list) =
+  let summaries =
+    List.sort (fun a b -> String.compare a.s_unit b.s_unit) summaries
+  in
+  let known_units = List.map (fun s -> s.s_unit) summaries in
+  let known_unit name = List.mem name known_units in
+  (* (unit, fn) -> summary; colliding names (top-level shadowing)
+     merge, which is conservative for reachability. *)
+  let fns : (string * string, fn_summary) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          let key = (f.f_unit, f.f_name) in
+          match Hashtbl.find_opt fns key with
+          | None -> Hashtbl.replace fns key f
+          | Some prior ->
+            Hashtbl.replace fns key
+              {
+                prior with
+                acquires = prior.acquires @ f.acquires;
+                blocks = prior.blocks @ f.blocks;
+                calls = prior.calls @ f.calls;
+                credits = prior.credits @ f.credits;
+              })
+        s.fns)
+    summaries;
+  let resolve_call (c : call) ~current_unit =
+    match Summary.resolve ~known_unit ~current_unit c.c_comps with
+    | Some key -> Hashtbl.find_opt fns key
+    | None -> None
+  in
+  let all_fns =
+    List.concat_map (fun s -> List.map (fun f -> (f.f_unit, f.f_name)) s.fns)
+    |> (fun f -> f summaries)
+    |> List.sort_uniq compare
+  in
+  let facts_of : (string * string, facts) Hashtbl.t = Hashtbl.create 256 in
+  let facts_for key =
+    match Hashtbl.find_opt facts_of key with
+    | Some f -> f
+    | None ->
+      let f = { acq = Hashtbl.create 4; blk = Hashtbl.create 4 } in
+      Hashtbl.replace facts_of key f;
+      f
+  in
+  (* Seed direct facts. *)
+  List.iter
+    (fun key ->
+      let f = Hashtbl.find fns key in
+      let facts = facts_for key in
+      List.iter
+        (fun a ->
+          if not (waives r6 a.a_waived) then
+            let id = lock_id a.a_lock in
+            if not (Hashtbl.mem facts.acq id) then
+              Hashtbl.replace facts.acq id
+                { q_lock = a.a_lock; q_loc = a.a_loc; q_via = None })
+        f.acquires;
+      List.iter
+        (fun b ->
+          if not (waives r7 b.b_waived) then
+            let key = blk_key b.b_kind b.b_loc in
+            if not (Hashtbl.mem facts.blk key) then
+              Hashtbl.replace facts.blk key
+                { t_kind = b.b_kind; t_loc = b.b_loc; t_via = None })
+        f.blocks)
+    all_fns;
+  (* Fixpoint: each function inherits its callees' facts (first-seen
+     witness kept; fact keys carry the origin location so the sets are
+     bounded and the iteration terminates). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun key ->
+        let f = Hashtbl.find fns key in
+        let facts = facts_for key in
+        List.iter
+          (fun c ->
+            if not (waives r7 c.c_waived) then
+              match resolve_call c ~current_unit:f.f_unit with
+              | None -> ()
+              | Some callee ->
+                let callee_key = (callee.f_unit, callee.f_name) in
+                if callee_key <> key then begin
+                  let callee_facts = facts_for callee_key in
+                  let via = callee.f_unit ^ "." ^ callee.f_name in
+                  Hashtbl.iter
+                    (fun id (fact : acq_fact) ->
+                      if not (Hashtbl.mem facts.acq id) then begin
+                        Hashtbl.replace facts.acq id
+                          { fact with q_via = Some via };
+                        changed := true
+                      end)
+                    callee_facts.acq;
+                  Hashtbl.iter
+                    (fun bkey (fact : blk_fact) ->
+                      if not (Hashtbl.mem facts.blk bkey) then begin
+                        Hashtbl.replace facts.blk bkey
+                          { fact with t_via = Some via };
+                        changed := true
+                      end)
+                    callee_facts.blk
+                end)
+          f.calls)
+      all_fns
+  done;
+  (* --- the lock graph (R6) --- *)
+  let edges : (string * string, edge) Hashtbl.t = Hashtbl.create 32 in
+  let nodes : (string, lock) Hashtbl.t = Hashtbl.create 16 in
+  let add_node l = Hashtbl.replace nodes (lock_id l) l in
+  let add_edge e_from e_to e_loc =
+    if compare_lock e_from e_to <> 0 then begin
+      add_node e_from;
+      add_node e_to;
+      let key = (lock_id e_from, lock_id e_to) in
+      match Hashtbl.find_opt edges key with
+      | Some prior when compare_loc prior.e_loc e_loc <= 0 -> ()
+      | _ -> Hashtbl.replace edges key { e_from; e_to; e_loc }
+    end
+  in
+  List.iter
+    (fun key ->
+      let f = Hashtbl.find fns key in
+      List.iter
+        (fun a ->
+          if not (waives r6 a.a_waived) then begin
+            add_node a.a_lock;
+            List.iter (fun held -> add_edge held a.a_lock a.a_loc) a.a_held
+          end)
+        f.acquires;
+      List.iter
+        (fun c ->
+          if c.c_held <> [] && not (waives r6 c.c_waived) && not (waives r7 c.c_waived)
+          then
+            match resolve_call c ~current_unit:f.f_unit with
+            | None -> ()
+            | Some callee ->
+              let callee_facts = facts_for (callee.f_unit, callee.f_name) in
+              Hashtbl.iter
+                (fun _ (fact : acq_fact) ->
+                  List.iter (fun held -> add_edge held fact.q_lock c.c_loc) c.c_held)
+                callee_facts.acq)
+        f.calls)
+    all_fns;
+  let findings = ref [] in
+  let add_finding ~rule loc fmt =
+    Fmt.kstr
+      (fun message ->
+        findings :=
+          Finding.make ~rule ~severity:Finding.Error loc message :: !findings)
+      fmt
+  in
+  (* --- R7: direct blocking / re-acquisition, and call-site reach --- *)
+  let pp_locks ppf locks =
+    Fmt.(list ~sep:(any ", ") string) ppf (List.map lock_id locks)
+  in
+  List.iter
+    (fun key ->
+      let f = Hashtbl.find fns key in
+      List.iter
+        (fun b ->
+          if b.b_held <> [] && not b.b_paired then
+            add_finding ~rule:r7 b.b_loc
+              "%s while holding %a: the thread can park indefinitely with the lock \
+               held, stalling every thread that needs it%s"
+              (block_label b.b_kind) pp_locks b.b_held
+              (match b.b_kind with
+              | Condition_wait ->
+                "; Condition.wait releases only its own paired mutex, not the \
+                 other locks held here"
+              | _ -> ""))
+        f.blocks;
+      List.iter
+        (fun a ->
+          if
+            List.exists (fun h -> compare_lock h a.a_lock = 0) a.a_held
+            && not (waives r7 a.a_waived)
+          then
+            add_finding ~rule:r7 a.a_loc
+              "re-acquisition of %s already held here: Mutex.t is not reentrant, \
+               this self-deadlocks"
+              (lock_id a.a_lock))
+        f.acquires;
+      List.iter
+        (fun c ->
+          if c.c_held <> [] then
+            match resolve_call c ~current_unit:f.f_unit with
+            | None -> ()
+            | Some callee ->
+              let callee_id = callee.f_unit ^ "." ^ callee.f_name in
+              let callee_facts = facts_for (callee.f_unit, callee.f_name) in
+              (* reaches a blocking operation *)
+              let worst =
+                Hashtbl.fold
+                  (fun bkey fact acc ->
+                    match acc with
+                    | Some (prior_key, _) when String.compare prior_key bkey <= 0 ->
+                      acc
+                    | _ -> Some (bkey, fact))
+                  callee_facts.blk None
+              in
+              (match worst with
+              | Some (_, fact) ->
+                add_finding ~rule:r7 c.c_loc
+                  "call to %s reaches %s (%s%s) while holding %a" callee_id
+                  (block_label fact.t_kind) (loc_line fact.t_loc)
+                  (match fact.t_via with
+                  | Some via -> ", via " ^ via
+                  | None -> "")
+                  pp_locks c.c_held
+              | None -> ());
+              (* re-acquires a lock we already hold *)
+              List.iter
+                (fun held ->
+                  match Hashtbl.find_opt callee_facts.acq (lock_id held) with
+                  | Some fact ->
+                    add_finding ~rule:r7 c.c_loc
+                      "call to %s re-acquires %s already held here (%s%s): Mutex.t \
+                       is not reentrant, this self-deadlocks"
+                      callee_id (lock_id held) (loc_line fact.q_loc)
+                      (match fact.q_via with
+                      | Some via -> ", via " ^ via
+                      | None -> "")
+                  | None -> ())
+                c.c_held)
+        f.calls;
+      (* --- R8 --- *)
+      List.iter
+        (fun k ->
+          match k.k_kind with
+          | Credit_ignored ->
+            add_finding ~rule:r8 k.k_loc
+              "Credit.t value ignored: credit is linear — every piece must flow to \
+               a ship, merge or recovered sink, or carry [@hf.allow \
+               \"credit-linearity -- why\"]"
+          | Credit_wildcard ->
+            add_finding ~rule:r8 k.k_loc
+              "Credit.t bound to a wildcard pattern is silently dropped: credit is \
+               linear — name it and ship/merge/recover it, or carry [@hf.allow \
+               \"credit-linearity -- why\"]"
+          | Credit_unused var ->
+            add_finding ~rule:r8 k.k_loc
+              "Credit.t bound to '%s' is never used and drops on scope exit: credit \
+               is linear — ship/merge/recover it, or carry [@hf.allow \
+               \"credit-linearity -- why\"]"
+              var
+          | Credit_discarded ->
+            add_finding ~rule:r8 k.k_loc
+              "explicit Credit.discard: deliberate credit loss must carry [@hf.allow \
+               \"credit-linearity -- why the detector no longer needs this credit\"]")
+        f.credits)
+    all_fns;
+  (* --- cycles over the deduplicated edge set (R6) --- *)
+  let edge_list =
+    Hashtbl.fold (fun _ e acc -> e :: acc) edges []
+    |> List.sort (fun a b ->
+           match String.compare (lock_id a.e_from) (lock_id b.e_from) with
+           | 0 -> String.compare (lock_id a.e_to) (lock_id b.e_to)
+           | c -> c)
+  in
+  let node_list =
+    Hashtbl.fold (fun _ l acc -> l :: acc) nodes []
+    |> List.sort compare_lock
+  in
+  (* Tarjan SCC over lock ids. *)
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let from = lock_id e.e_from in
+      Hashtbl.replace adj from (lock_id e.e_to :: (try Hashtbl.find adj from with Not_found -> [])))
+    (List.rev edge_list);
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (try Hashtbl.find adj v with Not_found -> []);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let scc = pop [] in
+      if List.length scc >= 2 then sccs := List.sort String.compare scc :: !sccs
+    end
+  in
+  List.iter (fun l -> if not (Hashtbl.mem index (lock_id l)) then strongconnect (lock_id l)) node_list;
+  List.iter
+    (fun scc ->
+      let internal =
+        List.filter
+          (fun e -> List.mem (lock_id e.e_from) scc && List.mem (lock_id e.e_to) scc)
+          edge_list
+      in
+      match internal with
+      | [] -> ()
+      | first :: _ ->
+        add_finding ~rule:r6 first.e_loc
+          "lock-order cycle between %s: %s — a potential deadlock; acquire these \
+           locks in one global order"
+          (String.concat ", " scc)
+          (String.concat ", "
+             (List.map
+                (fun e ->
+                  Fmt.str "%s -> %s (%s)" (lock_id e.e_from) (lock_id e.e_to)
+                    (loc_line e.e_loc))
+                internal)))
+    (List.sort compare !sccs);
+  {
+    findings = List.rev !findings;
+    graph = { nodes = node_list; edges = edge_list };
+    functions = List.length all_fns;
+  }
+
+(* --- DOT export -------------------------------------------------------- *)
+
+let dot_of_graph graph =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph lock_order {\n";
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun l -> Buffer.add_string buf (Fmt.str "  %S;\n" (lock_id l)))
+    graph.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Fmt.str "  %S -> %S [label=%S];\n" (lock_id e.e_from) (lock_id e.e_to)
+           (loc_line e.e_loc)))
+    graph.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph_to_json graph : Hf_obs.Json.t =
+  Obj
+    [
+      ("nodes", List (List.map (fun l -> Hf_obs.Json.Str (lock_id l)) graph.nodes));
+      ( "edges",
+        List
+          (List.map
+             (fun e ->
+               Hf_obs.Json.Obj
+                 [
+                   ("from", Str (lock_id e.e_from));
+                   ("to", Str (lock_id e.e_to));
+                   ("at", Str (loc_line e.e_loc));
+                 ])
+             graph.edges) );
+    ]

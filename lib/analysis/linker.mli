@@ -1,0 +1,27 @@
+(** Phase 2 of the whole-program analyzer: link per-unit
+    {!Summary.t}s across compilation units and run the
+    interprocedural rules — R6 lock-order (cycle = potential
+    deadlock), R7 blocking-under-lock, R8 credit-linearity. *)
+
+type edge = {
+  e_from : Summary.lock;
+  e_to : Summary.lock;  (** acquired while [e_from] is held *)
+  e_loc : Location.t;  (** earliest witness *)
+}
+
+type graph = { nodes : Summary.lock list; edges : edge list }
+(** The global lock-acquisition graph, deterministically sorted. *)
+
+type result = {
+  findings : Finding.t list;
+  graph : graph;
+  functions : int;  (** functions summarized across all units *)
+}
+
+val link : Summary.t list -> result
+
+val dot_of_graph : graph -> string
+(** Graphviz rendering of the lock-order graph, edge labels carrying
+    the file:line witness — the CI artifact. *)
+
+val graph_to_json : graph -> Hf_obs.Json.t

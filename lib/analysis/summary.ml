@@ -1,0 +1,546 @@
+(* Phase 1 of the whole-program analyzer: walk one typed tree and
+   reduce every top-level function to the facts the linker needs —
+   which locks it acquires (and under which other locks), which
+   blocking operations it reaches directly, which functions it calls,
+   and what it does with [Credit.t] values.  No verdicts are issued
+   here; Linker joins the summaries across compilation units and runs
+   R6/R7/R8 over the joined view.
+
+   Locks are identified as (unit, name): a [@hf.guarded_by "locked"]
+   wrapper in tcp_site.ml is the lock "tcp_site.locked", distinct from
+   mark_table's "mark_table.locked".  A raw [Mutex.lock m] outside a
+   declared wrapper becomes a synthetic lock named after the mutex
+   field, so un-annotated modules (e.g. the tracer) still appear in
+   the lock graph.
+
+   Held-lock tracking is lexical, like R3's: the argument expressions
+   of a guard-wrapper application are "under" that lock.  Two
+   deliberate holes keep the model honest about concurrency
+   boundaries: the arguments of [Thread.create]/[Domain.spawn] are
+   skipped entirely (that code runs on another thread, not under the
+   spawner's locks), and [Condition.wait c m] with exactly one lock
+   held is the sanctioned paired-condvar idiom (the wait releases that
+   very mutex) — it stays out of the direct-finding set but still
+   propagates to callers, for whom the wait is foreign. *)
+
+open Typedtree
+
+type lock = { l_unit : string; l_name : string }
+
+let lock_id l = l.l_unit ^ "." ^ l.l_name
+
+let compare_lock a b =
+  match String.compare a.l_unit b.l_unit with
+  | 0 -> String.compare a.l_name b.l_name
+  | c -> c
+
+type block_kind =
+  | Unix_op of string
+  | Thread_join
+  | Thread_delay
+  | Condition_wait
+  | Domain_join
+
+let block_label = function
+  | Unix_op op -> "Unix." ^ op
+  | Thread_join -> "Thread.join"
+  | Thread_delay -> "Thread.delay"
+  | Condition_wait -> "Condition.wait"
+  | Domain_join -> "Domain.join"
+
+type acquire = {
+  a_lock : lock;
+  a_held : lock list;  (* locks lexically held at the acquisition *)
+  a_loc : Location.t;
+  a_waived : string list;  (* canonical rules waived here by [@hf.allow] *)
+}
+
+type block = {
+  b_kind : block_kind;
+  b_held : lock list;
+  b_paired : bool;  (* Condition.wait with exactly the paired mutex held *)
+  b_loc : Location.t;
+  b_waived : string list;
+}
+
+type call = {
+  c_comps : string list;  (* normalized path components of the callee *)
+  c_held : lock list;
+  c_loc : Location.t;
+  c_waived : string list;
+}
+
+type credit_kind =
+  | Credit_ignored
+  | Credit_wildcard
+  | Credit_unused of string
+  | Credit_discarded
+
+type credit_event = { k_kind : credit_kind; k_loc : Location.t }
+
+type fn_summary = {
+  f_unit : string;
+  f_name : string;  (* lowercase; "sub.name" inside a nested module *)
+  f_loc : Location.t;
+  acquires : acquire list;
+  blocks : block list;
+  calls : call list;
+  credits : credit_event list;
+}
+
+type t = { s_unit : string; s_source : string; fns : fn_summary list }
+
+(* --- name normalization ------------------------------------------------ *)
+
+let unit_of_source source =
+  String.lowercase_ascii (Filename.remove_extension (Filename.basename source))
+
+(* Split dune's wrapped-library mangling: "Hf_net__Tcp_site" ->
+   ["Hf_net"; "Tcp_site"]. *)
+let split_mangled s =
+  let n = String.length s in
+  let rec go start i acc =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (i + 2) (i + 2) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if n = 0 then [] else go 0 0 []
+
+let normalize_path name =
+  String.split_on_char '.' name
+  |> List.concat_map split_mangled
+  |> List.filter (fun c -> c <> "")
+  |> List.map String.lowercase_ascii
+
+let ident_comps (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> normalize_path (Path.name path)
+  | _ -> []
+
+(* The (unit, name) a path resolves to: the rightmost component naming
+   a known compilation unit splits the path; a bare name belongs to the
+   current unit. *)
+let resolve ~known_unit ~current_unit comps =
+  match comps with
+  | [] -> None
+  | [ name ] -> Some (current_unit, name)
+  | _ ->
+    let arr = Array.of_list comps in
+    let n = Array.length arr in
+    let rec scan i =
+      if i < 0 then None
+      else if known_unit arr.(i) then
+        Some
+          ( arr.(i),
+            String.concat "."
+              (Array.to_list (Array.sub arr (i + 1) (n - i - 1))) )
+      else scan (i - 1)
+    in
+    (match scan (n - 2) with
+    | Some r -> Some r
+    | None -> Some (current_unit, String.concat "." comps))
+
+let rec last2 = function
+  | [ a; b ] -> Some (a, b)
+  | _ :: rest -> last2 rest
+  | [] -> None
+
+(* --- guard table ------------------------------------------------------- *)
+
+(* (unit, wrapper-name) -> lock, from every [@hf.guarded_by "f"] field
+   annotation in every unit: the global table is what lets one module
+   enter another module's critical section ([Bad_r6_b.lock_b b (...)])
+   and still be seen acquiring that module's lock. *)
+let collect_unit_guards table (unit_info : Cmt_load.unit_info) =
+  let unit_name = unit_of_source unit_info.Cmt_load.source in
+  List.iter
+    (fun (item : structure_item) ->
+      match item.str_desc with
+      | Tstr_type (_, decls) ->
+        List.iter
+          (fun (decl : type_declaration) ->
+            match decl.typ_kind with
+            | Ttype_record labels ->
+              List.iter
+                (fun (ld : label_declaration) ->
+                  List.iter
+                    (fun attr ->
+                      if Allow.attr_name attr = "hf.guarded_by" then
+                        match Allow.string_payload attr with
+                        | Some guard when guard <> "" ->
+                          let guard = String.lowercase_ascii guard in
+                          Hashtbl.replace table (unit_name, guard)
+                            { l_unit = unit_name; l_name = guard }
+                        | _ -> ())
+                    ld.ld_attributes)
+                labels
+            | _ -> ())
+          decls
+      | _ -> ())
+    unit_info.Cmt_load.structure.str_items
+
+let guard_table units =
+  let table = Hashtbl.create 16 in
+  List.iter (collect_unit_guards table) units;
+  table
+
+(* --- blocking-operation classification --------------------------------- *)
+
+(* Unix operations that can park the calling thread (I/O, sleeps,
+   child-waits).  Deliberately not here: socket/bind/listen/close/
+   setsockopt/stat/gettimeofday — local, bounded-time calls. *)
+let blocking_unix_ops =
+  [
+    "read"; "write"; "single_write"; "connect"; "accept"; "select"; "sleep";
+    "sleepf"; "recv"; "send"; "recvfrom"; "sendto"; "waitpid"; "system"; "wait";
+  ]
+
+let classify_block comps =
+  match last2 comps with
+  | Some ("unix", op) when List.mem op blocking_unix_ops -> Some (Unix_op op)
+  | Some ("thread", "join") -> Some Thread_join
+  | Some ("thread", "delay") -> Some Thread_delay
+  | Some ("condition", "wait") -> Some Condition_wait
+  | Some ("domain", "join") -> Some Domain_join
+  | _ -> None
+
+let is_spawn comps =
+  match last2 comps with
+  | Some ("thread", "create") | Some ("domain", "spawn") -> true
+  | _ -> false
+
+let is_raw_mutex_lock comps =
+  match last2 comps with Some ("mutex", "lock") -> true | _ -> false
+
+let is_ignore comps =
+  match comps with [ "ignore" ] | [ "stdlib"; "ignore" ] -> true | _ -> false
+
+let is_credit_discard comps =
+  match last2 comps with Some ("credit", "discard") -> true | _ -> false
+
+(* --- Credit.t type probes ---------------------------------------------- *)
+
+let is_credit_path name =
+  match last2 (normalize_path name) with
+  | Some ("credit", "t") -> true
+  | _ -> false
+
+(* The head constructor is Credit.t itself (wildcard/unused checks: a
+   dropped value that IS credit, not merely a variant containing it). *)
+let rec is_exact_credit ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (path, _, _) -> is_credit_path (Path.name path)
+  | Types.Tlink t | Types.Tsubst (t, _) -> is_exact_credit t
+  | Types.Tpoly (t, _) -> is_exact_credit t
+  | _ -> false
+
+(* Credit.t anywhere in the structural layout (ignore checks: ignoring
+   a (Credit.t * Credit.t) split result drops credit too).  Arrows stop
+   the search — a closure over credit is not itself a leak. *)
+let contains_credit ty =
+  let visited = Hashtbl.create 16 in
+  let rec go ty =
+    let id = Types.get_id ty in
+    if Hashtbl.mem visited id then false
+    else begin
+      Hashtbl.add visited id ();
+      match Types.get_desc ty with
+      | Types.Tconstr (path, args, _) ->
+        is_credit_path (Path.name path) || List.exists go args
+      | Types.Ttuple tys -> List.exists go tys
+      | Types.Tlink t | Types.Tsubst (t, _) -> go t
+      | Types.Tpoly (t, tys) -> List.exists go (t :: tys)
+      | _ -> false
+    end
+  in
+  go ty
+
+(* --- allow regions at an event ----------------------------------------- *)
+
+let waived_at (regions : Allow.region list) (loc : Location.t) =
+  let file = loc.Location.loc_start.Lexing.pos_fname in
+  let cnum = loc.Location.loc_start.Lexing.pos_cnum in
+  List.concat_map
+    (fun (r : Allow.region) ->
+      if r.Allow.file = file && r.Allow.start_cnum <= cnum && cnum <= r.Allow.end_cnum
+      then r.Allow.rules
+      else [])
+    regions
+
+(* --- the per-function walk --------------------------------------------- *)
+
+type fn_acc = {
+  mutable acquires : acquire list;
+  mutable blocks : block list;
+  mutable calls : call list;
+  mutable credits : credit_event list;
+  bound : (string, string * Location.t) Hashtbl.t;  (* credit vars by stamp *)
+  used : (string, unit) Hashtbl.t;  (* ident stamps referenced anywhere *)
+}
+
+(* Mark every identifier used under [e] without recording any events:
+   applied to the skipped arguments of Thread.create/Domain.spawn so a
+   credit binding consumed only by spawned code is not reported as
+   unused. *)
+let mark_uses acc (e : expression) =
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      Hashtbl.replace acc.used (Ident.unique_name id) ()
+    | _ -> ());
+    default.expr sub e
+  in
+  let iterator = { default with expr } in
+  iterator.expr iterator e
+
+let positional_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some (e : expression) -> Some e | _ -> None)
+    args
+
+(* A name for the mutex in a raw [Mutex.lock m]: the field or variable
+   being locked, for the synthetic lock's identity. *)
+let mutex_name (e : expression) =
+  match e.exp_desc with
+  | Texp_field (_, _, ld) -> String.lowercase_ascii ld.Types.lbl_name
+  | Texp_ident (path, _, _) -> (
+      match last2 ("" :: normalize_path (Path.name path)) with
+      | Some (_, last) -> last
+      | None -> "mutex")
+  | _ -> "mutex"
+
+type env = {
+  guards : (string * string, lock) Hashtbl.t;
+  known_unit : string -> bool;
+  unit_name : string;
+  regions : Allow.region list;
+}
+
+let resolve_guard env comps =
+  match resolve ~known_unit:env.known_unit ~current_unit:env.unit_name comps with
+  | Some key -> Hashtbl.find_opt env.guards key
+  | None -> None
+
+(* The lock named by a [@@hf.requires_lock "g"] annotation. *)
+let requires_lock env g =
+  let g = String.lowercase_ascii g in
+  match Hashtbl.find_opt env.guards (env.unit_name, g) with
+  | Some lock -> lock
+  | None -> { l_unit = env.unit_name; l_name = g }
+
+let summarize_expr env ~fn_name (acc : fn_acc) ~initial_held (body : expression) =
+  let held = ref initial_held in
+  let held_now () = List.sort_uniq compare_lock !held in
+  let fn_is_wrapper = Hashtbl.mem env.guards (env.unit_name, fn_name) in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      Hashtbl.replace acc.used (Ident.unique_name id) ()
+    | _ -> ());
+    match e.exp_desc with
+    | Texp_apply (funct, args) -> (
+        let comps = ident_comps funct in
+        if is_spawn comps then
+          (* Concurrency boundary: the spawned body runs on its own
+             thread, under none of our locks.  Scan it for identifier
+             uses only. *)
+          List.iter (fun (_, arg) -> Option.iter (mark_uses acc) arg) args
+        else if is_ignore comps then begin
+          (match positional_args args with
+          | [ arg ] when contains_credit arg.exp_type ->
+            acc.credits <- { k_kind = Credit_ignored; k_loc = e.exp_loc } :: acc.credits
+          | _ -> ());
+          default.expr sub e
+        end
+        else if is_credit_discard comps then begin
+          acc.credits <- { k_kind = Credit_discarded; k_loc = e.exp_loc } :: acc.credits;
+          default.expr sub e
+        end
+        else
+          match resolve_guard env comps with
+          | Some lock ->
+            acc.acquires <-
+              {
+                a_lock = lock;
+                a_held = held_now ();
+                a_loc = e.exp_loc;
+                a_waived = waived_at env.regions e.exp_loc;
+              }
+              :: acc.acquires;
+            let saved = !held in
+            held := lock :: saved;
+            default.expr sub e;
+            held := saved
+          | None ->
+            (if is_raw_mutex_lock comps then begin
+               (* Inside the declared wrapper itself the raw lock IS the
+                  guard; elsewhere it is an undeclared critical section,
+                  tracked as a synthetic lock so the graph sees it. *)
+               if not fn_is_wrapper then
+                 let name =
+                   match positional_args args with
+                   | arg :: _ -> mutex_name arg
+                   | [] -> "mutex"
+                 in
+                 acc.acquires <-
+                   {
+                     a_lock = { l_unit = env.unit_name; l_name = name };
+                     a_held = held_now ();
+                     a_loc = e.exp_loc;
+                     a_waived = waived_at env.regions e.exp_loc;
+                   }
+                   :: acc.acquires
+             end
+             else
+               match classify_block comps with
+               | Some kind ->
+                 let held = held_now () in
+                 acc.blocks <-
+                   {
+                     b_kind = kind;
+                     b_held = held;
+                     b_paired = (kind = Condition_wait && List.length held = 1);
+                     b_loc = e.exp_loc;
+                     b_waived = waived_at env.regions e.exp_loc;
+                   }
+                   :: acc.blocks
+               | None ->
+                 if comps <> [] then
+                   acc.calls <-
+                     {
+                       c_comps = comps;
+                       c_held = held_now ();
+                       c_loc = e.exp_loc;
+                       c_waived = waived_at env.regions e.exp_loc;
+                     }
+                     :: acc.calls);
+            default.expr sub e)
+    | _ -> default.expr sub e
+  in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_any ->
+      if is_exact_credit p.pat_type then
+        acc.credits <- { k_kind = Credit_wildcard; k_loc = p.pat_loc } :: acc.credits
+    | Tpat_var (id, name) ->
+      if is_exact_credit p.pat_type then
+        if String.length name.Location.txt > 0 && name.Location.txt.[0] = '_' then
+          acc.credits <- { k_kind = Credit_wildcard; k_loc = p.pat_loc } :: acc.credits
+        else
+          Hashtbl.replace acc.bound (Ident.unique_name id)
+            (name.Location.txt, p.pat_loc)
+    | _ -> ());
+    default.pat sub p
+  in
+  let value_binding sub (vb : value_binding) =
+    (* An inner [@@hf.requires_lock] binding: its body assumes the lock. *)
+    let requires =
+      List.filter_map
+        (fun attr ->
+          if Allow.attr_name attr = "hf.requires_lock" then Allow.string_payload attr
+          else None)
+        vb.vb_attributes
+    in
+    let saved = !held in
+    held := List.map (requires_lock env) requires @ saved;
+    default.value_binding sub vb;
+    held := saved
+  in
+  let iterator = { default with expr; pat; value_binding } in
+  iterator.expr iterator body
+
+let pattern_name (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (_, name) -> Some (String.lowercase_ascii name.Location.txt)
+  | _ -> None
+
+let summarize_vb env ~prefix (vb : value_binding) =
+  let name =
+    match pattern_name vb.vb_pat with
+    | Some name -> prefix ^ name
+    | None ->
+      Fmt.str "%s<init:%d>" prefix
+        vb.vb_loc.Location.loc_start.Lexing.pos_lnum
+  in
+  let acc =
+    {
+      acquires = [];
+      blocks = [];
+      calls = [];
+      credits = [];
+      bound = Hashtbl.create 8;
+      used = Hashtbl.create 32;
+    }
+  in
+  let requires =
+    List.filter_map
+      (fun attr ->
+        if Allow.attr_name attr = "hf.requires_lock" then Allow.string_payload attr
+        else None)
+      vb.vb_attributes
+  in
+  summarize_expr env ~fn_name:name acc
+    ~initial_held:(List.map (requires_lock env) requires)
+    vb.vb_expr;
+  (* Credit bound to a name and never referenced again: dropped on
+     scope exit, exactly like a wildcard, just quieter. *)
+  let unused =
+    Hashtbl.fold
+      (fun stamp (var, loc) events ->
+        if Hashtbl.mem acc.used stamp then events
+        else { k_kind = Credit_unused var; k_loc = loc } :: events)
+      acc.bound []
+  in
+  {
+    f_unit = env.unit_name;
+    f_name = name;
+    f_loc = vb.vb_loc;
+    acquires = List.rev acc.acquires;
+    blocks = List.rev acc.blocks;
+    calls = List.rev acc.calls;
+    credits = List.rev (unused @ acc.credits);
+  }
+
+let rec summarize_items env ~prefix items =
+  List.concat_map
+    (fun (item : structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.map (summarize_vb env ~prefix) vbs
+      | Tstr_module mb -> summarize_module env ~prefix mb
+      | _ -> [])
+    items
+
+and summarize_module env ~prefix (mb : module_binding) =
+  let sub_prefix =
+    match mb.mb_name.Location.txt with
+    | Some name -> prefix ^ String.lowercase_ascii name ^ "."
+    | None -> prefix
+  in
+  let rec of_module_expr (me : module_expr) =
+    match me.mod_desc with
+    | Tmod_structure str -> summarize_items env ~prefix:sub_prefix str.str_items
+    | Tmod_constraint (me, _, _, _) -> of_module_expr me
+    | Tmod_functor (_, me) -> of_module_expr me
+    | _ -> []
+  in
+  of_module_expr mb.mb_expr
+
+let of_unit ~guards ~known_units ~regions (unit_info : Cmt_load.unit_info) =
+  let unit_name = unit_of_source unit_info.Cmt_load.source in
+  let env =
+    {
+      guards;
+      known_unit = (fun name -> List.mem name known_units);
+      unit_name;
+      regions;
+    }
+  in
+  {
+    s_unit = unit_name;
+    s_source = unit_info.Cmt_load.source;
+    fns = summarize_items env ~prefix:"" unit_info.Cmt_load.structure.str_items;
+  }

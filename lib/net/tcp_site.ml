@@ -227,6 +227,10 @@ type t = {
       (* the reliability ticker, joinable on its own: shutdown quiesces
          it before tearing connections down *)
   mutable threads : Thread.t list; [@hf.guarded_by "locked"]
+  mutable dead_writers : Thread.t list; [@hf.guarded_by "locked"]
+      (* writer threads of connections discarded while the site lock was
+         held ([conn_discard]): Thread.join can block, so shutdown joins
+         them after the lock is released instead *)
   join_errors : int Atomic.t; (* threads that could not be joined on close *)
   (* observability.  Sites sharing one tracer (same process, as in
      tests and the demo) get cross-site spans: the wire carries the
@@ -286,6 +290,22 @@ let locate oid = Hf_data.Oid.birth_site oid
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Retire a broken connection without joining its writer (R7 fix): the
+   caller holds the site lock, and a writer stuck on a dead peer's
+   socket would stall every thread that needs the lock if we joined it
+   here.  The writer is told to stop and its thread parked in
+   [dead_writers]; [shutdown] joins the parked threads once the lock is
+   released.  Closing the fd fails any in-flight write immediately. *)
+let conn_discard t conn =
+  conn_locked conn (fun () ->
+      conn.closing := true;
+      Condition.signal conn.queue_cond);
+  (match conn.writer with
+  | Some thread -> t.dead_writers <- thread :: t.dead_writers
+  | None -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+[@@hf.requires_lock "locked"]
 
 (* --- stats snapshots on the wire (DESIGN.md §4i) --- *)
 
@@ -356,7 +376,14 @@ let link_for t dst =
    with reliability on, whatever its queue lost is retransmitted. *)
 let transmit_raw t ?(span = 0) ~seq ~dst message =
   let reopen () =
-    match open_out_conn t.peers.(dst) with
+    match
+      (open_out_conn t.peers.(dst)
+       [@hf.allow
+         "blocking-under-lock -- peers are loopback sockets: connect either \
+          completes immediately (the listener's backlog accepts) or fails \
+          fast with ECONNREFUSED; an async reconnect queue is tracked \
+          roadmap work"])
+    with
     | conn ->
       Hashtbl.replace t.conns dst conn;
       Some conn
@@ -366,7 +393,10 @@ let transmit_raw t ?(span = 0) ~seq ~dst message =
     match Hashtbl.find_opt t.conns dst with
     | Some conn ->
       if conn_locked conn (fun () -> !(conn.broken)) then begin
-        conn_close ~join_errors:t.join_errors conn;
+        (* [conn_discard], not [conn_close]: we hold the site lock, and
+           joining a writer that may be wedged on a dead socket would
+           block every other thread at [locked] (hfcheck R7). *)
+        conn_discard t conn;
         Hashtbl.remove t.conns dst;
         reopen ()
       end
@@ -482,6 +512,15 @@ let mark_closed t query =
    late Work_batch for the query die at the door instead of
    resurrecting an empty context. *)
 let evict_context t query (ctx : context) =
+  (* Eviction happens on the cancel / Query_done / termination paths:
+     the origin has stopped counting, so any credit still held here is
+     dead by design (on normal termination it is already zero). *)
+  (Credit.discard ctx.held
+   [@hf.allow
+     "credit-linearity -- cancel-path exemption: an evicted context's \
+      query no longer needs the termination detector to converge, so \
+      its residual credit is deliberately destroyed"]);
+  ctx.held <- Credit.zero;
   Hf_obs.Tracer.finish t.tracer ctx.span;
   Hf_util.Deque.clear ctx.work;
   Hashtbl.reset ctx.parked;
@@ -546,7 +585,13 @@ and give_up_message t ~dst message =
       m "site %d: giving up on %a to unreachable peer %d" t.id Message.pp message dst);
   let reclaim query credit =
     let origin = query.Message.originator in
-    if dst = origin then () (* the originator itself is gone *)
+    if dst = origin then
+      (* the originator itself is gone *)
+      (Credit.discard (Credit.of_atoms credit)
+       [@hf.allow
+         "credit-linearity -- the originator is unreachable: no site is \
+          left to pay, and dropping the credit bounds the give-up \
+          recursion through [send] (see the comment above)"])
     else if t.id = origin then (
       match Hashtbl.find_opt t.contexts query with
       | None -> ()
@@ -1174,7 +1219,13 @@ let handle_message t ?(span = 0) ?rel message =
          | None -> mark_closed t query);
         []
       | Message.Stats_pull { src = peer; token } ->
-        after := (fun () -> report_stats t ~dst:peer ~token) :: !after;
+        after :=
+          ((fun () -> report_stats t ~dst:peer ~token)
+           [@hf.allow
+             "blocking-under-lock -- deferred thunk: handle_message runs \
+              the [after] actions only once the lock is released, so the \
+              re-acquisition inside report_stats never nests"])
+          :: !after;
         []
       | Message.Stats_report { src = peer; token; stats } ->
         Hashtbl.replace t.peer_stats peer (snapshot_of_stats stats);
@@ -1302,6 +1353,7 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       running = true;
       ticker = None;
       threads = [];
+      dead_writers = [];
       join_errors = Atomic.make 0;
       tracer;
       registry;
@@ -1522,9 +1574,23 @@ let shutdown t =
        blocked accept with EINVAL and refuses subsequent connects. *)
     (try Unix.shutdown t.listener SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    locked t (fun () ->
-        Hashtbl.iter (fun _ conn -> conn_close ~join_errors:t.join_errors conn) t.conns;
-        Hashtbl.reset t.conns)
+    (* Snapshot under the lock, tear down outside it: [conn_close]
+       joins each writer thread, and a join under the site lock would
+       block every thread still draining (hfcheck R7).  Nothing new
+       lands in [conns] afterwards — [running] is false and the tickers
+       are already joined. *)
+    let conns, dead_writers =
+      locked t (fun () ->
+          let conns = Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [] in
+          Hashtbl.reset t.conns;
+          let dead = t.dead_writers in
+          t.dead_writers <- [];
+          (conns, dead))
+    in
+    List.iter (fun conn -> conn_close ~join_errors:t.join_errors conn) conns;
+    List.iter
+      (fun thread -> try Thread.join thread with _ -> Atomic.incr t.join_errors)
+      dead_writers
   end
 
 (* --- issuing queries from the embedding client --- *)

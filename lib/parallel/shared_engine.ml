@@ -35,7 +35,13 @@ let push_spawned shared items =
         Condition.broadcast shared.not_empty)
 
 (* Take the next item, or detect global termination: the working set is
-   empty and every other domain is already idle. *)
+   empty and every other domain is already idle.
+
+   hfcheck R7 audit: the [Condition.wait] below is the one blocking
+   operation under [locked], and it is the paired form — it releases
+   [shared.mutex] (the only lock held) while parked, so it cannot hold
+   the guard across a block.  Object evaluation itself runs in [worker]
+   with no lock held. *)
 let next_item shared ~domains =
   locked shared (fun () ->
       let rec await () =

@@ -74,6 +74,11 @@ let of_atoms ks =
          Int_map.add k (prev + 1) acc)
        Int_map.empty ks)
 
+(* Sanctioned explicit loss: the value is simply dropped, but through a
+   named sink so the static checker (and a human reader) can see every
+   place credit leaves the accounting on purpose. *)
+let discard (_ : t) = ()
+
 (* Approximate numeric value, for diagnostics only (underflows for deep
    exponents — never used for decisions). *)
 let to_float t = Int_map.fold (fun k count acc -> acc +. (float_of_int count *. (2.0 ** float_of_int (-k)))) t 0.0

@@ -35,6 +35,14 @@ val of_atoms : int list -> t
 (** Build (and normalize) from atom exponents; the wire decoding path.
     Raises [Invalid_argument] on negative exponents. *)
 
+val discard : t -> unit
+(** Deliberately destroy credit.  Discarded credit never returns to
+    the origin, so the detector can only converge if the origin has
+    stopped counting (a cancelled or force-completed query): every
+    call site is flagged by hfcheck's credit-linearity rule (R8) and
+    must carry an [@hf.allow "credit-linearity -- why"] justification
+    naming why this credit is dead. *)
+
 val to_float : t -> float
 (** Approximate numeric value; diagnostics only. *)
 

@@ -1,0 +1,24 @@
+(* hfcheck fixture for R6 (lock-order), module A of a cross-module
+   deadlock: [order_ab] takes [lock_a] then — through [Bad_r6_b.poke] —
+   [lock_b]; [order_ba] takes them in the opposite order.  The cycle is
+   only visible when BOTH modules' summaries are linked: analyzed alone,
+   module A can neither resolve the call to [poke] nor recognize
+   [lock_b] as a guard, so it reports nothing. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable ticks : int; [@hf.guarded_by "lock_a"]
+}
+
+let lock_a t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* edge lock_a -> lock_b, via module B's summary *)
+let order_ab t b =
+  lock_a t (fun () ->
+      t.ticks <- t.ticks + 1;
+      Bad_r6_b.poke b)
+
+(* edge lock_b -> lock_a, via module B's guard declaration *)
+let order_ba t b = Bad_r6_b.lock_b b (fun () -> lock_a t (fun () -> t.ticks))

@@ -1,0 +1,14 @@
+(* hfcheck fixture for R6 (lock-order), module B: owns [lock_b] and a
+   helper that acquires it.  Harmless alone — the deadlocking orders
+   live in [Bad_r6_a]. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable beats : int; [@hf.guarded_by "lock_b"]
+}
+
+let lock_b t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let poke t = lock_b t (fun () -> t.beats <- t.beats + 1)

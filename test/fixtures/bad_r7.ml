@@ -1,0 +1,44 @@
+(* hfcheck fixture for R7 (blocking-under-lock): four distinct ways of
+   blocking while holding a guard — direct syscall, Thread.join through
+   a helper, re-acquisition through a helper, and a foreign
+   Condition.wait through a helper.  [good_wait] shows the sanctioned
+   paired wait. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  other_mutex : Mutex.t;
+  other_cond : Condition.t;
+  mutable state : int; [@hf.guarded_by "locked"]
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* finding 1: direct Unix sleep under the lock *)
+let bad_sleep t = locked t (fun () -> t.state <- 1; Unix.sleepf 0.1)
+
+let join_helper thread = Thread.join thread
+
+(* finding 2: Thread.join reached through a helper *)
+let bad_join t thread = locked t (fun () -> t.state <- 2; join_helper thread)
+
+let touch t = locked t (fun () -> t.state <- 3)
+
+(* finding 3: re-acquires [locked] through [touch] — self-deadlock *)
+let bad_nested t = locked t (fun () -> touch t)
+
+let foreign_wait t = Condition.wait t.other_cond t.other_mutex
+
+(* finding 4: waits on a condvar paired with a DIFFERENT mutex, so the
+   held guard stays held while parked *)
+let bad_foreign_wait t = locked t (fun () -> foreign_wait t)
+
+(* clean: the paired wait releases the held mutex while parked *)
+let good_wait t =
+  locked t (fun () ->
+      while t.state = 0 do
+        Condition.wait t.cond t.mutex
+      done;
+      t.state)

@@ -1,0 +1,29 @@
+(* hfcheck fixture for R8 (credit-linearity): four ways of losing
+   credit — ignoring a split, wildcard-dropping a half, binding a half
+   and never using it, and an undocumented [Credit.discard].  The last
+   function shows the documented cancel-path exemption. *)
+
+open Hf_termination
+
+(* finding 1: both halves of the split are ignored *)
+let bad_ignore () = ignore (Credit.split Credit.one)
+
+(* finding 2: the kept half is dropped by a wildcard pattern *)
+let bad_wildcard () =
+  let _, gave = Credit.split Credit.one in
+  Credit.atoms gave
+
+(* finding 3: [keep] is bound but never used *)
+let bad_unused () =
+  let keep, gave = Credit.split Credit.one in
+  Credit.atoms gave
+
+(* finding 4: discard without a justification *)
+let bad_discard c = Credit.discard c
+
+(* suppressed: the documented cancel-path exemption *)
+let ok_documented_discard c =
+  (Credit.discard c
+   [@hf.allow
+     "credit-linearity -- fixture: a cancelled query's credit is dead by \
+      design"])

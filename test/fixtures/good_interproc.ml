@@ -1,0 +1,39 @@
+(* hfcheck fixture: interprocedurally clean.  Helpers called under the
+   lock neither block nor re-acquire, the two lock wrappers are always
+   taken in the same order (locked, then aux_locked), and every credit
+   split is rejoined — R6, R7 and R8 all report nothing. *)
+
+type t = {
+  mutex : Mutex.t;
+  aux_mutex : Mutex.t;
+  mutable count : int; [@hf.guarded_by "locked"]
+  mutable aux : int; [@hf.guarded_by "aux_locked"]
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let aux_locked t f =
+  Mutex.lock t.aux_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.aux_mutex) f
+
+let bump t = t.count <- t.count + 1 [@@hf.requires_lock "locked"]
+
+let note_aux t = aux_locked t (fun () -> t.aux <- t.aux + 1)
+
+(* consistent order in every chain: locked, then aux_locked *)
+let record t =
+  locked t (fun () ->
+      bump t;
+      note_aux t)
+
+let record_twice t =
+  locked t (fun () ->
+      bump t;
+      bump t;
+      note_aux t)
+
+let credit_roundtrip () =
+  let keep, gave = Hf_termination.Credit.split Hf_termination.Credit.one in
+  Hf_termination.Credit.add keep gave

@@ -159,6 +159,95 @@ let test_baseline_missing_file () =
   let baseline = A.Allow.load_baseline "no/such/baseline.txt" in
   Alcotest.(check int) "missing baseline is empty" 0 (Hashtbl.length baseline)
 
+(* --- the whole-program rules (R6-R8): summaries linked across units --- *)
+
+let analyze_many ?rules names =
+  let config = { (everywhere ()) with A.Driver.rules } in
+  A.Driver.analyze_units config (List.map load names)
+
+let expect_messages report fragments =
+  let messages = List.map (fun f -> f.A.Finding.message) report.A.Driver.findings in
+  List.iter
+    (fun fragment ->
+      if not (List.exists (fun m -> contains m fragment) messages) then
+        Alcotest.failf "no finding mentions %S in %a" fragment
+          Fmt.(Dump.list string)
+          messages)
+    fragments
+
+let test_lock_order () =
+  (* Both modules linked: the opposite acquisition orders close a cycle. *)
+  let report = analyze_many [ "Bad_r6_a"; "Bad_r6_b" ] in
+  Alcotest.(check int) "exactly one cycle finding" 1
+    (List.length report.A.Driver.findings);
+  expect_messages report [ "lock-order cycle"; "bad_r6_a.lock_a"; "bad_r6_b.lock_b" ];
+  Alcotest.(check int) "both locks in the graph" 2
+    (List.length report.A.Driver.lock_graph.A.Linker.nodes)
+
+let test_lock_order_needs_linking () =
+  (* Module A alone: the call into B is unresolvable and B's guard is
+     unknown, so neither edge of the cycle exists. *)
+  let report = analyze_many [ "Bad_r6_a" ] in
+  Alcotest.check int_list "module A alone is silent" []
+    (List.map (fun f -> f.A.Finding.line) report.A.Driver.findings)
+
+let test_blocking_under_lock () =
+  let report = analyze "Bad_r7" in
+  Alcotest.check int_list "blocking-under-lock lines" [ 20; 25; 30; 36 ]
+    (lines "blocking-under-lock" report);
+  expect_messages report
+    [ "Unix.sleepf"; "Thread.join"; "re-acquires"; "Condition.wait" ];
+  (* the paired Condition.wait in [good_wait] is NOT flagged *)
+  Alcotest.(check int) "nothing else" 4 (List.length report.A.Driver.findings)
+
+let test_credit_linearity () =
+  let report = analyze "Bad_r8" in
+  Alcotest.check int_list "credit-linearity lines" [ 9; 13; 18; 22 ]
+    (lines "credit-linearity" report);
+  expect_messages report [ "ignored"; "wildcard"; "never used"; "Credit.discard" ];
+  Alcotest.(check int) "documented discard suppressed" 1 report.A.Driver.suppressed;
+  Alcotest.(check int) "nothing else" 4 (List.length report.A.Driver.findings)
+
+let test_interproc_clean () =
+  let report = analyze "Good_interproc" in
+  Alcotest.check int_list "no findings" []
+    (List.map (fun f -> f.A.Finding.line) report.A.Driver.findings);
+  Alcotest.(check int) "nothing suppressed" 0 report.A.Driver.suppressed;
+  (* the consistent locked -> aux_locked order is in the graph, acyclic *)
+  Alcotest.(check int) "both locks in the graph" 2
+    (List.length report.A.Driver.lock_graph.A.Linker.nodes);
+  Alcotest.(check bool) "order edge recorded" true
+    (report.A.Driver.lock_graph.A.Linker.edges <> [])
+
+let test_rules_filter () =
+  let report =
+    analyze_many ~rules:[ "blocking-under-lock" ] [ "Bad_r7"; "Bad_r8" ]
+  in
+  Alcotest.check int_list "credit findings filtered out" []
+    (lines "credit-linearity" report);
+  Alcotest.(check int) "only the four R7 findings" 4
+    (List.length report.A.Driver.findings);
+  Alcotest.(check (list string)) "rules_run reflects the filter"
+    [ "blocking-under-lock" ] report.A.Driver.rules_run
+
+let test_json_schema_v2 () =
+  let report = analyze_many [ "Bad_r6_a"; "Bad_r6_b" ] in
+  let json = Hf_obs.Json.to_string (A.Driver.report_to_json report) in
+  List.iter
+    (fun fragment ->
+      if not (contains json fragment) then
+        Alcotest.failf "JSON report lacks %S: %s" fragment json)
+    [ "hyperfile-hfcheck/2"; "lock_graph"; "lock-order"; "\"functions\"" ]
+
+let test_dot_export () =
+  let report = analyze_many [ "Bad_r6_a"; "Bad_r6_b" ] in
+  let dot = A.Linker.dot_of_graph report.A.Driver.lock_graph in
+  List.iter
+    (fun fragment ->
+      if not (contains dot fragment) then
+        Alcotest.failf "DOT export lacks %S: %s" fragment dot)
+    [ "digraph"; "bad_r6_a.lock_a"; "bad_r6_b.lock_b"; "->" ]
+
 let test_self_check () =
   (* The repo's own libraries must be clean under the default config:
      this is exactly what CI enforces. *)
@@ -200,6 +289,20 @@ let () =
           Alcotest.test_case "malformed hf.allow" `Quick test_bad_allow;
           Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
           Alcotest.test_case "missing baseline" `Quick test_baseline_missing_file;
+        ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "lock-order cycle across modules" `Quick test_lock_order;
+          Alcotest.test_case "lock-order needs both modules linked" `Quick
+            test_lock_order_needs_linking;
+          Alcotest.test_case "blocking-under-lock fixture" `Quick
+            test_blocking_under_lock;
+          Alcotest.test_case "credit-linearity fixture" `Quick test_credit_linearity;
+          Alcotest.test_case "interprocedurally clean fixture" `Quick
+            test_interproc_clean;
+          Alcotest.test_case "--rules filter" `Quick test_rules_filter;
+          Alcotest.test_case "JSON schema v2" `Quick test_json_schema_v2;
+          Alcotest.test_case "DOT export" `Quick test_dot_export;
         ] );
       ("self", [ Alcotest.test_case "repo is clean" `Quick test_self_check ]);
     ]
