@@ -1257,6 +1257,143 @@ let e18_obs_overhead () =
   (* the PR's acceptance bound: <= 5% throughput overhead at rate 0.1 *)
   assert (overhead <= 0.05)
 
+(* --- E19: scatter-gather vs query shipping ----------------------------- *)
+(* The paper's chain experiment is shipping's worst case: every remote
+   hop is one more sequential round trip.  Scatter-gather replaces the
+   chain of ships with one broadcast and one gather, so its cost is flat
+   in locality while shipping's grows with every pointer that leaves the
+   hub.  E19 sweeps chain locality and lets the cost-based planner
+   (Exec_auto) pick a side at each point (doc/execution_modes.md). *)
+let e19_n_sites = 4
+let e19_chain_len = 80
+let e19_background = 15
+
+let e19_corpus ~locality cluster =
+  let prng = Hf_util.Prng.create 23 in
+  (* background objects give every site a population (and a summary)
+     even when the chain never lands there *)
+  for site = 0 to e19_n_sites - 1 do
+    for i = 0 to e19_background - 1 do
+      let store = C.store cluster site in
+      let oid = Hf_data.Store.fresh_oid store in
+      Hf_data.Store.insert store
+        (Hf_data.Hobject.of_tuples oid
+           [ Hf_data.Tuple.number ~key:"id" (1000 + (100 * site) + i) ])
+    done
+  done;
+  let sites =
+    Array.init e19_chain_len (fun i ->
+        if Hf_util.Prng.next_bool prng locality then 0
+        else 1 + (i mod (e19_n_sites - 1)))
+  in
+  let oids =
+    Array.map (fun site -> Hf_data.Store.fresh_oid (C.store cluster site)) sites
+  in
+  Array.iteri
+    (fun i site ->
+      let next =
+        if i + 1 < e19_chain_len then
+          [ Hf_data.Tuple.pointer ~key:"C" oids.(i + 1) ]
+        else []
+      in
+      let tuples =
+        (Hf_data.Tuple.number ~key:"id" i
+         :: (if i mod 7 = 0 then [ Hf_data.Tuple.keyword "hot" ] else []))
+        @ next
+      in
+      Hf_data.Store.insert (C.store cluster site)
+        (Hf_data.Hobject.of_tuples oids.(i) tuples))
+    sites;
+  (* the query's anchor always lives on the hub, pointing at the chain head *)
+  let root_store = C.store cluster 0 in
+  let root = Hf_data.Store.fresh_oid root_store in
+  Hf_data.Store.insert root_store
+    (Hf_data.Hobject.of_tuples root [ Hf_data.Tuple.pointer ~key:"C" oids.(0) ]);
+  root
+
+let e19_run ~exec ~locality =
+  let config = { Cluster.default_config with Cluster.exec } in
+  let cluster = C.create ~config ~n_sites:e19_n_sites () in
+  let root = e19_corpus ~locality cluster in
+  let program =
+    Hf_query.Parser.parse_program "[ (Pointer, \"C\", ?X) ^^X ]* (Keyword, \"hot\", ?)"
+  in
+  let o = C.run_query cluster ~origin:0 program [ root ] in
+  assert o.Cluster.terminated;
+  assert (o.Cluster.unreachable_sites = []);
+  o
+
+let e19_scatter () =
+  section "E19 (extension): single-round scatter-gather vs query shipping"
+    "the paper ships the query along every remote pointer — a chain of sequential round \
+     trips; scattering the whole program once and gathering speculative matches costs two \
+     messages per site regardless of chain shape (doc/execution_modes.md)";
+  Fmt.pr
+    "   %d-document chain, %d machines, hot every 7th; planner (auto) picks per query@."
+    e19_chain_len e19_n_sites;
+  let all_identical = ref true in
+  let low_speedup = ref 0.0 in
+  let auto_modes = ref [] in
+  let rows =
+    List.map
+      (fun locality ->
+        let ship = e19_run ~exec:Cluster.Exec_ship ~locality in
+        let scatter = e19_run ~exec:Cluster.Exec_scatter ~locality in
+        let auto = e19_run ~exec:Cluster.Exec_auto ~locality in
+        let identical =
+          Hf_data.Oid.Set.equal ship.Cluster.result_set scatter.Cluster.result_set
+          && Hf_data.Oid.Set.equal ship.Cluster.result_set auto.Cluster.result_set
+        in
+        all_identical := !all_identical && identical;
+        let speedup = ship.Cluster.response_time /. scatter.Cluster.response_time in
+        if locality = 0.0 then low_speedup := speedup;
+        auto_modes := (locality, auto.Cluster.mode) :: !auto_modes;
+        let sm = scatter.Cluster.metrics in
+        let id = Printf.sprintf "e19.local%03.0f" (locality *. 100.0) in
+        record_json id
+          (J.Obj
+             [ ("locality", J.Float locality);
+               ("ship_response_s", J.Float ship.Cluster.response_time);
+               ("scatter_response_s", J.Float scatter.Cluster.response_time);
+               ("speedup", J.Float speedup);
+               ("auto_mode", J.Str (Hf_query.Plan.mode_name auto.Cluster.mode));
+               ("auto_response_s", J.Float auto.Cluster.response_time);
+               ("ship_work_items", J.Int ship.Cluster.metrics.Metrics.work_items);
+               ("scatter_messages", J.Int sm.Metrics.scatter_messages);
+               ("gather_nodes", J.Int sm.Metrics.gather_nodes);
+               ("scatter_bytes", J.Int sm.Metrics.scatter_bytes);
+               ("gather_bytes", J.Int sm.Metrics.gather_bytes);
+               ("scatter_fallbacks", J.Int sm.Metrics.scatter_fallbacks);
+               ("results_identical", J.Bool identical);
+             ]);
+        [ Printf.sprintf "%.0f%%" (locality *. 100.0);
+          f3 ship.Cluster.response_time;
+          f3 scatter.Cluster.response_time;
+          Printf.sprintf "%.1fx" speedup;
+          Hf_query.Plan.mode_name auto.Cluster.mode;
+          f3 auto.Cluster.response_time;
+          string_of_int ship.Cluster.metrics.Metrics.work_items;
+          string_of_int sm.Metrics.gather_nodes;
+        ])
+      [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  print_table
+    [ Tab.column "P(local)"; Tab.right "ship resp (s)"; Tab.right "scatter resp (s)";
+      Tab.right "speedup"; Tab.column "auto"; Tab.right "auto resp (s)";
+      Tab.right "ships"; Tab.right "gather nodes" ]
+    rows;
+  record_json "e19.low_locality_speedup" (J.Float !low_speedup);
+  record_json "e19.results_identical" (J.Bool !all_identical);
+  Fmt.pr
+    "   speedup at 0%% locality: %.1fx; result sets identical across modes: %b@."
+    !low_speedup !all_identical;
+  (* the PR's acceptance floor: >= 2x at low locality, byte-identical
+     answers, and the planner on the winning side of both sweep ends *)
+  assert !all_identical;
+  assert (!low_speedup >= 2.0);
+  assert (Hf_query.Plan.equal_mode (List.assoc 0.0 !auto_modes) Hf_query.Plan.Scatter);
+  assert (Hf_query.Plan.equal_mode (List.assoc 1.0 !auto_modes) Hf_query.Plan.Ship)
+
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_benchmarks () =
@@ -1391,6 +1528,7 @@ let () =
   timed "e16" e16_cache_pruning;
   timed "e17" e17_concurrency;
   timed "e18" e18_obs_overhead;
+  timed "e19" e19_scatter;
   timed "micro" micro_benchmarks;
   Option.iter write_json json_path;
   Fmt.pr "@.done.@."

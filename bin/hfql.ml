@@ -10,15 +10,17 @@
    root; scripts can traverse Chain/Tree/RandNN pointer classes and
    filter on the Unique/Common/Rand10/Rand100/Rand1000 search keys. *)
 
-let setup_server ?tracer ?(cache = false) ?in_flight ~sites ~objects ~seed () =
+let setup_server ?tracer ?(cache = false) ?in_flight ?(exec = Hf_server.Cluster.Exec_ship)
+    ~sites ~objects ~seed () =
   let config =
-    if cache || in_flight <> None then
+    if cache || in_flight <> None || exec <> Hf_server.Cluster.Exec_ship then
       Some
         { Hf_server.Cluster.default_config with
           Hf_server.Cluster.cache =
             (if cache then Some Hf_index.Remote_cache.default else None);
           admission =
             { Hf_server.Sched.unlimited with Hf_server.Sched.in_flight_cap = in_flight };
+          exec;
         }
     else None
   in
@@ -98,21 +100,50 @@ let warn_dropped tracer =
        this run are incomplete@."
       n
 
-let demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms ~sample_rate
-    =
+(* Resolve a query's seed set and ask the planner for its verdict
+   without running the query (doc/execution_modes.md).  The planner is
+   a pure cost comparison, so this works under any --mode. *)
+let explain_query server ~origin text =
+  match Hf_query.Parser.parse_query text with
+  | exception Hf_query.Parser.Parse_error { message; pos } ->
+    Error
+      (Printf.sprintf "parse error at %d:%d: %s" pos.Hf_query.Parser.line
+         pos.Hf_query.Parser.col message)
+  | { Hf_query.Parser.source; body; _ } ->
+    let initial =
+      match source with
+      | None -> []
+      | Some name ->
+        (match Hf_client.Embedded.find_set server name with
+         | Some oids -> oids
+         | None -> [])
+    in
+    let program = Hf_query.Compile.compile body in
+    let module C = Hf_client.Embedded.C in
+    Ok (C.explain (Hf_client.Embedded.cluster server) ~origin program initial)
+
+let exec_of_mode = function
+  | `Ship -> Hf_server.Cluster.Exec_ship
+  | `Scatter -> Hf_server.Cluster.Exec_scatter
+  | `Auto -> Hf_server.Cluster.Exec_auto
+
+let demo ~sites ~objects ~seed ~in_flight ~mode ~explain_plan ~trace ~profile ~profile_json
+    ~slow_ms ~sample_rate =
   let tracing = trace <> None || profile || profile_json <> None || slow_ms <> None in
   (* The sim cluster installs its virtual clock on the tracer. *)
   let tracer =
     if tracing then Hf_obs.Tracer.create ~sample_rate () else Hf_obs.Tracer.noop
   in
   let server =
-    setup_server ~tracer
+    setup_server ~tracer ~exec:(exec_of_mode mode)
       ?in_flight:(if in_flight > 1 then Some in_flight else None)
       ~sites ~objects ~seed ()
   in
   let profiles = ref [] in
   (* EXPLAIN ANALYZE per query; the slow-query log fires on virtual
-     response time, so it is deterministic for a given seed. *)
+     response time, so it is deterministic for a given seed.  The log
+     line names the execution mode that ran, so a slow entry already
+     says whether the planner's choice was involved. *)
   let profiled text (r : Hf_client.Embedded.result) =
     if tracing then begin
       let prof = Hf_client.Embedded.profile server r in
@@ -122,9 +153,11 @@ let demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms
       | Some threshold
         when r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time *. 1000.0
              >= threshold ->
-        Fmt.epr "hfql: slow query (%.1f ms >= %.1f ms): %s@.%a@."
+        Fmt.epr "hfql: slow query (%.1f ms >= %.1f ms, mode: %s): %s@.%a@."
           (r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time *. 1000.0)
-          threshold text Hf_obs.Profile.pp prof
+          threshold
+          (Hf_query.Plan.mode_name r.Hf_client.Embedded.outcome.Hf_server.Cluster.mode)
+          text Hf_obs.Profile.pp prof
       | _ -> ()
     end
   in
@@ -137,9 +170,16 @@ let demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms
   List.iter
     (fun text ->
       Fmt.pr "query: %s@." text;
+      if explain_plan then begin
+        match explain_query server ~origin:0 text with
+        | Ok decision -> Fmt.pr "  plan: %a@." Hf_query.Plan.pp decision
+        | Error message -> Fmt.epr "hfql: cannot explain: %s@." message
+      end;
       let r = Hf_client.Embedded.query server text in
-      Fmt.pr "  %d result(s) in %.3f simulated seconds@." (List.length r.Hf_client.Embedded.oids)
-        r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time;
+      Fmt.pr "  %d result(s) in %.3f simulated seconds (mode: %s)@."
+        (List.length r.Hf_client.Embedded.oids)
+        r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time
+        (Hf_query.Plan.mode_name r.Hf_client.Embedded.outcome.Hf_server.Cluster.mode);
       List.iter
         (fun (target, values) ->
           Fmt.pr "  %s = %a@." target (Fmt.list ~sep:Fmt.comma Hf_data.Value.pp) values)
@@ -204,8 +244,8 @@ let demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms
 
 (* --- interactive REPL --- *)
 
-let repl ~sites ~objects ~seed ~origin ~cache =
-  let server = setup_server ~cache ~sites ~objects ~seed () in
+let repl ~sites ~objects ~seed ~origin ~cache ~mode =
+  let server = setup_server ~cache ~exec:(exec_of_mode mode) ~sites ~objects ~seed () in
   (* Session totals for :cache-stats — the counters live in each
      outcome's metrics, so we sum them as queries run. *)
   let hits = ref 0 and misses = ref 0 and prunes = ref 0 in
@@ -219,9 +259,15 @@ let repl ~sites ~objects ~seed ~origin ~cache =
     fills := !fills + m.Hf_server.Metrics.cache_fills;
     invalidations := !invalidations + m.Hf_server.Metrics.cache_invalidations
   in
-  Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects%s.@." sites objects
-    (if cache then ", remote-answer cache on" else "");
-  Fmt.pr "The set \"Root\" holds the dataset root.  Commands: :sets, :cache-stats, :quit.@.";
+  Fmt.pr "HyperFile query shell — %d simulated site(s), %d objects%s%s.@." sites objects
+    (if cache then ", remote-answer cache on" else "")
+    (match mode with
+     | `Ship -> ""
+     | `Scatter -> ", scatter-gather mode"
+     | `Auto -> ", cost-based mode selection");
+  Fmt.pr
+    "The set \"Root\" holds the dataset root.  Commands: :sets, :plan <query>, \
+     :cache-stats, :quit.@.";
   Fmt.pr "Example: Root [ (Pointer, \"Tree\", ?X) ^^X ]* (Number, \"Rand10\", 5) -> Hits@.";
   let rec loop () =
     Fmt.pr "hfql> %!";
@@ -235,6 +281,18 @@ let repl ~sites ~objects ~seed ~origin ~cache =
         (List.sort
            (fun (a, _) (b, _) -> String.compare a b)
            (Hf_client.Embedded.sets server));
+      loop ()
+    | Some line
+      when String.length (String.trim line) >= 5
+           && String.sub (String.trim line) 0 5 = ":plan" ->
+      (* :plan <query> — the planner's cost comparison for this query,
+         without running it (doc/execution_modes.md) *)
+      let text = String.trim (String.sub (String.trim line) 5 (String.length (String.trim line) - 5)) in
+      if text = "" then Fmt.pr "usage: :plan <query>@."
+      else
+        (match explain_query server ~origin text with
+         | Ok decision -> Fmt.pr "%a@." Hf_query.Plan.pp decision
+         | Error message -> Fmt.pr "error: %s@." message);
       loop ()
     | Some line when String.trim line = ":cache-stats" ->
       if not cache then Fmt.pr "remote-answer cache is off (start the repl with --cache)@."
@@ -254,9 +312,15 @@ let repl ~sites ~objects ~seed ~origin ~cache =
       (match Hf_client.Embedded.query ~origin server line with
        | r ->
          tally r.Hf_client.Embedded.outcome;
-         Fmt.pr "%d result(s) in %.3f simulated seconds%s@."
+         Fmt.pr "%d result(s) in %.3f simulated seconds%s%s@."
            (List.length r.Hf_client.Embedded.oids)
            r.Hf_client.Embedded.outcome.Hf_server.Cluster.response_time
+           (* name the mode only when a planner could have run, so the
+              default shell output is unchanged *)
+           (if mode = `Ship then ""
+            else
+              Printf.sprintf " (mode: %s)"
+                (Hf_query.Plan.mode_name r.Hf_client.Embedded.outcome.Hf_server.Cluster.mode))
            (match r.Hf_client.Embedded.target with
             | Some t -> Printf.sprintf " -> %s" t
             | None -> "");
@@ -307,9 +371,15 @@ let dump_snapshot path =
 
 (* --- TCP demo --- *)
 
-let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~monitor
+let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~mode ~trace ~profile ~stats ~monitor
     ~linger ~sample_rate =
   let module Tcp = Hf_net.Tcp_site in
+  let exec =
+    match mode with
+    | `Ship -> Tcp.Exec_ship
+    | `Scatter -> Tcp.Exec_scatter
+    | `Auto -> Tcp.Exec_auto
+  in
   let tracing = trace <> None || profile in
   (* One shared tracer across the in-process sites: wire messages carry
      span ids, so remote spans still parent on the originating site. *)
@@ -323,7 +393,7 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~moni
   let reliability = if reliable then Some Hf_proto.Reliable.default else None in
   let endpoints =
     Array.init sites (fun site ->
-        Tcp.create ~site ~batch ?reliability ~tracer
+        Tcp.create ~site ~batch ?reliability ~exec ~tracer
           ?monitor_port:(if monitor then Some 0 else None)
           ())
   in
@@ -370,10 +440,11 @@ let tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~moni
     | Tcp.Timed_out -> "timed out (peers may merely be slow)"
     | Tcp.Cancelled -> "cancelled"
   in
-  Fmt.pr "closure over TCP: %d result(s), %s, %.1f ms, %d message(s), %d bytes@."
+  Fmt.pr "closure over TCP: %d result(s), %s, %.1f ms, %d message(s), %d bytes, mode %s@."
     (List.length outcome.Tcp.results) status_text
     (outcome.Tcp.response_time *. 1000.0)
-    outcome.Tcp.messages_sent outcome.Tcp.bytes_sent;
+    outcome.Tcp.messages_sent outcome.Tcp.bytes_sent
+    (Hf_query.Plan.mode_name outcome.Tcp.mode);
   if profile then Fmt.pr "%a@." Hf_obs.Profile.pp (Tcp.profile endpoints.(0) handle outcome);
   (* Cluster-wide scrape over the wire: every peer answers a credit-free
      Stats_pull, and the per-site registries merge bucket-exactly. *)
@@ -450,6 +521,15 @@ let trace_arg =
                  Perfetto or chrome://tracing), or one JSON object per span when $(docv) \
                  ends in .jsonl.")
 
+let mode_arg =
+  Arg.(value
+       & opt (enum [ ("ship", `Ship); ("scatter", `Scatter); ("auto", `Auto) ]) `Ship
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Execution mode (doc/execution_modes.md): $(b,ship) is classic query \
+                 shipping (the paper's protocol, the default), $(b,scatter) forces \
+                 single-round scatter-gather for every eligible query, $(b,auto) lets \
+                 the cost-based planner choose per query.")
+
 let profile_arg =
   Arg.(value & flag
        & info [ "profile" ]
@@ -499,19 +579,28 @@ let demo_cmd =
              ~doc:"Slow-query log: print the profile of any query whose response time \
                    reaches $(docv) milliseconds to stderr.")
   in
-  let run sites objects seed in_flight trace profile profile_json slow_ms sample_rate =
+  let explain_plan_arg =
+    Arg.(value & flag
+         & info [ "explain-plan" ]
+             ~doc:"Print the cost-based planner's verdict (predicted sites, modeled \
+                   shipping vs scatter cost, chosen mode) before each query runs; \
+                   independent of $(b,--mode).")
+  in
+  let run sites objects seed in_flight mode explain_plan trace profile profile_json slow_ms
+      sample_rate =
     if sample_rate < 0.0 || sample_rate > 1.0 then begin
       Fmt.epr "hfql: --sample-rate must be in [0, 1] (got %g)@." sample_rate;
       2
     end
     else
-      demo ~sites ~objects ~seed ~in_flight ~trace ~profile ~profile_json ~slow_ms
-        ~sample_rate
+      demo ~sites ~objects ~seed ~in_flight ~mode ~explain_plan ~trace ~profile
+        ~profile_json ~slow_ms ~sample_rate
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run canned queries against the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ in_flight_arg $ trace_arg
-          $ profile_arg $ profile_json_arg $ slow_ms_arg $ sample_rate_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ in_flight_arg $ mode_arg
+          $ explain_plan_arg $ trace_arg $ profile_arg $ profile_json_arg $ slow_ms_arg
+          $ sample_rate_arg)
 
 let save_demo_cmd =
   let path_arg =
@@ -538,10 +627,12 @@ let repl_cmd =
              ~doc:"Enable the remote-answer cache and Bloom ship pruning (DESIGN.md §4g); \
                    inspect it with the :cache-stats shell command.")
   in
-  let run sites objects seed origin cache = repl ~sites ~objects ~seed ~origin ~cache in
+  let run sites objects seed origin cache mode =
+    repl ~sites ~objects ~seed ~origin ~cache ~mode
+  in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive query shell over the demo server.")
-    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ cache_arg)
+    Term.(const run $ sites_arg $ objects_arg $ seed_arg $ origin_arg $ cache_arg $ mode_arg)
 
 let tcp_demo_cmd =
   let batch_arg =
@@ -578,7 +669,8 @@ let tcp_demo_cmd =
              ~doc:"Keep the sites (and any $(b,--monitor) ports) up for $(docv) seconds \
                    after the query, so external scrapers can connect.")
   in
-  let run sites objects seed batch reliable trace profile stats monitor linger sample_rate =
+  let run sites objects seed batch reliable mode trace profile stats monitor linger
+      sample_rate =
     match
       if batch = 0 then Ok Hf_proto.Batch.Flush_on_drain
       else if batch >= 1 then Ok (Hf_proto.Batch.Flush_at batch)
@@ -590,8 +682,8 @@ let tcp_demo_cmd =
         2
       end
       else
-        tcp_demo ~sites ~objects ~seed ~batch ~reliable ~trace ~profile ~stats ~monitor
-          ~linger ~sample_rate
+        tcp_demo ~sites ~objects ~seed ~batch ~reliable ~mode ~trace ~profile ~stats
+          ~monitor ~linger ~sample_rate
     | Error () ->
       Fmt.epr "hfql: --batch must be >= 0 (got %d)@." batch;
       2
@@ -601,7 +693,7 @@ let tcp_demo_cmd =
        ~doc:"Run a closure query across real loopback TCP sites (the wire protocol, not the \
              simulator).")
     Term.(const run $ sites_arg $ objects_arg $ seed_arg $ batch_arg $ reliable_arg
-          $ trace_arg $ profile_arg $ stats_flag $ monitor_flag $ linger_arg
+          $ mode_arg $ trace_arg $ profile_arg $ stats_flag $ monitor_flag $ linger_arg
           $ sample_rate_arg)
 
 let stats_cmd =

@@ -158,9 +158,7 @@ let of_string s =
               })))
   | _ -> None
 
-let equal a b = a.m = b.m && a.k = b.k && Bytes.equal a.bits b.bits
-
-let pp ppf t =
+let ones t =
   let ones = ref 0 in
   Bytes.iter
     (fun c ->
@@ -170,6 +168,23 @@ let pp ppf t =
         b := !b lsr 1
       done)
     t.bits;
+  !ones
+
+(* Swamidass–Baldi cardinality estimate from the fill ratio:
+   n ~= -(m/k) ln(1 - X/m) with X the number of set bits.  Used by the
+   execution-mode planner to price a remote site's speculation domain
+   from its learned summary alone. *)
+let estimate_entries t =
+  let x = float_of_int (ones t) in
+  let m = float_of_int t.m in
+  if x >= m then t.count (* saturated: the formula diverges *)
+  else
+    int_of_float
+      (Float.round (-.(m /. float_of_int t.k) *. Float.log (1.0 -. (x /. m))))
+
+let equal a b = a.m = b.m && a.k = b.k && Bytes.equal a.bits b.bits
+
+let pp ppf t =
   Format.fprintf ppf "bloom(m=%d k=%d n=%d fill=%.3f fp~%.4f)" t.m t.k t.count
-    (float_of_int !ones /. float_of_int t.m)
+    (float_of_int (ones t) /. float_of_int t.m)
     (fp_estimate t)

@@ -32,6 +32,13 @@ val fp_estimate : t -> float
 (** Expected false-positive probability at the current fill,
     [(1 - e^{-kn/m})^k]. *)
 
+val estimate_entries : t -> int
+(** Swamidass–Baldi cardinality estimate from the fill ratio,
+    [-(m/k) ln(1 - X/m)] with [X] the set-bit count — lets the
+    execution-mode planner ({!Hf_query.Plan}) price a remote site's
+    speculation domain from its summary alone.  Falls back to {!count}
+    when the filter is saturated. *)
+
 val to_string : t -> string
 (** Compact wire form, carried in [Cache_version] messages. *)
 

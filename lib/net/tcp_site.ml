@@ -127,6 +127,13 @@ let conn_close ~join_errors conn =
   | None -> ());
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* --- execution mode (doc/execution_modes.md) --- *)
+
+type exec_mode =
+  | Exec_ship (* classic query shipping only; no planner runs *)
+  | Exec_scatter (* scatter-gather whenever the program is eligible *)
+  | Exec_auto (* per-query cost-based choice ([Hf_query.Plan]) *)
+
 (* --- per-query state --- *)
 
 (* Every mutable part of a context is owned by the site lock: handlers
@@ -174,6 +181,14 @@ type context = {
       (* cacheable verdicts computed here for the originator's cache,
          newest first; flushed (credit-free) with the drain tail *)
   mutable answers_version : int; [@hf.guarded_by "locked"]
+  mutable scatter : Hf_engine.Scatter.Stitch.t option; [@hf.guarded_by "locked"]
+      (* origin-side: live stitch while a scatter round is outstanding;
+         gates the credit-return tail until every gather (or a give-up
+         verdict for its site) has landed *)
+  mutable ran_mode : Hf_query.Plan.mode; [@hf.guarded_by "locked"]
+      (* which execution mode actually ran (origin-side) *)
+  mutable decision : Hf_query.Plan.decision option; [@hf.guarded_by "locked"]
+      (* the planner's verdict, when a planner ran (origin-side) *)
   (* Per-query transport attribution: site-global counters bleed across
      overlapping queries, so each frame is also charged to its query's
      context and outcomes read these instead of global deltas. *)
@@ -265,6 +280,17 @@ type t = {
   mutable cache_validations : int; [@hf.guarded_by "locked"]
   mutable cache_fills : int; [@hf.guarded_by "locked"]
   mutable cache_invalidations : int; [@hf.guarded_by "locked"]
+  (* scatter-gather execution mode (doc/execution_modes.md) *)
+  exec : exec_mode;
+  mutable scatter_messages : int; [@hf.guarded_by "locked"]
+  mutable gather_messages : int; [@hf.guarded_by "locked"]
+  mutable gather_nodes : int; [@hf.guarded_by "locked"]
+  mutable scatter_fallbacks : int; [@hf.guarded_by "locked"]
+  mutable planner_scatter : int; [@hf.guarded_by "locked"]
+  mutable planner_ship : int; [@hf.guarded_by "locked"]
+  mutable locality_memo : (int * float) option; [@hf.guarded_by "locked"]
+      (* (store version, fraction of this store's pointer tuples that
+         stay on-site) — the planner's locality signal *)
   (* cluster-wide stats scraping and monitoring (DESIGN.md §4i) *)
   mutable stats_token : int; [@hf.guarded_by "locked"]
       (* last Stats_pull token issued by this site; replies carrying an
@@ -475,6 +501,9 @@ let new_context t ?(cause = 0) ~query ~origin program =
       draining = 0;
       answers = [];
       answers_version = 0;
+      scatter = None;
+      ran_mode = Hf_query.Plan.Ship;
+      decision = None;
       msgs_sent = 0;
       bytes_out = 0;
       queue_wait_s = 0.0;
@@ -617,6 +646,26 @@ and give_up_message t ~dst message =
       match Hashtbl.find_opt t.contexts query with
       | None -> ()
       | Some ctx -> release_parked t query ctx ~dst None)
+  | Message.Scatter { query; credit; _ } ->
+    (* The whole scattered site is gone.  Settle its slot in the stitch
+       first (an empty gather, dropping its parked chains — the same
+       answer a classic loss at that site produces), so the reclaim
+       below can run the credit tail without the stitch holding it
+       open forever. *)
+    (match Hashtbl.find_opt t.contexts query with
+     | None -> ()
+     | Some ctx -> (
+         match ctx.scatter with
+         | None -> ()
+         | Some st -> ignore (Hf_engine.Scatter.Stitch.site_dead st ~site:dst)));
+    reclaim query credit;
+    (match Hashtbl.find_opt t.contexts query with
+     | None -> () (* the reclaim terminated and evicted the query *)
+     | Some ctx -> finish_drain t query ctx)
+  | Message.Gather_result { query; credit; _ } ->
+    (* a gather toward an unreachable originator: same as a Result —
+       reclaim discards the credit, there is no one left to pay *)
+    reclaim query credit
   | Message.Link_ack | Message.Site_unreachable _ | Message.Cache_version _
   | Message.Cache_answers _ | Message.Query_done _ | Message.Stats_pull _
   | Message.Stats_report _ -> ()
@@ -799,6 +848,38 @@ and send_work_batch t query ctx ~dst items =
             ]))
 [@@hf.requires_lock "locked"]
 
+(* Apply a stitch outcome at the originator (scatter-gather mode):
+   newly activated passing nodes join the final results, their bindings
+   merge, and chains that escaped the scattered site set re-enter the
+   classic pipeline — cache layer, batcher, credit split — as ordinary
+   remote work.  Ordering matters for credit safety: the fallback ships
+   split their share from the origin's held credit HERE, before the
+   caller deposits whatever credit the gather carried, so the detector
+   can never converge while stitched chains still owe work. *)
+and apply_scatter_outcome t query ctx (outcome : Hf_engine.Scatter.Stitch.outcome) =
+  List.iter
+    (fun oid ->
+      if not (Hf_data.Oid.Set.mem oid ctx.local_result_set) then begin
+        ctx.local_result_set <- Hf_data.Oid.Set.add oid ctx.local_result_set;
+        if not (Hf_data.Oid.Set.mem oid ctx.final_set) then begin
+          ctx.final_set <- Hf_data.Oid.Set.add oid ctx.final_set;
+          ctx.final_results <- oid :: ctx.final_results
+        end
+      end)
+    outcome.passed;
+  merge_bindings ctx.final_bindings outcome.bindings;
+  t.scatter_fallbacks <- t.scatter_fallbacks + List.length outcome.fallback;
+  if outcome.fallback <> [] then begin
+    let out = Hf_proto.Batch.create t.batch_policy in
+    List.iter (fun wi -> route_remote t query ctx ~out wi) outcome.fallback;
+    List.iter
+      (fun (dst, items) ->
+        ctx.out_pending <- ctx.out_pending - List.length items;
+        send_work_batch t query ctx ~dst items)
+      (Hf_proto.Batch.flush_all out)
+  end
+[@@hf.requires_lock "locked"]
+
 (* The credit-return tail: ship buffered results (credit riding along)
    to the originator, or at the originator recover the held credit.
    Gated — it must not run while a [process_to_drain] is still active
@@ -810,6 +891,9 @@ and finish_drain t query ctx =
   if
     ctx.draining = 0 && ctx.parked_count = 0 && ctx.out_pending = 0
     && Hf_util.Deque.is_empty ctx.work
+    && (match ctx.scatter with
+        | None -> true
+        | Some st -> Hf_engine.Scatter.Stitch.outstanding st = 0)
   then begin
     (* Opportunistic cache fill first: verdicts computed here flow to
        the originator's cache.  Credit-free — a drop costs future hits,
@@ -1027,6 +1111,172 @@ let process_to_drain ?(seeds = []) t query ctx =
       ctx.draining <- ctx.draining - 1;
       finish_drain t query ctx)
 
+(* --- the execution-mode planner (doc/execution_modes.md) --- *)
+
+(* Locality signal: the fraction of this store's pointer tuples whose
+   target lives on-site, memoized per store version. *)
+let p_local_of t =
+  let version = Hf_data.Store.version t.store in
+  match t.locality_memo with
+  | Some (v, p) when v = version -> p
+  | Some _ | None ->
+    let total = ref 0 and local = ref 0 in
+    Hf_data.Store.iter t.store (fun obj ->
+        List.iter
+          (fun target ->
+            incr total;
+            if locate target = t.id then incr local)
+          (Hf_data.Hobject.pointers obj));
+    let p =
+      if !total = 0 then 1.0 else float_of_int !local /. float_of_int !total
+    in
+    t.locality_memo <- Some (version, p);
+    p
+[@@hf.requires_lock "locked"]
+
+(* Price both modes from what this site can see without going to the
+   wire: seed placement from oid birth sites, per-peer hints from the
+   Bloom summaries learned via [Cache_version] replies (the
+   Swamidass–Baldi entry estimate standing in for remote store stats),
+   and nominal loopback unit costs.  The planner only needs ratios —
+   a network round costs orders of magnitude more than evaluating one
+   node — so the crossover lands where rounds, not bytes, dominate,
+   matching the simulator's calibrated model. *)
+let plan_decision t program initial =
+  let plan = Hf_engine.Plan.make program in
+  let zeros = Array.make (Hf_engine.Plan.iter_count plan) 0 in
+  let landing = Hf_query.Plan.landing_pcs program in
+  let seed_sites =
+    List.fold_left
+      (fun acc oid ->
+        let s = locate oid in
+        match List.assoc_opt s acc with
+        | Some n -> (s, n + 1) :: List.remove_assoc s acc
+        | None -> (s, 1) :: acc)
+      [] initial
+  in
+  let hints = ref [] in
+  Array.iteri
+    (fun peer _ ->
+      if peer <> t.id then begin
+        let hint =
+          match Hashtbl.find_opt t.summaries peer with
+          | None -> { Hf_query.Plan.site = peer; objects = None; may_match = None }
+          | Some (_, bloom) ->
+            let may_match =
+              landing = []
+              || List.exists
+                   (fun pc ->
+                     let probes =
+                       Hf_index.Remote_cache.prune_probes plan ~start:pc ~iters:zeros
+                     in
+                     probes = []
+                     || not (Hf_index.Remote_cache.summary_misses bloom probes))
+                   landing
+            in
+            {
+              Hf_query.Plan.site = peer;
+              objects = Some (Hf_index.Bloom.estimate_entries bloom);
+              may_match = Some may_match;
+            }
+        in
+        hints := hint :: !hints
+      end)
+    t.peers;
+  let item_bytes = 13 + 4 + (4 * Hf_engine.Plan.iter_count plan) in
+  let costs =
+    {
+      Hf_query.Plan.transit = 5e-4;
+      header_bytes = 32;
+      item_bytes;
+      node_bytes = 32;
+      eval_s = 2e-6;
+      byte_s = 1e-8;
+      p_local = p_local_of t;
+    }
+  in
+  Hf_query.Plan.decide ~program ~origin:t.id ~seed_sites ~hints:(List.rev !hints)
+    ~costs
+[@@hf.requires_lock "locked"]
+
+(* The planner's verdict for a query, without running it — [hfql :plan]
+   renders this. *)
+let explain t program initial = locked t (fun () -> plan_decision t program initial)
+
+(* Origin half of a scatter round: split one credit share per scattered
+   site, broadcast the program, then evaluate the origin's own domain
+   and stitch it in as this site's gather.  The stitch keeps
+   [finish_drain] gated until every remote gather (or a give-up
+   verdict for its site) lands, so the origin's held credit cannot go
+   home while stitched chains may still become fallback work. *)
+let scatter_seed t query ctx ~sites initial =
+  locked t (fun () ->
+      let member = Hashtbl.create 8 in
+      List.iter (fun s -> Hashtbl.replace member s ()) (t.id :: sites);
+      let roots = Hashtbl.create 8 in
+      let stray = ref [] in
+      List.iter
+        (fun oid ->
+          let s = locate oid in
+          if Hashtbl.mem member s then
+            Hashtbl.replace roots s
+              (oid
+              ::
+              (match Hashtbl.find_opt roots s with Some l -> l | None -> []))
+          else stray := oid :: !stray)
+        initial;
+      let roots_of s =
+        match Hashtbl.find_opt roots s with Some l -> List.rev l | None -> []
+      in
+      let stitch =
+        Hf_engine.Scatter.Stitch.create ~plan:ctx.plan ~locate
+          ~sites:(t.id :: sites)
+          ~roots:(List.map (fun s -> (s, roots_of s)) (t.id :: sites))
+      in
+      ctx.scatter <- Some stitch;
+      let body = Hf_engine.Plan.program ctx.plan in
+      List.iter
+        (fun dst ->
+          let keep, gave = Credit.split ctx.held in
+          ctx.held <- keep;
+          t.scatter_messages <- t.scatter_messages + 1;
+          let span =
+            Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+              ~query:(Fmt.str "%a" Message.pp_query_id query)
+              ~site:t.id ~phase:Hf_obs.Span.Scatter
+              (Fmt.str "scatter->%d" dst)
+          in
+          Hf_obs.Tracer.set_detail t.tracer span
+            (Fmt.str "%d root(s)" (List.length (roots_of dst)));
+          send t ~span ~dst
+            (Message.Scatter
+               { query; body; roots = roots_of dst; credit = Credit.atoms gave }))
+        sites;
+      let nodes =
+        Hf_engine.Scatter.eval_site ~plan:ctx.plan
+          ~find:(Hf_data.Store.find t.store)
+          ~oids:(Hf_data.Store.oids t.store) ~roots:(roots_of t.id)
+          ~stats:ctx.stats
+      in
+      let outcome = Hf_engine.Scatter.Stitch.add_gather stitch ~site:t.id nodes in
+      apply_scatter_outcome t query ctx outcome;
+      (* Stray seeds — oids located outside origin ∪ predicted, possible
+         only if prediction raced a relocation — ship classically, same
+         contract as an escaped chain. *)
+      (if !stray <> [] then begin
+         let out = Hf_proto.Batch.create t.batch_policy in
+         List.iter
+           (fun oid ->
+             route_remote t query ctx ~out (Hf_engine.Work_item.initial ctx.plan oid))
+           (List.rev !stray);
+         List.iter
+           (fun (dst, items) ->
+             ctx.out_pending <- ctx.out_pending - List.length items;
+             send_work_batch t query ctx ~dst items)
+           (Hf_proto.Batch.flush_all out)
+       end);
+      finish_drain t query ctx)
+
 (* Answer a [Stats_pull]: snapshot our registry and ship it back.  The
    snapshot MUST be taken outside the site lock — registry gauges read
    site state under [locked], and the mutex is not reentrant — so the
@@ -1235,6 +1485,85 @@ let handle_message t ?(span = 0) ?rel message =
         let prev = Option.value ~default:0 (Hashtbl.find_opt t.peer_stats_token peer) in
         if token > prev then Hashtbl.replace t.peer_stats_token peer token;
         Condition.broadcast t.stats_cond;
+        []
+      | Message.Scatter { query; body; roots; credit } ->
+        if Hashtbl.mem t.closed query then []
+        else begin
+          let ctx =
+            match Hashtbl.find_opt t.contexts query with
+            | Some ctx -> ctx
+            | None -> new_context t ~cause:span ~query ~origin:query.Message.originator body
+          in
+          let gave = Credit.of_atoms credit in
+          (* Evaluate the whole speculation domain here and now — pure
+             CPU under the lock, like a drain slice's evaluation — and
+             answer with one gather.  The scatter's credit share rides
+             straight back on it; classic work concurrently in flight
+             for this query (a fallback chain re-entering this site)
+             keeps its own credit and drains through the normal tail. *)
+          let engine_nodes =
+            Hf_engine.Scatter.eval_site ~plan:ctx.plan
+              ~find:(Hf_data.Store.find t.store)
+              ~oids:(Hf_data.Store.oids t.store) ~roots ~stats:ctx.stats
+          in
+          let nodes =
+            List.map
+              (fun (n : Hf_engine.Scatter.node) ->
+                {
+                  Message.oid = n.oid;
+                  start = n.start;
+                  passed = n.passed;
+                  visited = n.visited;
+                  spawns = n.spawns;
+                  bindings = n.bindings;
+                })
+              engine_nodes
+          in
+          let gspan =
+            Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+              ~query:(Fmt.str "%a" Message.pp_query_id query)
+              ~site:t.id ~phase:Hf_obs.Span.Scatter
+              (Fmt.str "gather->%d" ctx.origin)
+          in
+          Hf_obs.Tracer.set_detail t.tracer gspan
+            (Fmt.str "%d node(s)" (List.length nodes));
+          send t ~span:gspan ~dst:ctx.origin
+            (Message.Gather_result
+               { query; src = t.id; nodes; credit = Credit.atoms gave });
+          []
+        end
+      | Message.Gather_result { query; src = peer; nodes; credit } ->
+        (match Hashtbl.find_opt t.contexts query with
+         | None -> () (* closed/cancelled: dead credit, like a late Result *)
+         | Some ctx ->
+           t.gather_messages <- t.gather_messages + 1;
+           t.gather_nodes <- t.gather_nodes + List.length nodes;
+           (match ctx.scatter with
+            | None -> ()
+            | Some st ->
+              let engine_nodes =
+                List.map
+                  (fun (n : Message.gather_node) ->
+                    {
+                      Hf_engine.Scatter.oid = n.oid;
+                      start = n.start;
+                      passed = n.passed;
+                      visited = n.visited;
+                      spawns = n.spawns;
+                      bindings = n.bindings;
+                    })
+                  nodes
+              in
+              let outcome =
+                Hf_engine.Scatter.Stitch.add_gather st ~site:peer engine_nodes
+              in
+              (* fallback credit splits happen inside, BEFORE the
+                 gather's credit is deposited below *)
+              apply_scatter_outcome t query ctx outcome);
+           credit_recovered t query ctx (Credit.of_atoms credit);
+           (match Hashtbl.find_opt t.contexts query with
+            | None -> () (* the deposit terminated and evicted the query *)
+            | Some ctx -> finish_drain t query ctx));
         [])
   in
   List.iter (fun act -> act ()) !after;
@@ -1311,8 +1640,8 @@ let accept_loop t () =
 (* --- lifecycle --- *)
 
 let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
-    ?(admission = Sched.unlimited) ?(tracer = Hf_obs.Tracer.noop) ?stats_period ?monitor_port
-    () =
+    ?(admission = Sched.unlimited) ?(exec = Exec_ship) ?(tracer = Hf_obs.Tracer.noop)
+    ?stats_period ?monitor_port () =
   Hf_proto.Batch.validate_policy batch;
   Option.iter Hf_proto.Reliable.validate reliability;
   Option.iter Hf_index.Remote_cache.validate cache;
@@ -1378,6 +1707,14 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       cache_validations = 0;
       cache_fills = 0;
       cache_invalidations = 0;
+      exec;
+      scatter_messages = 0;
+      gather_messages = 0;
+      gather_nodes = 0;
+      scatter_fallbacks = 0;
+      planner_scatter = 0;
+      planner_ship = 0;
+      locality_memo = None;
       stats_token = 0;
       peer_stats = Hashtbl.create 8;
       peer_stats_token = Hashtbl.create 8;
@@ -1416,6 +1753,18 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       locked t (fun () -> t.cache_fills));
   Hf_obs.Registry.register_counter registry "hf.net.cache_invalidations" (fun () ->
       locked t (fun () -> t.cache_invalidations));
+  Hf_obs.Registry.register_counter registry "hf.net.scatter_messages" (fun () ->
+      locked t (fun () -> t.scatter_messages));
+  Hf_obs.Registry.register_counter registry "hf.net.gather_messages" (fun () ->
+      locked t (fun () -> t.gather_messages));
+  Hf_obs.Registry.register_counter registry "hf.net.gather_nodes" (fun () ->
+      locked t (fun () -> t.gather_nodes));
+  Hf_obs.Registry.register_counter registry "hf.net.scatter_fallbacks" (fun () ->
+      locked t (fun () -> t.scatter_fallbacks));
+  Hf_obs.Registry.register_counter registry "hf.net.planner_scatter" (fun () ->
+      locked t (fun () -> t.planner_scatter));
+  Hf_obs.Registry.register_counter registry "hf.net.planner_ship" (fun () ->
+      locked t (fun () -> t.planner_ship));
   Hf_obs.Registry.register_counter registry "hf.net.queries_running" (fun () ->
       locked t (fun () -> Sched.running t.gate));
   Hf_obs.Registry.register_counter registry "hf.net.queries_queued" (fun () ->
@@ -1616,6 +1965,8 @@ type outcome = {
   queue_wait_s : float; (* time spent in the admission queue *)
   messages_sent : int;
   bytes_sent : int;
+  mode : Hf_query.Plan.mode; (* which execution mode ran *)
+  plan_decision : Hf_query.Plan.decision option; (* when a planner ran *)
 }
 
 type handle = {
@@ -1642,6 +1993,37 @@ let submit_query (t : t) program initial =
           ~site:t.id ~phase:Hf_obs.Span.Query "query"
       in
       let ctx = new_context t ~cause:root_span ~query ~origin:t.id program in
+      (* Mode selection (doc/execution_modes.md): [Exec_ship] is the
+         byte-identical legacy path — no planner runs at all.  This
+         engine is always per-site-marks, ship-items, so eligibility
+         plus a non-empty predicted set is all scatter needs. *)
+      let decision =
+        match t.exec with
+        | Exec_ship -> None
+        | Exec_scatter | Exec_auto -> Some (plan_decision t program initial)
+      in
+      ctx.decision <- decision;
+      let scatter_sites =
+        match (t.exec, decision) with
+        | Exec_ship, _ | _, None -> None
+        | Exec_scatter, Some d ->
+          if d.Hf_query.Plan.eligible && d.Hf_query.Plan.predicted <> [] then
+            Some d.Hf_query.Plan.predicted
+          else None
+        | Exec_auto, Some d ->
+          if
+            d.Hf_query.Plan.eligible
+            && d.Hf_query.Plan.predicted <> []
+            && Hf_query.Plan.equal_mode d.Hf_query.Plan.chosen Hf_query.Plan.Scatter
+          then Some d.Hf_query.Plan.predicted
+          else None
+      in
+      (match decision with
+       | None -> ()
+       | Some _ ->
+         if Option.is_some scatter_sites then
+           t.planner_scatter <- t.planner_scatter + 1
+         else t.planner_ship <- t.planner_ship + 1);
       let seed () =
         ctx.admitted <- true;
         ctx.held <- Credit.one;
@@ -1662,7 +2044,14 @@ let submit_query (t : t) program initial =
              ~query:(Fmt.str "%a" Message.pp_query_id query)
              ~site:t.id ~phase:Hf_obs.Span.Wait ~start:(trace_now -. wait)
              ~finish:trace_now "admission-wait");
-        let drainer = Thread.create (fun () -> process_to_drain ~seeds:initial t query ctx) () in
+        let drainer =
+          match scatter_sites with
+          | Some sites ->
+            ctx.ran_mode <- Hf_query.Plan.Scatter;
+            Thread.create (fun () -> scatter_seed t query ctx ~sites initial) ()
+          | None ->
+            Thread.create (fun () -> process_to_drain ~seeds:initial t query ctx) ()
+        in
         t.threads <- drainer :: t.threads
       in
       (match Sched.admit t.gate ~tenant:t.id { p_query = query; p_seed = seed } with
@@ -1724,6 +2113,8 @@ let await ?(timeout = 10.0) (t : t) (handle : handle) =
              frames never land in this outcome *)
           messages_sent = ctx.msgs_sent;
           bytes_sent = ctx.bytes_out;
+          mode = ctx.ran_mode;
+          plan_decision = ctx.decision;
         })
   in
   stop_ticker := true;
@@ -1868,6 +2259,11 @@ let profile (t : t) (handle : handle) (outcome : outcome) =
         ("messages_sent", Hf_obs.Profile.Int outcome.messages_sent);
         ("bytes_sent", Hf_obs.Profile.Int outcome.bytes_sent);
         ("results", Hf_obs.Profile.Int (List.length outcome.results));
+        ( "mode_scatter",
+          Hf_obs.Profile.Int
+            (match outcome.mode with
+             | Hf_query.Plan.Scatter -> 1
+             | Hf_query.Plan.Ship -> 0) );
         ("queue_wait_s", Hf_obs.Profile.Float outcome.queue_wait_s);
         ("response_time_s", Hf_obs.Profile.Float outcome.response_time);
       ]

@@ -19,12 +19,22 @@
 
 type t
 
+type exec_mode =
+  | Exec_ship  (** classic query shipping only; no planner runs. *)
+  | Exec_scatter
+      (** scatter-gather whenever the program is eligible (no [.\[n\]]
+          finite iterators) and some site is predicted. *)
+  | Exec_auto
+      (** per-query cost-based choice ({!Hf_query.Plan}); see
+          doc/execution_modes.md. *)
+
 val create :
   site:int ->
   ?batch:Hf_proto.Batch.flush_policy ->
   ?reliability:Hf_proto.Reliable.config ->
   ?cache:Hf_index.Remote_cache.config ->
   ?admission:Hf_server.Sched.config ->
+  ?exec:exec_mode ->
   ?tracer:Hf_obs.Tracer.t ->
   ?stats_period:float ->
   ?monitor_port:int ->
@@ -67,6 +77,16 @@ val create :
     non-caching site still answers validations (version-only) but
     never parks, caches or prunes.
 
+    [exec] (default {!Exec_ship}, the byte-identical legacy behavior)
+    selects the execution mode for locally-issued queries.  Under
+    {!Exec_auto} a cost-based planner ({!Hf_query.Plan}) prices classic
+    query shipping against single-round scatter-gather — using seed
+    placement, the Bloom summaries learned from [Cache_version] replies
+    and a locality scan of the local store — and picks per query; the
+    decision is returned in the outcome.  Results are byte-identical
+    across modes: a chain that escapes the predicted site set falls
+    back to classic shipping.  See doc/execution_modes.md.
+
     [admission] (default {!Hf_server.Sched.unlimited}) caps locally
     issued queries: at most [in_flight_cap] run at once, up to
     [max_queued] more wait in the fair admission queue
@@ -106,7 +126,11 @@ val registry : t -> Hf_obs.Registry.t
     [hf.net.give_ups] and the [hf.net.ack_latency_s] histogram.  With
     the cache on, [hf.net.cache_hits], [hf.net.cache_misses],
     [hf.net.cache_prunes], [hf.net.cache_validations],
-    [hf.net.cache_fills] and [hf.net.cache_invalidations]. *)
+    [hf.net.cache_fills] and [hf.net.cache_invalidations].  Scatter-gather
+    traffic and planner decisions show as [hf.net.scatter_messages],
+    [hf.net.gather_messages], [hf.net.gather_nodes],
+    [hf.net.scatter_fallbacks], [hf.net.planner_scatter] and
+    [hf.net.planner_ship]. *)
 
 type status =
   | Complete  (** all credit recovered, no site given up on. *)
@@ -141,6 +165,11 @@ type outcome = {
           [Query_done] frames are link housekeeping and appear only in
           the site-global [hf.net.*] counters. *)
   bytes_sent : int;
+  mode : Hf_query.Plan.mode;
+      (** which execution mode actually ran this query ([Ship] under
+          [Exec_ship], or when the planner declined scatter). *)
+  plan_decision : Hf_query.Plan.decision option;
+      (** the planner's full verdict; [None] under [Exec_ship]. *)
 }
 
 type handle
@@ -173,6 +202,12 @@ val cancel : t -> handle -> unit
 val run_query :
   ?timeout:float -> t -> Hf_query.Program.t -> Hf_data.Oid.t list -> outcome
 (** [submit_query] + [await]. *)
+
+val explain : t -> Hf_query.Program.t -> Hf_data.Oid.t list -> Hf_query.Plan.decision
+(** The planner's verdict for this query, without running it — what
+    [hfql :plan] renders.  Uses whatever summaries this site has
+    learned so far; independent of [exec] (an [Exec_ship] site can
+    still explain). *)
 
 val context_count : t -> int
 (** Live per-query contexts at this site (any origin).  Terminated and

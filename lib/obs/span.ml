@@ -16,6 +16,7 @@ type phase =
   | Retransmit (* the reliability layer resending an unacknowledged message *)
   | Cache (* remote-answer cache traffic: validate round trips, hits, prunes *)
   | Wait (* time a task spent queued before a scheduler ran it *)
+  | Scatter (* single-round scatter-gather traffic: scatter broadcast, gather merge *)
 
 let phase_name = function
   | Query -> "query"
@@ -28,8 +29,10 @@ let phase_name = function
   | Retransmit -> "retransmit"
   | Cache -> "cache"
   | Wait -> "wait"
+  | Scatter -> "scatter"
 
-let all_phases = [ Query; Eval; Ship; Flush; Credit; Drain; Recv; Retransmit; Cache; Wait ]
+let all_phases =
+  [ Query; Eval; Ship; Flush; Credit; Drain; Recv; Retransmit; Cache; Wait; Scatter ]
 
 type t = {
   id : int; (* unique within a tracer; 0 is reserved for "no span" *)

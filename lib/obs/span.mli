@@ -13,6 +13,9 @@ type phase =
       (** remote-answer cache traffic: validate round trips, hits,
           prunes. *)
   | Wait  (** time a task spent queued before a scheduler ran it. *)
+  | Scatter
+      (** single-round scatter-gather traffic: the scatter broadcast and
+          the gather merge at the originator. *)
 
 val phase_name : phase -> string
 

@@ -403,6 +403,38 @@ let read_stat r : Message.stat =
   let value = read_stat_value r in
   { name; value }
 
+let write_spawn buf (oid, start) =
+  write_oid buf oid;
+  write_varint buf start
+
+let read_spawn r =
+  let oid = read_oid r in
+  let start = read_varint r in
+  (oid, start)
+
+let write_gather_node buf ({ oid; start; passed; visited; spawns; bindings } : Message.gather_node)
+    =
+  write_oid buf oid;
+  write_varint buf start;
+  write_u8 buf (if passed then 1 else 0);
+  write_list buf write_varint visited;
+  write_list buf write_spawn spawns;
+  write_list buf write_binding bindings
+
+let read_gather_node r : Message.gather_node =
+  let oid = read_oid r in
+  let start = read_varint r in
+  let passed =
+    match read_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | tag -> fail "unknown gather-node passed tag %d" tag
+  in
+  let visited = read_list r read_varint in
+  let spawns = read_list r read_spawn in
+  let bindings = read_list r read_binding in
+  { oid; start; passed; visited; spawns; bindings }
+
 let write_message buf message =
   match (message : Message.t) with
   | Deref_request { query; body; oid; start; iters; credit } ->
@@ -472,6 +504,18 @@ let write_message buf message =
     write_varint buf src;
     write_varint buf token;
     write_list buf write_stat stats
+  | Scatter { query; body; roots; credit } ->
+    write_u8 buf 12;
+    write_query_id buf query;
+    write_program buf body;
+    write_list buf write_oid roots;
+    write_credit buf credit
+  | Gather_result { query; src; nodes; credit } ->
+    write_u8 buf 13;
+    write_query_id buf query;
+    write_varint buf src;
+    write_list buf write_gather_node nodes;
+    write_credit buf credit
 
 let read_message r : Message.t =
   match read_u8 r with
@@ -542,6 +586,18 @@ let read_message r : Message.t =
     let token = read_varint r in
     let stats = read_list r read_stat in
     Stats_report { src; token; stats }
+  | 12 ->
+    let query = read_query_id r in
+    let body = read_program r in
+    let roots = read_list r read_oid in
+    let credit = read_credit r in
+    Scatter { query; body; roots; credit }
+  | 13 ->
+    let query = read_query_id r in
+    let src = read_varint r in
+    let nodes = read_list r read_gather_node in
+    let credit = read_credit r in
+    Gather_result { query; src; nodes; credit }
   | tag -> fail "unknown message tag %d" tag
 
 (* A traced message is wrapped in an envelope: tag 127 (unused by any

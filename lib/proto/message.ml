@@ -76,6 +76,27 @@ type cache_answer = {
   passed : bool;
 }
 
+(* Single-round scatter-gather (doc/execution_modes.md).  When the
+   planner picks scatter mode, the originator broadcasts the program
+   once to every predicted site ([Scatter], one credit split per site).
+   The site evaluates its whole speculation domain — the roots it was
+   handed plus every local object at each dereference landing index —
+   each node against a fresh mark table, and ships the productive nodes
+   back in one [Gather_result].  The originator then stitches: it walks
+   spawn edges between gathered tables, reproducing classic mark
+   suppression from the per-node visited sets, and falls back to
+   classic query shipping for any edge that escapes the scattered site
+   set — which is what keeps the result set identical to shipping. *)
+
+type gather_node = {
+  oid : Hf_data.Oid.t;
+  start : int; (* the node's entry filter index *)
+  passed : bool;
+  visited : int list; (* filter indices the run marked, ascending *)
+  spawns : (Hf_data.Oid.t * int) list; (* dereference edges: (target, landing index) *)
+  bindings : (string * Hf_data.Value.t list) list; (* -> operator values emitted by this node *)
+}
+
 (* Cluster-wide stats scraping (DESIGN.md §4i).  Any site can ask a
    peer for a snapshot of its metrics registry; the reply carries the
    values as pure data — counters, gauges, and histograms reduced to
@@ -144,6 +165,21 @@ type t =
   | Stats_report of { src : int; token : int; stats : stat list }
       (* the answering site's registry snapshot; [token] echoes the
          pull's (0 for an unsolicited/periodic push). *)
+  | Scatter of {
+      query : query_id;
+      body : Hf_query.Program.t;
+      roots : Hf_data.Oid.t list; (* seed oids located at the receiver *)
+      credit : int list; (* one credit share for the whole scatter *)
+    }
+  | Gather_result of {
+      query : query_id;
+      src : int;
+      nodes : gather_node list; (* productive speculation nodes only *)
+      credit : int list;
+          (* every credit atom the scattered site held, returned with
+             the gather so credit can never overtake the nodes it
+             covers *)
+    }
 
 let query_of = function
   | Deref_request { query; _ } -> query
@@ -159,6 +195,8 @@ let query_of = function
   | Query_done { query; _ } -> query
   | Stats_pull _ -> invalid_arg "Message.query_of: Stats_pull carries no query"
   | Stats_report _ -> invalid_arg "Message.query_of: Stats_report carries no query"
+  | Scatter { query; _ } -> query
+  | Gather_result { query; _ } -> query
 
 let pp ppf = function
   | Deref_request { query; oid; start; iters; _ } ->
@@ -191,6 +229,10 @@ let pp ppf = function
   | Stats_pull { src; token } -> Fmt.pf ppf "stats-pull src=%d token=%d" src token
   | Stats_report { src; token; stats } ->
     Fmt.pf ppf "stats-report src=%d token=%d %d metric(s)" src token (List.length stats)
+  | Scatter { query; roots; _ } ->
+    Fmt.pf ppf "scatter[%a] %d root(s)" pp_query_id query (List.length roots)
+  | Gather_result { query; src; nodes; _ } ->
+    Fmt.pf ppf "gather[%a] src=%d %d node(s)" pp_query_id query src (List.length nodes)
 
 let equal_cache_answer (x : cache_answer) (y : cache_answer) =
   Hf_data.Oid.equal x.oid y.oid
@@ -226,6 +268,26 @@ let equal_stat_value (x : stat_value) (y : stat_value) =
 
 let equal_stat (x : stat) (y : stat) =
   String.equal x.name y.name && equal_stat_value x.value y.value
+
+let equal_bindings a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ta, va) (tb, vb) ->
+         String.equal ta tb
+         && List.length va = List.length vb
+         && List.for_all2 Hf_data.Value.equal va vb)
+       a b
+
+let equal_gather_node (x : gather_node) (y : gather_node) =
+  Hf_data.Oid.equal x.oid y.oid
+  && x.start = y.start
+  && x.passed = y.passed
+  && x.visited = y.visited
+  && List.length x.spawns = List.length y.spawns
+  && List.for_all2
+       (fun (oa, sa) (ob, sb) -> Hf_data.Oid.equal oa ob && sa = sb)
+       x.spawns y.spawns
+  && equal_bindings x.bindings y.bindings
 
 let equal a b =
   match a, b with
@@ -278,7 +340,19 @@ let equal a b =
     && x.token = y.token
     && List.length x.stats = List.length y.stats
     && List.for_all2 equal_stat x.stats y.stats
+  | Scatter x, Scatter y ->
+    equal_query_id x.query y.query
+    && Hf_query.Program.equal x.body y.body
+    && List.length x.roots = List.length y.roots
+    && List.for_all2 Hf_data.Oid.equal x.roots y.roots
+    && x.credit = y.credit
+  | Gather_result x, Gather_result y ->
+    equal_query_id x.query y.query
+    && x.src = y.src
+    && List.length x.nodes = List.length y.nodes
+    && List.for_all2 equal_gather_node x.nodes y.nodes
+    && x.credit = y.credit
   | (Deref_request _ | Work_batch _ | Result _ | Credit_return _ | Link_ack
     | Site_unreachable _ | Cache_validate _ | Cache_version _ | Cache_answers _
-    | Query_done _ | Stats_pull _ | Stats_report _), _ ->
+    | Query_done _ | Stats_pull _ | Stats_report _ | Scatter _ | Gather_result _), _ ->
     false

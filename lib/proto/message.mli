@@ -77,6 +77,21 @@ type stat_value =
 
 type stat = { name : string; value : stat_value }
 
+type gather_node = {
+  oid : Hf_data.Oid.t;
+  start : int;  (** the node's entry filter index. *)
+  passed : bool;
+  visited : int list;  (** filter indices the run marked, ascending. *)
+  spawns : (Hf_data.Oid.t * int) list;
+      (** dereference edges: (target oid, landing filter index). *)
+  bindings : (string * Hf_data.Value.t list) list;
+      (** [->] operator values this node emitted, by target variable. *)
+}
+(** One speculatively evaluated (object, start index) node of a
+    scattered site's domain, as shipped home in a {!Gather_result}
+    (doc/execution_modes.md).  Only productive nodes — passed, spawned
+    a dereference, or emitted bindings — cross the wire. *)
+
 type t =
   | Deref_request of deref_request
   | Work_batch of batch_group list
@@ -127,12 +142,33 @@ type t =
   | Stats_report of { src : int; token : int; stats : stat list }
       (** the answering site's registry snapshot; [token] echoes the
           pull's (0 for an unsolicited periodic push). *)
+  | Scatter of {
+      query : query_id;
+      body : Hf_query.Program.t;
+      roots : Hf_data.Oid.t list;  (** seed oids located at the receiver. *)
+      credit : int list;  (** one credit share for the whole scatter. *)
+    }
+      (** Scatter-gather mode, outbound half: the originator broadcasts
+          the program once to each predicted site, which evaluates its
+          whole speculation domain locally and answers with a single
+          {!Gather_result} — one network round instead of one per
+          dereference hop. *)
+  | Gather_result of {
+      query : query_id;
+      src : int;
+      nodes : gather_node list;  (** productive speculation nodes only. *)
+      credit : int list;
+          (** every credit atom the scattered site held, returned with
+              the gather so credit can never overtake the nodes it
+              covers. *)
+    }  (** Scatter-gather mode, inbound half. *)
 
 val equal_batch_item : batch_item -> batch_item -> bool
 val equal_batch_group : batch_group -> batch_group -> bool
 val equal_cache_answer : cache_answer -> cache_answer -> bool
 val equal_stat_value : stat_value -> stat_value -> bool
 val equal_stat : stat -> stat -> bool
+val equal_gather_node : gather_node -> gather_node -> bool
 
 val query_of : t -> query_id
 (** For [Work_batch] this is the first group's query (the query the

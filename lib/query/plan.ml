@@ -1,0 +1,223 @@
+(* Cost-based execution-mode planner: shipping vs scatter-gather.
+   Pure analysis over the compiled program plus per-site hints; engines
+   translate their own summary state and cost tables into the inputs
+   (doc/execution_modes.md). *)
+
+type site_hint = { site : int; objects : int option; may_match : bool option }
+
+type costs = {
+  transit : float;
+  header_bytes : int;
+  item_bytes : int;
+  node_bytes : int;
+  eval_s : float;
+  byte_s : float;
+  p_local : float;
+}
+
+type estimate = { rounds : int; bytes : int; latency : float }
+type mode = Ship | Scatter
+
+let mode_name = function Ship -> "ship" | Scatter -> "scatter"
+let equal_mode a b = match (a, b) with
+  | Ship, Ship | Scatter, Scatter -> true
+  | (Ship | Scatter), _ -> false
+
+type decision = {
+  eligible : bool;
+  reason : string option;
+  predicted : int list;
+  ship : estimate;
+  scatter : estimate;
+  chosen : mode;
+}
+
+let landing_pcs program =
+  let filters = Program.filters program in
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (pc, acc) f ->
+            match f with
+            | Filter.Deref _ -> (pc + 1, (pc + 1) :: acc)
+            | _ -> (pc + 1, acc))
+          (0, []) filters))
+
+let depth program =
+  List.fold_left
+    (fun n f -> match f with Filter.Deref _ -> n + 1 | _ -> n)
+    0 (Program.filters program)
+
+(* A dereference under a star iterator fires once per chain hop, not
+   once: the closure visits a data-dependent number of objects.  The
+   shipping model prices that as the pessimistic sequential chain —
+   each remote member of the predicted population may cost one
+   shipping leg (the paper's chain experiment is exactly this worst
+   case; trees parallelize and finish sooner than the estimate). *)
+let has_star_deref program =
+  let filters = Array.of_list (Program.filters program) in
+  let n = Array.length filters in
+  let covered = Array.make n false in
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Filter.Iter { body_start; count = Filter.Star } ->
+          for pc = body_start to i - 1 do
+            covered.(pc) <- true
+          done
+      | _ -> ())
+    filters;
+  let found = ref false in
+  Array.iteri
+    (fun i f ->
+      match f with Filter.Deref _ when covered.(i) -> found := true | _ -> ())
+    filters;
+  !found
+
+let eligible program =
+  let finite =
+    List.exists
+      (function
+        | Filter.Iter { count = Filter.Finite _; _ } -> true | _ -> false)
+      (Program.filters program)
+  in
+  if finite then
+    Error
+      "finite iterator: iteration counters vary per chain, so a site \
+       cannot enumerate its speculation domain"
+  else Ok ()
+
+(* When a site's object count is unknown (no summary learned yet) we
+   still have to price its speculative evaluation; assume a modest
+   store rather than zero, so scatter never looks free by ignorance. *)
+let default_objects = 32
+
+let decide ~program ~origin ~seed_sites ~hints ~costs =
+  let d = depth program in
+  let landing = landing_pcs program in
+  let seeds_at s =
+    List.fold_left
+      (fun acc (site, n) -> if site = s then acc + n else acc)
+      0 seed_sites
+  in
+  let total_seeds = List.fold_left (fun acc (_, n) -> acc + n) 0 seed_sites in
+  let remote_seeds =
+    List.fold_left
+      (fun acc (site, n) -> if site = origin then acc else acc + n)
+      0 seed_sites
+  in
+  (* Predicted touched sites: every remote seed site, plus — when the
+     program dereferences at all — every hinted site whose summary does
+     not rule it out. *)
+  let predicted =
+    let tbl = Hashtbl.create 7 in
+    List.iter
+      (fun (site, n) ->
+        if site <> origin && n > 0 then Hashtbl.replace tbl site ())
+      seed_sites;
+    if d > 0 then
+      List.iter
+        (fun h ->
+          if h.site <> origin && h.may_match <> Some false then
+            Hashtbl.replace tbl h.site ())
+        hints;
+    List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+  in
+  let objects_of s =
+    match List.find_opt (fun h -> h.site = s) hints with
+    | Some { objects = Some n; _ } -> n
+    | Some { objects = None; _ } | None -> default_objects
+  in
+  (* --- shipping estimate ---------------------------------------- *)
+  (* Each chain crosses a site boundary once per dereference that does
+     not land locally; seeds born remote cost one extra leg, and any
+     remote work implies one results leg home.  Under a star closure
+     the deref count is data-dependent, so the model charges one
+     potential hop per remote object the closure could visit. *)
+  let cross = 1.0 -. costs.p_local in
+  let remote_population =
+    List.fold_left (fun acc s -> acc + objects_of s) 0 predicted
+  in
+  let star_hops =
+    if has_star_deref program then cross *. float_of_int remote_population
+    else 0.0
+  in
+  let hops = (float_of_int d *. cross) +. star_hops in
+  let seed_leg = if remote_seeds > 0 then 1.0 else 0.0 in
+  let work_legs = seed_leg +. hops in
+  let legs = if work_legs > 0.0 then work_legs +. 1.0 else 0.0 in
+  let shipped_items =
+    remote_seeds + int_of_float (ceil (float_of_int total_seeds *. hops))
+  in
+  let ship_bytes =
+    if shipped_items = 0 then 0
+    else shipped_items * (costs.header_bytes + costs.item_bytes)
+  in
+  let ship =
+    {
+      rounds = int_of_float (ceil legs);
+      bytes = ship_bytes;
+      latency =
+        (legs *. costs.transit) +. (float_of_int ship_bytes *. costs.byte_s);
+    }
+  in
+  (* --- scatter estimate ----------------------------------------- *)
+  (* One broadcast out, one gather back; sites evaluate their domains
+     in parallel, so evaluation latency follows the largest site. *)
+  let nlanding = List.length landing in
+  let site_nodes s = seeds_at s + (objects_of s * nlanding) in
+  let scatter_bytes =
+    List.fold_left
+      (fun acc s ->
+        acc + costs.header_bytes
+        + (seeds_at s * costs.item_bytes)
+        + (site_nodes s * costs.node_bytes))
+      0 predicted
+  in
+  let max_nodes =
+    List.fold_left (fun acc s -> max acc (site_nodes s)) 0 predicted
+  in
+  let scatter =
+    match predicted with
+    | [] -> { rounds = 0; bytes = 0; latency = 0.0 }
+    | _ :: _ ->
+        {
+          rounds = 2;
+          bytes = scatter_bytes;
+          latency =
+            (2.0 *. costs.transit)
+            +. (float_of_int max_nodes *. costs.eval_s)
+            +. (float_of_int scatter_bytes *. costs.byte_s);
+        }
+  in
+  let eligible, reason =
+    match eligible program with
+    | Ok () -> (true, None)
+    | Error why -> (false, Some why)
+  in
+  let chosen =
+    if eligible && predicted <> [] && scatter.latency < ship.latency then
+      Scatter
+    else Ship
+  in
+  { eligible; reason; predicted; ship; scatter; chosen }
+
+let pp_estimate ppf e =
+  Format.fprintf ppf "rounds=%d bytes=%d latency=%.6fs" e.rounds e.bytes
+    e.latency
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>mode: %s@,eligible: %b%a@,predicted sites: %a@,\
+                      ship:    %a@,scatter: %a@]"
+    (mode_name d.chosen) d.eligible
+    (fun ppf -> function
+      | None -> ()
+      | Some why -> Format.fprintf ppf " (%s)" why)
+    d.reason
+    (fun ppf -> function
+      | [] -> Format.pp_print_string ppf "none"
+      | sites ->
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+            Format.pp_print_int ppf sites)
+    d.predicted pp_estimate d.ship pp_estimate d.scatter

@@ -45,6 +45,16 @@ type mark_scope =
   | Local_marks (* the paper's choice: per-site tables, duplicate messages possible *)
   | Global_marks (* ablation: an oracle global table suppresses duplicate sends *)
 
+type exec_mode =
+  | Exec_ship (* the paper's protocol: work items follow the pointer chain *)
+  | Exec_scatter
+      (* force single-round scatter-gather whenever the program is
+         eligible (no finite iterators); ineligible queries ship *)
+  | Exec_auto
+      (* cost-based: [Hf_query.Plan.decide] picks the cheaper mode per
+         query from seed placement, learned Bloom summaries and the
+         origin store's locality (doc/execution_modes.md) *)
+
 type config = {
   costs : Hf_sim.Costs.t;
   result_mode : result_mode;
@@ -89,13 +99,16 @@ type config = {
          submissions wait in a fair queue bounded by [max_queued].
          [Sched.unlimited] (the default) admits everything immediately —
          the pre-concurrency behavior. *)
+  exec : exec_mode;
+      (* execution-mode selection; [Exec_ship] (the default) is the
+         paper's protocol, byte-identical to the pre-planner code *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
     poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
     batch = Hf_proto.Batch.unbatched; reliability = None; cache = None;
-    admission = Sched.unlimited }
+    admission = Sched.unlimited; exec = Exec_ship }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -112,6 +125,10 @@ type outcome = {
          before seeding; 0 when admission was immediate *)
   metrics : Metrics.t;
   engine_stats : Hf_engine.Stats.t; (* merged over sites *)
+  mode : Hf_query.Plan.mode; (* execution mode that actually ran *)
+  plan_decision : Hf_query.Plan.decision option;
+      (* the planner's full cost comparison; [None] under [Exec_ship],
+         where the planner never runs *)
 }
 
 module Make (D : Hf_termination.Detector.S) = struct
@@ -146,6 +163,10 @@ module Make (D : Hf_termination.Detector.S) = struct
         (* cacheable verdicts computed here for the originator's cache,
            newest first; flushed (credit-free) at drain *)
     mutable answers_version : int; (* store version the answers were computed at *)
+    mutable scatter : Hf_engine.Scatter.Stitch.t option;
+        (* scatter-gather merge state; [Some _] only at the originator
+           of a query running in scatter mode.  The drain condition
+           stays open while gathers are outstanding. *)
   }
 
   type open_query = {
@@ -174,6 +195,8 @@ module Make (D : Hf_termination.Detector.S) = struct
         (* (merged engine stats, originator's local result count),
            snapshotted at termination — the per-site contexts are
            evicted then, so the outcome can no longer read them live *)
+    mutable mode : Hf_query.Plan.mode; (* execution mode that ran *)
+    mutable decision : Hf_query.Plan.decision option; (* planner output, if it ran *)
   }
 
   type task = unit -> float * (unit -> unit)
@@ -245,6 +268,25 @@ module Make (D : Hf_termination.Detector.S) = struct
         (* opportunistic fill: verdicts this site computed, shipped to
            the originator's cache at drain; credit-free, so a loss only
            costs future hits *)
+    | Scatter of {
+        query : Hf_proto.Message.query_id;
+        roots : Oid.t list; (* seed oids located at the receiver *)
+        tag : D.tag; (* one credit split per contacted site *)
+        src : int;
+        span : int;
+      }
+        (* scatter-gather outbound half: the receiver evaluates its
+           whole speculation domain and answers with one [Gather] *)
+    | Gather of {
+        query : Hf_proto.Message.query_id;
+        nodes : Hf_engine.Scatter.node list; (* productive nodes only *)
+        piggybacked : (int * D.control) list;
+            (* every control the scattered site's drain produced for
+               the originator rides here, so detector credit can never
+               overtake the nodes it covers *)
+        src : int;
+        span : int;
+      }
 
   (* What the reliability layer retains for retransmission: the message
      plus enough context to repeat the physical send. *)
@@ -294,6 +336,10 @@ module Make (D : Hf_termination.Detector.S) = struct
     summaries : (int, int * Hf_index.Bloom.t) Hashtbl.t;
         (* peer -> (version, summary) learned from Cache_version
            replies; prune checks require the validated version *)
+    mutable locality_memo : (int * float) option;
+        (* (store version, fraction of this store's pointer tuples that
+           stay on-site) — the planner's honest locality signal,
+           rebuilt lazily on version bumps *)
   }
 
   type t = {
@@ -354,6 +400,7 @@ module Make (D : Hf_termination.Detector.S) = struct
             summary_memo = None;
             summary_told = Hashtbl.create 4;
             summaries = Hashtbl.create 4;
+            locality_memo = None;
           })
     in
     let locate = match locate with Some f -> f | None -> Oid.birth_site in
@@ -464,18 +511,35 @@ module Make (D : Hf_termination.Detector.S) = struct
     batch_header_bytes program
     + List.fold_left (fun acc item -> acc + batch_item_bytes item) 0 items
 
+  let bindings_bytes bindings =
+    List.fold_left
+      (fun acc (target, values) ->
+        acc + String.length target
+        + List.fold_left (fun acc v -> acc + Hf_data.Value.byte_size v) 4 values)
+      0 bindings
+
+  (* Scatter ships the program header plus the receiver's seed roots;
+     a gather ships its productive nodes — oid, start, passed flag,
+     visited indices, spawn edges and emitted bindings. *)
+  let scatter_message_bytes program roots =
+    batch_header_bytes program + (13 * List.length roots)
+
+  let gather_node_bytes (node : Hf_engine.Scatter.node) =
+    13 + 4 + 1
+    + (4 * List.length node.visited)
+    + (17 * List.length node.spawns)
+    + bindings_bytes node.bindings
+
+  let gather_message_bytes nodes =
+    8 + 4 + List.fold_left (fun acc node -> acc + gather_node_bytes node) 0 nodes
+
   let result_message_bytes payload bindings =
     let payload_bytes =
       match (payload : Hf_proto.Message.result_payload) with
       | Items items -> 13 * List.length items
       | Count _ -> 4
     in
-    8 + 4 + payload_bytes
-    + List.fold_left
-        (fun acc (target, values) ->
-          acc + String.length target
-          + List.fold_left (fun acc v -> acc + Hf_data.Value.byte_size v) 4 values)
-        0 bindings
+    8 + 4 + payload_bytes + bindings_bytes bindings
 
   (* --- contexts --- *)
 
@@ -542,6 +606,7 @@ module Make (D : Hf_termination.Detector.S) = struct
               parked_count = 0;
               answers = [];
               answers_version = 0;
+              scatter = None;
             }
           in
           Hashtbl.replace site.contexts query ctx;
@@ -627,6 +692,8 @@ module Make (D : Hf_termination.Detector.S) = struct
     | Cache_validate { query; _ } -> Some query
     | Cache_version { query; _ } -> Some query
     | Cache_answers { query; _ } -> Some query
+    | Scatter { query; _ } -> Some query
+    | Gather { query; _ } -> Some query
     | Ack _ -> None
 
   (* Scheduling tenant for a delivered message's handler task: the
@@ -1009,6 +1076,21 @@ module Make (D : Hf_termination.Detector.S) = struct
     match sh.msg with
     | Work { groups; _ } -> List.iter (fun (query, _, tag) -> reclaim query tag) groups
     | Seed_from { query; tag; _ } -> reclaim query tag
+    | Scatter { query; tag; _ } -> (
+        (* The scattered site provably never evaluated: reclaim the
+           split credit, then close its slot in the stitch — the
+           chains parked for it are lost exactly as classic shipping
+           loses the items it sent to a dead site — and re-check the
+           drain, which this site's gather no longer holds open. *)
+        reclaim query tag;
+        match context_of t site query with
+        | None -> ()
+        | Some ctx -> (
+            match ctx.scatter with
+            | None -> ()
+            | Some stitch ->
+              ignore (Hf_engine.Scatter.Stitch.site_dead stitch ~site:dst);
+              maybe_drain t site ctx))
     | Cache_validate { query; _ } -> (
         (* The validation round trip died: un-park the waiting items and
            ship them the plain way — those sends fail fast against the
@@ -1017,7 +1099,10 @@ module Make (D : Hf_termination.Detector.S) = struct
         | None -> ()
         | Some ctx ->
           release_parked t site ctx ~dst (fun wi acc -> push_remote t site ctx wi acc))
-    | Results _ | Control _ | Unreachable _ | Ack _ | Cache_version _ | Cache_answers _ ->
+    | Results _ | Control _ | Unreachable _ | Ack _ | Cache_version _ | Cache_answers _
+    | Gather _ ->
+      (* a gather toward a dead originator has no one left to tell,
+         like a result message *)
       ()
 
   and notify_unreachable t ~src query ~dead =
@@ -1233,6 +1318,47 @@ module Make (D : Hf_termination.Detector.S) = struct
       enqueue t site ~tenant:ctx.origin (fun () -> (0.0, fun () -> ()));
       maybe_drain t site ctx
 
+  (* Apply a stitch outcome at the originator: newly activated passing
+     nodes join the final results, their bindings merge, and chains
+     that escaped the scattered site set re-enter the classic pipeline
+     — cache layer, batcher, credit split — as ordinary remote work.
+     Credit safety: the fallback ships (or parks, holding the drain
+     open) happen here, before the caller deposits any credit the
+     gather carried, so the detector can never converge while stitched
+     chains still owe work. *)
+  and apply_scatter_outcome t site ctx (outcome : Hf_engine.Scatter.Stitch.outcome) =
+    let oq = find_open t ctx.query in
+    List.iter
+      (fun oid ->
+        if not (Oid.Set.mem oid ctx.local_result_set) then begin
+          ctx.local_result_set <- Oid.Set.add oid ctx.local_result_set;
+          match oq with
+          | Some oq ->
+            if not (Oid.Set.mem oid oq.final_set) then begin
+              oq.final_set <- Oid.Set.add oid oq.final_set;
+              oq.final_results <- oid :: oq.final_results
+            end
+          | None -> ()
+        end)
+      outcome.passed;
+    (match oq with
+     | Some oq ->
+       merge_bindings oq.final_bindings outcome.bindings;
+       oq.metrics.Metrics.scatter_fallbacks <-
+         oq.metrics.Metrics.scatter_fallbacks + List.length outcome.fallback
+     | None -> ());
+    if outcome.fallback <> [] then begin
+      let flushed =
+        List.rev
+          (List.fold_left
+             (fun acc wi -> route_remote t site ctx wi acc)
+             [] outcome.fallback)
+      in
+      List.iter (ship_resolved t site) flushed;
+      (* force a pump cycle so under-threshold pushes still flush *)
+      enqueue t site ~tenant:ctx.origin (fun () -> (0.0, fun () -> ()))
+    end
+
   (* Ship buffered results (and piggybacked controls) to the originator;
      or, with nothing buffered, send the detector's drain controls
      standalone. *)
@@ -1341,6 +1467,9 @@ module Make (D : Hf_termination.Detector.S) = struct
       && ctx.in_flight = 0
       && pending_for site ctx.query = 0
       && ctx.parked_count = 0
+      && (match ctx.scatter with
+          | None -> true
+          | Some stitch -> Hf_engine.Scatter.Stitch.outstanding stitch = 0)
     then drain t site ctx
 
   and process_one t site ctx () =
@@ -1716,6 +1845,119 @@ module Make (D : Hf_termination.Detector.S) = struct
                   ~version ~passed)
               answers
           | (Some _ | None), _ -> () )
+    | Scatter { query; roots; tag; src; span } -> (
+        (* A scattered site evaluates its whole speculation domain in
+           one go: every local object at every landing pc, plus the
+           seeds the originator assigned here.  The reply carries the
+           productive nodes AND every to-origin control the drain
+           produced, so credit can never overtake the nodes it
+           covers. *)
+        match context_of t ~cause:span site query with
+        | None -> (0.0, fun () -> ()) (* closed query: credit dies, like work *)
+        | Some ctx ->
+          let oids = Hf_data.Store.oids site.store in
+          let landing =
+            List.length
+              (Hf_query.Plan.landing_pcs (Hf_engine.Plan.program ctx.plan))
+          in
+          let domain = List.length roots + (List.length oids * landing) in
+          let duration =
+            costs.msg_recv +. (float_of_int domain *. costs.process)
+          in
+          record t site.id "scatter-recv"
+            (Fmt.str "%d root(s), %d-node domain from %d" (List.length roots)
+               domain src);
+          (match find_open t query with
+           | Some oq -> Metrics.add_busy oq.metrics site.id duration
+           | None -> ());
+          ( duration,
+            fun () ->
+              let controls = D.on_recv_work ctx.detector ~src tag in
+              List.iter (send_control t ~src:site.id ctx) controls;
+              let nodes =
+                Hf_engine.Scatter.eval_site ~plan:ctx.plan
+                  ~find:(Hf_data.Store.find site.store) ~oids ~roots
+                  ~stats:ctx.stats
+              in
+              (* The whole domain is done; drain immediately.  Controls
+                 bound for the originator ride the gather itself. *)
+              let controls, terminated = D.on_drain ctx.detector in
+              (match find_open t query with
+               | Some oq when terminated -> finish_query t oq
+               | Some _ | None -> ());
+              let to_origin, elsewhere =
+                List.partition (fun (dst, _) -> dst = ctx.origin) controls
+              in
+              List.iter (send_control t ~src:site.id ctx) elsewhere;
+              let oq = find_open t query in
+              enqueue t site ~tenant:ctx.origin (fun () ->
+                  (match oq with
+                   | Some oq ->
+                     Metrics.add_busy oq.metrics site.id
+                       t.config.costs.result_msg_send;
+                     oq.metrics.Metrics.gather_messages <-
+                       oq.metrics.Metrics.gather_messages + 1;
+                     oq.metrics.Metrics.gather_nodes <-
+                       oq.metrics.Metrics.gather_nodes + List.length nodes;
+                     oq.metrics.Metrics.gather_bytes <-
+                       oq.metrics.Metrics.gather_bytes
+                       + gather_message_bytes nodes
+                   | None -> ());
+                  record t site.id "gather-send"
+                    (Fmt.str "%d node(s) to %d" (List.length nodes) ctx.origin);
+                  ( t.config.costs.result_msg_send,
+                    fun () ->
+                      let gspan =
+                        Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+                          ~query:(qname query) ~site:site.id
+                          ~phase:Hf_obs.Span.Scatter
+                          (Fmt.str "gather->%d" ctx.origin)
+                      in
+                      Hf_obs.Tracer.set_detail t.tracer gspan
+                        (Fmt.str "%d node(s)" (List.length nodes));
+                      deliver t ~src:site.id ~oq ~label:"gather" ~span:gspan
+                        ~transit:t.config.costs.result_msg_transit
+                        ~dst:ctx.origin
+                        (Gather
+                           { query; nodes; piggybacked = to_origin;
+                             src = site.id; span = gspan })
+                        (fun dsite message -> handle_message t dsite message) )) ))
+    | Gather { query; nodes; piggybacked; src; span } -> (
+        match find_open t query with
+        | None -> (0.0, fun () -> ())
+        | Some oq ->
+          let duration =
+            costs.result_msg_recv
+            +. (float_of_int (List.length nodes) *. costs.result_item)
+          in
+          Metrics.add_busy oq.metrics site.id duration;
+          record t site.id "gather-recv"
+            (Fmt.str "%d node(s) from %d" (List.length nodes) src);
+          ignore
+            (Hf_obs.Tracer.instant t.tracer ~parent:span ~query:(qname query)
+               ~site:site.id ~phase:Hf_obs.Span.Scatter
+               (Fmt.str "gather-recv x%d" (List.length nodes)));
+          ( duration,
+            fun () ->
+              match context_of t ~cause:span site query with
+              | None -> ()
+              | Some ctx ->
+                (match ctx.scatter with
+                 | None -> ()
+                 | Some stitch ->
+                   let outcome =
+                     Hf_engine.Scatter.Stitch.add_gather stitch ~site:src nodes
+                   in
+                   (* fallback credit splits happen inside, BEFORE the
+                      piggybacked deposits below *)
+                   apply_scatter_outcome t site ctx outcome);
+                List.iter
+                  (fun (_, payload) ->
+                    handle_detector_result t oq
+                      (D.on_recv_control ctx.detector ~src payload)
+                      (send_control t ~src:site.id ctx))
+                  piggybacked;
+                maybe_drain t site ctx ))
 
   (* --- detector polling (wave-based detectors) --- *)
 
@@ -1732,6 +1974,121 @@ module Make (D : Hf_termination.Detector.S) = struct
         end
       in
       Hf_sim.Sim.schedule t.sim ~delay:interval tick
+
+  (* --- the execution-mode planner (doc/execution_modes.md) --- *)
+
+  (* Locality signal: the fraction of the origin store's pointer tuples
+     whose target lives on-site, memoized per store version.  This is
+     what separates the two ends of the locality sweep — chains that
+     mostly stay home make shipping's expected hop count collapse. *)
+  let p_local_of t site =
+    let version = Hf_data.Store.version site.store in
+    match site.locality_memo with
+    | Some (v, p) when v = version -> p
+    | Some _ | None ->
+      let total = ref 0 and local = ref 0 in
+      Hf_data.Store.iter site.store (fun obj ->
+          List.iter
+            (fun target ->
+              incr total;
+              if t.locate target = site.id then incr local)
+            (Hf_data.Hobject.pointers obj));
+      let p =
+        if !total = 0 then 1.0 else float_of_int !local /. float_of_int !total
+      in
+      site.locality_memo <- Some (version, p);
+      p
+
+  (* The peer summary the planner consults: preferably what the origin
+     learned from [Cache_version] replies; otherwise (cache layer on but
+     nothing learned yet) the peer's own memoized summary — the
+     simulator's stand-in for the stats a real deployment piggybacks on
+     the validation round trip.  With the cache layer off there is no
+     summary channel at all and the planner stays conservative. *)
+  let summary_for t origin_site peer =
+    match Hashtbl.find_opt origin_site.summaries peer.id with
+    | Some (_, bloom) -> Some bloom
+    | None -> (
+        match t.config.cache with
+        | None -> None
+        | Some cfg ->
+          let version = Hf_data.Store.version peer.store in
+          let bloom =
+            match peer.summary_memo with
+            | Some (v, bloom) when v = version -> bloom
+            | Some _ | None ->
+              let bloom = Hf_index.Remote_cache.summary_of_store cfg peer.store in
+              peer.summary_memo <- Some (version, bloom);
+              bloom
+          in
+          Some bloom)
+
+  (* Price both modes for [program] over [initial] and pick one.  Pure
+     given its inputs: seed placement from [locate], per-peer hints from
+     the summary channel (store cardinality standing in for the store
+     stats the validation reply reports), and unit costs lifted straight
+     from the simulator's cost table so the estimates share dimensions
+     with what the run will actually charge. *)
+  let plan_decision t ~origin program initial =
+    let plan = Hf_engine.Plan.make program in
+    let zeros = Array.make (Hf_engine.Plan.iter_count plan) 0 in
+    let landing = Hf_query.Plan.landing_pcs program in
+    let seed_sites =
+      List.fold_left
+        (fun acc oid ->
+          let s = t.locate oid in
+          match List.assoc_opt s acc with
+          | Some n -> (s, n + 1) :: List.remove_assoc s acc
+          | None -> (s, 1) :: acc)
+        [] initial
+    in
+    let origin_site = t.sites.(origin) in
+    let hints =
+      List.filter_map
+        (fun peer ->
+          if peer.id = origin then None
+          else
+            let may_match =
+              match summary_for t origin_site peer with
+              | None -> None
+              | Some bloom ->
+                Some
+                  (landing = []
+                  || List.exists
+                       (fun pc ->
+                         let probes =
+                           Hf_index.Remote_cache.prune_probes plan ~start:pc
+                             ~iters:zeros
+                         in
+                         probes = []
+                         || not (Hf_index.Remote_cache.summary_misses bloom probes))
+                       landing)
+            in
+            let objects = Some (Hf_data.Store.cardinal peer.store) in
+            Some { Hf_query.Plan.site = peer.id; objects; may_match })
+        (Array.to_list t.sites)
+    in
+    let costs = t.config.costs in
+    let item_bytes = 13 + 4 + (4 * Hf_engine.Plan.iter_count plan) in
+    let plan_costs =
+      {
+        Hf_query.Plan.transit = costs.msg_transit;
+        header_bytes = batch_header_bytes program;
+        item_bytes;
+        node_bytes = 32;
+        eval_s = costs.process;
+        byte_s = costs.msg_item_transit /. float_of_int item_bytes;
+        p_local = p_local_of t origin_site;
+      }
+    in
+    Hf_query.Plan.decide ~program ~origin ~seed_sites ~hints ~costs:plan_costs
+
+  (* The planner's verdict without running the query — [hfql :plan] and
+     [hfql demo --explain-plan] render this. *)
+  let explain t ~origin program initial =
+    if origin < 0 || origin >= n_sites t then
+      invalid_arg "Cluster.explain: bad origin";
+    plan_decision t ~origin program initial
 
   (* --- issuing queries --- *)
 
@@ -1760,6 +2117,8 @@ module Make (D : Hf_termination.Detector.S) = struct
         queue_wait_s = 0.0;
         cancelled = false;
         captured = None;
+        mode = Hf_query.Plan.Ship;
+        decision = None;
       }
     in
     Hashtbl.replace t.open_queries query oq;
@@ -1803,6 +2162,8 @@ module Make (D : Hf_termination.Detector.S) = struct
          else Hf_sim.Sim.now t.sim -. oq.start_time);
       queue_wait_s = oq.queue_wait_s;
       metrics = oq.metrics;
+      mode = oq.mode;
+      plan_decision = oq.decision;
       engine_stats =
         (match oq.captured with
          | Some (stats, _) -> stats
@@ -1850,15 +2211,175 @@ module Make (D : Hf_termination.Detector.S) = struct
 
   and seed_query t oq origin_site initial =
     let origin = origin_site.id in
-    (match context_of t origin_site oq.id with
-     | None -> assert false
-     | Some ctx ->
-       D.on_seed ctx.detector;
-       start_polling t oq ctx origin_site;
-       enqueue t origin_site ~tenant:origin (fun () ->
-           let local, remote =
-             List.partition (fun oid -> t.locate oid = origin) initial
-           in
+    match context_of t origin_site oq.id with
+    | None -> assert false
+    | Some ctx ->
+      D.on_seed ctx.detector;
+      start_polling t oq ctx origin_site;
+      (* Mode selection: [Exec_ship] is the byte-identical legacy path
+         (no planner at all); [Exec_scatter] forces scatter whenever the
+         engine can do it; [Exec_auto] lets the cost model choose.
+         Scatter additionally needs [Local_marks] (the stitch reproduces
+         per-site entry suppression, not a global table's) and
+         [Ship_items] (gathers carry nodes, not counts). *)
+      let decision =
+        match t.config.exec with
+        | Exec_ship -> None
+        | Exec_scatter | Exec_auto ->
+          Some (plan_decision t ~origin oq.program initial)
+      in
+      oq.decision <- decision;
+      let engine_ok =
+        (match t.config.mark_scope with
+         | Local_marks -> true
+         | Global_marks -> false)
+        && match t.config.result_mode with
+           | Ship_items -> true
+           | Ship_counts | Ship_threshold _ -> false
+      in
+      let scatter_sites =
+        match decision with
+        | None -> None
+        | Some d ->
+          let can =
+            engine_ok && d.Hf_query.Plan.eligible
+            && d.Hf_query.Plan.predicted <> []
+          in
+          (match t.config.exec with
+           | Exec_ship -> None
+           | Exec_scatter -> if can then Some d.Hf_query.Plan.predicted else None
+           | Exec_auto ->
+             if
+               can
+               && Hf_query.Plan.equal_mode d.Hf_query.Plan.chosen
+                    Hf_query.Plan.Scatter
+             then Some d.Hf_query.Plan.predicted
+             else None)
+      in
+      (match decision with
+       | None -> ()
+       | Some _ ->
+         if Option.is_some scatter_sites then
+           oq.metrics.Metrics.planner_scatter <-
+             oq.metrics.Metrics.planner_scatter + 1
+         else
+           oq.metrics.Metrics.planner_ship <- oq.metrics.Metrics.planner_ship + 1);
+      (match scatter_sites with
+       | Some sites ->
+         oq.mode <- Hf_query.Plan.Scatter;
+         seed_scatter t oq origin_site ctx ~sites initial
+       | None -> seed_shipping t oq origin_site ctx initial)
+
+  and seed_scatter t oq origin_site ctx ~sites initial =
+    let origin = origin_site.id in
+    (* Partition the seeds over the scattered set.  The planner's
+       predicted set always covers the remote seed sites, but a custom
+       [locate] could disagree with a stale view, so anything that lands
+       outside the member set ships classically — same contract as a
+       stitched chain that escapes. *)
+    let member = Hashtbl.create 7 in
+    List.iter (fun s -> Hashtbl.replace member s ()) (origin :: sites);
+    let roots = Hashtbl.create 7 in
+    let stray = ref [] in
+    List.iter
+      (fun oid ->
+        let s = t.locate oid in
+        if Hashtbl.mem member s then
+          Hashtbl.replace roots s
+            (oid
+            ::
+            (match Hashtbl.find_opt roots s with Some l -> l | None -> []))
+        else stray := oid :: !stray)
+      initial;
+    let roots_of s =
+      match Hashtbl.find_opt roots s with Some l -> List.rev l | None -> []
+    in
+    let stitch =
+      Hf_engine.Scatter.Stitch.create ~plan:ctx.plan ~locate:t.locate
+        ~sites:(origin :: sites)
+        ~roots:(List.map (fun s -> (s, roots_of s)) (origin :: sites))
+    in
+    (* installed before any task runs, so [maybe_drain] holds the origin
+       open until every gather (or a death verdict) lands *)
+    ctx.scatter <- Some stitch;
+    enqueue t origin_site ~tenant:origin (fun () ->
+        let oids = Hf_data.Store.oids origin_site.store in
+        let landing =
+          List.length
+            (Hf_query.Plan.landing_pcs (Hf_engine.Plan.program ctx.plan))
+        in
+        let own_roots = roots_of origin in
+        let domain = List.length own_roots + (List.length oids * landing) in
+        let duration =
+          (float_of_int domain *. t.config.costs.process)
+          +. (float_of_int (List.length sites) *. t.config.costs.msg_send)
+        in
+        Metrics.add_busy oq.metrics origin duration;
+        record t origin "scatter-seed"
+          (Fmt.str "%d site(s), %d-node local domain" (List.length sites) domain);
+        ( duration,
+          fun () ->
+            (* Local half: the originator evaluates its own domain and
+               feeds the stitch as if it had gathered from itself. *)
+            let nodes =
+              Hf_engine.Scatter.eval_site ~plan:ctx.plan
+                ~find:(Hf_data.Store.find origin_site.store) ~oids
+                ~roots:own_roots ~stats:ctx.stats
+            in
+            let outcome =
+              Hf_engine.Scatter.Stitch.add_gather stitch ~site:origin nodes
+            in
+            apply_scatter_outcome t origin_site ctx outcome;
+            (if !stray <> [] then begin
+               let flushed =
+                 List.rev
+                   (List.fold_left
+                      (fun acc oid ->
+                        route_remote t origin_site ctx
+                          (Hf_engine.Work_item.initial ctx.plan oid)
+                          acc)
+                      [] (List.rev !stray))
+               in
+               List.iter (ship_resolved t origin_site) flushed
+             end);
+            List.iter
+              (fun dst ->
+                let tag = D.on_send_work ctx.detector ~dst in
+                let dst_roots = roots_of dst in
+                let program = Hf_engine.Plan.program ctx.plan in
+                oq.metrics.Metrics.scatter_messages <-
+                  oq.metrics.Metrics.scatter_messages + 1;
+                oq.metrics.Metrics.scatter_bytes <-
+                  oq.metrics.Metrics.scatter_bytes
+                  + scatter_message_bytes program dst_roots;
+                let span =
+                  Hf_obs.Tracer.start t.tracer ~parent:ctx.span
+                    ~query:(qname oq.id) ~site:origin
+                    ~phase:Hf_obs.Span.Scatter
+                    (Fmt.str "scatter->%d" dst)
+                in
+                Hf_obs.Tracer.set_detail t.tracer span
+                  (Fmt.str "%d root(s)" (List.length dst_roots));
+                deliver t ~src:origin ~oq:(Some oq) ~label:"scatter" ~span
+                  ~transit:
+                    (Hf_sim.Costs.batch_transit t.config.costs
+                       ~items:(max 1 (List.length dst_roots)))
+                  ~dst
+                  (Scatter
+                     { query = oq.id; roots = dst_roots; tag; src = origin; span })
+                  (fun dsite message -> handle_message t dsite message))
+              sites;
+            (* force a pump cycle so stray pushes below the batch
+               threshold still flush *)
+            enqueue t origin_site ~tenant:origin (fun () -> (0.0, fun () -> ()));
+            maybe_drain t origin_site ctx ))
+
+  and seed_shipping t oq origin_site ctx initial =
+    let origin = origin_site.id in
+    enqueue t origin_site ~tenant:origin (fun () ->
+        let local, remote =
+          List.partition (fun oid -> t.locate oid = origin) initial
+        in
            (* Remote seeds ride the same cache layer and per-site
               batcher as spawned work, so concurrent submissions
               coalesce too. *)
@@ -1895,7 +2416,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                      (fun ((gctx : context), _, _) ->
                        if gctx != ctx then maybe_drain t origin_site gctx)
                      groups)
-                 flushed )))
+                 flushed ))
 
   (* Run every scheduled event; submitted queries execute (and contend)
      together. *)
@@ -1930,6 +2451,19 @@ module Make (D : Hf_termination.Detector.S) = struct
           ("cache_hits", Hf_obs.Profile.Int m.Metrics.cache_hits);
           ("cache_prunes", Hf_obs.Profile.Int m.Metrics.cache_prunes);
           ("retransmits", Hf_obs.Profile.Int m.Metrics.retransmits);
+          (* 1 when the query ran scatter-gather, 0 for classic shipping
+             (scalars are numeric; the mode name itself is in the
+             outcome and the slow-query log) *)
+          ( "mode_scatter",
+            Hf_obs.Profile.Int
+              (match handle.mode with
+               | Hf_query.Plan.Scatter -> 1
+               | Hf_query.Plan.Ship -> 0) );
+          ("scatter_messages", Hf_obs.Profile.Int m.Metrics.scatter_messages);
+          ("gather_nodes", Hf_obs.Profile.Int m.Metrics.gather_nodes);
+          ("scatter_fallbacks", Hf_obs.Profile.Int m.Metrics.scatter_fallbacks);
+          ("planner_scatter", Hf_obs.Profile.Int m.Metrics.planner_scatter);
+          ("planner_ship", Hf_obs.Profile.Int m.Metrics.planner_ship);
         ]
       ~dropped:(Hf_obs.Tracer.dropped t.tracer)
       spans

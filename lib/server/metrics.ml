@@ -43,6 +43,16 @@ type t = {
   mutable cache_invalidations : int;
       (* entries evicted because the destination reported a different
          store version (or the entry aged out) *)
+  mutable scatter_messages : int; (* Scatter broadcasts sent by the originator *)
+  mutable gather_messages : int; (* Gather replies merged at the originator *)
+  mutable gather_nodes : int; (* speculation nodes those gathers carried *)
+  mutable scatter_fallbacks : int;
+      (* stitched chains that escaped the scattered site set and were
+         re-shipped classically *)
+  mutable scatter_bytes : int; (* bytes of Scatter broadcasts *)
+  mutable gather_bytes : int; (* bytes of Gather replies *)
+  mutable planner_scatter : int; (* planner decisions that chose scatter *)
+  mutable planner_ship : int; (* planner decisions that chose shipping *)
 }
 
 let create ~n_sites =
@@ -70,13 +80,23 @@ let create ~n_sites =
     cache_validations = 0;
     cache_fills = 0;
     cache_invalidations = 0;
+    scatter_messages = 0;
+    gather_messages = 0;
+    gather_nodes = 0;
+    scatter_fallbacks = 0;
+    scatter_bytes = 0;
+    gather_bytes = 0;
+    planner_scatter = 0;
+    planner_ship = 0;
   }
 
 let add_busy t site duration = t.busy.(site) <- t.busy.(site) +. duration
 
-let total_messages t = t.work_messages + t.result_messages + t.control_messages
+let total_messages t =
+  t.work_messages + t.result_messages + t.control_messages + t.scatter_messages
+  + t.gather_messages
 
-let total_bytes t = t.work_bytes + t.result_bytes
+let total_bytes t = t.work_bytes + t.result_bytes + t.scatter_bytes + t.gather_bytes
 
 let total_busy t = Array.fold_left ( +. ) 0.0 t.busy
 
@@ -108,6 +128,14 @@ let register ?(prefix = "hf.server") t registry =
   c "cache_validations" (fun () -> t.cache_validations);
   c "cache_fills" (fun () -> t.cache_fills);
   c "cache_invalidations" (fun () -> t.cache_invalidations);
+  c "scatter_messages" (fun () -> t.scatter_messages);
+  c "gather_messages" (fun () -> t.gather_messages);
+  c "gather_nodes" (fun () -> t.gather_nodes);
+  c "scatter_fallbacks" (fun () -> t.scatter_fallbacks);
+  c "scatter_bytes" (fun () -> t.scatter_bytes);
+  c "gather_bytes" (fun () -> t.gather_bytes);
+  c "planner_scatter" (fun () -> t.planner_scatter);
+  c "planner_ship" (fun () -> t.planner_ship);
   c "total_messages" (fun () -> total_messages t);
   c "total_bytes" (fun () -> total_bytes t);
   g "busy_total_s" (fun () -> total_busy t);
@@ -124,11 +152,12 @@ let pp_summary ppf t =
   Fmt.pf ppf
     "work=%d/%d items (%dB, %d batched, %dB saved) result=%d (%dB) control=%d (+%d piggybacked) \
      dup-work=%d dropped=%d rtx=%d dup-drop=%d gave-up=%d shipped=%d cache: hit=%d miss=%d \
-     prune=%d fill=%d inval=%d busy: total=%.3fs max=%.3fs"
+     prune=%d fill=%d inval=%d scatter=%d/%d gathers (%d nodes, %d fallbacks) busy: \
+     total=%.3fs max=%.3fs"
     t.work_messages t.work_items t.work_bytes t.work_batches t.batch_bytes_saved t.result_messages
     t.result_bytes t.control_messages t.piggybacked_controls t.duplicate_work_messages
     t.dropped_messages t.retransmits t.dup_drops t.give_ups t.results_shipped t.cache_hits
-    t.cache_misses t.cache_prunes t.cache_fills t.cache_invalidations (total_busy t)
-    (max_busy t)
+    t.cache_misses t.cache_prunes t.cache_fills t.cache_invalidations t.scatter_messages
+    t.gather_messages t.gather_nodes t.scatter_fallbacks (total_busy t) (max_busy t)
 
 let pp = pp_summary

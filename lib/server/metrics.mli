@@ -49,6 +49,22 @@ type t = {
   mutable cache_invalidations : int;
       (** entries evicted because the destination reported a different
           store version (or the entry aged past its ttl). *)
+  mutable scatter_messages : int;
+      (** [Scatter] broadcasts sent by the originator
+          (doc/execution_modes.md). *)
+  mutable gather_messages : int;
+      (** [Gather_result] replies merged at the originator. *)
+  mutable gather_nodes : int;
+      (** speculation nodes those gathers carried. *)
+  mutable scatter_fallbacks : int;
+      (** stitched chains that escaped the scattered site set and were
+          re-shipped classically. *)
+  mutable scatter_bytes : int;  (** bytes of [Scatter] broadcasts. *)
+  mutable gather_bytes : int;  (** bytes of [Gather_result] replies. *)
+  mutable planner_scatter : int;
+      (** planner decisions that chose scatter-gather. *)
+  mutable planner_ship : int;
+      (** planner decisions that chose classic shipping. *)
 }
 
 val create : n_sites:int -> t

@@ -135,6 +135,76 @@ let test_roundtrip_query_done () =
   check_bool "query done" true
     (roundtrip (Message.Query_done { query = { Message.originator = 3; serial = 21 }; src = 3 }))
 
+(* --- Scatter-gather messages (doc/execution_modes.md) --- *)
+
+let sample_gather_node : Message.gather_node =
+  {
+    oid = oid ~site:1 ~hint:1 7;
+    start = 2;
+    passed = true;
+    visited = [ 0; 1; 2 ];
+    spawns = [ (oid ~site:3 ~hint:3 9, 1); (oid 4, 0) ];
+    bindings = [ ("title", [ Hf_data.Value.str "Distributed" ]) ];
+  }
+
+let sample_scatter =
+  Message.Scatter
+    {
+      query = { Message.originator = 2; serial = 17 };
+      body = flagship_program;
+      roots = [ oid ~site:1 1; oid ~site:1 ~hint:2 5 ];
+      credit = [ 4; 9 ];
+    }
+
+let sample_gather =
+  Message.Gather_result
+    {
+      query = { Message.originator = 2; serial = 17 };
+      src = 1;
+      nodes =
+        [
+          sample_gather_node;
+          { oid = oid 11; start = 0; passed = false; visited = [];
+            spawns = [ (oid ~site:2 3, 2) ]; bindings = [] };
+        ];
+      credit = [ 4 ];
+    }
+
+let test_roundtrip_scatter () =
+  check_bool "scatter" true (roundtrip sample_scatter);
+  (* no roots is legal: the receiver still evaluates every local object
+     at each landing index of its speculation domain *)
+  check_bool "rootless scatter" true
+    (roundtrip
+       (Message.Scatter
+          { query = { Message.originator = 0; serial = 2 }; body = flagship_program;
+            roots = []; credit = [ 0 ] }))
+
+let test_roundtrip_gather () =
+  check_bool "gather" true (roundtrip sample_gather);
+  (* an empty node list is legal: nothing at that site was productive,
+     but the credit aboard still has to come home *)
+  check_bool "empty gather" true
+    (roundtrip
+       (Message.Gather_result
+          { query = { Message.originator = 1; serial = 3 }; src = 4; nodes = []; credit = [ 2 ] }))
+
+let test_scatter_under_envelopes () =
+  (* tags 12/13 must compose with the traced (127) and reliability
+     (126) envelopes like any other message *)
+  let rel = { Codec.src = 2; seq = 11; ack = 10 } in
+  List.iter
+    (fun message ->
+      match Codec.decode_enveloped (Codec.encode ~span:9 ~rel message) with
+      | Ok (m, span, Some got) ->
+          check_bool "message" true (Message.equal message m);
+          check_int "span" 9 span;
+          check_int "seq" 11 got.Codec.seq;
+          check_int "ack" 10 got.Codec.ack
+      | Ok _ -> Alcotest.fail "envelope lost"
+      | Error e -> Alcotest.fail e)
+    [ sample_scatter; sample_gather ]
+
 (* --- stats messages (DESIGN.md §4i): credit-free control plane ------- *)
 
 let sample_stats_report =
@@ -505,6 +575,43 @@ let gen_message =
         (let* query = gen_query_id in
          let* src = int_range 0 15 in
          return (Message.Query_done { query; src }));
+        (let* query = gen_query_id in
+         let* body = gen_program in
+         let* roots =
+           list_size (int_range 0 5)
+             (map2 (fun site serial -> oid ~site ~hint:site serial) (int_range 0 10)
+                (int_range 0 500))
+         in
+         let* credit = gen_credit in
+         return (Message.Scatter { query; body; roots; credit }));
+        (let gen_node =
+           let* site = int_range 0 10 in
+           let* serial = int_range 0 500 in
+           let* start = int_range 0 10 in
+           let* passed = bool in
+           let* visited =
+             map (List.sort_uniq Int.compare) (list_size (int_range 0 5) (int_range 0 12))
+           in
+           let* spawns =
+             list_size (int_range 0 3)
+               (pair (map (fun s -> oid s) (int_range 0 300)) (int_range 0 8))
+           in
+           let* bindings =
+             list_size (int_range 0 2)
+               (pair
+                  (map (fun s -> "t" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 4)))
+                  (list_size (int_range 0 3) gen_value))
+           in
+           return
+             ({ Message.oid = oid ~site ~hint:site serial; start; passed; visited; spawns;
+                bindings }
+               : Message.gather_node)
+         in
+         let* query = gen_query_id in
+         let* src = int_range 0 15 in
+         let* nodes = list_size (int_range 0 4) gen_node in
+         let* credit = gen_credit in
+         return (Message.Gather_result { query; src; nodes; credit }));
         (let* src = int_range 0 15 in
          let* token = int_range 0 10_000 in
          return (Message.Stats_pull { src; token }));
@@ -804,6 +911,9 @@ let () =
           Alcotest.test_case "cache-version round-trip" `Quick test_roundtrip_cache_version;
           Alcotest.test_case "cache-answers round-trip" `Quick test_roundtrip_cache_answers;
           Alcotest.test_case "query-done round-trip" `Quick test_roundtrip_query_done;
+          Alcotest.test_case "scatter round-trip" `Quick test_roundtrip_scatter;
+          Alcotest.test_case "gather-result round-trip" `Quick test_roundtrip_gather;
+          Alcotest.test_case "scatter under both envelopes" `Quick test_scatter_under_envelopes;
           Alcotest.test_case "stats round-trips" `Quick test_roundtrip_stats;
           Alcotest.test_case "stats under both envelopes" `Quick test_stats_under_envelopes;
           Alcotest.test_case "stats carry no query" `Quick test_stats_carry_no_query;
