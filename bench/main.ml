@@ -1394,6 +1394,165 @@ let e19_scatter () =
   assert (Hf_query.Plan.equal_mode (List.assoc 0.0 !auto_modes) Hf_query.Plan.Scatter);
   assert (Hf_query.Plan.equal_mode (List.assoc 1.0 !auto_modes) Hf_query.Plan.Ship)
 
+(* --- E20: Bloofi hierarchical cross-site index ------------------------- *)
+
+let e20_site_objects = 6
+
+(* One cluster of [n_sites], every site populated, a "hot" object on
+   every 9th site; the per-site Bloom summaries are built exactly as the
+   engines build them ([Remote_cache.summary_of_store]) and fed to a
+   Bloofi tree.  Returns the tree-vs-flat comparison for the probe the
+   engine would run for [(Keyword, "hot", ?)]. *)
+let e20_tree_row ~n_sites =
+  let config =
+    { Cluster.default_config with Cluster.cache = Some Hf_index.Remote_cache.default }
+  in
+  let cluster = C.create ~config ~n_sites () in
+  for site = 0 to n_sites - 1 do
+    let store = C.store cluster site in
+    for i = 0 to e20_site_objects - 1 do
+      let oid = Hf_data.Store.fresh_oid store in
+      let tuples =
+        Hf_data.Tuple.number ~key:"id" ((site * 100) + i)
+        :: Hf_data.Tuple.keyword (Printf.sprintf "tag-%d" site)
+        :: (if site mod 9 = 0 && i = 0 then [ Hf_data.Tuple.keyword "hot" ] else [])
+      in
+      Hf_data.Store.insert store (Hf_data.Hobject.of_tuples oid tuples)
+    done
+  done;
+  let summaries =
+    List.init n_sites (fun site ->
+        ( site,
+          Hf_index.Remote_cache.summary_of_store Hf_index.Remote_cache.default
+            (C.store cluster site) ))
+  in
+  let tree = Hf_index.Bloofi.create ~order:4 () in
+  List.iter (fun (site, bloom) -> Hf_index.Bloofi.insert tree ~site bloom) summaries;
+  let plan =
+    Hf_engine.Plan.make (Hf_query.Parser.parse_program "(Keyword, \"hot\", ?)")
+  in
+  let zeros = Array.make (Hf_engine.Plan.iter_count plan) 0 in
+  let probes = Hf_index.Remote_cache.prune_probes plan ~start:0 ~iters:zeros in
+  let flat_may =
+    List.filter_map
+      (fun (site, bloom) ->
+        if Hf_index.Remote_cache.summary_misses bloom probes then None else Some site)
+      summaries
+  in
+  let r = Hf_index.Bloofi.probe tree [ probes ] in
+  (* the descent is answer-preserving: exactly the flat scan's may-set *)
+  assert (r.Hf_index.Bloofi.sites = flat_may);
+  let indexed = Hf_index.Bloofi.cardinal tree in
+  let pruned = indexed - List.length r.Hf_index.Bloofi.sites in
+  let flat_pruned = n_sites - List.length flat_may in
+  (indexed, r, pruned, flat_pruned)
+
+(* Section 5 re-query at 27 sites: the broadcast that reseeds retained
+   results consults the tree, so sites whose summary rules the new
+   filter out are never contacted.  Bloofi on and off must agree on the
+   answer; the prune shows up in the contact count. *)
+let e20_requery ~bloofi =
+  let n_sites = 27 in
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.cache = Some Hf_index.Remote_cache.default;
+      bloofi;
+    }
+  in
+  let cluster = C.create ~config ~n_sites () in
+  let oids =
+    Array.init n_sites (fun site -> Hf_data.Store.fresh_oid (C.store cluster site))
+  in
+  Array.iteri
+    (fun site oid ->
+      let tuples =
+        Hf_data.Tuple.pointer ~key:"N" oids.((site + 1) mod n_sites)
+        :: Hf_data.Tuple.number ~key:"id" site
+        :: (if site mod 9 = 0 then [ Hf_data.Tuple.keyword "hot" ] else [])
+      in
+      Hf_data.Store.insert (C.store cluster site) (Hf_data.Hobject.of_tuples oid tuples))
+    oids;
+  let q1 = Hf_query.Parser.parse_program "[ (Pointer, \"N\", ?X) ^^X ]* (?, ?, ?)" in
+  let o1 = C.run_query cluster ~origin:0 q1 [ oids.(0) ] in
+  assert o1.Cluster.terminated;
+  assert (Hf_data.Oid.Set.cardinal o1.Cluster.result_set = n_sites);
+  let q1_id = Option.get (C.last_query_id cluster) in
+  let q2 = Hf_query.Parser.parse_program "(Keyword, \"hot\", ?)" in
+  let o2 = C.run_query_on_distributed cluster ~origin:0 ~from:q1_id q2 in
+  assert o2.Cluster.terminated;
+  let counter name =
+    match Hf_obs.Registry.find (C.registry cluster) name with
+    | Some (Hf_obs.Registry.Counter read) -> read ()
+    | Some _ | None -> 0
+  in
+  (o2, counter "hf.index.bloofi_probes", counter "hf.index.bloofi_pruned_sites")
+
+let e20_bloofi () =
+  section "E20 (extension): Bloofi hierarchical cross-site Bloom index"
+    "a d-ary tree of OR-combined per-site Bloom filters turns cluster-wide site \
+     selection from a per-site scan into a pruned descent (DESIGN.md §4k)";
+  Fmt.pr "   per-site summaries as the engines build them; hot content on every 9th site@.";
+  let rows =
+    List.map
+      (fun n_sites ->
+        let indexed, r, pruned, flat_pruned = e20_tree_row ~n_sites in
+        let rate = float_of_int pruned /. float_of_int indexed in
+        let flat_rate = float_of_int flat_pruned /. float_of_int n_sites in
+        record_json
+          (Printf.sprintf "e20.sites%03d" n_sites)
+          (J.Obj
+             [ ("sites", J.Int n_sites);
+               ("indexed", J.Int indexed);
+               ("descent_touched", J.Int r.Hf_index.Bloofi.touched);
+               ("descent_depth", J.Int r.Hf_index.Bloofi.depth);
+               ("pruned_sites", J.Int pruned);
+               ("prune_rate", J.Float rate);
+               ("flat_prune_rate", J.Float flat_rate);
+             ]);
+        if n_sites = 243 then begin
+          (* the acceptance floor: sublinear descent, no lost pruning *)
+          assert (r.Hf_index.Bloofi.touched < n_sites);
+          assert (rate >= flat_rate)
+        end;
+        [ string_of_int n_sites;
+          string_of_int indexed;
+          string_of_int r.Hf_index.Bloofi.touched;
+          string_of_int r.Hf_index.Bloofi.depth;
+          string_of_int pruned;
+          Printf.sprintf "%.1f%%" (rate *. 100.0);
+          Printf.sprintf "%.1f%%" (flat_rate *. 100.0);
+        ])
+      [ 9; 27; 81; 243 ]
+  in
+  print_table
+    [ Tab.right "sites"; Tab.right "indexed"; Tab.right "descent touched";
+      Tab.right "depth"; Tab.right "pruned"; Tab.right "prune rate";
+      Tab.right "flat rate" ]
+    rows;
+  let on, on_probes, on_pruned = e20_requery ~bloofi:true in
+  let off, off_probes, _ = e20_requery ~bloofi:false in
+  let identical = Hf_data.Oid.Set.equal on.Cluster.result_set off.Cluster.result_set in
+  assert identical;
+  assert (on_probes > 0);
+  assert (on_pruned > 0);
+  assert (off_probes = 0);
+  record_json "e20.requery"
+    (J.Obj
+       [ ("sites", J.Int 27);
+         ("results", J.Int (Hf_data.Oid.Set.cardinal on.Cluster.result_set));
+         ("results_identical", J.Bool identical);
+         ("bloofi_probes", J.Int on_probes);
+         ("bloofi_pruned_sites", J.Int on_pruned);
+         ("work_messages_bloofi", J.Int on.Cluster.metrics.Metrics.work_messages);
+         ("work_messages_flat", J.Int off.Cluster.metrics.Metrics.work_messages);
+       ]);
+  Fmt.pr
+    "   re-query over 27 sites: %d results (identical with index off: %b), %d site(s) \
+     pruned without contact@."
+    (Hf_data.Oid.Set.cardinal on.Cluster.result_set)
+    identical on_pruned
+
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_benchmarks () =
@@ -1529,6 +1688,7 @@ let () =
   timed "e17" e17_concurrency;
   timed "e18" e18_obs_overhead;
   timed "e19" e19_scatter;
+  timed "e20" e20_bloofi;
   timed "micro" micro_benchmarks;
   Option.iter write_json json_path;
   Fmt.pr "@.done.@."

@@ -81,7 +81,28 @@ let run_object ~plan ~find ~marks ~stats ~emit item =
       let start = ref (Work_item.start item) in
       let next = ref (Work_item.start item) in
       let alive = ref true in
-      while !alive && !next < n do
+      (* Indices this walk has visited itself: an iterator loop-back
+         re-enters its own marks and must proceed, but a mark left by
+         ANOTHER item means that item already pushed the object through
+         this suffix — continuing would duplicate its emissions, spawns
+         and pass.  Without this mid-walk check the outcome depends on
+         which overlapping item ran first (arrival order), and a
+         distributed run can disagree with the same engine run over a
+         single store. *)
+      let visited = Hashtbl.create 8 in
+      while
+        !alive && !next < n
+        &&
+        if
+          (not (Hashtbl.mem visited !next))
+          && Mark_table.mem marks oid !next ~iters:item_iters
+        then begin
+          alive := false;
+          false
+        end
+        else true
+      do
+        Hashtbl.replace visited !next ();
         Mark_table.add marks oid !next ~iters:item_iters;
         stats.Stats.filter_steps <- stats.Stats.filter_steps + 1;
         (match Hf_query.Program.get program !next with

@@ -29,7 +29,11 @@ let fnv1a ~seed s =
 
 let ln2 = Float.log 2.0
 
-(* Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2. *)
+(* Standard sizing m = -n ln p / (ln 2)^2, then rounded UP to the next
+   power of two.  The rounding only lowers the false-positive rate, and
+   it makes every planned filter's geometry divide every larger one's —
+   the precondition {!union} needs to fold two summaries of different
+   sizes into one sound OR-merge (Bloofi inner nodes). *)
 let plan ~expected ~fp_rate =
   if expected <= 0 then invalid_arg "Bloom.create: expected must be positive";
   if not (fp_rate > 0.0 && fp_rate < 1.0) then
@@ -39,6 +43,13 @@ let plan ~expected ~fp_rate =
     int_of_float (Float.ceil (-.n *. Float.log fp_rate /. (ln2 *. ln2)))
   in
   let m = max 8 m in
+  let m =
+    let p = ref 8 in
+    while !p < m do
+      p := !p * 2
+    done;
+    !p
+  in
   let k = int_of_float (Float.round (float_of_int m /. n *. ln2)) in
   let k = max 1 (min 30 k) in
   (m, k)
@@ -181,6 +192,34 @@ let estimate_entries t =
   else
     int_of_float
       (Float.round (-.(m /. float_of_int t.k) *. Float.log (1.0 -. (x /. m))))
+
+(* OR-merge of two filters, folding the larger bit array onto the
+   smaller when the smaller size divides the larger.  Soundness: a probe
+   of the merged filter checks positions [x mod m'] for the first
+   [min k] hash values; an element added to either input set positions
+   [x mod m] with [m' | m], and [(x mod m) mod m' = x mod m'], so every
+   checked position is set — no false negatives survive the merge.
+   Checking fewer probes ([min k]) and ORing foreign bits both only
+   raise the false-positive rate.  [None] when neither geometry divides
+   the other (filters planned by {!create} are always compatible: their
+   sizes are powers of two). *)
+let union a b =
+  let small, large = if a.m <= b.m then (a, b) else (b, a) in
+  if large.m mod small.m <> 0 then None
+  else begin
+    let bits = Bytes.copy small.bits in
+    if large.m = small.m then
+      Bytes.iteri
+        (fun i c ->
+          Bytes.set bits i
+            (Char.chr (Char.code (Bytes.get bits i) lor Char.code c)))
+        large.bits
+    else
+      for i = 0 to large.m - 1 do
+        if get_bit large.bits i then set_bit bits (i mod small.m)
+      done;
+    Some { bits; m = small.m; k = min a.k b.k; count = a.count + b.count }
+  end
 
 let equal a b = a.m = b.m && a.k = b.k && Bytes.equal a.bits b.bits
 

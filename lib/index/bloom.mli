@@ -11,8 +11,10 @@ type t
 
 val create : expected:int -> fp_rate:float -> t
 (** Sized for [expected] keys at false-positive probability [fp_rate]
-    (standard [m = -n ln p / ln² 2] sizing).  Raises [Invalid_argument]
-    unless [expected > 0] and [0 < fp_rate < 1]. *)
+    (standard [m = -n ln p / ln² 2] sizing, rounded up to the next
+    power of two so any two planned filters are {!union}-compatible).
+    Raises [Invalid_argument] unless [expected > 0] and
+    [0 < fp_rate < 1]. *)
 
 val add : t -> string -> unit
 
@@ -45,6 +47,16 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Total inverse of {!to_string}: arbitrary bytes yield [None], never
     an exception (the codec fuzz suite feeds it garbage). *)
+
+val union : t -> t -> t option
+(** Sound OR-merge: the result answers "possibly present" for every key
+    either input holds — the larger bit array is folded onto the
+    smaller (bit [i] ORs into [i mod m']), which preserves the
+    no-false-negative guarantee whenever the smaller size divides the
+    larger, and the merged probe count is the smaller of the two.
+    [None] when neither geometry divides the other; filters sized by
+    {!create} are always compatible (power-of-two [m]).  Bloofi inner
+    nodes ({!Bloofi}) are built from exactly this merge. *)
 
 val equal : t -> t -> bool
 (** Same geometry and same bit pattern ([count] is advisory and

@@ -302,6 +302,22 @@ let put t ~now ~key ~version ~passed =
     t.size <- t.size + 1;
     if t.size > t.config.capacity then drop t t.head.prev
 
+let drop_dst t ~dst =
+  (* [entry_key] leads with the destination's varint; a varint is
+     self-delimiting, so a full-varint prefix match identifies exactly
+     the entries for [dst]. *)
+  let buf = Buffer.create 5 in
+  Codec.write_varint buf dst;
+  let prefix = Buffer.contents buf in
+  let plen = String.length prefix in
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun key e ->
+      if String.length key >= plen && String.sub key 0 plen = prefix then
+        doomed := e :: !doomed)
+    t.table;
+  List.iter (drop t) !doomed
+
 let clear t =
   Hashtbl.reset t.table;
   t.head.next <- t.head;

@@ -99,4 +99,10 @@ val put : t -> now:float -> key:string -> version:int -> passed:bool -> unit
 (** Insert or refresh; evicts the least-recently-used entry beyond
     capacity. *)
 
+val drop_dst : t -> dst:int -> unit
+(** Evict every entry recorded against destination [dst].  Needed when
+    a summary-epoch regression reveals the peer restarted: its new
+    lineage's store version can collide with the old one's, so cached
+    verdicts keyed by version alone could wrongly validate. *)
+
 val clear : t -> unit

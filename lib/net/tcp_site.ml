@@ -274,6 +274,16 @@ type t = {
       (* peer -> store version whose summary we last sent them *)
   summaries : (int, int * Hf_index.Bloom.t) Hashtbl.t; [@hf.guarded_by "locked"]
       (* peer -> (version, summary) learned from Cache_version replies *)
+  mutable summary_epoch : int; [@hf.guarded_by "locked"]
+      (* monotonic count of this site's summary recomputes; rides every
+         Cache_version reply so peers can spot a restarted lineage *)
+  peer_epochs : (int, int) Hashtbl.t; [@hf.guarded_by "locked"]
+      (* peer -> last summary epoch seen from it; a regression drops
+         everything learned from the peer, Bloofi leaf included *)
+  bloofi : Hf_index.Bloofi.t option; [@hf.guarded_by "locked"]
+      (* Bloofi tree over learned peer summaries ([None] = disabled:
+         the planner falls back to the flat per-peer scan) *)
+  bloofi_depth : Hf_obs.Histogram.t; (* deepest level per planner descent *)
   mutable cache_hits : int; [@hf.guarded_by "locked"]
   mutable cache_misses : int; [@hf.guarded_by "locked"]
   mutable cache_prunes : int; [@hf.guarded_by "locked"]
@@ -1155,29 +1165,67 @@ let plan_decision t program initial =
         | None -> (s, 1) :: acc)
       [] initial
   in
+  let landing_groups =
+    List.map
+      (fun pc -> Hf_index.Remote_cache.prune_probes plan ~start:pc ~iters:zeros)
+      landing
+  in
+  let start_probes = Hf_index.Remote_cache.prune_probes plan ~start:0 ~iters:zeros in
+  let flat_may bloom =
+    landing_groups = []
+    || List.exists
+         (fun probes ->
+           probes = [] || not (Hf_index.Remote_cache.summary_misses bloom probes))
+         landing_groups
+  in
+  (* One Bloofi descent replaces the flat per-peer landing probes when
+     the tree is on and holds anything; leaves are the same learned
+     filters, so the verdicts are identical — only the probe cost (and
+     the [decision.index] stats) differ. *)
+  let index_probe =
+    match t.bloofi with
+    | None -> None
+    | Some tree when Hf_index.Bloofi.cardinal tree = 0 -> None
+    | Some tree ->
+      let r = Hf_index.Bloofi.probe tree landing_groups in
+      Hf_obs.Histogram.observe t.bloofi_depth (float_of_int r.depth);
+      let may = Hashtbl.create 16 in
+      List.iter (fun s -> Hashtbl.replace may s ()) r.sites;
+      let stats =
+        {
+          Hf_query.Plan.indexed = Hf_index.Bloofi.cardinal tree;
+          touched = r.touched;
+          depth = r.depth;
+          pruned = Hf_index.Bloofi.cardinal tree - List.length r.sites;
+        }
+      in
+      Some (tree, may, stats)
+  in
   let hints = ref [] in
   Array.iteri
     (fun peer _ ->
       if peer <> t.id then begin
         let hint =
           match Hashtbl.find_opt t.summaries peer with
-          | None -> { Hf_query.Plan.site = peer; objects = None; may_match = None }
+          | None ->
+            { Hf_query.Plan.site = peer; objects = None; may_match = None;
+              seed_may_match = None }
           | Some (_, bloom) ->
             let may_match =
-              landing = []
-              || List.exists
-                   (fun pc ->
-                     let probes =
-                       Hf_index.Remote_cache.prune_probes plan ~start:pc ~iters:zeros
-                     in
-                     probes = []
-                     || not (Hf_index.Remote_cache.summary_misses bloom probes))
-                   landing
+              match index_probe with
+              | Some (tree, may, _) when Hf_index.Bloofi.mem tree ~site:peer ->
+                Hashtbl.mem may peer
+              | Some _ | None -> flat_may bloom
+            in
+            let seed_may_match =
+              start_probes = []
+              || not (Hf_index.Remote_cache.summary_misses bloom start_probes)
             in
             {
               Hf_query.Plan.site = peer;
               objects = Some (Hf_index.Bloom.estimate_entries bloom);
               may_match = Some may_match;
+              seed_may_match = Some seed_may_match;
             }
         in
         hints := hint :: !hints
@@ -1196,7 +1244,8 @@ let plan_decision t program initial =
     }
   in
   Hf_query.Plan.decide ~program ~origin:t.id ~seed_sites ~hints:(List.rev !hints)
-    ~costs
+    ?index:(Option.map (fun (_, _, stats) -> stats) index_probe)
+    ~costs ()
 [@@hf.requires_lock "locked"]
 
 (* The planner's verdict for a query, without running it — [hfql :plan]
@@ -1408,6 +1457,7 @@ let handle_message t ?(span = 0) ?rel message =
               | Some _ | None ->
                 let bloom = Hf_index.Remote_cache.summary_of_store cfg t.store in
                 t.summary_memo <- Some (version, bloom);
+                t.summary_epoch <- t.summary_epoch + 1;
                 bloom
             in
             if
@@ -1420,20 +1470,43 @@ let handle_message t ?(span = 0) ?rel message =
               Some (Hf_index.Bloom.to_string bloom)
             end
         in
-        send t ~dst:peer (Message.Cache_version { query; site = t.id; version; summary });
+        send t ~dst:peer
+          (Message.Cache_version
+             { query; site = t.id; version; epoch = t.summary_epoch; summary });
         []
-      | Message.Cache_version { query; site = peer; version; summary } ->
+      | Message.Cache_version { query; site = peer; version; epoch; summary } ->
+        (* An epoch regression means the peer restarted: its old
+           lineage's summary (and Bloofi leaf) must go wholesale —
+           keeping either could wrongly prune against the new store.
+           Cached per-object verdicts are keyed by store version only,
+           and the new lineage's version can collide with the old
+           one's, so they go too. *)
+        (match Hashtbl.find_opt t.peer_epochs peer with
+         | Some e when epoch < e ->
+           Hashtbl.remove t.summaries peer;
+           Option.iter (fun tree -> Hf_index.Bloofi.remove tree ~site:peer) t.bloofi;
+           Option.iter
+             (fun cache -> Hf_index.Remote_cache.drop_dst cache ~dst:peer)
+             t.cache
+         | Some _ | None -> ());
+        Hashtbl.replace t.peer_epochs peer epoch;
         (match summary with
          | Some raw -> (
              match Hf_index.Bloom.of_string raw with
-             | Some bloom -> Hashtbl.replace t.summaries peer (version, bloom)
+             | Some bloom ->
+               Hashtbl.replace t.summaries peer (version, bloom);
+               Option.iter
+                 (fun tree -> Hf_index.Bloofi.insert tree ~site:peer bloom)
+                 t.bloofi
              | None -> () (* malformed summary: no pruning, still correct *))
          | None -> (
              (* No summary aboard means "you already have it"; if ours
                 is for another version, drop it — a stale summary must
                 never prune at the new version. *)
              match Hashtbl.find_opt t.summaries peer with
-             | Some (v, _) when v <> version -> Hashtbl.remove t.summaries peer
+             | Some (v, _) when v <> version ->
+               Hashtbl.remove t.summaries peer;
+               Option.iter (fun tree -> Hf_index.Bloofi.remove tree ~site:peer) t.bloofi
              | Some _ | None -> ()));
         (match Hashtbl.find_opt t.contexts query with
          | None -> ()
@@ -1640,8 +1713,8 @@ let accept_loop t () =
 (* --- lifecycle --- *)
 
 let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
-    ?(admission = Sched.unlimited) ?(exec = Exec_ship) ?(tracer = Hf_obs.Tracer.noop)
-    ?stats_period ?monitor_port () =
+    ?(admission = Sched.unlimited) ?(exec = Exec_ship) ?(bloofi = true)
+    ?(tracer = Hf_obs.Tracer.noop) ?stats_period ?monitor_port () =
   Hf_proto.Batch.validate_policy batch;
   Option.iter Hf_proto.Reliable.validate reliability;
   Option.iter Hf_index.Remote_cache.validate cache;
@@ -1660,6 +1733,7 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
   let query_rtt = Hf_obs.Registry.histogram registry "hf.net.query_rtt_s" in
   let ack_latency = Hf_obs.Registry.histogram registry "hf.net.ack_latency_s" in
   let admission_wait = Hf_obs.Registry.histogram registry "hf.net.admission_wait_s" in
+  let bloofi_depth = Hf_obs.Registry.histogram registry "hf.index.bloofi_descent_depth" in
   let t =
     {
       id = site;
@@ -1701,6 +1775,10 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       summary_memo = None;
       summary_told = Hashtbl.create 4;
       summaries = Hashtbl.create 4;
+      summary_epoch = 0;
+      peer_epochs = Hashtbl.create 4;
+      bloofi = (if bloofi then Some (Hf_index.Bloofi.create ()) else None);
+      bloofi_depth;
       cache_hits = 0;
       cache_misses = 0;
       cache_prunes = 0;
@@ -1765,6 +1843,21 @@ let create ~site ?(batch = Hf_proto.Batch.unbatched) ?reliability ?cache
       locked t (fun () -> t.planner_scatter));
   Hf_obs.Registry.register_counter registry "hf.net.planner_ship" (fun () ->
       locked t (fun () -> t.planner_ship));
+  Hf_obs.Registry.register_counter registry "hf.index.bloofi_probes" (fun () ->
+      locked t (fun () ->
+          match t.bloofi with
+          | None -> 0
+          | Some tree -> Hf_index.Bloofi.probes_run tree));
+  Hf_obs.Registry.register_counter registry "hf.index.bloofi_pruned_sites" (fun () ->
+      locked t (fun () ->
+          match t.bloofi with
+          | None -> 0
+          | Some tree -> Hf_index.Bloofi.pruned_total tree));
+  Hf_obs.Registry.register_counter registry "hf.index.bloofi_rebuilds" (fun () ->
+      locked t (fun () ->
+          match t.bloofi with
+          | None -> 0
+          | Some tree -> Hf_index.Bloofi.rebuilds tree));
   Hf_obs.Registry.register_counter registry "hf.net.queries_running" (fun () ->
       locked t (fun () -> Sched.running t.gate));
   Hf_obs.Registry.register_counter registry "hf.net.queries_queued" (fun () ->
@@ -1884,7 +1977,26 @@ let tracer t = t.tracer
 
 let registry t = t.registry
 
-let set_peers t peers = t.peers <- peers
+let set_peers t peers =
+  locked t (fun () ->
+      let old = t.peers in
+      t.peers <- peers;
+      (* A changed address is a new lineage at that site: the pooled
+         connection still reaches the OLD process (its accepted sockets
+         outlive its listener), and the reliability link's windows are
+         meaningless to the replacement.  Drop both so the next send
+         reconnects fresh. *)
+      Array.iteri
+        (fun dst addr ->
+          if dst < Array.length old && old.(dst) <> addr then begin
+            (match Hashtbl.find_opt t.conns dst with
+             | Some conn ->
+               conn_discard t conn;
+               Hashtbl.remove t.conns dst
+             | None -> ());
+            Hashtbl.remove t.links dst
+          end)
+        peers)
 
 let shutdown t =
   if t.running then begin

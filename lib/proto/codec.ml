@@ -474,11 +474,12 @@ let write_message buf message =
     write_u8 buf 6;
     write_query_id buf query;
     write_varint buf src
-  | Cache_version { query; site; version; summary } ->
+  | Cache_version { query; site; version; epoch; summary } ->
     write_u8 buf 7;
     write_query_id buf query;
     write_varint buf site;
     write_varint buf version;
+    write_varint buf epoch;
     (match summary with
      | None -> write_u8 buf 0
      | Some s ->
@@ -559,13 +560,14 @@ let read_message r : Message.t =
     let query = read_query_id r in
     let site = read_varint r in
     let version = read_varint r in
+    let epoch = read_varint r in
     let summary =
       match read_u8 r with
       | 0 -> None
       | 1 -> Some (read_string r)
       | tag -> fail "unknown summary presence tag %d" tag
     in
-    Cache_version { query; site; version; summary }
+    Cache_version { query; site; version; epoch; summary }
   | 8 ->
     let query = read_query_id r in
     let src = read_varint r in

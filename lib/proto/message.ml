@@ -142,6 +142,10 @@ type t =
       query : query_id;
       site : int;
       version : int;
+      epoch : int;
+          (** monotonic per-site summary-recompute counter; a regression
+              means the peer restarted, so learned summaries from the
+              old epoch must be dropped wholesale. *)
       summary : string option;
           (** the site's Bloom tuple summary ({!Hf_index.Bloom}'s wire
               form), piggybacked when it changed since last told. *)
@@ -219,8 +223,8 @@ let pp ppf = function
     Fmt.pf ppf "site-unreachable[%a] dead=%d" pp_query_id query dead
   | Cache_validate { query; src } ->
     Fmt.pf ppf "cache-validate[%a] src=%d" pp_query_id query src
-  | Cache_version { query; site; version; summary } ->
-    Fmt.pf ppf "cache-version[%a] site=%d v=%d%s" pp_query_id query site version
+  | Cache_version { query; site; version; epoch; summary } ->
+    Fmt.pf ppf "cache-version[%a] site=%d v=%d e=%d%s" pp_query_id query site version epoch
       (match summary with Some s -> Fmt.str " summary=%dB" (String.length s) | None -> "")
   | Cache_answers { query; src; version; answers } ->
     Fmt.pf ppf "cache-answers[%a] src=%d v=%d %d answer(s)" pp_query_id query src version
@@ -326,6 +330,7 @@ let equal a b =
     equal_query_id x.query y.query
     && x.site = y.site
     && x.version = y.version
+    && x.epoch = y.epoch
     && Option.equal String.equal x.summary y.summary
   | Cache_answers x, Cache_answers y ->
     equal_query_id x.query y.query

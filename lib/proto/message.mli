@@ -115,6 +115,10 @@ type t =
       query : query_id;
       site : int;
       version : int;
+      epoch : int;
+          (** monotonic per-site summary-recompute counter; a regression
+              tells the receiver the peer restarted and its learned
+              summaries (and Bloofi leaf) are from a dead lineage. *)
       summary : string option;
           (** the site's Bloom tuple summary in [Hf_index.Bloom]'s wire
               form, piggybacked when it changed since last told. *)

@@ -3,7 +3,14 @@
    translate their own summary state and cost tables into the inputs
    (doc/execution_modes.md). *)
 
-type site_hint = { site : int; objects : int option; may_match : bool option }
+type site_hint = {
+  site : int;
+  objects : int option;
+  may_match : bool option;
+  seed_may_match : bool option;
+}
+
+type index_stats = { indexed : int; touched : int; depth : int; pruned : int }
 
 type costs = {
   transit : float;
@@ -27,6 +34,8 @@ type decision = {
   eligible : bool;
   reason : string option;
   predicted : int list;
+  remainder : int list;
+  index : index_stats option;
   ship : estimate;
   scatter : estimate;
   chosen : mode;
@@ -92,7 +101,7 @@ let eligible program =
    store rather than zero, so scatter never looks free by ignorance. *)
 let default_objects = 32
 
-let decide ~program ~origin ~seed_sites ~hints ~costs =
+let decide ~program ~origin ~seed_sites ~hints ?index ~costs () =
   let d = depth program in
   let landing = landing_pcs program in
   let seeds_at s =
@@ -108,12 +117,27 @@ let decide ~program ~origin ~seed_sites ~hints ~costs =
   in
   (* Predicted touched sites: every remote seed site, plus — when the
      program dereferences at all — every hinted site whose summary does
-     not rule it out. *)
-  let predicted =
+     not rule it out.  Partial scatter: a remote seed site drops to the
+     [remainder] only when its summary rules out BOTH the landing
+     filters and the start filter for its own seeds — its seeds then
+     ship classically (the stray-seed path), so excluding it from the
+     scatter fan-out cannot lose results. *)
+  let predicted, remainder =
     let tbl = Hashtbl.create 7 in
+    let rem = Hashtbl.create 7 in
     List.iter
       (fun (site, n) ->
-        if site <> origin && n > 0 then Hashtbl.replace tbl site ())
+        if site <> origin && n > 0 then begin
+          let excludable =
+            match List.find_opt (fun h -> h.site = site) hints with
+            | Some { may_match = Some false; seed_may_match = Some false; _ }
+              ->
+                true
+            | Some _ | None -> false
+          in
+          if excludable then Hashtbl.replace rem site ()
+          else Hashtbl.replace tbl site ()
+        end)
       seed_sites;
     if d > 0 then
       List.iter
@@ -121,7 +145,8 @@ let decide ~program ~origin ~seed_sites ~hints ~costs =
           if h.site <> origin && h.may_match <> Some false then
             Hashtbl.replace tbl h.site ())
         hints;
-    List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+    ( List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl []),
+      List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) rem []) )
   in
   let objects_of s =
     match List.find_opt (fun h -> h.site = s) hints with
@@ -166,13 +191,20 @@ let decide ~program ~origin ~seed_sites ~hints ~costs =
      in parallel, so evaluation latency follows the largest site. *)
   let nlanding = List.length landing in
   let site_nodes s = seeds_at s + (objects_of s * nlanding) in
+  (* Seeds at remainder sites still travel, classically, alongside the
+     scatter; they overlap the scatter round-trip, so they cost bytes
+     but no extra rounds. *)
+  let remainder_seeds =
+    List.fold_left (fun acc s -> acc + seeds_at s) 0 remainder
+  in
   let scatter_bytes =
     List.fold_left
       (fun acc s ->
         acc + costs.header_bytes
         + (seeds_at s * costs.item_bytes)
         + (site_nodes s * costs.node_bytes))
-      0 predicted
+      (remainder_seeds * (costs.header_bytes + costs.item_bytes))
+      predicted
   in
   let max_nodes =
     List.fold_left (fun acc s -> max acc (site_nodes s)) 0 predicted
@@ -200,24 +232,36 @@ let decide ~program ~origin ~seed_sites ~hints ~costs =
       Scatter
     else Ship
   in
-  { eligible; reason; predicted; ship; scatter; chosen }
+  { eligible; reason; predicted; remainder; index; ship; scatter; chosen }
 
 let pp_estimate ppf e =
   Format.fprintf ppf "rounds=%d bytes=%d latency=%.6fs" e.rounds e.bytes
     e.latency
 
+let pp_sites ppf = function
+  | [] -> Format.pp_print_string ppf "none"
+  | sites ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        Format.pp_print_int ppf sites
+
 let pp ppf d =
-  Format.fprintf ppf "@[<v>mode: %s@,eligible: %b%a@,predicted sites: %a@,\
+  Format.fprintf ppf "@[<v>mode: %s@,eligible: %b%a@,predicted sites: %a%a%a@,\
                       ship:    %a@,scatter: %a@]"
     (mode_name d.chosen) d.eligible
     (fun ppf -> function
       | None -> ()
       | Some why -> Format.fprintf ppf " (%s)" why)
-    d.reason
+    d.reason pp_sites d.predicted
     (fun ppf -> function
-      | [] -> Format.pp_print_string ppf "none"
-      | sites ->
-          Format.pp_print_list
-            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-            Format.pp_print_int ppf sites)
-    d.predicted pp_estimate d.ship pp_estimate d.scatter
+      | [] -> ()
+      | rem -> Format.fprintf ppf "@,remainder (classic ship): %a" pp_sites rem)
+    d.remainder
+    (fun ppf -> function
+      | None -> ()
+      | Some i ->
+          Format.fprintf ppf
+            "@,bloofi probe: %d indexed, %d node(s) touched, depth %d, %d \
+             pruned"
+            i.indexed i.touched i.depth i.pruned)
+    d.index pp_estimate d.ship pp_estimate d.scatter

@@ -28,7 +28,24 @@ type site_hint = {
       (** whether the site's tuple summary may match the program's
           dereference landing filters; [Some false] excludes the site
           from the predicted set, anything else keeps it. *)
+  seed_may_match : bool option;
+      (** whether the site's summary may match the program's {e start}
+          filter — the one its own seeds enter at.  Only consulted for
+          seed sites: [Some false] together with [may_match = Some
+          false] moves the site to the decision's [remainder] (partial
+          scatter), anything else keeps seed sites predicted. *)
 }
+
+type index_stats = {
+  indexed : int;  (** sites held by the Bloofi tree at probe time. *)
+  touched : int;  (** tree nodes consulted by the descent. *)
+  depth : int;  (** deepest level the descent reached. *)
+  pruned : int;  (** indexed sites the descent ruled out. *)
+}
+(** How the planner's site prediction was computed when a
+    {!Hf_index.Bloofi} descent (rather than a flat summary scan)
+    produced the hints — carried on the decision for [:plan] /
+    [--explain-plan] and the bench harness. *)
 
 type costs = {
   transit : float;  (** one-way message latency, seconds. *)
@@ -60,6 +77,13 @@ type decision = {
   predicted : int list;
       (** predicted touched sites, sorted, origin excluded — the sites
           a scatter would contact. *)
+  remainder : int list;
+      (** seed sites excluded from the scatter fan-out because their
+          summary rules out both the landing and the start filters;
+          their seeds ship classically (partial scatter).  Always
+          disjoint from [predicted]. *)
+  index : index_stats option;
+      (** present when a Bloofi descent produced the prediction. *)
   ship : estimate;
   scatter : estimate;
   chosen : mode;
@@ -84,13 +108,18 @@ val decide :
   origin:int ->
   seed_sites:(int * int) list ->
   hints:site_hint list ->
+  ?index:index_stats ->
   costs:costs ->
+  unit ->
   decision
 (** [decide] compares the two modes.  [seed_sites] gives (site, seed
     count) pairs for the query's initial oids; [hints] should cover
     every candidate site (origin entries are ignored).  Sites with
-    seeds are always predicted regardless of their summary verdict, so
-    the predicted set is a superset of the seed sites. *)
+    seeds are predicted regardless of their landing-summary verdict
+    unless {e both} their hint verdicts are [Some false], in which case
+    they land in [remainder] and their seeds ship classically (partial
+    scatter).  [index] records how a Bloofi descent produced the hints,
+    for the explain output; it does not affect the decision. *)
 
 val pp : Format.formatter -> decision -> unit
 (** Multi-line rendering used by [hfql :plan] and [--explain-plan]. *)

@@ -102,13 +102,23 @@ type config = {
   exec : exec_mode;
       (* execution-mode selection; [Exec_ship] (the default) is the
          paper's protocol, byte-identical to the pre-planner code *)
+  bloofi : bool;
+      (* [true] (the default): each origin maintains a Bloofi tree
+         (Hf_index.Bloofi) over the per-peer Bloom summaries and the
+         planner predicts the touched-site set from one root-to-leaf
+         descent instead of probing N flat filters; distributed
+         re-seeding ([run_query_on_distributed]) consults the same tree
+         before broadcasting.  [false] is the flat per-peer scan — the
+         two must answer identically (the differential cube checks
+         byte-identical results), the tree just answers in
+         O(d·log_d N) touches on selective programs. *)
 }
 
 let default_config =
   { costs = Hf_sim.Costs.paper; result_mode = Ship_items; mark_scope = Local_marks;
     poll_window = 3600.0; jitter = 0.0; loss = 0.0; jitter_seed = 1;
     batch = Hf_proto.Batch.unbatched; reliability = None; cache = None;
-    admission = Sched.unlimited; exec = Exec_ship }
+    admission = Sched.unlimited; exec = Exec_ship; bloofi = true }
 
 type outcome = {
   results : Oid.t list; (* in arrival order at the originator *)
@@ -252,6 +262,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         query : Hf_proto.Message.query_id;
         site : int; (* the answering site *)
         version : int;
+        epoch : int; (* the answering site's summary-recompute counter *)
         summary : Hf_index.Bloom.t option;
             (* Bloom tuple summary, piggybacked only when the asker has
                not been told this version's summary yet *)
@@ -336,6 +347,18 @@ module Make (D : Hf_termination.Detector.S) = struct
     summaries : (int, int * Hf_index.Bloom.t) Hashtbl.t;
         (* peer -> (version, summary) learned from Cache_version
            replies; prune checks require the validated version *)
+    mutable summary_epoch : int;
+        (* monotonic count of summary recomputes at this site; rides
+           every Cache_version reply so receivers can spot a restarted
+           lineage (an epoch regression) and drop what they learned *)
+    peer_epochs : (int, int) Hashtbl.t;
+        (* peer -> last summary epoch seen from it *)
+    bloofi : Hf_index.Bloofi.t;
+        (* this origin's Bloofi tree over peer summaries (config.bloofi);
+           leaves track [summaries] plus the lazy [summary_for] fallback *)
+    bloofi_src : (int, Hf_index.Bloom.t) Hashtbl.t;
+        (* peer -> the exact filter currently installed as its leaf, so
+           maintenance can skip physically-unchanged summaries *)
     mutable locality_memo : (int * float) option;
         (* (store version, fraction of this store's pointer tuples that
            stay on-site) — the planner's honest locality signal,
@@ -357,6 +380,9 @@ module Make (D : Hf_termination.Detector.S) = struct
            the serial CPU starts it — the queueing half of response
            time, previously dark (DESIGN.md §4i) *)
     admission_wait : Hf_obs.Histogram.t; (* submit-to-seed gate wait, virtual s *)
+    bloofi_depth : Hf_obs.Histogram.t;
+        (* deepest level reached per Bloofi planner descent — sublinear
+           probe cost made visible (hf.index.bloofi_descent_depth) *)
     mutable standalone_acks : int; (* acks that found no reverse traffic to ride *)
     mutable total_retransmits : int;
     mutable total_dup_drops : int;
@@ -400,6 +426,10 @@ module Make (D : Hf_termination.Detector.S) = struct
             summary_memo = None;
             summary_told = Hashtbl.create 4;
             summaries = Hashtbl.create 4;
+            summary_epoch = 0;
+            peer_epochs = Hashtbl.create 4;
+            bloofi = Hf_index.Bloofi.create ();
+            bloofi_src = Hashtbl.create 4;
             locality_memo = None;
           })
     in
@@ -413,6 +443,7 @@ module Make (D : Hf_termination.Detector.S) = struct
     let ack_latency = Hf_obs.Registry.histogram registry "hf.server.ack_latency_s" in
     let queue_wait = Hf_obs.Registry.histogram registry "hf.server.queue_wait_s" in
     let admission_wait = Hf_obs.Registry.histogram registry "hf.server.admission_wait_s" in
+    let bloofi_depth = Hf_obs.Registry.histogram registry "hf.index.bloofi_descent_depth" in
     let t =
       {
         sim;
@@ -426,6 +457,7 @@ module Make (D : Hf_termination.Detector.S) = struct
         ack_latency;
         queue_wait;
         admission_wait;
+        bloofi_depth;
         standalone_acks = 0;
         total_retransmits = 0;
         total_dup_drops = 0;
@@ -441,6 +473,20 @@ module Make (D : Hf_termination.Detector.S) = struct
         t.total_retransmits);
     Hf_obs.Registry.register_counter registry "hf.server.dup_drops" (fun () ->
         t.total_dup_drops);
+    (* Bloofi planner-index counters, summed across origins (each site
+       maintains its own tree over what it learned about its peers). *)
+    Hf_obs.Registry.register_counter registry "hf.index.bloofi_probes" (fun () ->
+        Array.fold_left
+          (fun acc site -> acc + Hf_index.Bloofi.probes_run site.bloofi)
+          0 t.sites);
+    Hf_obs.Registry.register_counter registry "hf.index.bloofi_pruned_sites" (fun () ->
+        Array.fold_left
+          (fun acc site -> acc + Hf_index.Bloofi.pruned_total site.bloofi)
+          0 t.sites);
+    Hf_obs.Registry.register_counter registry "hf.index.bloofi_rebuilds" (fun () ->
+        Array.fold_left
+          (fun acc site -> acc + Hf_index.Bloofi.rebuilds site.bloofi)
+          0 t.sites);
     (* Live gauges over the scheduler's previously-dark state
        (DESIGN.md §4i): run-queue depth and tenancy, admission gate
        occupancy, context and cache population.  The sim is
@@ -1759,6 +1805,7 @@ module Make (D : Hf_termination.Detector.S) = struct
                 | Some _ | None ->
                   let bloom = Hf_index.Remote_cache.summary_of_store cfg site.store in
                   site.summary_memo <- Some (version, bloom);
+                  site.summary_epoch <- site.summary_epoch + 1;
                   bloom
               in
               if
@@ -1792,25 +1839,47 @@ module Make (D : Hf_termination.Detector.S) = struct
                   deliver t ~src:site.id ~oq ~label:"cache-version" ~span:rspan
                     ~transit:t.config.costs.control_transit ~dst:src
                     (Cache_version
-                       { query; site = site.id; version; summary; src = site.id;
-                         span = rspan })
+                       { query; site = site.id; version; epoch = site.summary_epoch;
+                         summary; src = site.id; span = rspan })
                     (fun dsite message -> handle_message t dsite message) )) )
-    | Cache_version { query; site = peer; version; summary; src = _; span } ->
+    | Cache_version { query; site = peer; version; epoch; summary; src = _; span } ->
       (match find_open t query with
        | Some oq -> Metrics.add_busy oq.metrics site.id costs.control_recv
        | None -> ());
       record t site.id "cache-version-recv" (Fmt.str "site %d at v=%d" peer version);
       ( costs.control_recv,
         fun () ->
+          (* An epoch regression means the peer's summary lineage
+             restarted: everything learned from the old lineage — flat
+             summary, Bloofi leaf, and version-keyed verdicts (the new
+             lineage's version can collide) — is dead. *)
+          (match Hashtbl.find_opt site.peer_epochs peer with
+           | Some e when epoch < e ->
+             Hashtbl.remove site.summaries peer;
+             Hashtbl.remove site.bloofi_src peer;
+             Hf_index.Bloofi.remove site.bloofi ~site:peer;
+             Option.iter
+               (fun cache -> Hf_index.Remote_cache.drop_dst cache ~dst:peer)
+               site.cache
+           | Some _ | None -> ());
+          Hashtbl.replace site.peer_epochs peer epoch;
           (match summary with
-           | Some bloom -> Hashtbl.replace site.summaries peer (version, bloom)
+           | Some bloom ->
+             Hashtbl.replace site.summaries peer (version, bloom);
+             if t.config.bloofi then begin
+               Hf_index.Bloofi.insert site.bloofi ~site:peer bloom;
+               Hashtbl.replace site.bloofi_src peer bloom
+             end
            | None -> (
                (* No summary aboard means "you already have it"; if ours
                   is for another version (the reply that carried the new
                   one was lost), drop it — a stale summary must never
                   prune at the new version. *)
                match Hashtbl.find_opt site.summaries peer with
-               | Some (v, _) when v <> version -> Hashtbl.remove site.summaries peer
+               | Some (v, _) when v <> version ->
+                 Hashtbl.remove site.summaries peer;
+                 Hashtbl.remove site.bloofi_src peer;
+                 Hf_index.Bloofi.remove site.bloofi ~site:peer
                | Some _ | None -> ()));
           match context_of t ~cause:span site query with
           | None -> ()
@@ -2000,15 +2069,19 @@ module Make (D : Hf_termination.Detector.S) = struct
       p
 
   (* The peer summary the planner consults: preferably what the origin
-     learned from [Cache_version] replies; otherwise (cache layer on but
-     nothing learned yet) the peer's own memoized summary — the
-     simulator's stand-in for the stats a real deployment piggybacks on
-     the validation round trip.  With the cache layer off there is no
+     learned from [Cache_version] replies — but only while the peer's
+     store is still at the version the summary was built for, because
+     the [Seed_from] broadcast prune skips sites on the strength of this
+     filter and a stale one could miss content the peer has since
+     gained.  Otherwise (cache layer on but the learned entry is stale
+     or absent) the peer's own memoized summary — the simulator's
+     stand-in for the stats a real deployment piggybacks on the
+     validation round trip.  With the cache layer off there is no
      summary channel at all and the planner stays conservative. *)
   let summary_for t origin_site peer =
     match Hashtbl.find_opt origin_site.summaries peer.id with
-    | Some (_, bloom) -> Some bloom
-    | None -> (
+    | Some (v, bloom) when v = Hf_data.Store.version peer.store -> Some bloom
+    | Some _ | None -> (
         match t.config.cache with
         | None -> None
         | Some cfg ->
@@ -2023,12 +2096,42 @@ module Make (D : Hf_termination.Detector.S) = struct
           in
           Some bloom)
 
+  (* Bring [origin_site]'s Bloofi leaves in line with what the summary
+     channel would answer right now: upsert peers whose filter changed
+     (physical inequality — learned summaries and memo entries are
+     shared, so an unchanged summary is the same block), drop peers the
+     channel no longer vouches for.  The lazy half of tree maintenance;
+     the eager half is the [Cache_version] receive arm. *)
+  let sync_bloofi t origin_site =
+    Array.iter
+      (fun peer ->
+        if peer.id <> origin_site.id then
+          match summary_for t origin_site peer with
+          | Some bloom ->
+            if
+              match Hashtbl.find_opt origin_site.bloofi_src peer.id with
+              | Some installed -> installed != bloom
+              | None -> true
+            then begin
+              Hf_index.Bloofi.insert origin_site.bloofi ~site:peer.id bloom;
+              Hashtbl.replace origin_site.bloofi_src peer.id bloom
+            end
+          | None ->
+            if Hashtbl.mem origin_site.bloofi_src peer.id then begin
+              Hashtbl.remove origin_site.bloofi_src peer.id;
+              Hf_index.Bloofi.remove origin_site.bloofi ~site:peer.id
+            end)
+      t.sites
+
   (* Price both modes for [program] over [initial] and pick one.  Pure
      given its inputs: seed placement from [locate], per-peer hints from
      the summary channel (store cardinality standing in for the store
      stats the validation reply reports), and unit costs lifted straight
      from the simulator's cost table so the estimates share dimensions
-     with what the run will actually charge. *)
+     with what the run will actually charge.  With [config.bloofi] the
+     landing verdicts come from one tree descent; leaves equal the flat
+     filters, so the verdicts are identical — only the probe cost
+     changes (and [decision.index] reports it). *)
   let plan_decision t ~origin program initial =
     let plan = Hf_engine.Plan.make program in
     let zeros = Array.make (Hf_engine.Plan.iter_count plan) 0 in
@@ -2043,29 +2146,65 @@ module Make (D : Hf_termination.Detector.S) = struct
         [] initial
     in
     let origin_site = t.sites.(origin) in
+    let landing_groups =
+      List.map
+        (fun pc -> Hf_index.Remote_cache.prune_probes plan ~start:pc ~iters:zeros)
+        landing
+    in
+    let start_probes =
+      Hf_index.Remote_cache.prune_probes plan ~start:0 ~iters:zeros
+    in
+    let flat_may bloom =
+      landing_groups = []
+      || List.exists
+           (fun probes ->
+             probes = []
+             || not (Hf_index.Remote_cache.summary_misses bloom probes))
+           landing_groups
+    in
+    let seed_may bloom =
+      start_probes = []
+      || not (Hf_index.Remote_cache.summary_misses bloom start_probes)
+    in
+    let index_probe =
+      if not t.config.bloofi then None
+      else begin
+        sync_bloofi t origin_site;
+        let tree = origin_site.bloofi in
+        if Hf_index.Bloofi.cardinal tree = 0 then None
+        else begin
+          let r = Hf_index.Bloofi.probe tree landing_groups in
+          Hf_obs.Histogram.observe t.bloofi_depth (float_of_int r.depth);
+          let may = Hashtbl.create 16 in
+          List.iter (fun s -> Hashtbl.replace may s ()) r.sites;
+          let stats =
+            {
+              Hf_query.Plan.indexed = Hf_index.Bloofi.cardinal tree;
+              touched = r.touched;
+              depth = r.depth;
+              pruned = Hf_index.Bloofi.cardinal tree - List.length r.sites;
+            }
+          in
+          Some (tree, may, stats)
+        end
+      end
+    in
     let hints =
       List.filter_map
         (fun peer ->
           if peer.id = origin then None
           else
+            let summary = summary_for t origin_site peer in
             let may_match =
-              match summary_for t origin_site peer with
-              | None -> None
-              | Some bloom ->
-                Some
-                  (landing = []
-                  || List.exists
-                       (fun pc ->
-                         let probes =
-                           Hf_index.Remote_cache.prune_probes plan ~start:pc
-                             ~iters:zeros
-                         in
-                         probes = []
-                         || not (Hf_index.Remote_cache.summary_misses bloom probes))
-                       landing)
+              match index_probe with
+              | Some (tree, may, _) when Hf_index.Bloofi.mem tree ~site:peer.id
+                ->
+                Some (Hashtbl.mem may peer.id)
+              | Some _ | None -> Option.map flat_may summary
             in
+            let seed_may_match = Option.map seed_may summary in
             let objects = Some (Hf_data.Store.cardinal peer.store) in
-            Some { Hf_query.Plan.site = peer.id; objects; may_match })
+            Some { Hf_query.Plan.site = peer.id; objects; may_match; seed_may_match })
         (Array.to_list t.sites)
     in
     let costs = t.config.costs in
@@ -2081,7 +2220,9 @@ module Make (D : Hf_termination.Detector.S) = struct
         p_local = p_local_of t origin_site;
       }
     in
-    Hf_query.Plan.decide ~program ~origin ~seed_sites ~hints ~costs:plan_costs
+    Hf_query.Plan.decide ~program ~origin ~seed_sites ~hints
+      ?index:(Option.map (fun (_, _, stats) -> stats) index_probe)
+      ~costs:plan_costs ()
 
   (* The planner's verdict without running the query — [hfql :plan] and
      [hfql demo --explain-plan] render this. *)
@@ -2530,6 +2671,38 @@ module Make (D : Hf_termination.Detector.S) = struct
        enqueue t origin_site ~tenant:origin (fun () ->
            let remote_sites =
              List.filter (fun s -> s <> origin) (List.init (n_sites t) Fun.id)
+           in
+           (* Bloofi pre-broadcast prune: a site whose summary misses
+              the probes every object needs to survive the program's
+              first filter can only contribute dead seeds — skip its
+              Seed_from entirely.  Unindexed sites (no summary learned
+              or channel off) are always contacted, so a stale or empty
+              tree over-ships but never loses a result. *)
+           let remote_sites =
+             if not t.config.bloofi then remote_sites
+             else begin
+               sync_bloofi t origin_site;
+               let zeros =
+                 Array.make (Hf_engine.Plan.iter_count ctx.plan) 0
+               in
+               let probes =
+                 Hf_index.Remote_cache.prune_probes ctx.plan ~start:0
+                   ~iters:zeros
+               in
+               if probes = [] || Hf_index.Bloofi.cardinal origin_site.bloofi = 0
+               then remote_sites
+               else begin
+                 let r = Hf_index.Bloofi.probe origin_site.bloofi [ probes ] in
+                 Hf_obs.Histogram.observe t.bloofi_depth (float_of_int r.depth);
+                 let may = Hashtbl.create 16 in
+                 List.iter (fun s -> Hashtbl.replace may s ()) r.sites;
+                 List.filter
+                   (fun s ->
+                     Hashtbl.mem may s
+                     || not (Hf_index.Bloofi.mem origin_site.bloofi ~site:s))
+                   remote_sites
+               end
+             end
            in
            let duration =
              float_of_int (List.length remote_sites) *. t.config.costs.msg_send

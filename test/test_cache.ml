@@ -19,6 +19,10 @@ module Metrics = Hf_server.Metrics
 module Bloom = Hf_index.Bloom
 module Rc = Hf_index.Remote_cache
 
+(* random corpora, the single-store oracle, the configuration cube and
+   the cluster loaders live in the shared harness *)
+open Hf_test_harness
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
@@ -80,6 +84,53 @@ let test_bloom_of_string_garbage () =
       | Some _ | None -> ())
     [ ""; "x"; "\xff\xff\xff\xff"; String.make 64 '\x00'; "not a bloom filter" ]
 
+(* OR-merge (the Bloofi inner-node operation): a member of either
+   operand is a member of the union — no false negatives survive the
+   fold, whatever geometries [create] sized the two filters to. *)
+let prop_bloom_union_no_false_negatives =
+  QCheck2.Test.make ~name:"bloom: union preserves both operands' members" ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 100) string_small)
+        (list_size (int_range 0 100) string_small)
+        (pair (int_range 1 300) (int_range 1 300)))
+    (fun (xs, ys, (ex, ey)) ->
+      let a = Bloom.create ~expected:ex ~fp_rate:0.02 in
+      let b = Bloom.create ~expected:ey ~fp_rate:0.05 in
+      List.iter (Bloom.add a) xs;
+      List.iter (Bloom.add b) ys;
+      match Bloom.union a b with
+      | None -> true (* incompatible geometry: union declines, never lies *)
+      | Some u -> List.for_all (Bloom.mem u) (xs @ ys))
+
+(* [plan]ned geometries are always power-of-two wide, so any two planned
+   filters fold: union is total on what the cache layer actually builds. *)
+let prop_bloom_union_planned_total =
+  QCheck2.Test.make ~name:"bloom: union total on planned geometries" ~count:200
+    QCheck2.Gen.(pair (int_range 1 5_000) (int_range 1 5_000))
+    (fun (ex, ey) ->
+      let a = Bloom.create ~expected:ex ~fp_rate:0.01 in
+      let b = Bloom.create ~expected:ey ~fp_rate:0.02 in
+      Bloom.union a b <> None)
+
+(* A merged filter survives the wire like any other: to_string/of_string
+   round-trips the folded geometry bit-exactly. *)
+let prop_bloom_union_wire_roundtrip =
+  QCheck2.Test.make ~name:"bloom: merged filter round-trips the wire" ~count:200
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 50) string_small) (list_size (int_range 0 50) string_small))
+    (fun (xs, ys) ->
+      let a = Bloom.create ~expected:(max 1 (List.length xs)) ~fp_rate:0.02 in
+      let b = Bloom.create ~expected:(max 1 (List.length ys)) ~fp_rate:0.02 in
+      List.iter (Bloom.add a) xs;
+      List.iter (Bloom.add b) ys;
+      match Bloom.union a b with
+      | None -> false (* planned geometries must fold *)
+      | Some u -> (
+          match Bloom.of_string (Bloom.to_string u) with
+          | None -> false
+          | Some back -> Bloom.equal u back && List.for_all (Bloom.mem back) (xs @ ys)))
+
 (* A store's summary covers its content and changes when the content
    does — the version-gated rebuild in the cluster relies on both. *)
 let test_summary_tracks_store () =
@@ -102,117 +153,7 @@ let test_summary_tracks_store () =
   check_bool "rebuilt summary covers the update" false
     (Rc.summary_misses s1 [ Rc.pair_probe "Keyword" (Hf_data.Value.str "beta") ])
 
-(* --- Random corpora and the single-store oracle ------------------------ *)
-
-type dataset = {
-  n : int;
-  placement : int array; (* logical -> site *)
-  edges : (int * string * int) list;
-  hot : bool array; (* mutable during update interleaving *)
-}
-
-let random_dataset prng ~n_sites =
-  let n = 4 + Hf_util.Prng.next_int prng 20 in
-  let placement = Array.init n (fun _ -> Hf_util.Prng.next_int prng n_sites) in
-  let n_edges = Hf_util.Prng.next_int prng (3 * n) in
-  let keys = [| "R"; "S" |] in
-  let edges =
-    List.init n_edges (fun _ ->
-        ( Hf_util.Prng.next_int prng n,
-          Hf_util.Prng.pick prng keys,
-          Hf_util.Prng.next_int prng n ))
-  in
-  let hot = Array.init n (fun _ -> Hf_util.Prng.next_bool prng 0.5) in
-  { n; placement; edges; hot }
-
-let tuples_of ds oids i =
-  let pointers =
-    List.filter_map
-      (fun (src, key, dst) -> if src = i then Some (Tuple.pointer ~key oids.(dst)) else None)
-      ds.edges
-  in
-  [ Tuple.number ~key:"id" i ]
-  @ (if ds.hot.(i) then [ Tuple.keyword "hot" ] else [])
-  @ pointers
-
-let local_oracle ds query initial_logical =
-  let store = Store.create ~site:0 in
-  let oids = Array.init ds.n (fun _ -> Store.fresh_oid store) in
-  Array.iteri
-    (fun i oid -> Store.insert store (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
-    oids;
-  let r =
-    Hf_engine.Local.run_store ~store (Hf_query.Compile.compile query)
-      (List.map (fun i -> oids.(i)) initial_logical)
-  in
-  let logical oid =
-    let found = ref (-1) in
-    Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
-    !found
-  in
-  ( List.sort compare (List.map logical (Oid.Set.elements r.Hf_engine.Local.result_set)),
-    List.map (fun (t, vs) -> (t, List.sort Hf_data.Value.compare vs)) r.Hf_engine.Local.bindings )
-
-(* One-hop programs ship items whose remaining suffix is deref-free, so
-   they exercise caching and pruning; the closure shapes are never
-   cacheable and pin down the no-regression path. *)
-let queries =
-  [
-    (* cacheable after the ship *)
-    "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)";
-    "(Pointer, \"S\", ?X) ^^X (Number, \"id\", 0..9)";
-    "(Pointer, \"R\", ?X) ^X (?, ?, ?)";
-    "(Pointer, \"R\", ?X) ^^X (Number, \"id\", ->ids)";
-    (* not cacheable (the loop can deref again past the ship point) *)
-    "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)";
-    "[ (Pointer, \"R\", ?X) ^^X (Pointer, \"S\", ?Y) ^^Y ]^2 (Number, \"id\", 0..9)";
-  ]
-
-module C = Hf_server.Instances.Weighted
-
-let load cluster ds =
-  let oids = Array.init ds.n (fun i -> Store.fresh_oid (C.store cluster ds.placement.(i))) in
-  Array.iteri
-    (fun i oid ->
-      Store.insert (C.store cluster ds.placement.(i))
-        (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
-    oids;
-  oids
-
-let logical_results oids (outcome : Cluster.outcome) =
-  let logical oid =
-    let found = ref (-1) in
-    Array.iteri (fun i o -> if Oid.equal o oid then found := i) oids;
-    !found
-  in
-  List.sort compare (List.map logical (Oid.Set.elements outcome.Cluster.result_set))
-
-let sorted_bindings (outcome : Cluster.outcome) =
-  List.map (fun (t, vs) -> (t, List.sort Hf_data.Value.compare vs)) outcome.Cluster.bindings
-
 (* --- The differential cube --------------------------------------------- *)
-
-(* The reliability layer with a generous retry budget, as in
-   test_server's loss battery. *)
-let reliability = Some { Hf_proto.Reliable.default with Hf_proto.Reliable.max_retries = 30 }
-
-let cube =
-  List.concat_map
-    (fun batch ->
-      List.concat_map
-        (fun reliable ->
-          List.map (fun loss -> (batch, reliable, loss)) [ 0.0; 0.05; 0.2 ])
-        [ false; true ])
-    [ Hf_proto.Batch.Flush_at 1; Hf_proto.Batch.Flush_at 4 ]
-
-let config_of ~seed ~cache (batch, reliable, loss) =
-  { Cluster.default_config with
-    Cluster.batch;
-    loss;
-    jitter_seed = seed;
-    reliability = (if reliable then reliability else None);
-    cache = (if cache then Some Rc.default else None);
-  }
 
 (* One corpus, one query, one cube cell, cache on: repeat the query
    several times on the same cluster (so later runs face a warm cache)
@@ -223,7 +164,9 @@ let run_cell ~seed ~repeats cell =
   let prng = Hf_util.Prng.create seed in
   let n_sites = 2 + Hf_util.Prng.next_int prng 3 in
   let ds = random_dataset prng ~n_sites in
-  let query = parse (List.nth queries (Hf_util.Prng.next_int prng (List.length queries))) in
+  let query =
+    parse (List.nth cache_queries (Hf_util.Prng.next_int prng (List.length cache_queries)))
+  in
   let origin = Hf_util.Prng.next_int prng n_sites in
   let initial_logical =
     List.sort_uniq compare
@@ -234,17 +177,17 @@ let run_cell ~seed ~repeats cell =
   let _, reliable, loss = cell in
   let exact_regime = loss = 0.0 || reliable in
   let cluster = C.create ~config ~n_sites () in
-  let oids = load cluster ds in
+  let oids = load_sim cluster ds in
   let program = Hf_query.Compile.compile query in
   let initial = List.map (fun i -> oids.(i)) initial_logical in
   let ok = ref true in
   for _ = 1 to repeats do
     let outcome = C.run_query cluster ~origin program initial in
-    let got = logical_results oids outcome in
+    let got = logical_results oids outcome.Cluster.result_set in
     if exact_regime then
       ok :=
         !ok && outcome.Cluster.terminated && got = expected
-        && sorted_bindings outcome = expected_bindings
+        && sorted_bindings outcome.Cluster.bindings = expected_bindings
         && outcome.Cluster.unreachable_sites = []
     else begin
       (* unreliable loss: sound always, exact when declared terminated *)
@@ -256,15 +199,9 @@ let run_cell ~seed ~repeats cell =
 
 let cube_props =
   List.map
-    (fun ((batch, reliable, loss) as cell) ->
-      let name =
-        Fmt.str "cache ≡ oracle: batch=%s reliable=%b loss=%.2f"
-          (match batch with
-           | Hf_proto.Batch.Flush_at k -> string_of_int k
-           | Hf_proto.Batch.Flush_on_drain -> "drain")
-          reliable loss
-      in
-      QCheck2.Test.make ~name ~count:40 QCheck2.Gen.int (fun seed ->
+    (fun cell ->
+      let name = Fmt.str "cache ≡ oracle: %s" (cell_name cell) in
+      QCheck2.Test.make ~name ~count:40 ~print:string_of_int QCheck2.Gen.int (fun seed ->
           run_cell ~seed ~repeats:3 cell))
     cube
 
@@ -277,7 +214,10 @@ let prop_cache_transparent =
       let prng = Hf_util.Prng.create seed in
       let n_sites = 2 + Hf_util.Prng.next_int prng 3 in
       let ds = random_dataset prng ~n_sites in
-      let query = parse (List.nth queries (Hf_util.Prng.next_int prng (List.length queries))) in
+      let query =
+        parse
+          (List.nth cache_queries (Hf_util.Prng.next_int prng (List.length cache_queries)))
+      in
       let origin = Hf_util.Prng.next_int prng n_sites in
       let initial_logical = [ Hf_util.Prng.next_int prng ds.n ] in
       let run ~cache =
@@ -286,12 +226,14 @@ let prop_cache_transparent =
             Cluster.cache = (if cache then Some Rc.default else None) }
         in
         let cluster = C.create ~config ~n_sites () in
-        let oids = load cluster ds in
+        let oids = load_sim cluster ds in
         let program = Hf_query.Compile.compile query in
         let initial = List.map (fun i -> oids.(i)) initial_logical in
         List.init 3 (fun _ ->
             let o = C.run_query cluster ~origin program initial in
-            (o.Cluster.terminated, logical_results oids o, sorted_bindings o))
+            ( o.Cluster.terminated,
+              logical_results oids o.Cluster.result_set,
+              sorted_bindings o.Cluster.bindings ))
       in
       run ~cache:true = run ~cache:false)
 
@@ -313,7 +255,7 @@ let prop_updates_invalidate =
       let initial_logical = [ Hf_util.Prng.next_int prng ds.n ] in
       let config = { Cluster.default_config with Cluster.cache = Some Rc.default } in
       let cluster = C.create ~config ~n_sites () in
-      let oids = load cluster ds in
+      let oids = load_sim cluster ds in
       let program = Hf_query.Compile.compile query in
       let initial = List.map (fun i -> oids.(i)) initial_logical in
       let ok = ref true in
@@ -330,8 +272,8 @@ let prop_updates_invalidate =
         let outcome = C.run_query cluster ~origin program initial in
         ok :=
           !ok && outcome.Cluster.terminated
-          && logical_results oids outcome = expected
-          && sorted_bindings outcome = expected_bindings
+          && logical_results oids outcome.Cluster.result_set = expected
+          && sorted_bindings outcome.Cluster.bindings = expected_bindings
       done;
       !ok)
 
@@ -348,7 +290,7 @@ let test_update_invalidation_counters () =
   in
   let config = { Cluster.default_config with Cluster.cache = Some Rc.default } in
   let cluster = C.create ~config ~n_sites:2 () in
-  let oids = load cluster ds in
+  let oids = load_sim cluster ds in
   let program = Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)") in
   let o1 = C.run_query cluster ~origin:0 program [ oids.(0) ] in
   check_bool "run1 terminated" true o1.Cluster.terminated;
@@ -381,7 +323,7 @@ let test_prune_respects_updates () =
   in
   let config = { Cluster.default_config with Cluster.cache = Some Rc.default } in
   let cluster = C.create ~config ~n_sites:2 () in
-  let oids = load cluster ds in
+  let oids = load_sim cluster ds in
   let program = Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)") in
   let o1 = C.run_query cluster ~origin:0 program [ oids.(0) ] in
   check_bool "run1 terminated" true o1.Cluster.terminated;
@@ -474,7 +416,7 @@ let test_validate_giveup_partial () =
     }
   in
   let cluster = C.create ~config ~n_sites:2 () in
-  let oids = load cluster ds in
+  let oids = load_sim cluster ds in
   C.kill_site cluster 1;
   let program = Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)") in
   let outcome = C.run_query cluster ~origin:0 program [ oids.(0) ] in
@@ -504,7 +446,7 @@ let prop_counts_mode_unaffected =
           }
         in
         let cluster = C.create ~config ~n_sites () in
-        let oids = load cluster ds in
+        let oids = load_sim cluster ds in
         let program = Hf_query.Compile.compile query in
         let initial = List.map (fun i -> oids.(i)) initial_logical in
         List.init 3 (fun _ ->
@@ -531,21 +473,8 @@ let test_tcp_cache_repeat () =
       hot = [| false; true; false; true |];
     }
   in
-  let cache = Rc.default in
-  let sites = Array.init 2 (fun site -> Tcp.create ~site ~cache ()) in
-  Fun.protect
-    ~finally:(fun () -> Array.iter Tcp.shutdown sites)
-    (fun () ->
-      let addresses = Array.map Tcp.address sites in
-      Array.iter (fun s -> Tcp.set_peers s addresses) sites;
-      let oids =
-        Array.init ds.n (fun i -> Store.fresh_oid (Tcp.store sites.(ds.placement.(i))))
-      in
-      Array.iteri
-        (fun i oid ->
-          Store.insert (Tcp.store sites.(ds.placement.(i)))
-            (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
-        oids;
+  with_tcp_sites ~cache:Rc.default 2 (fun sites ->
+      let oids = load_tcp sites ds in
       let program =
         Hf_query.Compile.compile (parse "(Pointer, \"R\", ?X) ^^X (Keyword, \"hot\", ?)")
       in
@@ -577,6 +506,9 @@ let () =
           qtest prop_bloom_no_false_negatives;
           Alcotest.test_case "fp rate within 2x budget" `Quick test_bloom_fp_rate_within_budget;
           qtest prop_bloom_wire_roundtrip;
+          qtest prop_bloom_union_no_false_negatives;
+          qtest prop_bloom_union_planned_total;
+          qtest prop_bloom_union_wire_roundtrip;
           Alcotest.test_case "of_string total on garbage" `Quick test_bloom_of_string_garbage;
           Alcotest.test_case "summary tracks the store" `Quick test_summary_tracks_store;
         ] );

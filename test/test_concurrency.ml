@@ -10,11 +10,14 @@
    as a separate job). *)
 
 module Oid = Hf_data.Oid
-module Tuple = Hf_data.Tuple
 module Store = Hf_data.Store
 module Cluster = Hf_server.Cluster
 module Sched = Hf_server.Sched
 module Tcp = Hf_net.Tcp_site
+
+(* the ring corpus and the TCP site scaffolding live in the shared
+   harness ([ring_tuples], [with_tcp_sites], [load_tcp_ring]) *)
+open Hf_test_harness
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -107,16 +110,6 @@ let test_gate_unlimited_and_validate () =
     Sched.validate { Sched.in_flight_cap = None; max_queued = None; link_window = Some 0 };
     Alcotest.fail "window 0 must be rejected"
   with Invalid_argument _ -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Shared dataset: a ring of n objects over the sites, keyword on every
-   third, a numeric id on each — identical construction on the sim
-   cluster and the TCP sites, so solo answers are comparable. *)
-(* ------------------------------------------------------------------ *)
-
-let ring_tuples oids n i =
-  [ Tuple.pointer ~key:"R" oids.((i + 1) mod n); Tuple.number ~key:"id" i ]
-  @ if i mod 3 = 0 then [ Tuple.keyword "hot" ] else []
 
 let programs =
   [
@@ -325,21 +318,6 @@ let test_sim_cancel_running () =
 (* TCP engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let with_sites ?batch ?reliability ?admission n f =
-  let sites = Array.init n (fun site -> Tcp.create ~site ?batch ?reliability ?admission ()) in
-  let addresses = Array.map Tcp.address sites in
-  Array.iter (fun site -> Tcp.set_peers site addresses) sites;
-  Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
-
-let load_ring sites n =
-  let k = Array.length sites in
-  let oids = Array.init n (fun i -> Store.fresh_oid (Tcp.store sites.(i mod k))) in
-  Array.iteri
-    (fun i oid ->
-      Store.insert (Tcp.store sites.(i mod k)) (Hf_data.Hobject.of_tuples oid (ring_tuples oids n i)))
-    oids;
-  oids
-
 (* Peer-side eviction rides the [Query_done] broadcast, which arrives a
    beat after the origin's [await] returns — poll briefly instead of
    asserting instantly. *)
@@ -361,8 +339,8 @@ let total_contexts sites = Array.fold_left (fun acc s -> acc + Tcp.context_count
    empty. *)
 let test_tcp_leak_regression () =
   let n_queries = 1000 in
-  with_sites 2 (fun sites ->
-      let oids = load_ring sites 6 in
+  with_tcp_sites 2 (fun sites ->
+      let oids = load_tcp_ring sites 6 in
       let program = List.hd programs in
       for i = 0 to n_queries - 1 do
         let outcome = Tcp.run_query sites.(i mod 2) program [ oids.(i mod 6) ] in
@@ -383,7 +361,7 @@ let test_tcp_shutdown_under_load () =
     let sites = Array.init 3 (fun site -> Tcp.create ~site ?reliability ()) in
     let addresses = Array.map Tcp.address sites in
     Array.iter (fun site -> Tcp.set_peers site addresses) sites;
-    let oids = load_ring sites 12 in
+    let oids = load_tcp_ring sites 12 in
     let handles =
       List.init 3 (fun i -> Tcp.submit_query sites.(i) (List.hd programs) [ oids.(i) ])
     in
@@ -401,8 +379,8 @@ let test_tcp_shutdown_under_load () =
    concurrent copies must report exactly its solo message count —
    any cross-query bleed shows up as a diff. *)
 let test_tcp_metrics_no_bleed () =
-  with_sites 3 (fun sites ->
-      let oids = load_ring sites 12 in
+  with_tcp_sites 3 (fun sites ->
+      let oids = load_tcp_ring sites 12 in
       let program = List.hd programs in
       let solo = Tcp.run_query sites.(0) program [ oids.(0) ] in
       check_bool "solo terminated" true solo.Tcp.terminated;
@@ -425,8 +403,8 @@ let test_tcp_metrics_no_bleed () =
    TCP transport has no loss-injection hook, so only the loss = 0 point
    runs here; the lossy points run on the sim battery above. *)
 let test_tcp_concurrent_matches_solo () =
-  with_sites 3 (fun sites ->
-      let oids = load_ring sites 12 in
+  with_tcp_sites 3 (fun sites ->
+      let oids = load_tcp_ring sites 12 in
       let solo =
         List.mapi
           (fun i program ->
@@ -455,8 +433,8 @@ let test_tcp_concurrent_matches_solo () =
 (* Same property with batching on: concurrent queries share the
    per-destination batcher, and the answers must not change. *)
 let test_tcp_concurrent_batched_matches_solo () =
-  with_sites ~batch:(Hf_proto.Batch.Flush_at 4) 3 (fun sites ->
-      let oids = load_ring sites 12 in
+  with_tcp_sites ~batch:(Hf_proto.Batch.Flush_at 4) 3 (fun sites ->
+      let oids = load_tcp_ring sites 12 in
       let solo =
         List.mapi
           (fun i program ->
@@ -480,9 +458,9 @@ let test_tcp_concurrent_batched_matches_solo () =
 
 let test_tcp_admission_gate () =
   let admission = { Sched.in_flight_cap = Some 1; max_queued = Some 1; link_window = None } in
-  with_sites ~admission 3 (fun sites ->
+  with_tcp_sites ~admission 3 (fun sites ->
       (* a long ring keeps the first query busy while we stack up more *)
-      let oids = load_ring sites 60 in
+      let oids = load_tcp_ring sites 60 in
       let program = List.hd programs in
       let first = Tcp.submit_query sites.(0) program [ oids.(0) ] in
       let second = Tcp.submit_query sites.(0) program [ oids.(0) ] in
@@ -502,8 +480,8 @@ let test_tcp_admission_gate () =
 
 let test_tcp_cancel () =
   let admission = { Sched.in_flight_cap = Some 1; max_queued = Some 2; link_window = None } in
-  with_sites ~admission 3 (fun sites ->
-      let oids = load_ring sites 60 in
+  with_tcp_sites ~admission 3 (fun sites ->
+      let oids = load_tcp_ring sites 60 in
       let program = List.hd programs in
       let running = Tcp.submit_query sites.(0) program [ oids.(0) ] in
       let queued = Tcp.submit_query sites.(0) program [ oids.(0) ] in
@@ -530,8 +508,8 @@ let test_tcp_cancel () =
    once; under HF_STRESS=1 this soaks for ~20 s. *)
 let test_tcp_churn () =
   let admission = { Sched.in_flight_cap = Some 4; max_queued = None; link_window = None } in
-  with_sites ~admission 3 (fun sites ->
-      let oids = load_ring sites 12 in
+  with_tcp_sites ~admission 3 (fun sites ->
+      let oids = load_tcp_ring sites 12 in
       let duration = if stress then 20.0 else 0.6 in
       let deadline = Unix.gettimeofday () +. duration in
       let rounds = ref 0 in

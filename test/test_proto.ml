@@ -111,9 +111,71 @@ let test_roundtrip_cache_version () =
   let query = { Message.originator = 1; serial = 12 } in
   check_bool "with summary" true
     (roundtrip
-       (Message.Cache_version { query; site = 2; version = 7; summary = Some sample_summary }));
+       (Message.Cache_version
+          { query; site = 2; version = 7; epoch = 3; summary = Some sample_summary }));
   check_bool "version only" true
-    (roundtrip (Message.Cache_version { query; site = 0; version = 0; summary = None }))
+    (roundtrip
+       (Message.Cache_version { query; site = 0; version = 0; epoch = 0; summary = None }))
+
+(* The summary epoch is load-bearing for the Bloofi staleness contract
+   (a regression means the peer restarted), so pin it explicitly: exact
+   round-trips under the traced (127) and reliability (126) envelopes,
+   across the whole varint width range. *)
+let test_cache_version_epoch_under_envelopes () =
+  let query = { Message.originator = 5; serial = 9 } in
+  let rel = { Codec.src = 2; seq = 11; ack = 10 } in
+  List.iter
+    (fun epoch ->
+      List.iter
+        (fun summary ->
+          let message = Message.Cache_version { query; site = 1; version = 4; epoch; summary } in
+          (* bare *)
+          (match Codec.decode (Codec.encode message) with
+           | Ok m -> check_bool "bare epoch" true (Message.equal message m)
+           | Error e -> Alcotest.fail e);
+          (* traced (127) *)
+          (match Codec.decode_traced (Codec.encode ~span:3 message) with
+           | Ok (m, span) ->
+             check_bool "traced epoch" true (Message.equal message m && span = 3)
+           | Error e -> Alcotest.fail e);
+          (* reliability (126, which nests the traced form) *)
+          match Codec.decode_enveloped (Codec.encode ~span:3 ~rel message) with
+          | Ok (m, span, Some got) ->
+            check_bool "enveloped epoch" true
+              (Message.equal message m && span = 3 && got.Codec.seq = 11)
+          | Ok _ -> Alcotest.fail "reliability envelope lost"
+          | Error e -> Alcotest.fail e)
+        [ None; Some sample_summary ])
+    [ 0; 1; 127; 128; 16_384; 1_000_000_007 ]
+
+(* Epoch-bearing frames fuzzed: flip a byte anywhere in a valid encoded
+   Cache_version (bare and under each envelope) — the decoder must stay
+   total, never raise. *)
+let prop_cache_version_epoch_fuzz =
+  QCheck2.Test.make ~name:"cache-version epoch: corrupted frames never raise" ~count:400
+    QCheck2.Gen.(tup4 (int_range 0 1_000_000) (int_range 0 255) (int_range 0 64) (int_range 0 2))
+    (fun (epoch, byte, pos, wrap) ->
+      let message =
+        Message.Cache_version
+          {
+            query = { Message.originator = 1; serial = 2 };
+            site = 3;
+            version = 5;
+            epoch;
+            summary = Some sample_summary;
+          }
+      in
+      let encoded =
+        match wrap with
+        | 0 -> Codec.encode message
+        | 1 -> Codec.encode ~span:7 message
+        | _ -> Codec.encode ~span:7 ~rel:{ Codec.src = 0; seq = 1; ack = 0 } message
+      in
+      let corrupted = Bytes.of_string encoded in
+      Bytes.set corrupted (pos mod Bytes.length corrupted) (Char.chr byte);
+      let input = Bytes.to_string corrupted in
+      let total f = match f input with Ok _ | Error _ -> true | exception _ -> false in
+      total Codec.decode && total Codec.decode_traced && total Codec.decode_enveloped)
 
 let cache_answer ?(start = 0) ?(iters = [||]) ~passed serial : Message.cache_answer =
   { oid = oid serial; start; iters; passed }
@@ -543,6 +605,7 @@ let gen_message =
         (let* query = gen_query_id in
          let* site = int_range 0 15 in
          let* version = int_range 0 10_000 in
+         let* epoch = int_range 0 1_000 in
          let* summary =
            oneof
              [ return None;
@@ -556,7 +619,7 @@ let gen_message =
                  (list_size (int_range 0 8) string_small);
              ]
          in
-         return (Message.Cache_version { query; site; version; summary }));
+         return (Message.Cache_version { query; site; version; epoch; summary }));
         (let gen_answer =
            let* site = int_range 0 10 in
            let* serial = int_range 0 500 in
@@ -909,6 +972,9 @@ let () =
             test_roundtrip_site_unreachable;
           Alcotest.test_case "cache-validate round-trip" `Quick test_roundtrip_cache_validate;
           Alcotest.test_case "cache-version round-trip" `Quick test_roundtrip_cache_version;
+          Alcotest.test_case "cache-version epoch under both envelopes" `Quick
+            test_cache_version_epoch_under_envelopes;
+          qtest prop_cache_version_epoch_fuzz;
           Alcotest.test_case "cache-answers round-trip" `Quick test_roundtrip_cache_answers;
           Alcotest.test_case "query-done round-trip" `Quick test_roundtrip_query_done;
           Alcotest.test_case "scatter round-trip" `Quick test_roundtrip_scatter;

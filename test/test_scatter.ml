@@ -13,87 +13,22 @@
    byte-identical (covered by the cube). *)
 
 module Oid = Hf_data.Oid
-module Tuple = Hf_data.Tuple
-module Store = Hf_data.Store
 module Cluster = Hf_server.Cluster
 module Metrics = Hf_server.Metrics
 module Tcp = Hf_net.Tcp_site
+
+(* the random dataset, query list, cluster loaders and TCP scaffolding
+   live in the shared harness; [queries] here are its scatter shapes *)
+open Hf_test_harness
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let parse = Hf_query.Parser.parse_body
 
-(* The same random logical dataset the server battery uses: [n] objects
-   placed across sites, pointer edges under keys R/S, a "hot" keyword on
-   about half. *)
-type dataset = {
-  n : int;
-  placement : int array; (* logical -> site *)
-  edges : (int * string * int) list;
-  hot : bool array;
-}
-
-let random_dataset prng ~n_sites =
-  let n = 4 + Hf_util.Prng.next_int prng 20 in
-  let placement = Array.init n (fun _ -> Hf_util.Prng.next_int prng n_sites) in
-  let n_edges = Hf_util.Prng.next_int prng (3 * n) in
-  let keys = [| "R"; "S" |] in
-  let edges =
-    List.init n_edges (fun _ ->
-        ( Hf_util.Prng.next_int prng n,
-          Hf_util.Prng.pick prng keys,
-          Hf_util.Prng.next_int prng n ))
-  in
-  let hot = Array.init n (fun _ -> Hf_util.Prng.next_bool prng 0.5) in
-  { n; placement; edges; hot }
-
-let tuples_of ds oids i =
-  let pointers =
-    List.filter_map
-      (fun (src, key, dst) -> if src = i then Some (Tuple.pointer ~key oids.(dst)) else None)
-      ds.edges
-  in
-  [ Tuple.number ~key:"id" i ]
-  @ (if ds.hot.(i) then [ Tuple.keyword "hot" ] else [])
-  @ pointers
-
-(* Queries with a mix of shapes: scatter-eligible chains, a
-   finite-iterator one the planner must decline (exercising the
-   ineligible path inside the cube), and a binding-emitting one so
-   gathered bindings are compared too. *)
-let queries =
-  [
-    "[ (Pointer, \"R\", ?X) ^^X ]* (Keyword, \"hot\", ?)";
-    "(Pointer, \"S\", ?X) ^^X (Keyword, \"hot\", ?)";
-    "[ (Pointer, \"R\", ?X) ^^X ]^3 (Keyword, \"hot\", ?)";
-    "[ (Pointer, \"R\", ?X) ^^X ]* (Number, \"id\", ->ids)";
-  ]
-
-let sorted_bindings bs =
-  List.sort compare
-    (List.map (fun (t, vs) -> (t, List.sort Hf_data.Value.compare vs)) bs)
+let queries = scatter_queries
 
 (* --- Simulated cluster: the loss × cache × mode cube ---------------- *)
-
-module C = Hf_server.Cluster.Make (Hf_termination.Weighted)
-
-let load_sim cluster ds =
-  let oids = Array.init ds.n (fun i -> Store.fresh_oid (C.store cluster ds.placement.(i))) in
-  Array.iteri
-    (fun i oid ->
-      Store.insert
-        (C.store cluster ds.placement.(i))
-        (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
-    oids;
-  oids
-
-(* A generous retry budget so lossy runs never falsely declare a live
-   peer unreachable (same setting as the reliability battery). *)
-let reliability_for loss =
-  if loss > 0.0 then
-    Some { Hf_proto.Reliable.default with Hf_proto.Reliable.max_retries = 30 }
-  else None
 
 type sim_run = {
   outcome : Cluster.outcome;
@@ -247,24 +182,6 @@ let test_sim_concurrent_scatter () =
     (List.combine handles solo)
 
 (* --- TCP sites: mode × cache, sequential and concurrent ------------- *)
-
-let with_tcp_sites ?cache ?exec n f =
-  let sites = Array.init n (fun site -> Tcp.create ~site ?cache ?exec ()) in
-  let addresses = Array.map Tcp.address sites in
-  Array.iter (fun site -> Tcp.set_peers site addresses) sites;
-  Fun.protect ~finally:(fun () -> Array.iter Tcp.shutdown sites) (fun () -> f sites)
-
-let load_tcp sites ds =
-  let oids =
-    Array.init ds.n (fun i -> Store.fresh_oid (Tcp.store sites.(ds.placement.(i))))
-  in
-  Array.iteri
-    (fun i oid ->
-      Store.insert
-        (Tcp.store sites.(ds.placement.(i)))
-        (Hf_data.Hobject.of_tuples oid (tuples_of ds oids i)))
-    oids;
-  oids
 
 let tcp_differential ~cache_on () =
   let n_sites = 3 in
